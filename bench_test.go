@@ -1,0 +1,237 @@
+// Package repro's benchmarks regenerate each table and figure of the
+// paper's evaluation (§5) as testing.B targets, reporting the headline
+// metric of each experiment alongside the timing:
+//
+//	go test -bench=. -benchmem
+//
+// BenchmarkTable1  — workload characterisation (reports mean strided %)
+// BenchmarkFig5    — execution time vs 4/8/16/unbounded-entry buffers
+// BenchmarkFig6    — mapping mix / hit rate / unroll factors at 8 entries
+// BenchmarkFig7    — L0 vs MultiVLIW vs word-interleaved baselines
+// BenchmarkExtra*  — the §5.2 side experiments (2-entry buffers, the
+//
+//	mark-all-candidates ablation, prefetch distance 2)
+//
+// BenchmarkAblation* — design-choice ablations DESIGN.md calls out
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		var s float64
+		for _, bench := range workload.Suite() {
+			s += workload.Characterize(bench).S
+		}
+		mean = s / 13
+	}
+	b.ReportMetric(mean*100, "strided_%")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	entries := []int{4, 8, 16, arch.Unbounded}
+	var amean8 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.Fig5(entries, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		amean8 = harness.AMeanTotal(pts, 1)
+	}
+	b.ReportMetric(amean8, "amean_8entry")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	var hit float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig6(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var xs []float64
+		for _, r := range rows {
+			xs = append(xs, r.HitRate)
+		}
+		hit = stats.AMean(xs)
+	}
+	b.ReportMetric(hit*100, "mean_hitrate_%")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	var l0, mv float64
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Fig7(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var l0s, mvs []float64
+		for _, r := range rows {
+			l0s = append(l0s, r.L0)
+			mvs = append(mvs, r.MultiVLIW)
+		}
+		l0, mv = stats.AMean(l0s), stats.AMean(mvs)
+	}
+	b.ReportMetric(l0, "amean_l0")
+	b.ReportMetric(mv, "amean_multivliw")
+}
+
+func BenchmarkExtra2Entry(b *testing.B) {
+	var amean float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.Fig5([]int{2}, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		amean = harness.AMeanTotal(pts, 0)
+	}
+	b.ReportMetric(amean, "amean_2entry")
+}
+
+func BenchmarkExtraMarkAll(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		sel, err := harness.Fig5([]int{4}, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		all, err := harness.Fig5([]int{4}, sched.Options{MarkAllCandidates: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = harness.AMeanTotal(all, 0) - harness.AMeanTotal(sel, 0)
+	}
+	b.ReportMetric(delta, "markall_minus_selective")
+}
+
+func BenchmarkExtraPrefetchDistance(b *testing.B) {
+	var epicDelta float64
+	for i := 0; i < b.N; i++ {
+		bench := workload.ByName("epicdec")
+		cfg := arch.MICRO36Config().WithL0Entries(8)
+		d1, err := harness.RunBenchmark(bench, harness.ArchL0, harness.Options{Cfg: cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d2, err := harness.RunBenchmark(bench, harness.ArchL0,
+			harness.Options{Cfg: cfg, Sched: sched.Options{PrefetchDistance: 2}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		epicDelta = float64(d2.Total)/float64(d1.Total) - 1
+	}
+	b.ReportMetric(epicDelta*100, "epicdec_dist2_%")
+}
+
+// BenchmarkAblationNoExplicitPrefetch measures what scheduling step 5 buys:
+// the suite with explicit prefetch insertion disabled.
+func BenchmarkAblationNoExplicitPrefetch(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		on, err := harness.Fig5([]int{8}, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		off, err := harness.Fig5([]int{8}, sched.Options{DisableExplicitPrefetch: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = harness.AMeanTotal(off, 0) - harness.AMeanTotal(on, 0)
+	}
+	b.ReportMetric(delta, "cost_of_disabling")
+}
+
+// BenchmarkAblationPSR runs the suite with partial store replication enabled
+// for load+store sets instead of the NL0/1C choice (§4.1 drops PSR after
+// code specialization; this quantifies that decision).
+func BenchmarkAblationPSR(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		std, err := harness.Fig5([]int{8}, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		psr, err := harness.Fig5([]int{8}, sched.Options{AllowPSR: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = harness.AMeanTotal(psr, 0) - harness.AMeanTotal(std, 0)
+	}
+	b.ReportMetric(delta, "psr_minus_1c")
+}
+
+// BenchmarkScheduler isolates compile time: the full §4.3 pipeline over
+// every kernel of the suite (no simulation).
+func BenchmarkScheduler(b *testing.B) {
+	cfg := arch.MICRO36Config()
+	for i := 0; i < b.N; i++ {
+		for _, bench := range workload.Suite() {
+			for k := range bench.Kernels {
+				l := bench.Kernels[k].Loop()
+				workload.AssignAddresses(l, 1<<16)
+				if _, err := sched.Pipeline(l, cfg, sched.Options{UseL0: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSimulator isolates simulation throughput: one benchmark model
+// end to end on the L0 architecture.
+func BenchmarkSimulator(b *testing.B) {
+	bench := workload.ByName("gsmdec")
+	cfg := arch.MICRO36Config()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.RunBenchmark(bench, harness.ArchL0, harness.Options{Cfg: cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = r.Total
+	}
+	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
+// BenchmarkExtensionWireSweep measures the wire-delay trend (the paper's
+// motivation): the L0 benefit at L1 latency 6 vs 12 cycles with adaptive
+// prefetch distance.
+func BenchmarkExtensionWireSweep(b *testing.B) {
+	var at6, at12 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.WireSweep([]int{6, 12}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at6, at12 = pts[0].AMeanAdaptive, pts[1].AMeanAdaptive
+	}
+	b.ReportMetric(at6, "adaptive_lat6")
+	b.ReportMetric(at12, "adaptive_lat12")
+}
+
+// BenchmarkExtensionClusterSweep measures the L0 benefit at 2 and 8 clusters.
+func BenchmarkExtensionClusterSweep(b *testing.B) {
+	var m2, m8 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.ClusterSweep([]int{2, 8}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s2, s8 float64
+		for _, row := range pts {
+			s2 += row[0].Norm
+			s8 += row[1].Norm
+		}
+		m2, m8 = s2/13, s8/13
+	}
+	b.ReportMetric(m2, "amean_2clusters")
+	b.ReportMetric(m8, "amean_8clusters")
+}

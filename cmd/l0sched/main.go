@@ -1,0 +1,138 @@
+// Command l0sched compiles one named workload kernel and dumps the modulo
+// schedule: II, stage count, per-row placement with clusters and hints,
+// coherence treatment of the memory-dependent sets, inserted prefetches and
+// inter-cluster communications.
+//
+// Usage:
+//
+//	l0sched -bench gsmdec -kernel ltp_iir [-entries 8] [-base] [-psr] [-markall]
+//	l0sched -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/alias"
+	"repro/internal/arch"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/looplang"
+	"repro/internal/sched"
+	"repro/internal/unroll"
+	"repro/internal/workload"
+)
+
+func main() {
+	benchName := flag.String("bench", "gsmdec", "benchmark name (see -list)")
+	kernelName := flag.String("kernel", "", "kernel name (default: first kernel)")
+	entries := flag.Int("entries", 8, "L0 buffer entries")
+	base := flag.Bool("base", false, "compile for the no-L0 baseline")
+	psr := flag.Bool("psr", false, "use partial store replication for load+store sets")
+	markAll := flag.Bool("markall", false, "mark every candidate (ignore slack selection)")
+	dist := flag.Int("dist", 1, "prefetch distance in subblocks")
+	list := flag.Bool("list", false, "list benchmarks and kernels")
+	grid := flag.Bool("grid", false, "render the kernel as a cycle x cluster grid")
+	emit := flag.Bool("emit", false, "emit the (pre-unroll) kernel in looplang format and exit")
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.Suite() {
+			fmt.Printf("%s:", b.Name)
+			for i := range b.Kernels {
+				fmt.Printf(" %s", b.Kernels[i].Name)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	b := workload.ByName(*benchName)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "l0sched: unknown benchmark %q (try -list)\n", *benchName)
+		os.Exit(1)
+	}
+	var kernel *workload.Kernel
+	for i := range b.Kernels {
+		if *kernelName == "" || b.Kernels[i].Name == *kernelName {
+			kernel = &b.Kernels[i]
+			break
+		}
+	}
+	if kernel == nil {
+		fmt.Fprintf(os.Stderr, "l0sched: no kernel %q in %s (try -list)\n", *kernelName, *benchName)
+		os.Exit(1)
+	}
+
+	loop := kernel.Loop()
+	if *emit {
+		if err := looplang.Format(os.Stdout, loop); err != nil {
+			fmt.Fprintf(os.Stderr, "l0sched: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	workload.AssignAddresses(loop, 1<<16)
+	cfg := arch.MICRO36Config().WithL0Entries(*entries)
+	if *base {
+		cfg = cfg.WithL0Entries(0)
+	}
+	factor := sched.ChooseUnrollFactor(loop, arch.MICRO36Config().WithL0Entries(0))
+	body := loop
+	if factor > 1 {
+		var err error
+		body, err = unroll.ByFactor(loop, factor)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "l0sched: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	opts := sched.Options{
+		UseL0:             cfg.HasL0(),
+		AllowPSR:          *psr,
+		MarkAllCandidates: *markAll,
+		PrefetchDistance:  *dist,
+	}
+	sch, err := sched.Compile(body, cfg, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "l0sched: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s/%s: unroll factor %d, %d instructions\n", b.Name, kernel.Name, factor, len(body.Instrs))
+	if *grid {
+		sched.RenderKernelGrid(os.Stdout, sch)
+	} else {
+		fmt.Print(sch)
+	}
+	rp := sched.Pressure(sch)
+	fmt.Printf("register pressure (MaxLive per cluster): %v\n", rp.PerCluster)
+
+	als := alias.Analyze(sch.Loop)
+	g := ddg.Build(sch.Loop, func(in *ir.Instr) int { return sch.Placed[in.ID].Latency }, als.Edges)
+	if cyc := g.CriticalCycle(); cyc != nil {
+		names := make([]string, len(cyc))
+		for i, id := range cyc {
+			names[i] = sch.Loop.Instrs[id].Name
+		}
+		fmt.Printf("II-binding recurrence: %s (RecMII %d)\n", strings.Join(names, " -> "), g.RecMII())
+	}
+	fmt.Println("memory-dependent sets:")
+	for si, set := range als.Sets {
+		if len(set) < 2 {
+			continue
+		}
+		fmt.Printf("  S%d %v: scheme %v", si, set, sch.SetScheme[si])
+		if sch.SetHome[si] >= 0 {
+			fmt.Printf(" (home cluster %d)", sch.SetHome[si])
+		}
+		fmt.Println()
+	}
+	if sched.NeedsInterLoopFlush(sch) {
+		fmt.Println("inter-loop coherence: flush required between invocations")
+	} else {
+		fmt.Println("inter-loop coherence: self-reinvocation safe without flushing")
+	}
+}

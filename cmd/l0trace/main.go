@@ -1,0 +1,120 @@
+// Command l0trace executes one workload kernel on the L0 architecture and
+// reports the memory-system behaviour: hit/miss/late-fill counts, fill
+// mapping mix, prefetch activity, evictions and bus queueing — the raw
+// signals behind Figures 5 and 6.
+//
+// Usage:
+//
+//	l0trace -bench epicdec -kernel wavelet_col [-entries 8] [-inv 4] [-dist 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/unroll"
+	"repro/internal/vliw"
+	"repro/internal/workload"
+)
+
+func main() {
+	benchName := flag.String("bench", "epicdec", "benchmark name")
+	kernelName := flag.String("kernel", "", "kernel name (default: first)")
+	entries := flag.Int("entries", 8, "L0 buffer entries")
+	inv := flag.Int64("inv", 0, "invocations to run (default: the kernel's own count)")
+	dist := flag.Int("dist", 1, "prefetch distance")
+	events := flag.Int("events", 0, "print the first N memory events")
+	flag.Parse()
+
+	b := workload.ByName(*benchName)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "l0trace: unknown benchmark %q\n", *benchName)
+		os.Exit(1)
+	}
+	var kernel *workload.Kernel
+	for i := range b.Kernels {
+		if *kernelName == "" || b.Kernels[i].Name == *kernelName {
+			kernel = &b.Kernels[i]
+			break
+		}
+	}
+	if kernel == nil {
+		fmt.Fprintf(os.Stderr, "l0trace: no kernel %q in %s\n", *kernelName, *benchName)
+		os.Exit(1)
+	}
+	invocations := kernel.Invocations
+	if *inv > 0 {
+		invocations = *inv
+	}
+
+	loop := kernel.Loop()
+	workload.AssignAddresses(loop, 1<<16)
+	cfg := arch.MICRO36Config().WithL0Entries(*entries)
+	factor := sched.ChooseUnrollFactor(loop, cfg.WithL0Entries(0))
+	body := loop
+	if factor > 1 {
+		var err error
+		body, err = unroll.ByFactor(loop, factor)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "l0trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	sch, err := sched.Compile(body, cfg, sched.Options{UseL0: true, PrefetchDistance: *dist})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "l0trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	sys := mem.NewSystem(cfg)
+	var model vliw.MemoryModel = sys
+	var rec *trace.Recorder
+	if *events > 0 {
+		rec = trace.New(sys, *events)
+		model = rec
+	}
+	flushEach := sched.NeedsInterLoopFlush(sch)
+	var clock, compute, stall int64
+	for i := int64(0); i < invocations; i++ {
+		r, err := vliw.RunAt(sch, model, clock)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "l0trace: %v\n", err)
+			os.Exit(1)
+		}
+		compute += r.ComputeCycles
+		stall += r.StallCycles
+		clock += r.TotalCycles
+		if flushEach || i == invocations-1 {
+			clock += model.LoopEnd()
+		}
+	}
+
+	st := &sys.Stats
+	fmt.Printf("%s/%s: unroll %d, II=%d, SC=%d, %d invocations x %d iterations\n",
+		b.Name, kernel.Name, factor, sch.II, sch.SC, invocations, sch.Loop.TripCount)
+	fmt.Printf("cycles: %d compute + %d stall (%.1f%% stall)\n",
+		compute, stall, 100*float64(stall)/float64(compute+stall))
+	fmt.Printf("L0: %d hits, %d misses (%d late fills)  hit rate %.1f%%\n",
+		st.L0Hits, st.L0Misses, st.L0LateFills, st.L0HitRate()*100)
+	fmt.Printf("fills: %d linear subblocks, %d interleaved subblocks\n",
+		st.LinearSubblocks, st.InterleavedSubblocks)
+	fmt.Printf("prefetch: %d hint-triggered, %d explicit, %d duplicates dropped\n",
+		st.HintPrefetches, st.ExplicitPrefetches, st.DroppedPrefetches)
+	fmt.Printf("evictions: %d, replica invalidations: %d\n", st.L0Evictions, st.L0ReplicaInvalidations)
+	fmt.Printf("L1: %.1f%% hit rate (%d accesses), bus queue %d cycles\n",
+		st.L1HitRate()*100, st.L1Hits+st.L1Misses, st.BusQueueCycles)
+	if flushEach {
+		fmt.Println("inter-loop: flushed between invocations")
+	} else {
+		fmt.Println("inter-loop: L0 contents preserved across invocations (self-reinvocation safe)")
+	}
+	if rec != nil {
+		fmt.Printf("\nfirst %d memory events:\n", len(rec.Events))
+		rec.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,122 @@
+// Coherence walks through §4.1 of the paper: a loop whose loads and stores
+// form one memory-dependent set is scheduled under each of the three
+// software coherence schemes — NL0 (don't use the buffers), 1C (pin the set
+// to one cluster) and PSR (replicate the stores) — and the example shows
+// what each scheme does to the schedule and the execution time.
+//
+// Run with: go run ./examples/coherence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/alias"
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/vliw"
+)
+
+// buildLoop returns a recursive filter y[i] = f(y[i-1], x[i]): the y-load
+// and y-store form a load+store memory-dependent set whose cross-iteration
+// dependence makes the coherence scheme decide the initiation interval.
+func buildLoop() *ir.Loop {
+	b := ir.NewBuilder("iir", 2048)
+	y := b.Array("y", 16*1024, 4)
+	x := b.Array("x", 16*1024, 4)
+	prev := b.Load("ld_y1", y, -4, 4, 4)
+	vx := b.Load("ld_x", x, 0, 4, 4)
+	v := b.Int("mix", prev, vx)
+	v = b.Int("scale", v)
+	b.Store("st_y", y, 0, 4, 4, v)
+	return core.AssignAddresses(b.Build())
+}
+
+func describe(name string, sch *sched.Schedule) {
+	als := alias.Analyze(sch.Loop)
+	fmt.Printf("\n%s: II=%d\n", name, sch.II)
+	for si := range als.Sets {
+		if !als.SetHasLoadAndStore(sch.Loop, si) {
+			continue
+		}
+		fmt.Printf("  set %v handled as %v", als.Sets[si], sch.SetScheme[si])
+		if sch.SetHome[si] >= 0 {
+			fmt.Printf(" in cluster %d", sch.SetHome[si])
+		}
+		fmt.Println()
+	}
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		if !p.Instr.Op.IsMemRef() {
+			continue
+		}
+		role := ""
+		if p.Instr.ReplicaGroup != 0 {
+			if p.Instr.PrimaryReplica {
+				role = " (primary replica)"
+			} else {
+				role = " (invalidate-only replica)"
+			}
+		}
+		fmt.Printf("  %-10s cluster %d latency %d  %v%s\n",
+			p.Instr.Name, p.Cluster, p.Latency, p.Hints, role)
+	}
+}
+
+func run(sch *sched.Schedule, cfg arch.Config) vliw.Result {
+	sys := mem.NewSystem(cfg)
+	res, err := vliw.Run(sch, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	cfg := arch.MICRO36Config()
+
+	// NL0: the whole set is kept out of the buffers (simulate by marking
+	// nothing — easiest honest stand-in is the no-L0 baseline schedule).
+	nl0, err := sched.Compile(buildLoop(), cfg.WithL0Entries(0), sched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	describe("NL0 (set kept out of L0; here: the no-buffer schedule)", nl0)
+
+	// 1C: the default choice for a set with an L0-marked load.
+	oneC, err := sched.Compile(buildLoop(), cfg, sched.Options{UseL0: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	describe("1C (set pinned to its home cluster)", oneC)
+
+	// PSR: stores replicated to every cluster; loads placed freely.
+	psr, err := sched.Compile(buildLoop(), cfg, sched.Options{UseL0: true, AllowPSR: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	describe("PSR (stores replicated; loads free)", psr)
+
+	fmt.Println("\nexecution (same machine, same loop):")
+	for _, c := range []struct {
+		name string
+		sch  *sched.Schedule
+		cfg  arch.Config
+	}{
+		{"NL0", nl0, cfg.WithL0Entries(0)},
+		{"1C ", oneC, cfg},
+		{"PSR", psr, cfg},
+	} {
+		r := run(c.sch, c.cfg)
+		fmt.Printf("  %s: %6d cycles (compute %d + stall %d)\n",
+			c.name, r.TotalCycles, r.ComputeCycles, r.StallCycles)
+	}
+	fmt.Println("\nThe set's recurrence runs through memory, so NL0 pays the full L1")
+	fmt.Println("latency every iteration while 1C and PSR run it at the L0 latency;")
+	fmt.Println("PSR additionally spends memory slots and bus transfers on the")
+	fmt.Println("replicas — which is why the paper settles on choosing between NL0")
+	fmt.Println("and 1C (§4.1).")
+}

@@ -1,0 +1,72 @@
+// Designspace sweeps the L0 buffer capacity across the whole synthetic
+// Mediabench suite and prints the Figure 5 trend — normalized execution time
+// per benchmark for 2/4/8/16/unbounded entries — plus the capacity each
+// benchmark needs before it stops improving.
+//
+// Run with: go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	sizes := []int{2, 4, 8, 16, arch.Unbounded}
+	t := &stats.Table{Title: "normalized execution time vs L0 capacity"}
+	t.Header = []string{"bench"}
+	for _, s := range sizes {
+		if s >= arch.Unbounded {
+			t.Header = append(t.Header, "unbounded")
+		} else {
+			t.Header = append(t.Header, fmt.Sprintf("%d", s))
+		}
+	}
+	t.Header = append(t.Header, "enough at")
+
+	sums := make([]float64, len(sizes))
+	for _, b := range workload.Suite() {
+		base, err := harness.RunBenchmark(b, harness.ArchBase, harness.Options{Cfg: arch.MICRO36Config()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := []string{b.Name}
+		norms := make([]float64, len(sizes))
+		for i, s := range sizes {
+			cfg := arch.MICRO36Config().WithL0Entries(s)
+			r, err := harness.RunBenchmark(b, harness.ArchL0, harness.Options{Cfg: cfg})
+			if err != nil {
+				log.Fatal(err)
+			}
+			norms[i] = float64(r.Total) / float64(base.Total)
+			sums[i] += norms[i]
+			row = append(row, stats.F2(norms[i]))
+		}
+		// First size within 2% of the unbounded result.
+		enough := "unbounded"
+		for i, s := range sizes {
+			if s < arch.Unbounded && norms[i] <= norms[len(norms)-1]+0.02 {
+				enough = fmt.Sprintf("%d entries", s)
+				break
+			}
+		}
+		row = append(row, enough)
+		t.Add(row...)
+	}
+	row := []string{"AMEAN"}
+	for _, s := range sums {
+		row = append(row, stats.F2(s/13))
+	}
+	row = append(row, "")
+	t.Add(row...)
+	t.Render(log.Writer())
+	fmt.Println()
+	fmt.Println("The paper's conclusion (§5.2): 8-entry buffers capture almost all")
+	fmt.Println("memory accesses; 4 entries lose some benchmarks to LRU thrash and")
+	fmt.Println("2 entries still improve the mean by ~7%.")
+}

@@ -1,0 +1,71 @@
+// Saxpy walks through the paper's §3.1 example: a loop over 2-byte elements
+// (a[i] = b[i] + C) is unrolled four times so each copy lands in its own
+// cluster, and the hardware maps the data with INTERLEAVED_MAP — the L1
+// block is split at 2-byte granularity so that elements b[0], b[4], b[8]...
+// all land in the cluster executing load_1, b[1], b[5]... in load_2's
+// cluster, and so on. A single POSITIVE prefetch hint (on the first load in
+// the final schedule) fetches and scatters each next block for everyone.
+//
+// Run with: go run ./examples/saxpy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/unroll"
+	"repro/internal/vliw"
+)
+
+func main() {
+	b := ir.NewBuilder("saxpy", 8192)
+	src := b.Array("b", 64*1024, 2)
+	dst := b.Array("a", 64*1024, 2)
+	v := b.Load("ld_b", src, 0, 2, 2)
+	s := b.Int("axpy", v) // b[i]·α + C folded into one op for brevity
+	s2 := b.Int("round", s)
+	b.Store("st_a", dst, 0, 2, 2, s2)
+	loop := core.AssignAddresses(b.Build())
+
+	cfg := arch.MICRO36Config()
+
+	// Show the compiler's unroll decision, then unroll explicitly to
+	// inspect the interleaved group.
+	factor := sched.ChooseUnrollFactor(loop, cfg.WithL0Entries(0))
+	fmt.Printf("step 1: chosen unroll factor = %d (cluster count = %d)\n", factor, cfg.Clusters)
+
+	ul, err := unroll.ByFactor(loop, factor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := sched.Compile(ul, cfg, sched.Options{UseL0: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("schedule: II=%d, SC=%d\n\n", sch.II, sch.SC)
+	fmt.Println("the four copies of ld_b and their mapping:")
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		if p.Instr.Op == ir.OpLoad {
+			fmt.Printf("  %-8s copy %d -> cluster %d, offset %d, %v\n",
+				p.Instr.Name, p.Instr.UnrollCopy, p.Cluster, p.Instr.Mem.Offset, p.Hints)
+		}
+	}
+
+	sys := mem.NewSystem(cfg)
+	res, err := vliw.Run(sch, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexecution: %d cycles (%d compute + %d stall)\n",
+		res.TotalCycles, res.ComputeCycles, res.StallCycles)
+	fmt.Printf("L0: %.1f%% hit rate, %d interleaved subblocks vs %d linear, %d hint prefetches\n",
+		sys.Stats.L0HitRate()*100, sys.Stats.InterleavedSubblocks,
+		sys.Stats.LinearSubblocks, sys.Stats.HintPrefetches)
+}

@@ -1,0 +1,317 @@
+// Package alias performs the compile-time memory disambiguation the
+// scheduler relies on (§4.1): it derives memory-dependence edges between the
+// loads and stores of a loop from their affine address summaries, groups the
+// memory instructions into memory-dependent sets Sᵢ (connected components of
+// the dependence relation), and implements the effect of code specialization
+// — in a specialized loop, conservative "could alias anything" dependences of
+// data-dependent accesses are narrowed to the arrays they really touch.
+package alias
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/ir"
+)
+
+// maxEnumDist caps how many distinct loop-carried distances are enumerated
+// for one pair of accesses whose strides are smaller than their widths; a
+// dependence at distance ≥ maxEnumDist barely constrains the schedule but
+// still merges the pair into one set, which the set construction handles
+// separately.
+const maxEnumDist = 4
+
+// Result is the outcome of disambiguating one loop.
+type Result struct {
+	// Edges are the memory-dependence edges feeding the DDG.
+	Edges []ddg.Edge
+	// Sets are the memory-dependent sets Sᵢ: connected components over
+	// the loop's loads/stores, each sorted by instruction ID. Singleton
+	// components are included (they are the "free" instructions of
+	// §4.1).
+	Sets [][]int
+	// SetOf maps an instruction ID to its index in Sets, or -1 for
+	// non-memory instructions.
+	SetOf []int
+}
+
+// SetHasLoadAndStore reports whether set s contains both load and store
+// instructions; only such sets constrain cluster assignment (§4.1).
+func (r *Result) SetHasLoadAndStore(l *ir.Loop, s int) bool {
+	var hasLoad, hasStore bool
+	for _, id := range r.Sets[s] {
+		switch l.Instrs[id].Op {
+		case ir.OpLoad:
+			hasLoad = true
+		case ir.OpStore:
+			hasStore = true
+		}
+	}
+	return hasLoad && hasStore
+}
+
+// Analyze disambiguates the loop's memory references.
+func Analyze(l *ir.Loop) *Result {
+	refs := l.MemRefs()
+	r := &Result{SetOf: make([]int, len(l.Instrs))}
+	for i := range r.SetOf {
+		r.SetOf[i] = -1
+	}
+	// Union-find over memory instruction IDs.
+	parent := make(map[int]int, len(refs))
+	for _, in := range refs {
+		parent[in.ID] = in.ID
+	}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for i := 0; i < len(refs); i++ {
+		for j := i + 1; j < len(refs); j++ {
+			a, b := refs[i], refs[j]
+			if a.Op == ir.OpLoad && b.Op == ir.OpLoad {
+				continue // load-load pairs never constrain
+			}
+			edges, related := depend(l, a, b)
+			if related {
+				union(a.ID, b.ID)
+			}
+			r.Edges = append(r.Edges, edges...)
+		}
+	}
+
+	// Materialise the sets in deterministic order.
+	rootIdx := make(map[int]int)
+	for _, in := range refs {
+		root := find(in.ID)
+		idx, ok := rootIdx[root]
+		if !ok {
+			idx = len(r.Sets)
+			rootIdx[root] = idx
+			r.Sets = append(r.Sets, nil)
+		}
+		r.Sets[idx] = append(r.Sets[idx], in.ID)
+		r.SetOf[in.ID] = idx
+	}
+	return r
+}
+
+// depend computes the dependence edges between body-ordered accesses a and b
+// (a.ID < b.ID) and whether they belong to the same memory-dependent set.
+func depend(l *ir.Loop, a, b *ir.Instr) (edges []ddg.Edge, related bool) {
+	ma, mb := a.Mem, b.Mem
+
+	aKnown := ma.StrideKnown && ma.Scramble == 0
+	bKnown := mb.StrideKnown && mb.Scramble == 0
+
+	if !aKnown || !bKnown {
+		return conservativePair(l, a, b)
+	}
+	if ma.Array != mb.Array {
+		return nil, false
+	}
+	// Periodic accesses re-walk a window; treat them as covering their
+	// whole range for disambiguation (conservative but precise enough).
+	if ma.IndexPeriod > 1 || mb.IndexPeriod > 1 {
+		if rangesDisjoint(l, ma, mb) {
+			return nil, false
+		}
+		return bothWays(a.ID, b.ID), true
+	}
+
+	if ma.Stride == mb.Stride {
+		return equalStride(l, a, b)
+	}
+
+	// Unequal strides on the same array: prove disjoint if the touched
+	// ranges never intersect, otherwise be conservative.
+	if rangesDisjoint(l, ma, mb) {
+		return nil, false
+	}
+	if gcdMisses(ma, mb) {
+		return nil, false
+	}
+	return bothWays(a.ID, b.ID), true
+}
+
+// conservativePair handles pairs where at least one access is data-dependent
+// (unknown stride). Without code specialization the compiler's points-to
+// information is assumed defeated: the pair aliases regardless of array.
+// With specialization (§4.1), only same-array pairs with overlapping ranges
+// remain dependent.
+func conservativePair(l *ir.Loop, a, b *ir.Instr) ([]ddg.Edge, bool) {
+	if l.Specialized {
+		if a.Mem.Array != b.Mem.Array {
+			return nil, false
+		}
+		if rangesDisjoint(l, a.Mem, b.Mem) {
+			return nil, false
+		}
+	}
+	return bothWays(a.ID, b.ID), true
+}
+
+// bothWays emits the conservative edge pair: a→b same iteration, b→a next
+// iteration.
+func bothWays(aID, bID int) []ddg.Edge {
+	return []ddg.Edge{
+		{From: aID, To: bID, Distance: 0, Kind: ddg.DepMem, FixedLat: 1},
+		{From: bID, To: aID, Distance: 1, Kind: ddg.DepMem, FixedLat: 1},
+	}
+}
+
+// equalStride resolves the exact dependence distances between two accesses
+// with identical strides. With addresses o_a + s·i and o_b + s·j, the
+// accesses overlap when s·(j−i) ∈ (o_a − o_b − w_b, o_a − o_b + w_a).
+func equalStride(l *ir.Loop, a, b *ir.Instr) ([]ddg.Edge, bool) {
+	ma, mb := a.Mem, b.Mem
+	s := ma.Stride
+	if s == 0 {
+		// Same scalar location every iteration?
+		if overlap1D(ma.Offset, ma.Width, mb.Offset, mb.Width) {
+			return bothWays(a.ID, b.ID), true
+		}
+		return nil, false
+	}
+	if s < 0 {
+		s = -s
+	}
+	var edges []ddg.Edge
+	related := false
+	// Direction a → b: b at iteration i+d touches a's iteration-i data.
+	for _, d := range distRange(ma.Offset-mb.Offset, ma.Width, mb.Width, ma.Stride) {
+		if d < 0 || int64(d) >= l.TripCount {
+			continue
+		}
+		related = true
+		if d <= maxEnumDist {
+			edges = append(edges, ddg.Edge{From: a.ID, To: b.ID, Distance: d, Kind: ddg.DepMem, FixedLat: 1})
+		}
+	}
+	// Direction b → a: a at iteration i+d touches b's iteration-i data
+	// (strictly positive distance; same-iteration order is a before b).
+	for _, d := range distRange(mb.Offset-ma.Offset, mb.Width, ma.Width, ma.Stride) {
+		if d <= 0 || int64(d) >= l.TripCount {
+			continue
+		}
+		related = true
+		if d <= maxEnumDist {
+			edges = append(edges, ddg.Edge{From: b.ID, To: a.ID, Distance: d, Kind: ddg.DepMem, FixedLat: 1})
+		}
+	}
+	return edges, related
+}
+
+// distRange returns the integer values d with stride·d ∈ (diff−wOther, diff+wSelf),
+// i.e. the candidate dependence distances for one direction.
+func distRange(diff int64, wSelf, wOther int, stride int64) []int {
+	if stride == 0 {
+		return nil
+	}
+	lo := diff - int64(wOther) // exclusive
+	hi := diff + int64(wSelf)  // exclusive
+	var out []int
+	// Enumerate d = ceil((lo+1)/stride) .. floor((hi-1)/stride) for
+	// positive stride; handle negative stride by mirroring.
+	s := stride
+	if s < 0 {
+		s = -s
+		lo, hi = -hi, -lo
+	}
+	dLo := floorDiv(lo, s) + 1
+	dHi := floorDiv(hi-1, s)
+	if dHi-dLo >= maxEnumDist*4 {
+		dHi = dLo + maxEnumDist*4 // degenerate tiny-stride case; cap
+	}
+	for d := dLo; d <= dHi; d++ {
+		if s*d > lo && s*d < hi {
+			dd := d
+			if stride < 0 {
+				dd = -d
+			}
+			out = append(out, int(dd))
+		}
+	}
+	return out
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func overlap1D(o1 int64, w1 int, o2 int64, w2 int) bool {
+	return o1 < o2+int64(w2) && o2 < o1+int64(w1)
+}
+
+// rangesDisjoint reports whether the byte ranges the two affine accesses
+// touch over the whole trip count provably never intersect.
+func rangesDisjoint(l *ir.Loop, ma, mb *ir.MemAccess) bool {
+	if ma.Scramble != 0 || mb.Scramble != 0 {
+		return false // scatter covers the whole array
+	}
+	aLo, aHi := accessRange(l, ma)
+	bLo, bHi := accessRange(l, mb)
+	return aHi <= bLo || bHi <= aLo
+}
+
+// accessRange returns [lo, hi) byte offsets touched within the array.
+func accessRange(l *ir.Loop, m *ir.MemAccess) (lo, hi int64) {
+	iters := l.TripCount
+	if m.IndexPeriod > 1 && int64(m.IndexPeriod) < iters {
+		iters = int64(m.IndexPeriod)
+	}
+	first := m.Offset
+	last := m.Offset + m.Stride*(iters-1)
+	lo, hi = first, last
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo, hi + int64(m.Width)
+}
+
+// gcdMisses reports whether the GCD test proves the two access streams never
+// touch the same address: gcd(s_a, s_b) does not divide any value in the
+// overlap window of the offsets.
+func gcdMisses(ma, mb *ir.MemAccess) bool {
+	g := gcd64(abs64(ma.Stride), abs64(mb.Stride))
+	if g == 0 {
+		return false
+	}
+	// Addresses collide iff o_a + s_a·i ∈ (o_b − w_a, o_b + w_b) for some
+	// i, j; a necessary condition is gcd | (o_b − o_a + k) for some k in
+	// the width window.
+	diff := mb.Offset - ma.Offset
+	for k := int64(-(int64(ma.Width) - 1)); k <= int64(mb.Width)-1; k++ {
+		if (diff+k)%g == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

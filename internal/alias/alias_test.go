@@ -1,0 +1,265 @@
+package alias
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/ir"
+)
+
+// loopWith builds a loop from a body function for dependence tests.
+func loopWith(t *testing.T, trip int64, body func(b *ir.Builder)) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("t", trip)
+	body(b)
+	l, err := b.BuildErr()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return l
+}
+
+// edgeSet summarises edges as (from,to,dist) triples.
+func edgeSet(r *Result) map[[3]int]bool {
+	m := map[[3]int]bool{}
+	for _, e := range r.Edges {
+		m[[3]int{e.From, e.To, e.Distance}] = true
+	}
+	return m
+}
+
+func TestDistinctArraysIndependent(t *testing.T) {
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		d := b.Array("d", 4096, 4)
+		v := b.Load("ld", a, 0, 4, 4)
+		b.Store("st", d, 0, 4, 4, v)
+	})
+	r := Analyze(l)
+	if len(r.Edges) != 0 {
+		t.Errorf("edges between distinct arrays: %v", r.Edges)
+	}
+	if len(r.Sets) != 2 {
+		t.Errorf("sets = %d, want 2 singletons", len(r.Sets))
+	}
+}
+
+func TestSameAddressSameIteration(t *testing.T) {
+	// load t[i]; store t[i]: distance-0 dependence, no carried edge.
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		v := b.Load("ld", a, 0, 4, 4)
+		b.Store("st", a, 0, 4, 4, v)
+	})
+	r := Analyze(l)
+	es := edgeSet(r)
+	if !es[[3]int{0, 1, 0}] {
+		t.Errorf("missing load→store distance-0 edge; got %v", r.Edges)
+	}
+	if es[[3]int{1, 0, 1}] {
+		t.Errorf("spurious store→load carried edge for disjoint-per-iteration addresses")
+	}
+	if len(r.Sets) != 1 {
+		t.Errorf("load and store of the same stream must share a set")
+	}
+}
+
+func TestIIRRecurrenceDistanceOne(t *testing.T) {
+	// store y[i]; load y[i-1]: store→load at distance 1.
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		y := b.Array("y", 4096, 4)
+		v := b.Load("ld", y, -4, 4, 4)
+		b.Store("st", y, 0, 4, 4, v)
+	})
+	r := Analyze(l)
+	es := edgeSet(r)
+	if !es[[3]int{1, 0, 1}] {
+		t.Errorf("missing store→load distance-1 edge; got %v", r.Edges)
+	}
+}
+
+func TestScalarCellBothWays(t *testing.T) {
+	// Stride-0 load/store of the same cell: intra-iteration plus carried.
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		s := b.Array("s", 64, 4)
+		v := b.Load("ld", s, 0, 0, 4)
+		b.Store("st", s, 0, 0, 4, v)
+	})
+	r := Analyze(l)
+	es := edgeSet(r)
+	if !es[[3]int{0, 1, 0}] || !es[[3]int{1, 0, 1}] {
+		t.Errorf("scalar cell needs both d0 and carried d1 edges; got %v", r.Edges)
+	}
+}
+
+func TestLoadLoadIgnored(t *testing.T) {
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		b.Load("ld1", a, 0, 4, 4)
+		b.Load("ld2", a, 0, 4, 4)
+	})
+	r := Analyze(l)
+	if len(r.Edges) != 0 {
+		t.Errorf("load-load pair generated edges: %v", r.Edges)
+	}
+	if len(r.Sets) != 2 {
+		t.Errorf("load-load pair must not merge sets")
+	}
+}
+
+func TestDisjointRangesIndependent(t *testing.T) {
+	// Two halves of one array never overlap within the trip count.
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		a := b.Array("a", 8192, 4)
+		v := b.Load("ld", a, 0, 4, 4)
+		b.Store("st", a, 4096, 4, 4, v)
+	})
+	r := Analyze(l)
+	if len(r.Edges) != 0 {
+		t.Errorf("provably disjoint halves generated edges: %v", r.Edges)
+	}
+}
+
+func TestGCDTestProvesIndependence(t *testing.T) {
+	// Store to even words, load from odd words: same range, never collide.
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		a := b.Array("a", 8192, 4)
+		v := b.Load("ld", a, 4, 8, 4)
+		b.Store("st", a, 0, 8, 4, v)
+	})
+	r := Analyze(l)
+	if len(r.Edges) != 0 {
+		t.Errorf("GCD-disjoint streams generated edges: %v", r.Edges)
+	}
+}
+
+func TestUnknownAliasConservative(t *testing.T) {
+	// A scrambled load aliases a store to a *different* array when the
+	// loop is not specialized.
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		tab := b.Array("tab", 4096, 4)
+		d := b.Array("d", 4096, 4)
+		v := b.LoadIndexed("gather", tab, 4, 7, ir.NoReg)
+		b.Store("st", d, 0, 4, 4, v)
+	})
+	r := Analyze(l)
+	if len(r.Sets) != 1 {
+		t.Errorf("conservative analysis should merge the gather and the store; sets = %d", len(r.Sets))
+	}
+}
+
+func TestSpecializationNarrowsAliasing(t *testing.T) {
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		tab := b.Array("tab", 4096, 4)
+		d := b.Array("d", 4096, 4)
+		v := b.LoadIndexed("gather", tab, 4, 7, ir.NoReg)
+		b.Store("st", d, 0, 4, 4, v)
+	})
+	l.Specialized = true
+	r := Analyze(l)
+	if len(r.Sets) != 2 {
+		t.Errorf("specialized loop should split the sets; sets = %d", len(r.Sets))
+	}
+}
+
+func TestSpecializationKeepsRealDependences(t *testing.T) {
+	// Histogram: scrambled load and store on the SAME array stay dependent
+	// even under specialization.
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		h := b.Array("h", 4096, 4)
+		v := b.LoadIndexed("ld", h, 4, 7, ir.NoReg)
+		b.StoreIndexed("st", h, 4, 7, v)
+	})
+	l.Specialized = true
+	r := Analyze(l)
+	if len(r.Sets) != 1 {
+		t.Errorf("histogram must stay one set under specialization")
+	}
+	if !r.SetHasLoadAndStore(l, 0) {
+		t.Errorf("histogram set should contain both a load and a store")
+	}
+}
+
+func TestSetHasLoadAndStore(t *testing.T) {
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		d := b.Array("d", 4096, 4)
+		v := b.Load("ld", a, 0, 4, 4)
+		b.Store("st", d, 0, 4, 4, v)
+	})
+	r := Analyze(l)
+	for s := range r.Sets {
+		if r.SetHasLoadAndStore(l, s) {
+			t.Errorf("singleton set %d reported load+store", s)
+		}
+	}
+}
+
+func TestSetOfMapsMemRefsOnly(t *testing.T) {
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		v := b.Load("ld", a, 0, 4, 4)
+		x := b.Int("op", v)
+		b.Store("st", a, 0, 4, 4, x)
+	})
+	r := Analyze(l)
+	if r.SetOf[1] != -1 {
+		t.Errorf("ALU op assigned to set %d", r.SetOf[1])
+	}
+	if r.SetOf[0] < 0 || r.SetOf[2] < 0 {
+		t.Errorf("memory refs missing set assignment")
+	}
+}
+
+func TestEdgesFeedDDG(t *testing.T) {
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		s := b.Array("s", 64, 4)
+		v := b.Load("ld", s, 0, 0, 4)
+		x := b.Int("f", v)
+		b.Store("st", s, 0, 0, 4, x)
+	})
+	r := Analyze(l)
+	g := ddg.Build(l, ddg.DefaultLatencies(6), r.Edges)
+	if got := g.RecMII(); got != 8 {
+		t.Errorf("RecMII through alias edges = %d, want 8", got)
+	}
+}
+
+func TestOverlappingWidthsDetected(t *testing.T) {
+	// 1-byte store into the middle of a 4-byte load's element.
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		v := b.Load("ld", a, 0, 4, 4)
+		b.Store("st", a, 2, 4, 1, v)
+	})
+	r := Analyze(l)
+	if len(r.Sets) != 1 {
+		t.Errorf("sub-word overlap missed: sets = %d", len(r.Sets))
+	}
+}
+
+func TestNegativeStridePair(t *testing.T) {
+	// Forward store, backward load crossing it: dependence must exist.
+	l := loopWith(t, 64, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		v := b.Load("ld", a, 252, -4, 4)
+		b.Store("st", a, 0, 4, 4, v)
+	})
+	r := Analyze(l)
+	if len(r.Sets) != 1 {
+		t.Errorf("crossing streams missed: sets = %d", len(r.Sets))
+	}
+}
+
+func TestPeriodicAccessConservative(t *testing.T) {
+	// A periodic (re-walked) load overlapping a store range must depend.
+	l := loopWith(t, 100, func(b *ir.Builder) {
+		a := b.Array("a", 256, 4)
+		v := b.LoadPeriodic("ld", a, 0, 4, 4, 16)
+		b.Store("st", a, 0, 4, 4, v)
+	})
+	r := Analyze(l)
+	if len(r.Sets) != 1 {
+		t.Errorf("periodic overlap missed")
+	}
+}

@@ -1,0 +1,296 @@
+// Package arch describes the clustered VLIW machine that the scheduler
+// targets and the simulator models: cluster count and functional-unit mix,
+// the memory hierarchy (L0 buffers, unified L1, L2), inter-cluster
+// communication buses, and the compiler hint vocabulary attached to memory
+// instructions (access, mapping and prefetch hints from the paper's §3.2).
+package arch
+
+import "fmt"
+
+// Unbounded marks an effectively infinite number of L0 buffer entries.
+// Figure 5 of the paper includes an "unbounded entries" configuration.
+const Unbounded = 1 << 20
+
+// AccessHint tells the hardware whether and how a memory instruction probes
+// the L0 buffer of the cluster it executes on (§3.2, first hint table).
+type AccessHint uint8
+
+const (
+	// NoAccess bypasses L0 entirely: the instruction goes straight to L1
+	// and does not allocate data in the buffer.
+	NoAccess AccessHint = iota
+	// SeqAccess probes L0 first and forwards to L1 only on a miss.
+	// Only loads may be SEQ, and only when the cluster's L1 bus is
+	// guaranteed free on the following cycle.
+	SeqAccess
+	// ParAccess probes L0 and L1 in parallel; the L1 reply is discarded
+	// on an L0 hit.
+	ParAccess
+)
+
+func (h AccessHint) String() string {
+	switch h {
+	case NoAccess:
+		return "NO_ACCESS"
+	case SeqAccess:
+		return "SEQ_ACCESS"
+	case ParAccess:
+		return "PAR_ACCESS"
+	}
+	return fmt.Sprintf("AccessHint(%d)", uint8(h))
+}
+
+// MapHint tells the hardware how an L1 block is split into subblocks when a
+// load fills the L0 buffer (§3.2, second hint table).
+type MapHint uint8
+
+const (
+	// LinearMap caches one subblock of consecutive bytes in the L0 buffer
+	// of the cluster where the load executed.
+	LinearMap MapHint = iota
+	// InterleavedMap splits the whole L1 block into N subblocks at the
+	// access-width granularity and spreads them over consecutive
+	// clusters, starting with the cluster where the load executed.
+	InterleavedMap
+)
+
+func (h MapHint) String() string {
+	switch h {
+	case LinearMap:
+		return "LINEAR_MAP"
+	case InterleavedMap:
+		return "INTERLEAVED_MAP"
+	}
+	return fmt.Sprintf("MapHint(%d)", uint8(h))
+}
+
+// PrefetchHint triggers an automatic next/previous-subblock prefetch when the
+// last/first element of a cached subblock is touched (§3.2, third hint table).
+type PrefetchHint uint8
+
+const (
+	// NoPrefetch disables automatic prefetching for the instruction.
+	NoPrefetch PrefetchHint = iota
+	// Positive prefetches the next subblock when the last element of a
+	// cached subblock is accessed.
+	Positive
+	// Negative prefetches the previous subblock when the first element of
+	// a cached subblock is accessed.
+	Negative
+)
+
+func (h PrefetchHint) String() string {
+	switch h {
+	case NoPrefetch:
+		return "NO_PREFETCH"
+	case Positive:
+		return "POSITIVE"
+	case Negative:
+		return "NEGATIVE"
+	}
+	return fmt.Sprintf("PrefetchHint(%d)", uint8(h))
+}
+
+// Hints is the full hint bundle the compiler attaches to one memory
+// instruction.
+type Hints struct {
+	Access   AccessHint
+	Map      MapHint
+	Prefetch PrefetchHint
+	// PrefetchDistance is the number of subblocks ahead that POSITIVE /
+	// NEGATIVE prefetches run. The paper uses 1 and evaluates 2 as an
+	// extension for small-II loops (§5.2).
+	PrefetchDistance int
+	// Primary marks the primary instance of a replicated store under
+	// partial store replication (PSR); non-primary instances only
+	// invalidate their local L0 entry.
+	Primary bool
+}
+
+func (h Hints) String() string {
+	s := h.Access.String()
+	if h.Access != NoAccess {
+		s += "|" + h.Map.String()
+		if h.Prefetch != NoPrefetch {
+			s += "|" + h.Prefetch.String()
+			if h.PrefetchDistance > 1 {
+				s += fmt.Sprintf("(d=%d)", h.PrefetchDistance)
+			}
+		}
+	}
+	return s
+}
+
+// UnitKind identifies a functional-unit class inside a cluster.
+type UnitKind uint8
+
+const (
+	// UnitInt executes integer ALU operations.
+	UnitInt UnitKind = iota
+	// UnitMem executes loads, stores, prefetches and buffer invalidates.
+	UnitMem
+	// UnitFP executes floating-point operations.
+	UnitFP
+	numUnitKinds
+)
+
+// NumUnitKinds is the number of distinct functional-unit classes.
+const NumUnitKinds = int(numUnitKinds)
+
+func (k UnitKind) String() string {
+	switch k {
+	case UnitInt:
+		return "INT"
+	case UnitMem:
+		return "MEM"
+	case UnitFP:
+		return "FP"
+	}
+	return fmt.Sprintf("UnitKind(%d)", uint8(k))
+}
+
+// Config describes one machine configuration. The zero value is not usable;
+// start from MICRO36Config and modify.
+type Config struct {
+	// Clusters is the number of lock-step clusters.
+	Clusters int
+	// UnitsPerCluster gives, for each UnitKind, how many units of that
+	// kind each cluster has.
+	UnitsPerCluster [NumUnitKinds]int
+
+	// L0Entries is the number of subblock entries in each cluster's L0
+	// buffer. 0 disables the buffers (the baseline architecture);
+	// Unbounded models infinite capacity.
+	L0Entries int
+	// L0Latency is the load-use latency of an L0 hit, in cycles.
+	L0Latency int
+	// L0SubblockBytes is the L0 line size. The paper fixes it to
+	// L1BlockBytes / Clusters.
+	L0SubblockBytes int
+	// L0Ports is the number of read/write ports per L0 buffer.
+	L0Ports int
+
+	// L1Latency is the total load-use latency of the unified L1 data
+	// cache (request/response wire time plus access time).
+	L1Latency int
+	// L1SizeBytes, L1BlockBytes and L1Assoc describe the unified L1.
+	L1SizeBytes  int
+	L1BlockBytes int
+	L1Assoc      int
+	// InterleavePenalty is the extra latency paid when a block is
+	// shuffled through the shift/interleave logic on an interleaved fill.
+	InterleavePenalty int
+
+	// L2Latency is the additional latency of an L1 miss. The paper's L2
+	// always hits.
+	L2Latency int
+
+	// CommBuses is the number of inter-cluster register-to-register
+	// communication buses; CommLatency their latency in cycles.
+	CommBuses   int
+	CommLatency int
+}
+
+// MICRO36Config returns the configuration of Table 2 of the paper: four
+// lock-step clusters with (1 INT + 1 MEM + 1 FP) each, 1-cycle fully
+// associative L0 buffers with 8-byte subblocks and 2 ports, a 6-cycle 8 KB
+// 2-way 32-byte-block unified L1 (+1 cycle shift/interleave), a 10-cycle
+// always-hit L2 and 4 inter-cluster buses of 2-cycle latency.
+//
+// L0Entries is left for the caller to set (Figure 5 sweeps 4/8/16/unbounded);
+// it defaults to 8, the paper's headline configuration.
+func MICRO36Config() Config {
+	return Config{
+		Clusters:          4,
+		UnitsPerCluster:   [NumUnitKinds]int{UnitInt: 1, UnitMem: 1, UnitFP: 1},
+		L0Entries:         8,
+		L0Latency:         1,
+		L0SubblockBytes:   8,
+		L0Ports:           2,
+		L1Latency:         6,
+		L1SizeBytes:       8 * 1024,
+		L1BlockBytes:      32,
+		L1Assoc:           2,
+		InterleavePenalty: 1,
+		L2Latency:         10,
+		CommBuses:         4,
+		CommLatency:       2,
+	}
+}
+
+// WithL0Entries returns a copy of c with the L0 buffer capacity replaced.
+func (c Config) WithL0Entries(entries int) Config {
+	c.L0Entries = entries
+	return c
+}
+
+// WithClusters returns a copy of c scaled to a different cluster count,
+// keeping total functional-unit mix per cluster and re-deriving the L0
+// subblock size (an L1 block always splits into one subblock per cluster,
+// §3). The paper evaluates 4 clusters but states the techniques extend to
+// any count; this constructor is what the scaling experiment sweeps.
+func (c Config) WithClusters(n int) Config {
+	c.Clusters = n
+	if c.L0SubblockBytes != 0 {
+		c.L0SubblockBytes = c.L1BlockBytes / n
+	}
+	return c
+}
+
+// HasL0 reports whether the configuration includes L0 buffers at all.
+func (c Config) HasL0() bool { return c.L0Entries > 0 }
+
+// SubblocksPerBlock is the number of L0 subblocks one L1 block splits into.
+func (c Config) SubblocksPerBlock() int {
+	if c.L0SubblockBytes <= 0 {
+		return 0
+	}
+	return c.L1BlockBytes / c.L0SubblockBytes
+}
+
+// Validate reports a descriptive error if the configuration is internally
+// inconsistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Clusters <= 0:
+		return fmt.Errorf("arch: Clusters must be positive, got %d", c.Clusters)
+	case c.L0Entries < 0:
+		return fmt.Errorf("arch: L0Entries must be >= 0, got %d", c.L0Entries)
+	case c.L0Latency <= 0:
+		return fmt.Errorf("arch: L0Latency must be positive, got %d", c.L0Latency)
+	case c.L1Latency <= 0:
+		return fmt.Errorf("arch: L1Latency must be positive, got %d", c.L1Latency)
+	case c.L1BlockBytes <= 0 || c.L1BlockBytes&(c.L1BlockBytes-1) != 0:
+		return fmt.Errorf("arch: L1BlockBytes must be a positive power of two, got %d", c.L1BlockBytes)
+	case c.L1SizeBytes <= 0 || c.L1SizeBytes%c.L1BlockBytes != 0:
+		return fmt.Errorf("arch: L1SizeBytes (%d) must be a positive multiple of L1BlockBytes (%d)", c.L1SizeBytes, c.L1BlockBytes)
+	case c.L1Assoc <= 0:
+		return fmt.Errorf("arch: L1Assoc must be positive, got %d", c.L1Assoc)
+	case c.L2Latency < 0:
+		return fmt.Errorf("arch: L2Latency must be >= 0, got %d", c.L2Latency)
+	case c.CommBuses <= 0:
+		return fmt.Errorf("arch: CommBuses must be positive, got %d", c.CommBuses)
+	case c.CommLatency <= 0:
+		return fmt.Errorf("arch: CommLatency must be positive, got %d", c.CommLatency)
+	}
+	if c.HasL0() {
+		switch {
+		case c.L0SubblockBytes <= 0 || c.L0SubblockBytes&(c.L0SubblockBytes-1) != 0:
+			return fmt.Errorf("arch: L0SubblockBytes must be a positive power of two, got %d", c.L0SubblockBytes)
+		case c.L0SubblockBytes*c.Clusters != c.L1BlockBytes:
+			return fmt.Errorf("arch: L0SubblockBytes (%d) * Clusters (%d) must equal L1BlockBytes (%d)",
+				c.L0SubblockBytes, c.Clusters, c.L1BlockBytes)
+		case c.L0Ports <= 0:
+			return fmt.Errorf("arch: L0Ports must be positive, got %d", c.L0Ports)
+		}
+	}
+	for k := 0; k < NumUnitKinds; k++ {
+		if c.UnitsPerCluster[k] < 0 {
+			return fmt.Errorf("arch: UnitsPerCluster[%s] must be >= 0, got %d", UnitKind(k), c.UnitsPerCluster[k])
+		}
+	}
+	if c.UnitsPerCluster[UnitMem] == 0 {
+		return fmt.Errorf("arch: each cluster needs at least one MEM unit")
+	}
+	return nil
+}

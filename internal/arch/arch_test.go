@@ -1,0 +1,139 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMICRO36ConfigMatchesTable2(t *testing.T) {
+	cfg := MICRO36Config()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Table 2 of the paper.
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"Clusters", cfg.Clusters, 4},
+		{"IntUnits", cfg.UnitsPerCluster[UnitInt], 1},
+		{"MemUnits", cfg.UnitsPerCluster[UnitMem], 1},
+		{"FPUnits", cfg.UnitsPerCluster[UnitFP], 1},
+		{"L0Latency", cfg.L0Latency, 1},
+		{"L0SubblockBytes", cfg.L0SubblockBytes, 8},
+		{"L0Ports", cfg.L0Ports, 2},
+		{"L1Latency", cfg.L1Latency, 6},
+		{"L1SizeBytes", cfg.L1SizeBytes, 8192},
+		{"L1BlockBytes", cfg.L1BlockBytes, 32},
+		{"L1Assoc", cfg.L1Assoc, 2},
+		{"InterleavePenalty", cfg.InterleavePenalty, 1},
+		{"L2Latency", cfg.L2Latency, 10},
+		{"CommBuses", cfg.CommBuses, 4},
+		{"CommLatency", cfg.CommLatency, 2},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestSubblocksPerBlock(t *testing.T) {
+	cfg := MICRO36Config()
+	if got := cfg.SubblocksPerBlock(); got != 4 {
+		t.Errorf("SubblocksPerBlock = %d, want 4 (one per cluster)", got)
+	}
+}
+
+func TestWithL0Entries(t *testing.T) {
+	cfg := MICRO36Config().WithL0Entries(16)
+	if cfg.L0Entries != 16 {
+		t.Errorf("L0Entries = %d, want 16", cfg.L0Entries)
+	}
+	if !cfg.HasL0() {
+		t.Errorf("HasL0 = false with 16 entries")
+	}
+	if MICRO36Config().WithL0Entries(0).HasL0() {
+		t.Errorf("HasL0 = true with 0 entries")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero clusters", func(c *Config) { c.Clusters = 0 }},
+		{"negative entries", func(c *Config) { c.L0Entries = -1 }},
+		{"zero L0 latency", func(c *Config) { c.L0Latency = 0 }},
+		{"zero L1 latency", func(c *Config) { c.L1Latency = 0 }},
+		{"non-power-of-two block", func(c *Config) { c.L1BlockBytes = 24 }},
+		{"size not multiple of block", func(c *Config) { c.L1SizeBytes = 1000 }},
+		{"zero assoc", func(c *Config) { c.L1Assoc = 0 }},
+		{"negative L2", func(c *Config) { c.L2Latency = -1 }},
+		{"zero buses", func(c *Config) { c.CommBuses = 0 }},
+		{"zero comm latency", func(c *Config) { c.CommLatency = 0 }},
+		{"subblock mismatch", func(c *Config) { c.L0SubblockBytes = 16 }},
+		{"zero ports", func(c *Config) { c.L0Ports = 0 }},
+		{"no mem units", func(c *Config) { c.UnitsPerCluster[UnitMem] = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := MICRO36Config()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestHintStrings(t *testing.T) {
+	if NoAccess.String() != "NO_ACCESS" || SeqAccess.String() != "SEQ_ACCESS" || ParAccess.String() != "PAR_ACCESS" {
+		t.Errorf("access hint names wrong: %v %v %v", NoAccess, SeqAccess, ParAccess)
+	}
+	if LinearMap.String() != "LINEAR_MAP" || InterleavedMap.String() != "INTERLEAVED_MAP" {
+		t.Errorf("map hint names wrong")
+	}
+	if NoPrefetch.String() != "NO_PREFETCH" || Positive.String() != "POSITIVE" || Negative.String() != "NEGATIVE" {
+		t.Errorf("prefetch hint names wrong")
+	}
+}
+
+func TestHintsBundleString(t *testing.T) {
+	h := Hints{Access: SeqAccess, Map: InterleavedMap, Prefetch: Positive, PrefetchDistance: 2}
+	s := h.String()
+	for _, want := range []string{"SEQ_ACCESS", "INTERLEAVED_MAP", "POSITIVE", "d=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Hints.String() = %q, missing %q", s, want)
+		}
+	}
+	// NO_ACCESS suppresses mapping/prefetch detail.
+	if s := (Hints{Access: NoAccess, Prefetch: Positive}).String(); s != "NO_ACCESS" {
+		t.Errorf("NO_ACCESS bundle = %q, want bare NO_ACCESS", s)
+	}
+}
+
+func TestUnitKindString(t *testing.T) {
+	if UnitInt.String() != "INT" || UnitMem.String() != "MEM" || UnitFP.String() != "FP" {
+		t.Errorf("unit kind names wrong")
+	}
+}
+
+func TestWithClusters(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		cfg := MICRO36Config().WithClusters(n)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("WithClusters(%d): %v", n, err)
+		}
+		if cfg.SubblocksPerBlock() != n {
+			t.Errorf("WithClusters(%d): %d subblocks per block, want one per cluster",
+				n, cfg.SubblocksPerBlock())
+		}
+	}
+	// Without buffers the subblock stays untouched.
+	cfg := MICRO36Config().WithL0Entries(0)
+	cfg.L0SubblockBytes = 0
+	if got := cfg.WithClusters(2).L0SubblockBytes; got != 0 {
+		t.Errorf("bufferless WithClusters set subblock %d", got)
+	}
+}

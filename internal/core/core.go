@@ -1,0 +1,141 @@
+// Package core is the top-level API of the reproduction: it ties the
+// clustered modulo scheduler (the paper's compiler contribution) to the
+// cycle-level machine models, so a caller can build a loop, compile it for
+// an architecture, execute it, and compare architectures — the workflow
+// every example and experiment uses.
+//
+// The paper's primary contribution — flexible compiler-managed L0 buffers —
+// lives in the interplay of three pieces this package composes:
+//
+//   - internal/sched implements §4.3: slack-driven selection of the loads
+//     that use the buffers, coherence treatment of memory-dependent sets
+//     (NL0 / 1C / PSR), hint assignment and prefetch insertion;
+//   - internal/mem implements §3: the per-cluster L0 buffers with linear and
+//     interleaved subblock mapping, automatic prefetch triggers, and the
+//     write-through interaction with the unified L1;
+//   - internal/vliw executes schedules in lock-step and charges stall cycles
+//     whenever data arrives later than the compiler assumed.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/vliw"
+)
+
+// Program is a compiled loop bound to the machine that will execute it.
+type Program struct {
+	Schedule *sched.Schedule
+	Config   arch.Config
+	// Factor is the unroll factor step 1 chose.
+	Factor int
+}
+
+// Run is the outcome of executing a Program.
+type Run struct {
+	Cycles   int64
+	Compute  int64
+	Stall    int64
+	MemStats mem.Stats
+}
+
+// CyclesPerIteration returns the average cycles per original-loop iteration.
+func (r *Run) CyclesPerIteration(p *Program) float64 {
+	iters := p.Schedule.Loop.TripCount * int64(p.Factor)
+	if iters == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(iters)
+}
+
+// Compile runs the full §4.3 pipeline (unroll choice, modulo scheduling,
+// hint assignment, prefetch insertion) for the given machine. Pass a config
+// with L0Entries == 0 to compile for the plain clustered baseline.
+func Compile(loop *ir.Loop, cfg arch.Config, opts sched.Options) (*Program, error) {
+	opts.UseL0 = cfg.HasL0()
+	c, err := sched.Pipeline(loop, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Schedule: c.Schedule, Config: cfg, Factor: c.Factor}, nil
+}
+
+// Execute runs the program once against a fresh memory hierarchy. Arrays
+// referenced by the loop must have base addresses assigned (see
+// AssignAddresses).
+func Execute(p *Program) (*Run, error) {
+	sys := mem.NewSystem(p.Config)
+	res, err := vliw.Run(p.Schedule, sys)
+	if err != nil {
+		return nil, err
+	}
+	sys.LoopEnd()
+	return &Run{
+		Cycles:   res.TotalCycles,
+		Compute:  res.ComputeCycles,
+		Stall:    res.StallCycles,
+		MemStats: sys.Stats,
+	}, nil
+}
+
+// AssignAddresses gives every array in the loop a distinct base address
+// starting at 64 KiB, returning the loop for chaining.
+func AssignAddresses(loop *ir.Loop) *ir.Loop {
+	base := int64(1 << 16)
+	seen := map[*ir.Array]bool{}
+	for _, in := range loop.Instrs {
+		if in.Mem == nil || seen[in.Mem.Array] {
+			continue
+		}
+		seen[in.Mem.Array] = true
+		in.Mem.Array.Base = base
+		base += ((in.Mem.Array.SizeBytes + 63) &^ 63) + 96
+	}
+	return loop
+}
+
+// Comparison holds a baseline-vs-L0 measurement for one loop.
+type Comparison struct {
+	Baseline *Run
+	WithL0   *Run
+	BaseProg *Program
+	L0Prog   *Program
+}
+
+// Speedup returns baseline cycles / L0 cycles.
+func (c *Comparison) Speedup() float64 {
+	if c.WithL0.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Baseline.Cycles) / float64(c.WithL0.Cycles)
+}
+
+// Compare compiles and runs the loop on the baseline (no L0) and on the
+// L0-buffer architecture described by cfg, using fresh copies of the loop so
+// the two compilations do not interfere.
+func Compare(loop *ir.Loop, cfg arch.Config, opts sched.Options) (*Comparison, error) {
+	if !cfg.HasL0() {
+		return nil, fmt.Errorf("core: Compare needs a config with L0 buffers (got %d entries)", cfg.L0Entries)
+	}
+	baseProg, err := Compile(loop.Clone(), cfg.WithL0Entries(0), opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline compile: %w", err)
+	}
+	l0Prog, err := Compile(loop.Clone(), cfg, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: L0 compile: %w", err)
+	}
+	baseRun, err := Execute(baseProg)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline run: %w", err)
+	}
+	l0Run, err := Execute(l0Prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: L0 run: %w", err)
+	}
+	return &Comparison{Baseline: baseRun, WithL0: l0Run, BaseProg: baseProg, L0Prog: l0Prog}, nil
+}

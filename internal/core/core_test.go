@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/sched"
+)
+
+func iirLoop() *ir.Loop {
+	b := ir.NewBuilder("iir", 1024)
+	y := b.Array("y", 8192, 4)
+	x := b.Array("x", 8192, 4)
+	p := b.Load("ld_p", y, -4, 4, 4)
+	v := b.Load("ld_x", x, 0, 4, 4)
+	s := b.Int("mix", p, v)
+	b.Store("st", y, 0, 4, 4, s)
+	return AssignAddresses(b.Build())
+}
+
+func TestCompileSetsUseL0FromConfig(t *testing.T) {
+	p, err := Compile(iirLoop(), arch.MICRO36Config().WithL0Entries(0), sched.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	for i := range p.Schedule.Placed {
+		if p.Schedule.Placed[i].UseL0 {
+			t.Errorf("baseline compile used L0")
+		}
+	}
+}
+
+func TestCompareRecurrenceLoop(t *testing.T) {
+	c, err := Compare(iirLoop(), arch.MICRO36Config(), sched.Options{})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if s := c.Speedup(); s <= 1.2 {
+		t.Errorf("speedup = %.2f, want > 1.2 for a memory recurrence", s)
+	}
+	if c.L0Prog.Schedule.II >= c.BaseProg.Schedule.II {
+		t.Errorf("L0 II %d not below baseline II %d", c.L0Prog.Schedule.II, c.BaseProg.Schedule.II)
+	}
+	if c.WithL0.MemStats.L0Hits == 0 {
+		t.Errorf("no L0 hits recorded")
+	}
+}
+
+func TestCompareRejectsNoL0Config(t *testing.T) {
+	if _, err := Compare(iirLoop(), arch.MICRO36Config().WithL0Entries(0), sched.Options{}); err == nil {
+		t.Errorf("Compare accepted a config without buffers")
+	}
+}
+
+func TestExecuteRequiresAddresses(t *testing.T) {
+	b := ir.NewBuilder("na", 16)
+	a := b.Array("a", 64, 4)
+	v := b.Load("ld", a, 0, 4, 4)
+	b.Int("op", v)
+	p, err := Compile(b.Build(), arch.MICRO36Config(), sched.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if _, err := Execute(p); err == nil {
+		t.Errorf("Execute accepted unassigned array bases")
+	}
+}
+
+func TestCyclesPerIteration(t *testing.T) {
+	p, err := Compile(iirLoop(), arch.MICRO36Config(), sched.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	r, err := Execute(p)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	cpi := r.CyclesPerIteration(p)
+	if cpi <= 0 || cpi > 100 {
+		t.Errorf("cycles/iteration = %v out of range", cpi)
+	}
+}
+
+func ExampleCompare() {
+	b := ir.NewBuilder("iir", 1024)
+	y := b.Array("y", 8192, 4)
+	x := b.Array("x", 8192, 4)
+	prev := b.Load("ld_p", y, -4, 4, 4)
+	v := b.Load("ld_x", x, 0, 4, 4)
+	s := b.Int("mix", prev, v)
+	b.Store("st", y, 0, 4, 4, s)
+	loop := AssignAddresses(b.Build())
+
+	cmp, err := Compare(loop, arch.MICRO36Config(), sched.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("II reduced:", cmp.L0Prog.Schedule.II < cmp.BaseProg.Schedule.II)
+	fmt.Println("faster with L0:", cmp.Speedup() > 1)
+	// Output:
+	// II reduced: true
+	// faster with L0: true
+}

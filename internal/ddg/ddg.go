@@ -1,0 +1,409 @@
+// Package ddg builds and analyses the data-dependence graph of one loop:
+// register flow edges (including loop-carried recurrences), externally
+// supplied memory-dependence edges, the resource-constrained and
+// recurrence-constrained minimum initiation intervals (ResMII / RecMII), and
+// the Estart/Lstart/slack values the scheduler uses to rank instruction
+// criticality (§4.3 step ➋).
+//
+// Edge latencies of register edges depend on the producer's assigned latency
+// (a load scheduled with the L0 latency propagates a shorter edge than one
+// scheduled with the L1 latency), so the graph holds a mutable per-producer
+// latency table that the scheduler updates as it commits decisions.
+package ddg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+)
+
+// DepKind distinguishes the source of a dependence edge.
+type DepKind uint8
+
+const (
+	// DepReg is a register true dependence (producer → consumer).
+	DepReg DepKind = iota
+	// DepMem is a memory dependence supplied by alias analysis.
+	DepMem
+)
+
+func (k DepKind) String() string {
+	switch k {
+	case DepReg:
+		return "reg"
+	case DepMem:
+		return "mem"
+	}
+	return fmt.Sprintf("DepKind(%d)", uint8(k))
+}
+
+// Edge is one dependence: To must issue no earlier than
+// issue(From) + Latency(From-edge) − II·Distance.
+type Edge struct {
+	From, To int
+	Distance int
+	Kind     DepKind
+	// FixedLat is the edge latency for DepMem edges (issue-order
+	// constraints). DepReg edges take the producer's current latency
+	// from the graph's latency table instead.
+	FixedLat int
+}
+
+// Graph is the dependence graph of one loop.
+type Graph struct {
+	Loop  *ir.Loop
+	Edges []Edge
+	// out and in hold edge indices per node.
+	out, in [][]int
+	// prodLat is the current latency of each instruction's result,
+	// indexed by instruction ID. The scheduler mutates load entries as
+	// it flips instructions between the L0 and L1 latency.
+	prodLat []int
+}
+
+// LatencyFn maps an instruction to the latency of its result. The scheduler
+// supplies one that returns the L0 or L1 latency for loads.
+type LatencyFn func(*ir.Instr) int
+
+// DefaultLatencies returns a LatencyFn using opcode default latencies and
+// the given load latency for every load.
+func DefaultLatencies(loadLat int) LatencyFn {
+	return func(in *ir.Instr) int {
+		if in.Op == ir.OpLoad {
+			return loadLat
+		}
+		return in.Op.DefaultLatency()
+	}
+}
+
+// Build constructs the graph: register edges derived from the loop body and
+// memory edges appended from memDeps (typically alias.MemEdges).
+func Build(l *ir.Loop, lat LatencyFn, memDeps []Edge) *Graph {
+	n := len(l.Instrs)
+	g := &Graph{
+		Loop:    l,
+		out:     make([][]int, n),
+		in:      make([][]int, n),
+		prodLat: make([]int, n),
+	}
+	for i, in := range l.Instrs {
+		g.prodLat[i] = lat(in)
+	}
+	defs := make(map[ir.Reg]int, n)
+	for _, in := range l.Instrs {
+		if in.Dst != ir.NoReg {
+			defs[in.Dst] = in.ID
+		}
+	}
+	for _, in := range l.Instrs {
+		for _, s := range in.Srcs {
+			g.addEdge(Edge{From: defs[s], To: in.ID, Distance: 0, Kind: DepReg})
+		}
+		for _, c := range in.Carried {
+			g.addEdge(Edge{From: defs[c.Reg], To: in.ID, Distance: c.Distance, Kind: DepReg})
+		}
+	}
+	for _, e := range memDeps {
+		if e.Kind != DepMem {
+			e.Kind = DepMem
+		}
+		if e.FixedLat == 0 {
+			e.FixedLat = 1
+		}
+		g.addEdge(e)
+	}
+	return g
+}
+
+func (g *Graph) addEdge(e Edge) {
+	idx := len(g.Edges)
+	g.Edges = append(g.Edges, e)
+	g.out[e.From] = append(g.out[e.From], idx)
+	g.in[e.To] = append(g.in[e.To], idx)
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.Loop.Instrs) }
+
+// OutEdges returns the indices of edges leaving node id.
+func (g *Graph) OutEdges(id int) []int { return g.out[id] }
+
+// InEdges returns the indices of edges entering node id.
+func (g *Graph) InEdges(id int) []int { return g.in[id] }
+
+// Latency returns the effective latency of edge index ei.
+func (g *Graph) Latency(ei int) int {
+	e := g.Edges[ei]
+	if e.Kind == DepReg {
+		return g.prodLat[e.From]
+	}
+	return e.FixedLat
+}
+
+// ProducerLatency returns the current result latency of instruction id.
+func (g *Graph) ProducerLatency(id int) int { return g.prodLat[id] }
+
+// SetProducerLatency updates the result latency of instruction id; all its
+// outgoing register edges now use the new value.
+func (g *Graph) SetProducerLatency(id, lat int) { g.prodLat[id] = lat }
+
+// ResMII returns the resource-constrained minimum initiation interval for a
+// machine configuration: for every functional-unit class, the number of loop
+// operations needing that class divided by the machine-wide unit count.
+func (g *Graph) ResMII(cfg arch.Config) int {
+	var need [arch.NumUnitKinds]int
+	for _, in := range g.Loop.Instrs {
+		need[UnitFor(in.Op)]++
+	}
+	mii := 1
+	for k := 0; k < arch.NumUnitKinds; k++ {
+		total := cfg.UnitsPerCluster[k] * cfg.Clusters
+		if need[k] == 0 {
+			continue
+		}
+		if total == 0 {
+			return math.MaxInt32 // unschedulable on this machine
+		}
+		if v := ceilDiv(need[k], total); v > mii {
+			mii = v
+		}
+	}
+	return mii
+}
+
+// UnitFor maps an opcode to the functional-unit class that executes it.
+func UnitFor(op ir.Opcode) arch.UnitKind {
+	switch op {
+	case ir.OpLoad, ir.OpStore, ir.OpPrefetch, ir.OpInval:
+		return arch.UnitMem
+	case ir.OpFPALU, ir.OpFPMul:
+		return arch.UnitFP
+	default:
+		return arch.UnitInt
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// HasPositiveCycle reports whether the constraint graph with edge weights
+// latency − II·distance contains a positive-weight cycle, i.e. whether II is
+// infeasible for the recurrences.
+func (g *Graph) HasPositiveCycle(ii int) bool {
+	n := g.N()
+	dist := make([]int64, n) // longest-path estimates from a virtual source
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for ei, e := range g.Edges {
+			w := int64(g.Latency(ei)) - int64(ii)*int64(e.Distance)
+			if d := dist[e.From] + w; d > dist[e.To] {
+				dist[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	// One more relaxation round: any further improvement implies a
+	// positive cycle.
+	for ei, e := range g.Edges {
+		w := int64(g.Latency(ei)) - int64(ii)*int64(e.Distance)
+		if dist[e.From]+w > dist[e.To] {
+			return true
+		}
+	}
+	return false
+}
+
+// RecMII returns the recurrence-constrained minimum initiation interval: the
+// smallest II for which no positive-weight cycle exists. The search is a
+// linear scan from 1; recurrence cycles in media kernels are short so the
+// answer is small.
+func (g *Graph) RecMII() int {
+	// Upper bound: sum of all edge latencies is always feasible.
+	hi := 1
+	for ei := range g.Edges {
+		hi += g.Latency(ei)
+	}
+	for ii := 1; ii <= hi; ii++ {
+		if !g.HasPositiveCycle(ii) {
+			return ii
+		}
+	}
+	return hi
+}
+
+// MII returns max(ResMII, RecMII).
+func (g *Graph) MII(cfg arch.Config) int {
+	r := g.ResMII(cfg)
+	if rec := g.RecMII(); rec > r {
+		return rec
+	}
+	return r
+}
+
+// Estart returns, for each node, the earliest start cycle consistent with
+// the dependence constraints at initiation interval ii (longest path from a
+// virtual source). II must be feasible (no positive cycles) or the result is
+// clamped after N iterations.
+func (g *Graph) Estart(ii int) []int {
+	n := g.N()
+	est := make([]int64, n)
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for ei, e := range g.Edges {
+			w := int64(g.Latency(ei)) - int64(ii)*int64(e.Distance)
+			if d := est[e.From] + w; d > est[e.To] {
+				est[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make([]int, n)
+	for i, v := range est {
+		if v < 0 {
+			v = 0
+		}
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Lstart returns, for each node, the latest start cycle such that every
+// successor constraint can still be met within the schedule horizon (the
+// maximum Estart). Nodes without successors sit at the horizon.
+func (g *Graph) Lstart(ii int) []int {
+	est := g.Estart(ii)
+	horizon := 0
+	for _, v := range est {
+		if v > horizon {
+			horizon = v
+		}
+	}
+	n := g.N()
+	lst := make([]int64, n)
+	for i := range lst {
+		lst[i] = int64(horizon)
+	}
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for ei, e := range g.Edges {
+			w := int64(g.Latency(ei)) - int64(ii)*int64(e.Distance)
+			if d := lst[e.To] - w; d < lst[e.From] {
+				lst[e.From] = d
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make([]int, n)
+	for i, v := range lst {
+		if v < int64(est[i]) {
+			v = int64(est[i]) // cycles pin critical nodes: no slack
+		}
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Slack returns Lstart − Estart per node at initiation interval ii: the
+// criticality measure of §4.3 (smaller slack = more critical).
+func (g *Graph) Slack(ii int) []int {
+	est := g.Estart(ii)
+	lst := g.Lstart(ii)
+	out := make([]int, g.N())
+	for i := range out {
+		out[i] = lst[i] - est[i]
+	}
+	return out
+}
+
+// CriticalCycle returns one dependence cycle that binds the RecMII (the
+// nodes of a cycle whose latency/distance ratio equals RecMII), or nil when
+// no recurrence constrains the loop. Schedulers and diagnostics use it to
+// explain where a loop's II comes from.
+func (g *Graph) CriticalCycle() []int {
+	rec := g.RecMII()
+	if rec <= 1 {
+		return nil
+	}
+	// At II = RecMII−1 a positive cycle exists; recover one by tracking
+	// predecessors during relaxation and walking the loop.
+	ii := rec - 1
+	n := g.N()
+	dist := make([]int64, n)
+	pred := make([]int, n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	var last int = -1
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for ei, e := range g.Edges {
+			w := int64(g.Latency(ei)) - int64(ii)*int64(e.Distance)
+			if d := dist[e.From] + w; d > dist[e.To] {
+				dist[e.To] = d
+				pred[e.To] = e.From
+				changed = true
+				last = e.To
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	if last == -1 {
+		return nil
+	}
+	// Walk back n steps to land inside the cycle, then collect it.
+	v := last
+	for i := 0; i < n; i++ {
+		v = pred[v]
+	}
+	var cycle []int
+	seen := map[int]bool{}
+	for u := v; !seen[u]; u = pred[u] {
+		seen[u] = true
+		cycle = append(cycle, u)
+	}
+	// Reverse into dependence order.
+	for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+		cycle[i], cycle[j] = cycle[j], cycle[i]
+	}
+	return cycle
+}
+
+// Preds returns the distinct predecessor node IDs of id.
+func (g *Graph) Preds(id int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, ei := range g.in[id] {
+		f := g.Edges[ei].From
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Succs returns the distinct successor node IDs of id.
+func (g *Graph) Succs(id int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, ei := range g.out[id] {
+		t := g.Edges[ei].To
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

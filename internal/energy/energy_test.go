@@ -1,0 +1,48 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestFromStatsZero(t *testing.T) {
+	if e := FromStats(&mem.Stats{}, DefaultParams()); e != 0 {
+		t.Errorf("empty stats energy = %v", e)
+	}
+}
+
+func TestBreakdownMatchesTotal(t *testing.T) {
+	st := &mem.Stats{
+		L0Hits: 100, L0Misses: 10,
+		L1Hits: 50, L1Misses: 5,
+		BusRequests:          60,
+		LinearSubblocks:      12,
+		InterleavedSubblocks: 8,
+	}
+	p := DefaultParams()
+	b := BreakdownFromStats(st, p)
+	if diff := b.Total() - FromStats(st, p); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("breakdown total %v != FromStats %v", b.Total(), FromStats(st, p))
+	}
+}
+
+func TestL0HitsCheaperThanL1(t *testing.T) {
+	p := DefaultParams()
+	// The same 100 loads served by L0 vs by L1 (plus the bus they need).
+	l0Path := &mem.Stats{L0Hits: 100}
+	l1Path := &mem.Stats{L1Hits: 100, BusRequests: 100}
+	if FromStats(l0Path, p) >= FromStats(l1Path, p) {
+		t.Errorf("L0-served loads must cost less: %v vs %v",
+			FromStats(l0Path, p), FromStats(l1Path, p))
+	}
+}
+
+func TestMissesAreExpensive(t *testing.T) {
+	p := DefaultParams()
+	hit := &mem.Stats{L1Hits: 1, BusRequests: 1}
+	miss := &mem.Stats{L1Misses: 1, BusRequests: 1}
+	if FromStats(miss, p) <= FromStats(hit, p) {
+		t.Errorf("an L2 round trip must dominate an L1 hit")
+	}
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ClusterPoint is one cell of the cluster-scaling experiment: execution time
+// of the L0 architecture with n clusters, normalised to the same n-cluster
+// machine without buffers — i.e. how much the buffers buy at each scale.
+type ClusterPoint struct {
+	Bench    string
+	Clusters int
+	Norm     float64
+}
+
+// ClusterSweep evaluates the L0 benefit at different cluster counts (the
+// paper's §3 "can be extended to any number of clusters"). Each count is
+// normalised within itself so the numbers isolate the buffers' contribution
+// rather than the machine width.
+func ClusterSweep(counts []int, entries int) ([][]ClusterPoint, error) {
+	var out [][]ClusterPoint
+	for _, b := range workload.Suite() {
+		var row []ClusterPoint
+		for _, n := range counts {
+			cfg := arch.MICRO36Config().WithClusters(n).WithL0Entries(entries)
+			base, err := RunBenchmark(b, ArchBase, Options{Cfg: cfg})
+			if err != nil {
+				return nil, err
+			}
+			l0, err := RunBenchmark(b, ArchL0, Options{Cfg: cfg})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ClusterPoint{
+				Bench:    b.Name,
+				Clusters: n,
+				Norm:     float64(l0.Total) / float64(base.Total),
+			})
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderClusterSweep prints the sweep.
+func RenderClusterSweep(w io.Writer, points [][]ClusterPoint, counts []int) {
+	t := &stats.Table{Title: "L0 benefit vs cluster count (normalized to the same machine without buffers)"}
+	t.Header = []string{"bench"}
+	for _, n := range counts {
+		t.Header = append(t.Header, stats.F1(float64(n))+" clusters")
+	}
+	means := make([]float64, len(counts))
+	for _, row := range points {
+		cells := []string{row[0].Bench}
+		for i, p := range row {
+			cells = append(cells, stats.F2(p.Norm))
+			means[i] += p.Norm
+		}
+		t.Add(cells...)
+	}
+	cells := []string{"AMEAN"}
+	for i := range counts {
+		cells = append(cells, stats.F2(means[i]/float64(len(points))))
+	}
+	t.Add(cells...)
+	t.Render(w)
+}

@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig5Point is one bar segment of Figure 5: execution time of the L0
+// architecture with a given buffer size, normalised to the no-L0 baseline,
+// split into compute and stall.
+type Fig5Point struct {
+	Bench           string
+	Entries         int
+	NormCompute     float64
+	NormStall       float64
+	NormTotal       float64
+	BaseNormCompute float64
+	BaseNormStall   float64
+}
+
+// Fig5 runs Figure 5: normalised execution time for 4/8/16/unbounded-entry
+// L0 buffers over the whole suite.
+func Fig5(entriesList []int, schedOpts sched.Options) ([][]Fig5Point, error) {
+	suite := workload.Suite()
+	out := make([][]Fig5Point, 0, len(suite))
+	for _, b := range suite {
+		baseRes, err := RunBenchmark(b, ArchBase, Options{Cfg: arch.MICRO36Config()})
+		if err != nil {
+			return nil, err
+		}
+		var row []Fig5Point
+		for _, entries := range entriesList {
+			cfg := arch.MICRO36Config().WithL0Entries(entries)
+			r, err := RunBenchmark(b, ArchL0, Options{Cfg: cfg, Sched: schedOpts})
+			if err != nil {
+				return nil, err
+			}
+			bt := float64(baseRes.Total)
+			row = append(row, Fig5Point{
+				Bench:           b.Name,
+				Entries:         entries,
+				NormCompute:     float64(r.Compute) / bt,
+				NormStall:       float64(r.Stall) / bt,
+				NormTotal:       float64(r.Total) / bt,
+				BaseNormCompute: float64(baseRes.Compute) / bt,
+				BaseNormStall:   float64(baseRes.Stall) / bt,
+			})
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderFig5 prints Figure 5 as a table (one column pair per buffer size).
+func RenderFig5(w io.Writer, points [][]Fig5Point, entriesList []int) {
+	t := &stats.Table{Title: "Figure 5: normalized execution time (compute+stall) vs L0 buffer size"}
+	t.Header = []string{"bench"}
+	for _, e := range entriesList {
+		name := fmt.Sprintf("%d", e)
+		if e >= arch.Unbounded {
+			name = "unbounded"
+		}
+		t.Header = append(t.Header, name+" total", name+" stall")
+	}
+	means := make([]float64, len(entriesList))
+	for _, row := range points {
+		cells := []string{row[0].Bench}
+		for i, p := range row {
+			cells = append(cells, stats.F2(p.NormTotal), stats.F2(p.NormStall))
+			means[i] += p.NormTotal
+		}
+		t.Add(cells...)
+	}
+	cells := []string{"AMEAN"}
+	for i := range entriesList {
+		cells = append(cells, stats.F2(means[i]/float64(len(points))), "")
+	}
+	t.Add(cells...)
+	t.Render(w)
+}
+
+// Fig6Row is one benchmark of Figure 6: subblock mapping mix, L0 hit rate
+// and average unroll factor at 8-entry buffers.
+type Fig6Row struct {
+	Bench           string
+	LinearFrac      float64
+	InterleavedFrac float64
+	HitRate         float64
+	AvgUnroll       float64
+}
+
+// Fig6 measures the mapping/hit-rate/unroll characterisation at the given
+// buffer size (the paper uses 8 entries).
+func Fig6(entries int) ([]Fig6Row, error) {
+	var out []Fig6Row
+	for _, b := range workload.Suite() {
+		cfg := arch.MICRO36Config().WithL0Entries(entries)
+		r, err := RunBenchmark(b, ArchL0, Options{Cfg: cfg})
+		if err != nil {
+			return nil, err
+		}
+		lin, inter := r.L0.LinearSubblocks, r.L0.InterleavedSubblocks
+		total := lin + inter
+		row := Fig6Row{Bench: b.Name, HitRate: r.L0.L0HitRate(), AvgUnroll: r.AvgUnroll}
+		if total > 0 {
+			row.LinearFrac = float64(lin) / float64(total)
+			row.InterleavedFrac = float64(inter) / float64(total)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderFig6 prints Figure 6.
+func RenderFig6(w io.Writer, rows []Fig6Row) {
+	t := &stats.Table{Title: "Figure 6: subblock mapping mix, L0 hit rate, average unroll factor (8-entry L0)"}
+	t.Header = []string{"bench", "linear", "interleaved", "hit rate", "avg unroll"}
+	for _, r := range rows {
+		t.Add(r.Bench, stats.Pct(r.LinearFrac), stats.Pct(r.InterleavedFrac),
+			stats.Pct(r.HitRate), stats.F1(r.AvgUnroll))
+	}
+	t.Render(w)
+}
+
+// Fig7Row is one benchmark of Figure 7: execution time of the four
+// architectures normalised to the unified-L1 no-L0 baseline.
+type Fig7Row struct {
+	Bench        string
+	L0           float64
+	L0Stall      float64
+	MultiVLIW    float64
+	MVStall      float64
+	Interleaved1 float64
+	I1Stall      float64
+	Interleaved2 float64
+	I2Stall      float64
+}
+
+// Fig7 compares the 8-entry L0 architecture against MultiVLIW and the two
+// word-interleaved heuristics.
+func Fig7(entries int) ([]Fig7Row, error) {
+	var out []Fig7Row
+	for _, b := range workload.Suite() {
+		baseRes, err := RunBenchmark(b, ArchBase, Options{Cfg: arch.MICRO36Config()})
+		if err != nil {
+			return nil, err
+		}
+		bt := float64(baseRes.Total)
+		row := Fig7Row{Bench: b.Name}
+		for _, a := range []Arch{ArchL0, ArchMultiVLIW, ArchInterleaved1, ArchInterleaved2} {
+			cfg := arch.MICRO36Config().WithL0Entries(entries)
+			r, err := RunBenchmark(b, a, Options{Cfg: cfg})
+			if err != nil {
+				return nil, err
+			}
+			norm, stall := float64(r.Total)/bt, float64(r.Stall)/bt
+			switch a {
+			case ArchL0:
+				row.L0, row.L0Stall = norm, stall
+			case ArchMultiVLIW:
+				row.MultiVLIW, row.MVStall = norm, stall
+			case ArchInterleaved1:
+				row.Interleaved1, row.I1Stall = norm, stall
+			case ArchInterleaved2:
+				row.Interleaved2, row.I2Stall = norm, stall
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderFig7 prints Figure 7.
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	t := &stats.Table{Title: "Figure 7: normalized execution time vs distributed-cache baselines (8-entry buffers)"}
+	t.Header = []string{"bench", "L0", "MultiVLIW", "Interleaved1", "Interleaved2"}
+	var mL0, mMV, m1, m2 float64
+	for _, r := range rows {
+		t.Add(r.Bench, stats.F2(r.L0), stats.F2(r.MultiVLIW), stats.F2(r.Interleaved1), stats.F2(r.Interleaved2))
+		mL0 += r.L0
+		mMV += r.MultiVLIW
+		m1 += r.Interleaved1
+		m2 += r.Interleaved2
+	}
+	n := float64(len(rows))
+	t.Add("AMEAN", stats.F2(mL0/n), stats.F2(mMV/n), stats.F2(m1/n), stats.F2(m2/n))
+	t.Render(w)
+}
+
+// RenderTable1 prints the workload characterisation.
+func RenderTable1(w io.Writer) {
+	t := &stats.Table{Title: "Table 1: dynamic strided memory accesses (S), good strides (SG), other strides (SO)"}
+	t.Header = []string{"bench", "S", "SG", "SO"}
+	for _, b := range workload.Suite() {
+		row := workload.Characterize(b)
+		t.Add(row.Name, stats.Pct(row.S), stats.Pct(row.SG), stats.Pct(row.SO))
+	}
+	t.Render(w)
+}
+
+// AMeanTotal returns the arithmetic-mean normalised total of one Figure 5
+// column.
+func AMeanTotal(points [][]Fig5Point, col int) float64 {
+	var xs []float64
+	for _, row := range points {
+		xs = append(xs, row[col].NormTotal)
+	}
+	return stats.AMean(xs)
+}

@@ -1,0 +1,357 @@
+// Package harness runs the paper's experiments: it compiles every benchmark
+// kernel for one of the five architectures (unified-L1 baseline, unified L1
+// + L0 buffers, MultiVLIW, and the two word-interleaved scheduling
+// heuristics), executes it on the matching memory model, and aggregates
+// execution time split into compute and stall cycles the way Figures 5 and 7
+// plot it.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/interleaved"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/multivliw"
+	"repro/internal/sched"
+	"repro/internal/unroll"
+	"repro/internal/vliw"
+	"repro/internal/workload"
+)
+
+// Arch selects the architecture/scheduler pair to evaluate.
+type Arch int
+
+const (
+	// ArchBase is the clustered VLIW with a unified L1 and no buffers.
+	ArchBase Arch = iota
+	// ArchL0 adds the flexible compiler-managed L0 buffers.
+	ArchL0
+	// ArchMultiVLIW distributes the L1 with MSI snoop coherence.
+	ArchMultiVLIW
+	// ArchInterleaved1 is the word-interleaved cache with the
+	// latency-conservative scheduling heuristic.
+	ArchInterleaved1
+	// ArchInterleaved2 is the word-interleaved cache with the
+	// locality-aware scheduling heuristic.
+	ArchInterleaved2
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchBase:
+		return "base"
+	case ArchL0:
+		return "l0"
+	case ArchMultiVLIW:
+		return "multivliw"
+	case ArchInterleaved1:
+		return "interleaved1"
+	case ArchInterleaved2:
+		return "interleaved2"
+	}
+	return fmt.Sprintf("Arch(%d)", int(a))
+}
+
+// Options tunes one experiment run.
+type Options struct {
+	// Cfg is the machine description; L0Entries applies to ArchL0.
+	Cfg arch.Config
+	// Sched carries scheduler ablation switches (MarkAllCandidates,
+	// PrefetchDistance, AllowPSR, ...); UseL0 is set by the harness.
+	Sched sched.Options
+	// CheckCoherence enables shadow-version coherence checking in the
+	// memory model (ArchBase/ArchL0): every L0 hit is validated against
+	// the latest store. Violations land in BenchResult.L0.
+	CheckCoherence bool
+	// ConservativeFallback implements the per-loop give-up heuristic
+	// §5.2 suggests for jpegdec's pathological loop: each kernel is
+	// compiled both with and without L0 buffers, both schedules run a
+	// short trial on scratch memory, and the faster one is kept. Only
+	// meaningful for ArchL0.
+	ConservativeFallback bool
+}
+
+// KernelResult is the outcome of one kernel on one architecture.
+type KernelResult struct {
+	Kernel  string
+	Factor  int
+	II, SC  int
+	Compute int64
+	Stall   int64
+	Total   int64
+}
+
+// BenchResult aggregates one benchmark on one architecture.
+type BenchResult struct {
+	Bench   string
+	Arch    Arch
+	Kernels []KernelResult
+	Compute int64
+	Stall   int64
+	Total   int64
+	// Clock is the running program time: memory-model state carries
+	// absolute cycles, so invocations execute back to back on it.
+	Clock int64
+	// AvgUnroll is the dynamic-weighted unroll factor (Figure 6).
+	AvgUnroll float64
+	// L0 carries the L0/L1 statistics for ArchBase and ArchL0 runs.
+	L0 *mem.Stats
+	// MV and IL carry the baseline-specific statistics.
+	MV *multivliw.Stats
+	IL *interleaved.Stats
+}
+
+// RunBenchmark executes every kernel of the benchmark on the architecture.
+func RunBenchmark(b *workload.Benchmark, a Arch, opts Options) (*BenchResult, error) {
+	cfg := opts.Cfg
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &BenchResult{Bench: b.Name, Arch: a}
+
+	// One memory model per benchmark: L1 state persists across kernels
+	// and invocations; L0 buffers are flushed at loop boundaries.
+	var model vliw.MemoryModel
+	schedOpts := opts.Sched
+	switch a {
+	case ArchBase:
+		sys := mem.NewSystem(cfg.WithL0Entries(0))
+		res.L0 = &sys.Stats
+		model = sys
+		schedOpts.UseL0 = false
+	case ArchL0:
+		sys := mem.NewSystem(cfg)
+		if opts.CheckCoherence {
+			sys.EnableCoherenceCheck()
+		}
+		res.L0 = &sys.Stats
+		model = sys
+		schedOpts.UseL0 = true
+	case ArchMultiVLIW:
+		mv := multivliw.New(cfg, multivliw.DefaultParams())
+		res.MV = &mv.Stats
+		model = mv
+		schedOpts.UseL0 = false
+		p := multivliw.DefaultParams()
+		// Strided accesses with block-level reuse migrate to their users
+		// and hit locally, so the compiler schedules them with the local
+		// latency. Column walks (stride beyond a block: every access a
+		// fresh block, no slice reuse) and data-dependent accesses get
+		// the conservative remote latency.
+		blk := int64(cfg.L1BlockBytes)
+		schedOpts.LoadLatencyFn = func(in *ir.Instr, _ int) int {
+			if in.IsCandidate() {
+				st := in.Mem.Stride
+				if st < 0 {
+					st = -st
+				}
+				if st <= blk {
+					return p.LocalLatency
+				}
+			}
+			return p.RemoteLatency
+		}
+		// Group each array's references in one cluster so MSI sharing
+		// does not replicate every block into every slice, assigning
+		// arrays to clusters round-robin so two hot arrays never fight
+		// over one slice (the locality cluster-assignment of the
+		// MultiVLIW compiler).
+		nextHome := 0
+		homes := map[*ir.Array]int{}
+		schedOpts.PreferredClusterFn = func(in *ir.Instr) int {
+			if in.Mem == nil {
+				return -1
+			}
+			h, ok := homes[in.Mem.Array]
+			if !ok {
+				h = nextHome % cfg.Clusters
+				nextHome++
+				homes[in.Mem.Array] = h
+			}
+			return h
+		}
+	case ArchInterleaved1:
+		il := interleaved.New(cfg, interleaved.DefaultParams())
+		res.IL = &il.Stats
+		model = il
+		schedOpts.UseL0 = false
+		p := interleaved.DefaultParams()
+		schedOpts.LoadLatencyFn = func(*ir.Instr, int) int { return p.RemoteLatency }
+	case ArchInterleaved2:
+		il := interleaved.New(cfg, interleaved.DefaultParams())
+		res.IL = &il.Stats
+		model = il
+		schedOpts.UseL0 = false
+		p := interleaved.DefaultParams()
+		schedOpts.LoadLatencyFn = func(in *ir.Instr, cluster int) int {
+			if il.StaysLocal(in) && (cluster == -1 || cluster == il.HomeClusterOf(in)) {
+				return p.LocalLatency
+			}
+			return p.RemoteLatency
+		}
+		schedOpts.PreferredClusterFn = func(in *ir.Instr) int {
+			if il.StaysLocal(in) {
+				return il.HomeClusterOf(in)
+			}
+			return -1
+		}
+	default:
+		return nil, fmt.Errorf("harness: unknown architecture %v", a)
+	}
+
+	// The unroll decision is made once, on the unified-L1 baseline, and
+	// reused for every architecture (§5.1: the same unrolling heuristic
+	// everywhere so comparisons isolate the memory hierarchy).
+	unrollCfg := opts.Cfg.WithL0Entries(0)
+
+	// Compile every kernel first so inter-kernel flushes can be planned
+	// selectively (§4.1: only clusters whose buffered data the next loop
+	// touches need invalidating).
+	type compiled struct {
+		k      *workload.Kernel
+		sch    *sched.Schedule
+		factor int
+	}
+	base := int64(1 << 16)
+	var progs []compiled
+	for i := range b.Kernels {
+		k := &b.Kernels[i]
+		l := k.Loop()
+		base = workload.AssignAddresses(l, base)
+
+		factor := sched.ChooseUnrollFactor(l, unrollCfg)
+		body := l
+		if factor > 1 {
+			var err error
+			body, err = unroll.ByFactor(l, factor)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s/%s: %w", b.Name, k.Name, err)
+			}
+		}
+		sch, err := sched.Compile(body, cfg.WithL0Entries(archEntries(a, cfg)), schedOpts)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s/%s: %w", b.Name, k.Name, err)
+		}
+		if opts.ConservativeFallback && a == ArchL0 {
+			cons, err := conservativeIfFaster(body, cfg, schedOpts, sch)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s/%s: %w", b.Name, k.Name, err)
+			}
+			sch = cons
+		}
+		progs = append(progs, compiled{k: k, sch: sch, factor: factor})
+	}
+
+	var weightSum, unrollWeighted int64
+	for i, p := range progs {
+		kr := KernelResult{Kernel: p.k.Name, Factor: p.factor, II: p.sch.II, SC: p.sch.SC}
+		// §4.1 inter-loop coherence: flush between invocations only when
+		// re-entering the same schedule could read stale buffered data.
+		flushEach := sched.NeedsInterLoopFlush(p.sch)
+		var next *sched.Schedule
+		if i+1 < len(progs) {
+			next = progs[i+1].sch
+		}
+		// Code-specialized loops run the §4.1 check code on entry (the
+		// guard that picks the aggressive version). The same few cycles
+		// apply on every architecture.
+		var checkCost int64
+		if p.k.Specialized {
+			checkCost = 4
+		}
+		for inv := int64(0); inv < p.k.Invocations; inv++ {
+			r, err := vliw.RunAt(p.sch, model, res.Clock)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s/%s: %w", b.Name, p.k.Name, err)
+			}
+			kr.Compute += checkCost
+			kr.Total += checkCost
+			res.Clock += checkCost
+			kr.Compute += r.ComputeCycles
+			kr.Stall += r.StallCycles
+			kr.Total += r.TotalCycles
+			res.Clock += r.TotalCycles
+			var fc int64
+			switch {
+			case flushEach:
+				fc = model.LoopEnd()
+			case inv == p.k.Invocations-1:
+				// Moving on to the next kernel: selective flush on
+				// the L0 architecture, full flush elsewhere (free).
+				if sys, ok := model.(*mem.System); ok {
+					fc = sys.InvalidateClusters(sched.FlushPlan(p.sch, next))
+				} else {
+					fc = model.LoopEnd()
+				}
+			}
+			kr.Compute += fc
+			kr.Total += fc
+			res.Clock += fc
+		}
+		res.Kernels = append(res.Kernels, kr)
+		res.Compute += kr.Compute
+		res.Stall += kr.Stall
+		res.Total += kr.Total
+
+		w := workload.KernelWeight(p.k)
+		weightSum += w
+		unrollWeighted += w * int64(p.factor)
+	}
+	if weightSum > 0 {
+		res.AvgUnroll = float64(unrollWeighted) / float64(weightSum)
+	}
+	return res, nil
+}
+
+// conservativeIfFaster trial-runs the L0 schedule against a conservative
+// (no-buffer) schedule of the same body on scratch memory and returns the
+// faster of the two — §5.2's suggested per-loop fallback ("the algorithm
+// could give up using L0 buffers in this loop and use a more conservative
+// schedule"). Two trial invocations warm the scratch L1 so steady-state
+// behaviour decides.
+func conservativeIfFaster(body *ir.Loop, cfg arch.Config, l0Opts sched.Options, l0Sch *sched.Schedule) (*sched.Schedule, error) {
+	consOpts := l0Opts
+	consOpts.UseL0 = false
+	consOpts.LoadLatencyFn = nil
+	consOpts.PreferredClusterFn = nil
+	consSch, err := sched.Compile(body, cfg.WithL0Entries(0), consOpts)
+	if err != nil {
+		return nil, err
+	}
+	trial := func(sch *sched.Schedule, entries int) (int64, error) {
+		sys := mem.NewSystem(cfg.WithL0Entries(entries))
+		var clock, total int64
+		for i := 0; i < 2; i++ {
+			r, err := vliw.RunAt(sch, sys, clock)
+			if err != nil {
+				return 0, err
+			}
+			clock += r.TotalCycles
+			total = r.TotalCycles // keep the warm invocation
+		}
+		return total, nil
+	}
+	l0Time, err := trial(l0Sch, cfg.L0Entries)
+	if err != nil {
+		return nil, err
+	}
+	consTime, err := trial(consSch, 0)
+	if err != nil {
+		return nil, err
+	}
+	if consTime < l0Time {
+		return consSch, nil
+	}
+	return l0Sch, nil
+}
+
+// archEntries returns the L0Entries the scheduler/memory of this
+// architecture should see: only ArchL0 has buffers.
+func archEntries(a Arch, cfg arch.Config) int {
+	if a == ArchL0 {
+		return cfg.L0Entries
+	}
+	return 0
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// WirePoint is one cell of the wire-delay sweep: mean execution time of the
+// L0 architecture normalised to the same machine without buffers, at a given
+// unified-L1 latency — with the paper's fixed distance-1 prefetching and
+// with the adaptive per-load distance extension.
+type WirePoint struct {
+	L1Latency     int
+	AMean         float64
+	AMeanAdaptive float64
+}
+
+// WireSweep tests the paper's motivating claim — "as technology evolves, the
+// latency of such a centralized cache will increase leading to an important
+// performance impact" — by sweeping the unified L1's load-use latency and
+// measuring how much the L0 buffers recover at each point. The benefit
+// should grow monotonically with the wire delay.
+func WireSweep(latencies []int, entries int) ([]WirePoint, error) {
+	var out []WirePoint
+	for _, lat := range latencies {
+		cfg := arch.MICRO36Config().WithL0Entries(entries)
+		cfg.L1Latency = lat
+		var sum, sumAd float64
+		for _, b := range workload.Suite() {
+			baseRes, err := RunBenchmark(b, ArchBase, Options{Cfg: cfg})
+			if err != nil {
+				return nil, err
+			}
+			l0Res, err := RunBenchmark(b, ArchL0, Options{Cfg: cfg})
+			if err != nil {
+				return nil, err
+			}
+			adRes, err := RunBenchmark(b, ArchL0, Options{Cfg: cfg,
+				Sched: sched.Options{AdaptivePrefetchDistance: true}})
+			if err != nil {
+				return nil, err
+			}
+			sum += float64(l0Res.Total) / float64(baseRes.Total)
+			sumAd += float64(adRes.Total) / float64(baseRes.Total)
+		}
+		n := float64(len(workload.Suite()))
+		out = append(out, WirePoint{L1Latency: lat, AMean: sum / n, AMeanAdaptive: sumAd / n})
+	}
+	return out, nil
+}
+
+// RenderWireSweep prints the sweep.
+func RenderWireSweep(w io.Writer, points []WirePoint) {
+	t := &stats.Table{Title: "L0 benefit vs unified-L1 latency (the wire-delay motivation)"}
+	t.Header = []string{"L1 latency", "fixed d=1", "improvement", "adaptive d", "improvement"}
+	for _, p := range points {
+		t.Add(fmt.Sprintf("%d cycles", p.L1Latency),
+			stats.F2(p.AMean), fmt.Sprintf("%.0f%%", (1-p.AMean)*100),
+			stats.F2(p.AMeanAdaptive), fmt.Sprintf("%.0f%%", (1-p.AMeanAdaptive)*100))
+	}
+	t.Render(w)
+}

@@ -1,0 +1,206 @@
+// Package interleaved models the word-interleaved distributed-cache baseline
+// of §5.3 (Gibert, Sánchez & González, MICRO-35): the L1 data cache is split
+// into per-cluster banks with a static word-granularity address
+// interleaving, so every word has exactly one home cluster. Accesses from
+// the home cluster are fast; accesses from any other cluster cross the
+// inter-cluster network. Each cluster also has a small Attraction Buffer
+// that caches remotely-mapped words, recovering part of the lost locality —
+// but it is hardware-managed, inflexible, and misses whenever the static
+// mapping fights the access pattern (e.g. sub-word element streams).
+package interleaved
+
+import (
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/mem"
+)
+
+// Params are the timing assumptions for the word-interleaved hierarchy.
+type Params struct {
+	// WordBytes is the interleaving granularity.
+	WordBytes int
+	// LocalLatency is a load-use hit in the cluster's own bank (or the
+	// Attraction Buffer).
+	LocalLatency int
+	// RemoteLatency is a round trip to another cluster's bank.
+	RemoteLatency int
+	// MemLatency is the additional L2 penalty.
+	MemLatency int
+	// AttractionEntries is the per-cluster Attraction Buffer capacity
+	// (the paper compares against 8-entry buffers).
+	AttractionEntries int
+}
+
+// DefaultParams returns the configuration used in the Figure 7 reproduction.
+func DefaultParams() Params {
+	return Params{
+		WordBytes:         4,
+		LocalLatency:      2,
+		RemoteLatency:     6,
+		MemLatency:        10,
+		AttractionEntries: 8,
+	}
+}
+
+// abEntry is one Attraction Buffer word.
+type abEntry struct {
+	valid bool
+	word  int64 // word-aligned address
+	stamp int64
+}
+
+// Model is the word-interleaved memory system; it implements the execution
+// engine's MemoryModel interface.
+type Model struct {
+	cfg    arch.Config
+	params Params
+	// tags is the union tag store: the distributed banks hold exactly the
+	// words of the blocks present in L1, so hit/miss behaviour matches a
+	// unified cache of the same total capacity; distribution only changes
+	// which cluster answers.
+	tags  *mem.Cache
+	abs   [][]abEntry
+	clock int64
+	Stats Stats
+}
+
+// Stats counts locality outcomes.
+type Stats struct {
+	LocalHits      int64
+	AttractionHits int64
+	RemoteHits     int64
+	L1Misses       int64
+	Stores         int64
+	ABInvalidates  int64
+}
+
+// LocalRate is the fraction of loads served locally (own bank or AB).
+func (s *Stats) LocalRate() float64 {
+	t := s.LocalHits + s.AttractionHits + s.RemoteHits + s.L1Misses
+	if t == 0 {
+		return 1
+	}
+	return float64(s.LocalHits+s.AttractionHits) / float64(t)
+}
+
+// New builds the word-interleaved hierarchy for a configuration.
+func New(cfg arch.Config, params Params) *Model {
+	m := &Model{
+		cfg:    cfg,
+		params: params,
+		tags:   mem.NewCache(cfg.L1SizeBytes, cfg.L1BlockBytes, cfg.L1Assoc),
+		abs:    make([][]abEntry, cfg.Clusters),
+	}
+	for c := range m.abs {
+		m.abs[c] = make([]abEntry, params.AttractionEntries)
+	}
+	return m
+}
+
+// HomeCluster returns the cluster owning the word containing addr.
+func (m *Model) HomeCluster(addr int64) int {
+	return int((addr / int64(m.params.WordBytes)) % int64(m.cfg.Clusters))
+}
+
+// HomeClusterOf returns the home cluster of a memory instruction's
+// iteration-0 address, used by the locality-aware scheduling heuristic.
+func (m *Model) HomeClusterOf(in *ir.Instr) int {
+	if in.Mem == nil {
+		return -1
+	}
+	return m.HomeCluster(in.Mem.AddrAt(0))
+}
+
+// StaysLocal reports whether the access keeps the same home cluster across
+// iterations (its stride is a multiple of the full interleave span), which
+// is when a locality-aware placement can make every access local.
+func (m *Model) StaysLocal(in *ir.Instr) bool {
+	if in.Mem == nil || !in.Mem.StrideKnown {
+		return false
+	}
+	span := int64(m.params.WordBytes) * int64(m.cfg.Clusters)
+	return in.Mem.Stride%span == 0 && in.Mem.Width <= m.params.WordBytes
+}
+
+func (m *Model) abLookup(cluster int, word int64) *abEntry {
+	for i := range m.abs[cluster] {
+		e := &m.abs[cluster][i]
+		if e.valid && e.word == word {
+			return e
+		}
+	}
+	return nil
+}
+
+func (m *Model) abInsert(cluster int, word int64) {
+	m.clock++
+	victim, oldest := 0, int64(1<<62-1)
+	for i := range m.abs[cluster] {
+		e := &m.abs[cluster][i]
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.stamp < oldest {
+			victim, oldest = i, e.stamp
+		}
+	}
+	m.abs[cluster][victim] = abEntry{valid: true, word: word, stamp: m.clock}
+}
+
+func (m *Model) wordAlign(addr int64) int64 {
+	return addr - addr%int64(m.params.WordBytes)
+}
+
+// Load implements vliw.MemoryModel.
+func (m *Model) Load(cluster int, addr int64, width int, _ arch.Hints, t int64) int64 {
+	word := m.wordAlign(addr)
+	home := m.HomeCluster(addr)
+	hit := m.tags.Lookup(addr)
+	if !hit {
+		m.tags.Fill(m.tags.BlockAddr(addr))
+		m.Stats.L1Misses++
+		lat := int64(m.params.LocalLatency) + int64(m.params.MemLatency)
+		if home != cluster {
+			lat = int64(m.params.RemoteLatency) + int64(m.params.MemLatency)
+		}
+		return t + lat
+	}
+	if home == cluster {
+		m.Stats.LocalHits++
+		return t + int64(m.params.LocalLatency)
+	}
+	if e := m.abLookup(cluster, word); e != nil {
+		m.clock++
+		e.stamp = m.clock
+		m.Stats.AttractionHits++
+		return t + int64(m.params.LocalLatency)
+	}
+	m.Stats.RemoteHits++
+	m.abInsert(cluster, word)
+	return t + int64(m.params.RemoteLatency)
+}
+
+// Store implements vliw.MemoryModel: the word's home bank is updated; stale
+// Attraction Buffer copies everywhere are invalidated (the MICRO-35 compiler
+// guarantees coherence by scheduling; the invalidation here keeps the timing
+// model honest at no cost).
+func (m *Model) Store(cluster int, addr int64, width int, _ arch.Hints, _ bool, t int64) {
+	m.Stats.Stores++
+	if !m.tags.Lookup(addr) {
+		m.Stats.L1Misses++ // write-through to L2, no allocate
+	}
+	word := m.wordAlign(addr)
+	for c := range m.abs {
+		if e := m.abLookup(c, word); e != nil {
+			e.valid = false
+			m.Stats.ABInvalidates++
+		}
+	}
+}
+
+// Prefetch is a no-op: the baseline has no software prefetch into the banks.
+func (m *Model) Prefetch(int, int64, int64) {}
+
+// LoopEnd is free for this baseline.
+func (m *Model) LoopEnd() int64 { return 0 }

@@ -1,0 +1,154 @@
+package interleaved
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+)
+
+func model(t *testing.T) *Model {
+	t.Helper()
+	return New(arch.MICRO36Config(), DefaultParams())
+}
+
+func TestHomeCluster(t *testing.T) {
+	m := model(t)
+	// 4-byte words interleave round-robin.
+	for addr, want := range map[int64]int{0: 0, 4: 1, 8: 2, 12: 3, 16: 0, 6: 1} {
+		if got := m.HomeCluster(addr); got != want {
+			t.Errorf("HomeCluster(%d) = %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestLocalVsRemoteLatency(t *testing.T) {
+	m := model(t)
+	p := DefaultParams()
+	m.Load(0, 0, 4, arch.Hints{}, 0) // warm the L1 tags
+	local := m.Load(0, 0, 4, arch.Hints{}, 100)
+	if local-100 != int64(p.LocalLatency) {
+		t.Errorf("local access latency = %d, want %d", local-100, p.LocalLatency)
+	}
+	remote := m.Load(1, 0, 4, arch.Hints{}, 200)
+	if remote-200 != int64(p.RemoteLatency) {
+		t.Errorf("remote access latency = %d, want %d", remote-200, p.RemoteLatency)
+	}
+}
+
+func TestAttractionBufferCapturesRemoteReuse(t *testing.T) {
+	m := model(t)
+	p := DefaultParams()
+	m.Load(1, 0, 4, arch.Hints{}, 0)        // L1 fill
+	m.Load(1, 0, 4, arch.Hints{}, 100)      // remote; allocates in AB
+	r := m.Load(1, 0, 4, arch.Hints{}, 200) // AB hit
+	if r-200 != int64(p.LocalLatency) {
+		t.Errorf("AB hit latency = %d, want %d", r-200, p.LocalLatency)
+	}
+	if m.Stats.AttractionHits != 1 {
+		t.Errorf("attraction hits = %d, want 1", m.Stats.AttractionHits)
+	}
+}
+
+func TestAttractionBufferLRU(t *testing.T) {
+	m := model(t)
+	// Fill the 8-entry AB of cluster 1 with remote words, then one more.
+	for i := int64(0); i < 9; i++ {
+		addr := i * 16                             // all home cluster 0 (word index multiple of 4)
+		m.Load(1, addr, 4, arch.Hints{}, 0)        // L1 fill
+		m.Load(1, addr, 4, arch.Hints{}, 100+i*10) // AB allocate
+	}
+	// The first word must have been evicted.
+	m.Stats = Stats{}
+	m.Load(1, 0, 4, arch.Hints{}, 1000)
+	if m.Stats.AttractionHits != 0 || m.Stats.RemoteHits != 1 {
+		t.Errorf("evicted AB word still hit: %+v", m.Stats)
+	}
+}
+
+func TestStoreInvalidatesAttractionCopies(t *testing.T) {
+	m := model(t)
+	m.Load(1, 0, 4, arch.Hints{}, 0)
+	m.Load(1, 0, 4, arch.Hints{}, 100) // AB copy in cluster 1
+	m.Store(2, 0, 4, arch.Hints{}, false, 200)
+	if m.Stats.ABInvalidates != 1 {
+		t.Errorf("AB invalidations = %d, want 1", m.Stats.ABInvalidates)
+	}
+	m.Stats = Stats{}
+	m.Load(1, 0, 4, arch.Hints{}, 300)
+	if m.Stats.AttractionHits != 0 {
+		t.Errorf("stale AB copy survived a store")
+	}
+}
+
+func TestL1MissPenalty(t *testing.T) {
+	m := model(t)
+	p := DefaultParams()
+	r := m.Load(0, 0, 4, arch.Hints{}, 100)
+	if r-100 != int64(p.LocalLatency+p.MemLatency) {
+		t.Errorf("local L1 miss = %d, want %d", r-100, p.LocalLatency+p.MemLatency)
+	}
+	r = m.Load(1, 1<<16, 4, arch.Hints{}, 200) // remote home, cold
+	if r-200 != int64(p.RemoteLatency+p.MemLatency) {
+		t.Errorf("remote L1 miss = %d, want %d", r-200, p.RemoteLatency+p.MemLatency)
+	}
+}
+
+func TestStaysLocal(t *testing.T) {
+	m := model(t)
+	b := ir.NewBuilder("t", 64)
+	a := b.Array("a", 4096, 4)
+	v1 := b.Load("stride16", a, 0, 16, 4) // full interleave span: stays
+	v2 := b.Load("stride4", a, 0, 4, 4)   // rotates through banks
+	b.Int("use", v1, v2)
+	tab := b.Array("tab", 4096, 4)
+	v3 := b.LoadIndexed("gather", tab, 4, 9, ir.NoReg)
+	b.Int("use2", v3)
+	l := b.Build()
+	if !m.StaysLocal(l.Instrs[0]) {
+		t.Errorf("stride-16 word access must stay local")
+	}
+	if m.StaysLocal(l.Instrs[1]) {
+		t.Errorf("stride-4 access rotates banks")
+	}
+	if m.StaysLocal(l.Instrs[3]) {
+		t.Errorf("gather cannot stay local")
+	}
+}
+
+func TestHomeClusterOf(t *testing.T) {
+	m := model(t)
+	b := ir.NewBuilder("t", 64)
+	a := b.Array("a", 4096, 4)
+	a.Base = 8 // word index 2 -> home cluster 2
+	v := b.Load("ld", a, 0, 16, 4)
+	b.Int("use", v)
+	l := b.Build()
+	if got := m.HomeClusterOf(l.Instrs[0]); got != 2 {
+		t.Errorf("HomeClusterOf = %d, want 2", got)
+	}
+	if got := m.HomeClusterOf(l.Instrs[1]); got != -1 {
+		t.Errorf("HomeClusterOf(non-mem) = %d, want -1", got)
+	}
+}
+
+func TestSubWordAccessDefeatsInterleaving(t *testing.T) {
+	// 2-byte elements: consecutive elements share words/banks in a way a
+	// static word interleave cannot localise for unrolled copies.
+	m := model(t)
+	b := ir.NewBuilder("t", 64)
+	a := b.Array("a", 4096, 2)
+	v := b.Load("ld", a, 0, 2, 2)
+	b.Int("use", v)
+	l := b.Build()
+	if m.StaysLocal(l.Instrs[0]) {
+		t.Errorf("2-byte stride-2 access must not count as bank-stable")
+	}
+}
+
+func TestLoopEndFree(t *testing.T) {
+	m := model(t)
+	if m.LoopEnd() != 0 {
+		t.Errorf("interleaved LoopEnd must cost nothing")
+	}
+}

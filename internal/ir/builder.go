@@ -1,0 +1,216 @@
+package ir
+
+import "fmt"
+
+// Builder constructs loops programmatically. It allocates virtual registers,
+// assigns instruction IDs, and produces a validated Loop. Workload kernels
+// and tests use it; nothing in the compiler mutates loops except through the
+// unroller.
+type Builder struct {
+	loop    *Loop
+	nextReg Reg
+	err     error
+}
+
+// NewBuilder starts a loop with the given name and trip count.
+func NewBuilder(name string, tripCount int64) *Builder {
+	return &Builder{
+		loop:    &Loop{Name: name, TripCount: tripCount, Unroll: 1},
+		nextReg: 1,
+	}
+}
+
+// Array declares a data object used by the loop's memory instructions.
+func (b *Builder) Array(name string, sizeBytes int64, elemBytes int) *Array {
+	return &Array{Name: name, SizeBytes: sizeBytes, ElemBytes: elemBytes}
+}
+
+// fail records the first construction error.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (b *Builder) newReg() Reg {
+	r := b.nextReg
+	b.nextReg++
+	return r
+}
+
+func (b *Builder) add(in *Instr) *Instr {
+	in.ID = len(b.loop.Instrs)
+	in.OrigID = in.ID
+	b.loop.Instrs = append(b.loop.Instrs, in)
+	return in
+}
+
+// Load adds a strided load: addr(i) = array + offset + stride·i, width bytes.
+// It returns the defined register.
+func (b *Builder) Load(name string, a *Array, offset, stride int64, width int) Reg {
+	dst := b.newReg()
+	b.add(&Instr{
+		Name: name, Op: OpLoad, Dst: dst,
+		Mem: &MemAccess{Array: a, Offset: offset, Stride: stride, StrideKnown: true, Width: width},
+	})
+	return dst
+}
+
+// LoadPeriodic adds a strided load whose index wraps every period iterations
+// (re-walked coefficient tables).
+func (b *Builder) LoadPeriodic(name string, a *Array, offset, stride int64, width, period int) Reg {
+	dst := b.newReg()
+	b.add(&Instr{
+		Name: name, Op: OpLoad, Dst: dst,
+		Mem: &MemAccess{Array: a, Offset: offset, Stride: stride, StrideKnown: true, Width: width, IndexPeriod: period},
+	})
+	return dst
+}
+
+// LoadIndexed adds a data-dependent (unknown stride) load: the address is a
+// pseudo-random scatter over the array keyed by seed. idx is the register
+// the address computation consumes (models the table index).
+func (b *Builder) LoadIndexed(name string, a *Array, width int, seed uint64, idx Reg) Reg {
+	if seed == 0 {
+		seed = 1
+	}
+	dst := b.newReg()
+	in := &Instr{
+		Name: name, Op: OpLoad, Dst: dst,
+		Mem: &MemAccess{Array: a, StrideKnown: false, Width: width, Scramble: seed},
+	}
+	if idx != NoReg {
+		in.Srcs = []Reg{idx}
+	}
+	b.add(in)
+	return dst
+}
+
+// Store adds a strided store of val.
+func (b *Builder) Store(name string, a *Array, offset, stride int64, width int, val Reg) {
+	in := &Instr{
+		Name: name, Op: OpStore,
+		Mem: &MemAccess{Array: a, Offset: offset, Stride: stride, StrideKnown: true, Width: width},
+	}
+	if val != NoReg {
+		in.Srcs = []Reg{val}
+	}
+	b.add(in)
+}
+
+// StoreIndexed adds a data-dependent store (histogram updates etc.).
+func (b *Builder) StoreIndexed(name string, a *Array, width int, seed uint64, val Reg) {
+	if seed == 0 {
+		seed = 1
+	}
+	in := &Instr{
+		Name: name, Op: OpStore,
+		Mem: &MemAccess{Array: a, StrideKnown: false, Width: width, Scramble: seed},
+	}
+	if val != NoReg {
+		in.Srcs = []Reg{val}
+	}
+	b.add(in)
+}
+
+// Int adds a 1-cycle integer ALU op consuming srcs.
+func (b *Builder) Int(name string, srcs ...Reg) Reg {
+	dst := b.newReg()
+	b.add(&Instr{Name: name, Op: OpIntALU, Dst: dst, Srcs: srcs})
+	return dst
+}
+
+// IntMul adds a 2-cycle integer multiply.
+func (b *Builder) IntMul(name string, srcs ...Reg) Reg {
+	dst := b.newReg()
+	b.add(&Instr{Name: name, Op: OpIntMul, Dst: dst, Srcs: srcs})
+	return dst
+}
+
+// FP adds a 2-cycle floating-point add/sub.
+func (b *Builder) FP(name string, srcs ...Reg) Reg {
+	dst := b.newReg()
+	b.add(&Instr{Name: name, Op: OpFPALU, Dst: dst, Srcs: srcs})
+	return dst
+}
+
+// FPMul adds a 4-cycle floating-point multiply.
+func (b *Builder) FPMul(name string, srcs ...Reg) Reg {
+	dst := b.newReg()
+	b.add(&Instr{Name: name, Op: OpFPMul, Dst: dst, Srcs: srcs})
+	return dst
+}
+
+// Recurrence adds a 1-cycle integer op that additionally consumes its own (or
+// another instruction's) value from a previous iteration, creating a
+// dependence cycle. It returns the defined register. carried is the register
+// whose value from `distance` iterations ago is consumed; pass the returned
+// register itself for classic accumulators by calling SelfRecurrence.
+func (b *Builder) Recurrence(name string, carried Reg, distance int, srcs ...Reg) Reg {
+	dst := b.newReg()
+	b.add(&Instr{
+		Name: name, Op: OpIntALU, Dst: dst, Srcs: srcs,
+		Carried: []CarriedUse{{Reg: carried, Distance: distance}},
+	})
+	return dst
+}
+
+// SelfRecurrence adds an integer accumulator: dst = f(dst@-distance, srcs...).
+func (b *Builder) SelfRecurrence(name string, distance int, srcs ...Reg) Reg {
+	dst := b.newReg()
+	b.add(&Instr{
+		Name: name, Op: OpIntALU, Dst: dst, Srcs: srcs,
+		Carried: []CarriedUse{{Reg: dst, Distance: distance}},
+	})
+	return dst
+}
+
+// FPSelfRecurrence adds a floating-point accumulator with a carried self use.
+func (b *Builder) FPSelfRecurrence(name string, distance int, srcs ...Reg) Reg {
+	dst := b.newReg()
+	b.add(&Instr{
+		Name: name, Op: OpFPALU, Dst: dst, Srcs: srcs,
+		Carried: []CarriedUse{{Reg: dst, Distance: distance}},
+	})
+	return dst
+}
+
+// CarryInto appends a loop-carried use to an already-built instruction,
+// for irregular recurrence shapes.
+func (b *Builder) CarryInto(consumer Reg, carried Reg, distance int) {
+	def := b.loop.DefOf(consumer)
+	if def == nil {
+		b.fail("ir: CarryInto: no instruction defines %s", consumer)
+		return
+	}
+	def.Carried = append(def.Carried, CarriedUse{Reg: carried, Distance: distance})
+}
+
+// Specialized marks the loop as code-specialized (§4.1): alias analysis will
+// drop conservative unknown-alias dependences.
+func (b *Builder) Specialized() { b.loop.Specialized = true }
+
+// Build validates and returns the loop. It panics on construction or
+// validation errors: kernels are static program data, so an invalid kernel
+// is a programming bug, not a runtime condition.
+func (b *Builder) Build() *Loop {
+	if b.err != nil {
+		panic(b.err)
+	}
+	if err := b.loop.Validate(); err != nil {
+		panic(err)
+	}
+	return b.loop
+}
+
+// BuildErr validates and returns the loop with an error instead of panicking;
+// used by tests exercising invalid construction.
+func (b *Builder) BuildErr() (*Loop, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.loop.Validate(); err != nil {
+		return nil, err
+	}
+	return b.loop, nil
+}

@@ -1,0 +1,405 @@
+// Package ir defines the loop intermediate representation the scheduler
+// works on: innermost loops made of virtual-register instructions with
+// affine (base + stride·i) memory accesses.
+//
+// The representation is deliberately close to what a modulo scheduler needs
+// and nothing more: every instruction defines at most one virtual register
+// (single static assignment within the loop body), same-iteration register
+// uses are listed in Srcs, and loop-carried register uses (recurrences) carry
+// an explicit iteration distance. Memory dependences are not stored here;
+// package alias derives them from the affine access summaries.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg is a virtual register number. NoReg (0) means "no register".
+type Reg int
+
+// NoReg is the absent-register sentinel.
+const NoReg Reg = 0
+
+func (r Reg) String() string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// Opcode enumerates the operation classes the machine executes. The
+// scheduler only cares about the functional-unit class and latency of each
+// opcode; the simulator additionally interprets memory opcodes.
+type Opcode uint8
+
+const (
+	// OpNop does nothing and occupies no unit; used in tests.
+	OpNop Opcode = iota
+	// OpIntALU is a 1-cycle integer operation (add, sub, logic, compare).
+	OpIntALU
+	// OpIntMul is a 2-cycle integer multiply.
+	OpIntMul
+	// OpFPALU is a 2-cycle floating-point add/sub/convert.
+	OpFPALU
+	// OpFPMul is a 4-cycle floating-point multiply (or divide step).
+	OpFPMul
+	// OpLoad reads memory; its latency is assigned by the scheduler
+	// (L0 or L1 latency).
+	OpLoad
+	// OpStore writes memory.
+	OpStore
+	// OpComm copies a register to another cluster over an inter-cluster
+	// bus. Inserted by the scheduler, never present in source loops.
+	OpComm
+	// OpInval invalidates every entry of one cluster's L0 buffer.
+	// Scheduled at loop boundaries for inter-loop coherence.
+	OpInval
+	// OpPrefetch is an explicit software prefetch from L1 into the local
+	// L0 buffer (scheduling step 5). It occupies a memory slot but has no
+	// register result.
+	OpPrefetch
+)
+
+var opcodeNames = [...]string{
+	OpNop:      "nop",
+	OpIntALU:   "int",
+	OpIntMul:   "imul",
+	OpFPALU:    "fadd",
+	OpFPMul:    "fmul",
+	OpLoad:     "load",
+	OpStore:    "store",
+	OpComm:     "comm",
+	OpInval:    "inval",
+	OpPrefetch: "pref",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) && opcodeNames[op] != "" {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(op))
+}
+
+// IsMem reports whether the opcode occupies a memory functional unit.
+func (op Opcode) IsMem() bool {
+	switch op {
+	case OpLoad, OpStore, OpPrefetch, OpInval:
+		return true
+	}
+	return false
+}
+
+// IsMemRef reports whether the opcode references a memory address
+// (participates in memory dependences and L0 hinting).
+func (op Opcode) IsMemRef() bool { return op == OpLoad || op == OpStore }
+
+// DefaultLatency returns the fixed execute latency of non-memory opcodes and
+// the latency of stores (which have no consumer of a result). Load latency is
+// a scheduling decision (L0 vs L1) and must not be read from here.
+func (op Opcode) DefaultLatency() int {
+	switch op {
+	case OpIntALU:
+		return 1
+	case OpIntMul:
+		return 2
+	case OpFPALU:
+		return 2
+	case OpFPMul:
+		return 4
+	case OpStore, OpPrefetch, OpInval, OpComm, OpNop:
+		return 1
+	}
+	return 1
+}
+
+// Array is a symbolic data object referenced by memory instructions. The
+// workload generator assigns each array a concrete base address before
+// simulation.
+type Array struct {
+	Name string
+	// Base is the byte address of element 0; filled in by the address
+	// mapper before simulation. Alias analysis uses identity + offsets,
+	// not Base.
+	Base int64
+	// SizeBytes is the extent of the array.
+	SizeBytes int64
+	// ElemBytes is the natural element width.
+	ElemBytes int
+}
+
+func (a *Array) String() string {
+	if a == nil {
+		return "<nil array>"
+	}
+	return a.Name
+}
+
+// MemAccess summarises the address stream of one memory instruction as an
+// affine function of the loop counter: addr(i) = Array.Base + Offset +
+// Stride·i. Non-affine accesses (pointer chasing, data-dependent indexing)
+// set StrideKnown = false and are handled conservatively everywhere.
+type MemAccess struct {
+	Array *Array
+	// Offset is the byte offset of the iteration-0 access.
+	Offset int64
+	// Stride is the byte distance between consecutive iterations.
+	Stride int64
+	// StrideKnown reports whether the compiler could prove the stride.
+	// Unknown-stride instructions are never L0 candidates.
+	StrideKnown bool
+	// Width is the access width in bytes (1, 2, 4 or 8).
+	Width int
+	// IndexPeriod, when > 1, makes the access wrap: addr(i) uses i mod
+	// IndexPeriod instead of i. Used to model re-walked coefficient
+	// arrays (FIR taps, quantisation tables) with small working sets.
+	IndexPeriod int
+	// Scramble, when nonzero, permutes the index pseudo-randomly within
+	// the array (addr depends on a hash of i). It models data-dependent
+	// table lookups: StrideKnown must be false for such accesses.
+	Scramble uint64
+	// PhaseFactor/PhaseOffset recover the original loop index after
+	// unrolling when the affine rewrite is not exact (periodic accesses
+	// whose period does not divide the unroll factor, and scrambled
+	// accesses, which must keep their original scatter stream): when
+	// PhaseFactor > 1 the logical index is i·PhaseFactor + PhaseOffset
+	// before IndexPeriod/Scramble/stride apply.
+	PhaseFactor int
+	PhaseOffset int
+}
+
+// AddrAt returns the byte address of the access at iteration i.
+func (m *MemAccess) AddrAt(i int64) int64 {
+	idx := i
+	if m.PhaseFactor > 1 {
+		idx = i*int64(m.PhaseFactor) + int64(m.PhaseOffset)
+	}
+	if m.IndexPeriod > 1 {
+		idx = idx % int64(m.IndexPeriod)
+	}
+	if m.Scramble != 0 {
+		// Deterministic hash scatter within the array extent.
+		h := uint64(idx)*m.Scramble + 0x9e3779b97f4a7c15
+		h ^= h >> 29
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 32
+		span := m.Array.SizeBytes - int64(m.Width)
+		if span <= 0 {
+			return m.Array.Base
+		}
+		n := span / int64(m.Width)
+		if n <= 0 {
+			n = 1
+		}
+		return m.Array.Base + int64(h%uint64(n))*int64(m.Width)
+	}
+	return m.Array.Base + m.Offset + m.Stride*idx
+}
+
+// ElemStride returns the stride in elements (access widths). A stride that
+// is not a whole number of elements is reported as its byte value.
+func (m *MemAccess) ElemStride() int64 {
+	if m.Width > 0 && m.Stride%int64(m.Width) == 0 {
+		return m.Stride / int64(m.Width)
+	}
+	return m.Stride
+}
+
+// CarriedUse is a loop-carried register input: the value of Reg produced
+// Distance iterations earlier.
+type CarriedUse struct {
+	Reg      Reg
+	Distance int
+}
+
+// Instr is one operation of the loop body.
+type Instr struct {
+	// ID is the index of the instruction within Loop.Instrs.
+	ID int
+	// Name is an optional human-readable label for dumps and tests.
+	Name string
+	Op   Opcode
+	// Dst is the virtual register defined, or NoReg.
+	Dst Reg
+	// Srcs are same-iteration register uses.
+	Srcs []Reg
+	// Carried are loop-carried register uses (recurrences).
+	Carried []CarriedUse
+	// Mem is the address summary for OpLoad/OpStore/OpPrefetch.
+	Mem *MemAccess
+	// UnrollCopy records which copy of the original body this
+	// instruction belongs to after unrolling (0-based; 0 before
+	// unrolling).
+	UnrollCopy int
+	// OrigID is the instruction's ID in the pre-unroll body.
+	OrigID int
+	// ReplicaGroup links the N instances of a store replicated by
+	// partial store replication (PSR, §4.1); 0 means not replicated.
+	// Exactly one instance per group has PrimaryReplica set: it performs
+	// the actual store, the others only invalidate their local L0 entry.
+	ReplicaGroup   int
+	PrimaryReplica bool
+}
+
+// IsCandidate reports whether the instruction is an L0 candidate per §4.3:
+// a memory reference with a compiler-known stride.
+func (in *Instr) IsCandidate() bool {
+	return in.Op.IsMemRef() && in.Mem != nil && in.Mem.StrideKnown
+}
+
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Name != "" {
+		fmt.Fprintf(&b, "%s: ", in.Name)
+	}
+	fmt.Fprintf(&b, "%s", in.Op)
+	if in.Dst != NoReg {
+		fmt.Fprintf(&b, " %s =", in.Dst)
+	}
+	for _, s := range in.Srcs {
+		fmt.Fprintf(&b, " %s", s)
+	}
+	for _, c := range in.Carried {
+		fmt.Fprintf(&b, " %s@-%d", c.Reg, c.Distance)
+	}
+	if in.Mem != nil {
+		fmt.Fprintf(&b, " [%s+%d, stride %d, w%d]", in.Mem.Array, in.Mem.Offset, in.Mem.Stride, in.Mem.Width)
+	}
+	return b.String()
+}
+
+// Loop is one innermost loop: the unit of modulo scheduling.
+type Loop struct {
+	Name   string
+	Instrs []*Instr
+	// TripCount is the dynamic iteration count of the (original,
+	// pre-unroll) loop used by the simulator.
+	TripCount int64
+	// Unroll is the unroll factor already applied (1 = original body).
+	Unroll int
+	// Specialized marks loops where code specialization (§4.1) proved
+	// the aggressive memory-dependence sets; alias analysis then drops
+	// conservative unknown-alias edges.
+	Specialized bool
+}
+
+// Clone returns a deep copy of the loop (instructions and accesses copied,
+// arrays shared — arrays are identity objects).
+func (l *Loop) Clone() *Loop {
+	nl := &Loop{
+		Name:        l.Name,
+		TripCount:   l.TripCount,
+		Unroll:      l.Unroll,
+		Specialized: l.Specialized,
+		Instrs:      make([]*Instr, len(l.Instrs)),
+	}
+	for i, in := range l.Instrs {
+		ci := *in
+		ci.Srcs = append([]Reg(nil), in.Srcs...)
+		ci.Carried = append([]CarriedUse(nil), in.Carried...)
+		if in.Mem != nil {
+			m := *in.Mem
+			ci.Mem = &m
+		}
+		nl.Instrs[i] = &ci
+	}
+	return nl
+}
+
+// DefOf returns the instruction defining reg, or nil.
+func (l *Loop) DefOf(reg Reg) *Instr {
+	if reg == NoReg {
+		return nil
+	}
+	for _, in := range l.Instrs {
+		if in.Dst == reg {
+			return in
+		}
+	}
+	return nil
+}
+
+// MemRefs returns the loop's load and store instructions in body order.
+func (l *Loop) MemRefs() []*Instr {
+	var out []*Instr
+	for _, in := range l.Instrs {
+		if in.Op.IsMemRef() {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: IDs match positions, registers have
+// a single definition, every use refers to a defined register or a carried
+// value, memory instructions carry an access summary, widths are sane.
+func (l *Loop) Validate() error {
+	if len(l.Instrs) == 0 {
+		return fmt.Errorf("ir: loop %q has no instructions", l.Name)
+	}
+	if l.TripCount <= 0 {
+		return fmt.Errorf("ir: loop %q has non-positive trip count %d", l.Name, l.TripCount)
+	}
+	defs := make(map[Reg]*Instr)
+	for i, in := range l.Instrs {
+		if in.ID != i {
+			return fmt.Errorf("ir: loop %q instr %d has ID %d", l.Name, i, in.ID)
+		}
+		if in.Dst != NoReg {
+			if prev, dup := defs[in.Dst]; dup {
+				return fmt.Errorf("ir: loop %q: %s redefined by %q (first defined by %q)", l.Name, in.Dst, in, prev)
+			}
+			defs[in.Dst] = in
+		}
+		switch in.Op {
+		case OpLoad, OpStore, OpPrefetch:
+			if in.Mem == nil {
+				return fmt.Errorf("ir: loop %q: %q lacks a memory access summary", l.Name, in)
+			}
+			if in.Mem.Array == nil {
+				return fmt.Errorf("ir: loop %q: %q references a nil array", l.Name, in)
+			}
+			switch in.Mem.Width {
+			case 1, 2, 4, 8:
+			default:
+				return fmt.Errorf("ir: loop %q: %q has invalid access width %d", l.Name, in, in.Mem.Width)
+			}
+			if in.Mem.Scramble != 0 && in.Mem.StrideKnown {
+				return fmt.Errorf("ir: loop %q: %q is scrambled but claims a known stride", l.Name, in)
+			}
+		case OpComm:
+			return fmt.Errorf("ir: loop %q: %q: OpComm must not appear in source loops", l.Name, in)
+		}
+		if in.Op == OpLoad && in.Dst == NoReg {
+			return fmt.Errorf("ir: loop %q: load %q defines no register", l.Name, in)
+		}
+	}
+	for _, in := range l.Instrs {
+		for _, s := range in.Srcs {
+			if s == NoReg {
+				return fmt.Errorf("ir: loop %q: %q uses NoReg", l.Name, in)
+			}
+			if _, ok := defs[s]; !ok {
+				return fmt.Errorf("ir: loop %q: %q uses %s which no instruction defines", l.Name, in, s)
+			}
+		}
+		for _, c := range in.Carried {
+			if c.Distance <= 0 {
+				return fmt.Errorf("ir: loop %q: %q carried use of %s has non-positive distance %d", l.Name, in, c.Reg, c.Distance)
+			}
+			if _, ok := defs[c.Reg]; !ok {
+				return fmt.Errorf("ir: loop %q: %q carries %s which no instruction defines", l.Name, in, c.Reg)
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Loop) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %q (trip %d, unroll %d):\n", l.Name, l.TripCount, l.Unroll)
+	for _, in := range l.Instrs {
+		fmt.Fprintf(&b, "  %2d: %s\n", in.ID, in)
+	}
+	return b.String()
+}

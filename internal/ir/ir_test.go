@@ -1,0 +1,347 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func simpleLoop(t *testing.T) *Loop {
+	t.Helper()
+	b := NewBuilder("simple", 100)
+	a := b.Array("a", 4096, 4)
+	d := b.Array("d", 4096, 4)
+	v := b.Load("ld", a, 0, 4, 4)
+	x := b.Int("add", v)
+	b.Store("st", d, 0, 4, 4, x)
+	return b.Build()
+}
+
+func TestBuilderProducesValidLoop(t *testing.T) {
+	l := simpleLoop(t)
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(l.Instrs) != 3 {
+		t.Fatalf("got %d instrs, want 3", len(l.Instrs))
+	}
+	if l.Unroll != 1 {
+		t.Errorf("Unroll = %d, want 1", l.Unroll)
+	}
+}
+
+func TestValidateRejectsDoubleDef(t *testing.T) {
+	l := simpleLoop(t)
+	l.Instrs[1].Dst = l.Instrs[0].Dst // redefine the load's register
+	if err := l.Validate(); err == nil {
+		t.Errorf("Validate accepted a double definition")
+	}
+}
+
+func TestValidateRejectsUndefinedUse(t *testing.T) {
+	l := simpleLoop(t)
+	l.Instrs[1].Srcs = []Reg{999}
+	if err := l.Validate(); err == nil {
+		t.Errorf("Validate accepted an undefined register use")
+	}
+}
+
+func TestValidateRejectsMissingMem(t *testing.T) {
+	l := simpleLoop(t)
+	l.Instrs[0].Mem = nil
+	if err := l.Validate(); err == nil {
+		t.Errorf("Validate accepted a load without a memory access")
+	}
+}
+
+func TestValidateRejectsBadWidth(t *testing.T) {
+	l := simpleLoop(t)
+	l.Instrs[0].Mem.Width = 3
+	if err := l.Validate(); err == nil {
+		t.Errorf("Validate accepted width 3")
+	}
+}
+
+func TestValidateRejectsZeroTrip(t *testing.T) {
+	l := simpleLoop(t)
+	l.TripCount = 0
+	if err := l.Validate(); err == nil {
+		t.Errorf("Validate accepted trip count 0")
+	}
+}
+
+func TestValidateRejectsScrambledKnownStride(t *testing.T) {
+	l := simpleLoop(t)
+	l.Instrs[0].Mem.Scramble = 7
+	if err := l.Validate(); err == nil {
+		t.Errorf("Validate accepted scrambled access with known stride")
+	}
+}
+
+func TestValidateRejectsNonPositiveCarryDistance(t *testing.T) {
+	b := NewBuilder("carry", 10)
+	a := b.Array("a", 64, 4)
+	v := b.Load("ld", a, 0, 4, 4)
+	r := b.SelfRecurrence("acc", 1, v)
+	l := b.Build()
+	l.DefOf(r).Carried[0].Distance = 0
+	if err := l.Validate(); err == nil {
+		t.Errorf("Validate accepted carried distance 0")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	l := simpleLoop(t)
+	c := l.Clone()
+	c.Instrs[0].Mem.Offset = 1234
+	c.Instrs[0].Srcs = append(c.Instrs[0].Srcs, 42)
+	if l.Instrs[0].Mem.Offset == 1234 {
+		t.Errorf("Clone shares MemAccess with the original")
+	}
+	if len(l.Instrs[0].Srcs) != 0 {
+		t.Errorf("Clone shares Srcs with the original")
+	}
+	// Arrays are identity objects and must be shared.
+	if c.Instrs[0].Mem.Array != l.Instrs[0].Mem.Array {
+		t.Errorf("Clone must share Array identities")
+	}
+}
+
+func TestDefOf(t *testing.T) {
+	l := simpleLoop(t)
+	if l.DefOf(l.Instrs[0].Dst) != l.Instrs[0] {
+		t.Errorf("DefOf(load dst) != load")
+	}
+	if l.DefOf(NoReg) != nil {
+		t.Errorf("DefOf(NoReg) != nil")
+	}
+	if l.DefOf(777) != nil {
+		t.Errorf("DefOf(undefined) != nil")
+	}
+}
+
+func TestMemRefs(t *testing.T) {
+	l := simpleLoop(t)
+	refs := l.MemRefs()
+	if len(refs) != 2 {
+		t.Fatalf("MemRefs = %d, want 2", len(refs))
+	}
+	if refs[0].Op != OpLoad || refs[1].Op != OpStore {
+		t.Errorf("MemRefs order wrong: %v %v", refs[0].Op, refs[1].Op)
+	}
+}
+
+func TestAddrAtAffine(t *testing.T) {
+	m := &MemAccess{Array: &Array{Base: 1000, SizeBytes: 4096}, Offset: 8, Stride: 4, StrideKnown: true, Width: 4}
+	for i, want := range map[int64]int64{0: 1008, 1: 1012, 10: 1048} {
+		if got := m.AddrAt(i); got != want {
+			t.Errorf("AddrAt(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestAddrAtPeriodic(t *testing.T) {
+	m := &MemAccess{Array: &Array{Base: 0, SizeBytes: 4096}, Stride: 4, StrideKnown: true, Width: 4, IndexPeriod: 4}
+	if m.AddrAt(0) != m.AddrAt(4) || m.AddrAt(1) != m.AddrAt(5) {
+		t.Errorf("periodic access does not wrap at the period")
+	}
+	if m.AddrAt(0) == m.AddrAt(1) {
+		t.Errorf("periodic access degenerate")
+	}
+}
+
+func TestAddrAtPhase(t *testing.T) {
+	// PhaseFactor recovers the original index: i*4 + 2.
+	m := &MemAccess{Array: &Array{Base: 0, SizeBytes: 4096}, Stride: 2, StrideKnown: true, Width: 2, PhaseFactor: 4, PhaseOffset: 2}
+	if got, want := m.AddrAt(3), int64((3*4+2)*2); got != want {
+		t.Errorf("AddrAt with phase = %d, want %d", got, want)
+	}
+}
+
+func TestAddrAtScrambleStaysInBounds(t *testing.T) {
+	arr := &Array{Base: 5000, SizeBytes: 1024}
+	m := &MemAccess{Array: arr, Width: 4, Scramble: 12345}
+	err := quick.Check(func(i int64) bool {
+		if i < 0 {
+			i = -i
+		}
+		a := m.AddrAt(i)
+		return a >= arr.Base && a+int64(m.Width) <= arr.Base+arr.SizeBytes
+	}, nil)
+	if err != nil {
+		t.Errorf("scrambled address out of bounds: %v", err)
+	}
+}
+
+func TestAddrAtScrambleDeterministic(t *testing.T) {
+	arr := &Array{Base: 0, SizeBytes: 4096}
+	m1 := &MemAccess{Array: arr, Width: 4, Scramble: 99}
+	m2 := &MemAccess{Array: arr, Width: 4, Scramble: 99}
+	for i := int64(0); i < 64; i++ {
+		if m1.AddrAt(i) != m2.AddrAt(i) {
+			t.Fatalf("scramble not deterministic at %d", i)
+		}
+	}
+}
+
+func TestElemStride(t *testing.T) {
+	m := &MemAccess{Stride: 8, Width: 2}
+	if m.ElemStride() != 4 {
+		t.Errorf("ElemStride = %d, want 4", m.ElemStride())
+	}
+	m = &MemAccess{Stride: 3, Width: 2}
+	if m.ElemStride() != 3 {
+		t.Errorf("non-divisible ElemStride = %d, want byte value 3", m.ElemStride())
+	}
+}
+
+func TestIsCandidate(t *testing.T) {
+	l := simpleLoop(t)
+	if !l.Instrs[0].IsCandidate() {
+		t.Errorf("strided load should be a candidate")
+	}
+	if l.Instrs[1].IsCandidate() {
+		t.Errorf("ALU op should not be a candidate")
+	}
+	l.Instrs[0].Mem.StrideKnown = false
+	if l.Instrs[0].IsCandidate() {
+		t.Errorf("unknown-stride load should not be a candidate")
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	memOps := []Opcode{OpLoad, OpStore, OpPrefetch, OpInval}
+	for _, op := range memOps {
+		if !op.IsMem() {
+			t.Errorf("%v.IsMem() = false", op)
+		}
+	}
+	if OpIntALU.IsMem() || OpComm.IsMem() {
+		t.Errorf("non-memory op classified as memory")
+	}
+	if !OpLoad.IsMemRef() || !OpStore.IsMemRef() {
+		t.Errorf("load/store must be memory references")
+	}
+	if OpPrefetch.IsMemRef() || OpInval.IsMemRef() {
+		t.Errorf("prefetch/inval are not memory references for aliasing")
+	}
+}
+
+func TestDefaultLatencies(t *testing.T) {
+	if OpIntALU.DefaultLatency() != 1 || OpIntMul.DefaultLatency() != 2 ||
+		OpFPALU.DefaultLatency() != 2 || OpFPMul.DefaultLatency() != 4 {
+		t.Errorf("unexpected default latencies")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	l := simpleLoop(t)
+	s := l.String()
+	for _, want := range []string{"simple", "load", "store", "stride 4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Loop.String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBuilderErr(t *testing.T) {
+	b := NewBuilder("bad", 10)
+	b.CarryInto(42, 1, 1) // no such consumer register
+	if _, err := b.BuildErr(); err == nil {
+		t.Errorf("BuildErr accepted CarryInto on undefined register")
+	}
+}
+
+func TestBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Build did not panic on invalid loop")
+		}
+	}()
+	b := NewBuilder("empty", 10)
+	b.Build() // no instructions
+}
+
+func TestBuilderFullOpcodeSurface(t *testing.T) {
+	b := NewBuilder("all", 64)
+	a := b.Array("a", 4096, 4)
+	tab := b.Array("tab", 2048, 2)
+	v := b.Load("ld", a, 0, 4, 4)
+	p := b.LoadPeriodic("ldp", a, 0, 4, 4, 8)
+	ix := b.LoadIndexed("ldx", tab, 2, 5, v)
+	m := b.IntMul("mul", v, p)
+	f := b.FP("fadd", m)
+	fm := b.FPMul("fmul", f)
+	r := b.Recurrence("rec", v, 2, fm)
+	fr := b.FPSelfRecurrence("facc", 1, r)
+	b.StoreIndexed("stx", tab, 2, 5, ix)
+	b.Store("st", a, 0, 4, 4, fr)
+	b.Specialized()
+	l := b.Build()
+
+	if !l.Specialized {
+		t.Errorf("Specialized not set")
+	}
+	wantOps := []Opcode{OpLoad, OpLoad, OpLoad, OpIntMul, OpFPALU, OpFPMul, OpIntALU, OpFPALU, OpStore, OpStore}
+	for i, op := range wantOps {
+		if l.Instrs[i].Op != op {
+			t.Errorf("instr %d op = %v, want %v", i, l.Instrs[i].Op, op)
+		}
+	}
+	if l.Instrs[1].Mem.IndexPeriod != 8 {
+		t.Errorf("LoadPeriodic period lost")
+	}
+	if l.Instrs[2].Mem.Scramble != 5 || l.Instrs[2].Mem.StrideKnown {
+		t.Errorf("LoadIndexed not scrambled")
+	}
+	if len(l.Instrs[2].Srcs) != 1 || l.Instrs[2].Srcs[0] != v {
+		t.Errorf("LoadIndexed index register lost")
+	}
+	if got := l.Instrs[6].Carried; len(got) != 1 || got[0].Reg != v || got[0].Distance != 2 {
+		t.Errorf("Recurrence carried use = %+v", got)
+	}
+	if got := l.Instrs[7].Carried; len(got) != 1 || got[0].Reg != l.Instrs[7].Dst {
+		t.Errorf("FPSelfRecurrence must carry its own value")
+	}
+	if l.Instrs[8].Mem.Scramble != 5 {
+		t.Errorf("StoreIndexed not scrambled")
+	}
+}
+
+func TestLoadIndexedZeroSeedNormalised(t *testing.T) {
+	b := NewBuilder("z", 16)
+	tab := b.Array("t", 256, 2)
+	b.LoadIndexed("ld", tab, 2, 0, NoReg)
+	l := b.Build()
+	if l.Instrs[0].Mem.Scramble == 0 {
+		t.Errorf("zero seed must be normalised to nonzero (scramble requires it)")
+	}
+}
+
+func TestEnumStringsCoverUnknown(t *testing.T) {
+	if Opcode(250).String() == "" || Reg(0).String() != "_" {
+		t.Errorf("fallback strings broken")
+	}
+	in := &Instr{Op: OpLoad, Dst: 3, Srcs: []Reg{1}, Carried: []CarriedUse{{Reg: 2, Distance: 1}},
+		Mem: &MemAccess{Array: &Array{Name: "a"}, Offset: 4, Stride: 2, Width: 2}}
+	s := in.String()
+	for _, want := range []string{"load", "r3", "r1", "r2@-1", "[a+4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Instr.String() = %q missing %q", s, want)
+		}
+	}
+	var nilArr *Array
+	if nilArr.String() != "<nil array>" {
+		t.Errorf("nil array string = %q", nilArr.String())
+	}
+}
+
+func TestBuildErrSuccessPath(t *testing.T) {
+	b := NewBuilder("ok", 8)
+	a := b.Array("a", 64, 4)
+	v := b.Load("ld", a, 0, 4, 4)
+	b.Int("op", v)
+	if _, err := b.BuildErr(); err != nil {
+		t.Errorf("BuildErr on valid loop: %v", err)
+	}
+}

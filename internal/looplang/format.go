@@ -1,0 +1,122 @@
+package looplang
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Format writes a loop back out in the looplang text format. Loops built
+// programmatically (or by the workload generator) round-trip through
+// Parse(Format(l)) as long as they use only pre-unroll features — PSR
+// replicas and phase-rewritten accesses have no surface syntax.
+func Format(w io.Writer, l *ir.Loop) error {
+	if l.Unroll != 1 {
+		return fmt.Errorf("looplang: cannot format an unrolled loop (factor %d)", l.Unroll)
+	}
+	fmt.Fprintf(w, "loop %s %d\n", sanitize(l.Name), l.TripCount)
+	if l.Specialized {
+		fmt.Fprintln(w, "specialized")
+	}
+
+	// Arrays in first-reference order, with unique printable names.
+	arrayName := map[*ir.Array]string{}
+	used := map[string]bool{}
+	for _, in := range l.Instrs {
+		if in.Mem == nil || arrayName[in.Mem.Array] != "" {
+			continue
+		}
+		name := sanitize(in.Mem.Array.Name)
+		for used[name] {
+			name += "x"
+		}
+		used[name] = true
+		arrayName[in.Mem.Array] = name
+		fmt.Fprintf(w, "array %s %d %d\n", name, in.Mem.Array.SizeBytes, in.Mem.Array.ElemBytes)
+	}
+
+	// Registers named r<def-index>.
+	regName := map[ir.Reg]string{}
+	for _, in := range l.Instrs {
+		if in.Dst != ir.NoReg {
+			regName[in.Dst] = fmt.Sprintf("r%d", in.ID)
+		}
+	}
+	var carries []string
+	for _, in := range l.Instrs {
+		switch in.Op {
+		case ir.OpLoad:
+			m := in.Mem
+			switch {
+			case m.Scramble != 0:
+				idx := ""
+				if len(in.Srcs) == 1 {
+					idx = " " + regName[in.Srcs[0]]
+				}
+				fmt.Fprintf(w, "%s = loadx %s %d %d%s\n", regName[in.Dst], arrayName[m.Array], m.Width, m.Scramble, idx)
+			case m.IndexPeriod > 1:
+				fmt.Fprintf(w, "%s = loadp %s %d %d %d %d\n", regName[in.Dst], arrayName[m.Array], m.Offset, m.Stride, m.Width, m.IndexPeriod)
+			default:
+				fmt.Fprintf(w, "%s = load %s %d %d %d\n", regName[in.Dst], arrayName[m.Array], m.Offset, m.Stride, m.Width)
+			}
+		case ir.OpStore:
+			m := in.Mem
+			src := "r0"
+			if len(in.Srcs) == 1 {
+				src = regName[in.Srcs[0]]
+			}
+			if m.Scramble != 0 {
+				fmt.Fprintf(w, "storex %s %d %d %s\n", arrayName[m.Array], m.Width, m.Scramble, src)
+			} else {
+				fmt.Fprintf(w, "store %s %d %d %d %s\n", arrayName[m.Array], m.Offset, m.Stride, m.Width, src)
+			}
+		case ir.OpIntALU, ir.OpIntMul, ir.OpFPALU, ir.OpFPMul:
+			op := map[ir.Opcode]string{
+				ir.OpIntALU: "int", ir.OpIntMul: "mul",
+				ir.OpFPALU: "fp", ir.OpFPMul: "fpmul",
+			}[in.Op]
+			srcs := make([]string, len(in.Srcs))
+			for i, s := range in.Srcs {
+				srcs[i] = regName[s]
+			}
+			if len(srcs) == 0 {
+				return fmt.Errorf("looplang: %s op without sources has no surface syntax", op)
+			}
+			fmt.Fprintf(w, "%s = %s %s\n", regName[in.Dst], op, strings.Join(srcs, " "))
+		default:
+			return fmt.Errorf("looplang: opcode %v has no surface syntax", in.Op)
+		}
+		for _, c := range in.Carried {
+			carries = append(carries, fmt.Sprintf("carry %s %s %d", regName[in.Dst], regName[c.Reg], c.Distance))
+		}
+	}
+	for _, c := range carries {
+		fmt.Fprintln(w, c)
+	}
+	return nil
+}
+
+// FormatString renders the loop to a string.
+func FormatString(l *ir.Loop) (string, error) {
+	var sb strings.Builder
+	if err := Format(&sb, l); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// sanitize makes a name safe for the whitespace-separated syntax.
+func sanitize(s string) string {
+	if s == "" {
+		return "anon"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
+}

@@ -1,0 +1,256 @@
+// Package looplang parses a small text format describing an inner loop, so
+// kernels can be fed to the compiler and simulator without writing Go (the
+// cmd/l0loop tool). The format is line-based:
+//
+//	# comment
+//	loop NAME TRIP                     — header, required first
+//	array NAME SIZE ELEM               — declare a data object
+//	R = load ARRAY OFFSET STRIDE W     — strided load into register R
+//	R = loadp ARRAY OFFSET STRIDE W P  — periodic load (index mod P)
+//	R = loadx ARRAY W SEED [IDX]       — data-dependent load (unknown stride)
+//	R = int SRC...                     — 1-cycle integer op
+//	R = mul SRC...                     — 2-cycle integer multiply
+//	R = fp SRC...                      — 2-cycle FP add
+//	R = fpmul SRC...                   — 4-cycle FP multiply
+//	store ARRAY OFFSET STRIDE W SRC    — strided store of SRC
+//	storex ARRAY W SEED SRC            — data-dependent store
+//	carry R FROM DIST                  — R's op also consumes FROM@-DIST
+//	specialized                        — apply code specialization (§4.1)
+//
+// Registers are arbitrary identifiers; each must be defined exactly once
+// before use (except carry, which may reference any defined register and
+// creates the loop-carried recurrences).
+package looplang
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Parse reads one loop description.
+func Parse(r io.Reader) (*ir.Loop, error) {
+	sc := bufio.NewScanner(r)
+	var b *ir.Builder
+	arrays := map[string]*ir.Array{}
+	regs := map[string]ir.Reg{}
+	type carryFix struct {
+		line      int
+		reg, from string
+		dist      int
+	}
+	var carries []carryFix
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("looplang: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+
+		if b == nil {
+			if f[0] != "loop" {
+				return nil, fail("the first directive must be `loop NAME TRIP`")
+			}
+			if len(f) != 3 {
+				return nil, fail("loop needs a name and a trip count")
+			}
+			trip, err := strconv.ParseInt(f[2], 10, 64)
+			if err != nil || trip <= 0 {
+				return nil, fail("bad trip count %q", f[2])
+			}
+			b = ir.NewBuilder(f[1], trip)
+			continue
+		}
+
+		switch f[0] {
+		case "loop":
+			return nil, fail("duplicate loop header")
+		case "specialized":
+			b.Specialized()
+		case "array":
+			if len(f) != 4 {
+				return nil, fail("array needs NAME SIZE ELEM")
+			}
+			size, err1 := strconv.ParseInt(f[2], 10, 64)
+			elem, err2 := strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil || size <= 0 {
+				return nil, fail("bad array geometry")
+			}
+			if _, dup := arrays[f[1]]; dup {
+				return nil, fail("array %q redeclared", f[1])
+			}
+			arrays[f[1]] = b.Array(f[1], size, elem)
+		case "store":
+			if len(f) != 6 {
+				return nil, fail("store needs ARRAY OFFSET STRIDE WIDTH SRC")
+			}
+			a, ok := arrays[f[1]]
+			if !ok {
+				return nil, fail("unknown array %q", f[1])
+			}
+			off, e1 := strconv.ParseInt(f[2], 10, 64)
+			st, e2 := strconv.ParseInt(f[3], 10, 64)
+			w, e3 := strconv.Atoi(f[4])
+			if e1 != nil || e2 != nil || e3 != nil {
+				return nil, fail("bad store operands")
+			}
+			src, ok := regs[f[5]]
+			if !ok {
+				return nil, fail("unknown register %q", f[5])
+			}
+			b.Store("st_"+f[1], a, off, st, w, src)
+		case "storex":
+			if len(f) != 5 {
+				return nil, fail("storex needs ARRAY WIDTH SEED SRC")
+			}
+			a, ok := arrays[f[1]]
+			if !ok {
+				return nil, fail("unknown array %q", f[1])
+			}
+			w, e1 := strconv.Atoi(f[2])
+			seed, e2 := strconv.ParseUint(f[3], 10, 64)
+			if e1 != nil || e2 != nil {
+				return nil, fail("bad storex operands")
+			}
+			src, ok := regs[f[4]]
+			if !ok {
+				return nil, fail("unknown register %q", f[4])
+			}
+			b.StoreIndexed("stx_"+f[1], a, w, seed, src)
+		case "carry":
+			if len(f) != 4 {
+				return nil, fail("carry needs REG FROM DIST")
+			}
+			d, err := strconv.Atoi(f[3])
+			if err != nil || d <= 0 {
+				return nil, fail("bad carry distance %q", f[3])
+			}
+			carries = append(carries, carryFix{lineNo, f[1], f[2], d})
+		default:
+			// Assignment form: R = op ...
+			if len(f) < 3 || f[1] != "=" {
+				return nil, fail("unrecognised directive %q", f[0])
+			}
+			name := f[0]
+			if _, dup := regs[name]; dup {
+				return nil, fail("register %q redefined", name)
+			}
+			op := f[2]
+			args := f[3:]
+			var reg ir.Reg
+			switch op {
+			case "load", "loadp":
+				want := 4
+				if op == "loadp" {
+					want = 5
+				}
+				if len(args) != want {
+					return nil, fail("%s needs ARRAY OFFSET STRIDE WIDTH%s", op, map[bool]string{true: " PERIOD"}[op == "loadp"])
+				}
+				a, ok := arrays[args[0]]
+				if !ok {
+					return nil, fail("unknown array %q", args[0])
+				}
+				off, e1 := strconv.ParseInt(args[1], 10, 64)
+				st, e2 := strconv.ParseInt(args[2], 10, 64)
+				w, e3 := strconv.Atoi(args[3])
+				if e1 != nil || e2 != nil || e3 != nil {
+					return nil, fail("bad %s operands", op)
+				}
+				if op == "load" {
+					reg = b.Load(name, a, off, st, w)
+				} else {
+					period, err := strconv.Atoi(args[4])
+					if err != nil || period < 1 {
+						return nil, fail("bad period %q", args[4])
+					}
+					reg = b.LoadPeriodic(name, a, off, st, w, period)
+				}
+			case "loadx":
+				if len(args) != 3 && len(args) != 4 {
+					return nil, fail("loadx needs ARRAY WIDTH SEED [IDX]")
+				}
+				a, ok := arrays[args[0]]
+				if !ok {
+					return nil, fail("unknown array %q", args[0])
+				}
+				w, e1 := strconv.Atoi(args[1])
+				seed, e2 := strconv.ParseUint(args[2], 10, 64)
+				if e1 != nil || e2 != nil {
+					return nil, fail("bad loadx operands")
+				}
+				idx := ir.NoReg
+				if len(args) == 4 {
+					r, ok := regs[args[3]]
+					if !ok {
+						return nil, fail("unknown register %q", args[3])
+					}
+					idx = r
+				}
+				reg = b.LoadIndexed(name, a, w, seed, idx)
+			case "int", "mul", "fp", "fpmul":
+				if len(args) == 0 {
+					return nil, fail("%s needs at least one source", op)
+				}
+				srcs := make([]ir.Reg, 0, len(args))
+				for _, s := range args {
+					r, ok := regs[s]
+					if !ok {
+						return nil, fail("unknown register %q", s)
+					}
+					srcs = append(srcs, r)
+				}
+				switch op {
+				case "int":
+					reg = b.Int(name, srcs...)
+				case "mul":
+					reg = b.IntMul(name, srcs...)
+				case "fp":
+					reg = b.FP(name, srcs...)
+				case "fpmul":
+					reg = b.FPMul(name, srcs...)
+				}
+			default:
+				return nil, fail("unknown operation %q", op)
+			}
+			regs[name] = reg
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("looplang: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("looplang: empty input")
+	}
+	for _, c := range carries {
+		consumer, ok := regs[c.reg]
+		if !ok {
+			return nil, fmt.Errorf("looplang: line %d: unknown register %q", c.line, c.reg)
+		}
+		from, ok := regs[c.from]
+		if !ok {
+			return nil, fmt.Errorf("looplang: line %d: unknown register %q", c.line, c.from)
+		}
+		b.CarryInto(consumer, from, c.dist)
+	}
+	return b.BuildErr()
+}
+
+// ParseString parses a loop description from a string.
+func ParseString(s string) (*ir.Loop, error) {
+	return Parse(strings.NewReader(s))
+}

@@ -1,0 +1,223 @@
+package looplang
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/workload"
+)
+
+const iirSrc = `
+# first-order recursive filter
+loop iir 1024
+array y 8192 4
+array x 8192 4
+prev = load y -4 4 4
+in   = load x 0 4 4
+mix  = int prev in
+store y 0 4 4 mix
+`
+
+func TestParseIIR(t *testing.T) {
+	l, err := ParseString(iirSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if l.Name != "iir" || l.TripCount != 1024 {
+		t.Errorf("header parsed wrong: %q %d", l.Name, l.TripCount)
+	}
+	if len(l.Instrs) != 4 {
+		t.Fatalf("instrs = %d, want 4", len(l.Instrs))
+	}
+	if l.Instrs[0].Op != ir.OpLoad || l.Instrs[0].Mem.Offset != -4 {
+		t.Errorf("first load parsed wrong: %v", l.Instrs[0])
+	}
+	if l.Instrs[3].Op != ir.OpStore {
+		t.Errorf("store missing")
+	}
+}
+
+func TestParseCarry(t *testing.T) {
+	src := `
+loop acc 256
+array a 4096 4
+v = load a 0 4 4
+sum = int v
+carry sum sum 1
+`
+	l, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	def := l.Instrs[1]
+	if len(def.Carried) != 1 || def.Carried[0].Distance != 1 || def.Carried[0].Reg != def.Dst {
+		t.Errorf("carry not applied: %+v", def.Carried)
+	}
+}
+
+func TestParseScrambledAndPeriodic(t *testing.T) {
+	src := `
+loop t 256
+array tab 4096 4
+array coef 64 4
+i = loadx tab 4 99
+c = loadp coef 0 4 4 16
+m = mul i c
+storex tab 4 99 m
+specialized
+`
+	l, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if l.Instrs[0].Mem.Scramble == 0 || l.Instrs[0].Mem.StrideKnown {
+		t.Errorf("loadx not scrambled")
+	}
+	if l.Instrs[1].Mem.IndexPeriod != 16 {
+		t.Errorf("period = %d", l.Instrs[1].Mem.IndexPeriod)
+	}
+	if !l.Specialized {
+		t.Errorf("specialized directive ignored")
+	}
+}
+
+func TestParseFPOps(t *testing.T) {
+	src := `
+loop f 128
+array a 4096 8
+v = load a 0 8 8
+m = fpmul v
+s = fp m
+store a 0 8 8 s
+`
+	l, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if l.Instrs[1].Op != ir.OpFPMul || l.Instrs[2].Op != ir.OpFPALU {
+		t.Errorf("FP ops parsed wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no header", "array a 64 4"},
+		{"bad trip", "loop x zero"},
+		{"dup header", "loop a 10\nloop b 10"},
+		{"unknown array", "loop a 10\nv = load nope 0 4 4"},
+		{"dup array", "loop a 10\narray x 64 4\narray x 64 4"},
+		{"dup register", "loop a 10\narray x 64 4\nv = load x 0 4 4\nv = int v"},
+		{"unknown reg", "loop a 10\narray x 64 4\nstore x 0 4 4 ghost"},
+		{"bad op", "loop a 10\narray x 64 4\nv = shazam x"},
+		{"bad carry dist", "loop a 10\narray x 64 4\nv = load x 0 4 4\ns = int v\ncarry s s 0"},
+		{"carry unknown", "loop a 10\narray x 64 4\nv = load x 0 4 4\ncarry v ghost 1"},
+		{"bad width", "loop a 10\narray x 64 4\nv = load x 0 4 3"},
+		{"garbage", "loop a 10\nwibble wobble"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.src); err == nil {
+			t.Errorf("%s: parser accepted invalid input", tc.name)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "# leading comment\n\nloop c 64\n  array a 4096 2  # trailing\n\nv = load a 0 2 2\ns = int v\nstore a 0 2 2 s # done\n"
+	if _, err := ParseString(src); err != nil {
+		t.Fatalf("Parse with comments: %v", err)
+	}
+}
+
+func TestParsedLoopSchedules(t *testing.T) {
+	l, err := ParseString(iirSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !strings.Contains(l.String(), "iir") {
+		t.Errorf("loop lost its name")
+	}
+}
+
+// TestRoundTripWorkloadKernels formats every workload kernel and parses it
+// back, checking the reconstructed loop is structurally identical (same ops,
+// accesses and recurrences — names and register numbers may differ).
+func TestRoundTripWorkloadKernels(t *testing.T) {
+	for _, b := range workload.Suite() {
+		for i := range b.Kernels {
+			k := &b.Kernels[i]
+			orig := k.Loop()
+			text, err := FormatString(orig)
+			if err != nil {
+				t.Fatalf("%s/%s: Format: %v", b.Name, k.Name, err)
+			}
+			back, err := ParseString(text)
+			if err != nil {
+				t.Fatalf("%s/%s: Parse(Format): %v\n%s", b.Name, k.Name, err, text)
+			}
+			if len(back.Instrs) != len(orig.Instrs) {
+				t.Fatalf("%s/%s: instr count %d != %d", b.Name, k.Name, len(back.Instrs), len(orig.Instrs))
+			}
+			if back.TripCount != orig.TripCount || back.Specialized != orig.Specialized {
+				t.Errorf("%s/%s: header mismatch", b.Name, k.Name)
+			}
+			for j := range orig.Instrs {
+				o, n := orig.Instrs[j], back.Instrs[j]
+				if o.Op != n.Op || len(o.Srcs) != len(n.Srcs) || len(o.Carried) != len(n.Carried) {
+					t.Errorf("%s/%s: instr %d mismatch: %v vs %v", b.Name, k.Name, j, o, n)
+				}
+				if (o.Mem == nil) != (n.Mem == nil) {
+					t.Fatalf("%s/%s: instr %d mem mismatch", b.Name, k.Name, j)
+				}
+				if o.Mem != nil {
+					if o.Mem.Offset != n.Mem.Offset || o.Mem.Stride != n.Mem.Stride ||
+						o.Mem.Width != n.Mem.Width || o.Mem.IndexPeriod != n.Mem.IndexPeriod ||
+						o.Mem.Scramble != n.Mem.Scramble {
+						t.Errorf("%s/%s: instr %d access mismatch: %+v vs %+v", b.Name, k.Name, j, o.Mem, n.Mem)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFormatRejectsUnrolled(t *testing.T) {
+	l, err := ParseString(iirSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Unroll = 4
+	if _, err := FormatString(l); err == nil {
+		t.Errorf("Format accepted an unrolled loop")
+	}
+}
+
+func TestSampleLoopFilesParse(t *testing.T) {
+	files, err := filepath.Glob("../../examples/loops/*.loop")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no sample loop files found: %v", err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		l, err := ParseString(string(data))
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}

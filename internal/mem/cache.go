@@ -1,0 +1,112 @@
+package mem
+
+// Cache is a set-associative cache with true-LRU replacement used for the
+// unified L1 data cache (and, with different geometry, for the distributed
+// L1 slices of the baseline architectures). It tracks tags only: the model
+// simulates timing, not data values.
+type Cache struct {
+	sets      int
+	ways      int
+	blockBits uint
+	// tags[set][way] and stamps[set][way]; a zero stamp with tag -1 is
+	// an invalid way.
+	tags   [][]int64
+	stamps [][]int64
+	clock  int64
+}
+
+// NewCache builds a cache of sizeBytes capacity with the given block size
+// and associativity. Geometry must divide evenly.
+func NewCache(sizeBytes, blockBytes, assoc int) *Cache {
+	blocks := sizeBytes / blockBytes
+	sets := blocks / assoc
+	if sets == 0 {
+		sets = 1
+	}
+	c := &Cache{
+		sets:      sets,
+		ways:      assoc,
+		blockBits: log2(blockBytes),
+		tags:      make([][]int64, sets),
+		stamps:    make([][]int64, sets),
+	}
+	for i := range c.tags {
+		c.tags[i] = make([]int64, assoc)
+		c.stamps[i] = make([]int64, assoc)
+		for w := range c.tags[i] {
+			c.tags[i][w] = -1
+		}
+	}
+	return c
+}
+
+func log2(v int) uint {
+	var b uint
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// BlockAddr returns the block-aligned address containing addr.
+func (c *Cache) BlockAddr(addr int64) int64 {
+	return addr &^ ((1 << c.blockBits) - 1)
+}
+
+func (c *Cache) setOf(addr int64) int {
+	return int((addr >> c.blockBits) % int64(c.sets))
+}
+
+// Lookup probes the cache; on a hit the block's LRU stamp is refreshed.
+func (c *Cache) Lookup(addr int64) bool {
+	c.clock++
+	set := c.setOf(addr)
+	tag := addr >> c.blockBits
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == tag {
+			c.stamps[set][w] = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Fill allocates the block, evicting the LRU way (write-through above this
+// level: evictions are silent).
+func (c *Cache) Fill(addr int64) {
+	c.clock++
+	set := c.setOf(addr)
+	tag := addr >> c.blockBits
+	victim, oldest := 0, c.stamps[set][0]
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == tag {
+			c.stamps[set][w] = c.clock
+			return // already present
+		}
+		if c.tags[set][w] == -1 {
+			c.tags[set][w] = tag
+			c.stamps[set][w] = c.clock
+			return
+		}
+		if c.stamps[set][w] < oldest {
+			victim, oldest = w, c.stamps[set][w]
+		}
+	}
+	c.tags[set][victim] = tag
+	c.stamps[set][victim] = c.clock
+}
+
+// Invalidate drops the block if present (snoop invalidations in the
+// MultiVLIW baseline).
+func (c *Cache) Invalidate(addr int64) bool {
+	set := c.setOf(addr)
+	tag := addr >> c.blockBits
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set][w] == tag {
+			c.tags[set][w] = -1
+			return true
+		}
+	}
+	return false
+}

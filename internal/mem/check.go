@@ -1,0 +1,119 @@
+package mem
+
+// Coherence checking: the timing model tracks addresses, not data, so a
+// scheduling bug that lets a load read a stale L0 copy would be invisible —
+// it would just be a fast wrong answer. With CheckCoherence enabled the
+// system shadows every byte with a store-version counter, snapshots the
+// versions a subblock carries when it is filled (and refreshes them when a
+// PAR_ACCESS store updates the local copy), and flags any L0 hit whose bytes
+// are older than the latest store. Running the whole workload under the
+// checker dynamically validates the paper's claim that the NL0/1C/PSR
+// schemes plus loop-boundary invalidation keep software-managed buffers
+// coherent.
+//
+// The checker is off by default: version maps cost real time and the
+// experiments do not need them.
+
+// cohState is the shared shadow-memory state.
+type cohState struct {
+	// version[b] is the global store counter after the last store that
+	// wrote byte b.
+	version map[int64]uint64
+	clock   uint64
+}
+
+func newCohState() *cohState {
+	return &cohState{version: map[int64]uint64{}}
+}
+
+// recordStore bumps the version of every byte the store writes.
+func (c *cohState) recordStore(addr int64, width int) {
+	c.clock++
+	for b := addr; b < addr+int64(width); b++ {
+		c.version[b] = c.clock
+	}
+}
+
+// snapshot returns the current versions of a byte set.
+func (c *cohState) snapshot(bytes []int64) map[int64]uint64 {
+	m := make(map[int64]uint64, len(bytes))
+	for _, b := range bytes {
+		if v, ok := c.version[b]; ok {
+			m[b] = v
+		}
+	}
+	return m
+}
+
+// EnableCoherenceCheck turns on shadow-version tracking (before any
+// traffic). Violations are counted in Stats.CoherenceViolations.
+func (s *System) EnableCoherenceCheck() {
+	s.coh = newCohState()
+	for _, b := range s.L0 {
+		b.coh = s.coh
+	}
+}
+
+// entryBytes lists the byte addresses an entry caches.
+func (b *L0Buffer) entryBytes(e *l0Entry) []int64 {
+	var out []int64
+	if !e.interleaved {
+		for a := e.subAddr; a < e.subAddr+int64(b.cfg.L0SubblockBytes); a++ {
+			out = append(out, a)
+		}
+		return out
+	}
+	elems := b.cfg.L1BlockBytes / e.factor
+	for i := e.lane; i < elems; i += b.cfg.Clusters {
+		base := e.blockAddr + int64(i*e.factor)
+		for a := base; a < base+int64(e.factor); a++ {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// checkFill snapshots the filled entry's byte versions.
+func (b *L0Buffer) checkFill(i int) {
+	if b.coh == nil {
+		return
+	}
+	e := &b.entries[i]
+	e.versions = b.coh.snapshot(b.entryBytes(e))
+}
+
+// checkStoreUpdate refreshes the updated bytes of entry i (the PAR_ACCESS
+// store wrote fresh data into the local copy).
+func (b *L0Buffer) checkStoreUpdate(i int, addr int64, width int) {
+	if b.coh == nil {
+		return
+	}
+	e := &b.entries[i]
+	if e.versions == nil {
+		e.versions = map[int64]uint64{}
+	}
+	for a := addr; a < addr+int64(width); a++ {
+		if v, ok := b.coh.version[a]; ok {
+			e.versions[a] = v
+		}
+	}
+}
+
+// checkHit flags the hit as a violation if any accessed byte is older in the
+// entry than the latest store.
+func (b *L0Buffer) checkHit(i int, addr int64, width int) {
+	if b.coh == nil {
+		return
+	}
+	e := &b.entries[i]
+	for a := addr; a < addr+int64(width); a++ {
+		latest, stored := b.coh.version[a]
+		if !stored {
+			continue // never stored: any cached copy is current
+		}
+		if e.versions == nil || e.versions[a] < latest {
+			b.stats.CoherenceViolations++
+			return
+		}
+	}
+}

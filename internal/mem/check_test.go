@@ -1,0 +1,82 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func checkedSystem() *System {
+	s := NewSystem(arch.MICRO36Config())
+	s.EnableCoherenceCheck()
+	return s
+}
+
+func TestCheckerCleanOnLocalUpdate(t *testing.T) {
+	// Load caches; a PAR store in the SAME cluster updates the copy; the
+	// next load reads fresh data: no violation.
+	s := checkedSystem()
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}
+	s.Load(0, 4096, 4, h, 100)
+	s.Store(0, 4096, 4, arch.Hints{Access: arch.ParAccess}, false, 200)
+	s.Load(0, 4096, 4, h, 300)
+	if s.Stats.CoherenceViolations != 0 {
+		t.Errorf("violations = %d on a coherent 1C pattern", s.Stats.CoherenceViolations)
+	}
+}
+
+func TestCheckerCatchesRemoteStaleRead(t *testing.T) {
+	// Load caches in cluster 0; a store in cluster 1 (a schedule the
+	// compiler would never emit) leaves cluster 0 stale; the re-read must
+	// be flagged.
+	s := checkedSystem()
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}
+	s.Load(0, 4096, 4, h, 100)
+	s.Store(1, 4096, 4, arch.Hints{Access: arch.ParAccess}, false, 200)
+	s.Load(0, 4096, 4, h, 300)
+	if s.Stats.CoherenceViolations != 1 {
+		t.Errorf("violations = %d, want 1 for a stale remote read", s.Stats.CoherenceViolations)
+	}
+}
+
+func TestCheckerInvalidationRestoresCoherence(t *testing.T) {
+	// Same broken pattern, but a PSR-style invalidation in cluster 0
+	// removes the stale copy before the re-read: the load misses and
+	// refetches fresh data — no violation.
+	s := checkedSystem()
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}
+	s.Load(0, 4096, 4, h, 100)
+	s.Store(1, 4096, 4, arch.Hints{Access: arch.ParAccess}, false, 200)
+	s.Store(0, 4096, 4, arch.Hints{}, true, 200) // secondary replica invalidate
+	s.Load(0, 4096, 4, h, 300)
+	if s.Stats.CoherenceViolations != 0 {
+		t.Errorf("violations = %d after replica invalidation", s.Stats.CoherenceViolations)
+	}
+}
+
+func TestCheckerLoopEndFlushRestoresCoherence(t *testing.T) {
+	s := checkedSystem()
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}
+	s.Load(0, 4096, 4, h, 100)
+	s.Store(1, 4096, 4, arch.Hints{Access: arch.ParAccess}, false, 200)
+	s.LoopEnd() // invalidate_buffer everywhere
+	s.Load(0, 4096, 4, h, 300)
+	if s.Stats.CoherenceViolations != 0 {
+		t.Errorf("violations = %d after a loop-boundary flush", s.Stats.CoherenceViolations)
+	}
+}
+
+func TestCheckerInterleavedLaneStaleness(t *testing.T) {
+	// An interleaved fill scatters lanes to every cluster; a store in the
+	// filling cluster leaves the OTHER clusters' lanes stale for that
+	// address; a cross-cluster read of the stored element must be flagged.
+	s := checkedSystem()
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.InterleavedMap}
+	s.Load(0, 4096, 2, h, 100) // lane of element 0 lands in cluster 0
+	// Element 1 (addr 4098) belongs to cluster 1's lane.
+	s.Store(2, 4098, 2, arch.Hints{Access: arch.ParAccess}, false, 200)
+	s.Load(1, 4098, 2, arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}, 300)
+	if s.Stats.CoherenceViolations != 1 {
+		t.Errorf("violations = %d, want 1 for a stale interleaved lane", s.Stats.CoherenceViolations)
+	}
+}

@@ -1,0 +1,218 @@
+// Package mem models the memory hierarchy of the proposed architecture: the
+// per-cluster flexible compiler-managed L0 buffers (fully associative, LRU,
+// write-through, with linear and interleaved subblock mapping and automatic
+// positive/negative prefetch triggers), the unified set-associative L1 data
+// cache, the always-hit L2, and the single bus that connects each cluster to
+// L1 (whose next-cycle availability is what the SEQ_ACCESS hint guarantees).
+//
+// All timing is expressed in absolute (post-stall) cycles supplied by the
+// execution engine; the package computes data-ready times and mutates cache
+// state but never advances time itself.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// l0Entry is one subblock cached in an L0 buffer. Linear entries hold
+// consecutive bytes [SubAddr, SubAddr+subBytes). Interleaved entries hold
+// the elements of L1 block BlockAddr whose element index ≡ Lane (mod
+// clusters) at element width Factor.
+type l0Entry struct {
+	valid       bool
+	interleaved bool
+	subAddr     int64 // linear
+	blockAddr   int64 // interleaved
+	lane        int
+	factor      int
+	// validAt is when the fill completes (in-flight entries satisfy
+	// hits only after this time).
+	validAt int64
+	lastUse int64
+	// versions is the coherence checker's byte-version snapshot (nil
+	// unless checking is enabled).
+	versions map[int64]uint64
+}
+
+// L0Buffer is one cluster's flexible compiler-managed L0 buffer.
+type L0Buffer struct {
+	cfg      arch.Config
+	cluster  int
+	entries  []l0Entry
+	capacity int
+	stats    *Stats
+	coh      *cohState
+}
+
+// NewL0Buffer returns an empty buffer for the given cluster.
+func NewL0Buffer(cfg arch.Config, cluster int, stats *Stats) *L0Buffer {
+	capacity := cfg.L0Entries
+	pre := capacity
+	if capacity >= arch.Unbounded {
+		pre = 64 // grows on demand
+	}
+	return &L0Buffer{
+		cfg:      cfg,
+		cluster:  cluster,
+		entries:  make([]l0Entry, pre),
+		capacity: capacity,
+		stats:    stats,
+	}
+}
+
+// Lookup returns the index of an entry containing [addr, addr+width) or -1.
+// A hit on an in-flight entry is still a hit; the caller must wait for
+// validAt. Entries that only hold part of the requested bytes (interleaved
+// data touched at a different granularity, §3.3) do not match.
+func (b *L0Buffer) Lookup(addr int64, width int) int {
+	for i := range b.entries {
+		if b.entries[i].valid && b.contains(&b.entries[i], addr, width) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (b *L0Buffer) contains(e *l0Entry, addr int64, width int) bool {
+	if !e.interleaved {
+		return e.subAddr <= addr && addr+int64(width) <= e.subAddr+int64(b.cfg.L0SubblockBytes)
+	}
+	if width != e.factor {
+		return false // cross-granularity access: forwarded to L1 (§3.3)
+	}
+	off := addr - e.blockAddr
+	if off < 0 || off >= int64(b.cfg.L1BlockBytes) || off%int64(e.factor) != 0 {
+		return false
+	}
+	return (off/int64(e.factor))%int64(b.cfg.Clusters) == int64(e.lane)
+}
+
+// Touch refreshes the LRU stamp of entry i.
+func (b *L0Buffer) Touch(i int, now int64) { b.entries[i].lastUse = now }
+
+// ValidAt returns the fill-completion time of entry i.
+func (b *L0Buffer) ValidAt(i int) int64 { return b.entries[i].validAt }
+
+// HasLinear reports whether a linear entry for the exact subblock exists
+// (valid or in flight); used to suppress duplicate prefetches.
+func (b *L0Buffer) HasLinear(subAddr int64) bool {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && !e.interleaved && e.subAddr == subAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// HasInterleaved reports whether an interleaved entry (block, lane, factor)
+// exists.
+func (b *L0Buffer) HasInterleaved(blockAddr int64, lane, factor int) bool {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.interleaved && e.blockAddr == blockAddr && e.lane == lane && e.factor == factor {
+			return true
+		}
+	}
+	return false
+}
+
+// AllocLinear inserts a linear subblock, evicting the LRU entry if needed.
+func (b *L0Buffer) AllocLinear(subAddr, validAt, now int64) {
+	i := b.victim(now)
+	b.entries[i] = l0Entry{valid: true, subAddr: subAddr, validAt: validAt, lastUse: now}
+	b.checkFill(i)
+	b.stats.LinearSubblocks++
+}
+
+// AllocInterleaved inserts one lane of an interleaved block fill.
+func (b *L0Buffer) AllocInterleaved(blockAddr int64, lane, factor int, validAt, now int64) {
+	i := b.victim(now)
+	b.entries[i] = l0Entry{
+		valid: true, interleaved: true,
+		blockAddr: blockAddr, lane: lane, factor: factor,
+		validAt: validAt, lastUse: now,
+	}
+	b.checkFill(i)
+	b.stats.InterleavedSubblocks++
+}
+
+// victim picks a free slot or the least recently used entry. In-flight
+// entries are eligible victims: this is the LRU-thrash mechanism behind the
+// jpegdec anomaly of §5.2.
+func (b *L0Buffer) victim(now int64) int {
+	best, bestUse := -1, int64(0)
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.valid {
+			return i
+		}
+		if best == -1 || e.lastUse < bestUse {
+			best, bestUse = i, e.lastUse
+		}
+	}
+	if b.capacity >= arch.Unbounded {
+		b.entries = append(b.entries, l0Entry{})
+		return len(b.entries) - 1
+	}
+	b.stats.L0Evictions++
+	return best
+}
+
+// StoreUpdate applies a PAR_ACCESS store: the first entry holding the
+// address is updated in place; any further replicas (the same data mapped
+// with a different function, §4.1) are invalidated rather than updated, so
+// the buffer needs no extra write ports.
+func (b *L0Buffer) StoreUpdate(addr int64, width int, now int64) {
+	first := true
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.valid || !b.contains(e, addr, width) {
+			continue
+		}
+		if first {
+			e.lastUse = now
+			b.checkStoreUpdate(i, addr, width)
+			first = false
+		} else {
+			e.valid = false
+			b.stats.L0ReplicaInvalidations++
+		}
+	}
+}
+
+// InvalidateAddr discards every entry holding the address (non-primary PSR
+// store instances).
+func (b *L0Buffer) InvalidateAddr(addr int64, width int) {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && b.contains(e, addr, width) {
+			e.valid = false
+		}
+	}
+}
+
+// InvalidateAll implements the invalidate_buffer instruction: every entry is
+// discarded (write-through makes this a constant-latency operation, §3.3).
+func (b *L0Buffer) InvalidateAll() {
+	for i := range b.entries {
+		b.entries[i].valid = false
+	}
+}
+
+// Occupancy returns the number of valid entries (tests and the l0trace CLI).
+func (b *L0Buffer) Occupancy() int {
+	n := 0
+	for i := range b.entries {
+		if b.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *L0Buffer) String() string {
+	return fmt.Sprintf("L0[c%d] %d/%d entries", b.cluster, b.Occupancy(), b.capacity)
+}

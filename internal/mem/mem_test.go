@@ -1,0 +1,453 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func cfg8() arch.Config { return arch.MICRO36Config().WithL0Entries(8) }
+
+func newBuf(t *testing.T, entries int) (*L0Buffer, *Stats) {
+	t.Helper()
+	var st Stats
+	return NewL0Buffer(cfg8().WithL0Entries(entries), 0, &st), &st
+}
+
+func TestL0LinearLookup(t *testing.T) {
+	b, _ := newBuf(t, 4)
+	b.AllocLinear(64, 0, 0)
+	if b.Lookup(64, 4) < 0 || b.Lookup(68, 4) < 0 || b.Lookup(71, 1) < 0 {
+		t.Errorf("linear subblock must cover [64,72)")
+	}
+	if b.Lookup(72, 4) >= 0 || b.Lookup(60, 4) >= 0 {
+		t.Errorf("linear lookup hit outside the subblock")
+	}
+	if b.Lookup(68, 8) >= 0 {
+		t.Errorf("access straddling the subblock end must miss")
+	}
+}
+
+func TestL0InterleavedLookup(t *testing.T) {
+	b, _ := newBuf(t, 4)
+	// Lane 1 of a 32-byte block at 0, 2-byte elements, 4 clusters:
+	// elements at offsets 2, 10, 18, 26.
+	b.AllocInterleaved(0, 1, 2, 0, 0)
+	for _, off := range []int64{2, 10, 18, 26} {
+		if b.Lookup(off, 2) < 0 {
+			t.Errorf("lane element at %d missed", off)
+		}
+	}
+	for _, off := range []int64{0, 4, 8, 12, 20} {
+		if b.Lookup(off, 2) >= 0 {
+			t.Errorf("foreign lane element at %d hit", off)
+		}
+	}
+}
+
+func TestL0InterleavedCrossGranularityMisses(t *testing.T) {
+	// §3.3: data interleaved at one granularity accessed at another is a
+	// forwarded miss, never a partial hit.
+	b, _ := newBuf(t, 4)
+	b.AllocInterleaved(0, 0, 1, 0, 0) // byte-interleaved lane 0: bytes 0,4,8,...
+	if b.Lookup(0, 4) >= 0 {
+		t.Errorf("4-byte access hit byte-interleaved lane")
+	}
+	if b.Lookup(0, 1) < 0 {
+		t.Errorf("1-byte access should hit its own lane")
+	}
+}
+
+func TestL0LRUEviction(t *testing.T) {
+	b, st := newBuf(t, 2)
+	b.AllocLinear(0, 0, 10)
+	b.AllocLinear(8, 0, 20)
+	b.Touch(b.Lookup(0, 4), 30) // make subblock 0 the MRU
+	b.AllocLinear(16, 0, 40)    // must evict subblock 8
+	if b.Lookup(8, 4) >= 0 {
+		t.Errorf("LRU entry not evicted")
+	}
+	if b.Lookup(0, 4) < 0 || b.Lookup(16, 4) < 0 {
+		t.Errorf("wrong entry evicted")
+	}
+	if st.L0Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.L0Evictions)
+	}
+}
+
+func TestL0UnboundedGrows(t *testing.T) {
+	b, st := newBuf(t, arch.Unbounded)
+	for i := int64(0); i < 500; i++ {
+		b.AllocLinear(i*8, 0, i)
+	}
+	for i := int64(0); i < 500; i++ {
+		if b.Lookup(i*8, 4) < 0 {
+			t.Fatalf("unbounded buffer evicted subblock %d", i)
+		}
+	}
+	if st.L0Evictions != 0 {
+		t.Errorf("unbounded buffer recorded evictions")
+	}
+}
+
+func TestL0StoreUpdateInvalidatesReplicas(t *testing.T) {
+	// The same data mapped twice (linear + interleaved): a store updates
+	// one copy and invalidates the other (§4.1 intra-cluster coherence).
+	b, st := newBuf(t, 4)
+	b.AllocLinear(0, 0, 0)            // bytes [0,8)
+	b.AllocInterleaved(0, 0, 2, 0, 1) // lane 0: bytes 0,8,16,24 (2-wide)
+	b.StoreUpdate(0, 2, 5)
+	remaining := 0
+	if b.Lookup(4, 2) >= 0 { // only in the linear copy
+		remaining++
+	}
+	if b.Lookup(16, 2) >= 0 { // only in the interleaved copy
+		remaining++
+	}
+	if remaining != 1 {
+		t.Errorf("store must keep exactly one replica, %d remain", remaining)
+	}
+	if st.L0ReplicaInvalidations != 1 {
+		t.Errorf("replica invalidations = %d, want 1", st.L0ReplicaInvalidations)
+	}
+}
+
+func TestL0InvalidateAddrAndAll(t *testing.T) {
+	b, _ := newBuf(t, 4)
+	b.AllocLinear(0, 0, 0)
+	b.AllocLinear(8, 0, 0)
+	b.InvalidateAddr(2, 2)
+	if b.Lookup(0, 2) >= 0 {
+		t.Errorf("InvalidateAddr left the containing subblock")
+	}
+	if b.Lookup(8, 2) < 0 {
+		t.Errorf("InvalidateAddr removed an unrelated subblock")
+	}
+	b.InvalidateAll()
+	if b.Occupancy() != 0 {
+		t.Errorf("InvalidateAll left %d entries", b.Occupancy())
+	}
+}
+
+func TestL0VictimPrefersInvalid(t *testing.T) {
+	b, st := newBuf(t, 4)
+	b.AllocLinear(0, 0, 0)
+	b.AllocLinear(8, 0, 1)
+	b.InvalidateAddr(0, 1)
+	b.AllocLinear(16, 0, 2)
+	if st.L0Evictions != 0 {
+		t.Errorf("allocation into an invalid slot counted as eviction")
+	}
+	if b.Lookup(8, 4) < 0 {
+		t.Errorf("valid entry evicted while an invalid slot existed")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(8192, 32, 2)
+	if c.Lookup(100) {
+		t.Errorf("cold cache hit")
+	}
+	c.Fill(c.BlockAddr(100))
+	if !c.Lookup(100) || !c.Lookup(96) || !c.Lookup(127) {
+		t.Errorf("filled block must hit for all its bytes")
+	}
+	if c.Lookup(128) {
+		t.Errorf("adjacent block hit")
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	c := NewCache(8192, 32, 2)
+	setStride := int64(8192 / 2) // blocks mapping to the same set
+	a0, a1, a2 := int64(0), setStride, 2*setStride
+	c.Fill(a0)
+	c.Fill(a1)
+	c.Lookup(a0) // refresh a0
+	c.Fill(a2)   // evicts a1
+	if !c.Lookup(a0) {
+		t.Errorf("MRU block evicted")
+	}
+	if c.Lookup(a1) {
+		t.Errorf("LRU block survived")
+	}
+	if !c.Lookup(a2) {
+		t.Errorf("new block missing")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(8192, 32, 2)
+	c.Fill(0)
+	if !c.Invalidate(0) {
+		t.Errorf("Invalidate missed a present block")
+	}
+	if c.Lookup(0) {
+		t.Errorf("block survived invalidation")
+	}
+	if c.Invalidate(0) {
+		t.Errorf("Invalidate hit an absent block")
+	}
+}
+
+func TestSystemSeqVsParTiming(t *testing.T) {
+	cfg := cfg8()
+	// SEQ miss forwards after the L0 probe: one cycle later than PAR.
+	s1 := NewSystem(cfg)
+	seqReady := s1.Load(0, 4096, 2, arch.Hints{Access: arch.SeqAccess, Map: arch.LinearMap}, 100)
+	s2 := NewSystem(cfg)
+	parReady := s2.Load(0, 4096, 2, arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}, 100)
+	if seqReady != parReady+int64(cfg.L0Latency) {
+		t.Errorf("SEQ miss ready = %d, want PAR (%d) + L0 latency", seqReady, parReady)
+	}
+}
+
+func TestSystemL0HitFast(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}
+	s.Load(0, 4096, 2, h, 100)
+	ready := s.Load(0, 4096, 2, h, 200)
+	if ready != 200+int64(cfg.L0Latency) {
+		t.Errorf("L0 hit ready = %d, want %d", ready, 200+int64(cfg.L0Latency))
+	}
+	if s.Stats.L0Hits != 1 || s.Stats.L0Misses != 1 {
+		t.Errorf("hit/miss counts = %d/%d, want 1/1", s.Stats.L0Hits, s.Stats.L0Misses)
+	}
+}
+
+func TestSystemNoAccessBypassesL0(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	s.Load(0, 4096, 2, arch.Hints{Access: arch.NoAccess}, 100)
+	if s.Stats.L0Hits+s.Stats.L0Misses != 0 {
+		t.Errorf("NO_ACCESS load probed L0")
+	}
+	if s.L0[0].Occupancy() != 0 {
+		t.Errorf("NO_ACCESS load allocated in L0")
+	}
+}
+
+func TestSystemInterleavedFillScattersLanes(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.InterleavedMap}
+	// 2-byte access from cluster 2 at element 0 of block 4096.
+	s.Load(2, 4096, 2, h, 100)
+	// The accessing cluster holds its own lane...
+	if s.L0[2].Lookup(4096, 2) < 0 {
+		t.Errorf("accessing cluster missing its lane")
+	}
+	// ...and consecutive clusters hold consecutive lanes.
+	if s.L0[3].Lookup(4098, 2) < 0 || s.L0[0].Lookup(4100, 2) < 0 || s.L0[1].Lookup(4102, 2) < 0 {
+		t.Errorf("lanes not scattered to consecutive clusters")
+	}
+	if s.Stats.InterleavedSubblocks != 4 {
+		t.Errorf("interleaved subblocks = %d, want 4", s.Stats.InterleavedSubblocks)
+	}
+}
+
+func TestSystemInterleavedFillPaysShufflePenalty(t *testing.T) {
+	cfg := cfg8()
+	sLin := NewSystem(cfg)
+	lin := sLin.Load(0, 4096, 2, arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}, 100)
+	sInt := NewSystem(cfg)
+	inter := sInt.Load(0, 4096, 2, arch.Hints{Access: arch.ParAccess, Map: arch.InterleavedMap}, 100)
+	if inter != lin+int64(cfg.InterleavePenalty) {
+		t.Errorf("interleaved fill ready = %d, want linear (%d) + penalty", inter, lin)
+	}
+}
+
+func TestSystemPositivePrefetchTriggersOnLastElement(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap, Prefetch: arch.Positive, PrefetchDistance: 1}
+	s.Load(0, 4096, 2, h, 100) // fills [4096,4104)
+	s.Load(0, 4098, 2, h, 110)
+	s.Load(0, 4100, 2, h, 120)
+	if s.Stats.HintPrefetches != 0 {
+		t.Fatalf("prefetch fired before the last element")
+	}
+	s.Load(0, 4102, 2, h, 130) // last element → prefetch next subblock
+	if s.Stats.HintPrefetches != 1 {
+		t.Fatalf("prefetch did not fire on the last element")
+	}
+	if !s.L0[0].HasLinear(4104) {
+		t.Errorf("next subblock not allocated")
+	}
+}
+
+func TestSystemNegativePrefetch(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap, Prefetch: arch.Negative, PrefetchDistance: 1}
+	s.Load(0, 4104, 2, h, 100) // fills [4104,4112); first element access triggers
+	if s.Stats.HintPrefetches != 1 {
+		t.Fatalf("negative prefetch did not fire on the first element")
+	}
+	if !s.L0[0].HasLinear(4096) {
+		t.Errorf("previous subblock not allocated")
+	}
+}
+
+func TestSystemPrefetchDistanceTwo(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap, Prefetch: arch.Positive, PrefetchDistance: 2}
+	s.Load(0, 4102, 2, h, 100) // last element of [4096,4104)
+	if !s.L0[0].HasLinear(4096 + 2*8) {
+		t.Errorf("distance-2 prefetch must fetch two subblocks ahead")
+	}
+}
+
+func TestSystemDuplicatePrefetchDropped(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap, Prefetch: arch.Positive, PrefetchDistance: 1}
+	s.Load(0, 4102, 2, h, 100)
+	s.Load(0, 4102, 2, h, 110) // same trigger again
+	if s.Stats.HintPrefetches != 1 || s.Stats.DroppedPrefetches == 0 {
+		t.Errorf("duplicate prefetch not suppressed: fired=%d dropped=%d",
+			s.Stats.HintPrefetches, s.Stats.DroppedPrefetches)
+	}
+}
+
+func TestSystemLateFillCountsAsMiss(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}
+	s.Load(0, 4096, 2, h, 100) // fill in flight until ~106
+	ready := s.Load(0, 4098, 2, h, 101)
+	if ready <= 102 {
+		t.Errorf("in-flight hit returned before the fill completed")
+	}
+	if s.Stats.L0LateFills != 1 {
+		t.Errorf("late fills = %d, want 1", s.Stats.L0LateFills)
+	}
+	if s.Stats.L0Misses != 2 {
+		t.Errorf("late fill must count as a miss (paper semantics)")
+	}
+}
+
+func TestSystemStoreWriteThroughNoAllocate(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	s.Store(0, 4096, 2, arch.Hints{Access: arch.ParAccess}, false, 100)
+	if s.L0[0].Occupancy() != 0 {
+		t.Errorf("store allocated in L0")
+	}
+	if s.Stats.L1Misses != 1 {
+		t.Errorf("write-through store must reach L1 (miss count %d)", s.Stats.L1Misses)
+	}
+	if s.L1.Lookup(4096) {
+		t.Errorf("store miss must not allocate in L1 (no write-allocate)")
+	}
+}
+
+func TestSystemParStoreUpdatesLocalL0Only(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}
+	s.Load(0, 4096, 2, h, 100) // cluster 0 caches the subblock
+	s.Load(1, 4096, 2, arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}, 110)
+	s.Store(0, 4096, 2, arch.Hints{Access: arch.ParAccess}, false, 120)
+	// Cluster 0's copy stays valid (updated); cluster 1's copy is stale by
+	// design — the compiler is responsible for never reading it (§3.3).
+	if s.L0[0].Lookup(4096, 2) < 0 {
+		t.Errorf("local PAR store must keep the local copy valid")
+	}
+	if s.L0[1].Lookup(4096, 2) < 0 {
+		t.Errorf("remote copies are never touched by stores (no inter-cluster traffic)")
+	}
+}
+
+func TestSystemSecondaryReplicaInvalidates(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}
+	s.Load(1, 4096, 2, h, 100)
+	s.Store(1, 4096, 2, arch.Hints{}, true, 110) // PSR secondary instance
+	if s.L0[1].Lookup(4096, 2) >= 0 {
+		t.Errorf("secondary replica did not invalidate the local copy")
+	}
+	if s.Stats.Stores != 0 {
+		t.Errorf("secondary replica must not reach L1")
+	}
+}
+
+func TestSystemLoopEndFlushes(t *testing.T) {
+	cfg := cfg8()
+	s := NewSystem(cfg)
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}
+	s.Load(0, 4096, 2, h, 100)
+	if c := s.LoopEnd(); c != 1 {
+		t.Errorf("LoopEnd overhead = %d, want 1", c)
+	}
+	for _, b := range s.L0 {
+		if b.Occupancy() != 0 {
+			t.Errorf("LoopEnd left entries")
+		}
+	}
+	// Without buffers the flush is free.
+	s0 := NewSystem(cfg.WithL0Entries(0))
+	if c := s0.LoopEnd(); c != 0 {
+		t.Errorf("no-L0 LoopEnd overhead = %d, want 0", c)
+	}
+}
+
+func TestSystemBusSerialises(t *testing.T) {
+	cfg := cfg8().WithL0Entries(0)
+	s := NewSystem(cfg)
+	r1 := s.Load(0, 1<<14, 4, arch.Hints{}, 100)
+	r2 := s.Load(0, 1<<15, 4, arch.Hints{}, 100) // same cycle, same cluster bus
+	if r2 != r1+1 {
+		t.Errorf("second same-cycle request must queue one cycle: %d vs %d", r2, r1)
+	}
+	r3 := s.Load(1, 1<<16, 4, arch.Hints{}, 100) // different cluster: own bus
+	if r3 != r1 {
+		t.Errorf("different cluster's bus must not queue: %d vs %d", r3, r1)
+	}
+}
+
+func TestSystemL2MissPenalty(t *testing.T) {
+	cfg := cfg8().WithL0Entries(0)
+	s := NewSystem(cfg)
+	miss := s.Load(0, 1<<14, 4, arch.Hints{}, 100)
+	hit := s.Load(0, 1<<14, 4, arch.Hints{}, 200)
+	if miss-100 != int64(cfg.L1Latency+cfg.L2Latency) {
+		t.Errorf("L1 miss latency = %d, want %d", miss-100, cfg.L1Latency+cfg.L2Latency)
+	}
+	if hit-200 != int64(cfg.L1Latency) {
+		t.Errorf("L1 hit latency = %d, want %d", hit-200, cfg.L1Latency)
+	}
+}
+
+func TestHitRateHelpers(t *testing.T) {
+	st := &Stats{L0Hits: 3, L0Misses: 1, L1Hits: 9, L1Misses: 1}
+	if st.L0HitRate() != 0.75 {
+		t.Errorf("L0HitRate = %v", st.L0HitRate())
+	}
+	if st.L1HitRate() != 0.9 {
+		t.Errorf("L1HitRate = %v", st.L1HitRate())
+	}
+	empty := &Stats{}
+	if empty.L0HitRate() != 1 || empty.L1HitRate() != 1 {
+		t.Errorf("empty stats should report rate 1")
+	}
+}
+
+func TestLaneOfProperty(t *testing.T) {
+	err := quick.Check(func(elemRaw uint16, wRaw uint8) bool {
+		widths := []int{1, 2, 4, 8}
+		w := widths[int(wRaw)%len(widths)]
+		block := int64(4096)
+		elems := 32 / w
+		e := int(elemRaw) % elems
+		addr := block + int64(e*w)
+		return laneOf(addr, block, w, 4) == e%4
+	}, nil)
+	if err != nil {
+		t.Errorf("laneOf: %v", err)
+	}
+}

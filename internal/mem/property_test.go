@@ -1,0 +1,134 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+// TestL0OccupancyNeverExceedsCapacity drives a buffer with arbitrary
+// operation sequences and checks the capacity invariant.
+func TestL0OccupancyNeverExceedsCapacity(t *testing.T) {
+	err := quick.Check(func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw%15) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var st Stats
+		b := NewL0Buffer(arch.MICRO36Config().WithL0Entries(capacity), 0, &st)
+		for op := 0; op < 200; op++ {
+			addr := int64(rng.Intn(64)) * 8
+			switch rng.Intn(5) {
+			case 0:
+				b.AllocLinear(addr, int64(op), int64(op))
+			case 1:
+				b.AllocInterleaved(addr&^31, rng.Intn(4), 2, int64(op), int64(op))
+			case 2:
+				b.StoreUpdate(addr, 2, int64(op))
+			case 3:
+				b.InvalidateAddr(addr, 2)
+			case 4:
+				if i := b.Lookup(addr, 2); i >= 0 {
+					b.Touch(i, int64(op))
+				}
+			}
+			if b.Occupancy() > capacity {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Errorf("capacity invariant violated: %v", err)
+	}
+}
+
+// TestL0LookupAfterAllocAlwaysHits: an allocated subblock is visible until
+// something evicts or invalidates it.
+func TestL0LookupAfterAllocAlwaysHits(t *testing.T) {
+	err := quick.Check(func(addrRaw uint16) bool {
+		var st Stats
+		b := NewL0Buffer(arch.MICRO36Config(), 0, &st)
+		addr := int64(addrRaw) &^ 7
+		b.AllocLinear(addr, 0, 0)
+		return b.Lookup(addr, 4) >= 0 && b.Lookup(addr+4, 4) >= 0
+	}, nil)
+	if err != nil {
+		t.Errorf("alloc-then-lookup failed: %v", err)
+	}
+}
+
+// TestL0InterleavedLaneDisjointness: the four lanes of one block partition
+// its elements; an element hits in exactly the lane that owns it.
+func TestL0InterleavedLaneDisjointness(t *testing.T) {
+	err := quick.Check(func(elemRaw uint8, wRaw uint8) bool {
+		widths := []int{1, 2, 4, 8}
+		w := widths[int(wRaw)%len(widths)]
+		elems := 32 / w
+		e := int(elemRaw) % elems
+		cfg := arch.MICRO36Config()
+		var hits int
+		for lane := 0; lane < 4; lane++ {
+			var st Stats
+			b := NewL0Buffer(cfg, 0, &st)
+			b.AllocInterleaved(0, lane, w, 0, 0)
+			if b.Lookup(int64(e*w), w) >= 0 {
+				hits++
+			}
+		}
+		return hits == 1
+	}, nil)
+	if err != nil {
+		t.Errorf("lane partition violated: %v", err)
+	}
+}
+
+// TestSystemReadyTimesMonotoneInT: issuing the same access later never
+// yields an earlier completion.
+func TestSystemReadyTimesMonotoneInT(t *testing.T) {
+	err := quick.Check(func(addrRaw uint16, dt uint8) bool {
+		cfg := arch.MICRO36Config()
+		h := arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}
+		addr := int64(addrRaw)
+		s1 := NewSystem(cfg)
+		r1 := s1.Load(0, addr, 2, h, 100)
+		s2 := NewSystem(cfg)
+		r2 := s2.Load(0, addr, 2, h, 100+int64(dt))
+		return r2 >= r1
+	}, nil)
+	if err != nil {
+		t.Errorf("ready-time monotonicity violated: %v", err)
+	}
+}
+
+// TestSystemStatsConsistency: hits+misses equals the number of L0-probing
+// loads under an arbitrary access mix.
+func TestSystemStatsConsistency(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := arch.MICRO36Config()
+		s := NewSystem(cfg)
+		probing := int64(0)
+		tm := int64(0)
+		for i := 0; i < 100; i++ {
+			tm += int64(rng.Intn(5))
+			addr := int64(rng.Intn(512)) * 2
+			switch rng.Intn(4) {
+			case 0:
+				s.Load(rng.Intn(4), addr, 2, arch.Hints{Access: arch.ParAccess, Map: arch.LinearMap}, tm)
+				probing++
+			case 1:
+				s.Load(rng.Intn(4), addr, 2, arch.Hints{Access: arch.SeqAccess, Map: arch.LinearMap}, tm)
+				probing++
+			case 2:
+				s.Load(rng.Intn(4), addr, 2, arch.Hints{Access: arch.NoAccess}, tm)
+			case 3:
+				s.Store(rng.Intn(4), addr, 2, arch.Hints{Access: arch.ParAccess}, false, tm)
+			}
+		}
+		return s.Stats.L0Hits+s.Stats.L0Misses == probing
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Errorf("stats consistency violated: %v", err)
+	}
+}

@@ -1,0 +1,350 @@
+package mem
+
+import (
+	"repro/internal/arch"
+)
+
+// Stats aggregates the memory-system event counters used by the
+// experiments (Figure 6's linear/interleaved ratio and L0 hit rate, plus
+// general diagnostics).
+type Stats struct {
+	// L0 access outcome for loads marked SEQ/PAR. A load that finds its
+	// subblock still in flight counts as a miss (it stalls), tallied
+	// separately in L0LateFills.
+	L0Hits, L0Misses, L0LateFills int64
+	// Fill mapping counters (one per deposited subblock).
+	LinearSubblocks, InterleavedSubblocks int64
+	// L1 access outcome (all requests reaching L1).
+	L1Hits, L1Misses int64
+	// Prefetch activity.
+	HintPrefetches     int64
+	ExplicitPrefetches int64
+	DroppedPrefetches  int64 // suppressed duplicates
+	// Diagnostics.
+	BusRequests            int64
+	L0Evictions            int64
+	L0ReplicaInvalidations int64
+	BusQueueCycles         int64
+	Stores                 int64
+	Loads                  int64
+	// CoherenceViolations counts L0 hits that returned stale data (only
+	// tracked when coherence checking is enabled; must stay zero for
+	// schedules the compiler declares coherent).
+	CoherenceViolations int64
+}
+
+// L0HitRate returns hits / (hits+misses), or 1 when the buffers were never
+// probed.
+func (s *Stats) L0HitRate() float64 {
+	total := s.L0Hits + s.L0Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.L0Hits) / float64(total)
+}
+
+// L1HitRate returns the unified-cache hit ratio.
+func (s *Stats) L1HitRate() float64 {
+	total := s.L1Hits + s.L1Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.L1Hits) / float64(total)
+}
+
+// System is the proposed architecture's memory hierarchy: per-cluster L0
+// buffers in front of a unified L1 backed by an always-hit L2, with one
+// request bus per cluster.
+type System struct {
+	Cfg   arch.Config
+	L0    []*L0Buffer
+	L1    *Cache
+	Stats Stats
+	// busNextFree[c] is the first cycle the cluster's L1 bus is free.
+	busNextFree []int64
+	// coh is the optional shadow-version coherence checker.
+	coh *cohState
+}
+
+// NewSystem builds the hierarchy for a configuration.
+func NewSystem(cfg arch.Config) *System {
+	s := &System{
+		Cfg:         cfg,
+		L1:          NewCache(cfg.L1SizeBytes, cfg.L1BlockBytes, cfg.L1Assoc),
+		busNextFree: make([]int64, cfg.Clusters),
+	}
+	if cfg.HasL0() {
+		s.L0 = make([]*L0Buffer, cfg.Clusters)
+		for c := range s.L0 {
+			s.L0[c] = NewL0Buffer(cfg, c, &s.Stats)
+		}
+	}
+	return s
+}
+
+// busStart serialises requests on a cluster's L1 bus: a request wanting the
+// bus at t starts at the first free cycle ≥ t.
+func (s *System) busStart(cluster int, t int64) int64 {
+	s.Stats.BusRequests++
+	start := t
+	if nf := s.busNextFree[cluster]; nf > start {
+		s.Stats.BusQueueCycles += nf - start
+		start = nf
+	}
+	s.busNextFree[cluster] = start + 1
+	return start
+}
+
+// accessL1 performs one L1 request issued on the bus at busT and returns the
+// data-ready time. Loads and fills allocate on miss; write-through stores do
+// not.
+func (s *System) accessL1(addr int64, busT int64, allocate bool) int64 {
+	if s.L1.Lookup(addr) {
+		s.Stats.L1Hits++
+		return busT + int64(s.Cfg.L1Latency)
+	}
+	s.Stats.L1Misses++
+	if allocate {
+		s.L1.Fill(s.L1.BlockAddr(addr))
+	}
+	return busT + int64(s.Cfg.L1Latency) + int64(s.Cfg.L2Latency)
+}
+
+// Load executes a load issued at absolute cycle t in the given cluster and
+// returns the data-ready time.
+func (s *System) Load(cluster int, addr int64, width int, h arch.Hints, t int64) int64 {
+	s.Stats.Loads++
+	if s.L0 == nil || h.Access == arch.NoAccess {
+		bt := s.busStart(cluster, t)
+		return s.accessL1(addr, bt, true)
+	}
+	b := s.L0[cluster]
+	if ei := b.Lookup(addr, width); ei >= 0 {
+		b.Touch(ei, t)
+		b.checkHit(ei, addr, width)
+		ready := t + int64(s.Cfg.L0Latency)
+		if va := b.ValidAt(ei); va > ready {
+			// The subblock is still in flight (a prefetch issued too
+			// close to its consumer): the data arrives late, which
+			// the paper counts as a miss — it stalls the processor.
+			ready = va
+			s.Stats.L0Misses++
+			s.Stats.L0LateFills++
+		} else {
+			s.Stats.L0Hits++
+		}
+		if h.Access == arch.ParAccess {
+			// The parallel L1 probe still happens; its reply is
+			// discarded but the bus slot and LRU touch are real.
+			bt := s.busStart(cluster, t)
+			s.accessL1(addr, bt, false)
+		}
+		s.maybeHintPrefetch(cluster, addr, width, h, t)
+		return ready
+	}
+	s.Stats.L0Misses++
+	reqT := t
+	if h.Access == arch.SeqAccess {
+		reqT = t + int64(s.Cfg.L0Latency) // probe L0 first, forward on miss
+	}
+	bt := s.busStart(cluster, reqT)
+	ready := s.accessL1(addr, bt, true)
+	ready = s.fill(cluster, addr, width, h, ready, t)
+	s.maybeHintPrefetch(cluster, addr, width, h, t)
+	return ready
+}
+
+// fill deposits the missed data into the L0 buffers per the mapping hint and
+// returns the (possibly shuffled) data-ready time.
+func (s *System) fill(cluster int, addr int64, width int, h arch.Hints, l1ready, now int64) int64 {
+	if h.Map == arch.LinearMap {
+		sub := subAlign(addr, s.Cfg.L0SubblockBytes)
+		s.L0[cluster].AllocLinear(sub, l1ready, now)
+		return l1ready
+	}
+	// Interleaved: the whole L1 block is read, shuffled (+1 cycle), and
+	// its lanes scattered to consecutive clusters starting with the
+	// accessing cluster's own lane (§3.1).
+	validAt := l1ready + int64(s.Cfg.InterleavePenalty)
+	block := blockAlign(addr, s.Cfg.L1BlockBytes)
+	ownLane := laneOf(addr, block, width, s.Cfg.Clusters)
+	for j := 0; j < s.Cfg.Clusters; j++ {
+		cl := (cluster + j) % s.Cfg.Clusters
+		lane := (ownLane + j) % s.Cfg.Clusters
+		s.L0[cl].AllocInterleaved(block, lane, width, validAt, now)
+	}
+	return validAt
+}
+
+// maybeHintPrefetch fires the automatic POSITIVE/NEGATIVE prefetch when the
+// access touches the last/first element of its subblock (§3.2). The
+// prefetched data is mapped the same way as the triggering subblock.
+func (s *System) maybeHintPrefetch(cluster int, addr int64, width int, h arch.Hints, t int64) {
+	if h.Prefetch == arch.NoPrefetch {
+		return
+	}
+	d := int64(h.PrefetchDistance)
+	if d <= 0 {
+		d = 1
+	}
+	subBytes := int64(s.Cfg.L0SubblockBytes)
+	blockBytes := int64(s.Cfg.L1BlockBytes)
+
+	if h.Map == arch.LinearMap {
+		sub := subAlign(addr, s.Cfg.L0SubblockBytes)
+		var target int64
+		switch h.Prefetch {
+		case arch.Positive:
+			if addr+int64(width) != sub+subBytes {
+				return // not the last element
+			}
+			target = sub + d*subBytes
+		case arch.Negative:
+			if addr != sub {
+				return // not the first element
+			}
+			target = sub - d*subBytes
+		}
+		if target < 0 || s.L0[cluster].HasLinear(target) {
+			s.Stats.DroppedPrefetches++
+			return
+		}
+		s.Stats.HintPrefetches++
+		bt := s.busStart(cluster, t)
+		ready := s.accessL1(target, bt, true)
+		s.L0[cluster].AllocLinear(target, ready, t)
+		return
+	}
+
+	// Interleaved mapping: the trigger is the last/first element of the
+	// cluster's own lane; the prefetch reads the next/previous whole L1
+	// block and scatters its lanes across the clusters, preserving the
+	// lane→cluster assignment of the triggering subblock.
+	block := blockAlign(addr, s.Cfg.L1BlockBytes)
+	lane := laneOf(addr, block, width, s.Cfg.Clusters)
+	elemIdx := (addr - block) / int64(width)
+	perSub := subBytes / int64(width)
+	lastIdx := int64(lane) + int64(s.Cfg.Clusters)*(perSub-1)
+	var target int64
+	switch h.Prefetch {
+	case arch.Positive:
+		if elemIdx != lastIdx {
+			return
+		}
+		target = block + d*blockBytes
+	case arch.Negative:
+		if elemIdx != int64(lane) {
+			return
+		}
+		target = block - d*blockBytes
+	}
+	if target < 0 || s.L0[cluster].HasInterleaved(target, lane, width) {
+		s.Stats.DroppedPrefetches++
+		return
+	}
+	s.Stats.HintPrefetches++
+	bt := s.busStart(cluster, t)
+	ready := s.accessL1(target, bt, true) + int64(s.Cfg.InterleavePenalty)
+	for j := 0; j < s.Cfg.Clusters; j++ {
+		cl := (cluster + j) % s.Cfg.Clusters
+		ln := (lane + j) % s.Cfg.Clusters
+		s.L0[cl].AllocInterleaved(target, ln, width, ready, t)
+	}
+}
+
+// ExplicitPrefetch executes a software prefetch instruction (step 5): it
+// brings the subblock containing addr into the cluster's buffer with linear
+// mapping.
+func (s *System) ExplicitPrefetch(cluster int, addr int64, t int64) {
+	if s.L0 == nil || addr < 0 {
+		return
+	}
+	sub := subAlign(addr, s.Cfg.L0SubblockBytes)
+	if s.L0[cluster].HasLinear(sub) {
+		s.Stats.DroppedPrefetches++
+		return
+	}
+	s.Stats.ExplicitPrefetches++
+	bt := s.busStart(cluster, t)
+	ready := s.accessL1(sub, bt, true)
+	s.L0[cluster].AllocLinear(sub, ready, t)
+}
+
+// Store executes a store at absolute cycle t. PAR_ACCESS stores update the
+// local L0 in parallel with the write-through to L1; all stores skip remote
+// buffers (software keeps them coherent). Non-primary PSR replicas only
+// invalidate their local buffer and generate no L1 traffic.
+func (s *System) Store(cluster int, addr int64, width int, h arch.Hints, secondaryReplica bool, t int64) {
+	if secondaryReplica {
+		if s.L0 != nil {
+			s.L0[cluster].InvalidateAddr(addr, width)
+		}
+		return
+	}
+	s.Stats.Stores++
+	if s.coh != nil {
+		s.coh.recordStore(addr, width)
+	}
+	if s.L0 != nil && h.Access == arch.ParAccess {
+		s.L0[cluster].StoreUpdate(addr, width, t)
+	}
+	bt := s.busStart(cluster, t)
+	if s.L1.Lookup(addr) {
+		s.Stats.L1Hits++
+	} else {
+		s.Stats.L1Misses++ // write-through, no allocate
+	}
+	_ = bt
+}
+
+// Prefetch satisfies the execution engine's memory-model interface by
+// delegating to ExplicitPrefetch.
+func (s *System) Prefetch(cluster int, addr int64, t int64) {
+	s.ExplicitPrefetch(cluster, addr, t)
+}
+
+// InvalidateAll models the invalidate_buffer instruction executed in every
+// cluster at a loop boundary (inter-loop coherence, §4.1).
+func (s *System) InvalidateAll() {
+	for _, b := range s.L0 {
+		b.InvalidateAll()
+	}
+}
+
+// InvalidateClusters models selective flushing (§4.1): invalidate_buffer
+// scheduled only in the listed clusters. Returns the cycle overhead (one
+// cycle when any cluster flushes — the instructions run in parallel).
+func (s *System) InvalidateClusters(clusters []int) int64 {
+	if s.L0 == nil || len(clusters) == 0 {
+		return 0
+	}
+	for _, c := range clusters {
+		s.L0[c].InvalidateAll()
+	}
+	return 1
+}
+
+// LoopEnd flushes every L0 buffer at a loop boundary and returns the one
+// cycle the parallel invalidate_buffer instructions occupy. Architectures
+// without buffers pay nothing.
+func (s *System) LoopEnd() int64 {
+	if s.L0 == nil {
+		return 0
+	}
+	s.InvalidateAll()
+	return 1
+}
+
+func subAlign(addr int64, subBytes int) int64 {
+	return addr &^ int64(subBytes-1)
+}
+
+func blockAlign(addr int64, blockBytes int) int64 {
+	return addr &^ int64(blockBytes-1)
+}
+
+// laneOf returns which interleave lane (0..clusters-1) the element at addr
+// belongs to within its block at the given element width.
+func laneOf(addr, block int64, width, clusters int) int {
+	return int(((addr - block) / int64(width)) % int64(clusters))
+}

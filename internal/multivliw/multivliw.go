@@ -1,0 +1,228 @@
+// Package multivliw models the MultiVLIW baseline of §5.3 (Sánchez &
+// González, MICRO-33): the L1 data cache is distributed among the clusters
+// as snoop-coherent slices kept consistent with an MSI protocol. Blocks
+// migrate and replicate to the clusters that use them, so most accesses
+// become local; the price is the coherence machinery the paper argues is too
+// complex for the embedded domain.
+//
+// The compiler schedules loads with the local-slice latency; the simulator
+// stalls the lock-step core whenever a load actually needs a remote slice or
+// the next memory level.
+package multivliw
+
+import (
+	"repro/internal/arch"
+)
+
+// Params are the timing assumptions for the distributed hierarchy. The
+// MICRO-33 paper's exact latencies are not reproduced here; these defaults
+// preserve the relevant ordering: local slice ≪ remote slice ≈ unified L1 <
+// L2.
+type Params struct {
+	// LocalLatency is a load-use hit in the cluster's own slice.
+	LocalLatency int
+	// RemoteLatency is a cache-to-cache transfer from another slice.
+	RemoteLatency int
+	// MemLatency is the additional penalty of fetching from L2.
+	MemLatency int
+}
+
+// DefaultParams returns the timing used in the Figure 7 reproduction.
+func DefaultParams() Params {
+	return Params{LocalLatency: 2, RemoteLatency: 6, MemLatency: 10}
+}
+
+// state of a block in one slice.
+type lineState uint8
+
+const (
+	invalid lineState = iota
+	shared
+	modified
+)
+
+type line struct {
+	tag   int64
+	state lineState
+	stamp int64
+}
+
+// slice is one cluster's set-associative L1 slice with MSI states.
+type slice struct {
+	sets      int
+	ways      int
+	blockBits uint
+	lines     [][]line
+	clock     int64
+}
+
+func newSlice(sizeBytes, blockBytes, assoc int) *slice {
+	blocks := sizeBytes / blockBytes
+	sets := blocks / assoc
+	if sets == 0 {
+		sets = 1
+	}
+	s := &slice{sets: sets, ways: assoc, blockBits: log2(blockBytes), lines: make([][]line, sets)}
+	for i := range s.lines {
+		s.lines[i] = make([]line, assoc)
+		for w := range s.lines[i] {
+			s.lines[i][w].state = invalid
+		}
+	}
+	return s
+}
+
+func log2(v int) uint {
+	var b uint
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+func (s *slice) setOf(addr int64) int {
+	return int((addr >> s.blockBits) % int64(s.sets))
+}
+
+func (s *slice) find(addr int64) *line {
+	set := s.setOf(addr)
+	tag := addr >> s.blockBits
+	for w := range s.lines[set] {
+		ln := &s.lines[set][w]
+		if ln.state != invalid && ln.tag == tag {
+			return ln
+		}
+	}
+	return nil
+}
+
+// insert allocates the block in the given state, evicting LRU.
+func (s *slice) insert(addr int64, st lineState) {
+	s.clock++
+	set := s.setOf(addr)
+	tag := addr >> s.blockBits
+	victim := 0
+	var oldest int64 = 1<<62 - 1
+	for w := range s.lines[set] {
+		ln := &s.lines[set][w]
+		if ln.state == invalid {
+			victim = w
+			break
+		}
+		if ln.stamp < oldest {
+			victim, oldest = w, ln.stamp
+		}
+	}
+	s.lines[set][victim] = line{tag: tag, state: st, stamp: s.clock}
+}
+
+func (s *slice) touch(ln *line) {
+	s.clock++
+	ln.stamp = s.clock
+}
+
+// Model is the MultiVLIW memory system; it implements the execution engine's
+// MemoryModel interface.
+type Model struct {
+	cfg    arch.Config
+	params Params
+	slices []*slice
+	Stats  Stats
+}
+
+// Stats counts coherence activity.
+type Stats struct {
+	LocalHits     int64
+	RemoteHits    int64
+	MemFetches    int64
+	Invalidations int64
+	Upgrades      int64
+	Stores        int64
+}
+
+// LocalRate returns the fraction of loads served by the local slice.
+func (s *Stats) LocalRate() float64 {
+	t := s.LocalHits + s.RemoteHits + s.MemFetches
+	if t == 0 {
+		return 1
+	}
+	return float64(s.LocalHits) / float64(t)
+}
+
+// New builds the distributed hierarchy: the unified L1 capacity of cfg is
+// split evenly into per-cluster slices with the same block size and
+// associativity.
+func New(cfg arch.Config, params Params) *Model {
+	m := &Model{cfg: cfg, params: params, slices: make([]*slice, cfg.Clusters)}
+	per := cfg.L1SizeBytes / cfg.Clusters
+	for c := range m.slices {
+		m.slices[c] = newSlice(per, cfg.L1BlockBytes, cfg.L1Assoc)
+	}
+	return m
+}
+
+// ScheduleLatency is the load latency the compiler assumes: the local hit
+// latency (data migrates to its users).
+func (m *Model) ScheduleLatency() int { return m.params.LocalLatency }
+
+func (m *Model) blockAlign(addr int64) int64 {
+	return addr &^ int64(m.cfg.L1BlockBytes-1)
+}
+
+// Load implements vliw.MemoryModel. Hints are ignored: the hardware protocol
+// manages the hierarchy.
+func (m *Model) Load(cluster int, addr int64, width int, _ arch.Hints, t int64) int64 {
+	b := m.blockAlign(addr)
+	local := m.slices[cluster]
+	if ln := local.find(b); ln != nil {
+		local.touch(ln)
+		m.Stats.LocalHits++
+		return t + int64(m.params.LocalLatency)
+	}
+	// Snoop the other slices; a dirty owner downgrades to shared.
+	for d := 1; d < m.cfg.Clusters; d++ {
+		c := (cluster + d) % m.cfg.Clusters
+		if ln := m.slices[c].find(b); ln != nil {
+			if ln.state == modified {
+				ln.state = shared // write back to L2, keep shared
+			}
+			local.insert(b, shared)
+			m.Stats.RemoteHits++
+			return t + int64(m.params.RemoteLatency)
+		}
+	}
+	local.insert(b, shared)
+	m.Stats.MemFetches++
+	return t + int64(m.params.RemoteLatency) + int64(m.params.MemLatency)
+}
+
+// Store implements vliw.MemoryModel: MSI write — upgrade or
+// read-for-ownership, invalidating every other copy.
+func (m *Model) Store(cluster int, addr int64, width int, _ arch.Hints, _ bool, t int64) {
+	m.Stats.Stores++
+	b := m.blockAlign(addr)
+	local := m.slices[cluster]
+	for d := 1; d < m.cfg.Clusters; d++ {
+		c := (cluster + d) % m.cfg.Clusters
+		if ln := m.slices[c].find(b); ln != nil {
+			ln.state = invalid
+			m.Stats.Invalidations++
+		}
+	}
+	if ln := local.find(b); ln != nil {
+		if ln.state == shared {
+			m.Stats.Upgrades++
+		}
+		ln.state = modified
+		local.touch(ln)
+		return
+	}
+	local.insert(b, modified)
+}
+
+// Prefetch is a no-op: the MultiVLIW baseline has no software prefetch.
+func (m *Model) Prefetch(int, int64, int64) {}
+
+// LoopEnd is free: hardware coherence needs no loop-boundary flushes.
+func (m *Model) LoopEnd() int64 { return 0 }

@@ -1,0 +1,118 @@
+package multivliw
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func model(t *testing.T) *Model {
+	t.Helper()
+	return New(arch.MICRO36Config(), DefaultParams())
+}
+
+func TestLocalHitAfterFill(t *testing.T) {
+	m := model(t)
+	p := DefaultParams()
+	first := m.Load(0, 4096, 4, arch.Hints{}, 100)
+	if first-100 != int64(p.RemoteLatency+p.MemLatency) {
+		t.Errorf("cold load latency = %d, want %d", first-100, p.RemoteLatency+p.MemLatency)
+	}
+	second := m.Load(0, 4096, 4, arch.Hints{}, 200)
+	if second-200 != int64(p.LocalLatency) {
+		t.Errorf("warm local latency = %d, want %d", second-200, p.LocalLatency)
+	}
+	if m.Stats.LocalHits != 1 || m.Stats.MemFetches != 1 {
+		t.Errorf("stats: %+v", m.Stats)
+	}
+}
+
+func TestRemoteCacheToCacheTransfer(t *testing.T) {
+	m := model(t)
+	p := DefaultParams()
+	m.Load(0, 4096, 4, arch.Hints{}, 100) // cluster 0 now shares the block
+	r := m.Load(2, 4096, 4, arch.Hints{}, 200)
+	if r-200 != int64(p.RemoteLatency) {
+		t.Errorf("remote hit latency = %d, want %d", r-200, p.RemoteLatency)
+	}
+	if m.Stats.RemoteHits != 1 {
+		t.Errorf("remote hits = %d", m.Stats.RemoteHits)
+	}
+	// Both clusters now hold shared copies: both hit locally.
+	if m.Load(0, 4096, 4, arch.Hints{}, 300)-300 != int64(p.LocalLatency) ||
+		m.Load(2, 4096, 4, arch.Hints{}, 300)-300 != int64(p.LocalLatency) {
+		t.Errorf("shared copies must hit locally in both clusters")
+	}
+}
+
+func TestStoreInvalidatesSharers(t *testing.T) {
+	m := model(t)
+	m.Load(0, 4096, 4, arch.Hints{}, 100)
+	m.Load(1, 4096, 4, arch.Hints{}, 200) // two sharers
+	m.Store(2, 4096, 4, arch.Hints{}, false, 300)
+	if m.Stats.Invalidations != 2 {
+		t.Errorf("invalidations = %d, want 2", m.Stats.Invalidations)
+	}
+	p := DefaultParams()
+	// The old sharers must re-fetch (remotely from the new owner).
+	if m.Load(0, 4096, 4, arch.Hints{}, 400)-400 != int64(p.RemoteLatency) {
+		t.Errorf("invalidated sharer must pay a remote transfer")
+	}
+}
+
+func TestStoreUpgradeFromShared(t *testing.T) {
+	m := model(t)
+	m.Load(0, 4096, 4, arch.Hints{}, 100)
+	m.Store(0, 4096, 4, arch.Hints{}, false, 200)
+	if m.Stats.Upgrades != 1 {
+		t.Errorf("upgrades = %d, want 1", m.Stats.Upgrades)
+	}
+}
+
+func TestDirtyOwnerDowngradesOnRemoteRead(t *testing.T) {
+	m := model(t)
+	m.Store(0, 4096, 4, arch.Hints{}, false, 100) // cluster 0 modified
+	m.Load(1, 4096, 4, arch.Hints{}, 200)         // must snoop-hit, not go to memory
+	if m.Stats.RemoteHits != 1 || m.Stats.MemFetches != 0 {
+		t.Errorf("dirty block not supplied cache-to-cache: %+v", m.Stats)
+	}
+	// Owner keeps a shared copy: local hit.
+	p := DefaultParams()
+	if m.Load(0, 4096, 4, arch.Hints{}, 300)-300 != int64(p.LocalLatency) {
+		t.Errorf("downgraded owner lost its copy")
+	}
+}
+
+func TestSliceCapacityEviction(t *testing.T) {
+	m := model(t)
+	// One slice is 2KB = 64 blocks of 32B; stream 65 distinct blocks
+	// through cluster 0 and the first must be gone.
+	for i := int64(0); i < 65; i++ {
+		m.Load(0, 4096+i*32, 4, arch.Hints{}, 100+i*10)
+	}
+	p := DefaultParams()
+	r := m.Load(0, 4096, 4, arch.Hints{}, 10000)
+	if r-10000 == int64(p.LocalLatency) {
+		t.Errorf("evicted block still hits locally")
+	}
+}
+
+func TestLoopEndAndPrefetchAreFree(t *testing.T) {
+	m := model(t)
+	if m.LoopEnd() != 0 {
+		t.Errorf("MultiVLIW LoopEnd must cost nothing")
+	}
+	m.Prefetch(0, 4096, 100) // no-op, must not panic or change state
+	if m.Stats.LocalHits+m.Stats.RemoteHits+m.Stats.MemFetches != 0 {
+		t.Errorf("prefetch touched the hierarchy")
+	}
+}
+
+func TestLocalRate(t *testing.T) {
+	m := model(t)
+	m.Load(0, 4096, 4, arch.Hints{}, 100)
+	m.Load(0, 4096, 4, arch.Hints{}, 200)
+	if lr := m.Stats.LocalRate(); lr != 0.5 {
+		t.Errorf("LocalRate = %v, want 0.5", lr)
+	}
+}

@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/arch"
+	"repro/internal/ir"
+)
+
+// applyPSR rewrites the loop for partial store replication (§4.1): every
+// store belonging to a memory-dependent set that contains both loads and
+// stores is replicated once per cluster. The first instance is the primary
+// (performs the store, updates L0 and L1); the others only invalidate any
+// matching entry in their local L0 buffer. The replicas share the primary's
+// register sources, which models the register broadcast the paper inserts
+// for the address computation.
+func applyPSR(l *ir.Loop, cfg arch.Config) *ir.Loop {
+	res := alias.Analyze(l)
+	replicate := map[int]bool{}
+	for si := range res.Sets {
+		if !res.SetHasLoadAndStore(l, si) {
+			continue
+		}
+		for _, id := range res.Sets[si] {
+			if l.Instrs[id].Op == ir.OpStore {
+				replicate[id] = true
+			}
+		}
+	}
+	if len(replicate) == 0 {
+		return l
+	}
+	nl := l.Clone()
+	group := 0
+	for id := range nl.Instrs {
+		if !replicate[id] {
+			continue
+		}
+		orig := nl.Instrs[id]
+		group++
+		orig.ReplicaGroup = group
+		orig.PrimaryReplica = true
+		for c := 1; c < cfg.Clusters; c++ {
+			rep := &ir.Instr{
+				ID:             len(nl.Instrs),
+				Name:           fmt.Sprintf("%s.psr%d", orig.Name, c),
+				Op:             ir.OpStore,
+				Srcs:           append([]ir.Reg(nil), orig.Srcs...),
+				UnrollCopy:     orig.UnrollCopy,
+				OrigID:         orig.OrigID,
+				ReplicaGroup:   group,
+				PrimaryReplica: false,
+			}
+			m := *orig.Mem
+			rep.Mem = &m
+			nl.Instrs = append(nl.Instrs, rep)
+		}
+	}
+	return nl
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"repro/internal/arch"
+	"repro/internal/ir"
+)
+
+// NeedsInterLoopFlush reports whether re-entering this same schedule without
+// flushing the L0 buffers could read stale data — the §4.1 inter-loop
+// coherence analysis specialised to self-reinvocation (the common case of a
+// loop called repeatedly from an outer loop).
+//
+// Re-running the identical schedule keeps every load and store in the same
+// cluster as the previous invocation, so the intra-loop coherence argument
+// extends across invocations if, for every array, each store that can write
+// bytes a buffered load reads executes in the same cluster as that load:
+//
+//   - NL0 sets never cache, so they are trivially safe.
+//   - 1C sets colocate their stores with their L0-latency loads, so the
+//     store's PAR_ACCESS update keeps the only cached copy fresh.
+//   - Stores whose set has no L0-using load never have a cached copy to
+//     go stale (disambiguation puts any overlapping load in the same set).
+//
+// The one remaining hazard is interleaved pollution: an INTERLEAVED_MAP fill
+// deposits lanes of the block into *every* cluster, so a store to that block
+// in cluster c leaves stale lanes in the other clusters even under 1C. Those
+// lanes are only ever read by loads of the same set (colocated with the
+// store), so they are dead copies — but only as long as no *other* load of a
+// different set reads the same array with L0 access from another cluster,
+// which disambiguation already forbids (overlap ⇒ same set).
+//
+// The analysis therefore reduces to: flush iff some 1C or PSR set's store
+// array is read with INTERLEAVED_MAP by a load of a *different* set — which
+// the set construction makes impossible — or a PSR set exists whose stores
+// were replicated (replicas invalidate remote copies each iteration, safe).
+// The function still walks the schedule and checks the invariants instead of
+// returning a constant, so violations in hand-built schedules are caught.
+// FlushPlan implements the selective flushing §4.1 sketches ("the contents
+// of the buffers could be flushed in some selectively chosen clusters
+// depending on the data accessed by each cluster"): when execution moves
+// from loop `prev` to loop `next`, only the clusters whose buffered arrays
+// the next loop writes or reads-with-L0 need invalidating. Disjoint working
+// sets — the common case between different kernels — need no flush at all.
+// A nil next means "unknown code follows": every caching cluster flushes.
+func FlushPlan(prev, next *Schedule) []int {
+	cached := map[*ir.Array]map[int]bool{}
+	for i := range prev.Placed {
+		p := &prev.Placed[i]
+		if p.Instr.Op != ir.OpLoad || !p.UseL0 {
+			continue
+		}
+		a := p.Instr.Mem.Array
+		if cached[a] == nil {
+			cached[a] = map[int]bool{}
+		}
+		cached[a][p.Cluster] = true
+		if p.Hints.Map == arch.InterleavedMap {
+			// Interleaved fills scatter lanes everywhere.
+			for c := 0; c < prev.Cfg.Clusters; c++ {
+				cached[a][c] = true
+			}
+		}
+	}
+	if len(cached) == 0 {
+		return nil
+	}
+	flush := map[int]bool{}
+	if next == nil {
+		for _, cls := range cached {
+			for c := range cls {
+				flush[c] = true
+			}
+		}
+	} else {
+		for i := range next.Placed {
+			p := &next.Placed[i]
+			if !p.Instr.Op.IsMemRef() {
+				continue
+			}
+			// A store in the next loop makes any buffered copy of
+			// the array stale; an L0 load must not see a stale copy
+			// either (the previous loop's stores ran elsewhere).
+			touches := p.Instr.Op == ir.OpStore || p.UseL0
+			if !touches {
+				continue
+			}
+			for c := range cached[p.Instr.Mem.Array] {
+				flush[c] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(flush))
+	for c := 0; c < prev.Cfg.Clusters; c++ {
+		if flush[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func NeedsInterLoopFlush(sch *Schedule) bool {
+	// Collect, per array, the clusters of L0-caching loads and of stores.
+	loadClusters := map[*ir.Array]map[int]bool{}
+	interleavedArrays := map[*ir.Array]bool{}
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		if p.Instr.Op != ir.OpLoad || !p.UseL0 {
+			continue
+		}
+		a := p.Instr.Mem.Array
+		if loadClusters[a] == nil {
+			loadClusters[a] = map[int]bool{}
+		}
+		loadClusters[a][p.Cluster] = true
+		if p.Hints.Map == arch.InterleavedMap {
+			interleavedArrays[a] = true
+		}
+	}
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		if p.Instr.Op != ir.OpStore {
+			continue
+		}
+		a := p.Instr.Mem.Array
+		lc := loadClusters[a]
+		if len(lc) == 0 {
+			continue // nothing cached from this array
+		}
+		// Interleaved fills scatter the store's block everywhere; the
+		// stale remote lanes are dead only while all the array's
+		// L0 loads stay in the store's cluster.
+		if interleavedArrays[a] {
+			if len(lc) > 1 || !lc[p.Cluster] {
+				return true
+			}
+			continue
+		}
+		// Linear caching: every caching cluster must be the store's.
+		if len(lc) > 1 || !lc[p.Cluster] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/unroll"
+)
+
+// randomLoop generates a structurally valid random loop: a DAG of ALU/FP
+// ops over a random set of strided, periodic and scrambled memory accesses,
+// with optional register recurrences and in-place arrays. Seeded, so
+// failures reproduce.
+func randomLoop(rng *rand.Rand, name string) *ir.Loop {
+	b := ir.NewBuilder(name, int64(64+rng.Intn(512)))
+	widths := []int{1, 2, 4, 8}
+
+	nArrays := 1 + rng.Intn(4)
+	arrays := make([]*ir.Array, nArrays)
+	for i := range arrays {
+		arrays[i] = b.Array("a", int64(1024+rng.Intn(16384)), widths[rng.Intn(4)])
+	}
+
+	var vals []ir.Reg
+	nLoads := 1 + rng.Intn(5)
+	for i := 0; i < nLoads; i++ {
+		a := arrays[rng.Intn(nArrays)]
+		w := widths[rng.Intn(4)]
+		switch rng.Intn(4) {
+		case 0: // unit stride
+			vals = append(vals, b.Load("ld", a, int64(rng.Intn(64)), int64(w), w))
+		case 1: // column / odd stride
+			vals = append(vals, b.Load("ld", a, 0, int64(w*(2+rng.Intn(64))), w))
+		case 2: // periodic
+			vals = append(vals, b.LoadPeriodic("ld", a, 0, int64(w), w, 4+rng.Intn(28)))
+		default: // scrambled
+			vals = append(vals, b.LoadIndexed("ld", a, w, rng.Uint64()|1, ir.NoReg))
+		}
+	}
+
+	nOps := 1 + rng.Intn(10)
+	for i := 0; i < nOps; i++ {
+		s1 := vals[rng.Intn(len(vals))]
+		s2 := vals[rng.Intn(len(vals))]
+		switch rng.Intn(4) {
+		case 0:
+			vals = append(vals, b.Int("op", s1, s2))
+		case 1:
+			vals = append(vals, b.IntMul("op", s1))
+		case 2:
+			vals = append(vals, b.FP("op", s1, s2))
+		default:
+			vals = append(vals, b.SelfRecurrence("acc", 1+rng.Intn(3), s1))
+		}
+	}
+
+	nStores := rng.Intn(3)
+	for i := 0; i < nStores; i++ {
+		a := arrays[rng.Intn(nArrays)]
+		w := widths[rng.Intn(4)]
+		v := vals[rng.Intn(len(vals))]
+		if rng.Intn(4) == 0 {
+			b.StoreIndexed("st", a, w, rng.Uint64()|1, v)
+		} else {
+			b.Store("st", a, int64(rng.Intn(64)), int64(w), w, v)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		b.Specialized()
+	}
+	l, err := b.BuildErr()
+	if err != nil {
+		panic(err) // generator bug, not a scheduler bug
+	}
+	return l
+}
+
+// TestFuzzScheduleValidity compiles a few hundred random loops across the
+// option space and verifies every dependence and resource constraint of the
+// resulting schedules.
+func TestFuzzScheduleValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(20030612)) // deterministic
+	cfgs := []arch.Config{
+		arch.MICRO36Config(),
+		arch.MICRO36Config().WithL0Entries(2),
+		arch.MICRO36Config().WithL0Entries(0),
+		arch.MICRO36Config().WithClusters(2),
+	}
+	optVariants := []Options{
+		{UseL0: true},
+		{UseL0: true, MarkAllCandidates: true},
+		{UseL0: true, AllowPSR: true},
+		{UseL0: true, AdaptivePrefetchDistance: true},
+		{},
+	}
+	const n = 60
+	for i := 0; i < n; i++ {
+		l := randomLoop(rng, "fuzz")
+		cfg := cfgs[i%len(cfgs)]
+		opts := optVariants[i%len(optVariants)]
+		if !cfg.HasL0() {
+			opts.UseL0 = false
+		}
+		sch, err := Compile(l.Clone(), cfg, opts)
+		if err != nil {
+			t.Fatalf("loop %d: %v\n%s", i, err, l)
+		}
+		verifySchedule(t, sch)
+		if t.Failed() {
+			t.Fatalf("loop %d produced an invalid schedule:\n%s", i, l)
+		}
+		// Unrolled variant when the trip count allows.
+		if l.TripCount >= int64(2*cfg.Clusters) {
+			if ul, err := unroll.ByFactor(l.Clone(), cfg.Clusters); err == nil {
+				sch, err := Compile(ul, cfg, opts)
+				if err != nil {
+					t.Fatalf("loop %d unrolled: %v\n%s", i, err, l)
+				}
+				verifySchedule(t, sch)
+				if t.Failed() {
+					t.Fatalf("loop %d unrolled produced an invalid schedule", i)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzPressureFinite checks the pressure analysis never explodes or goes
+// negative on arbitrary schedules.
+func TestFuzzPressureFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := arch.MICRO36Config()
+	for i := 0; i < 25; i++ {
+		l := randomLoop(rng, "pf")
+		sch, err := Compile(l, cfg, Options{UseL0: true})
+		if err != nil {
+			t.Fatalf("loop %d: %v", i, err)
+		}
+		rp := Pressure(sch)
+		if rp.Max < 0 || rp.Max > 4096 {
+			t.Fatalf("loop %d: absurd MaxLive %d", i, rp.Max)
+		}
+		for _, v := range rp.PerCluster {
+			if v < 0 || v > rp.Max {
+				t.Fatalf("loop %d: inconsistent per-cluster pressure %v", i, rp.PerCluster)
+			}
+		}
+	}
+}

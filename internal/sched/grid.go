@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// RenderKernelGrid writes the steady-state kernel as a grid: one row per
+// cycle of the II, one column per cluster, each cell listing the operations
+// issued there (with * marking loads that use the L0 buffer and p marking
+// explicit prefetches). This is the view a VLIW engineer reads schedules in.
+func RenderKernelGrid(w io.Writer, sch *Schedule) {
+	clusters := sch.Cfg.Clusters
+	cells := make([][][]string, sch.II)
+	for r := range cells {
+		cells[r] = make([][]string, clusters)
+	}
+	add := func(row, cluster int, s string) {
+		cells[row][cluster] = append(cells[row][cluster], s)
+	}
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		name := p.Instr.Name
+		if name == "" {
+			name = p.Instr.Op.String()
+		}
+		if p.Instr.Op == ir.OpLoad && p.UseL0 {
+			name += "*"
+		}
+		add(p.Cycle%sch.II, p.Cluster, name)
+	}
+	for i := range sch.Prefetches {
+		pf := &sch.Prefetches[i]
+		served := sch.Placed[pf.For].Instr.Name
+		add(pf.Cycle%sch.II, pf.Cluster, "p("+served+")")
+	}
+
+	width := 10
+	for r := range cells {
+		for c := range cells[r] {
+			sort.Strings(cells[r][c])
+			if n := len(strings.Join(cells[r][c], " ")); n > width {
+				width = n
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "kernel of %q: II=%d SC=%d span=%d\n", sch.Loop.Name, sch.II, sch.SC, sch.Span())
+	fmt.Fprintf(w, "%4s", "")
+	for c := 0; c < clusters; c++ {
+		fmt.Fprintf(w, " | %-*s", width, fmt.Sprintf("cluster %d", c))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 4+(width+3)*clusters))
+	for r := 0; r < sch.II; r++ {
+		fmt.Fprintf(w, "%3d ", r)
+		for c := 0; c < clusters; c++ {
+			fmt.Fprintf(w, " | %-*s", width, strings.Join(cells[r][c], " "))
+		}
+		fmt.Fprintln(w)
+	}
+	if len(sch.Comms) > 0 {
+		rows := make([]string, 0, len(sch.Comms))
+		for _, cm := range sch.Comms {
+			prod := sch.Loop.Instrs[cm.Producer].Name
+			if prod == "" {
+				prod = fmt.Sprintf("#%d", cm.Producer)
+			}
+			rows = append(rows, fmt.Sprintf("%s@row%d", prod, cm.Cycle%sch.II))
+		}
+		sort.Strings(rows)
+		fmt.Fprintf(w, "bus: %s\n", strings.Join(rows, " "))
+	}
+}

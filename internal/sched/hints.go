@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"repro/internal/arch"
+	"repro/internal/ir"
+)
+
+// assignHints implements scheduling step 4 (§4.3): attach access, mapping
+// and prefetch hints to every scheduled memory instruction.
+func assignHints(sch *Schedule, s *state) {
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		in := p.Instr
+		if !in.Op.IsMemRef() {
+			continue
+		}
+		switch in.Op {
+		case ir.OpLoad:
+			assignLoadHints(sch, s, p)
+		case ir.OpStore:
+			assignStoreHints(sch, s, p)
+		}
+	}
+	electGroupPrefetchers(sch, s)
+}
+
+func assignLoadHints(sch *Schedule, s *state, p *Placed) {
+	in := p.Instr
+	if !p.UseL0 {
+		p.Hints = arch.Hints{Access: arch.NoAccess}
+		return
+	}
+	h := arch.Hints{PrefetchDistance: prefetchDistanceFor(sch, s, in)}
+
+	// Mapping hint: copies of an unrolled unit-stride load interleave
+	// (each copy's elements land in its own cluster); everything else
+	// maps linearly.
+	if interleaveEligible(sch.Loop, in, sch.Cfg) {
+		h.Map = arch.InterleavedMap
+	} else {
+		h.Map = arch.LinearMap
+	}
+
+	// Access hint: SEQ whenever the cluster's L1 bus is provably free on
+	// the cycle after the access (no other memory operation in the same
+	// cluster one row later), PAR otherwise.
+	if memRowFreeForSeq(sch, p) {
+		h.Access = arch.SeqAccess
+	} else {
+		h.Access = arch.ParAccess
+	}
+
+	// Prefetch hint: sequential walks are covered by the automatic
+	// next/previous-subblock trigger. Interleaved groups elect a single
+	// prefetching member afterwards (electGroupPrefetchers).
+	if h.Map == arch.LinearMap {
+		st := in.Mem.Stride
+		switch {
+		case st == 0:
+			h.Prefetch = arch.NoPrefetch
+		case st == int64(in.Mem.Width):
+			h.Prefetch = arch.Positive
+		case st == -int64(in.Mem.Width):
+			h.Prefetch = arch.Negative
+		default:
+			h.Prefetch = arch.NoPrefetch // step 5 may add an explicit prefetch
+		}
+	}
+	p.Hints = h
+}
+
+// assignStoreHints marks stores that must keep the local L0 buffer coherent:
+// stores of a 1C set and primary PSR replicas access L0 and L1 in parallel
+// (write-through, no allocate); every other store goes straight to L1.
+// Non-primary PSR replicas are invalidation-only.
+func assignStoreHints(sch *Schedule, s *state, p *Placed) {
+	in := p.Instr
+	si := s.als.SetOf[in.ID]
+	h := arch.Hints{Access: arch.NoAccess}
+	if si >= 0 {
+		switch sch.SetScheme[si] {
+		case Scheme1C:
+			h.Access = arch.ParAccess
+			p.UseL0 = true
+		case SchemePSR:
+			if in.PrimaryReplica {
+				h.Access = arch.ParAccess
+				h.Primary = true
+				p.UseL0 = true
+			}
+		}
+	}
+	p.Hints = h
+}
+
+// memRowFreeForSeq reports whether no other memory operation issues in p's
+// cluster on the row after p (the SEQ_ACCESS legality rule of §3.2: the
+// L0-miss forward to L1 needs the cluster's bus on the next cycle).
+func memRowFreeForSeq(sch *Schedule, p *Placed) bool {
+	row := (p.Cycle + 1) % sch.II
+	for i := range sch.Placed {
+		q := &sch.Placed[i]
+		if q.Instr.ID == p.Instr.ID {
+			if sch.II == 1 {
+				return false // the load itself owns every row
+			}
+			continue
+		}
+		if q.Cluster == p.Cluster && q.Instr.Op.IsMem() && q.Cycle%sch.II == row {
+			return false
+		}
+	}
+	for i := range sch.Prefetches {
+		pf := &sch.Prefetches[i]
+		if pf.Cluster == p.Cluster && pf.Cycle%sch.II == row {
+			return false
+		}
+	}
+	return true
+}
+
+// electGroupPrefetchers keeps exactly one prefetching member per interleaved
+// group: all copies walk the same L1 block, so one POSITIVE/NEGATIVE hint
+// fetches and scatters the next block for everyone (§4.3 step 4). The
+// earliest-scheduled L0 copy is elected.
+func electGroupPrefetchers(sch *Schedule, s *state) {
+	type key struct{ orig int }
+	best := map[key]*Placed{}
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		if p.Instr.Op != ir.OpLoad || !p.UseL0 || p.Hints.Map != arch.InterleavedMap {
+			continue
+		}
+		k := key{p.Instr.OrigID}
+		if b, ok := best[k]; !ok || p.Cycle < b.Cycle || (p.Cycle == b.Cycle && p.Instr.ID < b.Instr.ID) {
+			best[k] = p
+		}
+	}
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		if p.Instr.Op != ir.OpLoad || !p.UseL0 || p.Hints.Map != arch.InterleavedMap {
+			continue
+		}
+		if best[key{p.Instr.OrigID}] == p {
+			if p.Instr.Mem.Stride >= 0 {
+				p.Hints.Prefetch = arch.Positive
+			} else {
+				p.Hints.Prefetch = arch.Negative
+			}
+		} else {
+			p.Hints.Prefetch = arch.NoPrefetch
+		}
+	}
+}
+
+// insertExplicitPrefetches implements scheduling step 5: loads that use the
+// buffers but whose stride is not covered by the automatic prefetch hints
+// (column walks and other non-unit strides) get a software prefetch
+// instruction in the same cluster, if a memory slot is free; the prefetch
+// brings the subblock the load will touch Distance iterations later and maps
+// it linearly.
+func insertExplicitPrefetches(sch *Schedule, s *state) {
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		in := p.Instr
+		if in.Op != ir.OpLoad || !p.UseL0 || p.Hints.Access == arch.NoAccess {
+			continue
+		}
+		if hintCovered(p) {
+			continue
+		}
+		// Find a free memory slot in the same cluster, searching the
+		// rows after the load first so the prefetch overlaps the next
+		// iteration's latency.
+		placedAt := -1
+		for dt := 1; dt <= sch.II; dt++ {
+			t := p.Cycle + dt
+			if s.m.unitFree(t, p.Cluster, arch.UnitMem) {
+				placedAt = t
+				break
+			}
+		}
+		if placedAt < 0 {
+			continue // not enough resources: skip (paper)
+		}
+		s.m.reserveUnit(placedAt, p.Cluster, arch.UnitMem)
+		sch.Prefetches = append(sch.Prefetches, Prefetch{
+			For:      in.ID,
+			Cluster:  p.Cluster,
+			Cycle:    placedAt,
+			Distance: prefetchDistanceFor(sch, s, in),
+		})
+	}
+}
+
+// prefetchDistanceFor returns the prefetch distance for one load: the fixed
+// option value, or — with AdaptivePrefetchDistance — the smallest distance
+// whose lead time (accesses-per-subblock × II per subblock of distance)
+// covers the L1 round trip, capped at 4 subblocks to bound buffer pressure.
+func prefetchDistanceFor(sch *Schedule, s *state, in *ir.Instr) int {
+	if !s.opts.AdaptivePrefetchDistance {
+		return s.opts.PrefetchDistance
+	}
+	const maxDistance = 4
+	// Accesses per subblock of this load's stream. Interleaved groups
+	// walk their lane at element granularity regardless of the unrolled
+	// byte stride.
+	k := 1
+	if interleaveEligible(sch.Loop, in, sch.Cfg) {
+		k = sch.Cfg.L0SubblockBytes / in.Mem.Width
+	} else if st := abs64(in.Mem.Stride); st > 0 && st < int64(sch.Cfg.L0SubblockBytes) {
+		k = int(int64(sch.Cfg.L0SubblockBytes) / st)
+	}
+	lead := k * sch.II // cycles bought per subblock of distance
+	need := 1 + sch.Cfg.L1Latency + sch.Cfg.InterleavePenalty
+	d := 1
+	for d*lead < need && d < maxDistance {
+		d++
+	}
+	return d
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// hintCovered reports whether the automatic prefetch hints keep the load's
+// subblock stream resident: sequential walks (stride 0/±1 elements) and
+// interleaved groups are covered; other strides need explicit prefetching.
+func hintCovered(p *Placed) bool {
+	if p.Hints.Map == arch.InterleavedMap {
+		return true
+	}
+	st := p.Instr.Mem.Stride
+	if st < 0 {
+		st = -st
+	}
+	return st == 0 || st == int64(p.Instr.Mem.Width)
+}
+
+// revalidateSeqHints demotes SEQ_ACCESS loads whose next-cycle bus guarantee
+// was broken by a later-inserted explicit prefetch.
+func revalidateSeqHints(sch *Schedule) {
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		if p.Instr.Op == ir.OpLoad && p.Hints.Access == arch.SeqAccess && !memRowFreeForSeq(sch, p) {
+			p.Hints.Access = arch.ParAccess
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"repro/internal/arch"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+)
+
+// mrt is the modulo reservation table: per schedule row (cycle mod II), the
+// functional units in use per cluster and the inter-cluster buses in use.
+type mrt struct {
+	ii  int
+	cfg arch.Config
+	// units[row][cluster][kind] = slots in use.
+	units [][][arch.NumUnitKinds]int
+	// bus[row] = buses in use.
+	bus []int
+	// occupancy[cluster] = total reserved unit slots, for load balancing.
+	occupancy []int
+}
+
+func newMRT(ii int, cfg arch.Config) *mrt {
+	m := &mrt{
+		ii:        ii,
+		cfg:       cfg,
+		units:     make([][][arch.NumUnitKinds]int, ii),
+		bus:       make([]int, ii),
+		occupancy: make([]int, cfg.Clusters),
+	}
+	for r := range m.units {
+		m.units[r] = make([][arch.NumUnitKinds]int, cfg.Clusters)
+	}
+	return m
+}
+
+// unitFree reports whether a unit of the given kind is free in cluster at
+// the flat cycle.
+func (m *mrt) unitFree(cycle, cluster int, kind arch.UnitKind) bool {
+	row := mod(cycle, m.ii)
+	return m.units[row][cluster][kind] < m.cfg.UnitsPerCluster[kind]
+}
+
+func (m *mrt) reserveUnit(cycle, cluster int, kind arch.UnitKind) {
+	row := mod(cycle, m.ii)
+	m.units[row][cluster][kind]++
+	m.occupancy[cluster]++
+}
+
+// busFree reports whether a bus is free for the CommLatency cycles starting
+// at the flat cycle, accounting for transfers already holding rows.
+func (m *mrt) busFree(cycle int, extra map[int]int) bool {
+	for k := 0; k < m.cfg.CommLatency; k++ {
+		row := mod(cycle+k, m.ii)
+		if m.bus[row]+extra[row] >= m.cfg.CommBuses {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *mrt) reserveBus(cycle int) {
+	for k := 0; k < m.cfg.CommLatency; k++ {
+		m.bus[mod(cycle+k, m.ii)]++
+	}
+}
+
+// holdRows records a tentative bus reservation into extra (used while
+// evaluating one placement before committing).
+func holdRows(extra map[int]int, cycle, commLat, ii int) {
+	for k := 0; k < commLat; k++ {
+		extra[mod(cycle+k, ii)]++
+	}
+}
+
+func mod(a, b int) int {
+	r := a % b
+	if r < 0 {
+		r += b
+	}
+	return r
+}
+
+// unitKindOf is a thin wrapper so the scheduler never switches on opcodes
+// directly.
+func unitKindOf(op ir.Opcode) arch.UnitKind { return ddg.UnitFor(op) }

@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/arch"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/unroll"
+)
+
+// ChooseUnrollFactor implements scheduling step 1 (§4.3): the compiler picks
+// between no unrolling and unrolling by the cluster count, choosing the
+// factor that minimises statically-estimated compute time (II per original
+// iteration). Following §5.1, the decision is made on the BASE architecture
+// (unified L1, no L0 buffers) and reused for every architecture so that
+// cross-architecture comparisons are not biased by different unrolling.
+//
+// Ties are broken by the loop's limiting constraint: resource-bound loops
+// unroll (the wider body balances work over the clusters), recurrence-bound
+// loops stay rolled (the recurrence scales with the body and unrolling only
+// inflates code).
+func ChooseUnrollFactor(l *ir.Loop, cfg arch.Config) int {
+	n := cfg.Clusters
+	if n <= 1 || l.TripCount < 2*int64(n) {
+		return 1
+	}
+	base := cfg.WithL0Entries(0)
+	opts := Options{UseL0: false}
+
+	s1, err1 := Compile(l.Clone(), base, opts)
+	ul, err := unroll.ByFactor(l, n)
+	if err != nil {
+		return 1
+	}
+	sN, errN := Compile(ul, base, opts)
+	switch {
+	case err1 != nil && errN != nil:
+		return 1
+	case err1 != nil:
+		return n
+	case errN != nil:
+		return 1
+	}
+	cost1 := s1.II * n // per n original iterations
+	costN := sN.II
+	if costN < cost1 {
+		return n
+	}
+	if costN > cost1 {
+		return 1
+	}
+	// Tie: unroll unless a recurrence is the limiting constraint.
+	als := alias.Analyze(l)
+	g := ddg.Build(l, ddg.DefaultLatencies(base.L1Latency), als.Edges)
+	if g.RecMII() >= g.ResMII(base) && g.RecMII() > 1 {
+		return 1
+	}
+	return n
+}
+
+// Compiled bundles the outcome of the full pipeline for one loop on one
+// architecture.
+type Compiled struct {
+	Schedule *Schedule
+	// Factor is the unroll factor chosen in step 1.
+	Factor int
+}
+
+// Pipeline runs the complete scheduling pipeline of §4.3 on an original
+// (non-unrolled) loop: choose the unroll factor, unroll, and modulo-schedule
+// with the given options. The same factor is chosen regardless of options so
+// that architecture comparisons isolate the effect of the L0 buffers.
+func Pipeline(l *ir.Loop, cfg arch.Config, opts Options) (*Compiled, error) {
+	factor := ChooseUnrollFactor(l, cfg)
+	ul := l
+	if factor > 1 {
+		var err error
+		ul, err = unroll.ByFactor(l, factor)
+		if err != nil {
+			return nil, fmt.Errorf("sched: unrolling %q by %d: %w", l.Name, factor, err)
+		}
+	} else {
+		ul = l.Clone()
+	}
+	sch, err := Compile(ul, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Schedule: sch, Factor: factor}, nil
+}

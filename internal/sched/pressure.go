@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"repro/internal/ir"
+)
+
+// RegisterPressure is the per-cluster MaxLive of a modulo schedule: the
+// maximum number of live register values in any cycle of the steady-state
+// kernel. The paper (§4.2) lists register pressure alongside II and SC as
+// the quantities that determine a modulo schedule's quality — a schedule
+// needing more registers than the file provides forces spills or a larger
+// II. This analysis lets callers check schedules against a register-file
+// budget and lets tests assert that the SMS ordering keeps lifetimes short.
+type RegisterPressure struct {
+	// PerCluster[c] is MaxLive in cluster c.
+	PerCluster []int
+	// Max is the largest per-cluster value.
+	Max int
+}
+
+// Pressure computes the register pressure of the schedule.
+//
+// A value produced by instruction u and consumed by instruction v at
+// dependence distance d is live from u's writeback (cycle(u)+latency) until
+// v's issue in the consuming iteration (cycle(v)+II·d). In the steady-state
+// kernel, a lifetime of length L overlaps ceil(L/II) simultaneous instances
+// (modulo-scheduling lifetimes wrap), so each value contributes that many
+// live registers to every kernel row it covers. Values that cross clusters
+// are charged to both ends: the producer keeps its copy until the transfer,
+// the consumer holds the arriving copy.
+func Pressure(sch *Schedule) RegisterPressure {
+	n := len(sch.Loop.Instrs)
+	ii := sch.II
+	clusters := sch.Cfg.Clusters
+
+	// lastUse[u][c]: the latest consumption time of u's value in cluster
+	// c, in flat producer-relative cycles.
+	lastUse := make([]map[int]int, n)
+	for i := range lastUse {
+		lastUse[i] = map[int]int{}
+	}
+	for _, in := range sch.Loop.Instrs {
+		v := &sch.Placed[in.ID]
+		use := func(reg ir.Reg, dist int) {
+			u := sch.Loop.DefOf(reg)
+			if u == nil {
+				return
+			}
+			t := v.Cycle + ii*dist
+			if t > lastUse[u.ID][v.Cluster] {
+				lastUse[u.ID][v.Cluster] = t
+			}
+		}
+		for _, s := range in.Srcs {
+			use(s, 0)
+		}
+		for _, c := range in.Carried {
+			use(c.Reg, c.Distance)
+		}
+	}
+
+	rows := make([][]int, clusters)
+	for c := range rows {
+		rows[c] = make([]int, ii)
+	}
+	for _, in := range sch.Loop.Instrs {
+		if in.Dst == ir.NoReg {
+			continue
+		}
+		u := &sch.Placed[in.ID]
+		birth := u.Cycle + u.Latency
+		for c, death := range lastUse[in.ID] {
+			start := birth
+			if c != u.Cluster {
+				// The copy in the consuming cluster exists from
+				// the bus arrival; approximate with the earliest
+				// possible arrival.
+				start = birth + sch.Cfg.CommLatency
+			}
+			if death < start {
+				death = start
+			}
+			addLifetime(rows[c], start, death, ii)
+			if c != u.Cluster {
+				// The producer's copy lives until the transfer
+				// leaves (approximate: until birth).
+				addLifetime(rows[u.Cluster], u.Cycle+u.Latency-1, birth, ii)
+			}
+		}
+		if len(lastUse[in.ID]) == 0 {
+			// Dead value: live for one cycle after writeback.
+			addLifetime(rows[u.Cluster], birth, birth, ii)
+		}
+	}
+
+	rp := RegisterPressure{PerCluster: make([]int, clusters)}
+	for c := range rows {
+		for _, v := range rows[c] {
+			if v > rp.PerCluster[c] {
+				rp.PerCluster[c] = v
+			}
+		}
+		if rp.PerCluster[c] > rp.Max {
+			rp.Max = rp.PerCluster[c]
+		}
+	}
+	return rp
+}
+
+// addLifetime charges a value live over flat cycles [start, end] to every
+// kernel row it covers, once per overlapped iteration instance.
+func addLifetime(row []int, start, end, ii int) {
+	if end < start {
+		end = start
+	}
+	length := end - start + 1
+	if length >= ii*len(row) { // covers every row in every overlap; cap
+		length = ii * len(row)
+		end = start + length - 1
+	}
+	full := length / ii
+	for r := range row {
+		row[r] += full
+	}
+	for t := start + full*ii; t <= end; t++ {
+		row[mod(t, ii)]++
+	}
+}
+
+// FitsRegisterFile reports whether the schedule's per-cluster MaxLive stays
+// within a register file of the given size (rotating register files make
+// MaxLive the exact requirement).
+func FitsRegisterFile(sch *Schedule, size int) bool {
+	rp := Pressure(sch)
+	return rp.Max <= size
+}
+
+// LifetimeSum returns the total register lifetime (the quantity SMS
+// minimises alongside II); exposed for ordering-quality tests.
+func LifetimeSum(sch *Schedule) int {
+	ii := sch.II
+	sum := 0
+	for _, in := range sch.Loop.Instrs {
+		if in.Dst == ir.NoReg {
+			continue
+		}
+		u := &sch.Placed[in.ID]
+		birth := u.Cycle + u.Latency
+		death := birth
+		for _, other := range sch.Loop.Instrs {
+			v := &sch.Placed[other.ID]
+			for _, s := range other.Srcs {
+				if s == in.Dst && v.Cycle > death {
+					death = v.Cycle
+				}
+			}
+			for _, cu := range other.Carried {
+				if cu.Reg == in.Dst {
+					if t := v.Cycle + ii*cu.Distance; t > death {
+						death = t
+					}
+				}
+			}
+		}
+		sum += death - birth
+	}
+	return sum
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+)
+
+func TestPressureSimpleChain(t *testing.T) {
+	cfg := arch.MICRO36Config()
+	b := ir.NewBuilder("chain", 256)
+	a := b.Array("a", 4096, 4)
+	d := b.Array("d", 4096, 4)
+	v := b.Load("ld", a, 0, 4, 4)
+	x := b.Int("op", v)
+	b.Store("st", d, 0, 4, 4, x)
+	sch := compileOK(t, b.Build(), cfg, Options{UseL0: true})
+	rp := Pressure(sch)
+	if rp.Max < 1 {
+		t.Errorf("MaxLive = %d, want >= 1 (values are live)", rp.Max)
+	}
+	if rp.Max > 8 {
+		t.Errorf("MaxLive = %d, absurdly high for a 3-op chain", rp.Max)
+	}
+	if len(rp.PerCluster) != cfg.Clusters {
+		t.Errorf("PerCluster size %d", len(rp.PerCluster))
+	}
+}
+
+func TestPressureGrowsWithLatency(t *testing.T) {
+	// The same loop scheduled with L1-latency loads holds values longer:
+	// baseline pressure must be at least the L0 schedule's.
+	mk := func() *ir.Loop {
+		b := ir.NewBuilder("p", 256)
+		a := b.Array("a", 4096, 4)
+		d := b.Array("d", 4096, 4)
+		v := b.Load("ld", a, 0, 4, 4)
+		x := b.Int("op1", v)
+		y := b.Int("op2", x)
+		b.Store("st", d, 0, 4, 4, y)
+		return b.Build()
+	}
+	cfg := arch.MICRO36Config()
+	l0 := compileOK(t, mk(), cfg, Options{UseL0: true})
+	base := compileOK(t, mk(), cfg.WithL0Entries(0), Options{})
+	pL0, pBase := Pressure(l0), Pressure(base)
+	if pBase.Max < pL0.Max {
+		t.Errorf("baseline MaxLive (%d) below L0 MaxLive (%d): longer lifetimes must not shrink pressure",
+			pBase.Max, pL0.Max)
+	}
+}
+
+func TestPressureCountsOverlappedInstances(t *testing.T) {
+	// A value live for k·II cycles contributes k live instances to each
+	// row. Build a long chain at small II and check MaxLive > 2.
+	b := ir.NewBuilder("long", 256)
+	a := b.Array("a", 4096, 2)
+	v := b.Load("ld", a, 0, 2, 2)
+	x := v
+	for i := 0; i < 10; i++ {
+		x = b.Int("op", x)
+	}
+	// Consume the ORIGINAL load value late: its lifetime spans the chain.
+	b.Int("late", v, x)
+	cfg := arch.MICRO36Config()
+	sch := compileOK(t, b.Build(), cfg, Options{UseL0: false})
+	rp := Pressure(sch)
+	if rp.Max < 2 {
+		t.Errorf("MaxLive = %d, want >= 2 for a lifetime spanning several IIs", rp.Max)
+	}
+}
+
+func TestFitsRegisterFile(t *testing.T) {
+	cfg := arch.MICRO36Config()
+	sch := compileOK(t, inPlaceLoop(t, 256), cfg, Options{UseL0: true})
+	if !FitsRegisterFile(sch, 64) {
+		t.Errorf("small loop should fit a 64-register file")
+	}
+	if FitsRegisterFile(sch, 0) {
+		t.Errorf("nothing fits a 0-register file")
+	}
+}
+
+func TestLifetimeSumNonNegative(t *testing.T) {
+	cfg := arch.MICRO36Config()
+	sch := compileOK(t, inPlaceLoop(t, 256), cfg, Options{UseL0: true})
+	if LifetimeSum(sch) < 0 {
+		t.Errorf("negative lifetime sum")
+	}
+}
+
+func TestWorkloadPressureWithinRegisterFile(t *testing.T) {
+	// Every workload kernel, on every variant, must fit a generous
+	// rotating register file (128 per cluster) — a sanity bound showing
+	// the scheduler does not generate pathological lifetimes.
+	cfg := arch.MICRO36Config()
+	for _, opts := range []Options{{UseL0: true}, {}} {
+		sch := compileOK(t, inPlaceLoop(t, 256), cfg, opts)
+		if rp := Pressure(sch); rp.Max > 128 {
+			t.Errorf("MaxLive %d exceeds 128", rp.Max)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package sched implements the paper's clustered modulo scheduler: the BASE
+// algorithm for a clustered VLIW with a unified L1 (Sánchez & González
+// heuristics — minimise inter-cluster communication, maximise workload
+// balance) and the L0-buffer extension of §4.3 (candidate selection by
+// slack, L0-entry accounting, coherence treatment of memory-dependent sets,
+// hint assignment and explicit prefetch insertion).
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+)
+
+// CoherenceScheme identifies how a memory-dependent set with loads and
+// stores is kept coherent (§4.1).
+type CoherenceScheme uint8
+
+const (
+	// SchemeFree marks sets that need no treatment (singletons and
+	// store-only sets).
+	SchemeFree CoherenceScheme = iota
+	// SchemeNL0 keeps the set out of the L0 buffers entirely.
+	SchemeNL0
+	// Scheme1C pins the set's stores and L0-latency loads to one cluster.
+	Scheme1C
+	// SchemePSR replicates the set's stores across all clusters.
+	SchemePSR
+)
+
+func (s CoherenceScheme) String() string {
+	switch s {
+	case SchemeFree:
+		return "free"
+	case SchemeNL0:
+		return "NL0"
+	case Scheme1C:
+		return "1C"
+	case SchemePSR:
+		return "PSR"
+	}
+	return fmt.Sprintf("CoherenceScheme(%d)", uint8(s))
+}
+
+// Placed records the scheduling decision for one instruction.
+type Placed struct {
+	Instr   *ir.Instr
+	Cluster int
+	// Cycle is the flat schedule start cycle (iteration 0).
+	Cycle int
+	// Latency is the latency the scheduler assumed for the result
+	// (L0 or L1 latency for loads, opcode default otherwise).
+	Latency int
+	// UseL0 marks loads scheduled with the L0 latency / stores that
+	// update their local L0 (PAR_ACCESS stores).
+	UseL0 bool
+	// Hints is the hint bundle attached in step 4 (memory refs only).
+	Hints arch.Hints
+}
+
+// Comm is one inter-cluster broadcast of a register value over a bus.
+type Comm struct {
+	Producer int // instruction ID
+	// Cycle is the bus transfer start (flat schedule); the value is
+	// available in every cluster at Cycle+CommLatency.
+	Cycle int
+}
+
+// Prefetch is an explicit software prefetch inserted in step 5. At dynamic
+// iteration i it fetches the subblock the served load will touch at
+// iteration i+Distance and maps it linearly in the prefetch's cluster.
+type Prefetch struct {
+	// For is the load instruction ID the prefetch serves.
+	For     int
+	Cluster int
+	Cycle   int
+	// Distance is how many iterations ahead the prefetch runs.
+	Distance int
+}
+
+// Schedule is the result of modulo-scheduling one loop.
+type Schedule struct {
+	Loop *ir.Loop
+	Cfg  arch.Config
+	II   int
+	// SC is the stage count (number of overlapped iterations).
+	SC int
+	// Placed is indexed by instruction ID.
+	Placed []Placed
+	Comms  []Comm
+	// Prefetches are the explicit prefetch operations of step 5.
+	Prefetches []Prefetch
+	// SetScheme records the coherence treatment per memory-dependent set
+	// (indexed like alias.Result.Sets).
+	SetScheme []CoherenceScheme
+	// SetHome is the 1C home cluster per set (-1 when unconstrained).
+	SetHome []int
+}
+
+// Span returns the length of the flat schedule in cycles.
+func (s *Schedule) Span() int {
+	max := 0
+	for i := range s.Placed {
+		if c := s.Placed[i].Cycle; c > max {
+			max = c
+		}
+	}
+	return max + 1
+}
+
+// MemRow reports whether a memory op (instruction or explicit prefetch)
+// issues in the given cluster at schedule row (cycle mod II).
+func (s *Schedule) MemRow(cluster, row int) bool {
+	for i := range s.Placed {
+		p := &s.Placed[i]
+		if p.Cluster == cluster && p.Instr.Op.IsMem() && p.Cycle%s.II == row {
+			return true
+		}
+	}
+	for i := range s.Prefetches {
+		pf := &s.Prefetches[i]
+		if pf.Cluster == cluster && pf.Cycle%s.II == row {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the kernel (one row per cycle of the II, one column block
+// per cluster) for dumps and the l0sched CLI.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %q: II=%d SC=%d span=%d\n", s.Loop.Name, s.II, s.SC, s.Span())
+	type slot struct {
+		row, cluster int
+		text         string
+	}
+	var slots []slot
+	for i := range s.Placed {
+		p := &s.Placed[i]
+		txt := fmt.Sprintf("%s@%d", p.Instr.Op, p.Cycle)
+		if p.Instr.Name != "" {
+			txt = fmt.Sprintf("%s(%s)@%d", p.Instr.Op, p.Instr.Name, p.Cycle)
+		}
+		if p.Instr.Op.IsMemRef() {
+			txt += fmt.Sprintf("[%s]", p.Hints)
+		}
+		slots = append(slots, slot{p.Cycle % s.II, p.Cluster, txt})
+	}
+	for i := range s.Prefetches {
+		pf := &s.Prefetches[i]
+		slots = append(slots, slot{pf.Cycle % s.II, pf.Cluster, fmt.Sprintf("pref(for %d)@%d", pf.For, pf.Cycle)})
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].row != slots[j].row {
+			return slots[i].row < slots[j].row
+		}
+		if slots[i].cluster != slots[j].cluster {
+			return slots[i].cluster < slots[j].cluster
+		}
+		return slots[i].text < slots[j].text
+	})
+	row := -1
+	for _, sl := range slots {
+		if sl.row != row {
+			row = sl.row
+			fmt.Fprintf(&b, " row %d:\n", row)
+		}
+		fmt.Fprintf(&b, "   c%d: %s\n", sl.cluster, sl.text)
+	}
+	if len(s.Comms) > 0 {
+		fmt.Fprintf(&b, " comms:")
+		for _, c := range s.Comms {
+			fmt.Fprintf(&b, " (prod %d @%d)", c.Producer, c.Cycle)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

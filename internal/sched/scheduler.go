@@ -1,0 +1,1021 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/arch"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/sms"
+)
+
+// Options selects the scheduling algorithm variant.
+type Options struct {
+	// UseL0 enables the L0-buffer machinery of §4.3 (candidate
+	// selection, entry accounting, coherence schemes, hints, prefetch).
+	// With UseL0 false the scheduler is the BASE algorithm for a
+	// clustered VLIW with a unified L1 and no buffers.
+	UseL0 bool
+	// AllowPSR applies partial store replication to load+store sets
+	// before scheduling instead of choosing between NL0 and 1C. The
+	// paper evaluates PSR qualitatively and then drops it (§4.1); it is
+	// kept here for tests and ablation.
+	AllowPSR bool
+	// MarkAllCandidates disables slack-based selective marking: every
+	// candidate is assigned the L0 latency (the §5.2 ablation that loses
+	// 6% at 4 entries).
+	MarkAllCandidates bool
+	// PrefetchDistance is how many subblocks ahead hint/explicit
+	// prefetches run (default 1; §5.2 evaluates 2).
+	PrefetchDistance int
+	// AdaptivePrefetchDistance implements the paper's future-work
+	// direction: instead of a fixed distance, each load's distance is
+	// chosen so the prefetch arrives before the data is needed — the
+	// interval between consecutive subblocks of the load's stream
+	// (accesses-per-subblock × II) must cover the L1 round trip. The
+	// distance is capped so small buffers are not flooded.
+	AdaptivePrefetchDistance bool
+	// DisableExplicitPrefetch suppresses scheduling step 5.
+	DisableExplicitPrefetch bool
+	// MaxII caps the initiation-interval search (0 = automatic).
+	MaxII int
+	// RegistersPerCluster, when positive, rejects schedules whose
+	// per-cluster MaxLive exceeds the register file, retrying at a
+	// larger II — the paper's §4.2 observation that register pressure
+	// "may require the insertion of spill code or the increase of the
+	// II" (this scheduler increases the II; it does not spill).
+	RegistersPerCluster int
+
+	// LoadLatencyFn, when set (and UseL0 is false), supplies the load
+	// latency the compiler schedules for a load placed on a given
+	// cluster; cluster −1 asks for the optimistic latency used to build
+	// the dependence graph. The distributed-cache baselines use this:
+	// MultiVLIW schedules every load with its local-slice latency, the
+	// word-interleaved heuristics schedule bank-local loads faster.
+	LoadLatencyFn func(in *ir.Instr, cluster int) int
+	// PreferredClusterFn, when set, recommends a cluster per memory
+	// instruction (the locality-aware word-interleaved heuristic places
+	// each access in its word's home cluster). −1 means no preference.
+	PreferredClusterFn func(in *ir.Instr) int
+}
+
+// commRec is one scheduled inter-cluster broadcast; refs counts how many
+// placed consumers rely on it so eviction can release the bus.
+type commRec struct {
+	producer int
+	cycle    int
+	refs     int
+}
+
+// state carries one try_schedule attempt.
+type state struct {
+	cfg  arch.Config
+	opts Options
+	loop *ir.Loop
+	als  *alias.Result
+	g    *ddg.Graph
+	ii   int
+	m    *mrt
+
+	placed []Placed
+	done   []bool
+	// prevCycle is the last cycle each node was (force-)placed at, used
+	// to guarantee forward progress under eviction (Rau's iterative
+	// modulo scheduling).
+	prevCycle []int
+
+	comms       []commRec
+	commsByProd map[int][]int
+	// nodeComms lists, per node, the comm indices its placement holds.
+	nodeComms [][]int
+
+	freeL0    []int
+	totalFree int
+
+	recommended []int
+	intentL0    []bool
+
+	setScheme  []CoherenceScheme
+	setDecided []bool
+	setHome    []int
+}
+
+// Compile modulo-schedules the loop for the given machine.
+func Compile(loop *ir.Loop, cfg arch.Config, opts Options) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := loop.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.PrefetchDistance <= 0 {
+		opts.PrefetchDistance = 1
+	}
+	if opts.AllowPSR && opts.UseL0 {
+		loop = applyPSR(loop, cfg)
+	}
+	als := alias.Analyze(loop)
+	g := ddg.Build(loop, initialLatency(cfg, opts), als.Edges)
+
+	mii := g.MII(cfg)
+	maxII := opts.MaxII
+	if maxII == 0 {
+		maxII = mii*4 + 64
+	}
+	for ii := mii; ii <= maxII; ii++ {
+		s := &state{cfg: cfg, opts: opts, loop: loop, als: als, g: g, ii: ii}
+		if sch := s.trySchedule(); sch != nil {
+			if opts.RegistersPerCluster > 0 && !FitsRegisterFile(sch, opts.RegistersPerCluster) {
+				resetLatencies(g, loop, cfg, opts)
+				continue // register pressure too high: retry at a larger II
+			}
+			return sch, nil
+		}
+		resetLatencies(g, loop, cfg, opts)
+	}
+	return nil, fmt.Errorf("sched: loop %q not schedulable within II <= %d", loop.Name, maxII)
+}
+
+// initialLatency gives every candidate load the L0 latency (the optimistic
+// assumption of step 2) and everything else its architectural latency.
+func initialLatency(cfg arch.Config, opts Options) ddg.LatencyFn {
+	return func(in *ir.Instr) int {
+		if in.Op == ir.OpLoad {
+			if opts.UseL0 && cfg.HasL0() && in.IsCandidate() {
+				return cfg.L0Latency
+			}
+			if !opts.UseL0 && opts.LoadLatencyFn != nil {
+				return opts.LoadLatencyFn(in, -1)
+			}
+			return cfg.L1Latency
+		}
+		return in.Op.DefaultLatency()
+	}
+}
+
+func resetLatencies(g *ddg.Graph, loop *ir.Loop, cfg arch.Config, opts Options) {
+	lat := initialLatency(cfg, opts)
+	for _, in := range loop.Instrs {
+		g.SetProducerLatency(in.ID, lat(in))
+	}
+}
+
+// trySchedule is one invocation of the try_schedule function of Figure 4,
+// extended with bounded eviction (force-place) so structural conflicts
+// resolve instead of wedging the II search.
+func (s *state) trySchedule() *Schedule {
+	n := len(s.loop.Instrs)
+	s.m = newMRT(s.ii, s.cfg)
+	s.placed = make([]Placed, n)
+	s.done = make([]bool, n)
+	s.prevCycle = make([]int, n)
+	for i := range s.prevCycle {
+		s.prevCycle[i] = -1
+	}
+	s.commsByProd = map[int][]int{}
+	s.nodeComms = make([][]int, n)
+	s.recommended = make([]int, n)
+	for i := range s.recommended {
+		s.recommended[i] = -1
+	}
+	s.intentL0 = make([]bool, n)
+
+	// ➊ initialise num_free_L0_entries. One entry per cluster is held
+	// back as prefetch headroom when buffers are very small: a marked
+	// load's working footprint is its current subblock plus the one in
+	// flight, so filling every entry with distinct loads guarantees
+	// thrash on 2-entry buffers. Larger buffers keep the paper's
+	// optimistic one-entry-per-load accounting (which is precisely what
+	// lets prefetches evict live subblocks in jpegdec at 4 entries).
+	s.freeL0 = make([]int, s.cfg.Clusters)
+	if s.opts.UseL0 && s.cfg.HasL0() {
+		entries := s.cfg.L0Entries
+		if entries == 2 {
+			entries = 1
+		}
+		for c := range s.freeL0 {
+			s.freeL0[c] = entries
+		}
+	}
+	s.totalFree = 0
+	for _, f := range s.freeL0 {
+		s.totalFree = saturatingAdd(s.totalFree, f)
+	}
+
+	// ➌ coherence bookkeeping per memory-dependent set.
+	s.setScheme = make([]CoherenceScheme, len(s.als.Sets))
+	s.setDecided = make([]bool, len(s.als.Sets))
+	s.setHome = make([]int, len(s.als.Sets))
+	for i := range s.setHome {
+		s.setHome[i] = -1
+	}
+	for i := range s.als.Sets {
+		if !s.als.SetHasLoadAndStore(s.loop, i) {
+			s.setScheme[i] = SchemeFree
+			s.setDecided[i] = true
+		} else if s.setIsPSR(i) {
+			s.setScheme[i] = SchemePSR
+			s.setDecided[i] = true
+		}
+	}
+
+	// ➋ initial latency assignment by slack.
+	s.assignLatencies(s.cfg.Clusters * s.effectiveEntries())
+
+	order := sms.Order(s.g, s.ii)
+	orderIdx := make([]int, n)
+	for pos, id := range order {
+		orderIdx[id] = pos
+	}
+
+	pending := make([]bool, n)
+	numPending := n
+	for i := range pending {
+		pending[i] = true
+	}
+	budget := 8*n + 32
+
+	for numPending > 0 {
+		if budget--; budget < 0 {
+			return nil // ➐ eviction budget exhausted: increase II
+		}
+		// Highest-priority pending node (SMS order).
+		id := -1
+		for v := 0; v < n; v++ {
+			if pending[v] && (id == -1 || orderIdx[v] < orderIdx[id]) {
+				id = v
+			}
+		}
+		in := s.loop.Instrs[id]
+
+		// ➍ decide the coherence treatment of the instruction's set.
+		if in.Op.IsMemRef() {
+			if si := s.als.SetOf[id]; si >= 0 && !s.setDecided[si] {
+				s.decideSet(si)
+			}
+		}
+		// ➎➏ candidate clusters, ordered by the heuristics.
+		clusters := s.orderedClusters(in)
+		scheduled := false
+		for _, c := range clusters {
+			lat, useL0 := s.latencyFor(in, c)
+			if s.tryPlace(in, c, lat, useL0) {
+				scheduled = true
+				break
+			}
+		}
+		if !scheduled {
+			evicted := s.forcePlace(in, clusters)
+			for _, ev := range evicted {
+				if !pending[ev] {
+					pending[ev] = true
+					numPending++
+				}
+			}
+			if !s.done[id] {
+				continue // forced placement failed outright; retry
+			}
+		}
+		pending[id] = false
+		numPending--
+
+		// ➑ mark related instructions.
+		s.markRelated(in)
+		// ➓ reassign latencies with the new slack and free entries.
+		s.assignLatencies(s.totalFree)
+	}
+
+	sch := &Schedule{
+		Loop:      s.loop,
+		Cfg:       s.cfg,
+		II:        s.ii,
+		Placed:    s.placed,
+		SetScheme: s.setScheme,
+		SetHome:   s.setHome,
+	}
+	for _, cr := range s.comms {
+		if cr.refs > 0 {
+			sch.Comms = append(sch.Comms, Comm{Producer: cr.producer, Cycle: cr.cycle})
+		}
+	}
+	sch.SC = (sch.Span() + s.ii - 1) / s.ii
+	assignHints(sch, s)
+	if s.opts.UseL0 && !s.opts.DisableExplicitPrefetch {
+		insertExplicitPrefetches(sch, s)
+	}
+	revalidateSeqHints(sch)
+	return sch
+}
+
+func (s *state) effectiveEntries() int {
+	if !s.opts.UseL0 || !s.cfg.HasL0() {
+		return 0
+	}
+	return s.cfg.L0Entries
+}
+
+func saturatingAdd(a, b int) int {
+	if a > math.MaxInt32-b {
+		return math.MaxInt32
+	}
+	return a + b
+}
+
+// setIsPSR reports whether the set contains PSR store replicas (created by
+// applyPSR before scheduling).
+func (s *state) setIsPSR(si int) bool {
+	for _, id := range s.als.Sets[si] {
+		if s.loop.Instrs[id].ReplicaGroup != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// decideSet picks between 1C and NL0 for a load+store set (§4.3 step ➍): 1C
+// if at least one of the set's loads currently holds the L0 latency and
+// entries remain, NL0 otherwise.
+func (s *state) decideSet(si int) {
+	anyL0 := false
+	for _, id := range s.als.Sets[si] {
+		in := s.loop.Instrs[id]
+		if in.Op != ir.OpLoad {
+			continue
+		}
+		if (s.done[id] && s.placed[id].UseL0) || (!s.done[id] && s.intentL0[id]) {
+			anyL0 = true
+			break
+		}
+	}
+	if anyL0 && s.totalFree > 0 {
+		s.setScheme[si] = Scheme1C
+	} else {
+		s.setScheme[si] = SchemeNL0
+		for _, id := range s.als.Sets[si] {
+			in := s.loop.Instrs[id]
+			if in.Op == ir.OpLoad && !s.done[id] {
+				s.intentL0[id] = false
+				s.g.SetProducerLatency(id, s.cfg.L1Latency)
+			}
+		}
+	}
+	s.setDecided[si] = true
+}
+
+// latencyFor returns the latency and L0 usage instruction `in` would get if
+// placed in cluster c right now.
+func (s *state) latencyFor(in *ir.Instr, c int) (int, bool) {
+	if in.Op != ir.OpLoad {
+		return in.Op.DefaultLatency(), false
+	}
+	if !s.opts.UseL0 && s.opts.LoadLatencyFn != nil {
+		return s.opts.LoadLatencyFn(in, c), false
+	}
+	canL0 := s.opts.UseL0 && s.cfg.HasL0() && in.IsCandidate() &&
+		s.fitsSubblock(in) && s.intentL0[in.ID] && s.freeL0[c] > 0
+	if s.opts.MarkAllCandidates {
+		// §5.2 ablation: every candidate is scheduled with the L0
+		// latency regardless of buffer capacity — the buffers overflow
+		// at run time.
+		canL0 = s.opts.UseL0 && s.cfg.HasL0() && in.IsCandidate() && s.fitsSubblock(in)
+	}
+	if si := s.als.SetOf[in.ID]; canL0 && si >= 0 {
+		switch s.setScheme[si] {
+		case SchemeNL0:
+			canL0 = false
+		case Scheme1C:
+			if h := s.setHome[si]; h != -1 && h != c {
+				canL0 = false
+			}
+		}
+	}
+	if canL0 {
+		return s.cfg.L0Latency, true
+	}
+	return s.cfg.L1Latency, false
+}
+
+// fitsSubblock reports whether one access of the instruction fits in an L0
+// subblock; wider accesses can never hit (a subblock holds L1BlockBytes /
+// Clusters bytes, so very wide machines exclude very wide loads).
+func (s *state) fitsSubblock(in *ir.Instr) bool {
+	return in.Mem != nil && in.Mem.Width <= s.cfg.L0SubblockBytes
+}
+
+// allowedClusters returns the hard cluster restrictions for an instruction:
+// 1C stores must go to the set's home cluster; PSR replicas must occupy
+// distinct clusters.
+func (s *state) allowedClusters(in *ir.Instr) []int {
+	all := make([]int, s.cfg.Clusters)
+	for i := range all {
+		all[i] = i
+	}
+	if in.Op != ir.OpStore {
+		return all
+	}
+	if in.ReplicaGroup != 0 {
+		used := map[int]bool{}
+		for _, other := range s.loop.Instrs {
+			if other.ReplicaGroup == in.ReplicaGroup && other.ID != in.ID && s.done[other.ID] {
+				used[s.placed[other.ID].Cluster] = true
+			}
+		}
+		var out []int
+		for _, c := range all {
+			if !used[c] {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	if si := s.als.SetOf[in.ID]; si >= 0 && s.setScheme[si] == Scheme1C {
+		if h := s.setHome[si]; h != -1 {
+			return []int{h}
+		}
+	}
+	return all
+}
+
+// orderedClusters implements step ➏: the candidate clusters sorted by the
+// BASE heuristic (fewest inter-cluster communications, best balance) with,
+// for memory instructions, priority given to the recommended cluster and to
+// clusters where the instruction can be scheduled with the L0 latency.
+func (s *state) orderedClusters(in *ir.Instr) []int {
+	clusters := s.allowedClusters(in)
+	type scored struct {
+		c               int
+		rec, l0         int // 0 preferred
+		comm, occupancy int
+	}
+	pref := -1
+	if s.recommended[in.ID] != -1 {
+		pref = s.recommended[in.ID]
+	} else if s.opts.PreferredClusterFn != nil && in.Op.IsMemRef() {
+		pref = s.opts.PreferredClusterFn(in)
+	}
+	list := make([]scored, 0, len(clusters))
+	for _, c := range clusters {
+		sc := scored{c: c, rec: 1, l0: 1}
+		if pref == c {
+			sc.rec = 0
+		}
+		if _, useL0 := s.latencyFor(in, c); useL0 {
+			sc.l0 = 0
+		}
+		sc.comm = s.commCost(in, c)
+		sc.occupancy = s.m.occupancy[c]
+		list = append(list, sc)
+	}
+	mem := in.Op.IsMemRef()
+	sort.Slice(list, func(i, j int) bool {
+		a, b := list[i], list[j]
+		if mem {
+			if a.rec != b.rec {
+				return a.rec < b.rec
+			}
+			if a.l0 != b.l0 {
+				return a.l0 < b.l0
+			}
+		}
+		if a.comm != b.comm {
+			return a.comm < b.comm
+		}
+		if a.occupancy != b.occupancy {
+			return a.occupancy < b.occupancy
+		}
+		return a.c < b.c
+	})
+	out := make([]int, len(list))
+	for i, sc := range list {
+		out[i] = sc.c
+	}
+	return out
+}
+
+// commCost counts the placed register-dependence neighbours of `in` that sit
+// in a different cluster than c.
+func (s *state) commCost(in *ir.Instr, c int) int {
+	cost := 0
+	seen := map[int]bool{}
+	count := func(other int) {
+		if s.done[other] && !seen[other] && s.placed[other].Cluster != c {
+			seen[other] = true
+			cost++
+		}
+	}
+	for _, ei := range s.g.InEdges(in.ID) {
+		if s.g.Edges[ei].Kind == ddg.DepReg {
+			count(s.g.Edges[ei].From)
+		}
+	}
+	for _, ei := range s.g.OutEdges(in.ID) {
+		if s.g.Edges[ei].Kind == ddg.DepReg {
+			count(s.g.Edges[ei].To)
+		}
+	}
+	return cost
+}
+
+// pendingComm is a tentative bus reservation evaluated during placement.
+type pendingComm struct {
+	producer int
+	cycle    int
+	reuse    int // index of an existing comm being reused, or -1
+}
+
+// window computes the feasible cycle list for placing `in` on cluster c with
+// latency lat, following the SMS placement rules.
+func (s *state) window(in *ir.Instr, c, lat int) []int {
+	id := in.ID
+	commLat := s.cfg.CommLatency
+	estart := 0
+	hasPreds := false
+	for _, ei := range s.g.InEdges(id) {
+		e := s.g.Edges[ei]
+		if !s.done[e.From] || e.From == id {
+			continue
+		}
+		hasPreds = true
+		p := &s.placed[e.From]
+		t0 := p.Cycle + s.edgeLatency(ei) - s.ii*e.Distance
+		if e.Kind == ddg.DepReg && p.Cluster != c {
+			t0 += commLat
+		}
+		if t0 > estart {
+			estart = t0
+		}
+	}
+	latest := math.MaxInt32
+	hasSuccs := false
+	for _, ei := range s.g.OutEdges(id) {
+		e := s.g.Edges[ei]
+		if !s.done[e.To] || e.To == id {
+			continue
+		}
+		hasSuccs = true
+		q := &s.placed[e.To]
+		elat := lat
+		if e.Kind == ddg.DepMem {
+			elat = e.FixedLat
+		}
+		t1 := q.Cycle - elat + s.ii*e.Distance
+		if e.Kind == ddg.DepReg && q.Cluster != c {
+			t1 -= commLat
+		}
+		if t1 < latest {
+			latest = t1
+		}
+	}
+	if estart < 0 {
+		estart = 0
+	}
+	var cycles []int
+	switch {
+	case hasSuccs && !hasPreds:
+		lo := latest - s.ii + 1
+		if lo < 0 {
+			lo = 0
+		}
+		for t := latest; t >= lo; t-- {
+			cycles = append(cycles, t)
+		}
+	case !hasPreds && !hasSuccs:
+		asap := s.g.Estart(s.ii)[id]
+		for t := asap; t <= asap+s.ii-1; t++ {
+			cycles = append(cycles, t)
+		}
+	default:
+		hi := estart + s.ii - 1
+		if latest < hi {
+			hi = latest
+		}
+		for t := estart; t <= hi; t++ {
+			cycles = append(cycles, t)
+		}
+	}
+	return cycles
+}
+
+// tryPlace attempts to schedule `in` on cluster c with the given latency,
+// committing unit and bus reservations on success.
+func (s *state) tryPlace(in *ir.Instr, c, lat int, useL0 bool) bool {
+	kind := unitKindOf(in.Op)
+	for _, t := range s.window(in, c, lat) {
+		if t < 0 || !s.m.unitFree(t, c, kind) {
+			continue
+		}
+		pend, ok := s.planComms(in, c, t, lat)
+		if !ok {
+			continue
+		}
+		s.commit(in, c, t, lat, useL0, pend)
+		return true
+	}
+	return false
+}
+
+// planComms finds bus slots (or reusable broadcasts) for every cross-cluster
+// register dependence of `in` placed at (c, t).
+func (s *state) planComms(in *ir.Instr, c, t, lat int) ([]pendingComm, bool) {
+	id := in.ID
+	commLat := s.cfg.CommLatency
+	extra := map[int]int{}
+	var pend []pendingComm
+	for _, ei := range s.g.InEdges(id) {
+		e := s.g.Edges[ei]
+		if e.Kind != ddg.DepReg || !s.done[e.From] || e.From == id {
+			continue
+		}
+		p := &s.placed[e.From]
+		if p.Cluster == c {
+			continue
+		}
+		deadline := t + s.ii*e.Distance - commLat
+		ready := p.Cycle + p.Latency
+		pc, ok := s.findComm(e.From, ready, deadline, extra, pend)
+		if !ok {
+			return nil, false
+		}
+		pend = append(pend, pc)
+	}
+	for _, ei := range s.g.OutEdges(id) {
+		e := s.g.Edges[ei]
+		if e.Kind != ddg.DepReg || !s.done[e.To] || e.To == id {
+			continue
+		}
+		q := &s.placed[e.To]
+		if q.Cluster == c {
+			continue
+		}
+		deadline := q.Cycle + s.ii*e.Distance - commLat
+		ready := t + lat
+		pc, ok := s.findComm(id, ready, deadline, extra, pend)
+		if !ok {
+			return nil, false
+		}
+		pend = append(pend, pc)
+	}
+	return pend, true
+}
+
+// findComm locates a broadcast of producer arriving by deadline+commLat:
+// reuse an existing or pending transfer when possible, otherwise claim a bus
+// slot in [ready, deadline]. A reused transfer must also start no earlier
+// than `ready`: after an eviction re-places the producer, stale broadcasts
+// scheduled before the value exists would otherwise carry the previous
+// iteration's value.
+func (s *state) findComm(producer, ready, deadline int, extra map[int]int, pend []pendingComm) (pendingComm, bool) {
+	for _, ci := range s.commsByProd[producer] {
+		cr := &s.comms[ci]
+		if cr.refs > 0 && cr.cycle >= ready && cr.cycle <= deadline {
+			return pendingComm{producer: producer, cycle: cr.cycle, reuse: ci}, true
+		}
+	}
+	for _, pc := range pend {
+		if pc.producer == producer && pc.cycle >= ready && pc.cycle <= deadline && pc.reuse == -1 {
+			// Share the not-yet-committed transfer.
+			return pendingComm{producer: producer, cycle: pc.cycle, reuse: -2}, true
+		}
+	}
+	if ready < 0 {
+		ready = 0
+	}
+	for b := ready; b <= deadline; b++ {
+		if s.m.busFree(b, extra) {
+			holdRows(extra, b, s.cfg.CommLatency, s.ii)
+			return pendingComm{producer: producer, cycle: b, reuse: -1}, true
+		}
+	}
+	return pendingComm{}, false
+}
+
+// commit finalises a placement: unit slot, bus transfers, latency, state.
+func (s *state) commit(in *ir.Instr, c, t, lat int, useL0 bool, pend []pendingComm) {
+	id := in.ID
+	s.m.reserveUnit(t, c, unitKindOf(in.Op))
+	for _, pc := range pend {
+		switch pc.reuse {
+		case -1:
+			s.m.reserveBus(pc.cycle)
+			s.comms = append(s.comms, commRec{producer: pc.producer, cycle: pc.cycle, refs: 1})
+			ci := len(s.comms) - 1
+			s.commsByProd[pc.producer] = append(s.commsByProd[pc.producer], ci)
+			s.nodeComms[id] = append(s.nodeComms[id], ci)
+		case -2:
+			// Shared with a sibling pendingComm committed in this
+			// same call: find the comm just created.
+			for _, ci := range s.commsByProd[pc.producer] {
+				if s.comms[ci].cycle == pc.cycle && s.comms[ci].refs > 0 {
+					s.comms[ci].refs++
+					s.nodeComms[id] = append(s.nodeComms[id], ci)
+					break
+				}
+			}
+		default:
+			s.comms[pc.reuse].refs++
+			s.nodeComms[id] = append(s.nodeComms[id], pc.reuse)
+		}
+	}
+	s.placed[id] = Placed{Instr: in, Cluster: c, Cycle: t, Latency: lat, UseL0: useL0}
+	s.done[id] = true
+	s.prevCycle[id] = t
+	s.g.SetProducerLatency(id, lat)
+	if useL0 && in.Op == ir.OpLoad {
+		if s.freeL0[c] < arch.Unbounded {
+			s.freeL0[c]--
+		}
+		if s.totalFree < math.MaxInt32 {
+			s.totalFree--
+		}
+	}
+	// 1C home-cluster election: L0 loads and stores pin the set.
+	if si := s.als.SetOf[id]; si >= 0 && s.setScheme[si] == Scheme1C && s.setHome[si] == -1 {
+		if in.Op == ir.OpStore || useL0 {
+			s.setHome[si] = c
+		}
+	}
+}
+
+// evict removes a node's placement, releasing its unit slot, bus transfers
+// and L0 entry.
+func (s *state) evict(id int) {
+	if !s.done[id] {
+		return
+	}
+	p := &s.placed[id]
+	row := mod(p.Cycle, s.ii)
+	s.m.units[row][p.Cluster][unitKindOf(p.Instr.Op)]--
+	s.m.occupancy[p.Cluster]--
+	for _, ci := range s.nodeComms[id] {
+		cr := &s.comms[ci]
+		cr.refs--
+		if cr.refs == 0 {
+			for k := 0; k < s.cfg.CommLatency; k++ {
+				s.m.bus[mod(cr.cycle+k, s.ii)]--
+			}
+		}
+	}
+	s.nodeComms[id] = nil
+	if p.UseL0 && p.Instr.Op == ir.OpLoad {
+		if s.freeL0[p.Cluster] < arch.Unbounded {
+			s.freeL0[p.Cluster]++
+		}
+		if s.totalFree < math.MaxInt32 {
+			s.totalFree++
+		}
+	}
+	s.done[id] = false
+	// Restore the intent latency for slack computations.
+	in := p.Instr
+	if in.Op == ir.OpLoad {
+		switch {
+		case s.opts.UseL0 && s.cfg.HasL0() && in.IsCandidate() && s.intentL0[id]:
+			s.g.SetProducerLatency(id, s.cfg.L0Latency)
+		case !s.opts.UseL0 && s.opts.LoadLatencyFn != nil:
+			s.g.SetProducerLatency(id, s.opts.LoadLatencyFn(in, -1))
+		default:
+			s.g.SetProducerLatency(id, s.cfg.L1Latency)
+		}
+	}
+}
+
+// forcePlace implements the eviction step of iterative modulo scheduling:
+// the node is placed at max(estart, prevCycle+1) in the best cluster, and
+// every placed instruction that conflicts with that slot — the unit owner,
+// and any dependence neighbour whose constraint can no longer be met — is
+// evicted and rescheduled later. Returns the evicted node IDs.
+func (s *state) forcePlace(in *ir.Instr, clusters []int) []int {
+	if len(clusters) == 0 {
+		return nil
+	}
+	id := in.ID
+	c := clusters[0]
+	lat, useL0 := s.latencyFor(in, c)
+
+	// Forced cycle: never before the placed-predecessor bound, always
+	// past the previous attempt (progress guarantee).
+	estart := 0
+	for _, ei := range s.g.InEdges(id) {
+		e := s.g.Edges[ei]
+		if !s.done[e.From] || e.From == id {
+			continue
+		}
+		p := &s.placed[e.From]
+		t0 := p.Cycle + s.edgeLatency(ei) - s.ii*e.Distance
+		if e.Kind == ddg.DepReg && p.Cluster != c {
+			t0 += s.cfg.CommLatency
+		}
+		if t0 > estart {
+			estart = t0
+		}
+	}
+	t := estart
+	if t <= s.prevCycle[id] {
+		t = s.prevCycle[id] + 1
+	}
+
+	var evicted []int
+	kind := unitKindOf(in.Op)
+	// Free the unit slot.
+	for !s.m.unitFree(t, c, kind) {
+		victim := s.unitOwner(t, c, kind, id)
+		if victim == -1 {
+			break
+		}
+		s.evict(victim)
+		evicted = append(evicted, victim)
+	}
+	// Evict dependence neighbours that the forced slot violates (or whose
+	// comm cannot be scheduled).
+	for changed := true; changed; {
+		changed = false
+		pend, ok := s.planComms(in, c, t, lat)
+		if ok {
+			if s.violatedNeighbor(in, c, t, lat) == -1 {
+				s.commit(in, c, t, lat, useL0, pend)
+				return evicted
+			}
+		}
+		v := s.violatedNeighbor(in, c, t, lat)
+		if v == -1 && !ok {
+			// Bus congestion with no violating neighbour: evict an
+			// arbitrary comm holder to free bus rows.
+			v = s.anyCommHolder(id)
+		}
+		if v != -1 {
+			s.evict(v)
+			evicted = append(evicted, v)
+			changed = true
+		}
+	}
+	// Could not resolve: leave the node pending (caller retries).
+	return evicted
+}
+
+// unitOwner finds a placed node occupying the unit slot (row of t, cluster,
+// kind), excluding `except`.
+func (s *state) unitOwner(t, c int, kind arch.UnitKind, except int) int {
+	row := mod(t, s.ii)
+	for v := range s.placed {
+		if v == except || !s.done[v] {
+			continue
+		}
+		p := &s.placed[v]
+		if p.Cluster == c && unitKindOf(p.Instr.Op) == kind && mod(p.Cycle, s.ii) == row {
+			return v
+		}
+	}
+	return -1
+}
+
+// violatedNeighbor returns a placed dependence neighbour whose constraint
+// breaks if `in` is placed at (c, t), or -1.
+func (s *state) violatedNeighbor(in *ir.Instr, c, t, lat int) int {
+	id := in.ID
+	commLat := s.cfg.CommLatency
+	for _, ei := range s.g.InEdges(id) {
+		e := s.g.Edges[ei]
+		if !s.done[e.From] || e.From == id {
+			continue
+		}
+		p := &s.placed[e.From]
+		t0 := p.Cycle + s.edgeLatency(ei) - s.ii*e.Distance
+		if e.Kind == ddg.DepReg && p.Cluster != c {
+			t0 += commLat
+		}
+		if t < t0 {
+			return e.From
+		}
+	}
+	for _, ei := range s.g.OutEdges(id) {
+		e := s.g.Edges[ei]
+		if !s.done[e.To] || e.To == id {
+			continue
+		}
+		q := &s.placed[e.To]
+		elat := lat
+		if e.Kind == ddg.DepMem {
+			elat = e.FixedLat
+		}
+		t1 := q.Cycle - elat + s.ii*e.Distance
+		if e.Kind == ddg.DepReg && q.Cluster != c {
+			t1 -= commLat
+		}
+		if t > t1 {
+			return e.To
+		}
+	}
+	return -1
+}
+
+// anyCommHolder returns some placed node holding a bus transfer (to relieve
+// bus congestion), or -1.
+func (s *state) anyCommHolder(except int) int {
+	for v := range s.nodeComms {
+		if v != except && s.done[v] && len(s.nodeComms[v]) > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// edgeLatency is the constraint latency of edge ei given committed producer
+// latencies.
+func (s *state) edgeLatency(ei int) int {
+	e := s.g.Edges[ei]
+	if e.Kind == ddg.DepMem {
+		return e.FixedLat
+	}
+	if s.done[e.From] {
+		return s.placed[e.From].Latency
+	}
+	return s.g.ProducerLatency(e.From)
+}
+
+// markRelated implements step ➑: after placing instruction `in`, recommend
+// clusters for its unroll siblings (rotating assignment for interleaved
+// mapping) and pin memory-dependent stores to the home cluster.
+func (s *state) markRelated(in *ir.Instr) {
+	id := in.ID
+	if !s.done[id] {
+		return
+	}
+	p := &s.placed[id]
+	if in.Op == ir.OpLoad && p.UseL0 && s.loop.Unroll == s.cfg.Clusters && interleaveEligible(s.loop, in, s.cfg) {
+		for _, other := range s.loop.Instrs {
+			if other.ID == id || other.OrigID != in.OrigID || other.Op != ir.OpLoad || s.done[other.ID] {
+				continue
+			}
+			delta := other.UnrollCopy - in.UnrollCopy
+			s.recommended[other.ID] = mod(p.Cluster+delta, s.cfg.Clusters)
+		}
+	}
+	if si := s.als.SetOf[id]; si >= 0 && s.setScheme[si] == Scheme1C && in.Op == ir.OpLoad && p.UseL0 {
+		for _, mid := range s.als.Sets[si] {
+			if !s.done[mid] && s.loop.Instrs[mid].Op == ir.OpStore {
+				s.recommended[mid] = p.Cluster
+			}
+		}
+	}
+}
+
+// assignLatencies implements steps ➋/➓: the nFree most critical (smallest
+// slack) unplaced candidate loads get the L0 latency, every other unplaced
+// candidate the L1 latency. With MarkAllCandidates every candidate keeps L0.
+func (s *state) assignLatencies(nFree int) {
+	if !s.opts.UseL0 || !s.cfg.HasL0() {
+		return
+	}
+	var cands []int
+	for _, in := range s.loop.Instrs {
+		if s.done[in.ID] || !in.IsCandidate() || in.Op != ir.OpLoad || !s.fitsSubblock(in) {
+			continue
+		}
+		if si := s.als.SetOf[in.ID]; si >= 0 && s.setDecided[si] && s.setScheme[si] == SchemeNL0 {
+			continue
+		}
+		cands = append(cands, in.ID)
+	}
+	if s.opts.MarkAllCandidates {
+		for _, id := range cands {
+			s.intentL0[id] = true
+			s.g.SetProducerLatency(id, s.cfg.L0Latency)
+		}
+		return
+	}
+	slack := s.g.Slack(s.ii)
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if slack[a] != slack[b] {
+			return slack[a] < slack[b]
+		}
+		return a < b
+	})
+	for i, id := range cands {
+		use := i < nFree
+		s.intentL0[id] = use
+		if use {
+			s.g.SetProducerLatency(id, s.cfg.L0Latency)
+		} else {
+			s.g.SetProducerLatency(id, s.cfg.L1Latency)
+		}
+	}
+}
+
+// interleaveEligible reports whether a load is part of an unroll-by-N group
+// whose original stride is one element: the N copies access consecutive
+// elements and INTERLEAVED_MAP places each copy's elements in its own
+// cluster (§3.1).
+func interleaveEligible(l *ir.Loop, in *ir.Instr, cfg arch.Config) bool {
+	if l.Unroll != cfg.Clusters || in.Mem == nil || !in.Mem.StrideKnown {
+		return false
+	}
+	st := in.Mem.Stride
+	if st < 0 {
+		st = -st
+	}
+	return st == int64(in.Mem.Width)*int64(cfg.Clusters)
+}

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/unroll"
+)
+
+// vecAdd builds the §3.1 example: a[i] = b[i] + C over 2-byte elements.
+func vecAdd(trip int64) *ir.Loop {
+	b := ir.NewBuilder("vecadd", trip)
+	src := b.Array("b", 8192, 2)
+	dst := b.Array("a", 8192, 2)
+	v := b.Load("ld_b", src, 0, 2, 2)
+	sum := b.Int("add", v)
+	b.Store("st_a", dst, 0, 2, 2, sum)
+	return b.Build()
+}
+
+func TestCompileBase(t *testing.T) {
+	cfg := arch.MICRO36Config().WithL0Entries(0)
+	sch, err := Compile(vecAdd(1024), cfg, Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if sch.II < 1 {
+		t.Fatalf("II = %d, want >= 1", sch.II)
+	}
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		if p.Instr.Op == ir.OpLoad && p.Latency != cfg.L1Latency {
+			t.Errorf("BASE load latency = %d, want %d", p.Latency, cfg.L1Latency)
+		}
+		if p.UseL0 {
+			t.Errorf("BASE schedule marked %v to use L0", p.Instr)
+		}
+		if p.Instr.Op.IsMemRef() && p.Hints.Access != arch.NoAccess {
+			t.Errorf("BASE hint = %v, want NO_ACCESS", p.Hints.Access)
+		}
+	}
+}
+
+func TestCompileL0MarksLoads(t *testing.T) {
+	cfg := arch.MICRO36Config()
+	sch, err := Compile(vecAdd(1024), cfg, Options{UseL0: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var l0Loads int
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		if p.Instr.Op == ir.OpLoad && p.UseL0 {
+			l0Loads++
+			if p.Latency != cfg.L0Latency {
+				t.Errorf("L0 load latency = %d, want %d", p.Latency, cfg.L0Latency)
+			}
+			if p.Hints.Access == arch.NoAccess {
+				t.Errorf("L0 load has NO_ACCESS hint")
+			}
+		}
+	}
+	if l0Loads == 0 {
+		t.Fatalf("no load scheduled with the L0 latency")
+	}
+	t.Logf("schedule:\n%s", sch)
+}
+
+func TestCompileUnrolledInterleave(t *testing.T) {
+	cfg := arch.MICRO36Config()
+	ul, err := unroll.ByFactor(vecAdd(1024), 4)
+	if err != nil {
+		t.Fatalf("unroll: %v", err)
+	}
+	sch, err := Compile(ul, cfg, Options{UseL0: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	interleaved := 0
+	clusters := map[int]bool{}
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		if p.Instr.Op == ir.OpLoad && p.UseL0 {
+			if p.Hints.Map == arch.InterleavedMap {
+				interleaved++
+				clusters[p.Cluster] = true
+			}
+		}
+	}
+	if interleaved != 4 {
+		t.Fatalf("interleaved loads = %d, want 4\n%s", interleaved, sch)
+	}
+	if len(clusters) != 4 {
+		t.Errorf("interleaved copies in %d distinct clusters, want 4\n%s", len(clusters), sch)
+	}
+}
+
+func TestPipelineChoosesUnroll(t *testing.T) {
+	cfg := arch.MICRO36Config()
+	c, err := Pipeline(vecAdd(1024), cfg, Options{UseL0: true})
+	if err != nil {
+		t.Fatalf("Pipeline: %v", err)
+	}
+	if c.Factor != 4 {
+		t.Errorf("unroll factor = %d, want 4 for a resource-bound vector loop", c.Factor)
+	}
+}

@@ -1,0 +1,444 @@
+// Package sms implements the Swing Modulo Scheduling node-ordering heuristic
+// (Llosa, González, Ayguadé, Valero, PACT'96) used as scheduling step 2 in
+// §4.3 of the paper. SMS orders the nodes of the dependence graph so that
+// (i) the most constraining recurrences are placed first and (ii) every node
+// is ordered adjacent to already-ordered neighbours, which lets the scheduler
+// place it close to them and keeps both the initiation interval and register
+// pressure low.
+package sms
+
+import (
+	"sort"
+
+	"repro/internal/ddg"
+)
+
+// Order returns the SMS instruction order for graph g at initiation
+// interval ii.
+func Order(g *ddg.Graph, ii int) []int {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	est := g.Estart(ii)
+	lst := g.Lstart(ii)
+
+	sets := prioritySets(g)
+
+	ordered := make([]bool, n)
+	var order []int
+
+	appendNode := func(v int) {
+		if !ordered[v] {
+			ordered[v] = true
+			order = append(order, v)
+		}
+	}
+
+	for _, set := range sets {
+		inSet := make(map[int]bool, len(set))
+		for _, v := range set {
+			inSet[v] = true
+		}
+		remaining := len(set)
+		for _, v := range set {
+			if ordered[v] {
+				remaining--
+			}
+		}
+		for remaining > 0 {
+			// Seed the working frontier from already-ordered
+			// neighbours; default to the set's most critical node.
+			frontier, dir := seedFrontier(g, set, inSet, ordered, est)
+			for len(frontier) > 0 {
+				var v int
+				if dir == topDown {
+					v = pickMin(frontier, lst, est)
+				} else {
+					v = pickMax(frontier, est, lst)
+				}
+				appendNode(v)
+				remaining--
+				delete(frontier, v)
+				var next []int
+				if dir == topDown {
+					next = g.Succs(v)
+				} else {
+					next = g.Preds(v)
+				}
+				for _, u := range next {
+					if inSet[u] && !ordered[u] {
+						frontier[u] = true
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
+type direction int
+
+const (
+	topDown direction = iota
+	bottomUp
+)
+
+// seedFrontier builds the initial frontier for one sweep over a set: nodes
+// of the set that are successors (top-down) or predecessors (bottom-up) of
+// the already-ordered nodes; if neither exists, the single most critical
+// unordered node of the set.
+func seedFrontier(g *ddg.Graph, set []int, inSet map[int]bool, ordered []bool, est []int) (map[int]bool, direction) {
+	succ := map[int]bool{}
+	pred := map[int]bool{}
+	for v := 0; v < g.N(); v++ {
+		if !ordered[v] {
+			continue
+		}
+		for _, u := range g.Succs(v) {
+			if inSet[u] && !ordered[u] {
+				succ[u] = true
+			}
+		}
+		for _, u := range g.Preds(v) {
+			if inSet[u] && !ordered[u] {
+				pred[u] = true
+			}
+		}
+	}
+	if len(succ) > 0 {
+		return succ, topDown
+	}
+	if len(pred) > 0 {
+		return pred, bottomUp
+	}
+	// Fresh component: seed with every source of the set (nodes without
+	// predecessors inside the set), sweeping top-down. Seeding all
+	// sources is essential: it keeps every operand producer ahead of its
+	// consumer in the order, so the placement phase never wedges a
+	// producer into an empty window below an already-placed consumer.
+	sources := map[int]bool{}
+	for _, v := range set {
+		if ordered[v] {
+			continue
+		}
+		hasPred := false
+		for _, u := range g.Preds(v) {
+			if u != v && inSet[u] {
+				hasPred = true
+				break
+			}
+		}
+		if !hasPred {
+			sources[v] = true
+		}
+	}
+	if len(sources) > 0 {
+		return sources, topDown
+	}
+	// Pure cycle (recurrence without sources): start from the most
+	// critical node.
+	best, bestEst := -1, 0
+	for _, v := range set {
+		if ordered[v] {
+			continue
+		}
+		if best == -1 || est[v] < bestEst || (est[v] == bestEst && v < best) {
+			best, bestEst = v, est[v]
+		}
+	}
+	if best == -1 {
+		return map[int]bool{}, topDown
+	}
+	return map[int]bool{best: true}, topDown
+}
+
+// pickMin selects the frontier node with the lowest primary value (Lstart
+// for top-down sweeps), breaking ties by highest secondary (deeper nodes
+// first) then lowest ID for determinism.
+func pickMin(frontier map[int]bool, primary, secondary []int) int {
+	best := -1
+	for v := range frontier {
+		if best == -1 {
+			best = v
+			continue
+		}
+		switch {
+		case primary[v] < primary[best]:
+			best = v
+		case primary[v] == primary[best] && secondary[v] > secondary[best]:
+			best = v
+		case primary[v] == primary[best] && secondary[v] == secondary[best] && v < best:
+			best = v
+		}
+	}
+	return best
+}
+
+// pickMax selects the frontier node with the highest primary value (Estart
+// for bottom-up sweeps), ties by lowest secondary then lowest ID.
+func pickMax(frontier map[int]bool, primary, secondary []int) int {
+	best := -1
+	for v := range frontier {
+		if best == -1 {
+			best = v
+			continue
+		}
+		switch {
+		case primary[v] > primary[best]:
+			best = v
+		case primary[v] == primary[best] && secondary[v] < secondary[best]:
+			best = v
+		case primary[v] == primary[best] && secondary[v] == secondary[best] && v < best:
+			best = v
+		}
+	}
+	return best
+}
+
+// prioritySets partitions the nodes into the SMS priority sets: one set per
+// recurrence (strongly connected component with a cycle), ordered by
+// decreasing recurrence MII, each augmented with the nodes on dependence
+// paths connecting it to higher-priority sets; a final set holds the
+// remaining (acyclic) nodes.
+func prioritySets(g *ddg.Graph) [][]int {
+	sccs := tarjanSCC(g)
+	type rec struct {
+		nodes []int
+		mii   int
+	}
+	var recs []rec
+	for _, comp := range sccs {
+		if isRecurrence(g, comp) {
+			recs = append(recs, rec{nodes: comp, mii: componentRecMII(g, comp)})
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].mii != recs[j].mii {
+			return recs[i].mii > recs[j].mii
+		}
+		return recs[i].nodes[0] < recs[j].nodes[0]
+	})
+
+	n := g.N()
+	placed := make([]bool, n)
+	var sets [][]int
+	var unionSoFar []int
+	for _, r := range recs {
+		set := map[int]bool{}
+		for _, v := range r.nodes {
+			if !placed[v] {
+				set[v] = true
+			}
+		}
+		// Nodes on paths between previous sets and this recurrence:
+		// ancestors of this recurrence that are descendants of the
+		// union so far (and vice versa).
+		if len(unionSoFar) > 0 {
+			anc := reach(g, r.nodes, false)
+			desc := reach(g, r.nodes, true)
+			prevDesc := reach(g, unionSoFar, true)
+			prevAnc := reach(g, unionSoFar, false)
+			for v := 0; v < n; v++ {
+				if placed[v] || set[v] {
+					continue
+				}
+				if (anc[v] && prevDesc[v]) || (desc[v] && prevAnc[v]) {
+					set[v] = true
+				}
+			}
+		}
+		var list []int
+		for v := range set {
+			list = append(list, v)
+		}
+		sort.Ints(list)
+		if len(list) > 0 {
+			sets = append(sets, list)
+			for _, v := range list {
+				placed[v] = true
+				unionSoFar = append(unionSoFar, v)
+			}
+		}
+	}
+	var rest []int
+	for v := 0; v < n; v++ {
+		if !placed[v] {
+			rest = append(rest, v)
+		}
+	}
+	if len(rest) > 0 {
+		sets = append(sets, rest)
+	}
+	return sets
+}
+
+// isRecurrence reports whether the SCC contains a dependence cycle (more
+// than one node, or a self edge).
+func isRecurrence(g *ddg.Graph, comp []int) bool {
+	if len(comp) > 1 {
+		return true
+	}
+	v := comp[0]
+	for _, ei := range g.OutEdges(v) {
+		if g.Edges[ei].To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// componentRecMII returns the minimum II feasible for the cycles inside one
+// SCC: the smallest ii such that the subgraph has no positive cycle with
+// weights latency − ii·distance.
+func componentRecMII(g *ddg.Graph, comp []int) int {
+	in := map[int]bool{}
+	for _, v := range comp {
+		in[v] = true
+	}
+	hi := 1
+	for ei, e := range g.Edges {
+		if in[e.From] && in[e.To] {
+			hi += g.Latency(ei)
+		}
+	}
+	for ii := 1; ii <= hi; ii++ {
+		if !hasPositiveCycleIn(g, in, ii) {
+			return ii
+		}
+	}
+	return hi
+}
+
+func hasPositiveCycleIn(g *ddg.Graph, in map[int]bool, ii int) bool {
+	dist := map[int]int64{}
+	for v := range in {
+		dist[v] = 0
+	}
+	n := len(in)
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for ei, e := range g.Edges {
+			if !in[e.From] || !in[e.To] {
+				continue
+			}
+			w := int64(g.Latency(ei)) - int64(ii)*int64(e.Distance)
+			if d := dist[e.From] + w; d > dist[e.To] {
+				dist[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	for ei, e := range g.Edges {
+		if !in[e.From] || !in[e.To] {
+			continue
+		}
+		w := int64(g.Latency(ei)) - int64(ii)*int64(e.Distance)
+		if dist[e.From]+w > dist[e.To] {
+			return true
+		}
+	}
+	return false
+}
+
+// reach returns the set of nodes reachable from seeds following edges
+// forward (descendants) or backward (ancestors).
+func reach(g *ddg.Graph, seeds []int, forward bool) []bool {
+	seen := make([]bool, g.N())
+	stack := append([]int(nil), seeds...)
+	for _, v := range seeds {
+		seen[v] = true
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var next []int
+		if forward {
+			next = g.Succs(v)
+		} else {
+			next = g.Preds(v)
+		}
+		for _, u := range next {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return seen
+}
+
+// tarjanSCC returns the strongly connected components of the graph in
+// reverse topological order of the condensation.
+func tarjanSCC(g *ddg.Graph) [][]int {
+	n := g.N()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	counter := 0
+
+	// Iterative Tarjan to avoid recursion limits on big unrolled bodies.
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{root, 0})
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			edges := g.OutEdges(v)
+			if f.ei < len(edges) {
+				w := g.Edges[edges[f.ei]].To
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

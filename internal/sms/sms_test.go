@@ -1,0 +1,201 @@
+package sms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alias"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+)
+
+func buildGraph(t *testing.T, body func(b *ir.Builder)) *ddg.Graph {
+	t.Helper()
+	b := ir.NewBuilder("t", 64)
+	body(b)
+	l, err := b.BuildErr()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	als := alias.Analyze(l)
+	return ddg.Build(l, ddg.DefaultLatencies(6), als.Edges)
+}
+
+func TestOrderIsPermutation(t *testing.T) {
+	g := buildGraph(t, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		d := b.Array("d", 4096, 4)
+		v1 := b.Load("ld1", a, 0, 4, 4)
+		v2 := b.Load("ld2", a, 2048, 4, 4)
+		x := b.Int("mix", v1, v2)
+		y := b.Int("op", x)
+		b.Store("st", d, 0, 4, 4, y)
+	})
+	order := Order(g, 2)
+	if len(order) != g.N() {
+		t.Fatalf("order length %d != %d nodes", len(order), g.N())
+	}
+	seen := map[int]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("node %d ordered twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestAllSourcesPrecedeJointConsumer(t *testing.T) {
+	// Both loads must be ordered before the op that consumes them —
+	// the property that keeps the placement phase from wedging.
+	g := buildGraph(t, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		d := b.Array("d", 4096, 4)
+		v1 := b.Load("ld1", a, 0, 4, 4)
+		v2 := b.Load("ld2", a, 2048, 4, 4)
+		x := b.Int("mix", v1, v2)
+		b.Store("st", d, 0, 4, 4, x)
+	})
+	order := Order(g, 2)
+	pos := make([]int, g.N())
+	for p, v := range order {
+		pos[v] = p
+	}
+	if pos[0] > pos[2] || pos[1] > pos[2] {
+		t.Errorf("a load ordered after its consumer: order %v", order)
+	}
+}
+
+func TestRecurrenceOrderedFirst(t *testing.T) {
+	g := buildGraph(t, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		d := b.Array("d", 4096, 4)
+		v := b.Load("ld", a, 0, 4, 4) // node 0, not in the recurrence
+		acc := b.SelfRecurrence("acc", 1, v)
+		b.Store("st", d, 0, 4, 4, acc)
+	})
+	order := Order(g, 7)
+	// The recurrence node (1) must come before the non-recurrence store,
+	// and before the load feeding it (recurrences get priority).
+	pos := make([]int, g.N())
+	for p, v := range order {
+		pos[v] = p
+	}
+	if pos[1] != 0 {
+		t.Errorf("recurrence node not ordered first: order %v", order)
+	}
+}
+
+func TestDeepestRecurrenceFirst(t *testing.T) {
+	g := buildGraph(t, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		// Shallow recurrence: 1-op cycle (RecMII 1).
+		v1 := b.Load("ld1", a, 0, 4, 4)
+		b.SelfRecurrence("shallow", 1, v1)
+		// Deep recurrence: 3-op cycle (RecMII 3).
+		v2 := b.Load("ld2", a, 2048, 4, 4)
+		x := b.Int("c1", v2)
+		y := b.Int("c2", x)
+		z := b.Int("c3", y)
+		b.CarryInto(x, z, 1)
+	})
+	order := Order(g, 3)
+	pos := make([]int, g.N())
+	for p, v := range order {
+		pos[v] = p
+	}
+	// Nodes 3,4,5 (deep cycle) must precede node 1 (shallow cycle).
+	if !(pos[3] < pos[1] && pos[4] < pos[1] && pos[5] < pos[1]) {
+		t.Errorf("deeper recurrence not prioritised: order %v", order)
+	}
+}
+
+func TestAdjacencyProperty(t *testing.T) {
+	// Every ordered node after the first within a connected component has
+	// at least one already-ordered neighbour — SMS's defining property.
+	g := buildGraph(t, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		d := b.Array("d", 4096, 4)
+		v1 := b.Load("ld1", a, 0, 4, 4)
+		x1 := b.Int("o1", v1)
+		x2 := b.Int("o2", x1)
+		v2 := b.Load("ld2", a, 2048, 4, 4)
+		m := b.Int("mix", x2, v2)
+		b.Store("st", d, 0, 4, 4, m)
+	})
+	order := Order(g, 2)
+	ordered := map[int]bool{}
+	for i, v := range order {
+		// Source nodes (no predecessors) are seeded together and are
+		// exempt; every other node must touch the ordered prefix.
+		if i > 0 && len(g.Preds(v)) > 0 {
+			hasNeighbor := false
+			for _, u := range append(g.Preds(v), g.Succs(v)...) {
+				if ordered[u] {
+					hasNeighbor = true
+				}
+			}
+			if !hasNeighbor {
+				t.Errorf("node %d ordered without any ordered neighbour (position %d)", v, i)
+			}
+		}
+		ordered[v] = true
+	}
+}
+
+func TestOrderDeterministic(t *testing.T) {
+	mk := func() []int {
+		g := buildGraph(t, func(b *ir.Builder) {
+			a := b.Array("a", 4096, 4)
+			d := b.Array("d", 4096, 4)
+			v1 := b.Load("ld1", a, 0, 4, 4)
+			v2 := b.Load("ld2", a, 1024, 4, 4)
+			v3 := b.Load("ld3", a, 2048, 4, 4)
+			x := b.Int("m1", v1, v2)
+			y := b.Int("m2", x, v3)
+			b.Store("st", d, 0, 4, 4, y)
+		})
+		return Order(g, 2)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestOrderCoversDisconnectedComponents(t *testing.T) {
+	g := buildGraph(t, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		c := b.Array("c", 4096, 4)
+		b.Load("ld1", a, 0, 4, 4)
+		b.Load("ld2", c, 0, 4, 4)
+	})
+	err := quick.Check(func(iiRaw uint8) bool {
+		ii := int(iiRaw%6) + 1
+		return len(Order(g, ii)) == g.N()
+	}, nil)
+	if err != nil {
+		t.Errorf("order misses nodes: %v", err)
+	}
+}
+
+func TestTarjanFindsCycleComponents(t *testing.T) {
+	g := buildGraph(t, func(b *ir.Builder) {
+		a := b.Array("a", 4096, 4)
+		v := b.Load("ld", a, 0, 4, 4)
+		x := b.Int("c1", v)
+		y := b.Int("c2", x)
+		b.CarryInto(x, y, 1)
+	})
+	comps := tarjanSCC(g)
+	var cyc [][]int
+	for _, c := range comps {
+		if len(c) > 1 {
+			cyc = append(cyc, c)
+		}
+	}
+	if len(cyc) != 1 || len(cyc[0]) != 2 {
+		t.Errorf("expected one 2-node SCC, got %v", comps)
+	}
+}

@@ -1,0 +1,92 @@
+// Package stats provides the small numeric and text-table helpers the
+// experiment harness uses to print paper-style tables and figure series.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// AMean returns the arithmetic mean (the paper's AMEAN columns).
+func AMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Ratio returns a/b, or 0 when b is zero.
+func Ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Pct formats a fraction as a percentage with no decimals ("66%").
+func Pct(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
+
+// F2 formats a float with two decimals.
+func F2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// F1 formats a float with one decimal.
+func F1(f float64) string { return fmt.Sprintf("%.1f", f) }
+
+// Table renders fixed-width text tables.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// RenderString returns the rendered table as a string.
+func (t *Table) RenderString() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

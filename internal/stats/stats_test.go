@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAMean(t *testing.T) {
+	if AMean(nil) != 0 {
+		t.Errorf("AMean(nil) != 0")
+	}
+	if got := AMean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("AMean = %v, want 2", got)
+	}
+}
+
+func TestAMeanBounds(t *testing.T) {
+	err := quick.Check(func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 16 // bounded, fractional inputs
+		}
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		m := AMean(xs)
+		return m >= min-1e-9 && m <= max+1e-9
+	}, nil)
+	if err != nil {
+		t.Errorf("AMean out of bounds: %v", err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Errorf("Ratio(_, 0) != 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Errorf("Ratio = %v", Ratio(3, 4))
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if Pct(0.655) != "66%" {
+		t.Errorf("Pct = %q", Pct(0.655))
+	}
+	if F2(1.005) != "1.00" && F2(1.005) != "1.01" {
+		t.Errorf("F2 = %q", F2(1.005))
+	}
+	if F1(2.34) != "2.3" {
+		t.Errorf("F1 = %q", F1(2.34))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "long-header"}}
+	tb.Add("x", "1")
+	tb.Add("yyyy", "2")
+	out := tb.RenderString()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Errorf("missing title")
+	}
+	if !strings.Contains(lines[1], "long-header") {
+		t.Errorf("missing header")
+	}
+	// Columns align: the second column starts at the same offset in every
+	// data row.
+	off := strings.Index(lines[3], "1")
+	if strings.Index(lines[4], "2") != off {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}

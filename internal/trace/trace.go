@@ -1,0 +1,126 @@
+// Package trace wraps any memory model with an event recorder: every load,
+// store and prefetch the execution engine issues is captured with its
+// cluster, address, issue time and observed latency. The l0trace CLI uses it
+// to print the head of a kernel's memory-event stream — the quickest way to
+// see hint behaviour (SEQ vs PAR timing, prefetch leads, late fills) with
+// your own eyes.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/vliw"
+)
+
+// Kind classifies one recorded event.
+type Kind uint8
+
+const (
+	// Load is a demand load.
+	Load Kind = iota
+	// Store is a store (including PSR secondary invalidations).
+	Store
+	// Prefetch is an explicit software prefetch.
+	Prefetch
+	// LoopEnd is a loop-boundary coherence action.
+	LoopEnd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Prefetch:
+		return "pref"
+	case LoopEnd:
+		return "inval"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one recorded memory operation.
+type Event struct {
+	Kind    Kind
+	Cluster int
+	Addr    int64
+	Width   int
+	Issue   int64
+	// Ready is the data-ready time for loads (Issue for others).
+	Ready int64
+	Hints arch.Hints
+	// Secondary marks PSR invalidate-only store instances.
+	Secondary bool
+}
+
+// Latency returns Ready − Issue.
+func (e Event) Latency() int64 { return e.Ready - e.Issue }
+
+// Recorder wraps a memory model and captures up to Cap events (0 = all).
+type Recorder struct {
+	Inner  vliw.MemoryModel
+	Cap    int
+	Events []Event
+}
+
+// New wraps a model, keeping at most capEvents events (0 keeps everything).
+func New(inner vliw.MemoryModel, capEvents int) *Recorder {
+	return &Recorder{Inner: inner, Cap: capEvents}
+}
+
+func (r *Recorder) record(e Event) {
+	if r.Cap == 0 || len(r.Events) < r.Cap {
+		r.Events = append(r.Events, e)
+	}
+}
+
+// Load implements vliw.MemoryModel.
+func (r *Recorder) Load(cluster int, addr int64, width int, h arch.Hints, t int64) int64 {
+	ready := r.Inner.Load(cluster, addr, width, h, t)
+	r.record(Event{Kind: Load, Cluster: cluster, Addr: addr, Width: width, Issue: t, Ready: ready, Hints: h})
+	return ready
+}
+
+// Store implements vliw.MemoryModel.
+func (r *Recorder) Store(cluster int, addr int64, width int, h arch.Hints, secondary bool, t int64) {
+	r.Inner.Store(cluster, addr, width, h, secondary, t)
+	r.record(Event{Kind: Store, Cluster: cluster, Addr: addr, Width: width, Issue: t, Ready: t, Hints: h, Secondary: secondary})
+}
+
+// Prefetch implements vliw.MemoryModel.
+func (r *Recorder) Prefetch(cluster int, addr int64, t int64) {
+	r.Inner.Prefetch(cluster, addr, t)
+	r.record(Event{Kind: Prefetch, Cluster: cluster, Addr: addr, Issue: t, Ready: t})
+}
+
+// LoopEnd implements vliw.MemoryModel.
+func (r *Recorder) LoopEnd() int64 {
+	c := r.Inner.LoopEnd()
+	r.record(Event{Kind: LoopEnd, Issue: -1, Ready: -1})
+	return c
+}
+
+// Render writes the recorded events, one per line.
+func (r *Recorder) Render(w io.Writer) {
+	for i, e := range r.Events {
+		switch e.Kind {
+		case LoopEnd:
+			fmt.Fprintf(w, "%4d  ----- loop boundary (invalidate) -----\n", i)
+		case Load:
+			fmt.Fprintf(w, "%4d  t=%-6d c%d %-5s addr=%-8d w%d lat=%-3d %v\n",
+				i, e.Issue, e.Cluster, e.Kind, e.Addr, e.Width, e.Latency(), e.Hints)
+		case Store:
+			sec := ""
+			if e.Secondary {
+				sec = " (invalidate-only replica)"
+			}
+			fmt.Fprintf(w, "%4d  t=%-6d c%d %-5s addr=%-8d w%d %v%s\n",
+				i, e.Issue, e.Cluster, e.Kind, e.Addr, e.Width, e.Hints, sec)
+		case Prefetch:
+			fmt.Fprintf(w, "%4d  t=%-6d c%d %-5s addr=%-8d\n", i, e.Issue, e.Cluster, e.Kind, e.Addr)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/vliw"
+)
+
+func tracedRun(t *testing.T, capEvents int) *Recorder {
+	t.Helper()
+	b := ir.NewBuilder("tr", 32)
+	a := b.Array("a", 4096, 4)
+	d := b.Array("d", 4096, 4)
+	v := b.Load("ld", a, 0, 4, 4)
+	x := b.Int("op", v)
+	b.Store("st", d, 0, 4, 4, x)
+	loop := core.AssignAddresses(b.Build())
+	sch, err := sched.Compile(loop, arch.MICRO36Config(), sched.Options{UseL0: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	sys := mem.NewSystem(arch.MICRO36Config())
+	rec := New(sys, capEvents)
+	if _, err := vliw.Run(sch, rec); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rec.LoopEnd()
+	return rec
+}
+
+func TestRecorderCapturesAllKinds(t *testing.T) {
+	rec := tracedRun(t, 0)
+	kinds := map[Kind]int{}
+	for _, e := range rec.Events {
+		kinds[e.Kind]++
+	}
+	if kinds[Load] != 32 || kinds[Store] != 32 {
+		t.Errorf("loads/stores = %d/%d, want 32/32", kinds[Load], kinds[Store])
+	}
+	if kinds[LoopEnd] != 1 {
+		t.Errorf("loop-end events = %d", kinds[LoopEnd])
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	rec := tracedRun(t, 5)
+	if len(rec.Events) != 5 {
+		t.Errorf("events = %d, want capped 5", len(rec.Events))
+	}
+}
+
+func TestRecorderTransparent(t *testing.T) {
+	// Wrapping must not change timing: run with and without the recorder.
+	b := ir.NewBuilder("tr2", 64)
+	a := b.Array("a", 4096, 2)
+	v := b.Load("ld", a, 0, 2, 2)
+	b.Int("op", v)
+	loop := core.AssignAddresses(b.Build())
+	sch, err := sched.Compile(loop, arch.MICRO36Config(), sched.Options{UseL0: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	plain, err := vliw.Run(sch, mem.NewSystem(arch.MICRO36Config()))
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	traced, err := vliw.Run(sch, New(mem.NewSystem(arch.MICRO36Config()), 0))
+	if err != nil {
+		t.Fatalf("traced: %v", err)
+	}
+	if plain != traced {
+		t.Errorf("recorder changed results: %+v vs %+v", plain, traced)
+	}
+}
+
+func TestRenderReadable(t *testing.T) {
+	rec := tracedRun(t, 10)
+	var sb strings.Builder
+	rec.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "load") || !strings.Contains(out, "addr=") {
+		t.Errorf("render missing fields:\n%s", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" ||
+		Prefetch.String() != "pref" || LoopEnd.String() != "inval" {
+		t.Errorf("kind names wrong")
+	}
+}
+
+func TestRenderCoversAllEventShapes(t *testing.T) {
+	rec := New(mem.NewSystem(arch.MICRO36Config()), 0)
+	rec.Load(0, 4096, 2, arch.Hints{Access: arch.ParAccess}, 10)
+	rec.Store(1, 4096, 2, arch.Hints{Access: arch.ParAccess}, false, 11)
+	rec.Store(2, 4096, 2, arch.Hints{}, true, 12) // secondary replica
+	rec.Prefetch(3, 8192, 13)
+	rec.LoopEnd()
+	var sb strings.Builder
+	rec.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"load", "store", "invalidate-only replica", "pref", "loop boundary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if len(rec.Events) != 5 {
+		t.Errorf("events = %d", len(rec.Events))
+	}
+	if rec.Events[0].Latency() <= 0 {
+		t.Errorf("load latency not recorded")
+	}
+}

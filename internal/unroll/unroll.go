@@ -1,0 +1,138 @@
+// Package unroll implements loop unrolling (scheduling step 1 of §4.3). The
+// compiler chooses between no unrolling and unrolling by N (the cluster
+// count); unrolling by N lets the N copies of a unit-stride load map their
+// data with INTERLEAVED_MAP across consecutive clusters.
+package unroll
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ByFactor returns a new loop whose body is the original body replicated
+// factor times, with virtual registers renamed per copy, affine accesses
+// advanced by copy·stride, strides multiplied by factor, and loop-carried
+// register uses re-targeted to the producing copy. The trip count becomes
+// tripCount / factor (remainder iterations are executed by an epilogue the
+// model ignores; with the trip counts used here the error is < 0.5 %).
+func ByFactor(l *ir.Loop, factor int) (*ir.Loop, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("unroll: factor must be >= 1, got %d", factor)
+	}
+	if l.Unroll != 1 {
+		return nil, fmt.Errorf("unroll: loop %q is already unrolled (factor %d)", l.Name, l.Unroll)
+	}
+	if factor == 1 {
+		return l.Clone(), nil
+	}
+	if int64(factor) > l.TripCount {
+		return nil, fmt.Errorf("unroll: factor %d exceeds trip count %d of loop %q", factor, l.TripCount, l.Name)
+	}
+
+	body := len(l.Instrs)
+	nl := &ir.Loop{
+		Name:        l.Name,
+		TripCount:   l.TripCount / int64(factor),
+		Unroll:      factor,
+		Specialized: l.Specialized,
+		Instrs:      make([]*ir.Instr, 0, body*factor),
+	}
+
+	// Find the highest register so per-copy renames stay disjoint.
+	var maxReg ir.Reg
+	for _, in := range l.Instrs {
+		if in.Dst > maxReg {
+			maxReg = in.Dst
+		}
+		for _, s := range in.Srcs {
+			if s > maxReg {
+				maxReg = s
+			}
+		}
+	}
+	regStride := int(maxReg) + 1
+	rename := func(r ir.Reg, copy int) ir.Reg {
+		if r == ir.NoReg {
+			return ir.NoReg
+		}
+		return r + ir.Reg(copy*regStride)
+	}
+
+	for c := 0; c < factor; c++ {
+		for _, in := range l.Instrs {
+			ni := &ir.Instr{
+				ID:         len(nl.Instrs),
+				Name:       copyName(in.Name, c),
+				Op:         in.Op,
+				Dst:        rename(in.Dst, c),
+				UnrollCopy: c,
+				OrigID:     in.ID,
+			}
+			for _, s := range in.Srcs {
+				ni.Srcs = append(ni.Srcs, rename(s, c))
+			}
+			for _, cu := range in.Carried {
+				addCarried(ni, cu, c, factor, rename)
+			}
+			if in.Mem != nil {
+				ni.Mem = unrollAccess(in.Mem, c, factor)
+			}
+			nl.Instrs = append(nl.Instrs, ni)
+		}
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("unroll: %w", err)
+	}
+	return nl, nil
+}
+
+func copyName(name string, c int) string {
+	if name == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s.%d", name, c)
+}
+
+// addCarried re-targets one loop-carried use for copy c of the consumer.
+// Original iteration i = I·factor + c consumes the value produced at
+// iteration i − d = I·factor + c − d, i.e. copy c' = (c−d) mod factor of new
+// iteration I − k with k = (d − c + c') / factor.
+func addCarried(ni *ir.Instr, cu ir.CarriedUse, c, factor int, rename func(ir.Reg, int) ir.Reg) {
+	cp := ((c-cu.Distance)%factor + factor) % factor
+	k := (cu.Distance - c + cp) / factor
+	r := rename(cu.Reg, cp)
+	if k == 0 {
+		// Same unrolled iteration: becomes a plain register use of the
+		// earlier copy (cp < c is guaranteed when k == 0 and d > 0).
+		ni.Srcs = append(ni.Srcs, r)
+		return
+	}
+	ni.Carried = append(ni.Carried, ir.CarriedUse{Reg: r, Distance: k})
+}
+
+// unrollAccess rewrites one affine access for copy c of an unroll by factor.
+// The plain affine case is rewritten exactly (offset += stride·c, stride ×=
+// factor); periodic accesses whose period the factor divides are rewritten
+// to a shorter period; everything else keeps its original formula and gains
+// a PhaseFactor so the generated address stream is bit-identical to the
+// original loop's.
+func unrollAccess(m *ir.MemAccess, c, factor int) *ir.MemAccess {
+	nm := *m
+	switch {
+	case m.Scramble != 0 || m.PhaseFactor > 1:
+		nm.PhaseFactor = factor
+		nm.PhaseOffset = c
+	case m.IndexPeriod > 1 && m.IndexPeriod%factor == 0:
+		nm.Offset = m.Offset + m.Stride*int64(c)
+		nm.Stride = m.Stride * int64(factor)
+		nm.IndexPeriod = m.IndexPeriod / factor
+	case m.IndexPeriod > 1:
+		nm.PhaseFactor = factor
+		nm.PhaseOffset = c
+	default:
+		nm.Offset = m.Offset + m.Stride*int64(c)
+		nm.Stride = m.Stride * int64(factor)
+	}
+	return &nm
+}

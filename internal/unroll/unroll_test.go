@@ -1,0 +1,281 @@
+package unroll
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func streamLoop(t *testing.T, trip int64) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("s", trip)
+	a := b.Array("a", 1<<20, 2)
+	d := b.Array("d", 1<<20, 2)
+	v := b.Load("ld", a, 0, 2, 2)
+	x := b.Int("op", v)
+	b.Store("st", d, 0, 2, 2, x)
+	return b.Build()
+}
+
+func TestFactorOneClones(t *testing.T) {
+	l := streamLoop(t, 100)
+	u, err := ByFactor(l, 1)
+	if err != nil {
+		t.Fatalf("ByFactor(1): %v", err)
+	}
+	if u == l {
+		t.Errorf("factor 1 must return a copy")
+	}
+	if len(u.Instrs) != len(l.Instrs) || u.TripCount != l.TripCount {
+		t.Errorf("factor 1 changed the loop")
+	}
+}
+
+func TestUnrollBodyAndTrip(t *testing.T) {
+	l := streamLoop(t, 100)
+	u, err := ByFactor(l, 4)
+	if err != nil {
+		t.Fatalf("ByFactor: %v", err)
+	}
+	if len(u.Instrs) != 12 {
+		t.Errorf("instrs = %d, want 12", len(u.Instrs))
+	}
+	if u.TripCount != 25 {
+		t.Errorf("trip = %d, want 25", u.TripCount)
+	}
+	if u.Unroll != 4 {
+		t.Errorf("Unroll = %d, want 4", u.Unroll)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatalf("unrolled loop invalid: %v", err)
+	}
+}
+
+func TestUnrollRejectsBadFactors(t *testing.T) {
+	l := streamLoop(t, 100)
+	if _, err := ByFactor(l, 0); err == nil {
+		t.Errorf("accepted factor 0")
+	}
+	if _, err := ByFactor(l, 1000); err == nil {
+		t.Errorf("accepted factor > trip count")
+	}
+	u, _ := ByFactor(l, 2)
+	if _, err := ByFactor(u, 2); err == nil {
+		t.Errorf("accepted re-unrolling")
+	}
+}
+
+// addressStream collects the address sequence of instruction `origID`
+// (combining all unroll copies in iteration-order).
+func addressStream(l *ir.Loop, origID int, origIters int64) []int64 {
+	type cp struct {
+		in   *ir.Instr
+		copy int
+	}
+	var copies []cp
+	for _, in := range l.Instrs {
+		if in.OrigID == origID && in.Mem != nil {
+			copies = append(copies, cp{in, in.UnrollCopy})
+		}
+	}
+	factor := int64(len(copies))
+	var out []int64
+	for i := int64(0); i < origIters/factor; i++ {
+		for _, c := range copies {
+			out = append(out, c.in.Mem.AddrAt(i))
+		}
+	}
+	return out
+}
+
+func TestUnrollPreservesAffineAddressStream(t *testing.T) {
+	l := streamLoop(t, 64)
+	l.Instrs[0].Mem.Array.Base = 1 << 16
+	l.Instrs[2].Mem.Array.Base = 1 << 18
+	u, err := ByFactor(l, 4)
+	if err != nil {
+		t.Fatalf("ByFactor: %v", err)
+	}
+	orig := addressStream(l, 0, 64)
+	unrolled := addressStream(u, 0, 64)
+	if len(orig) != len(unrolled) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(orig), len(unrolled))
+	}
+	for i := range orig {
+		if orig[i] != unrolled[i] {
+			t.Fatalf("address %d differs: %d vs %d", i, orig[i], unrolled[i])
+		}
+	}
+}
+
+func TestUnrollPreservesScrambledStream(t *testing.T) {
+	b := ir.NewBuilder("scr", 64)
+	tab := b.Array("tab", 4096, 4)
+	tab.Base = 4096
+	b.LoadIndexed("g", tab, 4, 99, ir.NoReg)
+	l := b.Build()
+	u, err := ByFactor(l, 4)
+	if err != nil {
+		t.Fatalf("ByFactor: %v", err)
+	}
+	orig := addressStream(l, 0, 64)
+	unrolled := addressStream(u, 0, 64)
+	for i := range orig {
+		if orig[i] != unrolled[i] {
+			t.Fatalf("scrambled stream differs at %d: %d vs %d", i, orig[i], unrolled[i])
+		}
+	}
+}
+
+func TestUnrollPeriodicDivisible(t *testing.T) {
+	b := ir.NewBuilder("per", 64)
+	a := b.Array("a", 4096, 2)
+	a.Base = 1 << 12
+	b.LoadPeriodic("ld", a, 0, 2, 2, 16)
+	l := b.Build()
+	u, err := ByFactor(l, 4)
+	if err != nil {
+		t.Fatalf("ByFactor: %v", err)
+	}
+	orig := addressStream(l, 0, 64)
+	unrolled := addressStream(u, 0, 64)
+	for i := range orig {
+		if orig[i] != unrolled[i] {
+			t.Fatalf("periodic stream differs at %d", i)
+		}
+	}
+	// Divisible period is rewritten affinely, not with a phase.
+	if u.Instrs[0].Mem.PhaseFactor != 0 {
+		t.Errorf("divisible period should not need PhaseFactor")
+	}
+	if u.Instrs[0].Mem.IndexPeriod != 4 {
+		t.Errorf("period = %d, want 16/4 = 4", u.Instrs[0].Mem.IndexPeriod)
+	}
+}
+
+func TestUnrollPeriodicNonDivisible(t *testing.T) {
+	b := ir.NewBuilder("per", 60)
+	a := b.Array("a", 4096, 2)
+	a.Base = 1 << 12
+	b.LoadPeriodic("ld", a, 0, 2, 2, 5)
+	l := b.Build()
+	u, err := ByFactor(l, 4)
+	if err != nil {
+		t.Fatalf("ByFactor: %v", err)
+	}
+	orig := addressStream(l, 0, 60)
+	unrolled := addressStream(u, 0, 60)
+	for i := range orig {
+		if orig[i] != unrolled[i] {
+			t.Fatalf("non-divisible periodic stream differs at %d", i)
+		}
+	}
+	if u.Instrs[0].Mem.PhaseFactor != 4 {
+		t.Errorf("non-divisible period must use PhaseFactor")
+	}
+}
+
+func TestUnrollRecurrenceRetargeting(t *testing.T) {
+	// acc += x with distance 1: after unroll by 4, copy 0 carries from
+	// copy 3 at distance 1 and copies 1..3 consume their predecessor in
+	// the same iteration.
+	b := ir.NewBuilder("rec", 64)
+	a := b.Array("a", 4096, 4)
+	v := b.Load("ld", a, 0, 4, 4)
+	b.SelfRecurrence("acc", 1, v)
+	l := b.Build()
+	u, err := ByFactor(l, 4)
+	if err != nil {
+		t.Fatalf("ByFactor: %v", err)
+	}
+	var accs []*ir.Instr
+	for _, in := range u.Instrs {
+		if in.OrigID == 1 {
+			accs = append(accs, in)
+		}
+	}
+	if len(accs) != 4 {
+		t.Fatalf("acc copies = %d", len(accs))
+	}
+	if len(accs[0].Carried) != 1 || accs[0].Carried[0].Distance != 1 {
+		t.Errorf("copy 0 must carry from the previous iteration: %+v", accs[0].Carried)
+	}
+	if accs[0].Carried[0].Reg != accs[3].Dst {
+		t.Errorf("copy 0 must carry copy 3's value")
+	}
+	for c := 1; c < 4; c++ {
+		if len(accs[c].Carried) != 0 {
+			t.Errorf("copy %d should not carry (same-iteration use): %+v", c, accs[c].Carried)
+		}
+		found := false
+		for _, s := range accs[c].Srcs {
+			if s == accs[c-1].Dst {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("copy %d must consume copy %d's value", c, c-1)
+		}
+	}
+}
+
+func TestUnrollLongerDistance(t *testing.T) {
+	// Distance 2 with factor 4: copy 0 reads copy 2's previous-iteration
+	// value (i-2 ≡ copy 2 at distance 1? (0-2) mod 4 = 2, k = (2-0+2)/4 = 1).
+	b := ir.NewBuilder("rec2", 64)
+	a := b.Array("a", 4096, 4)
+	v := b.Load("ld", a, 0, 4, 4)
+	b.SelfRecurrence("acc", 2, v)
+	l := b.Build()
+	u, err := ByFactor(l, 4)
+	if err != nil {
+		t.Fatalf("ByFactor: %v", err)
+	}
+	var accs []*ir.Instr
+	for _, in := range u.Instrs {
+		if in.OrigID == 1 {
+			accs = append(accs, in)
+		}
+	}
+	if len(accs[0].Carried) != 1 || accs[0].Carried[0].Distance != 1 || accs[0].Carried[0].Reg != accs[2].Dst {
+		t.Errorf("copy 0 carried use wrong: %+v", accs[0].Carried)
+	}
+	if len(accs[2].Carried) != 0 {
+		t.Errorf("copy 2 should consume copy 0 in the same iteration")
+	}
+}
+
+func TestUnrollStridesAndOffsets(t *testing.T) {
+	l := streamLoop(t, 64)
+	u, err := ByFactor(l, 4)
+	if err != nil {
+		t.Fatalf("ByFactor: %v", err)
+	}
+	for _, in := range u.Instrs {
+		if in.Mem == nil {
+			continue
+		}
+		if in.Mem.Stride != 8 {
+			t.Errorf("copy %d stride = %d, want 8", in.UnrollCopy, in.Mem.Stride)
+		}
+		if want := int64(in.UnrollCopy * 2); in.Mem.Offset != want {
+			t.Errorf("copy %d offset = %d, want %d", in.UnrollCopy, in.Mem.Offset, want)
+		}
+	}
+}
+
+func TestUnrollRegistersDisjoint(t *testing.T) {
+	l := streamLoop(t, 64)
+	err := quick.Check(func(fRaw uint8) bool {
+		f := int(fRaw%3)*2 + 2 // 2, 4, 6
+		u, err := ByFactor(l, f)
+		if err != nil {
+			return false
+		}
+		return u.Validate() == nil
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Errorf("unrolled loops invalid: %v", err)
+	}
+}

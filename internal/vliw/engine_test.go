@@ -1,0 +1,228 @@
+package vliw
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/sched"
+)
+
+// recordingModel captures the event stream the engine issues.
+type recordingModel struct {
+	loads      []int64 // issue times
+	stores     []int64
+	prefetches []int64
+	addrs      []int64
+	// fixed latency added to every load.
+	loadLat int64
+}
+
+func (m *recordingModel) Load(cluster int, addr int64, width int, h arch.Hints, t int64) int64 {
+	m.loads = append(m.loads, t)
+	m.addrs = append(m.addrs, addr)
+	return t + m.loadLat
+}
+func (m *recordingModel) Store(cluster int, addr int64, width int, h arch.Hints, sec bool, t int64) {
+	m.stores = append(m.stores, t)
+}
+func (m *recordingModel) Prefetch(cluster int, addr int64, t int64) {
+	m.prefetches = append(m.prefetches, t)
+}
+func (m *recordingModel) LoopEnd() int64 { return 0 }
+
+func smallSchedule(t *testing.T, trip int64) *sched.Schedule {
+	t.Helper()
+	b := ir.NewBuilder("s", trip)
+	a := b.Array("a", 1<<16, 4)
+	a.Base = 1 << 16
+	d := b.Array("d", 1<<16, 4)
+	d.Base = 1 << 18
+	v := b.Load("ld", a, 0, 4, 4)
+	x := b.Int("op", v)
+	b.Store("st", d, 0, 4, 4, x)
+	sch, err := sched.Compile(b.Build(), arch.MICRO36Config().WithL0Entries(0), sched.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return sch
+}
+
+func TestEngineIssuesEveryDynamicOp(t *testing.T) {
+	sch := smallSchedule(t, 37)
+	m := &recordingModel{loadLat: 1}
+	res, err := Run(sch, m)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(m.loads) != 37 || len(m.stores) != 37 {
+		t.Errorf("issued %d loads / %d stores, want 37 each", len(m.loads), len(m.stores))
+	}
+	if res.Iterations != 37 {
+		t.Errorf("Iterations = %d", res.Iterations)
+	}
+}
+
+func TestEngineAddressStream(t *testing.T) {
+	sch := smallSchedule(t, 8)
+	m := &recordingModel{loadLat: 1}
+	if _, err := Run(sch, m); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, addr := range m.addrs {
+		if want := int64(1<<16) + int64(i*4); addr != want {
+			t.Errorf("load %d address = %d, want %d", i, addr, want)
+		}
+	}
+}
+
+func TestEngineNoStallWhenOnTime(t *testing.T) {
+	sch := smallSchedule(t, 64)
+	// The compiler scheduled loads at the L1 latency; a model that always
+	// answers exactly on time must produce zero stall.
+	m := &recordingModel{loadLat: int64(sch.Cfg.L1Latency)}
+	res, err := Run(sch, m)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.StallCycles != 0 {
+		t.Errorf("stall = %d with an on-time memory model", res.StallCycles)
+	}
+	if want := int64(sch.Span()) + 63*int64(sch.II); res.ComputeCycles != want {
+		t.Errorf("compute = %d, want span+%d*II = %d", res.ComputeCycles, 63, want)
+	}
+}
+
+func TestEngineStallPerLateLoad(t *testing.T) {
+	sch := smallSchedule(t, 64)
+	late := int64(3)
+	m := &recordingModel{loadLat: int64(sch.Cfg.L1Latency) + late}
+	res, err := Run(sch, m)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := late * 64; res.StallCycles != want {
+		t.Errorf("stall = %d, want %d (one late load per iteration)", res.StallCycles, want)
+	}
+}
+
+func TestEngineMonotoneIssueTimes(t *testing.T) {
+	sch := smallSchedule(t, 128)
+	m := &recordingModel{loadLat: int64(sch.Cfg.L1Latency) + 2}
+	if _, err := Run(sch, m); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 1; i < len(m.loads); i++ {
+		if m.loads[i] < m.loads[i-1] {
+			t.Fatalf("issue times regress at %d: %d < %d", i, m.loads[i], m.loads[i-1])
+		}
+	}
+}
+
+func TestRunAtOffsetsClock(t *testing.T) {
+	sch := smallSchedule(t, 16)
+	m1 := &recordingModel{loadLat: 1}
+	r1, err := RunAt(sch, m1, 0)
+	if err != nil {
+		t.Fatalf("RunAt: %v", err)
+	}
+	m2 := &recordingModel{loadLat: 1}
+	r2, err := RunAt(sch, m2, 1000)
+	if err != nil {
+		t.Fatalf("RunAt: %v", err)
+	}
+	if r1.TotalCycles != r2.TotalCycles || r1.StallCycles != r2.StallCycles {
+		t.Errorf("results depend on the clock origin: %+v vs %+v", r1, r2)
+	}
+	if m2.loads[0] != m1.loads[0]+1000 {
+		t.Errorf("issue times not offset: %d vs %d", m2.loads[0], m1.loads[0])
+	}
+}
+
+// maxModel returns different lateness per address so same-cycle deficits
+// differ; the lock-step engine must charge only the max.
+type maxModel struct{ recordingModel }
+
+func (m *maxModel) Load(cluster int, addr int64, width int, h arch.Hints, t int64) int64 {
+	m.loads = append(m.loads, t)
+	if cluster == 0 {
+		return t + 20 // very late
+	}
+	return t + 10 // late
+}
+
+func TestEngineSameCycleStallIsMax(t *testing.T) {
+	// Two independent loads with identical schedules in different
+	// clusters: both miss, the machine stalls once for the worst.
+	b := ir.NewBuilder("two", 32)
+	a1 := b.Array("a1", 4096, 4)
+	a1.Base = 1 << 16
+	a2 := b.Array("a2", 4096, 4)
+	a2.Base = 1 << 18
+	v1 := b.Load("ld1", a1, 0, 4, 4)
+	v2 := b.Load("ld2", a2, 0, 4, 4)
+	b.Int("join", v1, v2)
+	sch, err := sched.Compile(b.Build(), arch.MICRO36Config().WithL0Entries(0), sched.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	p1, p2 := &sch.Placed[0], &sch.Placed[1]
+	if p1.Cycle != p2.Cycle || p1.Cluster == p2.Cluster {
+		t.Skipf("loads not co-scheduled (cycle %d/%d cluster %d/%d)", p1.Cycle, p2.Cycle, p1.Cluster, p2.Cluster)
+	}
+	m := &maxModel{}
+	res, err := Run(sch, m)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Worst deficit per iteration is (20 - 6) = 14; the 10-cycle load's
+	// deficit (4) must NOT add on top.
+	perIter := res.StallCycles / res.Iterations
+	if perIter != 20-int64(sch.Cfg.L1Latency) {
+		t.Errorf("stall per iteration = %d, want %d (max, not sum)", perIter, 20-sch.Cfg.L1Latency)
+	}
+}
+
+func TestEngineRejectsUnassignedArrays(t *testing.T) {
+	b := ir.NewBuilder("na", 8)
+	a := b.Array("a", 64, 4)
+	v := b.Load("ld", a, 0, 4, 4)
+	b.Int("op", v)
+	sch, err := sched.Compile(b.Build(), arch.MICRO36Config().WithL0Entries(0), sched.Options{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if _, err := Run(sch, &recordingModel{loadLat: 1}); err == nil {
+		t.Errorf("Run accepted a loop with unassigned array bases")
+	}
+}
+
+func TestEnginePrefetchEventsUseServedStream(t *testing.T) {
+	// A column-walk load gets an explicit prefetch; the prefetch address
+	// must be the load's address one iteration ahead.
+	b := ir.NewBuilder("col", 16)
+	img := b.Array("img", 1<<20, 2)
+	img.Base = 1 << 20
+	v := b.Load("ld", img, 0, 512, 2)
+	x := b.Int("op", v)
+	for i := 0; i < 5; i++ {
+		x = b.Int("chain", x)
+	}
+	d := b.Array("d", 4096, 2)
+	d.Base = 1 << 14
+	b.Store("st", d, 0, 2, 2, x)
+	sch, err := sched.Compile(b.Build(), arch.MICRO36Config(), sched.Options{UseL0: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(sch.Prefetches) == 0 {
+		t.Skip("no explicit prefetch inserted")
+	}
+	m := &recordingModel{loadLat: 1}
+	if _, err := Run(sch, m); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(m.prefetches) == 0 {
+		t.Fatalf("engine issued no prefetch events")
+	}
+}

@@ -1,0 +1,195 @@
+// Package vliw is the execution engine of the lock-step clustered VLIW: it
+// replays a modulo schedule over the loop's trip count, issues every dynamic
+// memory operation into an architecture's memory model in global time order,
+// and accumulates stall cycles whenever data arrives later than the latency
+// the compiler scheduled.
+//
+// Because the machine is lock-step and the schedule static, execution time
+// decomposes exactly as the paper plots it (Figures 5 and 7): compute time
+// (schedule span plus II per remaining iteration) plus stall time (the sum
+// of actual-minus-scheduled latency over late memory operations).
+package vliw
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/sched"
+)
+
+// MemoryModel abstracts one architecture's memory hierarchy. All times are
+// absolute (post-stall) cycles; Load returns the data-ready time.
+type MemoryModel interface {
+	Load(cluster int, addr int64, width int, h arch.Hints, t int64) int64
+	Store(cluster int, addr int64, width int, h arch.Hints, secondaryReplica bool, t int64)
+	Prefetch(cluster int, addr int64, t int64)
+	// LoopEnd runs the loop-boundary coherence action (invalidate_buffer
+	// in every cluster for the L0 architecture) and returns its cycle
+	// overhead. Run never calls it: the harness invokes it at the loop
+	// boundaries where §4.1's inter-loop analysis requires a flush.
+	LoopEnd() int64
+}
+
+// Result summarises one kernel execution.
+type Result struct {
+	// TotalCycles = ComputeCycles + StallCycles.
+	TotalCycles   int64
+	ComputeCycles int64
+	StallCycles   int64
+	// Iterations actually executed (the scheduled loop's trip count).
+	Iterations int64
+	// DynamicOps is the number of dynamic operations issued (all kinds),
+	// used for utilisation diagnostics.
+	DynamicOps int64
+}
+
+// memOp is one static memory operation of the kernel.
+type memOp struct {
+	kind    opKind
+	placed  *sched.Placed
+	pf      *sched.Prefetch
+	forMem  *ir.MemAccess // address stream (prefetches use the served load's)
+	cycle   int           // flat schedule cycle of iteration 0
+	cluster int
+}
+
+type opKind uint8
+
+const (
+	opLoad opKind = iota
+	opStore
+	opPrefetch
+)
+
+// event is one dynamic instance of a memOp.
+type event struct {
+	time int64 // scheduled (pre-stall) time: cycle + iter*II
+	op   int
+	iter int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].op != h[j].op {
+		return h[i].op < h[j].op
+	}
+	return h[i].iter < h[j].iter
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Run executes the schedule over its loop's trip count against the memory
+// model, with the program clock starting at zero.
+func Run(sch *sched.Schedule, model MemoryModel) (Result, error) {
+	return RunAt(sch, model, 0)
+}
+
+// RunAt executes the schedule with the program clock starting at start
+// cycles: memory-model state (bus reservations, in-flight fills) carries
+// absolute times, so consecutive invocations of loops must advance the clock
+// monotonically rather than restart it.
+func RunAt(sch *sched.Schedule, model MemoryModel, start int64) (Result, error) {
+	iters := sch.Loop.TripCount
+	if iters <= 0 {
+		return Result{}, fmt.Errorf("vliw: loop %q has no iterations", sch.Loop.Name)
+	}
+	ops, err := collectOps(sch)
+	if err != nil {
+		return Result{}, err
+	}
+
+	shift := start // accumulated stall, offset by the clock origin
+	h := make(eventHeap, 0, len(ops))
+	for i := range ops {
+		h = append(h, event{time: int64(ops[i].cycle), op: i, iter: 0})
+	}
+	heap.Init(&h)
+
+	// Events with the same scheduled cycle issue in the same VLIW word:
+	// the lock-step machine stalls once for the worst latecomer, not once
+	// per late operation, so deficits within one cycle combine as a max.
+	var dyn int64
+	for h.Len() > 0 {
+		now := h[0].time
+		var maxDeficit int64
+		for h.Len() > 0 && h[0].time == now {
+			ev := heap.Pop(&h).(event)
+			op := &ops[ev.op]
+			dyn++
+			t := ev.time + shift
+			switch op.kind {
+			case opLoad:
+				addr := op.forMem.AddrAt(ev.iter)
+				ready := model.Load(op.cluster, addr, op.forMem.Width, op.placed.Hints, t)
+				if d := ready - (t + int64(op.placed.Latency)); d > maxDeficit {
+					maxDeficit = d
+				}
+			case opStore:
+				addr := op.forMem.AddrAt(ev.iter)
+				in := op.placed.Instr
+				secondary := in.ReplicaGroup != 0 && !in.PrimaryReplica
+				model.Store(op.cluster, addr, op.forMem.Width, op.placed.Hints, secondary, t)
+			case opPrefetch:
+				addr := op.forMem.AddrAt(ev.iter + int64(op.pf.Distance))
+				model.Prefetch(op.cluster, addr, t)
+			}
+			if next := ev.iter + 1; next < iters {
+				heap.Push(&h, event{time: int64(op.cycle) + next*int64(sch.II), op: ev.op, iter: next})
+			}
+		}
+		shift += maxDeficit
+	}
+
+	_ = dyn
+	compute := int64(sch.Span()) + (iters-1)*int64(sch.II)
+	stall := shift - start
+	return Result{
+		TotalCycles:   compute + stall,
+		ComputeCycles: compute,
+		StallCycles:   stall,
+		Iterations:    iters,
+		DynamicOps:    iters * int64(len(sch.Loop.Instrs)),
+	}, nil
+}
+
+// collectOps gathers the schedule's dynamic memory operations and validates
+// that every referenced array has been given a base address.
+func collectOps(sch *sched.Schedule) ([]memOp, error) {
+	var ops []memOp
+	for i := range sch.Placed {
+		p := &sch.Placed[i]
+		switch p.Instr.Op {
+		case ir.OpLoad:
+			if err := checkArray(p.Instr); err != nil {
+				return nil, err
+			}
+			ops = append(ops, memOp{kind: opLoad, placed: p, forMem: p.Instr.Mem, cycle: p.Cycle, cluster: p.Cluster})
+		case ir.OpStore:
+			if err := checkArray(p.Instr); err != nil {
+				return nil, err
+			}
+			ops = append(ops, memOp{kind: opStore, placed: p, forMem: p.Instr.Mem, cycle: p.Cycle, cluster: p.Cluster})
+		}
+	}
+	for i := range sch.Prefetches {
+		pf := &sch.Prefetches[i]
+		served := sch.Placed[pf.For]
+		ops = append(ops, memOp{kind: opPrefetch, pf: pf, placed: &served, forMem: served.Instr.Mem, cycle: pf.Cycle, cluster: pf.Cluster})
+	}
+	return ops, nil
+}
+
+func checkArray(in *ir.Instr) error {
+	if in.Mem.Array.Base == 0 {
+		return fmt.Errorf("vliw: array %q has no base address (run the workload address mapper first)", in.Mem.Array.Name)
+	}
+	return nil
+}

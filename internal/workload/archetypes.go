@@ -1,0 +1,376 @@
+// Package workload provides the synthetic Mediabench models the experiments
+// run. Real Mediabench binaries (and the IMPACT compiler that fed the
+// paper's simulator) are not reproducible here, so each of the 13 benchmarks
+// is modelled as a weighted set of inner-loop kernels built from the
+// archetypes media code is made of: element streams, FIR windows, table
+// lookups, column walks, memory- and register-carried recurrences,
+// histograms and block copies.
+//
+// The archetype parameters per benchmark are tuned to reproduce the paper's
+// workload characterisation (Table 1: fraction of strided accesses and of
+// "good" 0/±1-element strides), the average unroll factors of Figure 6, and
+// the per-benchmark phenomena §5.2 discusses (jpegdec's LRU thrash, the
+// pegwit benchmarks' low L1 hit rate, the small-II prefetch lateness of
+// epicdec and rasta). The characterisation numbers are *measured* from the
+// generated loops by Table1Row, not transcribed.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// seqID generates distinct scramble seeds per kernel so scatter streams
+// differ between kernels but stay deterministic.
+func seed(kernel string, i int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(kernel) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h*2654435761 + uint64(i)*0x9e3779b97f4a7c15 + 1
+}
+
+// stream builds a unit-stride map loop: dst[i] = f(src[i]) with `chain`
+// dependent integer ops. elem is the element width in bytes.
+func stream(name string, trip int64, elem int, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	src := b.Array(name+".src", trip*int64(elem)+64, elem)
+	dst := b.Array(name+".dst", trip*int64(elem)+64, elem)
+	v := b.Load("ld", src, 0, int64(elem), elem)
+	for k := 0; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.Store("st", dst, 0, int64(elem), elem, v)
+	return b.Build()
+}
+
+// stream2 builds dst[i] = f(a[i], b[i]).
+func stream2(name string, trip int64, elem int, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	a := b.Array(name+".a", trip*int64(elem)+64, elem)
+	c := b.Array(name+".b", trip*int64(elem)+64, elem)
+	dst := b.Array(name+".dst", trip*int64(elem)+64, elem)
+	va := b.Load("ld_a", a, 0, int64(elem), elem)
+	vb := b.Load("ld_b", c, 0, int64(elem), elem)
+	v := b.Int("mix", va, vb)
+	for k := 1; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.Store("st", dst, 0, int64(elem), elem, v)
+	return b.Build()
+}
+
+// fir builds a sliding-window filter: y[i] = Σ_j h[j]·x[i+j]. The taps are
+// register-resident (loaded once outside the loop in real code), the window
+// loads are unit-stride with different offsets.
+func fir(name string, trip int64, elem, taps int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	x := b.Array(name+".x", (trip+int64(taps))*int64(elem)+64, elem)
+	y := b.Array(name+".y", trip*int64(elem)+64, elem)
+	var acc ir.Reg
+	for j := 0; j < taps; j++ {
+		v := b.Load(fmt.Sprintf("ld%d", j), x, int64(j*elem), int64(elem), elem)
+		m := b.IntMul(fmt.Sprintf("mul%d", j), v)
+		if j == 0 {
+			acc = m
+		} else {
+			acc = b.Int(fmt.Sprintf("acc%d", j), acc, m)
+		}
+	}
+	b.Store("st", y, 0, int64(elem), elem, acc)
+	return b.Build()
+}
+
+// dotAccum builds a reduction: acc += a[i]·b[i] with a register-carried
+// accumulator (distance 1).
+func dotAccum(name string, trip int64, elem int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	x := b.Array(name+".x", trip*int64(elem)+64, elem)
+	y := b.Array(name+".y", trip*int64(elem)+64, elem)
+	va := b.Load("ld_x", x, 0, int64(elem), elem)
+	vb := b.Load("ld_y", y, 0, int64(elem), elem)
+	m := b.IntMul("mul", va, vb)
+	b.SelfRecurrence("acc", 1, m)
+	return b.Build()
+}
+
+// memState builds a loop that carries state through a memory cell: the
+// ADPCM-predictor pattern (load state, combine with the input stream, store
+// state back). The load/store pair forms a memory-dependent set whose
+// recurrence the L0 latency shrinks.
+func memState(name string, trip int64, elem int, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	state := b.Array(name+".state", 64, elem)
+	in := b.Array(name+".in", trip*int64(elem)+64, elem)
+	out := b.Array(name+".out", trip*int64(elem)+64, elem)
+	s := b.Load("ld_state", state, 0, 0, elem)
+	x := b.Load("ld_in", in, 0, int64(elem), elem)
+	v := b.Int("upd", s, x)
+	for k := 1; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.Store("st_state", state, 0, 0, elem, v)
+	b.Store("st_out", out, 0, int64(elem), elem, v)
+	return b.Build()
+}
+
+// inPlace builds an in-place update: t[i] = f(t[i], x[i]). The load and
+// store of t[i] form a memory-dependent set with only intra-iteration
+// dependences, so the loop still unrolls; under the 1C scheme the t-loads
+// run at the L0 latency with their stores colocated.
+func inPlace(name string, trip int64, elem, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	t := b.Array(name+".t", trip*int64(elem)+64, elem)
+	x := b.Array(name+".x", trip*int64(elem)+64, elem)
+	vt := b.Load("ld_t", t, 0, int64(elem), elem)
+	vx := b.Load("ld_x", x, 0, int64(elem), elem)
+	v := b.Int("upd", vt, vx)
+	for k := 1; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.Store("st_t", t, 0, int64(elem), elem, v)
+	return b.Build()
+}
+
+// iir builds a first-order recursive filter: y[i] = f(y[i-1], x[i]). The
+// load→ops→store→load cycle through memory makes RecMII scale with the load
+// latency — the pattern where the L0 buffers buy their largest win.
+func iir(name string, trip int64, elem, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	y := b.Array(name+".y", trip*int64(elem)+64, elem)
+	x := b.Array(name+".x", trip*int64(elem)+64, elem)
+	prev := b.Load("ld_y1", y, -int64(elem), int64(elem), elem)
+	vx := b.Load("ld_x", x, 0, int64(elem), elem)
+	v := b.Int("mix", prev, vx)
+	for k := 1; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.Store("st_y", y, 0, int64(elem), elem, v)
+	return b.Build()
+}
+
+// columnWalk builds a column traversal of a 2-D array: stride = rowBytes per
+// iteration ("other" stride class; needs explicit software prefetch).
+// With anchor > 0, an anchor-deep accumulator recurrence keeps the loop from
+// unrolling and sets its recurrence-bound II; with colStore the output is
+// written column-wise too.
+func columnWalk(name string, trip int64, elem, rowBytes, chain, anchor int, colStore bool) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	img := b.Array(name+".img", trip*int64(rowBytes)+64, elem)
+	out := b.Array(name+".out", trip*int64(elem)+64, elem)
+	if colStore {
+		out = b.Array(name+".out", trip*int64(rowBytes)+64, elem)
+	}
+	v := b.Load("ld_col", img, 0, int64(rowBytes), elem)
+	for k := 0; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	if anchor > 0 {
+		v = rolledAnchor(b, v, anchor)
+	}
+	st := int64(elem)
+	if colStore {
+		st = int64(rowBytes)
+	}
+	b.Store("st", out, 0, st, elem, v)
+	return b.Build()
+}
+
+// columnWalk2 builds motion-compensation row fetches: two picture-pitch
+// strided loads (forward and backward reference) averaged into a unit-stride
+// block store. Two thirds of its accesses are "other" strides.
+func columnWalk2(name string, trip int64, elem, rowBytes, chain, anchor int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	fwd := b.Array(name+".fwd", trip*int64(rowBytes)+64, elem)
+	bwd := b.Array(name+".bwd", trip*int64(rowBytes)+64, elem)
+	out := b.Array(name+".out", trip*int64(elem)+64, elem)
+	vf := b.Load("ld_fwd", fwd, 0, int64(rowBytes), elem)
+	vb := b.Load("ld_bwd", bwd, 16, int64(rowBytes), elem)
+	v := b.Int("avg", vf, vb)
+	for k := 1; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	if anchor > 0 {
+		v = rolledAnchor(b, v, anchor)
+	}
+	b.Store("st", out, 0, int64(elem), elem, v)
+	return b.Build()
+}
+
+// scatterPure builds a fully data-dependent loop: scattered load and
+// scattered store over a table (dithering / colourmap rewrites). Every
+// access has an unknown stride.
+func scatterPure(name string, trip int64, elem int, tableBytes int64, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	tab := b.Array(name+".tab", tableBytes, elem)
+	v := b.LoadIndexed("ld", tab, elem, seed(name, 5), ir.NoReg)
+	for k := 0; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.StoreIndexed("st", tab, elem, seed(name, 6), v)
+	return b.Build()
+}
+
+// tableMap builds a data-dependent table translation: dst[i] =
+// table[f(src[i])]. The table load has no compiler-visible stride, so it is
+// never an L0 candidate, and without code specialization it aliases
+// conservatively with the loop's stores.
+func tableMap(name string, trip int64, elem int, tableBytes int64, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	src := b.Array(name+".src", trip*int64(elem)+64, elem)
+	table := b.Array(name+".tab", tableBytes, elem)
+	dst := b.Array(name+".dst", trip*int64(elem)+64, elem)
+	idx := b.Load("ld_src", src, 0, int64(elem), elem)
+	tv := b.LoadIndexed("ld_tab", table, elem, seed(name, 1), idx)
+	v := b.Int("mix", tv)
+	for k := 1; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.Store("st", dst, 0, int64(elem), elem, v)
+	return b.Build()
+}
+
+// histogram builds a data-dependent read-modify-write: hist[f(x[i])]++. The
+// scattered load and store touch the same array, so they stay a dependent
+// set even under code specialization.
+func histogram(name string, trip int64, elem int, histBytes int64) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	src := b.Array(name+".src", trip*int64(elem)+64, elem)
+	hist := b.Array(name+".hist", histBytes, elem)
+	x := b.Load("ld_src", src, 0, int64(elem), elem)
+	h := b.LoadIndexed("ld_hist", hist, elem, seed(name, 2), x)
+	v := b.Int("inc", h)
+	b.StoreIndexed("st_hist", hist, elem, seed(name, 2), v)
+	return b.Build()
+}
+
+// scatterGather builds a crypto-style loop over a large state: wide strided
+// loads mixed with scattered lookups over a working set larger than L1
+// (pegwit's low L1 hit rate).
+func scatterGather(name string, trip int64, stateBytes int64, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	src := b.Array(name+".src", trip*4+64, 4)
+	state := b.Array(name+".state", stateBytes, 4)
+	dst := b.Array(name+".dst", trip*4+64, 4)
+	x := b.Load("ld_src", src, 0, 4, 4)
+	g1 := b.LoadIndexed("gather1", state, 4, seed(name, 3), x)
+	g2 := b.LoadIndexed("gather2", state, 4, seed(name, 4), g1)
+	v := b.Int("mix", g1, g2)
+	for k := 1; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.Store("st", dst, 0, 4, 4, v)
+	return b.Build()
+}
+
+// carryChain builds a bignum-style loop: unit-stride word loads feeding a
+// double-width multiply whose carry output feeds the next iteration's
+// multiply (pgp / pegwit). The multiplies sit inside the recurrence cycle
+// (mul_lo → mul_hi → adds → carry → mul_lo), so RecMII ≈ 7 and the loop
+// never unrolls.
+func carryChain(name string, trip int64, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	a := b.Array(name+".a", trip*4+64, 4)
+	c := b.Array(name+".b", trip*4+64, 4)
+	dst := b.Array(name+".dst", trip*4+64, 4)
+	va := b.Load("ld_a", a, 0, 4, 4)
+	vb := b.Load("ld_b", c, 0, 4, 4)
+	lo := b.IntMul("mul_lo", va, vb)
+	hi := b.IntMul("mul_hi", va, lo)
+	sum := b.Int("addc", hi)
+	sum2 := b.Int("addc2", sum)
+	carry := b.Int("carry", sum2)
+	b.CarryInto(lo, carry, 1) // the low multiply consumes last iteration's carry
+	v := carry
+	for k := 0; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("red%d", k), v)
+	}
+	b.Store("st", dst, 0, 4, 4, v)
+	return b.Build()
+}
+
+// blockRows walks 2-D blocks row by row with a short row period: offsets
+// advance by elem within a row of `rowElems`, then jump. Modelled as a
+// periodic access over a small window re-walked every invocation (DCT-style
+// 8×8 work).
+func blockRows(name string, trip int64, elem, rowElems, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	blk := b.Array(name+".blk", int64(rowElems*elem)*8+64, elem)
+	out := b.Array(name+".out", trip*int64(elem)+64, elem)
+	v := b.LoadPeriodic("ld_blk", blk, 0, int64(elem), elem, rowElems*8)
+	for k := 0; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.Store("st", out, 0, int64(elem), elem, v)
+	return b.Build()
+}
+
+// wideCopy builds an 8-byte-word copy loop (motion compensation block
+// moves): stride equals the access width, so the prefetch hints cover it.
+func wideCopy(name string, trip int64, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	src := b.Array(name+".src", trip*8+64, 8)
+	dst := b.Array(name+".dst", trip*8+64, 8)
+	v := b.Load("ld", src, 0, 8, 8)
+	for k := 0; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.Store("st", dst, 0, 8, 8, v)
+	return b.Build()
+}
+
+// manyStreams builds a loop reading from `ways` distinct unit-stride arrays
+// (chroma upsampling with many planes). Its per-cluster footprint exceeds a
+// 4-entry L0 buffer once prefetches are in flight — the jpegdec LRU-thrash
+// kernel.
+func manyStreams(name string, trip int64, elem, ways, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	dst := b.Array(name+".dst", trip*int64(elem)+64, elem)
+	var v ir.Reg
+	for w := 0; w < ways; w++ {
+		a := b.Array(fmt.Sprintf("%s.p%d", name, w), trip*int64(elem)+64, elem)
+		lv := b.Load(fmt.Sprintf("ld%d", w), a, 0, int64(elem), elem)
+		if w == 0 {
+			v = lv
+		} else {
+			v = b.Int(fmt.Sprintf("mix%d", w), v, lv)
+		}
+	}
+	for k := 0; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.Store("st", dst, 0, int64(elem), elem, v)
+	return b.Build()
+}
+
+// reverseStream walks an array backwards (negative good stride; NEGATIVE
+// prefetch hint).
+func reverseStream(name string, trip int64, elem, chain int) *ir.Loop {
+	b := ir.NewBuilder(name, trip)
+	src := b.Array(name+".src", trip*int64(elem)+64, elem)
+	dst := b.Array(name+".dst", trip*int64(elem)+64, elem)
+	v := b.Load("ld", src, (trip-1)*int64(elem), -int64(elem), elem)
+	for k := 0; k < chain; k++ {
+		v = b.Int(fmt.Sprintf("op%d", k), v)
+	}
+	b.Store("st", dst, 0, int64(elem), elem, v)
+	return b.Build()
+}
+
+// rolledAnchor threads v through a `depth`-deep dependence cycle of 1-cycle
+// integer ops. It pins the loop's RecMII to `depth`, which both keeps the
+// unroller away (outer-loop-carried reductions are common in media code) and
+// models the loop's real recurrence-bound II.
+func rolledAnchor(b *ir.Builder, v ir.Reg, depth int) ir.Reg {
+	if depth < 2 {
+		depth = 2
+	}
+	first := b.Int("anchor0", v)
+	prev := first
+	for k := 1; k < depth; k++ {
+		prev = b.Int(fmt.Sprintf("anchor%d", k), prev)
+	}
+	b.CarryInto(first, prev, 1)
+	return prev
+}

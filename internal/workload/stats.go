@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"repro/internal/ir"
+)
+
+// Table1Row is one row of the paper's Table 1: the dynamic fraction of
+// strided memory accesses (S), of "good" strides — 0 or ±1 elements in the
+// original, non-unrolled loop (SG) — and of other strides (SO). All values
+// are fractions of the dynamic memory-instruction stream, measured from the
+// benchmark's generated loops.
+type Table1Row struct {
+	Name      string
+	S, SG, SO float64
+	DynMemOps int64
+	DynInstrs int64
+}
+
+// StrideClass classifies one memory instruction of an original loop.
+type StrideClass uint8
+
+const (
+	// StrideUnknown marks accesses whose stride the compiler cannot
+	// prove (data-dependent addressing).
+	StrideUnknown StrideClass = iota
+	// StrideGood is 0 or ±1 elements per iteration.
+	StrideGood
+	// StrideOther is any other compile-time-known stride.
+	StrideOther
+)
+
+// Classify returns the stride class of a memory instruction (pre-unroll).
+func Classify(in *ir.Instr) StrideClass {
+	if in.Mem == nil || !in.Mem.StrideKnown || in.Mem.Scramble != 0 {
+		return StrideUnknown
+	}
+	st, w := in.Mem.Stride, int64(in.Mem.Width)
+	if st == 0 || st == w || st == -w {
+		return StrideGood
+	}
+	return StrideOther
+}
+
+// Characterize measures the benchmark's Table 1 row from its kernels.
+func Characterize(b *Benchmark) Table1Row {
+	row := Table1Row{Name: b.Name}
+	var good, other, unknown int64
+	for i := range b.Kernels {
+		k := &b.Kernels[i]
+		l := k.Loop()
+		weight := l.TripCount * k.Invocations
+		for _, in := range l.Instrs {
+			row.DynInstrs += weight
+			if !in.Op.IsMemRef() {
+				continue
+			}
+			switch Classify(in) {
+			case StrideGood:
+				good += weight
+			case StrideOther:
+				other += weight
+			default:
+				unknown += weight
+			}
+		}
+	}
+	row.DynMemOps = good + other + unknown
+	if row.DynMemOps > 0 {
+		row.SG = float64(good) / float64(row.DynMemOps)
+		row.SO = float64(other) / float64(row.DynMemOps)
+		row.S = row.SG + row.SO
+	}
+	return row
+}
+
+// KernelWeight returns the dynamic-instruction weight of a kernel, used to
+// average per-loop quantities (e.g. the unroll factor of Figure 6) the way
+// the paper weights them.
+func KernelWeight(k *Kernel) int64 {
+	l := k.Loop()
+	return int64(len(l.Instrs)) * l.TripCount * k.Invocations
+}

@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestSuiteHasThirteenBenchmarks(t *testing.T) {
+	s := Suite()
+	if len(s) != 13 {
+		t.Fatalf("suite = %d benchmarks, want 13", len(s))
+	}
+	want := []string{"epicdec", "g721dec", "g721enc", "gsmdec", "gsmenc",
+		"jpegdec", "jpegenc", "mpeg2dec", "pegwitdec", "pegwitenc",
+		"pgpdec", "pgpenc", "rasta"}
+	for i, b := range s {
+		if b.Name != want[i] {
+			t.Errorf("benchmark %d = %q, want %q (Table 1 order)", i, b.Name, want[i])
+		}
+	}
+}
+
+func TestAllKernelsBuildValidLoops(t *testing.T) {
+	for _, b := range Suite() {
+		for i := range b.Kernels {
+			k := &b.Kernels[i]
+			l := k.Loop()
+			if err := l.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", b.Name, k.Name, err)
+			}
+			if k.Invocations <= 0 {
+				t.Errorf("%s/%s: non-positive invocations", b.Name, k.Name)
+			}
+		}
+	}
+}
+
+func TestKernelBuildsAreIndependent(t *testing.T) {
+	b := Suite()[0]
+	l1 := b.Kernels[0].Loop()
+	l2 := b.Kernels[0].Loop()
+	if l1.Instrs[0].Mem.Array == l2.Instrs[0].Mem.Array {
+		t.Errorf("two builds share array objects (state would leak across runs)")
+	}
+}
+
+func TestAssignAddressesDistinctAndAligned(t *testing.T) {
+	b := Suite()[5] // jpegdec
+	base := int64(1 << 16)
+	type rng struct{ lo, hi int64 }
+	var ranges []rng
+	for i := range b.Kernels {
+		l := b.Kernels[i].Loop()
+		base = AssignAddresses(l, base)
+		seen := map[*ir.Array]bool{}
+		for _, in := range l.Instrs {
+			if in.Mem == nil || seen[in.Mem.Array] {
+				continue
+			}
+			seen[in.Mem.Array] = true
+			a := in.Mem.Array
+			if a.Base == 0 {
+				t.Fatalf("array %q unassigned", a.Name)
+			}
+			ranges = append(ranges, rng{a.Base, a.Base + a.SizeBytes})
+		}
+	}
+	for i := range ranges {
+		for j := i + 1; j < len(ranges); j++ {
+			if ranges[i].lo < ranges[j].hi && ranges[j].lo < ranges[i].hi {
+				t.Fatalf("arrays %d and %d overlap: %+v %+v", i, j, ranges[i], ranges[j])
+			}
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	b := ir.NewBuilder("c", 64)
+	a := b.Array("a", 65536, 4)
+	v := b.Load("unit", a, 0, 4, 4)
+	w := b.Load("zero", a, 128, 0, 4)
+	x := b.Load("rev", a, 4096, -4, 4)
+	y := b.Load("col", a, 0, 512, 4)
+	z := b.LoadIndexed("scr", a, 4, 3, ir.NoReg)
+	b.Int("use", v, w, x, y, z)
+	l := b.Build()
+	want := []StrideClass{StrideGood, StrideGood, StrideGood, StrideOther, StrideUnknown}
+	for i, cls := range want {
+		if got := Classify(l.Instrs[i]); got != cls {
+			t.Errorf("Classify(%s) = %v, want %v", l.Instrs[i].Name, got, cls)
+		}
+	}
+}
+
+func TestCharacterizeMatchesTable1Shape(t *testing.T) {
+	// The paper's Table 1, as tolerance bands (fractions).
+	targets := map[string]struct{ s, sg float64 }{
+		"epicdec":   {0.99, 0.66},
+		"g721dec":   {1.00, 1.00},
+		"g721enc":   {1.00, 1.00},
+		"gsmdec":    {0.97, 0.97},
+		"gsmenc":    {0.99, 0.99},
+		"jpegdec":   {0.60, 0.39},
+		"jpegenc":   {0.49, 0.40},
+		"mpeg2dec":  {0.96, 0.42},
+		"pegwitdec": {0.50, 0.48},
+		"pegwitenc": {0.56, 0.54},
+		"pgpdec":    {0.99, 0.98},
+		"pgpenc":    {0.86, 0.86},
+		"rasta":     {0.95, 0.87},
+	}
+	const tol = 0.17
+	for _, b := range Suite() {
+		row := Characterize(b)
+		tg := targets[b.Name]
+		if d := row.S - tg.s; d > tol || d < -tol {
+			t.Errorf("%s: S = %.2f, paper %.2f (tolerance %.2f)", b.Name, row.S, tg.s, tol)
+		}
+		if d := row.SG - tg.sg; d > tol || d < -tol {
+			t.Errorf("%s: SG = %.2f, paper %.2f (tolerance %.2f)", b.Name, row.SG, tg.sg, tol)
+		}
+		if row.S < row.SG || row.S > 1.0001 {
+			t.Errorf("%s: inconsistent row S=%.2f SG=%.2f", b.Name, row.S, row.SG)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("rasta") == nil {
+		t.Errorf("ByName(rasta) = nil")
+	}
+	if ByName("nope") != nil {
+		t.Errorf("ByName(nope) != nil")
+	}
+}
+
+func TestKernelWeightPositive(t *testing.T) {
+	for _, b := range Suite() {
+		for i := range b.Kernels {
+			if w := KernelWeight(&b.Kernels[i]); w <= 0 {
+				t.Errorf("%s/%s weight %d", b.Name, b.Kernels[i].Name, w)
+			}
+		}
+	}
+}
+
+func TestSpecializationFlags(t *testing.T) {
+	// §4.1 names epicdec, pgpdec, pgpenc and rasta as specialized.
+	specialized := map[string]bool{"epicdec": true, "pgpdec": true, "pgpenc": true, "rasta": true}
+	for _, b := range Suite() {
+		for i := range b.Kernels {
+			k := &b.Kernels[i]
+			if specialized[b.Name] && !k.Specialized {
+				t.Errorf("%s/%s must be code-specialized per §4.1", b.Name, k.Name)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	if seed("a", 1) == seed("b", 1) || seed("a", 1) == seed("a", 2) {
+		t.Errorf("scramble seeds collide")
+	}
+}
+
+func TestArchetypeStructure(t *testing.T) {
+	// Each archetype must deliver the structural property the suite
+	// relies on.
+	t.Run("inPlace is a 1C-able set without a carried cycle", func(t *testing.T) {
+		l := inPlace("t.ip", 64, 4, 3)
+		if len(l.MemRefs()) != 3 {
+			t.Fatalf("mem refs = %d", len(l.MemRefs()))
+		}
+	})
+	t.Run("iir carries through memory", func(t *testing.T) {
+		l := iir("t.iir", 64, 4, 2)
+		ld := l.Instrs[0]
+		if ld.Mem.Offset != -4 {
+			t.Errorf("iir load offset = %d, want -elem", ld.Mem.Offset)
+		}
+	})
+	t.Run("carryChain recurrence spans the multiplies", func(t *testing.T) {
+		l := carryChain("t.cc", 64, 2)
+		var hasCarried bool
+		for _, in := range l.Instrs {
+			if len(in.Carried) > 0 {
+				hasCarried = true
+			}
+		}
+		if !hasCarried {
+			t.Errorf("carryChain has no loop-carried use")
+		}
+	})
+	t.Run("columnWalk anchor pins the II", func(t *testing.T) {
+		l := columnWalk("t.cw", 64, 2, 64, 2, 5, false)
+		var cyc int
+		for _, in := range l.Instrs {
+			for _, c := range in.Carried {
+				cyc += c.Distance
+			}
+		}
+		if cyc == 0 {
+			t.Errorf("anchored column walk has no recurrence")
+		}
+	})
+	t.Run("scatterPure is fully unknown-stride", func(t *testing.T) {
+		l := scatterPure("t.sp", 64, 2, 2048, 1)
+		for _, in := range l.MemRefs() {
+			if Classify(in) != StrideUnknown {
+				t.Errorf("%s classified %v", in.Name, Classify(in))
+			}
+		}
+	})
+	t.Run("manyStreams uses distinct arrays", func(t *testing.T) {
+		l := manyStreams("t.ms", 64, 2, 3, 1)
+		arrays := map[*ir.Array]bool{}
+		for _, in := range l.MemRefs() {
+			if in.Op == ir.OpLoad {
+				arrays[in.Mem.Array] = true
+			}
+		}
+		if len(arrays) != 3 {
+			t.Errorf("load arrays = %d, want 3", len(arrays))
+		}
+	})
+	t.Run("reverseStream has a negative good stride", func(t *testing.T) {
+		l := reverseStream("t.rev", 64, 2, 1)
+		if l.Instrs[0].Mem.Stride != -2 {
+			t.Errorf("stride = %d", l.Instrs[0].Mem.Stride)
+		}
+		if Classify(l.Instrs[0]) != StrideGood {
+			t.Errorf("reverse unit stride must be good")
+		}
+	})
+	t.Run("wideCopy stride equals width", func(t *testing.T) {
+		l := wideCopy("t.wc", 64, 1)
+		m := l.Instrs[0].Mem
+		if m.Stride != int64(m.Width) {
+			t.Errorf("stride %d != width %d", m.Stride, m.Width)
+		}
+	})
+	t.Run("blockRows is periodic", func(t *testing.T) {
+		l := blockRows("t.br", 64, 2, 8, 1)
+		if l.Instrs[0].Mem.IndexPeriod != 64 {
+			t.Errorf("period = %d, want 64", l.Instrs[0].Mem.IndexPeriod)
+		}
+	})
+	t.Run("memState keeps a scalar cell", func(t *testing.T) {
+		l := memState("t.msr", 64, 4, 2)
+		if l.Instrs[0].Mem.Stride != 0 {
+			t.Errorf("state load stride = %d, want 0", l.Instrs[0].Mem.Stride)
+		}
+	})
+	t.Run("dotAccum and fir and histogram and others build", func(t *testing.T) {
+		for _, l := range []*ir.Loop{
+			dotAccum("t.da", 64, 2), fir("t.fir", 64, 2, 3),
+			histogram("t.h", 64, 2, 1024), tableMap("t.tm", 64, 2, 1024, 2),
+			scatterGather("t.sg", 64, 8192, 2), stream("t.s", 64, 2, 3),
+			stream2("t.s2", 64, 2, 3), columnWalk2("t.c2", 64, 8, 64, 2, 4),
+		} {
+			if err := l.Validate(); err != nil {
+				t.Errorf("%s: %v", l.Name, err)
+			}
+		}
+	})
+}
