@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates every figure/table benchmark with allocation stats and
+# records the machine-readable trajectory in BENCH_<n>.json (bump the number
+# per PR so the history accumulates).
+BENCH_OUT ?= BENCH_1.json
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' -count=5 -json . | tee $(BENCH_OUT)

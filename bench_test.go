@@ -13,6 +13,11 @@
 //	mark-all-candidates ablation, prefetch distance 2)
 //
 // BenchmarkAblation* — design-choice ablations DESIGN.md calls out
+//
+// The figure benchmarks run on the parallel experiment engine (worker pool
+// + schedule cache, see internal/harness and PERF.md); BenchmarkFig5Serial
+// pins a single worker with the cache disabled so the engine's contribution
+// stays visible in the recorded trajectory.
 package repro
 
 import (
@@ -42,6 +47,22 @@ func BenchmarkFig5(b *testing.B) {
 	var amean8 float64
 	for i := 0; i < b.N; i++ {
 		pts, err := harness.Fig5(entries, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		amean8 = harness.AMeanTotal(pts, 1)
+	}
+	b.ReportMetric(amean8, "amean_8entry")
+}
+
+// BenchmarkFig5Serial is Figure 5 on one worker with schedule memoization
+// off: the raw compile+simulate cost, for comparing against BenchmarkFig5.
+func BenchmarkFig5Serial(b *testing.B) {
+	entries := []int{4, 8, 16, arch.Unbounded}
+	rc := harness.RunConfig{Workers: 1, DisableScheduleCache: true}
+	var amean8 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := harness.Fig5Cfg(rc, entries, sched.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

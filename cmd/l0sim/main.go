@@ -20,13 +20,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig5, fig6, fig7, extras, energy, clusters, wires, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig5, fig6, fig7, extras, energy, clusters, wires, debug, all")
 	flag.Parse()
 
+	ran := false
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		ran = true
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "l0sim: %s: %v\n", name, err)
 			os.Exit(1)
@@ -105,10 +107,15 @@ func main() {
 		return nil
 	})
 	if *exp == "debug" {
+		ran = true
 		if err := debug(flag.Arg(0)); err != nil {
 			fmt.Fprintf(os.Stderr, "l0sim: debug: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "l0sim: unknown experiment %q (table1, fig5, fig6, fig7, extras, energy, clusters, wires, debug, all)\n", *exp)
+		os.Exit(1)
 	}
 }
 

@@ -57,6 +57,11 @@ type Graph struct {
 	Edges []Edge
 	// out and in hold edge indices per node.
 	out, in [][]int
+	// succs and preds are deduplicated neighbour lists per node, built
+	// lazily because Preds/Succs sit on the SMS ordering hot path and
+	// re-deriving them from edge lists on every call dominated profiles.
+	// addEdge invalidates them.
+	succs, preds [][]int
 	// prodLat is the current latency of each instruction's result,
 	// indexed by instruction ID. The scheduler mutates load entries as
 	// it flips instructions between the L0 and L1 latency.
@@ -122,6 +127,38 @@ func (g *Graph) addEdge(e Edge) {
 	g.Edges = append(g.Edges, e)
 	g.out[e.From] = append(g.out[e.From], idx)
 	g.in[e.To] = append(g.in[e.To], idx)
+	g.succs, g.preds = nil, nil
+}
+
+// buildAdjacency materialises the deduplicated neighbour lists (same node
+// order as deriving them from the edge lists on the fly).
+func (g *Graph) buildAdjacency() {
+	n := g.N()
+	g.succs = make([][]int, n)
+	g.preds = make([][]int, n)
+	seen := make([]int, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for id := 0; id < n; id++ {
+		for _, ei := range g.out[id] {
+			if t := g.Edges[ei].To; seen[t] != id {
+				seen[t] = id
+				g.succs[id] = append(g.succs[id], t)
+			}
+		}
+	}
+	for i := range seen {
+		seen[i] = -1
+	}
+	for id := 0; id < n; id++ {
+		for _, ei := range g.in[id] {
+			if f := g.Edges[ei].From; seen[f] != id {
+				seen[f] = id
+				g.preds[id] = append(g.preds[id], f)
+			}
+		}
+	}
 }
 
 // N returns the number of nodes.
@@ -278,7 +315,20 @@ func (g *Graph) Estart(ii int) []int {
 // successor constraint can still be met within the schedule horizon (the
 // maximum Estart). Nodes without successors sit at the horizon.
 func (g *Graph) Lstart(ii int) []int {
-	est := g.Estart(ii)
+	return g.lstartFrom(ii, g.Estart(ii))
+}
+
+// EstartLstart returns both bounds with a single forward pass shared
+// between them (callers needing both — the SMS ordering runs once per II
+// candidate — would otherwise pay the Estart relaxation twice).
+func (g *Graph) EstartLstart(ii int) (est, lst []int) {
+	est = g.Estart(ii)
+	return est, g.lstartFrom(ii, est)
+}
+
+// lstartFrom computes Lstart from an already-computed Estart, sparing the
+// duplicate forward pass when the caller needs both (Slack).
+func (g *Graph) lstartFrom(ii int, est []int) []int {
 	horizon := 0
 	for _, v := range est {
 		if v > horizon {
@@ -317,7 +367,7 @@ func (g *Graph) Lstart(ii int) []int {
 // criticality measure of §4.3 (smaller slack = more critical).
 func (g *Graph) Slack(ii int) []int {
 	est := g.Estart(ii)
-	lst := g.Lstart(ii)
+	lst := g.lstartFrom(ii, est)
 	out := make([]int, g.N())
 	for i := range out {
 		out[i] = lst[i] - est[i]
@@ -380,30 +430,20 @@ func (g *Graph) CriticalCycle() []int {
 	return cycle
 }
 
-// Preds returns the distinct predecessor node IDs of id.
+// Preds returns the distinct predecessor node IDs of id. The returned slice
+// is shared cache state and must not be mutated.
 func (g *Graph) Preds(id int) []int {
-	seen := map[int]bool{}
-	var out []int
-	for _, ei := range g.in[id] {
-		f := g.Edges[ei].From
-		if !seen[f] {
-			seen[f] = true
-			out = append(out, f)
-		}
+	if g.preds == nil {
+		g.buildAdjacency()
 	}
-	return out
+	return g.preds[id]
 }
 
-// Succs returns the distinct successor node IDs of id.
+// Succs returns the distinct successor node IDs of id. The returned slice
+// is shared cache state and must not be mutated.
 func (g *Graph) Succs(id int) []int {
-	seen := map[int]bool{}
-	var out []int
-	for _, ei := range g.out[id] {
-		t := g.Edges[ei].To
-		if !seen[t] {
-			seen[t] = true
-			out = append(out, t)
-		}
+	if g.succs == nil {
+		g.buildAdjacency()
 	}
-	return out
+	return g.succs[id]
 }

@@ -22,19 +22,33 @@ type ClusterPoint struct {
 // normalised within itself so the numbers isolate the buffers' contribution
 // rather than the machine width.
 func ClusterSweep(counts []int, entries int) ([][]ClusterPoint, error) {
+	return ClusterSweepCfg(DefaultRunConfig(), counts, entries)
+}
+
+// ClusterSweepCfg is ClusterSweep under an explicit engine configuration:
+// one job per benchmark × cluster count × {base, l0}.
+func ClusterSweepCfg(rc RunConfig, counts []int, entries int) ([][]ClusterPoint, error) {
+	suite := workload.Suite()
+	stride := 2 * len(counts)
+	results, err := forEachJob(rc, len(suite)*stride, func(i int) (*BenchResult, error) {
+		b := suite[i/stride]
+		j := i % stride
+		cfg := arch.MICRO36Config().WithClusters(counts[j/2]).WithL0Entries(entries)
+		a := ArchBase
+		if j%2 == 1 {
+			a = ArchL0
+		}
+		return RunBenchmark(b, a, rc.options(cfg))
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out [][]ClusterPoint
-	for _, b := range workload.Suite() {
+	for bi, b := range suite {
 		var row []ClusterPoint
-		for _, n := range counts {
-			cfg := arch.MICRO36Config().WithClusters(n).WithL0Entries(entries)
-			base, err := RunBenchmark(b, ArchBase, Options{Cfg: cfg})
-			if err != nil {
-				return nil, err
-			}
-			l0, err := RunBenchmark(b, ArchL0, Options{Cfg: cfg})
-			if err != nil {
-				return nil, err
-			}
+		for j, n := range counts {
+			base := results[bi*stride+2*j]
+			l0 := results[bi*stride+2*j+1]
 			row = append(row, ClusterPoint{
 				Bench:    b.Name,
 				Clusters: n,

@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/sched"
+	"repro/internal/unroll"
+	"repro/internal/workload"
+)
+
+// RunConfig tunes the experiment engine: how many workers fan out over the
+// (kernel, architecture, configuration) job graph and whether compiled
+// schedules are memoized across runs. The zero value means "serial, cached";
+// DefaultRunConfig is what the figure entry points use.
+type RunConfig struct {
+	// Workers is the worker-pool size; <= 0 selects runtime.NumCPU().
+	Workers int
+	// DisableScheduleCache bypasses the global schedule memoization (used
+	// to measure the cache's contribution; results are identical either
+	// way because compilation is deterministic).
+	DisableScheduleCache bool
+}
+
+// DefaultRunConfig runs one worker per CPU with the schedule cache enabled.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{Workers: runtime.NumCPU()}
+}
+
+// options derives the per-run harness Options for one job, threading the
+// engine-level cache switch so driver closures cannot forget it.
+func (rc RunConfig) options(cfg arch.Config) Options {
+	return Options{Cfg: cfg, DisableScheduleCache: rc.DisableScheduleCache}
+}
+
+func (rc RunConfig) workers(n int) int {
+	w := rc.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachJob fans the n independent jobs out over the worker pool and
+// aggregates deterministically: results are ordered by job index, never by
+// completion order, so a parallel run is byte-identical to a single-worker
+// run. The first error wins and cancels the remaining jobs.
+func forEachJob[T any](rc RunConfig, n int, job func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers := rc.workers(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			r, err := job(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		first  error
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := job(i)
+				if err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}
+
+// schedOptsKey is the comparable subset of sched.Options used as a cache
+// key. The two function fields are deliberately absent: runs that install
+// per-architecture latency or placement callbacks are never memoized.
+type schedOptsKey struct {
+	UseL0                    bool
+	AllowPSR                 bool
+	MarkAllCandidates        bool
+	PrefetchDistance         int
+	AdaptivePrefetchDistance bool
+	DisableExplicitPrefetch  bool
+	MaxII                    int
+	RegistersPerCluster      int
+}
+
+func optsKeyOf(o sched.Options) schedOptsKey {
+	return schedOptsKey{
+		UseL0:                    o.UseL0,
+		AllowPSR:                 o.AllowPSR,
+		MarkAllCandidates:        o.MarkAllCandidates,
+		PrefetchDistance:         o.PrefetchDistance,
+		AdaptivePrefetchDistance: o.AdaptivePrefetchDistance,
+		DisableExplicitPrefetch:  o.DisableExplicitPrefetch,
+		MaxII:                    o.MaxII,
+		RegistersPerCluster:      o.RegistersPerCluster,
+	}
+}
+
+// cacheable reports whether a compile under these scheduler options may be
+// memoized: the callback fields capture per-run state (MultiVLIW homes,
+// interleaved bank maps) that the key cannot represent.
+func cacheable(o sched.Options) bool {
+	return o.LoadLatencyFn == nil && o.PreferredClusterFn == nil
+}
+
+// compileKey identifies one kernel compilation. Address assignment is part
+// of the identity implicitly: bases are a deterministic function of the
+// benchmark's kernel order, which bench+kernel capture.
+type compileKey struct {
+	bench, kernel string
+	// idx is the kernel's position within the benchmark: kernel names
+	// are unique only by convention, and base-address assignment is
+	// positional.
+	idx int
+	// entries is the L0 entry count the scheduler sees (archEntries);
+	// cfg is the full simulation configuration.
+	entries  int
+	cfg      arch.Config
+	opts     schedOptsKey
+	fallback bool
+}
+
+// compiledKernel is one memoized compilation: the schedule (immutable after
+// Compile — simulation only reads it), the chosen unroll factor, and how
+// much address space AssignAddresses consumed so cache hits advance the
+// benchmark's base pointer identically to a fresh build.
+type compiledKernel struct {
+	sch       *sched.Schedule
+	factor    int
+	baseDelta int64
+}
+
+type compileEntry struct {
+	once sync.Once
+	res  compiledKernel
+	err  error
+}
+
+// unrollKey identifies one step-1 unroll decision. The factor is chosen on
+// the no-L0 baseline (§5.1), so it is shared by every architecture and L0
+// size evaluating the same kernel — memoizing it separately from the full
+// compile saves the two trial compiles inside ChooseUnrollFactor for every
+// figure point past the first.
+type unrollKey struct {
+	bench, kernel string
+	idx           int
+	cfg           arch.Config
+}
+
+type unrollEntry struct {
+	once   sync.Once
+	factor int
+}
+
+var (
+	scheduleCache sync.Map // compileKey -> *compileEntry
+	unrollCache   sync.Map // unrollKey -> *unrollEntry
+)
+
+// ResetCaches drops the global schedule and unroll memoization (tests).
+func ResetCaches() {
+	scheduleCache = sync.Map{}
+	unrollCache = sync.Map{}
+}
+
+// chooseFactor memoizes sched.ChooseUnrollFactor per (benchmark, kernel,
+// baseline config). The decision never depends on array base addresses, so
+// any fresh build of the kernel's loop yields the same answer.
+func chooseFactor(bench string, i int, k *workload.Kernel, l *ir.Loop, unrollCfg arch.Config, useCache bool) int {
+	if !useCache {
+		return sched.ChooseUnrollFactor(l, unrollCfg)
+	}
+	key := unrollKey{bench: bench, kernel: k.Name, idx: i, cfg: unrollCfg}
+	v, _ := unrollCache.LoadOrStore(key, &unrollEntry{})
+	e := v.(*unrollEntry)
+	e.once.Do(func() { e.factor = sched.ChooseUnrollFactor(l, unrollCfg) })
+	return e.factor
+}
+
+// compileKernel builds, unrolls and schedules kernel i of the benchmark for
+// one architecture, starting array address assignment at base. Cacheable
+// compilations (no per-run callbacks) are memoized globally; hits return the
+// shared immutable schedule.
+func compileKernel(b *workload.Benchmark, i int, a Arch, opts Options, schedOpts sched.Options, base int64) (compiledKernel, error) {
+	k := &b.Kernels[i]
+	useCache := !opts.DisableScheduleCache && cacheable(schedOpts)
+	if useCache {
+		entries := archEntries(a, opts.Cfg)
+		key := compileKey{
+			bench: b.Name, kernel: k.Name, idx: i,
+			// Normalising L0Entries into the entries field lets a
+			// baseline compile at any nominal buffer size share one
+			// entry: nothing downstream reads cfg.L0Entries except
+			// through archEntries.
+			entries: entries, cfg: opts.Cfg.WithL0Entries(entries),
+			opts:     optsKeyOf(schedOpts),
+			fallback: opts.ConservativeFallback && a == ArchL0,
+		}
+		v, _ := scheduleCache.LoadOrStore(key, &compileEntry{})
+		e := v.(*compileEntry)
+		e.once.Do(func() { e.res, e.err = compileKernelUncached(b, i, a, opts, schedOpts, base, true) })
+		if e.err != nil {
+			return compiledKernel{}, e.err
+		}
+		return e.res, nil
+	}
+	return compileKernelUncached(b, i, a, opts, schedOpts, base, false)
+}
+
+func compileKernelUncached(b *workload.Benchmark, i int, a Arch, opts Options, schedOpts sched.Options, base int64, useFactorCache bool) (compiledKernel, error) {
+	k := &b.Kernels[i]
+	cfg := opts.Cfg
+	l := k.Loop()
+	after := workload.AssignAddresses(l, base)
+
+	// The unroll decision is made once, on the unified-L1 baseline, and
+	// reused for every architecture (§5.1: the same unrolling heuristic
+	// everywhere so comparisons isolate the memory hierarchy).
+	factor := chooseFactor(b.Name, i, k, l, cfg.WithL0Entries(0), useFactorCache)
+	body := l
+	if factor > 1 {
+		var err error
+		body, err = unroll.ByFactor(l, factor)
+		if err != nil {
+			return compiledKernel{}, fmt.Errorf("harness: %s/%s: %w", b.Name, k.Name, err)
+		}
+	}
+	sch, err := sched.Compile(body, cfg.WithL0Entries(archEntries(a, cfg)), schedOpts)
+	if err != nil {
+		return compiledKernel{}, fmt.Errorf("harness: %s/%s: %w", b.Name, k.Name, err)
+	}
+	if opts.ConservativeFallback && a == ArchL0 {
+		cons, err := conservativeIfFaster(body, cfg, schedOpts, sch)
+		if err != nil {
+			return compiledKernel{}, fmt.Errorf("harness: %s/%s: %w", b.Name, k.Name, err)
+		}
+		sch = cons
+	}
+	return compiledKernel{sch: sch, factor: factor, baseDelta: after - base}, nil
+}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestSchedOptsKeyCoversOptions fails loudly when sched.Options gains a
+// field that schedOptsKey does not mirror: an unmirrored field would let
+// semantically different compilations share one cache entry and silently
+// poison every later experiment in the process. Function-typed fields are
+// intentionally absent (runs using them are never cached; see cacheable).
+func TestSchedOptsKeyCoversOptions(t *testing.T) {
+	ot := reflect.TypeOf(sched.Options{})
+	kt := reflect.TypeOf(schedOptsKey{})
+	for i := 0; i < ot.NumField(); i++ {
+		f := ot.Field(i)
+		if f.Type.Kind() == reflect.Func {
+			continue // never cached; enforced by cacheable()
+		}
+		kf, ok := kt.FieldByName(f.Name)
+		if !ok {
+			t.Errorf("sched.Options.%s is not mirrored in schedOptsKey: cached compiles would alias across different %s values", f.Name, f.Name)
+			continue
+		}
+		if kf.Type != f.Type {
+			t.Errorf("schedOptsKey.%s has type %v, want %v", f.Name, kf.Type, f.Type)
+		}
+	}
+	if got, want := kt.NumField(), countNonFuncFields(ot); got != want {
+		t.Errorf("schedOptsKey has %d fields, sched.Options has %d non-func fields", got, want)
+	}
+}
+
+func countNonFuncFields(t reflect.Type) int {
+	n := 0
+	for i := 0; i < t.NumField(); i++ {
+		if t.Field(i).Type.Kind() != reflect.Func {
+			n++
+		}
+	}
+	return n
+}
+
+// TestParallelMatchesSerial is the determinism regression for the job
+// engine: a multi-worker run must produce results identical to a
+// single-worker run (aggregation is by job index, never completion order),
+// and the schedule cache must not change any number either.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := RunConfig{Workers: 1, DisableScheduleCache: true}
+	parallel := RunConfig{Workers: 8}
+
+	s5, err := Fig5Cfg(serial, []int{4, 8}, sched.Options{})
+	if err != nil {
+		t.Fatalf("serial Fig5: %v", err)
+	}
+	p5, err := Fig5Cfg(parallel, []int{4, 8}, sched.Options{})
+	if err != nil {
+		t.Fatalf("parallel Fig5: %v", err)
+	}
+	if !reflect.DeepEqual(s5, p5) {
+		t.Errorf("Fig5 parallel != serial:\n%v\nvs\n%v", p5, s5)
+	}
+
+	s7, err := Fig7Cfg(serial, 8)
+	if err != nil {
+		t.Fatalf("serial Fig7: %v", err)
+	}
+	p7, err := Fig7Cfg(parallel, 8)
+	if err != nil {
+		t.Fatalf("parallel Fig7: %v", err)
+	}
+	if !reflect.DeepEqual(s7, p7) {
+		t.Errorf("Fig7 parallel != serial:\n%v\nvs\n%v", p7, s7)
+	}
+}
+
+// TestKernelResultsByteIdentical compares the full per-kernel result lists
+// (II, SC, unroll factor, cycle splits) of cached/parallel-engine runs
+// against fresh uncached runs for every architecture.
+func TestKernelResultsByteIdentical(t *testing.T) {
+	b := workload.ByName("gsmdec")
+	for _, a := range []Arch{ArchBase, ArchL0, ArchMultiVLIW, ArchInterleaved1, ArchInterleaved2} {
+		cfg := arch.MICRO36Config().WithL0Entries(8)
+		cached, err := RunBenchmark(b, a, Options{Cfg: cfg})
+		if err != nil {
+			t.Fatalf("%v cached: %v", a, err)
+		}
+		fresh, err := RunBenchmark(b, a, Options{Cfg: cfg, DisableScheduleCache: true})
+		if err != nil {
+			t.Fatalf("%v uncached: %v", a, err)
+		}
+		if !reflect.DeepEqual(cached.Kernels, fresh.Kernels) {
+			t.Errorf("%v: kernel results differ:\ncached:   %+v\nuncached: %+v", a, cached.Kernels, fresh.Kernels)
+		}
+		if cached.Total != fresh.Total || cached.Stall != fresh.Stall || cached.Clock != fresh.Clock {
+			t.Errorf("%v: totals differ: %d/%d/%d vs %d/%d/%d", a,
+				cached.Total, cached.Stall, cached.Clock, fresh.Total, fresh.Stall, fresh.Clock)
+		}
+	}
+}
+
+// TestForEachJobOrdering checks index-ordered aggregation and worker
+// clamping directly.
+func TestForEachJobOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		got, err := forEachJob(RunConfig{Workers: workers}, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestForEachJobError checks that a failing job surfaces its error and
+// cancels the run.
+func TestForEachJobError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := forEachJob(RunConfig{Workers: workers}, 50, func(i int) (int, error) {
+			if i == 17 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+// TestSweepsParallelMatchSerial covers the remaining experiment drivers.
+func TestSweepsParallelMatchSerial(t *testing.T) {
+	serial := RunConfig{Workers: 1, DisableScheduleCache: true}
+	parallel := RunConfig{Workers: 8}
+
+	sc, err := ClusterSweepCfg(serial, []int{2}, 8)
+	if err != nil {
+		t.Fatalf("serial ClusterSweep: %v", err)
+	}
+	pc, err := ClusterSweepCfg(parallel, []int{2}, 8)
+	if err != nil {
+		t.Fatalf("parallel ClusterSweep: %v", err)
+	}
+	if !reflect.DeepEqual(sc, pc) {
+		t.Errorf("ClusterSweep parallel != serial")
+	}
+
+	sw, err := WireSweepCfg(serial, []int{9}, 8)
+	if err != nil {
+		t.Fatalf("serial WireSweep: %v", err)
+	}
+	pw, err := WireSweepCfg(parallel, []int{9}, 8)
+	if err != nil {
+		t.Fatalf("parallel WireSweep: %v", err)
+	}
+	if !reflect.DeepEqual(sw, pw) {
+		t.Errorf("WireSweep parallel != serial")
+	}
+}

@@ -24,23 +24,38 @@ type Fig5Point struct {
 }
 
 // Fig5 runs Figure 5: normalised execution time for 4/8/16/unbounded-entry
-// L0 buffers over the whole suite.
+// L0 buffers over the whole suite, fanning the (benchmark, buffer size) grid
+// out over the default worker pool.
 func Fig5(entriesList []int, schedOpts sched.Options) ([][]Fig5Point, error) {
+	return Fig5Cfg(DefaultRunConfig(), entriesList, schedOpts)
+}
+
+// Fig5Cfg is Fig5 under an explicit engine configuration.
+func Fig5Cfg(rc RunConfig, entriesList []int, schedOpts sched.Options) ([][]Fig5Point, error) {
 	suite := workload.Suite()
-	out := make([][]Fig5Point, 0, len(suite))
-	for _, b := range suite {
-		baseRes, err := RunBenchmark(b, ArchBase, Options{Cfg: arch.MICRO36Config()})
-		if err != nil {
-			return nil, err
+	// One job per benchmark × (baseline + each buffer size); results are
+	// aggregated by job index, so worker count never changes the output.
+	stride := 1 + len(entriesList)
+	results, err := forEachJob(rc, len(suite)*stride, func(i int) (*BenchResult, error) {
+		b := suite[i/stride]
+		j := i % stride
+		if j == 0 {
+			return RunBenchmark(b, ArchBase, rc.options(arch.MICRO36Config()))
 		}
+		opts := rc.options(arch.MICRO36Config().WithL0Entries(entriesList[j-1]))
+		opts.Sched = schedOpts
+		return RunBenchmark(b, ArchL0, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Fig5Point, 0, len(suite))
+	for bi, b := range suite {
+		baseRes := results[bi*stride]
+		bt := float64(baseRes.Total)
 		var row []Fig5Point
-		for _, entries := range entriesList {
-			cfg := arch.MICRO36Config().WithL0Entries(entries)
-			r, err := RunBenchmark(b, ArchL0, Options{Cfg: cfg, Sched: schedOpts})
-			if err != nil {
-				return nil, err
-			}
-			bt := float64(baseRes.Total)
+		for j, entries := range entriesList {
+			r := results[bi*stride+1+j]
 			row = append(row, Fig5Point{
 				Bench:           b.Name,
 				Entries:         entries,
@@ -97,13 +112,21 @@ type Fig6Row struct {
 // Fig6 measures the mapping/hit-rate/unroll characterisation at the given
 // buffer size (the paper uses 8 entries).
 func Fig6(entries int) ([]Fig6Row, error) {
+	return Fig6Cfg(DefaultRunConfig(), entries)
+}
+
+// Fig6Cfg is Fig6 under an explicit engine configuration.
+func Fig6Cfg(rc RunConfig, entries int) ([]Fig6Row, error) {
+	suite := workload.Suite()
+	results, err := forEachJob(rc, len(suite), func(i int) (*BenchResult, error) {
+		return RunBenchmark(suite[i], ArchL0, rc.options(arch.MICRO36Config().WithL0Entries(entries)))
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig6Row
-	for _, b := range workload.Suite() {
-		cfg := arch.MICRO36Config().WithL0Entries(entries)
-		r, err := RunBenchmark(b, ArchL0, Options{Cfg: cfg})
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range suite {
+		r := results[i]
 		lin, inter := r.L0.LinearSubblocks, r.L0.InterleavedSubblocks
 		total := lin + inter
 		row := Fig6Row{Bench: b.Name, HitRate: r.L0.L0HitRate(), AvgUnroll: r.AvgUnroll}
@@ -144,20 +167,34 @@ type Fig7Row struct {
 // Fig7 compares the 8-entry L0 architecture against MultiVLIW and the two
 // word-interleaved heuristics.
 func Fig7(entries int) ([]Fig7Row, error) {
-	var out []Fig7Row
-	for _, b := range workload.Suite() {
-		baseRes, err := RunBenchmark(b, ArchBase, Options{Cfg: arch.MICRO36Config()})
-		if err != nil {
-			return nil, err
+	return Fig7Cfg(DefaultRunConfig(), entries)
+}
+
+// Fig7Cfg is Fig7 under an explicit engine configuration: one job per
+// benchmark × architecture (baseline plus the four distributed designs).
+func Fig7Cfg(rc RunConfig, entries int) ([]Fig7Row, error) {
+	suite := workload.Suite()
+	archs := []Arch{ArchBase, ArchL0, ArchMultiVLIW, ArchInterleaved1, ArchInterleaved2}
+	stride := len(archs)
+	results, err := forEachJob(rc, len(suite)*stride, func(i int) (*BenchResult, error) {
+		b := suite[i/stride]
+		a := archs[i%stride]
+		cfg := arch.MICRO36Config()
+		if a != ArchBase {
+			cfg = cfg.WithL0Entries(entries)
 		}
+		return RunBenchmark(b, a, rc.options(cfg))
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7Row
+	for bi, b := range suite {
+		baseRes := results[bi*stride]
 		bt := float64(baseRes.Total)
 		row := Fig7Row{Bench: b.Name}
-		for _, a := range []Arch{ArchL0, ArchMultiVLIW, ArchInterleaved1, ArchInterleaved2} {
-			cfg := arch.MICRO36Config().WithL0Entries(entries)
-			r, err := RunBenchmark(b, a, Options{Cfg: cfg})
-			if err != nil {
-				return nil, err
-			}
+		for j, a := range archs[1:] {
+			r := results[bi*stride+1+j]
 			norm, stall := float64(r.Total)/bt, float64(r.Stall)/bt
 			switch a {
 			case ArchL0:

@@ -15,7 +15,6 @@ import (
 	"repro/internal/mem"
 	"repro/internal/multivliw"
 	"repro/internal/sched"
-	"repro/internal/unroll"
 	"repro/internal/vliw"
 	"repro/internal/workload"
 )
@@ -71,6 +70,10 @@ type Options struct {
 	// short trial on scratch memory, and the faster one is kept. Only
 	// meaningful for ArchL0.
 	ConservativeFallback bool
+	// DisableScheduleCache bypasses the global compile memoization for
+	// this run (results are identical either way; used to measure the
+	// cache's contribution).
+	DisableScheduleCache bool
 }
 
 // KernelResult is the outcome of one kernel on one architecture.
@@ -201,47 +204,31 @@ func RunBenchmark(b *workload.Benchmark, a Arch, opts Options) (*BenchResult, er
 		return nil, fmt.Errorf("harness: unknown architecture %v", a)
 	}
 
-	// The unroll decision is made once, on the unified-L1 baseline, and
-	// reused for every architecture (§5.1: the same unrolling heuristic
-	// everywhere so comparisons isolate the memory hierarchy).
-	unrollCfg := opts.Cfg.WithL0Entries(0)
-
 	// Compile every kernel first so inter-kernel flushes can be planned
 	// selectively (§4.1: only clusters whose buffered data the next loop
-	// touches need invalidating).
+	// touches need invalidating). Cacheable compilations are memoized
+	// globally; each kernel's schedule is lowered to an executable
+	// vliw.Program once and reused across its invocations.
 	type compiled struct {
 		k      *workload.Kernel
 		sch    *sched.Schedule
+		prog   *vliw.Program
 		factor int
 	}
 	base := int64(1 << 16)
 	var progs []compiled
 	for i := range b.Kernels {
 		k := &b.Kernels[i]
-		l := k.Loop()
-		base = workload.AssignAddresses(l, base)
-
-		factor := sched.ChooseUnrollFactor(l, unrollCfg)
-		body := l
-		if factor > 1 {
-			var err error
-			body, err = unroll.ByFactor(l, factor)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s/%s: %w", b.Name, k.Name, err)
-			}
+		ck, err := compileKernel(b, i, a, opts, schedOpts, base)
+		if err != nil {
+			return nil, err
 		}
-		sch, err := sched.Compile(body, cfg.WithL0Entries(archEntries(a, cfg)), schedOpts)
+		base += ck.baseDelta
+		prog, err := vliw.NewProgram(ck.sch)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s/%s: %w", b.Name, k.Name, err)
 		}
-		if opts.ConservativeFallback && a == ArchL0 {
-			cons, err := conservativeIfFaster(body, cfg, schedOpts, sch)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %s/%s: %w", b.Name, k.Name, err)
-			}
-			sch = cons
-		}
-		progs = append(progs, compiled{k: k, sch: sch, factor: factor})
+		progs = append(progs, compiled{k: k, sch: ck.sch, prog: prog, factor: ck.factor})
 	}
 
 	var weightSum, unrollWeighted int64
@@ -262,7 +249,7 @@ func RunBenchmark(b *workload.Benchmark, a Arch, opts Options) (*BenchResult, er
 			checkCost = 4
 		}
 		for inv := int64(0); inv < p.k.Invocations; inv++ {
-			r, err := vliw.RunAt(p.sch, model, res.Clock)
+			r, err := p.prog.RunAt(model, res.Clock)
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s/%s: %w", b.Name, p.k.Name, err)
 			}
@@ -321,10 +308,14 @@ func conservativeIfFaster(body *ir.Loop, cfg arch.Config, l0Opts sched.Options, 
 		return nil, err
 	}
 	trial := func(sch *sched.Schedule, entries int) (int64, error) {
+		prog, err := vliw.NewProgram(sch)
+		if err != nil {
+			return 0, err
+		}
 		sys := mem.NewSystem(cfg.WithL0Entries(entries))
 		var clock, total int64
 		for i := 0; i < 2; i++ {
-			r, err := vliw.RunAt(sch, sys, clock)
+			r, err := prog.RunAt(sys, clock)
 			if err != nil {
 				return 0, err
 			}

@@ -26,29 +26,44 @@ type WirePoint struct {
 // measuring how much the L0 buffers recover at each point. The benefit
 // should grow monotonically with the wire delay.
 func WireSweep(latencies []int, entries int) ([]WirePoint, error) {
-	var out []WirePoint
-	for _, lat := range latencies {
+	return WireSweepCfg(DefaultRunConfig(), latencies, entries)
+}
+
+// WireSweepCfg is WireSweep under an explicit engine configuration: one job
+// per latency × benchmark × {base, l0, l0-adaptive}.
+func WireSweepCfg(rc RunConfig, latencies []int, entries int) ([]WirePoint, error) {
+	suite := workload.Suite()
+	const variants = 3
+	stride := len(suite) * variants
+	results, err := forEachJob(rc, len(latencies)*stride, func(i int) (*BenchResult, error) {
 		cfg := arch.MICRO36Config().WithL0Entries(entries)
-		cfg.L1Latency = lat
-		var sum, sumAd float64
-		for _, b := range workload.Suite() {
-			baseRes, err := RunBenchmark(b, ArchBase, Options{Cfg: cfg})
-			if err != nil {
-				return nil, err
-			}
-			l0Res, err := RunBenchmark(b, ArchL0, Options{Cfg: cfg})
-			if err != nil {
-				return nil, err
-			}
-			adRes, err := RunBenchmark(b, ArchL0, Options{Cfg: cfg,
-				Sched: sched.Options{AdaptivePrefetchDistance: true}})
-			if err != nil {
-				return nil, err
-			}
-			sum += float64(l0Res.Total) / float64(baseRes.Total)
-			sumAd += float64(adRes.Total) / float64(baseRes.Total)
+		cfg.L1Latency = latencies[i/stride]
+		b := suite[(i%stride)/variants]
+		opts := rc.options(cfg)
+		switch i % variants {
+		case 0:
+			return RunBenchmark(b, ArchBase, opts)
+		case 1:
+			return RunBenchmark(b, ArchL0, opts)
+		default:
+			opts.Sched = sched.Options{AdaptivePrefetchDistance: true}
+			return RunBenchmark(b, ArchL0, opts)
 		}
-		n := float64(len(workload.Suite()))
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []WirePoint
+	for li, lat := range latencies {
+		var sum, sumAd float64
+		for bi := range suite {
+			base := results[li*stride+bi*variants]
+			l0 := results[li*stride+bi*variants+1]
+			ad := results[li*stride+bi*variants+2]
+			sum += float64(l0.Total) / float64(base.Total)
+			sumAd += float64(ad.Total) / float64(base.Total)
+		}
+		n := float64(len(suite))
 		out = append(out, WirePoint{L1Latency: lat, AMean: sum / n, AMeanAdaptive: sumAd / n})
 	}
 	return out, nil

@@ -8,47 +8,52 @@ import (
 
 // mrt is the modulo reservation table: per schedule row (cycle mod II), the
 // functional units in use per cluster and the inter-cluster buses in use.
+// The unit table is a flat slice (row-major by row, then cluster) so the
+// placement inner loops stay in one allocation.
 type mrt struct {
 	ii  int
 	cfg arch.Config
-	// units[row][cluster][kind] = slots in use.
-	units [][][arch.NumUnitKinds]int
+	// units[row*clusters+cluster][kind] = slots in use.
+	units [][arch.NumUnitKinds]int
 	// bus[row] = buses in use.
 	bus []int
 	// occupancy[cluster] = total reserved unit slots, for load balancing.
 	occupancy []int
 }
 
-func newMRT(ii int, cfg arch.Config) *mrt {
-	m := &mrt{
-		ii:        ii,
-		cfg:       cfg,
-		units:     make([][][arch.NumUnitKinds]int, ii),
-		bus:       make([]int, ii),
-		occupancy: make([]int, cfg.Clusters),
-	}
-	for r := range m.units {
-		m.units[r] = make([][arch.NumUnitKinds]int, cfg.Clusters)
-	}
-	return m
+// reset re-dimensions the table for a new II attempt, reusing the backing
+// arrays across the II search.
+func (m *mrt) reset(ii int, cfg arch.Config) {
+	m.ii = ii
+	m.cfg = cfg
+	m.units = resizeFilled(m.units, ii*cfg.Clusters, [arch.NumUnitKinds]int{})
+	m.bus = resizeFilled(m.bus, ii, 0)
+	m.occupancy = resizeFilled(m.occupancy, cfg.Clusters, 0)
 }
 
 // unitFree reports whether a unit of the given kind is free in cluster at
 // the flat cycle.
 func (m *mrt) unitFree(cycle, cluster int, kind arch.UnitKind) bool {
 	row := mod(cycle, m.ii)
-	return m.units[row][cluster][kind] < m.cfg.UnitsPerCluster[kind]
+	return m.units[row*m.cfg.Clusters+cluster][kind] < m.cfg.UnitsPerCluster[kind]
 }
 
 func (m *mrt) reserveUnit(cycle, cluster int, kind arch.UnitKind) {
 	row := mod(cycle, m.ii)
-	m.units[row][cluster][kind]++
+	m.units[row*m.cfg.Clusters+cluster][kind]++
 	m.occupancy[cluster]++
 }
 
+func (m *mrt) releaseUnit(cycle, cluster int, kind arch.UnitKind) {
+	row := mod(cycle, m.ii)
+	m.units[row*m.cfg.Clusters+cluster][kind]--
+	m.occupancy[cluster]--
+}
+
 // busFree reports whether a bus is free for the CommLatency cycles starting
-// at the flat cycle, accounting for transfers already holding rows.
-func (m *mrt) busFree(cycle int, extra map[int]int) bool {
+// at the flat cycle, accounting for transfers already holding rows (extra is
+// a dense per-row hold count, len == ii).
+func (m *mrt) busFree(cycle int, extra []int) bool {
 	for k := 0; k < m.cfg.CommLatency; k++ {
 		row := mod(cycle+k, m.ii)
 		if m.bus[row]+extra[row] >= m.cfg.CommBuses {
@@ -64,9 +69,9 @@ func (m *mrt) reserveBus(cycle int) {
 	}
 }
 
-// holdRows records a tentative bus reservation into extra (used while
-// evaluating one placement before committing).
-func holdRows(extra map[int]int, cycle, commLat, ii int) {
+// holdRows records a tentative bus reservation into the dense extra table
+// (used while evaluating one placement before committing).
+func holdRows(extra []int, cycle, commLat, ii int) {
 	for k := 0; k < commLat; k++ {
 		extra[mod(cycle+k, ii)]++
 	}

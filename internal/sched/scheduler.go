@@ -70,7 +70,9 @@ type commRec struct {
 	refs     int
 }
 
-// state carries one try_schedule attempt.
+// state carries one try_schedule attempt. It is allocated once per Compile
+// and re-prepared for every II candidate, so the scratch slices below are
+// reused across II retries instead of reallocated.
 type state struct {
 	cfg  arch.Config
 	opts Options
@@ -78,7 +80,7 @@ type state struct {
 	als  *alias.Result
 	g    *ddg.Graph
 	ii   int
-	m    *mrt
+	m    mrt
 
 	placed []Placed
 	done   []bool
@@ -87,8 +89,10 @@ type state struct {
 	// modulo scheduling).
 	prevCycle []int
 
-	comms       []commRec
-	commsByProd map[int][]int
+	comms []commRec
+	// commsByProd lists, per producer node, the indices of its scheduled
+	// broadcasts (dense, indexed by node ID).
+	commsByProd [][]int
 	// nodeComms lists, per node, the comm indices its placement holds.
 	nodeComms [][]int
 
@@ -101,6 +105,77 @@ type state struct {
 	setScheme  []CoherenceScheme
 	setDecided []bool
 	setHome    []int
+
+	// Per-call scratch (never holds state across calls).
+	busHold    []int  // planComms tentative bus holds, len == ii
+	usedRepl   []bool // allowedClusters PSR occupancy, len == Clusters
+	costMark   []int  // commCost dedup epochs, len == n
+	costEpoch  int
+	clusterBuf []int         // allowedClusters result buffer
+	scoredBuf  []scored      // orderedClusters sort buffer
+	orderBuf   []int         // orderedClusters result buffer
+	cycleBuf   []int         // window result buffer
+	candBuf    []int         // assignLatencies candidate buffer
+	pendBuf    []pendingComm // planComms result buffer
+}
+
+// scored ranks one candidate cluster in orderedClusters.
+type scored struct {
+	c               int
+	rec, l0         int // 0 preferred
+	comm, occupancy int
+}
+
+// prepare resets the state for one II attempt, reusing scratch capacity.
+func (s *state) prepare(ii int) {
+	n := len(s.loop.Instrs)
+	s.ii = ii
+	s.m.reset(ii, s.cfg)
+
+	s.placed = resizeFilled(s.placed, n, Placed{})
+	s.done = resizeFilled(s.done, n, false)
+	s.prevCycle = resizeFilled(s.prevCycle, n, -1)
+	s.comms = s.comms[:0]
+	s.commsByProd = resizeClearedLists(s.commsByProd, n)
+	s.nodeComms = resizeClearedLists(s.nodeComms, n)
+	s.recommended = resizeFilled(s.recommended, n, -1)
+	s.intentL0 = resizeFilled(s.intentL0, n, false)
+
+	s.busHold = resizeFilled(s.busHold, ii, 0)
+	s.usedRepl = resizeFilled(s.usedRepl, s.cfg.Clusters, false)
+	s.costMark = resizeFilled(s.costMark, n, 0)
+	s.costEpoch = 0
+
+	nSets := len(s.als.Sets)
+	s.setScheme = resizeFilled(s.setScheme, nSets, SchemeFree)
+	s.setDecided = resizeFilled(s.setDecided, nSets, false)
+	s.setHome = resizeFilled(s.setHome, nSets, -1)
+}
+
+// resizeFilled returns s re-dimensioned to n elements, each set to v,
+// reusing the backing array across II retries when capacity allows.
+func resizeFilled[T any](s []T, n int, v T) []T {
+	if cap(s) < n {
+		s = make([]T, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// resizeClearedLists re-dimensions a slice-of-slices, truncating each inner
+// slice in place so its capacity is reused.
+func resizeClearedLists(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		return make([][]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
 }
 
 // Compile modulo-schedules the loop for the given machine.
@@ -125,8 +200,9 @@ func Compile(loop *ir.Loop, cfg arch.Config, opts Options) (*Schedule, error) {
 	if maxII == 0 {
 		maxII = mii*4 + 64
 	}
+	s := &state{cfg: cfg, opts: opts, loop: loop, als: als, g: g}
 	for ii := mii; ii <= maxII; ii++ {
-		s := &state{cfg: cfg, opts: opts, loop: loop, als: als, g: g, ii: ii}
+		s.prepare(ii)
 		if sch := s.trySchedule(); sch != nil {
 			if opts.RegistersPerCluster > 0 && !FitsRegisterFile(sch, opts.RegistersPerCluster) {
 				resetLatencies(g, loop, cfg, opts)
@@ -168,20 +244,6 @@ func resetLatencies(g *ddg.Graph, loop *ir.Loop, cfg arch.Config, opts Options) 
 // resolve instead of wedging the II search.
 func (s *state) trySchedule() *Schedule {
 	n := len(s.loop.Instrs)
-	s.m = newMRT(s.ii, s.cfg)
-	s.placed = make([]Placed, n)
-	s.done = make([]bool, n)
-	s.prevCycle = make([]int, n)
-	for i := range s.prevCycle {
-		s.prevCycle[i] = -1
-	}
-	s.commsByProd = map[int][]int{}
-	s.nodeComms = make([][]int, n)
-	s.recommended = make([]int, n)
-	for i := range s.recommended {
-		s.recommended[i] = -1
-	}
-	s.intentL0 = make([]bool, n)
 
 	// ➊ initialise num_free_L0_entries. One entry per cluster is held
 	// back as prefetch headroom when buffers are very small: a marked
@@ -190,7 +252,7 @@ func (s *state) trySchedule() *Schedule {
 	// thrash on 2-entry buffers. Larger buffers keep the paper's
 	// optimistic one-entry-per-load accounting (which is precisely what
 	// lets prefetches evict live subblocks in jpegdec at 4 entries).
-	s.freeL0 = make([]int, s.cfg.Clusters)
+	s.freeL0 = resizeFilled(s.freeL0, s.cfg.Clusters, 0)
 	if s.opts.UseL0 && s.cfg.HasL0() {
 		entries := s.cfg.L0Entries
 		if entries == 2 {
@@ -205,13 +267,8 @@ func (s *state) trySchedule() *Schedule {
 		s.totalFree = saturatingAdd(s.totalFree, f)
 	}
 
-	// ➌ coherence bookkeeping per memory-dependent set.
-	s.setScheme = make([]CoherenceScheme, len(s.als.Sets))
-	s.setDecided = make([]bool, len(s.als.Sets))
-	s.setHome = make([]int, len(s.als.Sets))
-	for i := range s.setHome {
-		s.setHome[i] = -1
-	}
+	// ➌ coherence bookkeeping per memory-dependent set (slices cleared
+	// by prepare).
 	for i := range s.als.Sets {
 		if !s.als.SetHasLoadAndStore(s.loop, i) {
 			s.setScheme[i] = SchemeFree
@@ -409,26 +466,31 @@ func (s *state) fitsSubblock(in *ir.Instr) bool {
 // 1C stores must go to the set's home cluster; PSR replicas must occupy
 // distinct clusters.
 func (s *state) allowedClusters(in *ir.Instr) []int {
-	all := make([]int, s.cfg.Clusters)
-	for i := range all {
-		all[i] = i
+	all := s.clusterBuf[:0]
+	for i := 0; i < s.cfg.Clusters; i++ {
+		all = append(all, i)
 	}
+	s.clusterBuf = all
 	if in.Op != ir.OpStore {
 		return all
 	}
 	if in.ReplicaGroup != 0 {
-		used := map[int]bool{}
+		used := s.usedRepl
+		for i := range used {
+			used[i] = false
+		}
 		for _, other := range s.loop.Instrs {
 			if other.ReplicaGroup == in.ReplicaGroup && other.ID != in.ID && s.done[other.ID] {
 				used[s.placed[other.ID].Cluster] = true
 			}
 		}
-		var out []int
-		for _, c := range all {
+		out := all[:0]
+		for c := 0; c < s.cfg.Clusters; c++ {
 			if !used[c] {
 				out = append(out, c)
 			}
 		}
+		s.clusterBuf = out
 		return out
 	}
 	if si := s.als.SetOf[in.ID]; si >= 0 && s.setScheme[si] == Scheme1C {
@@ -445,18 +507,13 @@ func (s *state) allowedClusters(in *ir.Instr) []int {
 // clusters where the instruction can be scheduled with the L0 latency.
 func (s *state) orderedClusters(in *ir.Instr) []int {
 	clusters := s.allowedClusters(in)
-	type scored struct {
-		c               int
-		rec, l0         int // 0 preferred
-		comm, occupancy int
-	}
 	pref := -1
 	if s.recommended[in.ID] != -1 {
 		pref = s.recommended[in.ID]
 	} else if s.opts.PreferredClusterFn != nil && in.Op.IsMemRef() {
 		pref = s.opts.PreferredClusterFn(in)
 	}
-	list := make([]scored, 0, len(clusters))
+	list := s.scoredBuf[:0]
 	for _, c := range clusters {
 		sc := scored{c: c, rec: 1, l0: 1}
 		if pref == c {
@@ -469,6 +526,7 @@ func (s *state) orderedClusters(in *ir.Instr) []int {
 		sc.occupancy = s.m.occupancy[c]
 		list = append(list, sc)
 	}
+	s.scoredBuf = list
 	mem := in.Op.IsMemRef()
 	sort.Slice(list, func(i, j int) bool {
 		a, b := list[i], list[j]
@@ -488,10 +546,11 @@ func (s *state) orderedClusters(in *ir.Instr) []int {
 		}
 		return a.c < b.c
 	})
-	out := make([]int, len(list))
-	for i, sc := range list {
-		out[i] = sc.c
+	out := s.orderBuf[:0]
+	for _, sc := range list {
+		out = append(out, sc.c)
 	}
+	s.orderBuf = out
 	return out
 }
 
@@ -499,10 +558,11 @@ func (s *state) orderedClusters(in *ir.Instr) []int {
 // in a different cluster than c.
 func (s *state) commCost(in *ir.Instr, c int) int {
 	cost := 0
-	seen := map[int]bool{}
+	s.costEpoch++
+	epoch := s.costEpoch
 	count := func(other int) {
-		if s.done[other] && !seen[other] && s.placed[other].Cluster != c {
-			seen[other] = true
+		if s.done[other] && s.costMark[other] != epoch && s.placed[other].Cluster != c {
+			s.costMark[other] = epoch
 			cost++
 		}
 	}
@@ -572,7 +632,7 @@ func (s *state) window(in *ir.Instr, c, lat int) []int {
 	if estart < 0 {
 		estart = 0
 	}
-	var cycles []int
+	cycles := s.cycleBuf[:0]
 	switch {
 	case hasSuccs && !hasPreds:
 		lo := latest - s.ii + 1
@@ -596,6 +656,7 @@ func (s *state) window(in *ir.Instr, c, lat int) []int {
 			cycles = append(cycles, t)
 		}
 	}
+	s.cycleBuf = cycles
 	return cycles
 }
 
@@ -618,12 +679,16 @@ func (s *state) tryPlace(in *ir.Instr, c, lat int, useL0 bool) bool {
 }
 
 // planComms finds bus slots (or reusable broadcasts) for every cross-cluster
-// register dependence of `in` placed at (c, t).
+// register dependence of `in` placed at (c, t). The tentative bus-hold table
+// is the state's dense scratch, cleared on entry.
 func (s *state) planComms(in *ir.Instr, c, t, lat int) ([]pendingComm, bool) {
 	id := in.ID
 	commLat := s.cfg.CommLatency
-	extra := map[int]int{}
-	var pend []pendingComm
+	extra := s.busHold
+	for i := range extra {
+		extra[i] = 0
+	}
+	pend := s.pendBuf[:0]
 	for _, ei := range s.g.InEdges(id) {
 		e := s.g.Edges[ei]
 		if e.Kind != ddg.DepReg || !s.done[e.From] || e.From == id {
@@ -637,6 +702,7 @@ func (s *state) planComms(in *ir.Instr, c, t, lat int) ([]pendingComm, bool) {
 		ready := p.Cycle + p.Latency
 		pc, ok := s.findComm(e.From, ready, deadline, extra, pend)
 		if !ok {
+			s.pendBuf = pend
 			return nil, false
 		}
 		pend = append(pend, pc)
@@ -654,10 +720,12 @@ func (s *state) planComms(in *ir.Instr, c, t, lat int) ([]pendingComm, bool) {
 		ready := t + lat
 		pc, ok := s.findComm(id, ready, deadline, extra, pend)
 		if !ok {
+			s.pendBuf = pend
 			return nil, false
 		}
 		pend = append(pend, pc)
 	}
+	s.pendBuf = pend
 	return pend, true
 }
 
@@ -667,7 +735,7 @@ func (s *state) planComms(in *ir.Instr, c, t, lat int) ([]pendingComm, bool) {
 // than `ready`: after an eviction re-places the producer, stale broadcasts
 // scheduled before the value exists would otherwise carry the previous
 // iteration's value.
-func (s *state) findComm(producer, ready, deadline int, extra map[int]int, pend []pendingComm) (pendingComm, bool) {
+func (s *state) findComm(producer, ready, deadline int, extra []int, pend []pendingComm) (pendingComm, bool) {
 	for _, ci := range s.commsByProd[producer] {
 		cr := &s.comms[ci]
 		if cr.refs > 0 && cr.cycle >= ready && cr.cycle <= deadline {
@@ -746,9 +814,7 @@ func (s *state) evict(id int) {
 		return
 	}
 	p := &s.placed[id]
-	row := mod(p.Cycle, s.ii)
-	s.m.units[row][p.Cluster][unitKindOf(p.Instr.Op)]--
-	s.m.occupancy[p.Cluster]--
+	s.m.releaseUnit(p.Cycle, p.Cluster, unitKindOf(p.Instr.Op))
 	for _, ci := range s.nodeComms[id] {
 		cr := &s.comms[ci]
 		cr.refs--
@@ -969,7 +1035,7 @@ func (s *state) assignLatencies(nFree int) {
 	if !s.opts.UseL0 || !s.cfg.HasL0() {
 		return
 	}
-	var cands []int
+	cands := s.candBuf[:0]
 	for _, in := range s.loop.Instrs {
 		if s.done[in.ID] || !in.IsCandidate() || in.Op != ir.OpLoad || !s.fitsSubblock(in) {
 			continue
@@ -979,6 +1045,7 @@ func (s *state) assignLatencies(nFree int) {
 		}
 		cands = append(cands, in.ID)
 	}
+	s.candBuf = cands
 	if s.opts.MarkAllCandidates {
 		for _, id := range cands {
 			s.intentL0[id] = true

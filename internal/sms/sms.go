@@ -5,6 +5,11 @@
 // is ordered adjacent to already-ordered neighbours, which lets the scheduler
 // place it close to them and keeps both the initiation interval and register
 // pressure low.
+//
+// The implementation is allocation-light: node sets, frontiers and the
+// Bellman-Ford state of the recurrence-MII search are dense slices indexed by
+// node ID rather than maps, because Order runs once per candidate initiation
+// interval and sits on the scheduler's hot path.
 package sms
 
 import (
@@ -20,46 +25,43 @@ func Order(g *ddg.Graph, ii int) []int {
 	if n == 0 {
 		return nil
 	}
-	est := g.Estart(ii)
-	lst := g.Lstart(ii)
+	est, lst := g.EstartLstart(ii)
 
 	sets := prioritySets(g)
 
 	ordered := make([]bool, n)
-	var order []int
+	order := make([]int, 0, n)
 
-	appendNode := func(v int) {
-		if !ordered[v] {
-			ordered[v] = true
-			order = append(order, v)
-		}
-	}
+	// Dense per-set scratch, reset between sets by sweeping the set list.
+	inSet := make([]bool, n)
+	frontier := make([]bool, n)
 
 	for _, set := range sets {
-		inSet := make(map[int]bool, len(set))
 		for _, v := range set {
 			inSet[v] = true
 		}
-		remaining := len(set)
+		remaining := 0
 		for _, v := range set {
-			if ordered[v] {
-				remaining--
+			if !ordered[v] {
+				remaining++
 			}
 		}
 		for remaining > 0 {
 			// Seed the working frontier from already-ordered
 			// neighbours; default to the set's most critical node.
-			frontier, dir := seedFrontier(g, set, inSet, ordered, est)
-			for len(frontier) > 0 {
+			nFront, dir := seedFrontier(g, set, inSet, ordered, est, frontier)
+			for nFront > 0 {
 				var v int
 				if dir == topDown {
-					v = pickMin(frontier, lst, est)
+					v = pickMin(set, frontier, lst, est)
 				} else {
-					v = pickMax(frontier, est, lst)
+					v = pickMax(set, frontier, est, lst)
 				}
-				appendNode(v)
+				ordered[v] = true
+				order = append(order, v)
 				remaining--
-				delete(frontier, v)
+				frontier[v] = false
+				nFront--
 				var next []int
 				if dir == topDown {
 					next = g.Succs(v)
@@ -67,11 +69,15 @@ func Order(g *ddg.Graph, ii int) []int {
 					next = g.Preds(v)
 				}
 				for _, u := range next {
-					if inSet[u] && !ordered[u] {
+					if inSet[u] && !ordered[u] && !frontier[u] {
 						frontier[u] = true
+						nFront++
 					}
 				}
 			}
+		}
+		for _, v := range set {
+			inSet[v] = false
 		}
 	}
 	return order
@@ -84,40 +90,49 @@ const (
 	bottomUp
 )
 
-// seedFrontier builds the initial frontier for one sweep over a set: nodes
-// of the set that are successors (top-down) or predecessors (bottom-up) of
-// the already-ordered nodes; if neither exists, the single most critical
-// unordered node of the set.
-func seedFrontier(g *ddg.Graph, set []int, inSet map[int]bool, ordered []bool, est []int) (map[int]bool, direction) {
-	succ := map[int]bool{}
-	pred := map[int]bool{}
+// seedFrontier fills `frontier` (dense, assumed all-false on entry) with the
+// initial sweep frontier for one set: nodes of the set that are successors
+// (top-down) or predecessors (bottom-up) of the already-ordered nodes; if
+// neither exists, the sources of the set, or its single most critical node.
+// Returns the frontier size and sweep direction.
+func seedFrontier(g *ddg.Graph, set []int, inSet, ordered []bool, est []int, frontier []bool) (int, direction) {
+	// Successors of ordered nodes first; fall back to predecessors.
+	nSucc := 0
 	for v := 0; v < g.N(); v++ {
 		if !ordered[v] {
 			continue
 		}
 		for _, u := range g.Succs(v) {
-			if inSet[u] && !ordered[u] {
-				succ[u] = true
+			if inSet[u] && !ordered[u] && !frontier[u] {
+				frontier[u] = true
+				nSucc++
 			}
+		}
+	}
+	if nSucc > 0 {
+		return nSucc, topDown
+	}
+	nPred := 0
+	for v := 0; v < g.N(); v++ {
+		if !ordered[v] {
+			continue
 		}
 		for _, u := range g.Preds(v) {
-			if inSet[u] && !ordered[u] {
-				pred[u] = true
+			if inSet[u] && !ordered[u] && !frontier[u] {
+				frontier[u] = true
+				nPred++
 			}
 		}
 	}
-	if len(succ) > 0 {
-		return succ, topDown
-	}
-	if len(pred) > 0 {
-		return pred, bottomUp
+	if nPred > 0 {
+		return nPred, bottomUp
 	}
 	// Fresh component: seed with every source of the set (nodes without
 	// predecessors inside the set), sweeping top-down. Seeding all
 	// sources is essential: it keeps every operand producer ahead of its
 	// consumer in the order, so the placement phase never wedges a
 	// producer into an empty window below an already-placed consumer.
-	sources := map[int]bool{}
+	nSrc := 0
 	for _, v := range set {
 		if ordered[v] {
 			continue
@@ -130,11 +145,12 @@ func seedFrontier(g *ddg.Graph, set []int, inSet map[int]bool, ordered []bool, e
 			}
 		}
 		if !hasPred {
-			sources[v] = true
+			frontier[v] = true
+			nSrc++
 		}
 	}
-	if len(sources) > 0 {
-		return sources, topDown
+	if nSrc > 0 {
+		return nSrc, topDown
 	}
 	// Pure cycle (recurrence without sources): start from the most
 	// critical node.
@@ -148,17 +164,22 @@ func seedFrontier(g *ddg.Graph, set []int, inSet map[int]bool, ordered []bool, e
 		}
 	}
 	if best == -1 {
-		return map[int]bool{}, topDown
+		return 0, topDown
 	}
-	return map[int]bool{best: true}, topDown
+	frontier[best] = true
+	return 1, topDown
 }
 
 // pickMin selects the frontier node with the lowest primary value (Lstart
 // for top-down sweeps), breaking ties by highest secondary (deeper nodes
-// first) then lowest ID for determinism.
-func pickMin(frontier map[int]bool, primary, secondary []int) int {
+// first) then lowest ID for determinism. The frontier is scanned through the
+// set list, which visits node IDs in ascending order.
+func pickMin(set []int, frontier []bool, primary, secondary []int) int {
 	best := -1
-	for v := range frontier {
+	for _, v := range set {
+		if !frontier[v] {
+			continue
+		}
 		if best == -1 {
 			best = v
 			continue
@@ -177,9 +198,12 @@ func pickMin(frontier map[int]bool, primary, secondary []int) int {
 
 // pickMax selects the frontier node with the highest primary value (Estart
 // for bottom-up sweeps), ties by lowest secondary then lowest ID.
-func pickMax(frontier map[int]bool, primary, secondary []int) int {
+func pickMax(set []int, frontier []bool, primary, secondary []int) int {
 	best := -1
-	for v := range frontier {
+	for _, v := range set {
+		if !frontier[v] {
+			continue
+		}
 		if best == -1 {
 			best = v
 			continue
@@ -222,13 +246,13 @@ func prioritySets(g *ddg.Graph) [][]int {
 
 	n := g.N()
 	placed := make([]bool, n)
+	inSet := make([]bool, n)
 	var sets [][]int
 	var unionSoFar []int
 	for _, r := range recs {
-		set := map[int]bool{}
 		for _, v := range r.nodes {
 			if !placed[v] {
-				set[v] = true
+				inSet[v] = true
 			}
 		}
 		// Nodes on paths between previous sets and this recurrence:
@@ -240,19 +264,21 @@ func prioritySets(g *ddg.Graph) [][]int {
 			prevDesc := reach(g, unionSoFar, true)
 			prevAnc := reach(g, unionSoFar, false)
 			for v := 0; v < n; v++ {
-				if placed[v] || set[v] {
+				if placed[v] || inSet[v] {
 					continue
 				}
 				if (anc[v] && prevDesc[v]) || (desc[v] && prevAnc[v]) {
-					set[v] = true
+					inSet[v] = true
 				}
 			}
 		}
 		var list []int
-		for v := range set {
-			list = append(list, v)
+		for v := 0; v < n; v++ {
+			if inSet[v] {
+				list = append(list, v)
+				inSet[v] = false
+			}
 		}
-		sort.Ints(list)
 		if len(list) > 0 {
 			sets = append(sets, list)
 			for _, v := range list {
@@ -290,38 +316,42 @@ func isRecurrence(g *ddg.Graph, comp []int) bool {
 
 // componentRecMII returns the minimum II feasible for the cycles inside one
 // SCC: the smallest ii such that the subgraph has no positive cycle with
-// weights latency − ii·distance.
+// weights latency − ii·distance. The component's edges are collected once
+// and the Bellman-Ford distance slice is reused across II candidates.
 func componentRecMII(g *ddg.Graph, comp []int) int {
-	in := map[int]bool{}
+	in := make([]bool, g.N())
 	for _, v := range comp {
 		in[v] = true
 	}
+	var edges []int
 	hi := 1
 	for ei, e := range g.Edges {
 		if in[e.From] && in[e.To] {
+			edges = append(edges, ei)
 			hi += g.Latency(ei)
 		}
 	}
+	dist := make([]int64, g.N())
 	for ii := 1; ii <= hi; ii++ {
-		if !hasPositiveCycleIn(g, in, ii) {
+		if !hasPositiveCycleIn(g, comp, edges, dist, ii) {
 			return ii
 		}
 	}
 	return hi
 }
 
-func hasPositiveCycleIn(g *ddg.Graph, in map[int]bool, ii int) bool {
-	dist := map[int]int64{}
-	for v := range in {
+// hasPositiveCycleIn runs Bellman-Ford longest-path relaxation restricted to
+// the component's nodes and edges: a further improvement after |comp| rounds
+// implies a positive cycle at this II. dist is caller-provided scratch
+// indexed by node ID; only the component's entries are touched.
+func hasPositiveCycleIn(g *ddg.Graph, comp []int, edges []int, dist []int64, ii int) bool {
+	for _, v := range comp {
 		dist[v] = 0
 	}
-	n := len(in)
-	for iter := 0; iter < n; iter++ {
+	for iter := 0; iter < len(comp); iter++ {
 		changed := false
-		for ei, e := range g.Edges {
-			if !in[e.From] || !in[e.To] {
-				continue
-			}
+		for _, ei := range edges {
+			e := &g.Edges[ei]
 			w := int64(g.Latency(ei)) - int64(ii)*int64(e.Distance)
 			if d := dist[e.From] + w; d > dist[e.To] {
 				dist[e.To] = d
@@ -332,10 +362,8 @@ func hasPositiveCycleIn(g *ddg.Graph, in map[int]bool, ii int) bool {
 			return false
 		}
 	}
-	for ei, e := range g.Edges {
-		if !in[e.From] || !in[e.To] {
-			continue
-		}
+	for _, ei := range edges {
+		e := &g.Edges[ei]
 		w := int64(g.Latency(ei)) - int64(ii)*int64(e.Distance)
 		if dist[e.From]+w > dist[e.To] {
 			return true

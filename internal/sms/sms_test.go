@@ -128,8 +128,13 @@ func TestAdjacencyProperty(t *testing.T) {
 		// Source nodes (no predecessors) are seeded together and are
 		// exempt; every other node must touch the ordered prefix.
 		if i > 0 && len(g.Preds(v)) > 0 {
+			// Preds/Succs return shared cache slices: concatenate
+			// into a fresh slice rather than appending in place.
+			neighbours := make([]int, 0, len(g.Preds(v))+len(g.Succs(v)))
+			neighbours = append(neighbours, g.Preds(v)...)
+			neighbours = append(neighbours, g.Succs(v)...)
 			hasNeighbor := false
-			for _, u := range append(g.Preds(v), g.Succs(v)...) {
+			for _, u := range neighbours {
 				if ordered[u] {
 					hasNeighbor = true
 				}

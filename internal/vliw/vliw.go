@@ -11,8 +11,8 @@
 package vliw
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/ir"
@@ -49,10 +49,25 @@ type Result struct {
 type memOp struct {
 	kind    opKind
 	placed  *sched.Placed
-	pf      *sched.Prefetch
 	forMem  *ir.MemAccess // address stream (prefetches use the served load's)
-	cycle   int           // flat schedule cycle of iteration 0
 	cluster int
+	// cycle is the op's flat schedule cycle for iteration 0 (the placed
+	// instruction's slot, or the prefetch's own slot).
+	cycle int
+	// q/r decompose cycle as cycle = q·II + r: the op's dynamic instance
+	// for iteration k fires at absolute cycle r + (q+k)·II, i.e. in
+	// period q+k at row r. Filled in by NewProgram.
+	q, r int
+	// iterOffset shifts the address-stream index (prefetches run
+	// Distance iterations ahead of the load they serve).
+	iterOffset int64
+	// affine strength-reduction: when affine is true the op's address for
+	// iteration k is addr0 + k·step and the engine advances an
+	// incremental address cursor instead of recomputing
+	// base + stride·index with multiplies every firing.
+	affine bool
+	addr0  int64
+	step   int64
 }
 
 type opKind uint8
@@ -63,28 +78,61 @@ const (
 	opPrefetch
 )
 
-// event is one dynamic instance of a memOp.
-type event struct {
-	time int64 // scheduled (pre-stall) time: cycle + iter*II
-	op   int
-	iter int64
+// Program is the executable form of one schedule: the memory operations with
+// precomputed periodic firing rows and strength-reduced address streams. A
+// Program is built once per kernel and reused across invocations; it carries
+// per-run scratch, so a Program must not be shared between goroutines (build
+// one per worker — construction is cheap).
+type Program struct {
+	sch  *sched.Schedule
+	ops  []memOp
+	maxQ int
+	// cur is the per-op incremental address cursor (affine ops only),
+	// reset at the start of every run.
+	cur []int64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// NewProgram compiles a schedule into its executable form and validates that
+// every referenced array has been given a base address.
+func NewProgram(sch *sched.Schedule) (*Program, error) {
+	ops, err := collectOps(sch)
+	if err != nil {
+		return nil, err
 	}
-	if h[i].op != h[j].op {
-		return h[i].op < h[j].op
+	p := &Program{sch: sch, ops: ops, cur: make([]int64, len(ops))}
+	ii := sch.II
+	for i := range p.ops {
+		op := &p.ops[i]
+		op.q, op.r = op.cycle/ii, op.cycle%ii
+		if op.q > p.maxQ {
+			p.maxQ = op.q
+		}
+		op.affine, op.addr0, op.step = affineStream(op.forMem)
+		if op.affine {
+			op.addr0 += op.iterOffset * op.step
+		}
 	}
-	return h[i].iter < h[j].iter
+	// Fire order within one period: by row, ties by op index (the same
+	// (time, op) order the event heap produced).
+	sort.SliceStable(p.ops, func(a, b int) bool { return p.ops[a].r < p.ops[b].r })
+	return p, nil
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// affineStream reduces an access to addr(k) = addr0 + k·step when the stream
+// is affine in the iteration counter. Periodic (IndexPeriod) and scrambled
+// accesses are not affine and fall back to AddrAt.
+func affineStream(m *ir.MemAccess) (ok bool, addr0, step int64) {
+	if m.IndexPeriod > 1 || m.Scramble != 0 {
+		return false, 0, 0
+	}
+	step = m.Stride
+	addr0 = m.Array.Base + m.Offset
+	if m.PhaseFactor > 1 {
+		addr0 += m.Stride * int64(m.PhaseOffset)
+		step = m.Stride * int64(m.PhaseFactor)
+	}
+	return true, addr0, step
+}
 
 // Run executes the schedule over its loop's trip count against the memory
 // model, with the program clock starting at zero.
@@ -95,61 +143,82 @@ func Run(sch *sched.Schedule, model MemoryModel) (Result, error) {
 // RunAt executes the schedule with the program clock starting at start
 // cycles: memory-model state (bus reservations, in-flight fills) carries
 // absolute times, so consecutive invocations of loops must advance the clock
-// monotonically rather than restart it.
+// monotonically rather than restart it. RunAt compiles a fresh Program per
+// call; callers running many invocations should build one Program and reuse
+// it.
 func RunAt(sch *sched.Schedule, model MemoryModel, start int64) (Result, error) {
+	p, err := NewProgram(sch)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.RunAt(model, start)
+}
+
+// RunAt executes the program against the memory model with the clock starting
+// at start cycles.
+//
+// The modulo schedule is periodic: the op whose iteration-0 slot is flat
+// cycle q·II + r fires for iteration k at scheduled cycle r + (q+k)·II. The
+// engine therefore walks periods in order and, inside each period, the ops in
+// precomputed row order — exactly the (time, op) order a global event queue
+// would produce, without the queue. Ops scheduled in the same cycle issue in
+// the same VLIW word: the lock-step machine stalls once for the worst
+// latecomer, so latency deficits within one cycle combine as a max.
+func (p *Program) RunAt(model MemoryModel, start int64) (Result, error) {
+	sch := p.sch
 	iters := sch.Loop.TripCount
 	if iters <= 0 {
 		return Result{}, fmt.Errorf("vliw: loop %q has no iterations", sch.Loop.Name)
 	}
-	ops, err := collectOps(sch)
-	if err != nil {
-		return Result{}, err
+	ii := int64(sch.II)
+	ops := p.ops
+	for i := range ops {
+		p.cur[i] = ops[i].addr0
 	}
 
 	shift := start // accumulated stall, offset by the clock origin
-	h := make(eventHeap, 0, len(ops))
-	for i := range ops {
-		h = append(h, event{time: int64(ops[i].cycle), op: i, iter: 0})
+	lastPeriod := int64(p.maxQ) + iters - 1
+	if len(ops) == 0 {
+		lastPeriod = -1
 	}
-	heap.Init(&h)
-
-	// Events with the same scheduled cycle issue in the same VLIW word:
-	// the lock-step machine stalls once for the worst latecomer, not once
-	// per late operation, so deficits within one cycle combine as a max.
-	var dyn int64
-	for h.Len() > 0 {
-		now := h[0].time
-		var maxDeficit int64
-		for h.Len() > 0 && h[0].time == now {
-			ev := heap.Pop(&h).(event)
-			op := &ops[ev.op]
-			dyn++
-			t := ev.time + shift
-			switch op.kind {
-			case opLoad:
-				addr := op.forMem.AddrAt(ev.iter)
-				ready := model.Load(op.cluster, addr, op.forMem.Width, op.placed.Hints, t)
-				if d := ready - (t + int64(op.placed.Latency)); d > maxDeficit {
-					maxDeficit = d
+	for period := int64(0); period <= lastPeriod; period++ {
+		for i := 0; i < len(ops); {
+			row := ops[i].r
+			rowTime := int64(row) + period*ii
+			var maxDeficit int64
+			for ; i < len(ops) && ops[i].r == row; i++ {
+				op := &ops[i]
+				k := period - int64(op.q)
+				if k < 0 || k >= iters {
+					continue
 				}
-			case opStore:
-				addr := op.forMem.AddrAt(ev.iter)
-				in := op.placed.Instr
-				secondary := in.ReplicaGroup != 0 && !in.PrimaryReplica
-				model.Store(op.cluster, addr, op.forMem.Width, op.placed.Hints, secondary, t)
-			case opPrefetch:
-				addr := op.forMem.AddrAt(ev.iter + int64(op.pf.Distance))
-				model.Prefetch(op.cluster, addr, t)
+				var addr int64
+				if op.affine {
+					addr = p.cur[i]
+					p.cur[i] += op.step
+				} else {
+					addr = op.forMem.AddrAt(k + op.iterOffset)
+				}
+				t := rowTime + shift
+				switch op.kind {
+				case opLoad:
+					ready := model.Load(op.cluster, addr, op.forMem.Width, op.placed.Hints, t)
+					if d := ready - (t + int64(op.placed.Latency)); d > maxDeficit {
+						maxDeficit = d
+					}
+				case opStore:
+					in := op.placed.Instr
+					secondary := in.ReplicaGroup != 0 && !in.PrimaryReplica
+					model.Store(op.cluster, addr, op.forMem.Width, op.placed.Hints, secondary, t)
+				case opPrefetch:
+					model.Prefetch(op.cluster, addr, t)
+				}
 			}
-			if next := ev.iter + 1; next < iters {
-				heap.Push(&h, event{time: int64(op.cycle) + next*int64(sch.II), op: ev.op, iter: next})
-			}
+			shift += maxDeficit
 		}
-		shift += maxDeficit
 	}
 
-	_ = dyn
-	compute := int64(sch.Span()) + (iters-1)*int64(sch.II)
+	compute := int64(sch.Span()) + (iters-1)*ii
 	stall := shift - start
 	return Result{
 		TotalCycles:   compute + stall,
@@ -171,18 +240,21 @@ func collectOps(sch *sched.Schedule) ([]memOp, error) {
 			if err := checkArray(p.Instr); err != nil {
 				return nil, err
 			}
-			ops = append(ops, memOp{kind: opLoad, placed: p, forMem: p.Instr.Mem, cycle: p.Cycle, cluster: p.Cluster})
+			ops = append(ops, memOp{kind: opLoad, placed: p, forMem: p.Instr.Mem, cluster: p.Cluster, cycle: p.Cycle})
 		case ir.OpStore:
 			if err := checkArray(p.Instr); err != nil {
 				return nil, err
 			}
-			ops = append(ops, memOp{kind: opStore, placed: p, forMem: p.Instr.Mem, cycle: p.Cycle, cluster: p.Cluster})
+			ops = append(ops, memOp{kind: opStore, placed: p, forMem: p.Instr.Mem, cluster: p.Cluster, cycle: p.Cycle})
 		}
 	}
 	for i := range sch.Prefetches {
 		pf := &sch.Prefetches[i]
-		served := sch.Placed[pf.For]
-		ops = append(ops, memOp{kind: opPrefetch, pf: pf, placed: &served, forMem: served.Instr.Mem, cycle: pf.Cycle, cluster: pf.Cluster})
+		served := &sch.Placed[pf.For]
+		ops = append(ops, memOp{
+			kind: opPrefetch, placed: served, forMem: served.Instr.Mem,
+			cluster: pf.Cluster, cycle: pf.Cycle, iterOffset: int64(pf.Distance),
+		})
 	}
 	return ops, nil
 }
