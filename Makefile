@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet bench smoke
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,29 @@ race:
 vet:
 	$(GO) vet ./...
 
+# smoke builds the exploration service and sweeps a tiny 2×2 grid (two
+# benchmarks × two cluster counts × two buffer sizes) in the csv and json
+# formats with the emitters round-trip-checked, then verifies a 2-way shard
+# split merges back to the byte-identical table output. Scratch files live
+# under the build tree so concurrent checkouts never race on shared paths.
+SMOKE_ARGS = -benches gsmdec,g721dec -clusters 4,16 -entries 4,8
+SMOKE_DIR = .smoke
+smoke:
+	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
+	$(GO) build -o $(SMOKE_DIR)/l0explore ./cmd/l0explore
+	$(SMOKE_DIR)/l0explore $(SMOKE_ARGS) -format csv -roundtrip -o /dev/null
+	$(SMOKE_DIR)/l0explore $(SMOKE_ARGS) -format json -roundtrip -o /dev/null
+	$(SMOKE_DIR)/l0explore $(SMOKE_ARGS) -format table -o $(SMOKE_DIR)/full.txt
+	$(SMOKE_DIR)/l0explore $(SMOKE_ARGS) -shard 0/2 -format json -o $(SMOKE_DIR)/s0.json
+	$(SMOKE_DIR)/l0explore $(SMOKE_ARGS) -shard 1/2 -format json -o $(SMOKE_DIR)/s1.json
+	$(SMOKE_DIR)/l0explore -merge $(SMOKE_DIR)/s0.json,$(SMOKE_DIR)/s1.json -format table -o $(SMOKE_DIR)/merged.txt
+	cmp $(SMOKE_DIR)/full.txt $(SMOKE_DIR)/merged.txt
+	rm -rf $(SMOKE_DIR)
+
 # bench regenerates every figure/table benchmark with allocation stats and
 # records the machine-readable trajectory in BENCH_<n>.json (bump the number
-# per PR so the history accumulates).
-BENCH_OUT ?= BENCH_1.json
-bench:
+# per PR so the history accumulates). The explore smoke sweep gates it so a
+# broken emitter never records a trajectory point.
+BENCH_OUT ?= BENCH_2.json
+bench: smoke
 	$(GO) test -bench=. -benchmem -run='^$$' -count=5 -json . | tee $(BENCH_OUT)

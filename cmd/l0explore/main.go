@@ -1,0 +1,231 @@
+// Command l0explore is the design-space exploration service: it sweeps a
+// declarative (clusters × L0 entries × subblock bytes × L1 latency) grid
+// over the parallel experiment engine and emits per-benchmark and
+// suite-AMEAN Pareto fronts of cycles vs relative memory-system energy.
+//
+// Usage:
+//
+//	l0explore [-benches a,b] [-clusters 4,8,16,32] [-entries 4,8,16]
+//	          [-subblock 0] [-l1lat 6] [-adaptive] [-markall]
+//	          [-workers N] [-shard i/M] [-format table|csv|json]
+//	          [-roundtrip] [-o file]
+//	l0explore -merge shard0.json,shard1.json [-format ...] [-o file]
+//
+// The grid is index-deterministic: output is byte-identical for any worker
+// count, and a -shard i/M split merged back with -merge reproduces the
+// unsharded output exactly. Sharded runs emit partial JSON (cells only);
+// -merge checks exact grid coverage, recomputes the Pareto fronts, and
+// renders in the requested format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		benches  = flag.String("benches", "", "comma-separated benchmark subset (default: whole suite)")
+		clusters = flag.String("clusters", "4,8,16,32", "cluster counts to sweep")
+		entries  = flag.String("entries", "4,8,16", "L0 entry counts to sweep")
+		subblock = flag.String("subblock", "0", "L0 subblock bytes to sweep (0 = derive from cluster count)")
+		l1lat    = flag.String("l1lat", "6", "unified-L1 latencies to sweep")
+		adaptive = flag.Bool("adaptive", false, "schedule L0 runs with the adaptive per-load prefetch distance")
+		markall  = flag.Bool("markall", false, "mark all candidate loads for L0 (the §5.2 ablation)")
+		workers  = flag.Int("workers", 0, "worker-pool size (0 = one per CPU)")
+		shard    = flag.String("shard", "0/1", "run shard i of M of the grid (emits partial JSON unless 0/1)")
+		format   = flag.String("format", "table", "output format: table, csv or json")
+		merge    = flag.String("merge", "", "comma-separated partial JSON files to merge instead of sweeping")
+		round    = flag.Bool("roundtrip", false, "re-parse the emitted csv/json and fail unless it round-trips byte-identically")
+		outPath  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*benches, *clusters, *entries, *subblock, *l1lat, *adaptive, *markall,
+		*workers, *shard, *format, *merge, *round, *outPath); err != nil {
+		fmt.Fprintf(os.Stderr, "l0explore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(benches, clusters, entries, subblock, l1lat string, adaptive, markall bool,
+	workers int, shardSpec, format, merge string, round bool, outPath string) error {
+	shard, shards, err := harness.ParseShard(shardSpec)
+	if err != nil {
+		return err
+	}
+
+	var res *harness.ExploreResult
+	if merge != "" {
+		res, err = mergeFiles(strings.Split(merge, ","))
+	} else {
+		var spec harness.ExploreSpec
+		if spec.Clusters, err = parseInts(clusters); err != nil {
+			return fmt.Errorf("-clusters: %w", err)
+		}
+		if spec.Entries, err = parseInts(entries); err != nil {
+			return fmt.Errorf("-entries: %w", err)
+		}
+		if spec.Subblocks, err = parseInts(subblock); err != nil {
+			return fmt.Errorf("-subblock: %w", err)
+		}
+		if spec.L1Latencies, err = parseInts(l1lat); err != nil {
+			return fmt.Errorf("-l1lat: %w", err)
+		}
+		if benches != "" {
+			for _, b := range strings.Split(benches, ",") {
+				if b = strings.TrimSpace(b); b != "" {
+					spec.Benches = append(spec.Benches, b)
+				}
+			}
+		}
+		spec.Sched = sched.Options{AdaptivePrefetchDistance: adaptive, MarkAllCandidates: markall}
+		rc := harness.DefaultRunConfig()
+		if workers > 0 {
+			rc.Workers = workers
+		}
+		res, err = harness.ExploreCfg(rc, spec, shard, shards)
+	}
+	if err != nil {
+		return err
+	}
+
+	out := io.Writer(os.Stdout)
+	var outFile *os.File
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		out = f
+	}
+
+	// A partial shard's only meaningful output is the mergeable JSON form.
+	if !res.Complete() && format != "json" {
+		fmt.Fprintf(os.Stderr, "l0explore: shard %d/%d is partial; emitting json\n", res.Shard, res.Shards)
+		format = "json"
+	}
+	err = emit(out, res, format, round)
+	// Close errors matter: shards feed -merge, so a silently truncated file
+	// must fail the producing process, not the consumer.
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// emit renders the result into memory first — so a failed write (full disk,
+// closed pipe) surfaces as a non-zero exit — optionally round-trip-checks
+// the bytes, then writes them out once.
+func emit(out io.Writer, res *harness.ExploreResult, format string, round bool) error {
+	var buf strings.Builder
+	var check func(string) error
+	switch format {
+	case "table":
+		harness.RenderExplore(&buf, res)
+	case "csv":
+		if err := harness.WriteExploreCSV(&buf, res); err != nil {
+			return err
+		}
+		check = checkCSVRoundTrip
+	case "json":
+		if err := harness.WriteExploreJSON(&buf, res); err != nil {
+			return err
+		}
+		check = checkJSONRoundTrip
+	default:
+		return fmt.Errorf("unknown format %q (table, csv, json)", format)
+	}
+	if round && check != nil {
+		if err := check(buf.String()); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(out, buf.String())
+	return err
+}
+
+// checkCSVRoundTrip re-parses emitted CSV through the stats table reader and
+// re-renders it: any byte difference means the emitter and parser disagree.
+func checkCSVRoundTrip(emitted string) error {
+	t, err := parseCSV(emitted)
+	if err != nil {
+		return fmt.Errorf("roundtrip: %w", err)
+	}
+	var again strings.Builder
+	if err := t.RenderCSV(&again); err != nil {
+		return fmt.Errorf("roundtrip: %w", err)
+	}
+	if again.String() != emitted {
+		return fmt.Errorf("roundtrip: csv re-render differs from emitted output")
+	}
+	return nil
+}
+
+// checkJSONRoundTrip re-parses emitted JSON into an ExploreResult and
+// re-emits it.
+func checkJSONRoundTrip(emitted string) error {
+	res, err := harness.ReadExploreJSON(strings.NewReader(emitted))
+	if err != nil {
+		return fmt.Errorf("roundtrip: %w", err)
+	}
+	var again strings.Builder
+	if err := harness.WriteExploreJSON(&again, res); err != nil {
+		return fmt.Errorf("roundtrip: %w", err)
+	}
+	if again.String() != emitted {
+		return fmt.Errorf("roundtrip: json re-render differs from emitted output")
+	}
+	return nil
+}
+
+func parseCSV(s string) (*stats.Table, error) {
+	return stats.ParseCSVTable(strings.NewReader(s))
+}
+
+func mergeFiles(paths []string) (*harness.ExploreResult, error) {
+	var parts []*harness.ExploreResult
+	for _, p := range paths {
+		f, err := os.Open(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		part, err := harness.ReadExploreJSON(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		parts = append(parts, part)
+	}
+	return harness.MergeExplore(parts...)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -3,7 +3,16 @@
 //
 // Usage:
 //
-//	l0sim -exp table1|fig5|fig6|fig7|extras|all
+//	l0sim [-exp table1|fig5|fig6|fig7|extras|energy|wires|clusters|all]
+//	      [-workers N] [-shard i/M]
+//	l0sim -exp debug <benchmark>
+//
+// -workers sizes the experiment engine's worker pool (0 = one per CPU).
+// -shard i/M distributes figure regeneration across M processes: the
+// selected experiments are numbered in the canonical order above and shard i
+// runs those with ordinal ≡ i (mod M) — concatenating the shards' outputs
+// covers every figure exactly once. For sweeping design-space grids (rather
+// than regenerating fixed figures) see cmd/l0explore.
 package main
 
 import (
@@ -12,7 +21,6 @@ import (
 	"os"
 
 	"repro/internal/arch"
-	"repro/internal/energy"
 	"repro/internal/harness"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -20,15 +28,33 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig5, fig6, fig7, extras, energy, clusters, wires, debug, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig5, fig6, fig7, extras, energy, wires, clusters, debug, all")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = one per CPU)")
+	shardSpec := flag.String("shard", "0/1", "run experiments with ordinal i (mod M) of the selected set")
 	flag.Parse()
 
+	shard, shards, err := harness.ParseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "l0sim: %v\n", err)
+		os.Exit(1)
+	}
+	rc := harness.DefaultRunConfig()
+	if *workers > 0 {
+		rc.Workers = *workers
+	}
+
 	ran := false
+	ordinal := 0
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
 		ran = true
+		ord := ordinal
+		ordinal++
+		if ord%shards != shard {
+			return
+		}
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "l0sim: %s: %v\n", name, err)
 			os.Exit(1)
@@ -42,7 +68,7 @@ func main() {
 	})
 	run("fig5", func() error {
 		entries := []int{4, 8, 16, arch.Unbounded}
-		points, err := harness.Fig5(entries, sched.Options{})
+		points, err := harness.Fig5Cfg(rc, entries, sched.Options{})
 		if err != nil {
 			return err
 		}
@@ -50,7 +76,7 @@ func main() {
 		return nil
 	})
 	run("fig6", func() error {
-		rows, err := harness.Fig6(8)
+		rows, err := harness.Fig6Cfg(rc, 8)
 		if err != nil {
 			return err
 		}
@@ -58,39 +84,24 @@ func main() {
 		return nil
 	})
 	run("fig7", func() error {
-		rows, err := harness.Fig7(8)
+		rows, err := harness.Fig7Cfg(rc, 8)
 		if err != nil {
 			return err
 		}
 		harness.RenderFig7(os.Stdout, rows)
 		return nil
 	})
-	run("extras", extras)
+	run("extras", func() error { return extras(rc) })
 	run("energy", func() error {
-		t := &stats.Table{Title: "Relative memory-system energy (L0 vs no-L0 baseline, 8-entry buffers)"}
-		t.Header = []string{"bench", "base", "L0", "ratio"}
-		var sum float64
-		for _, b := range workload.Suite() {
-			base, err := harness.RunBenchmark(b, harness.ArchBase, harness.Options{Cfg: arch.MICRO36Config()})
-			if err != nil {
-				return err
-			}
-			l0, err := harness.RunBenchmark(b, harness.ArchL0, harness.Options{Cfg: arch.MICRO36Config().WithL0Entries(8)})
-			if err != nil {
-				return err
-			}
-			p := energy.DefaultParams()
-			eb, el := energy.FromStats(base.L0, p), energy.FromStats(l0.L0, p)
-			ratio := el / eb
-			sum += ratio
-			t.Add(b.Name, fmt.Sprintf("%.0f", eb), fmt.Sprintf("%.0f", el), stats.F2(ratio))
+		rows, err := harness.EnergySweepCfg(rc, 8)
+		if err != nil {
+			return err
 		}
-		t.Add("AMEAN", "", "", stats.F2(sum/13))
-		t.Render(os.Stdout)
+		harness.RenderEnergy(os.Stdout, rows, 8)
 		return nil
 	})
 	run("wires", func() error {
-		pts, err := harness.WireSweep([]int{4, 6, 8, 10, 12}, 8)
+		pts, err := harness.WireSweepCfg(rc, []int{4, 6, 8, 10, 12}, 8)
 		if err != nil {
 			return err
 		}
@@ -98,8 +109,8 @@ func main() {
 		return nil
 	})
 	run("clusters", func() error {
-		counts := []int{2, 4, 8}
-		pts, err := harness.ClusterSweep(counts, 8)
+		counts := []int{2, 4, 8, 16, 32}
+		pts, err := harness.ClusterSweepCfg(rc, counts, 8)
 		if err != nil {
 			return err
 		}
@@ -114,7 +125,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "l0sim: unknown experiment %q (table1, fig5, fig6, fig7, extras, energy, clusters, wires, debug, all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "l0sim: unknown experiment %q (table1, fig5, fig6, fig7, extras, energy, wires, clusters, debug, all)\n", *exp)
 		os.Exit(1)
 	}
 }
@@ -169,23 +180,23 @@ func debug(name string) error {
 // extras reproduces the additional §5.2 results: 2-entry buffers, the
 // mark-all-candidates ablation at 4 entries, and prefetch distance 2 on the
 // small-II benchmarks.
-func extras() error {
+func extras(rc harness.RunConfig) error {
 	t := &stats.Table{Title: "§5.2 extras"}
 	t.Header = []string{"experiment", "result"}
 
 	// 2-entry buffers: paper reports ~7% mean improvement.
-	pts, err := harness.Fig5([]int{2}, sched.Options{})
+	pts, err := harness.Fig5Cfg(rc, []int{2}, sched.Options{})
 	if err != nil {
 		return err
 	}
 	t.Add("2-entry L0 AMEAN (paper ~0.93)", stats.F2(harness.AMeanTotal(pts, 0)))
 
 	// Mark-all-candidates at 4 entries: paper reports +6% over selective.
-	sel, err := harness.Fig5([]int{4}, sched.Options{})
+	sel, err := harness.Fig5Cfg(rc, []int{4}, sched.Options{})
 	if err != nil {
 		return err
 	}
-	all, err := harness.Fig5([]int{4}, sched.Options{MarkAllCandidates: true})
+	all, err := harness.Fig5Cfg(rc, []int{4}, sched.Options{MarkAllCandidates: true})
 	if err != nil {
 		return err
 	}

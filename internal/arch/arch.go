@@ -11,6 +11,12 @@ import "fmt"
 // Figure 5 of the paper includes an "unbounded entries" configuration.
 const Unbounded = 1 << 20
 
+// MinL0SubblockBytes is the floor for the L0 line size: a subblock must hold
+// the machine's widest memory access (8 bytes), or wide loads could never be
+// L0 candidates. WithClusters clamps its derived subblock size here so that
+// scaling past L1BlockBytes/MinL0SubblockBytes clusters stays valid.
+const MinL0SubblockBytes = 8
+
 // AccessHint tells the hardware whether and how a memory instruction probes
 // the L0 buffer of the cluster it executes on (§3.2, first hint table).
 type AccessHint uint8
@@ -225,16 +231,58 @@ func (c Config) WithL0Entries(entries int) Config {
 }
 
 // WithClusters returns a copy of c scaled to a different cluster count,
-// keeping total functional-unit mix per cluster and re-deriving the L0
-// subblock size (an L1 block always splits into one subblock per cluster,
-// §3). The paper evaluates 4 clusters but states the techniques extend to
-// any count; this constructor is what the scaling experiment sweeps.
+// keeping the functional-unit mix per cluster, re-deriving the L0 subblock
+// size, and scaling the inter-cluster bus count. The paper evaluates 4
+// clusters but states the techniques extend to any count; this constructor
+// is what the scaling experiments sweep.
+//
+// The paper's ideal split is one subblock per cluster (L1BlockBytes / n,
+// §3), but past L1BlockBytes/MinL0SubblockBytes clusters that degenerates to
+// sub-word (or zero) line sizes that cannot hold a full-width access, so the
+// derived size is rounded down to a power of two and clamped to
+// [MinL0SubblockBytes, L1BlockBytes]; wide machines then spread each block
+// over its first SubblocksPerBlock clusters. CommBuses keeps the
+// buses-per-cluster ratio of the configuration being scaled (Table 2's is
+// one bus per cluster) instead of staying fixed at the 4-cluster value.
 func (c Config) WithClusters(n int) Config {
+	if n <= 0 {
+		// No derivation possible: record the bogus count and let Validate
+		// reject it with a clear error instead of dividing by zero here.
+		c.Clusters = n
+		return c
+	}
+	if c.Clusters > 0 && c.CommBuses > 0 {
+		if buses := c.CommBuses * n / c.Clusters; buses >= 1 {
+			c.CommBuses = buses
+		} else {
+			c.CommBuses = 1
+		}
+	}
 	c.Clusters = n
 	if c.L0SubblockBytes != 0 {
-		c.L0SubblockBytes = c.L1BlockBytes / n
+		// Round up: the smallest power of two covering a 1/n block share
+		// keeps subblock × clusters >= block at every count (power-of-two
+		// counts get the exact L1BlockBytes/n split); rounding down would
+		// strand block bytes with no cluster to hold them at odd counts.
+		sub := ceilPow2((c.L1BlockBytes + n - 1) / n)
+		if sub < MinL0SubblockBytes {
+			sub = MinL0SubblockBytes
+		}
+		if sub > c.L1BlockBytes {
+			sub = c.L1BlockBytes
+		}
+		c.L0SubblockBytes = sub
 	}
 	return c
+}
+
+// ceilPow2 returns the smallest power of two >= x (1 for x <= 1).
+func ceilPow2(x int) int {
+	p := 1
+	for p < x {
+		p <<= 1
+	}
+	return p
 }
 
 // HasL0 reports whether the configuration includes L0 buffers at all.
@@ -277,8 +325,14 @@ func (c Config) Validate() error {
 		switch {
 		case c.L0SubblockBytes <= 0 || c.L0SubblockBytes&(c.L0SubblockBytes-1) != 0:
 			return fmt.Errorf("arch: L0SubblockBytes must be a positive power of two, got %d", c.L0SubblockBytes)
-		case c.L0SubblockBytes*c.Clusters != c.L1BlockBytes:
-			return fmt.Errorf("arch: L0SubblockBytes (%d) * Clusters (%d) must equal L1BlockBytes (%d)",
+		case c.L0SubblockBytes < MinL0SubblockBytes:
+			return fmt.Errorf("arch: L0SubblockBytes (%d) is below the widest access (%d bytes); such a line can never satisfy a full-width load",
+				c.L0SubblockBytes, MinL0SubblockBytes)
+		case c.L0SubblockBytes > c.L1BlockBytes:
+			return fmt.Errorf("arch: L0SubblockBytes (%d) must not exceed L1BlockBytes (%d)",
+				c.L0SubblockBytes, c.L1BlockBytes)
+		case c.L0SubblockBytes*c.Clusters < c.L1BlockBytes:
+			return fmt.Errorf("arch: L0SubblockBytes (%d) * Clusters (%d) must cover L1BlockBytes (%d): an interleaved block fill has nowhere to put the excess subblocks",
 				c.L0SubblockBytes, c.Clusters, c.L1BlockBytes)
 		case c.L0Ports <= 0:
 			return fmt.Errorf("arch: L0Ports must be positive, got %d", c.L0Ports)

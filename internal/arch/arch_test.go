@@ -74,7 +74,9 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{"negative L2", func(c *Config) { c.L2Latency = -1 }},
 		{"zero buses", func(c *Config) { c.CommBuses = 0 }},
 		{"zero comm latency", func(c *Config) { c.CommLatency = 0 }},
-		{"subblock mismatch", func(c *Config) { c.L0SubblockBytes = 16 }},
+		{"sub-word subblock", func(c *Config) { c.L0SubblockBytes = 4 }},
+		{"oversize subblock", func(c *Config) { c.L0SubblockBytes = 64 }},
+		{"subblock underfill", func(c *Config) { c.Clusters = 2 }},
 		{"zero ports", func(c *Config) { c.L0Ports = 0 }},
 		{"no mem units", func(c *Config) { c.UnitsPerCluster[UnitMem] = 0 }},
 	}
@@ -120,14 +122,26 @@ func TestUnitKindString(t *testing.T) {
 }
 
 func TestWithClusters(t *testing.T) {
-	for _, n := range []int{2, 4, 8} {
-		cfg := MICRO36Config().WithClusters(n)
+	// One subblock per cluster while that stays >= the widest access, then
+	// clamped at MinL0SubblockBytes; buses keep Table 2's one-per-cluster
+	// ratio at every width.
+	cases := []struct {
+		n, subblock, buses int
+	}{
+		{2, 16, 2}, {4, 8, 4}, {8, 8, 8}, {16, 8, 16}, {32, 8, 32},
+		// Odd counts round the subblock up so coverage still holds.
+		{3, 16, 3}, {5, 8, 5},
+	}
+	for _, tc := range cases {
+		cfg := MICRO36Config().WithClusters(tc.n)
 		if err := cfg.Validate(); err != nil {
-			t.Errorf("WithClusters(%d): %v", n, err)
+			t.Errorf("WithClusters(%d): %v", tc.n, err)
 		}
-		if cfg.SubblocksPerBlock() != n {
-			t.Errorf("WithClusters(%d): %d subblocks per block, want one per cluster",
-				n, cfg.SubblocksPerBlock())
+		if cfg.L0SubblockBytes != tc.subblock {
+			t.Errorf("WithClusters(%d): subblock = %d, want %d", tc.n, cfg.L0SubblockBytes, tc.subblock)
+		}
+		if cfg.CommBuses != tc.buses {
+			t.Errorf("WithClusters(%d): CommBuses = %d, want %d", tc.n, cfg.CommBuses, tc.buses)
 		}
 	}
 	// Without buffers the subblock stays untouched.
@@ -135,5 +149,21 @@ func TestWithClusters(t *testing.T) {
 	cfg.L0SubblockBytes = 0
 	if got := cfg.WithClusters(2).L0SubblockBytes; got != 0 {
 		t.Errorf("bufferless WithClusters set subblock %d", got)
+	}
+	// Non-positive counts must flow into Validate's error, never panic.
+	for _, n := range []int{0, -2} {
+		bad := MICRO36Config().WithClusters(n)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("WithClusters(%d) validated", n)
+		}
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{-1: 1, 0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 10: 16, 33: 64}
+	for x, want := range cases {
+		if got := ceilPow2(x); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", x, got, want)
+		}
 	}
 }

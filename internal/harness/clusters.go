@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/arch"
@@ -65,7 +66,7 @@ func RenderClusterSweep(w io.Writer, points [][]ClusterPoint, counts []int) {
 	t := &stats.Table{Title: "L0 benefit vs cluster count (normalized to the same machine without buffers)"}
 	t.Header = []string{"bench"}
 	for _, n := range counts {
-		t.Header = append(t.Header, stats.F1(float64(n))+" clusters")
+		t.Header = append(t.Header, fmt.Sprintf("%d clusters", n))
 	}
 	means := make([]float64, len(counts))
 	for _, row := range points {

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// EnergyRow is one benchmark of the relative-energy comparison: total
+// memory-system energy of the no-L0 baseline and the L0 architecture in
+// relative units (an L1 access ≡ 1.0), and their ratio.
+type EnergyRow struct {
+	Bench string
+	Base  float64
+	L0    float64
+	Ratio float64
+}
+
+// EnergySweep compares memory-system energy with and without L0 buffers at
+// the given entry count over the whole suite.
+func EnergySweep(entries int) ([]EnergyRow, error) {
+	return EnergySweepCfg(DefaultRunConfig(), entries)
+}
+
+// EnergySweepCfg is EnergySweep under an explicit engine configuration: one
+// job per benchmark × {base, l0}, fanned over the worker pool like every
+// other experiment (this replaced a serial per-benchmark loop in cmd/l0sim).
+func EnergySweepCfg(rc RunConfig, entries int) ([]EnergyRow, error) {
+	suite := workload.Suite()
+	const stride = 2
+	results, err := forEachJob(rc, len(suite)*stride, func(i int) (*BenchResult, error) {
+		b := suite[i/stride]
+		if i%stride == 0 {
+			return RunBenchmark(b, ArchBase, rc.options(arch.MICRO36Config()))
+		}
+		return RunBenchmark(b, ArchL0, rc.options(arch.MICRO36Config().WithL0Entries(entries)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := energy.DefaultParams()
+	rows := make([]EnergyRow, 0, len(suite))
+	for bi, b := range suite {
+		eb := energy.FromStats(results[bi*stride].L0, p)
+		el := energy.FromStats(results[bi*stride+1].L0, p)
+		rows = append(rows, EnergyRow{Bench: b.Name, Base: eb, L0: el, Ratio: el / eb})
+	}
+	return rows, nil
+}
+
+// RenderEnergy prints the comparison. The AMEAN divides by the actual row
+// count — an earlier revision hardcoded the suite size and would have gone
+// silently wrong the moment the suite grew.
+func RenderEnergy(w io.Writer, rows []EnergyRow, entries int) {
+	t := &stats.Table{Title: fmt.Sprintf("Relative memory-system energy (L0 vs no-L0 baseline, %d-entry buffers)", entries)}
+	t.Header = []string{"bench", "base", "L0", "ratio"}
+	var sum float64
+	for _, r := range rows {
+		sum += r.Ratio
+		t.Add(r.Bench, fmt.Sprintf("%.0f", r.Base), fmt.Sprintf("%.0f", r.L0), stats.F2(r.Ratio))
+	}
+	if len(rows) > 0 {
+		t.Add("AMEAN", "", "", stats.F2(sum/float64(len(rows))))
+	}
+	t.Render(w)
+}

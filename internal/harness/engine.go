@@ -192,6 +192,13 @@ type unrollEntry struct {
 	factor int
 }
 
+// The memoization is process-global and unbounded by design: every distinct
+// (kernel, config, options) compilation is retained for the life of the
+// process, which is exactly right for one-shot CLI sweeps (each cell is
+// revisited across baselines and figure variants) but means memory grows
+// linearly with the design space explored. A long-lived exploration server
+// would need an eviction policy here (see ROADMAP's explore-as-a-server
+// item); until then ResetCaches is the only release valve.
 var (
 	scheduleCache sync.Map // compileKey -> *compileEntry
 	unrollCache   sync.Map // unrollKey -> *unrollEntry

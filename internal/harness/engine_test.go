@@ -3,7 +3,9 @@ package harness
 import (
 	"errors"
 	"reflect"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/sched"
@@ -136,6 +138,53 @@ func TestForEachJobError(t *testing.T) {
 		})
 		if !errors.Is(err, boom) {
 			t.Errorf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+// TestForEachJobFirstErrorWinsAndCancels asserts the engine's error
+// contract: exactly the first-observed error surfaces, and a failure stops
+// workers from starting the remaining jobs (later jobs must not all run).
+func TestForEachJobFirstErrorWinsAndCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	const n = 10_000
+	_, err := forEachJob(RunConfig{Workers: 4}, n, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, boom // fails while the other workers sit in their first job
+		}
+		time.Sleep(2 * time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Job 0 fails microseconds in; once any other worker finishes its 2ms
+	// job the failure flag is set and it must stop pulling work. The bound
+	// is deliberately enormous — flaking would need the failing goroutine
+	// descheduled for ~2/3 s while 3 workers chew 2ms jobs — yet still
+	// proves cancellation: without it all 10000 jobs run.
+	if s := started.Load(); s > n/10 {
+		t.Errorf("%d jobs started after a failing job, want a handful (cancellation broken)", s)
+	}
+
+	// When two jobs fail, the winning error is the first one observed —
+	// never a later overwrite, and never a nil.
+	first := errors.New("first")
+	second := errors.New("second")
+	for trial := 0; trial < 10; trial++ {
+		_, err := forEachJob(RunConfig{Workers: 4}, 100, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, first
+			case 4:
+				return 0, second
+			}
+			return i, nil
+		})
+		if !errors.Is(err, first) && !errors.Is(err, second) {
+			t.Fatalf("err = %v, want one of the injected errors", err)
 		}
 	}
 }

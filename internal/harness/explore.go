@@ -1,0 +1,486 @@
+// Design-space exploration: a declarative sweep specification over the
+// paper's architectural axes (cluster count × L0 entries × L0 subblock bytes
+// × unified-L1 latency × scheduler options) that compiles to one flat,
+// index-deterministic job grid fanned over the experiment engine's worker
+// pool. Every cell reports cycles, stall fraction and relative memory-system
+// energy against the bufferless baseline of the same machine, and the
+// aggregation extracts Pareto fronts (cycles vs energy) per benchmark and
+// for the suite AMEAN — the trade-off curve the paper argues by, instead of
+// the handful of fixed points its figures plot.
+//
+// Because cells are a pure function of their grid index, the grid can be
+// sharded across processes (cmd/l0explore's -shard i/M): every shard
+// computes one contiguous index range, and merging is concatenation by
+// index — a merged run is byte-identical to a single-process run.
+
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/energy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// ExploreSpec declares one design-space sweep. Zero-valued axes fall back to
+// the paper's Table 2 point, so the zero spec sweeps nothing but still runs.
+type ExploreSpec struct {
+	// Benches selects benchmarks by name; empty means the whole suite.
+	Benches []string `json:"benches,omitempty"`
+	// Clusters, Entries, Subblocks and L1Latencies are the swept axes.
+	// A Subblocks entry of 0 derives the subblock size from the cluster
+	// count (WithClusters' clamped one-per-cluster split).
+	Clusters    []int `json:"clusters,omitempty"`
+	Entries     []int `json:"entries,omitempty"`
+	Subblocks   []int `json:"subblocks,omitempty"`
+	L1Latencies []int `json:"l1_latencies,omitempty"`
+	// Sched carries scheduler switches applied to the L0 runs (the
+	// baseline is always compiled with default options, like the figures).
+	Sched sched.Options `json:"-"`
+}
+
+// normalized fills defaulted axes and drops duplicate axis values (keeping
+// first-occurrence order): a repeated value would expand to duplicate grid
+// cells that silently double-weight every AMEAN and Pareto aggregate.
+func (s ExploreSpec) normalized() ExploreSpec {
+	if len(s.Clusters) == 0 {
+		s.Clusters = []int{4}
+	}
+	if len(s.Entries) == 0 {
+		s.Entries = []int{8}
+	}
+	if len(s.Subblocks) == 0 {
+		s.Subblocks = []int{0}
+	}
+	if len(s.L1Latencies) == 0 {
+		s.L1Latencies = []int{arch.MICRO36Config().L1Latency}
+	}
+	s.Clusters = dedupInts(s.Clusters)
+	s.Entries = dedupInts(s.Entries)
+	s.Subblocks = dedupInts(s.Subblocks)
+	s.L1Latencies = dedupInts(s.L1Latencies)
+	return s
+}
+
+func dedupInts(xs []int) []int {
+	seen := map[int]bool{}
+	out := xs[:0:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// benches resolves the benchmark subset in suite order, dropping duplicate
+// names (a repeated benchmark would count twice in every suite AMEAN).
+func (s ExploreSpec) benches() ([]*workload.Benchmark, error) {
+	if len(s.Benches) == 0 {
+		return workload.Suite(), nil
+	}
+	seen := map[string]bool{}
+	var out []*workload.Benchmark
+	for _, name := range s.Benches {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		b := workload.ByName(name)
+		if b == nil {
+			return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// ExploreCell is one evaluated grid point: one benchmark on one machine
+// configuration, normalised to the bufferless baseline of the same machine.
+type ExploreCell struct {
+	// Index is the cell's position in the flat grid; it fully determines
+	// the configuration, so shard merging is concatenation by Index.
+	Index int    `json:"index"`
+	Bench string `json:"bench"`
+
+	Clusters      int `json:"clusters"`
+	Entries       int `json:"entries"`
+	SubblockBytes int `json:"subblock_bytes"`
+	L1Latency     int `json:"l1_latency"`
+
+	BaseCycles int64 `json:"base_cycles"`
+	Cycles     int64 `json:"cycles"`
+	// NormCycles is Cycles/BaseCycles (< 1 means the buffers help) and
+	// StallFrac the stall share of the L0 run's total.
+	NormCycles float64 `json:"norm_cycles"`
+	StallFrac  float64 `json:"stall_frac"`
+	// BaseEnergy/Energy are relative memory-system energies
+	// (energy.FromStats); EnergyRatio is their quotient.
+	BaseEnergy  float64 `json:"base_energy"`
+	Energy      float64 `json:"energy"`
+	EnergyRatio float64 `json:"energy_ratio"`
+
+	// Pareto marks cells on their benchmark's cycles-vs-energy Pareto
+	// front. Only set on complete (unsharded or merged) results.
+	Pareto bool `json:"pareto"`
+}
+
+// cfg builds the cell's machine configuration (L0 entries not yet applied).
+func (c ExploreCell) cfg(subblockSpec int) arch.Config {
+	cfg := arch.MICRO36Config().WithClusters(c.Clusters)
+	cfg.L1Latency = c.L1Latency
+	if subblockSpec != 0 {
+		cfg.L0SubblockBytes = subblockSpec
+	}
+	return cfg
+}
+
+// ExploreConfig is one machine configuration aggregated over every benchmark
+// of the sweep: the suite-AMEAN view of the same trade-off.
+type ExploreConfig struct {
+	Clusters      int     `json:"clusters"`
+	Entries       int     `json:"entries"`
+	SubblockBytes int     `json:"subblock_bytes"`
+	L1Latency     int     `json:"l1_latency"`
+	AMeanCycles   float64 `json:"amean_cycles"`
+	AMeanEnergy   float64 `json:"amean_energy"`
+	Pareto        bool    `json:"pareto"`
+}
+
+// exploreSpecID is the identity of one sweep as recorded in its results:
+// the normalized axes plus the comparable scheduler-option subset. Shards of
+// different sweeps can coincide in grid size and benchmark set (e.g. the
+// same grid swept with and without -adaptive), so MergeExplore refuses to
+// combine results whose identities differ.
+type exploreSpecID struct {
+	Clusters    []int        `json:"clusters"`
+	Entries     []int        `json:"entries"`
+	Subblocks   []int        `json:"subblocks"`
+	L1Latencies []int        `json:"l1_latencies"`
+	Sched       schedOptsKey `json:"sched"`
+}
+
+func (s ExploreSpec) id() exploreSpecID {
+	n := s.normalized()
+	return exploreSpecID{
+		Clusters: n.Clusters, Entries: n.Entries,
+		Subblocks: n.Subblocks, L1Latencies: n.L1Latencies,
+		Sched: optsKeyOf(n.Sched),
+	}
+}
+
+// ExploreResult is the outcome of one sweep (or one shard of one). A result
+// is complete when it holds every cell of the grid; only complete results
+// carry Pareto flags and the per-configuration AMEAN table.
+type ExploreResult struct {
+	Spec     exploreSpecID `json:"spec"`
+	Benches  []string      `json:"benches"`
+	GridSize int           `json:"grid_size"`
+	// Shard/Shards record which slice of the grid this result holds
+	// (0/1 for an unsharded run or a merged result).
+	Shard   int             `json:"shard"`
+	Shards  int             `json:"shards"`
+	Cells   []ExploreCell   `json:"cells"`
+	Configs []ExploreConfig `json:"configs,omitempty"`
+}
+
+// Complete reports whether every grid cell is present.
+func (r *ExploreResult) Complete() bool { return len(r.Cells) == r.GridSize }
+
+// grid enumerates every cell of the sweep with its configuration fields set
+// and metrics zero, in index order: configurations outermost (clusters, then
+// entries, subblocks, L1 latencies), benchmarks innermost — so the cells of
+// one configuration are contiguous and AMEAN aggregation is a slice walk.
+func (s ExploreSpec) grid() ([]ExploreCell, []string, error) {
+	spec := s.normalized()
+	benches, err := spec.benches()
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, len(benches))
+	for i, b := range benches {
+		names[i] = b.Name
+	}
+	var cells []ExploreCell
+	// Configurations are deduplicated on their *resolved* tuple: a derived
+	// subblock (spec value 0) can collide with an explicitly listed size
+	// (e.g. -subblock 0,8 at 4 clusters both resolve to 8), and duplicate
+	// cells would double-weight every AMEAN and Pareto aggregate.
+	type cfgKey struct{ n, e, sub, lat int }
+	seen := map[cfgKey]bool{}
+	for _, n := range spec.Clusters {
+		for _, e := range spec.Entries {
+			for _, sb := range spec.Subblocks {
+				for _, lat := range spec.L1Latencies {
+					probe := ExploreCell{Clusters: n, L1Latency: lat}
+					sub := probe.cfg(sb).L0SubblockBytes
+					k := cfgKey{n, e, sub, lat}
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					for _, b := range benches {
+						cells = append(cells, ExploreCell{
+							Index: len(cells), Bench: b.Name,
+							Clusters: n, Entries: e,
+							SubblockBytes: sub, L1Latency: lat,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells, names, nil
+}
+
+// GridSize returns the number of cells the spec expands to.
+func (s ExploreSpec) GridSize() (int, error) {
+	cells, _, err := s.grid()
+	if err != nil {
+		return 0, err
+	}
+	return len(cells), nil
+}
+
+// Explore runs the sweep on the default engine configuration.
+func Explore(spec ExploreSpec) (*ExploreResult, error) {
+	return ExploreCfg(DefaultRunConfig(), spec, 0, 1)
+}
+
+// ParseShard parses the "-shard i/M" flag syntax shared by the CLIs
+// (cmd/l0explore sharding the explore grid, cmd/l0sim its experiment list).
+func ParseShard(s string) (shard, shards int, err error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("shard: want i/M, got %q", s)
+	}
+	shard, err = strconv.Atoi(s[:i])
+	if err == nil {
+		shards, err = strconv.Atoi(s[i+1:])
+	}
+	if err != nil || shards < 1 || shard < 0 || shard >= shards {
+		return 0, 0, fmt.Errorf("shard: want i/M with 0 <= i < M, got %q", s)
+	}
+	return shard, shards, nil
+}
+
+// ExploreCfg runs shard `shard` of `shards` of the sweep under an explicit
+// engine configuration. Baseline runs are deduplicated per (benchmark,
+// clusters, L1 latency) — the entries and subblock axes share them — and the
+// whole shard (bases + cells) fans out as one flat job grid whose
+// aggregation is ordered by job index, so worker count never changes any
+// byte of the output.
+func ExploreCfg(rc RunConfig, spec ExploreSpec, shard, shards int) (*ExploreResult, error) {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("harness: invalid shard %d/%d", shard, shards)
+	}
+	all, names, err := spec.grid()
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.normalized()
+	// Shards take contiguous index ranges, not round-robin slices: cells of
+	// one configuration are contiguous (benchmarks innermost), so a range
+	// keeps each configuration's deduplicated baseline runs local to one
+	// shard instead of recomputing nearly the whole baseline set per shard.
+	// Any exact partition merges back byte-identically (MergeExplore only
+	// requires index coverage).
+	lo, hi := shard*len(all)/shards, (shard+1)*len(all)/shards
+	mine := append([]ExploreCell(nil), all[lo:hi]...)
+
+	// Deduplicated baseline jobs, keyed in first-appearance (index) order.
+	type baseKey struct {
+		bench           string
+		clusters, l1lat int
+	}
+	baseIdx := map[baseKey]int{}
+	var baseKeys []baseKey
+	for _, c := range mine {
+		k := baseKey{c.Bench, c.Clusters, c.L1Latency}
+		if _, ok := baseIdx[k]; !ok {
+			baseIdx[k] = len(baseKeys)
+			baseKeys = append(baseKeys, k)
+		}
+	}
+
+	nb := len(baseKeys)
+	results, err := forEachJob(rc, nb+len(mine), func(i int) (*BenchResult, error) {
+		if i < nb {
+			k := baseKeys[i]
+			cfg := arch.MICRO36Config().WithClusters(k.clusters).WithL0Entries(0)
+			cfg.L1Latency = k.l1lat
+			return RunBenchmark(workload.ByName(k.bench), ArchBase, rc.options(cfg))
+		}
+		c := mine[i-nb]
+		// SubblockBytes is already resolved (grid() derives the 0 spec
+		// value), so cfg() applies it verbatim.
+		opts := rc.options(c.cfg(c.SubblockBytes).WithL0Entries(c.Entries))
+		opts.Sched = spec.Sched
+		return RunBenchmark(workload.ByName(c.Bench), ArchL0, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	p := energy.DefaultParams()
+	for i := range mine {
+		c := &mine[i]
+		base := results[baseIdx[baseKey{c.Bench, c.Clusters, c.L1Latency}]]
+		l0 := results[nb+i]
+		c.BaseCycles, c.Cycles = base.Total, l0.Total
+		c.NormCycles = float64(l0.Total) / float64(base.Total)
+		if l0.Total > 0 {
+			c.StallFrac = float64(l0.Stall) / float64(l0.Total)
+		}
+		c.BaseEnergy = energy.FromStats(base.L0, p)
+		c.Energy = energy.FromStats(l0.L0, p)
+		if c.BaseEnergy > 0 {
+			c.EnergyRatio = c.Energy / c.BaseEnergy
+		}
+	}
+
+	res := &ExploreResult{
+		Spec: spec.id(), Benches: names, GridSize: len(all),
+		Shard: shard, Shards: shards, Cells: mine,
+	}
+	if res.Complete() {
+		res.Shard, res.Shards = 0, 1
+		res.finalize()
+	}
+	return res, nil
+}
+
+// MergeExplore combines shard results back into one complete result: cells
+// are concatenated, sorted by index, checked for exact coverage, and the
+// Pareto/AMEAN aggregation recomputed — cell metrics are a pure function of
+// the index, so the merge is byte-identical to an unsharded run.
+func MergeExplore(parts ...*ExploreResult) (*ExploreResult, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("harness: merge of zero explore results")
+	}
+	first := parts[0]
+	// A truncated or never-written shard file decodes to a zero result;
+	// without this check it would "merge" into an empty sweep and exit 0.
+	if first.GridSize <= 0 || len(first.Benches) == 0 {
+		return nil, fmt.Errorf("harness: merge input has no grid (empty or truncated shard file?)")
+	}
+	merged := &ExploreResult{
+		Spec: first.Spec, Benches: first.Benches, GridSize: first.GridSize, Shard: 0, Shards: 1,
+	}
+	for _, p := range parts {
+		if p.GridSize != first.GridSize || len(p.Benches) != len(first.Benches) {
+			return nil, fmt.Errorf("harness: merging results of different sweeps (grid %d vs %d)", p.GridSize, first.GridSize)
+		}
+		// Grid size and benchmark set can coincide across different sweeps
+		// (same grid ± a scheduler flag), so the recorded spec identity —
+		// axes and scheduler options — must match exactly too.
+		if !reflect.DeepEqual(p.Spec, first.Spec) {
+			return nil, fmt.Errorf("harness: merging shards of different sweeps (%+v vs %+v)", p.Spec, first.Spec)
+		}
+		for i, b := range p.Benches {
+			if b != first.Benches[i] {
+				return nil, fmt.Errorf("harness: merging results of different benchmark sets (%q vs %q)", b, first.Benches[i])
+			}
+		}
+		merged.Cells = append(merged.Cells, p.Cells...)
+	}
+	sort.Slice(merged.Cells, func(i, j int) bool { return merged.Cells[i].Index < merged.Cells[j].Index })
+	if len(merged.Cells) != merged.GridSize {
+		return nil, fmt.Errorf("harness: merged shards hold %d cells, grid has %d", len(merged.Cells), merged.GridSize)
+	}
+	for i := range merged.Cells {
+		if merged.Cells[i].Index != i {
+			return nil, fmt.Errorf("harness: merged shards miss or duplicate cell %d", i)
+		}
+	}
+	merged.finalize()
+	return merged, nil
+}
+
+// finalize computes the per-benchmark Pareto flags and the per-configuration
+// AMEAN rows (with their own Pareto front). Requires a complete result with
+// cells in index order.
+func (r *ExploreResult) finalize() {
+	nb := len(r.Benches)
+	if nb == 0 || len(r.Cells) == 0 {
+		return
+	}
+	// Per-benchmark fronts: benchmark bi owns cells bi, bi+nb, bi+2nb, ...
+	for bi := 0; bi < nb; bi++ {
+		var group []int
+		for i := bi; i < len(r.Cells); i += nb {
+			group = append(group, i)
+		}
+		flagPareto(r.Cells, group)
+	}
+	// Per-configuration AMEANs: the nb cells of one configuration are
+	// contiguous.
+	r.Configs = r.Configs[:0]
+	for start := 0; start < len(r.Cells); start += nb {
+		c0 := r.Cells[start]
+		cfg := ExploreConfig{
+			Clusters: c0.Clusters, Entries: c0.Entries,
+			SubblockBytes: c0.SubblockBytes, L1Latency: c0.L1Latency,
+		}
+		for _, c := range r.Cells[start : start+nb] {
+			cfg.AMeanCycles += c.NormCycles
+			cfg.AMeanEnergy += c.EnergyRatio
+		}
+		cfg.AMeanCycles /= float64(nb)
+		cfg.AMeanEnergy /= float64(nb)
+		r.Configs = append(r.Configs, cfg)
+	}
+	flagConfigPareto(r.Configs)
+}
+
+// paretoMask returns, for n points read through xy, whether each point is
+// non-dominated: no other point is <= on both axes and < on at least one
+// (lower is better on both). Shared by the per-benchmark and
+// per-configuration fronts so the dominance rule can never diverge.
+func paretoMask(n int, xy func(int) (float64, float64)) []bool {
+	mask := make([]bool, n)
+	for i := 0; i < n; i++ {
+		xi, yi := xy(i)
+		dominated := false
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			xj, yj := xy(j)
+			if xj <= xi && yj <= yi && (xj < xi || yj < yi) {
+				dominated = true
+				break
+			}
+		}
+		mask[i] = !dominated
+	}
+	return mask
+}
+
+// flagPareto sets Pareto on the cells (by position in cells) that no other
+// group member dominates on (NormCycles, EnergyRatio).
+func flagPareto(cells []ExploreCell, group []int) {
+	mask := paretoMask(len(group), func(k int) (float64, float64) {
+		c := &cells[group[k]]
+		return c.NormCycles, c.EnergyRatio
+	})
+	for k, i := range group {
+		cells[i].Pareto = mask[k]
+	}
+}
+
+func flagConfigPareto(cfgs []ExploreConfig) {
+	mask := paretoMask(len(cfgs), func(k int) (float64, float64) {
+		return cfgs[k].AMeanCycles, cfgs[k].AMeanEnergy
+	})
+	for i := range cfgs {
+		cfgs[i].Pareto = mask[i]
+	}
+}

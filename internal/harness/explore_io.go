@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// exploreCellTable flattens the cells into a stats.Table (the shared shape
+// behind the text and CSV emitters). Formatting is fixed-precision so a
+// merged shard run renders byte-identically to a single-process run.
+func exploreCellTable(r *ExploreResult) *stats.Table {
+	t := &stats.Table{Title: fmt.Sprintf("Design-space sweep: %d cells over %d benchmarks (cycles and energy vs same-machine no-L0 baseline)", r.GridSize, len(r.Benches))}
+	t.Header = []string{"index", "bench", "clusters", "entries", "subblock", "l1lat",
+		"base_cycles", "cycles", "norm_cycles", "stall_frac", "base_energy", "energy", "energy_ratio", "pareto"}
+	for _, c := range r.Cells {
+		t.Add(
+			fmt.Sprintf("%d", c.Index), c.Bench,
+			fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
+			fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
+			fmt.Sprintf("%d", c.BaseCycles), fmt.Sprintf("%d", c.Cycles),
+			fmt.Sprintf("%.4f", c.NormCycles), fmt.Sprintf("%.4f", c.StallFrac),
+			fmt.Sprintf("%.0f", c.BaseEnergy), fmt.Sprintf("%.0f", c.Energy),
+			fmt.Sprintf("%.4f", c.EnergyRatio), paretoMark(c.Pareto),
+		)
+	}
+	return t
+}
+
+// exploreConfigTable renders the per-configuration suite-AMEAN rows.
+func exploreConfigTable(r *ExploreResult) *stats.Table {
+	t := &stats.Table{Title: "Suite AMEAN per configuration (Pareto front of cycles vs energy marked *)"}
+	t.Header = []string{"clusters", "entries", "subblock", "l1lat", "amean_cycles", "amean_energy", "pareto"}
+	for _, c := range r.Configs {
+		t.Add(
+			fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
+			fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
+			fmt.Sprintf("%.4f", c.AMeanCycles), fmt.Sprintf("%.4f", c.AMeanEnergy),
+			paretoMark(c.Pareto),
+		)
+	}
+	return t
+}
+
+func paretoMark(p bool) string {
+	if p {
+		return "*"
+	}
+	return ""
+}
+
+// RenderExplore prints the sweep as text tables: every cell, then the
+// per-benchmark Pareto fronts, then the per-configuration AMEAN table.
+// Incomplete (shard) results print only their cells.
+func RenderExplore(w io.Writer, r *ExploreResult) {
+	exploreCellTable(r).Render(w)
+	if !r.Complete() {
+		fmt.Fprintf(w, "\n(shard %d/%d: %d of %d cells; merge shards for Pareto fronts)\n",
+			r.Shard, r.Shards, len(r.Cells), r.GridSize)
+		return
+	}
+	fmt.Fprintln(w)
+	front := &stats.Table{Title: "Per-benchmark Pareto fronts (cycles vs energy, lower is better)"}
+	front.Header = []string{"bench", "clusters", "entries", "subblock", "l1lat", "norm_cycles", "energy_ratio"}
+	for _, bench := range r.Benches {
+		for _, c := range r.Cells {
+			if c.Bench != bench || !c.Pareto {
+				continue
+			}
+			front.Add(c.Bench,
+				fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
+				fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
+				fmt.Sprintf("%.4f", c.NormCycles), fmt.Sprintf("%.4f", c.EnergyRatio))
+		}
+	}
+	front.Render(w)
+	fmt.Fprintln(w)
+	exploreConfigTable(r).Render(w)
+}
+
+// WriteExploreCSV emits the sweep as one flat CSV: every cell row, then —
+// for complete results — one AMEAN pseudo-benchmark row per configuration
+// (cycle/energy columns empty, norm_cycles/energy_ratio carrying the means).
+func WriteExploreCSV(w io.Writer, r *ExploreResult) error {
+	t := exploreCellTable(r)
+	for _, c := range r.Configs {
+		t.Add("", "AMEAN",
+			fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
+			fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
+			"", "",
+			fmt.Sprintf("%.4f", c.AMeanCycles), "",
+			"", "",
+			fmt.Sprintf("%.4f", c.AMeanEnergy), paretoMark(c.Pareto),
+		)
+	}
+	return t.RenderCSV(w)
+}
+
+// WriteExploreJSON emits the result as indented JSON (the format shards
+// exchange: ReadExploreJSON and MergeExplore reconstruct the full sweep).
+func WriteExploreJSON(w io.Writer, r *ExploreResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadExploreJSON parses a result written by WriteExploreJSON.
+func ReadExploreJSON(rd io.Reader) (*ExploreResult, error) {
+	var r ExploreResult
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("harness: parse explore json: %w", err)
+	}
+	return &r, nil
+}

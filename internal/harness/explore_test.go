@@ -1,0 +1,249 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// exploreTestSpec is the small grid the determinism tests sweep: two
+// benchmarks × two cluster counts (including one past the old 8-cluster
+// breaking point) × two buffer sizes.
+func exploreTestSpec() ExploreSpec {
+	return ExploreSpec{
+		Benches:  []string{"gsmdec", "g721dec"},
+		Clusters: []int{4, 16},
+		Entries:  []int{4, 8},
+	}
+}
+
+func renderAll(t *testing.T, r *ExploreResult) (table, csv, json []byte) {
+	t.Helper()
+	var tb, cb, jb bytes.Buffer
+	RenderExplore(&tb, r)
+	if err := WriteExploreCSV(&cb, r); err != nil {
+		t.Fatalf("WriteExploreCSV: %v", err)
+	}
+	if err := WriteExploreJSON(&jb, r); err != nil {
+		t.Fatalf("WriteExploreJSON: %v", err)
+	}
+	return tb.Bytes(), cb.Bytes(), jb.Bytes()
+}
+
+// TestExploreDeterministicAcrossWorkersAndShards is the acceptance gate for
+// the exploration service: the same grid swept on 1 worker (cache off), on 8
+// workers, and as a 2-way shard split merged back together must render
+// byte-identically in every output format.
+func TestExploreDeterministicAcrossWorkersAndShards(t *testing.T) {
+	spec := exploreTestSpec()
+
+	serial, err := ExploreCfg(RunConfig{Workers: 1, DisableScheduleCache: true}, spec, 0, 1)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := ExploreCfg(RunConfig{Workers: 8}, spec, 0, 1)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	s0, err := ExploreCfg(RunConfig{Workers: 8}, spec, 0, 2)
+	if err != nil {
+		t.Fatalf("shard 0/2: %v", err)
+	}
+	s1, err := ExploreCfg(RunConfig{Workers: 8}, spec, 1, 2)
+	if err != nil {
+		t.Fatalf("shard 1/2: %v", err)
+	}
+	if s0.Complete() || s1.Complete() {
+		t.Fatalf("a half shard claims completeness")
+	}
+	// Shards travel as JSON between processes: merge re-parsed copies so the
+	// test exercises the real workflow, not in-memory shortcuts.
+	reload := func(r *ExploreResult) *ExploreResult {
+		var b bytes.Buffer
+		if err := WriteExploreJSON(&b, r); err != nil {
+			t.Fatalf("WriteExploreJSON: %v", err)
+		}
+		rr, err := ReadExploreJSON(&b)
+		if err != nil {
+			t.Fatalf("ReadExploreJSON: %v", err)
+		}
+		return rr
+	}
+	merged, err := MergeExplore(reload(s1), reload(s0)) // order must not matter
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+
+	st, sc, sj := renderAll(t, serial)
+	for name, r := range map[string]*ExploreResult{"parallel": parallel, "merged": merged} {
+		gt, gc, gj := renderAll(t, r)
+		if !bytes.Equal(st, gt) {
+			t.Errorf("%s table differs from serial:\n%s\nvs\n%s", name, gt, st)
+		}
+		if !bytes.Equal(sc, gc) {
+			t.Errorf("%s csv differs from serial", name)
+		}
+		if !bytes.Equal(sj, gj) {
+			t.Errorf("%s json differs from serial", name)
+		}
+	}
+}
+
+func TestExploreGridShape(t *testing.T) {
+	spec := exploreTestSpec()
+	n, err := spec.GridSize()
+	if err != nil {
+		t.Fatalf("GridSize: %v", err)
+	}
+	if n != 8 { // 2 benches × 2 clusters × 2 entries
+		t.Fatalf("GridSize = %d, want 8", n)
+	}
+	cells, names, err := spec.grid()
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	if !reflect.DeepEqual(names, []string{"gsmdec", "g721dec"}) {
+		t.Errorf("benches = %v", names)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has index %d", i, c.Index)
+		}
+		// The derived subblock stays at the 8-byte clamp for both widths
+		// (32-byte blocks / 4 clusters = 8; 16 clusters clamps up to 8).
+		if c.SubblockBytes != 8 {
+			t.Errorf("cell %d: subblock %d, want 8", i, c.SubblockBytes)
+		}
+	}
+	// Benchmarks innermost: cells of one configuration are contiguous.
+	if cells[0].Bench != "gsmdec" || cells[1].Bench != "g721dec" {
+		t.Errorf("bench order per config: %s, %s", cells[0].Bench, cells[1].Bench)
+	}
+	if cells[0].Clusters != cells[1].Clusters || cells[0].Entries != cells[1].Entries {
+		t.Errorf("config not contiguous across benches")
+	}
+}
+
+func TestExploreParetoFlags(t *testing.T) {
+	cells := []ExploreCell{
+		{Index: 0, Bench: "b", NormCycles: 0.8, EnergyRatio: 1.1},
+		{Index: 1, Bench: "b", NormCycles: 0.7, EnergyRatio: 1.2},
+		{Index: 2, Bench: "b", NormCycles: 0.9, EnergyRatio: 1.2}, // dominated by both
+		{Index: 3, Bench: "b", NormCycles: 0.7, EnergyRatio: 1.2}, // tie with 1: both survive
+	}
+	flagPareto(cells, []int{0, 1, 2, 3})
+	want := []bool{true, true, false, true}
+	for i, c := range cells {
+		if c.Pareto != want[i] {
+			t.Errorf("cell %d pareto = %v, want %v", i, c.Pareto, want[i])
+		}
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	if _, err := Explore(ExploreSpec{Benches: []string{"nosuch"}}); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("unknown benchmark: err = %v", err)
+	}
+	if _, err := ExploreCfg(DefaultRunConfig(), ExploreSpec{}, 2, 2); err == nil {
+		t.Errorf("out-of-range shard accepted")
+	}
+	if _, err := ExploreCfg(DefaultRunConfig(), ExploreSpec{}, 0, 0); err == nil {
+		t.Errorf("zero shards accepted")
+	}
+	// An unachievable configuration surfaces the arch.Validate error instead
+	// of producing numbers: 4-byte subblocks are below the widest access.
+	spec := ExploreSpec{Benches: []string{"gsmdec"}, Subblocks: []int{4}}
+	if _, err := Explore(spec); err == nil {
+		t.Errorf("sub-word subblock sweep accepted")
+	}
+	if _, err := MergeExplore(); err == nil {
+		t.Errorf("empty merge accepted")
+	}
+	// A truncated shard file decodes to a zero result; merging it must fail
+	// rather than produce an empty "complete" sweep.
+	if _, err := MergeExplore(&ExploreResult{}); err == nil {
+		t.Errorf("zero-grid merge accepted")
+	}
+	a := &ExploreResult{Benches: []string{"x"}, GridSize: 2}
+	b := &ExploreResult{Benches: []string{"x"}, GridSize: 3}
+	if _, err := MergeExplore(a, b); err == nil {
+		t.Errorf("grid-size mismatch merge accepted")
+	}
+	// Same grid size and benchmark set but a different sweep (one shard ran
+	// with an ablation flag): the recorded spec identity must veto the merge.
+	flagged := ExploreSpec{Benches: []string{"x"}, Sched: sched.Options{MarkAllCandidates: true}}
+	plain := ExploreSpec{Benches: []string{"x"}}
+	x := &ExploreResult{Spec: flagged.id(), Benches: []string{"x"}, GridSize: 2,
+		Cells: []ExploreCell{{Index: 0, Bench: "x"}}}
+	y := &ExploreResult{Spec: plain.id(), Benches: []string{"x"}, GridSize: 2,
+		Cells: []ExploreCell{{Index: 1, Bench: "x"}}}
+	if _, err := MergeExplore(x, y); err == nil || !strings.Contains(err.Error(), "different sweeps") {
+		t.Errorf("cross-sweep merge accepted: err = %v", err)
+	}
+	// Missing cells must be detected, not silently finalized.
+	half := &ExploreResult{Benches: []string{"x"}, GridSize: 2, Cells: []ExploreCell{{Index: 0, Bench: "x"}}}
+	if _, err := MergeExplore(half); err == nil {
+		t.Errorf("incomplete merge accepted")
+	}
+	dup := &ExploreResult{Benches: []string{"x"}, GridSize: 2,
+		Cells: []ExploreCell{{Index: 0, Bench: "x"}, {Index: 0, Bench: "x"}}}
+	if _, err := MergeExplore(dup); err == nil {
+		t.Errorf("duplicate-cell merge accepted")
+	}
+}
+
+// TestEnergySweepMatchesSerialAndSuite pins the energy experiment to the
+// parallel engine: parallel equals serial, and the row count tracks the
+// suite size (the old cmd/l0sim loop divided its AMEAN by a hardcoded 13).
+func TestEnergySweepMatchesSerialAndSuite(t *testing.T) {
+	serial, err := EnergySweepCfg(RunConfig{Workers: 1, DisableScheduleCache: true}, 8)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := EnergySweepCfg(RunConfig{Workers: 8}, 8)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("energy sweep parallel != serial")
+	}
+	if len(serial) != len(workload.Suite()) {
+		t.Errorf("rows = %d, want one per suite benchmark (%d)", len(serial), len(workload.Suite()))
+	}
+	for _, r := range serial {
+		if r.Base <= 0 || r.L0 <= 0 || r.Ratio <= 0 {
+			t.Errorf("%s: non-positive energy: %+v", r.Bench, r)
+		}
+	}
+	var b bytes.Buffer
+	RenderEnergy(&b, serial, 8)
+	if !strings.Contains(b.String(), "AMEAN") {
+		t.Errorf("RenderEnergy missing AMEAN row:\n%s", b.String())
+	}
+}
+
+// TestExploreSchedOptionsChangeResults guards the spec's scheduler axis: an
+// ablation switch must actually reach the L0 compilations.
+func TestExploreSchedOptionsChangeResults(t *testing.T) {
+	spec := ExploreSpec{Benches: []string{"epicdec"}, Clusters: []int{4}, Entries: []int{8}}
+	plain, err := Explore(spec)
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	spec.Sched = sched.Options{PrefetchDistance: 2}
+	dist2, err := Explore(spec)
+	if err != nil {
+		t.Fatalf("dist2: %v", err)
+	}
+	if plain.Cells[0].Cycles == dist2.Cells[0].Cycles {
+		t.Errorf("prefetch-distance option did not change epicdec cycles (%d)", plain.Cells[0].Cycles)
+	}
+	if plain.Cells[0].BaseCycles != dist2.Cells[0].BaseCycles {
+		t.Errorf("scheduler options leaked into the baseline: %d vs %d",
+			plain.Cells[0].BaseCycles, dist2.Cells[0].BaseCycles)
+	}
+}

@@ -248,6 +248,37 @@ func TestSystemInterleavedFillScattersLanes(t *testing.T) {
 	}
 }
 
+func TestSystemInterleavedFillBoundsLanesOnWideMachines(t *testing.T) {
+	// 16 clusters, 32-byte blocks, 8-byte elements: a block has only 4
+	// elements, so an interleaved fill must deposit exactly 4 lanes — never
+	// a dead entry in each of the other 12 clusters.
+	cfg := arch.MICRO36Config().WithClusters(16).WithL0Entries(8)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s := NewSystem(cfg)
+	h := arch.Hints{Access: arch.ParAccess, Map: arch.InterleavedMap}
+	s.Load(2, 4096, 8, h, 100)
+	if s.Stats.InterleavedSubblocks != 4 {
+		t.Errorf("interleaved subblocks = %d, want 4 (one per populated lane)", s.Stats.InterleavedSubblocks)
+	}
+	// The populated lanes land in the clusters consecutive to the accessing
+	// one, and every element of the block is resident somewhere.
+	for i, addr := range []int64{4096, 4104, 4112, 4120} {
+		cl := (2 + i) % cfg.Clusters
+		if s.L0[cl].Lookup(addr, 8) < 0 {
+			t.Errorf("element at %d not resident in cluster %d", addr, cl)
+		}
+	}
+	occupied := 0
+	for _, b := range s.L0 {
+		occupied += b.Occupancy()
+	}
+	if occupied != 4 {
+		t.Errorf("total occupancy = %d, want 4", occupied)
+	}
+}
+
 func TestSystemInterleavedFillPaysShufflePenalty(t *testing.T) {
 	cfg := cfg8()
 	sLin := NewSystem(cfg)

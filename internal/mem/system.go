@@ -164,16 +164,44 @@ func (s *System) fill(cluster int, addr int64, width int, h arch.Hints, l1ready,
 	}
 	// Interleaved: the whole L1 block is read, shuffled (+1 cycle), and
 	// its lanes scattered to consecutive clusters starting with the
-	// accessing cluster's own lane (§3.1).
+	// accessing cluster's own lane (§3.1). Only lanes that actually hold
+	// elements are deposited: a block has L1BlockBytes/width elements, so a
+	// machine wider than that would otherwise fill every remaining cluster
+	// with a dead entry that can only evict live data.
 	validAt := l1ready + int64(s.Cfg.InterleavePenalty)
 	block := blockAlign(addr, s.Cfg.L1BlockBytes)
 	ownLane := laneOf(addr, block, width, s.Cfg.Clusters)
+	s.scatterInterleaved(cluster, block, ownLane, width, validAt, now)
+	return validAt
+}
+
+// interleaveLanes returns how many interleave lanes of an L1 block are
+// populated at the given element width (at most one per cluster).
+func (s *System) interleaveLanes(width int) int {
+	n := s.Cfg.L1BlockBytes / width
+	if n > s.Cfg.Clusters {
+		n = s.Cfg.Clusters
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// scatterInterleaved deposits the populated lanes of an interleaved block
+// fill into consecutive clusters, the accessing cluster taking its own lane
+// first. Shared by demand fills and hint prefetches so their lane→cluster
+// placement can never diverge from the lookup path.
+func (s *System) scatterInterleaved(cluster int, block int64, ownLane, width int, validAt, now int64) {
+	numLanes := s.interleaveLanes(width)
 	for j := 0; j < s.Cfg.Clusters; j++ {
-		cl := (cluster + j) % s.Cfg.Clusters
 		lane := (ownLane + j) % s.Cfg.Clusters
+		if lane >= numLanes {
+			continue
+		}
+		cl := (cluster + j) % s.Cfg.Clusters
 		s.L0[cl].AllocInterleaved(block, lane, width, validAt, now)
 	}
-	return validAt
 }
 
 // maybeHintPrefetch fires the automatic POSITIVE/NEGATIVE prefetch when the
@@ -245,11 +273,7 @@ func (s *System) maybeHintPrefetch(cluster int, addr int64, width int, h arch.Hi
 	s.Stats.HintPrefetches++
 	bt := s.busStart(cluster, t)
 	ready := s.accessL1(target, bt, true) + int64(s.Cfg.InterleavePenalty)
-	for j := 0; j < s.Cfg.Clusters; j++ {
-		cl := (cluster + j) % s.Cfg.Clusters
-		ln := (lane + j) % s.Cfg.Clusters
-		s.L0[cl].AllocInterleaved(target, ln, width, ready, t)
-	}
+	s.scatterInterleaved(cluster, target, lane, width, ready, t)
 }
 
 // ExplicitPrefetch executes a software prefetch instruction (step 5): it

@@ -571,22 +571,28 @@ func TestAdaptivePrefetchDistance(t *testing.T) {
 	}
 }
 
-func TestWideLoadsNotMarkedOnNarrowSubblocks(t *testing.T) {
-	// 8 clusters -> 4-byte subblocks: an 8-byte load can never hit L0 and
-	// must not be marked.
-	cfg := arch.MICRO36Config().WithClusters(8)
-	b := ir.NewBuilder("wide", 256)
-	a := b.Array("a", 8192, 8)
-	v := b.Load("ld", a, 0, 8, 8)
-	b.Int("op", v)
-	sch := compileOK(t, b.Build(), cfg, Options{UseL0: true})
-	if sch.Placed[0].UseL0 {
-		t.Errorf("8-byte load marked for L0 with 4-byte subblocks")
+func TestWideLoadsMarkableAtEveryClusterCount(t *testing.T) {
+	// WithClusters clamps the subblock at the widest access (8 bytes), so an
+	// 8-byte load stays an L0 candidate even on wide machines — before the
+	// clamp, 8 clusters derived 4-byte subblocks and wide loads silently
+	// bypassed the buffers.
+	for _, n := range []int{4, 8, 16, 32} {
+		cfg := arch.MICRO36Config().WithClusters(n)
+		b := ir.NewBuilder("wide", 256)
+		a := b.Array("a", 8192, 8)
+		v := b.Load("ld", a, 0, 8, 8)
+		b.Int("op", v)
+		sch := compileOK(t, b.Build(), cfg, Options{UseL0: true})
+		if !sch.Placed[0].UseL0 {
+			t.Errorf("%d clusters: 8-byte load not marked with %d-byte subblocks", n, cfg.L0SubblockBytes)
+		}
 	}
-	// On the 4-cluster machine (8-byte subblocks) it is markable.
-	sch4 := compileOK(t, b.Build().Clone(), arch.MICRO36Config(), Options{UseL0: true})
-	if !sch4.Placed[0].UseL0 {
-		t.Errorf("8-byte load not marked with 8-byte subblocks")
+	// Sub-word subblock configurations no longer validate at all: the
+	// scheduler refuses them instead of quietly excluding wide loads.
+	cfg := arch.MICRO36Config()
+	cfg.L0SubblockBytes = 4
+	if _, err := Compile(inPlaceLoop(t, 256), cfg, Options{UseL0: true}); err == nil {
+		t.Errorf("Compile accepted a sub-word subblock config")
 	}
 }
 

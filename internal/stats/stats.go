@@ -3,6 +3,8 @@
 package stats
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -89,4 +91,73 @@ func (t *Table) RenderString() string {
 	var b strings.Builder
 	t.Render(&b)
 	return b.String()
+}
+
+// RenderCSV writes the table as RFC-4180 CSV: one header record followed by
+// the data records. The title is not emitted (CSV consumers key on columns);
+// short rows are padded to the header width so every record has the same
+// field count.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := r
+		if len(rec) < len(t.Header) {
+			rec = append(append(make([]string, 0, len(t.Header)), r...),
+				make([]string, len(t.Header)-len(r))...)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the stable wire form of a Table.
+type tableJSON struct {
+	Title  string     `json:"title,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// RenderJSON writes the table as one indented JSON object with title,
+// header and rows, followed by a newline.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tableJSON{Title: t.Title, Header: t.Header, Rows: t.Rows})
+}
+
+// ParseCSVTable reads a table previously written by RenderCSV (header record
+// plus data records). The title is not representable in CSV and comes back
+// empty. Records longer than the header are preserved as-is (RenderCSV pads
+// short rows but passes long rows through), so emit → parse → emit is
+// byte-identical for every table RenderCSV accepts.
+func ParseCSVTable(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // ragged rows survive the round trip
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("stats: parse csv: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("stats: parse csv: empty input")
+	}
+	t := &Table{Header: recs[0]}
+	for _, rec := range recs[1:] {
+		t.Add(rec...)
+	}
+	return t, nil
+}
+
+// ParseJSONTable reads a table previously written by RenderJSON.
+func ParseJSONTable(r io.Reader) (*Table, error) {
+	var tj tableJSON
+	if err := json.NewDecoder(r).Decode(&tj); err != nil {
+		return nil, fmt.Errorf("stats: parse json: %w", err)
+	}
+	return &Table{Title: tj.Title, Header: tj.Header, Rows: tj.Rows}, nil
 }

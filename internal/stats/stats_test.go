@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -82,5 +84,85 @@ func TestTableRender(t *testing.T) {
 	off := strings.Index(lines[3], "1")
 	if strings.Index(lines[4], "2") != off {
 		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func sampleTable() *Table {
+	tb := &Table{Title: "sample", Header: []string{"bench", "cycles", "note"}}
+	tb.Add("gsmdec", "123", "has,comma")
+	tb.Add("epicdec", "456", `has"quote`)
+	tb.Add("AMEAN", "0.89") // short row: padded on emit
+	return tb
+}
+
+// TestTableCSVRoundTrip checks that emit → parse → emit is byte-identical
+// (the shard-merge workflow ships tables through these emitters).
+func TestTableCSVRoundTrip(t *testing.T) {
+	var first bytes.Buffer
+	if err := sampleTable().RenderCSV(&first); err != nil {
+		t.Fatalf("RenderCSV: %v", err)
+	}
+	parsed, err := ParseCSVTable(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseCSVTable: %v", err)
+	}
+	var second bytes.Buffer
+	if err := parsed.RenderCSV(&second); err != nil {
+		t.Fatalf("re-RenderCSV: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("CSV round trip not byte-identical:\n%q\nvs\n%q", first.String(), second.String())
+	}
+	if len(parsed.Rows) != 3 || parsed.Rows[0][2] != "has,comma" || parsed.Rows[1][2] != `has"quote` {
+		t.Errorf("CSV quoting lost content: %+v", parsed.Rows)
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	var first bytes.Buffer
+	if err := sampleTable().RenderJSON(&first); err != nil {
+		t.Fatalf("RenderJSON: %v", err)
+	}
+	parsed, err := ParseJSONTable(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseJSONTable: %v", err)
+	}
+	var second bytes.Buffer
+	if err := parsed.RenderJSON(&second); err != nil {
+		t.Fatalf("re-RenderJSON: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("JSON round trip not byte-identical:\n%s\nvs\n%s", first.String(), second.String())
+	}
+	if parsed.Title != "sample" || !reflect.DeepEqual(parsed.Header, []string{"bench", "cycles", "note"}) {
+		t.Errorf("JSON lost title/header: %+v", parsed)
+	}
+}
+
+func TestParseCSVTableRejectsEmpty(t *testing.T) {
+	if _, err := ParseCSVTable(strings.NewReader("")); err == nil {
+		t.Errorf("ParseCSVTable accepted empty input")
+	}
+}
+
+// TestTableCSVRoundTripRaggedRows: rows longer than the header still round
+// trip (RenderCSV passes them through; the parser must not reject them).
+func TestTableCSVRoundTripRaggedRows(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.Add("1", "2", "3")
+	var first bytes.Buffer
+	if err := tb.RenderCSV(&first); err != nil {
+		t.Fatalf("RenderCSV: %v", err)
+	}
+	parsed, err := ParseCSVTable(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseCSVTable: %v", err)
+	}
+	var second bytes.Buffer
+	if err := parsed.RenderCSV(&second); err != nil {
+		t.Fatalf("re-RenderCSV: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("ragged round trip not byte-identical:\n%q\nvs\n%q", first.String(), second.String())
 	}
 }
