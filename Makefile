@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench smoke
+.PHONY: build test race vet bench smoke serve-smoke wirestudy
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,20 @@ smoke:
 	$(SMOKE_DIR)/l0explore -merge $(SMOKE_DIR)/s0.json,$(SMOKE_DIR)/s1.json -format table -o $(SMOKE_DIR)/merged.txt
 	cmp $(SMOKE_DIR)/full.txt $(SMOKE_DIR)/merged.txt
 	rm -rf $(SMOKE_DIR)
+
+# serve-smoke drives the serving subsystem end to end: l0served on an
+# ephemeral port, a 2×2 grid through the HTTP API diffed byte-for-byte
+# against the local l0explore output, and a cache save → fresh-process
+# reload cycle that must serve the same sweep with zero compiles.
+serve-smoke:
+	sh scripts/serve_smoke.sh .serve-smoke
+
+# wirestudy reproduces docs/wire_study.md: the wire-delay scaling sweep
+# (L1 latency 4..24 with the adaptive prefetch-distance scheduler) over the
+# full default grid. Takes a few minutes single-core; the committed CSV is
+# the artifact the write-up reads from.
+wirestudy:
+	$(GO) run ./cmd/l0explore -l1lat 4,8,12,16,20,24 -adaptive -format csv -roundtrip -o docs/wire_study.csv
 
 # bench regenerates every figure/table benchmark with allocation stats and
 # records the machine-readable trajectory in BENCH_<n>.json (bump the number

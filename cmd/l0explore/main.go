@@ -1,96 +1,116 @@
 // Command l0explore is the design-space exploration service: it sweeps a
-// declarative (clusters × L0 entries × subblock bytes × L1 latency) grid
-// over the parallel experiment engine and emits per-benchmark and
-// suite-AMEAN Pareto fronts of cycles vs relative memory-system energy.
+// declarative (clusters × L0 entries × subblock bytes × L1 latency ×
+// prefetch distance × register budget) grid over the parallel experiment
+// engine and emits per-benchmark and suite-AMEAN Pareto fronts of cycles vs
+// relative memory-system energy.
 //
 // Usage:
 //
 //	l0explore [-benches a,b] [-clusters 4,8,16,32] [-entries 4,8,16]
-//	          [-subblock 0] [-l1lat 6] [-adaptive] [-markall]
+//	          [-subblock 0] [-l1lat 6] [-prefetch 0] [-regbudget 0]
+//	          [-adaptive] [-markall]
 //	          [-workers N] [-shard i/M] [-format table|csv|json]
 //	          [-roundtrip] [-o file]
 //	l0explore -merge shard0.json,shard1.json [-format ...] [-o file]
+//	l0explore -server http://host:port [sweep flags] [-format ...] [-o file]
+//	l0explore -server http://host:port -cachestats | -savecache
 //
 // The grid is index-deterministic: output is byte-identical for any worker
 // count, and a -shard i/M split merged back with -merge reproduces the
 // unsharded output exactly. Sharded runs emit partial JSON (cells only);
 // -merge checks exact grid coverage, recomputes the Pareto fronts, and
 // renders in the requested format.
+//
+// -prefetch and -regbudget are scheduler axes: each value joins the grid
+// product (0 keeps the scheduler default / unbounded registers) and applies
+// to the L0 compilations only, like -adaptive and -markall.
+//
+// With -server the sweep is delegated to a running l0served process — same
+// request, same bytes, but compiled against the server's warm schedule
+// cache. -cachestats and -savecache are client verbs for the server's cache
+// endpoints.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/harness"
 	"repro/internal/sched"
+	"repro/internal/server"
 	"repro/internal/stats"
 )
 
+// cli carries the parsed flag set (one struct instead of a 15-arg run).
+type cli struct {
+	benches, clusters, entries, subblock, l1lat string
+	prefetch, regbudget                         string
+	adaptive, markall                           bool
+	workers                                     int
+	shardSpec, format, merge                    string
+	round                                       bool
+	outPath                                     string
+	serverURL                                   string
+	cachestats, savecache                       bool
+}
+
 func main() {
-	var (
-		benches  = flag.String("benches", "", "comma-separated benchmark subset (default: whole suite)")
-		clusters = flag.String("clusters", "4,8,16,32", "cluster counts to sweep")
-		entries  = flag.String("entries", "4,8,16", "L0 entry counts to sweep")
-		subblock = flag.String("subblock", "0", "L0 subblock bytes to sweep (0 = derive from cluster count)")
-		l1lat    = flag.String("l1lat", "6", "unified-L1 latencies to sweep")
-		adaptive = flag.Bool("adaptive", false, "schedule L0 runs with the adaptive per-load prefetch distance")
-		markall  = flag.Bool("markall", false, "mark all candidate loads for L0 (the §5.2 ablation)")
-		workers  = flag.Int("workers", 0, "worker-pool size (0 = one per CPU)")
-		shard    = flag.String("shard", "0/1", "run shard i of M of the grid (emits partial JSON unless 0/1)")
-		format   = flag.String("format", "table", "output format: table, csv or json")
-		merge    = flag.String("merge", "", "comma-separated partial JSON files to merge instead of sweeping")
-		round    = flag.Bool("roundtrip", false, "re-parse the emitted csv/json and fail unless it round-trips byte-identically")
-		outPath  = flag.String("o", "", "output file (default stdout)")
-	)
+	var c cli
+	flag.StringVar(&c.benches, "benches", "", "comma-separated benchmark subset (default: whole suite)")
+	flag.StringVar(&c.clusters, "clusters", "4,8,16,32", "cluster counts to sweep")
+	flag.StringVar(&c.entries, "entries", "4,8,16", "L0 entry counts to sweep")
+	flag.StringVar(&c.subblock, "subblock", "0", "L0 subblock bytes to sweep (0 = derive from cluster count)")
+	flag.StringVar(&c.l1lat, "l1lat", "6", "unified-L1 latencies to sweep")
+	flag.StringVar(&c.prefetch, "prefetch", "0", "prefetch distances to sweep (0 = scheduler default)")
+	flag.StringVar(&c.regbudget, "regbudget", "0", "per-cluster register budgets to sweep (0 = unbounded)")
+	flag.BoolVar(&c.adaptive, "adaptive", false, "schedule L0 runs with the adaptive per-load prefetch distance")
+	flag.BoolVar(&c.markall, "markall", false, "mark all candidate loads for L0 (the §5.2 ablation)")
+	flag.IntVar(&c.workers, "workers", 0, "worker-pool size (0 = one per CPU; with -server, the requested budget)")
+	flag.StringVar(&c.shardSpec, "shard", "0/1", "run shard i of M of the grid (emits partial JSON unless 0/1)")
+	flag.StringVar(&c.format, "format", "table", "output format: table, csv or json")
+	flag.StringVar(&c.merge, "merge", "", "comma-separated partial JSON files to merge instead of sweeping")
+	flag.BoolVar(&c.round, "roundtrip", false, "re-parse the emitted csv/json and fail unless it round-trips byte-identically")
+	flag.StringVar(&c.outPath, "o", "", "output file (default stdout)")
+	flag.StringVar(&c.serverURL, "server", "", "delegate to a running l0served at this base URL instead of sweeping locally")
+	flag.BoolVar(&c.cachestats, "cachestats", false, "with -server: print the server's schedule-cache statistics")
+	flag.BoolVar(&c.savecache, "savecache", false, "with -server: ask the server to snapshot its schedule cache")
 	flag.Parse()
 
-	if err := run(*benches, *clusters, *entries, *subblock, *l1lat, *adaptive, *markall,
-		*workers, *shard, *format, *merge, *round, *outPath); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintf(os.Stderr, "l0explore: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(benches, clusters, entries, subblock, l1lat string, adaptive, markall bool,
-	workers int, shardSpec, format, merge string, round bool, outPath string) error {
-	shard, shards, err := harness.ParseShard(shardSpec)
+func run(c cli) error {
+	if c.serverURL != "" {
+		return runRemote(c)
+	}
+	if c.cachestats || c.savecache {
+		return fmt.Errorf("-cachestats/-savecache need -server")
+	}
+	shard, shards, err := harness.ParseShard(c.shardSpec)
 	if err != nil {
 		return err
 	}
 
 	var res *harness.ExploreResult
-	if merge != "" {
-		res, err = mergeFiles(strings.Split(merge, ","))
+	if c.merge != "" {
+		res, err = mergeFiles(strings.Split(c.merge, ","))
 	} else {
 		var spec harness.ExploreSpec
-		if spec.Clusters, err = parseInts(clusters); err != nil {
-			return fmt.Errorf("-clusters: %w", err)
+		if spec, err = c.spec(); err != nil {
+			return err
 		}
-		if spec.Entries, err = parseInts(entries); err != nil {
-			return fmt.Errorf("-entries: %w", err)
-		}
-		if spec.Subblocks, err = parseInts(subblock); err != nil {
-			return fmt.Errorf("-subblock: %w", err)
-		}
-		if spec.L1Latencies, err = parseInts(l1lat); err != nil {
-			return fmt.Errorf("-l1lat: %w", err)
-		}
-		if benches != "" {
-			for _, b := range strings.Split(benches, ",") {
-				if b = strings.TrimSpace(b); b != "" {
-					spec.Benches = append(spec.Benches, b)
-				}
-			}
-		}
-		spec.Sched = sched.Options{AdaptivePrefetchDistance: adaptive, MarkAllCandidates: markall}
 		rc := harness.DefaultRunConfig()
-		if workers > 0 {
-			rc.Workers = workers
+		if c.workers > 0 {
+			rc.Workers = c.workers
 		}
 		res, err = harness.ExploreCfg(rc, spec, shard, shards)
 	}
@@ -98,6 +118,144 @@ func run(benches, clusters, entries, subblock, l1lat string, adaptive, markall b
 		return err
 	}
 
+	out := io.Writer(os.Stdout)
+	var outFile *os.File
+	if c.outPath != "" {
+		f, err := os.Create(c.outPath)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		out = f
+	}
+
+	// A partial shard's only meaningful output is the mergeable JSON form.
+	format := c.format
+	if !res.Complete() && format != "json" {
+		fmt.Fprintf(os.Stderr, "l0explore: shard %d/%d is partial; emitting json\n", res.Shard, res.Shards)
+		format = "json"
+	}
+	err = emit(out, res, format, c.round)
+	// Close errors matter: shards feed -merge, so a silently truncated file
+	// must fail the producing process, not the consumer.
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// spec builds the local sweep specification from the flags.
+func (c cli) spec() (harness.ExploreSpec, error) {
+	var spec harness.ExploreSpec
+	var err error
+	if spec.Clusters, err = parseInts(c.clusters); err != nil {
+		return spec, fmt.Errorf("-clusters: %w", err)
+	}
+	if spec.Entries, err = parseInts(c.entries); err != nil {
+		return spec, fmt.Errorf("-entries: %w", err)
+	}
+	if spec.Subblocks, err = parseInts(c.subblock); err != nil {
+		return spec, fmt.Errorf("-subblock: %w", err)
+	}
+	if spec.L1Latencies, err = parseInts(c.l1lat); err != nil {
+		return spec, fmt.Errorf("-l1lat: %w", err)
+	}
+	if spec.PrefetchDists, err = parseInts(c.prefetch); err != nil {
+		return spec, fmt.Errorf("-prefetch: %w", err)
+	}
+	if spec.RegBudgets, err = parseInts(c.regbudget); err != nil {
+		return spec, fmt.Errorf("-regbudget: %w", err)
+	}
+	spec.Benches = splitNames(c.benches)
+	spec.Sched = sched.Options{AdaptivePrefetchDistance: c.adaptive, MarkAllCandidates: c.markall}
+	return spec, nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, b := range strings.Split(s, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// runRemote delegates to a running l0served: the same sweep flags become a
+// /v1/explore request (the engine guarantees the response bytes match a
+// local run), and -cachestats/-savecache map to the cache endpoints.
+func runRemote(c cli) error {
+	base := strings.TrimRight(c.serverURL, "/")
+	switch {
+	case c.cachestats:
+		resp, err := http.Get(base + "/v1/cachestats")
+		if err != nil {
+			return err
+		}
+		return copyResponse(c.outPath, resp)
+	case c.savecache:
+		resp, err := http.Post(base+"/v1/cache/save", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			return err
+		}
+		return copyResponse(c.outPath, resp)
+	}
+	if c.merge != "" {
+		return fmt.Errorf("-merge runs locally; drop -server")
+	}
+	if c.shardSpec != "0/1" {
+		return fmt.Errorf("-shard is a local fan-out; the server parallelizes internally")
+	}
+	if c.round {
+		return fmt.Errorf("-roundtrip checks the local emitters; drop it with -server")
+	}
+	switch c.format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (table, csv, json)", c.format)
+	}
+	// One flag-parsing path for local and remote runs: the spec carries
+	// every sweep axis, so a future axis added to cli.spec() reaches the
+	// server without a second wiring site.
+	spec, err := c.spec()
+	if err != nil {
+		return err
+	}
+	req := server.ExploreRequest{
+		Benches: spec.Benches, Clusters: spec.Clusters, Entries: spec.Entries,
+		Subblocks: spec.Subblocks, L1Latencies: spec.L1Latencies,
+		PrefetchDists: spec.PrefetchDists, RegBudgets: spec.RegBudgets,
+		Adaptive: c.adaptive, MarkAll: c.markall,
+		Workers: c.workers, Format: c.format,
+	}
+	var body strings.Builder
+	if err := json.NewEncoder(&body).Encode(req); err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/explore", "application/json", strings.NewReader(body.String()))
+	if err != nil {
+		return err
+	}
+	return copyResponse(c.outPath, resp)
+}
+
+// copyResponse streams a server response to the output path (stdout by
+// default). Non-2xx responses surface the server's structured error as a
+// non-zero exit instead of polluting the output file.
+func copyResponse(outPath string, resp *http.Response) error {
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
 	out := io.Writer(os.Stdout)
 	var outFile *os.File
 	if outPath != "" {
@@ -108,15 +266,7 @@ func run(benches, clusters, entries, subblock, l1lat string, adaptive, markall b
 		outFile = f
 		out = f
 	}
-
-	// A partial shard's only meaningful output is the mergeable JSON form.
-	if !res.Complete() && format != "json" {
-		fmt.Fprintf(os.Stderr, "l0explore: shard %d/%d is partial; emitting json\n", res.Shard, res.Shards)
-		format = "json"
-	}
-	err = emit(out, res, format, round)
-	// Close errors matter: shards feed -merge, so a silently truncated file
-	// must fail the producing process, not the consumer.
+	_, err := io.Copy(out, resp.Body)
 	if outFile != nil {
 		if cerr := outFile.Close(); err == nil {
 			err = cerr

@@ -1,0 +1,115 @@
+// Command l0served is the long-lived sweep-serving daemon: it accepts
+// design-space exploration requests (the l0explore grid), energy sweeps and
+// single-configuration runs over HTTP and executes them on the parallel
+// experiment engine with the schedule cache warm across requests. With
+// -cache it loads a persisted cache snapshot at startup and saves one on
+// graceful shutdown (and on POST /v1/cache/save), so even a fresh process
+// serves repeat sweeps without compiling anything.
+//
+// Usage:
+//
+//	l0served [-addr host:port] [-workers N] [-maxjobs N] [-maxqueue N]
+//	         [-maxgrid N] [-cache file] [-portfile file]
+//
+// -addr may use port 0 to bind an ephemeral port; the chosen address is
+// logged and, with -portfile, written to a file scripts can poll (the
+// serve-smoke harness does).
+//
+// The API and its determinism guarantees are documented in
+// internal/server; `l0explore -server URL ...` is the matching client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8723", "listen address (port 0 = ephemeral)")
+		workers  = flag.Int("workers", 0, "total worker-slot budget shared by concurrent requests (0 = one per CPU)")
+		maxjobs  = flag.Int("maxjobs", 0, "max concurrently executing requests (0 = default 4)")
+		maxqueue = flag.Int("maxqueue", 0, "max admitted-but-waiting requests before 503 (0 = default 64)")
+		maxgrid  = flag.Int("maxgrid", 0, "max sweep grid cells before 413 (0 = default 250000)")
+		cache    = flag.String("cache", "", "schedule-cache snapshot: loaded at startup, saved on shutdown and /v1/cache/save")
+		portfile = flag.String("portfile", "", "write the bound address to this file once listening")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workers, *maxjobs, *maxqueue, *maxgrid, *cache, *portfile); err != nil {
+		fmt.Fprintf(os.Stderr, "l0served: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, maxjobs, maxqueue, maxgrid int, cache, portfile string) error {
+	srv := server.New(server.Config{
+		WorkerBudget:  workers,
+		MaxConcurrent: maxjobs,
+		MaxQueued:     maxqueue,
+		MaxGridCells:  maxgrid,
+		CachePath:     cache,
+	})
+	if cache != "" {
+		st, err := srv.LoadCache()
+		if err != nil {
+			return fmt.Errorf("load cache %s: %w", cache, err)
+		}
+		log.Printf("cache %s: loaded %d schedules, %d unroll decisions (%d skipped)",
+			cache, st.Schedules, st.Unrolls, st.Skipped)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	log.Printf("listening on %s", bound)
+	if portfile != "" {
+		// Written atomically-enough for the polling scripts: a rename from
+		// a temp file means the file is never observed half-written.
+		tmp := portfile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, portfile); err != nil {
+			return err
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+	case err := <-errc:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if cache != "" {
+		if err := srv.SaveCache(); err != nil {
+			return fmt.Errorf("save cache %s: %w", cache, err)
+		}
+		log.Printf("cache snapshot saved to %s", cache)
+	}
+	return nil
+}

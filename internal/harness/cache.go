@@ -1,0 +1,379 @@
+// Schedule-cache observability and persistence. The memoized compiles of
+// engine.go are deterministic, so they can be serialized — a versioned,
+// deterministic snapshot keyed exactly like the in-memory cache — and
+// reloaded into a fresh process, making cold starts of the exploration
+// server and repeated shard fan-outs near-instant: a sweep whose grid was
+// compiled by an earlier process performs zero sched.Compile calls.
+//
+// Serialized entries do not carry loop bodies or array addresses. Both are
+// deterministic: kernels are pure builders, base addresses are a function of
+// the benchmark's kernel order, and unrolling is reproducible from the
+// recorded factor. The importer rebuilds each loop the same way
+// compileKernelUncached did and binds the encoded schedule back to it,
+// validating against drift (a renamed kernel, a changed array layout or an
+// incompatible format version is rejected or skipped, never half-loaded).
+
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/sched"
+	"repro/internal/unroll"
+	"repro/internal/workload"
+)
+
+// CacheCounters tracks schedule-cache traffic. One process-global instance
+// backs CacheStatsNow; runs can carry their own via RunConfig.Counters.
+type CacheCounters struct {
+	// Hits/Misses count cacheable compilations served from / inserted
+	// into the schedule cache.
+	Hits, Misses atomic.Int64
+	// Bypassed counts compilations that could not be cached because the
+	// scheduler options carry per-run callbacks (see cacheable): these
+	// silently skip memoization, so the counter is the only way to see a
+	// bypass regression.
+	Bypassed atomic.Int64
+	// Disabled counts compilations that skipped the cache because the run
+	// asked for it (DisableScheduleCache).
+	Disabled atomic.Int64
+	// Compiles counts actual kernel compilations (cache misses plus every
+	// bypassed/disabled build). A warm-cache sweep performs zero.
+	Compiles atomic.Int64
+}
+
+func (c *CacheCounters) reset() {
+	c.Hits.Store(0)
+	c.Misses.Store(0)
+	c.Bypassed.Store(0)
+	c.Disabled.Store(0)
+	c.Compiles.Store(0)
+}
+
+// Snapshot returns the counters as plain values.
+func (c *CacheCounters) Snapshot() CacheStats {
+	return CacheStats{
+		Hits:     c.Hits.Load(),
+		Misses:   c.Misses.Load(),
+		Bypassed: c.Bypassed.Load(),
+		Disabled: c.Disabled.Load(),
+		Compiles: c.Compiles.Load(),
+	}
+}
+
+// CacheStats is a point-in-time view of the schedule cache: entry counts
+// plus the traffic counters (JSON-tagged; served by /v1/cachestats).
+type CacheStats struct {
+	ScheduleEntries int   `json:"schedule_entries"`
+	UnrollEntries   int   `json:"unroll_entries"`
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Bypassed        int64 `json:"bypassed"`
+	Disabled        int64 `json:"disabled"`
+	Compiles        int64 `json:"compiles"`
+}
+
+var globalCacheCounters CacheCounters
+
+// CacheStatsNow snapshots the process-global cache state.
+func CacheStatsNow() CacheStats {
+	s := globalCacheCounters.Snapshot()
+	scheduleCache.Range(func(_, v any) bool {
+		if v.(*compileEntry).done.Load() {
+			s.ScheduleEntries++
+		}
+		return true
+	})
+	unrollCache.Range(func(_, v any) bool {
+		if v.(*unrollEntry).done.Load() {
+			s.UnrollEntries++
+		}
+		return true
+	})
+	return s
+}
+
+// CacheFormatVersion identifies the persisted snapshot layout. Bump it when
+// the encoding, the cache key, or anything the importer reconstructs from
+// (kernel builders, address assignment, unrolling) changes incompatibly;
+// old snapshots are then rejected at load instead of poisoning results.
+const CacheFormatVersion = 1
+
+// scheduleRecord is one persisted compilation: the full cache key in stable
+// form plus the compiled artifact (factor, address-space consumption, and
+// the pointer-free schedule encoding).
+type scheduleRecord struct {
+	Bench    string       `json:"bench"`
+	Kernel   string       `json:"kernel"`
+	Idx      int          `json:"idx"`
+	Entries  int          `json:"entries"`
+	Cfg      arch.Config  `json:"cfg"`
+	Opts     schedOptsKey `json:"opts"`
+	Fallback bool         `json:"fallback,omitempty"`
+
+	Factor    int                    `json:"factor"`
+	BaseDelta int64                  `json:"base_delta"`
+	Schedule  *sched.EncodedSchedule `json:"schedule"`
+}
+
+// unrollRecord is one persisted §5.1 unroll decision.
+type unrollRecord struct {
+	Bench  string      `json:"bench"`
+	Kernel string      `json:"kernel"`
+	Idx    int         `json:"idx"`
+	Cfg    arch.Config `json:"cfg"`
+	Factor int         `json:"factor"`
+}
+
+// cacheSnapshot is the on-disk form.
+type cacheSnapshot struct {
+	Version   int              `json:"version"`
+	Schedules []scheduleRecord `json:"schedules"`
+	Unrolls   []unrollRecord   `json:"unrolls"`
+}
+
+// toOptions reconstructs the comparable scheduler options a cached compile
+// ran under (the callback fields are nil by construction: runs using them
+// are never cached).
+func (k schedOptsKey) toOptions() sched.Options {
+	return sched.Options{
+		UseL0:                    k.UseL0,
+		AllowPSR:                 k.AllowPSR,
+		MarkAllCandidates:        k.MarkAllCandidates,
+		PrefetchDistance:         k.PrefetchDistance,
+		AdaptivePrefetchDistance: k.AdaptivePrefetchDistance,
+		DisableExplicitPrefetch:  k.DisableExplicitPrefetch,
+		MaxII:                    k.MaxII,
+		RegistersPerCluster:      k.RegistersPerCluster,
+	}
+}
+
+// ExportScheduleCache writes a deterministic snapshot of every completed
+// cache entry: records are sorted by their marshaled key, so two processes
+// that compiled the same design space emit byte-identical snapshots
+// regardless of worker interleaving.
+func ExportScheduleCache(w io.Writer) error {
+	snap := cacheSnapshot{Version: CacheFormatVersion}
+	scheduleCache.Range(func(k, v any) bool {
+		e := v.(*compileEntry)
+		if !e.done.Load() || e.err != nil || e.res.sch == nil {
+			return true // in-flight or failed compiles are not worth keeping
+		}
+		key := k.(compileKey)
+		snap.Schedules = append(snap.Schedules, scheduleRecord{
+			Bench: key.bench, Kernel: key.kernel, Idx: key.idx,
+			Entries: key.entries, Cfg: key.cfg, Opts: key.opts, Fallback: key.fallback,
+			Factor: e.res.factor, BaseDelta: e.res.baseDelta,
+			Schedule: e.res.sch.Encode(),
+		})
+		return true
+	})
+	unrollCache.Range(func(k, v any) bool {
+		e := v.(*unrollEntry)
+		if !e.done.Load() {
+			return true
+		}
+		key := k.(unrollKey)
+		snap.Unrolls = append(snap.Unrolls, unrollRecord{
+			Bench: key.bench, Kernel: key.kernel, Idx: key.idx,
+			Cfg: key.cfg, Factor: e.factor,
+		})
+		return true
+	})
+
+	sortByMarshaledKey(snap.Schedules, func(r scheduleRecord) any {
+		r.Schedule = nil // identity only: the artifact is not part of the key
+		return r
+	})
+	sortByMarshaledKey(snap.Unrolls, func(r unrollRecord) any { return r })
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(snap)
+}
+
+// sortByMarshaledKey orders records by the JSON bytes of their identity
+// projection — a total, stable order without a hand-written multi-field
+// comparison that would silently go stale when the key grows a field.
+func sortByMarshaledKey[T any](recs []T, identity func(T) any) {
+	keys := make([][]byte, len(recs))
+	for i, r := range recs {
+		b, err := json.Marshal(identity(r))
+		if err != nil {
+			// Keys are plain structs of ints/bools/strings; Marshal cannot
+			// fail on them. Keep the entry with an empty key rather than
+			// dropping data.
+			b = nil
+		}
+		keys[i] = b
+	}
+	idx := make([]int, len(recs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return bytes.Compare(keys[idx[a]], keys[idx[b]]) < 0 })
+	out := make([]T, len(recs))
+	for i, j := range idx {
+		out[i] = recs[j]
+	}
+	copy(recs, out)
+}
+
+// ImportStats reports what a snapshot load accomplished.
+type ImportStats struct {
+	// Schedules/Unrolls are the entries loaded into the live caches.
+	Schedules int `json:"schedules"`
+	Unrolls   int `json:"unrolls"`
+	// Skipped counts records rejected individually (unknown benchmark,
+	// kernel drift, encoding that fails validation): the rest of the
+	// snapshot still loads.
+	Skipped int `json:"skipped"`
+}
+
+// ImportScheduleCache loads a snapshot written by ExportScheduleCache into
+// the live caches. Entries already present (compiled by this process) are
+// kept — a reload never replaces a live schedule. A snapshot with the wrong
+// format version fails as a whole; records that no longer match the workload
+// (renamed kernel, different address layout) are skipped and counted.
+func ImportScheduleCache(r io.Reader) (ImportStats, error) {
+	var snap cacheSnapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return ImportStats{}, fmt.Errorf("harness: parse cache snapshot: %w", err)
+	}
+	if snap.Version != CacheFormatVersion {
+		return ImportStats{}, fmt.Errorf("harness: cache snapshot version %d, want %d", snap.Version, CacheFormatVersion)
+	}
+
+	var st ImportStats
+	bases := map[string][]int64{} // bench -> per-kernel base addresses
+	kernelBase := func(bench string, idx int) (int64, bool) {
+		bs, ok := bases[bench]
+		if !ok {
+			b := workload.ByName(bench)
+			if b == nil {
+				bases[bench] = nil
+				return 0, false
+			}
+			base := int64(1 << 16) // mirrors RunBenchmark's starting base
+			for i := range b.Kernels {
+				bs = append(bs, base)
+				l := b.Kernels[i].Loop()
+				base = workload.AssignAddresses(l, base)
+			}
+			bases[bench] = bs
+		}
+		if idx < 0 || idx >= len(bs) {
+			return 0, false
+		}
+		return bs[idx], true
+	}
+
+	for _, rec := range snap.Schedules {
+		ck, ok := rebuildCompiled(rec, kernelBase)
+		if !ok {
+			st.Skipped++
+			continue
+		}
+		key := compileKey{
+			bench: rec.Bench, kernel: rec.Kernel, idx: rec.Idx,
+			entries: rec.Entries, cfg: rec.Cfg, opts: rec.Opts, fallback: rec.Fallback,
+		}
+		e := &compileEntry{}
+		e.once.Do(func() { e.res = ck })
+		e.done.Store(true)
+		if _, loaded := scheduleCache.LoadOrStore(key, e); !loaded {
+			st.Schedules++
+		}
+	}
+	for _, rec := range snap.Unrolls {
+		b := workload.ByName(rec.Bench)
+		if b == nil || rec.Idx < 0 || rec.Idx >= len(b.Kernels) ||
+			b.Kernels[rec.Idx].Name != rec.Kernel || rec.Factor < 1 {
+			st.Skipped++
+			continue
+		}
+		key := unrollKey{bench: rec.Bench, kernel: rec.Kernel, idx: rec.Idx, cfg: rec.Cfg}
+		e := &unrollEntry{}
+		e.once.Do(func() { e.factor = rec.Factor })
+		e.done.Store(true)
+		if _, loaded := unrollCache.LoadOrStore(key, e); !loaded {
+			st.Unrolls++
+		}
+	}
+	return st, nil
+}
+
+// rebuildCompiled reconstructs one memoized compilation from its record:
+// rebuild the kernel loop, assign its deterministic base addresses, re-apply
+// the recorded unroll, and bind the encoded schedule. Any mismatch with the
+// live workload rejects the record.
+func rebuildCompiled(rec scheduleRecord, kernelBase func(string, int) (int64, bool)) (compiledKernel, bool) {
+	if rec.Schedule == nil || rec.Factor < 1 {
+		return compiledKernel{}, false
+	}
+	b := workload.ByName(rec.Bench)
+	if b == nil || rec.Idx < 0 || rec.Idx >= len(b.Kernels) || b.Kernels[rec.Idx].Name != rec.Kernel {
+		return compiledKernel{}, false
+	}
+	base, ok := kernelBase(rec.Bench, rec.Idx)
+	if !ok {
+		return compiledKernel{}, false
+	}
+	l := b.Kernels[rec.Idx].Loop()
+	after := workload.AssignAddresses(l, base)
+	if after-base != rec.BaseDelta {
+		return compiledKernel{}, false // array layout drifted since the snapshot
+	}
+	body := l
+	if rec.Factor > 1 {
+		var err error
+		body, err = unroll.ByFactor(l, rec.Factor)
+		if err != nil {
+			return compiledKernel{}, false
+		}
+	}
+	sch, err := sched.DecodeSchedule(rec.Schedule, body, rec.Cfg, rec.Opts.toOptions())
+	if err != nil {
+		return compiledKernel{}, false
+	}
+	return compiledKernel{sch: sch, factor: rec.Factor, baseDelta: rec.BaseDelta}, true
+}
+
+// SaveCacheFile atomically writes the cache snapshot to path (temp file +
+// rename, so a crash mid-save never leaves a truncated snapshot that a
+// future start would reject).
+func SaveCacheFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".l0cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := ExportScheduleCache(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCacheFile loads a snapshot written by SaveCacheFile.
+func LoadCacheFile(path string) (ImportStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ImportStats{}, err
+	}
+	defer f.Close()
+	return ImportScheduleCache(f)
+}

@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// cacheTestSpec is a small but non-trivial grid: two benchmarks, two cluster
+// counts, two buffer sizes, plus an L0-only scheduler switch so the cache
+// holds more than default-option compiles.
+func cacheTestSpec() ExploreSpec {
+	s := exploreTestSpec()
+	s.Clusters = []int{4, 8}
+	return s
+}
+
+// TestCachePersistenceRoundTrip is the PR's acceptance gate for the
+// persistence layer: save → load into an empty cache → the same sweep
+// performs zero compiles and produces byte-identical output.
+func TestCachePersistenceRoundTrip(t *testing.T) {
+	ResetCaches()
+	spec := cacheTestSpec()
+
+	var cold CacheCounters
+	coldRes, err := ExploreCfg(RunConfig{Workers: 4, Counters: &cold}, spec, 0, 1)
+	if err != nil {
+		t.Fatalf("cold sweep: %v", err)
+	}
+	if cold.Compiles.Load() == 0 || cold.Misses.Load() == 0 {
+		t.Fatalf("cold sweep compiled nothing (compiles=%d misses=%d): test is vacuous",
+			cold.Compiles.Load(), cold.Misses.Load())
+	}
+	var coldJSON bytes.Buffer
+	if err := WriteExploreJSON(&coldJSON, coldRes); err != nil {
+		t.Fatalf("render cold: %v", err)
+	}
+
+	var snap1 bytes.Buffer
+	if err := ExportScheduleCache(&snap1); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	// Deterministic serialization: a second export is byte-identical.
+	var snap2 bytes.Buffer
+	if err := ExportScheduleCache(&snap2); err != nil {
+		t.Fatalf("re-export: %v", err)
+	}
+	if !bytes.Equal(snap1.Bytes(), snap2.Bytes()) {
+		t.Errorf("consecutive exports differ")
+	}
+
+	ResetCaches()
+	st, err := ImportScheduleCache(bytes.NewReader(snap1.Bytes()))
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if st.Schedules == 0 || st.Skipped != 0 {
+		t.Fatalf("import stats %+v: want schedules > 0, skipped == 0", st)
+	}
+	stats := CacheStatsNow()
+	if stats.ScheduleEntries != st.Schedules || stats.UnrollEntries != st.Unrolls {
+		t.Errorf("CacheStatsNow entries %d/%d, import loaded %d/%d",
+			stats.ScheduleEntries, stats.UnrollEntries, st.Schedules, st.Unrolls)
+	}
+
+	// Export after import must reproduce the snapshot byte-for-byte: the
+	// rebuilt schedules carry exactly the information the records did.
+	var snap3 bytes.Buffer
+	if err := ExportScheduleCache(&snap3); err != nil {
+		t.Fatalf("export after import: %v", err)
+	}
+	if !bytes.Equal(snap1.Bytes(), snap3.Bytes()) {
+		t.Errorf("export after import differs from original snapshot")
+	}
+
+	var warm CacheCounters
+	warmRes, err := ExploreCfg(RunConfig{Workers: 4, Counters: &warm}, spec, 0, 1)
+	if err != nil {
+		t.Fatalf("warm sweep: %v", err)
+	}
+	if n := warm.Compiles.Load(); n != 0 {
+		t.Errorf("warm sweep after cache load performed %d compiles, want 0", n)
+	}
+	if warm.Hits.Load() == 0 {
+		t.Errorf("warm sweep recorded no cache hits")
+	}
+	var warmJSON bytes.Buffer
+	if err := WriteExploreJSON(&warmJSON, warmRes); err != nil {
+		t.Fatalf("render warm: %v", err)
+	}
+	if !bytes.Equal(coldJSON.Bytes(), warmJSON.Bytes()) {
+		t.Errorf("warm (persisted-cache) sweep differs from cold run")
+	}
+	ResetCaches()
+}
+
+// TestCacheSnapshotVersionAndDrift covers the rejection paths: a wrong
+// format version fails the whole load, a record for a benchmark that no
+// longer exists is skipped without failing the rest.
+func TestCacheSnapshotVersionAndDrift(t *testing.T) {
+	ResetCaches()
+	spec := ExploreSpec{Benches: []string{"gsmdec"}, Clusters: []int{4}, Entries: []int{8}}
+	if _, err := ExploreCfg(RunConfig{Workers: 2}, spec, 0, 1); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	var snap bytes.Buffer
+	if err := ExportScheduleCache(&snap); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(snap.Bytes(), &raw); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	raw["version"] = json.RawMessage("999")
+	bad, _ := json.Marshal(raw)
+	if _, err := ImportScheduleCache(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("version mismatch: err = %v, want version error", err)
+	}
+	if _, err := ImportScheduleCache(strings.NewReader("{")); err == nil {
+		t.Errorf("truncated snapshot accepted")
+	}
+
+	// Drift: rename the benchmark in every record; all must be skipped.
+	drifted := bytes.ReplaceAll(snap.Bytes(), []byte(`"gsmdec"`), []byte(`"nosuchbench"`))
+	ResetCaches()
+	st, err := ImportScheduleCache(bytes.NewReader(drifted))
+	if err != nil {
+		t.Fatalf("drifted import: %v", err)
+	}
+	if st.Schedules != 0 || st.Skipped == 0 {
+		t.Errorf("drifted import stats %+v: want all records skipped", st)
+	}
+	ResetCaches()
+}
+
+// TestCacheBypassCounterObservesCallbackRuns pins the satellite fix: runs
+// whose scheduler options carry per-run callbacks (MultiVLIW, interleaved)
+// can never be cached, and that bypass must be counted, not silent.
+func TestCacheBypassCounterObservesCallbackRuns(t *testing.T) {
+	ResetCaches()
+	var c CacheCounters
+	if _, err := Fig7Cfg(RunConfig{Workers: 2, Counters: &c}, 8); err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	if c.Bypassed.Load() == 0 {
+		t.Errorf("Fig7 (MultiVLIW + interleaved baselines) recorded zero cache bypasses")
+	}
+	if c.Hits.Load()+c.Misses.Load() == 0 {
+		t.Errorf("no cacheable compiles recorded at all")
+	}
+	global := CacheStatsNow()
+	if global.Bypassed < c.Bypassed.Load() {
+		t.Errorf("global bypass counter %d below per-run counter %d", global.Bypassed, c.Bypassed.Load())
+	}
+
+	var d CacheCounters
+	if _, err := ExploreCfg(RunConfig{Workers: 2, DisableScheduleCache: true, Counters: &d},
+		ExploreSpec{Benches: []string{"gsmdec"}, Clusters: []int{4}, Entries: []int{4}}, 0, 1); err != nil {
+		t.Fatalf("disabled-cache sweep: %v", err)
+	}
+	if d.Disabled.Load() == 0 {
+		t.Errorf("DisableScheduleCache run recorded zero disabled-cache compiles")
+	}
+	if d.Hits.Load() != 0 || d.Misses.Load() != 0 {
+		t.Errorf("disabled-cache run touched the cache: hits=%d misses=%d", d.Hits.Load(), d.Misses.Load())
+	}
+	ResetCaches()
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,6 +25,15 @@ type RunConfig struct {
 	// to measure the cache's contribution; results are identical either
 	// way because compilation is deterministic).
 	DisableScheduleCache bool
+	// Ctx, when non-nil, cancels the run: forEachJob stops handing out
+	// jobs once the context is done and returns its error. The serving
+	// layer threads each request's context through here so an abandoned
+	// HTTP request or a canceled job releases its workers promptly.
+	Ctx context.Context
+	// Counters, when non-nil, additionally accumulates this run's
+	// schedule-cache traffic (hits, misses, bypasses) into the given
+	// counter set, on top of the process-global counters.
+	Counters *CacheCounters
 }
 
 // DefaultRunConfig runs one worker per CPU with the schedule cache enabled.
@@ -34,7 +44,15 @@ func DefaultRunConfig() RunConfig {
 // options derives the per-run harness Options for one job, threading the
 // engine-level cache switch so driver closures cannot forget it.
 func (rc RunConfig) options(cfg arch.Config) Options {
-	return Options{Cfg: cfg, DisableScheduleCache: rc.DisableScheduleCache}
+	return Options{Cfg: cfg, DisableScheduleCache: rc.DisableScheduleCache, Counters: rc.Counters}
+}
+
+// canceled returns the context's error when the run's context is done.
+func (rc RunConfig) canceled() error {
+	if rc.Ctx == nil {
+		return nil
+	}
+	return rc.Ctx.Err()
 }
 
 func (rc RunConfig) workers(n int) int {
@@ -63,6 +81,9 @@ func forEachJob[T any](rc RunConfig, n int, job func(i int) (T, error)) ([]T, er
 	workers := rc.workers(n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := rc.canceled(); err != nil {
+				return nil, err
+			}
 			r, err := job(i)
 			if err != nil {
 				return nil, err
@@ -86,6 +107,15 @@ func forEachJob[T any](rc RunConfig, n int, job func(i int) (T, error)) ([]T, er
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() {
+					return
+				}
+				if err := rc.canceled(); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					failed.Store(true)
 					return
 				}
 				r, err := job(i)
@@ -124,7 +154,7 @@ type schedOptsKey struct {
 }
 
 func optsKeyOf(o sched.Options) schedOptsKey {
-	return schedOptsKey{
+	k := schedOptsKey{
 		UseL0:                    o.UseL0,
 		AllowPSR:                 o.AllowPSR,
 		MarkAllCandidates:        o.MarkAllCandidates,
@@ -134,6 +164,20 @@ func optsKeyOf(o sched.Options) schedOptsKey {
 		MaxII:                    o.MaxII,
 		RegistersPerCluster:      o.RegistersPerCluster,
 	}
+	// Normalize to what Compile actually uses, so equivalent compilations
+	// share one cache entry (and one shard-merge identity): a distance
+	// <= 0 means the scheduler default of 1, the distance is ignored
+	// entirely in adaptive mode, and any non-positive register budget
+	// means unbounded.
+	if k.AdaptivePrefetchDistance {
+		k.PrefetchDistance = 0
+	} else if k.PrefetchDistance <= 0 {
+		k.PrefetchDistance = 1
+	}
+	if k.RegistersPerCluster < 0 {
+		k.RegistersPerCluster = 0
+	}
+	return k
 }
 
 // cacheable reports whether a compile under these scheduler options may be
@@ -174,6 +218,9 @@ type compileEntry struct {
 	once sync.Once
 	res  compiledKernel
 	err  error
+	// done is set (release) after once.Do has filled res/err, so the cache
+	// exporter can Range over entries without racing in-flight compiles.
+	done atomic.Bool
 }
 
 // unrollKey identifies one step-1 unroll decision. The factor is chosen on
@@ -190,6 +237,8 @@ type unrollKey struct {
 type unrollEntry struct {
 	once   sync.Once
 	factor int
+	// done mirrors compileEntry.done for the cache exporter.
+	done atomic.Bool
 }
 
 // The memoization is process-global and unbounded by design: every distinct
@@ -204,10 +253,13 @@ var (
 	unrollCache   sync.Map // unrollKey -> *unrollEntry
 )
 
-// ResetCaches drops the global schedule and unroll memoization (tests).
+// ResetCaches drops the global schedule and unroll memoization and zeroes
+// the process-global cache counters (tests, and the serving layer's
+// cache-management path).
 func ResetCaches() {
 	scheduleCache = sync.Map{}
 	unrollCache = sync.Map{}
+	globalCacheCounters.reset()
 }
 
 // chooseFactor memoizes sched.ChooseUnrollFactor per (benchmark, kernel,
@@ -220,7 +272,10 @@ func chooseFactor(bench string, i int, k *workload.Kernel, l *ir.Loop, unrollCfg
 	key := unrollKey{bench: bench, kernel: k.Name, idx: i, cfg: unrollCfg}
 	v, _ := unrollCache.LoadOrStore(key, &unrollEntry{})
 	e := v.(*unrollEntry)
-	e.once.Do(func() { e.factor = sched.ChooseUnrollFactor(l, unrollCfg) })
+	e.once.Do(func() {
+		e.factor = sched.ChooseUnrollFactor(l, unrollCfg)
+		e.done.Store(true)
+	})
 	return e.factor
 }
 
@@ -230,8 +285,16 @@ func chooseFactor(bench string, i int, k *workload.Kernel, l *ir.Loop, unrollCfg
 // shared immutable schedule.
 func compileKernel(b *workload.Benchmark, i int, a Arch, opts Options, schedOpts sched.Options, base int64) (compiledKernel, error) {
 	k := &b.Kernels[i]
-	useCache := !opts.DisableScheduleCache && cacheable(schedOpts)
-	if useCache {
+	switch {
+	case !cacheable(schedOpts):
+		// Per-run callbacks make the compilation unrepresentable in the
+		// key: the run silently bypasses the cache. Counted so bypass
+		// regressions (a new callback-carrying path eating the cache's
+		// benefit) are observable in /v1/cachestats instead of silent.
+		opts.count(func(c *CacheCounters) { c.Bypassed.Add(1) })
+	case opts.DisableScheduleCache:
+		opts.count(func(c *CacheCounters) { c.Disabled.Add(1) })
+	default:
 		entries := archEntries(a, opts.Cfg)
 		key := compileKey{
 			bench: b.Name, kernel: k.Name, idx: i,
@@ -245,7 +308,17 @@ func compileKernel(b *workload.Benchmark, i int, a Arch, opts Options, schedOpts
 		}
 		v, _ := scheduleCache.LoadOrStore(key, &compileEntry{})
 		e := v.(*compileEntry)
-		e.once.Do(func() { e.res, e.err = compileKernelUncached(b, i, a, opts, schedOpts, base, true) })
+		fresh := false
+		e.once.Do(func() {
+			fresh = true
+			e.res, e.err = compileKernelUncached(b, i, a, opts, schedOpts, base, true)
+			e.done.Store(true)
+		})
+		if fresh {
+			opts.count(func(c *CacheCounters) { c.Misses.Add(1) })
+		} else {
+			opts.count(func(c *CacheCounters) { c.Hits.Add(1) })
+		}
 		if e.err != nil {
 			return compiledKernel{}, e.err
 		}
@@ -255,6 +328,7 @@ func compileKernel(b *workload.Benchmark, i int, a Arch, opts Options, schedOpts
 }
 
 func compileKernelUncached(b *workload.Benchmark, i int, a Arch, opts Options, schedOpts sched.Options, base int64, useFactorCache bool) (compiledKernel, error) {
+	opts.count(func(c *CacheCounters) { c.Compiles.Add(1) })
 	k := &b.Kernels[i]
 	cfg := opts.Cfg
 	l := k.Loop()

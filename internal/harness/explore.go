@@ -40,6 +40,15 @@ type ExploreSpec struct {
 	Entries     []int `json:"entries,omitempty"`
 	Subblocks   []int `json:"subblocks,omitempty"`
 	L1Latencies []int `json:"l1_latencies,omitempty"`
+	// PrefetchDists and RegBudgets sweep scheduler knobs as first-class
+	// axes joining the grid product. A PrefetchDists entry of 0 keeps
+	// Sched.PrefetchDistance (the scheduler defaults that to 1); a
+	// RegBudgets entry of 0 leaves register pressure unbounded. Like
+	// Sched, both apply to the L0 compilations only — the baseline of a
+	// cell is always compiled with default options, so these axes share
+	// the deduplicated baseline runs.
+	PrefetchDists []int `json:"prefetch_dists,omitempty"`
+	RegBudgets    []int `json:"reg_budgets,omitempty"`
 	// Sched carries scheduler switches applied to the L0 runs (the
 	// baseline is always compiled with default options, like the figures).
 	Sched sched.Options `json:"-"`
@@ -61,10 +70,18 @@ func (s ExploreSpec) normalized() ExploreSpec {
 	if len(s.L1Latencies) == 0 {
 		s.L1Latencies = []int{arch.MICRO36Config().L1Latency}
 	}
+	if len(s.PrefetchDists) == 0 {
+		s.PrefetchDists = []int{0}
+	}
+	if len(s.RegBudgets) == 0 {
+		s.RegBudgets = []int{0}
+	}
 	s.Clusters = dedupInts(s.Clusters)
 	s.Entries = dedupInts(s.Entries)
 	s.Subblocks = dedupInts(s.Subblocks)
 	s.L1Latencies = dedupInts(s.L1Latencies)
+	s.PrefetchDists = dedupInts(s.PrefetchDists)
+	s.RegBudgets = dedupInts(s.RegBudgets)
 	return s
 }
 
@@ -114,6 +131,10 @@ type ExploreCell struct {
 	Entries       int `json:"entries"`
 	SubblockBytes int `json:"subblock_bytes"`
 	L1Latency     int `json:"l1_latency"`
+	// PrefetchDist/RegBudget are the scheduler-axis coordinates (0 = the
+	// spec's base Sched options / unbounded registers).
+	PrefetchDist int `json:"prefetch_dist"`
+	RegBudget    int `json:"reg_budget"`
 
 	BaseCycles int64 `json:"base_cycles"`
 	Cycles     int64 `json:"cycles"`
@@ -149,6 +170,8 @@ type ExploreConfig struct {
 	Entries       int     `json:"entries"`
 	SubblockBytes int     `json:"subblock_bytes"`
 	L1Latency     int     `json:"l1_latency"`
+	PrefetchDist  int     `json:"prefetch_dist"`
+	RegBudget     int     `json:"reg_budget"`
 	AMeanCycles   float64 `json:"amean_cycles"`
 	AMeanEnergy   float64 `json:"amean_energy"`
 	Pareto        bool    `json:"pareto"`
@@ -160,11 +183,13 @@ type ExploreConfig struct {
 // same grid swept with and without -adaptive), so MergeExplore refuses to
 // combine results whose identities differ.
 type exploreSpecID struct {
-	Clusters    []int        `json:"clusters"`
-	Entries     []int        `json:"entries"`
-	Subblocks   []int        `json:"subblocks"`
-	L1Latencies []int        `json:"l1_latencies"`
-	Sched       schedOptsKey `json:"sched"`
+	Clusters      []int        `json:"clusters"`
+	Entries       []int        `json:"entries"`
+	Subblocks     []int        `json:"subblocks"`
+	L1Latencies   []int        `json:"l1_latencies"`
+	PrefetchDists []int        `json:"prefetch_dists"`
+	RegBudgets    []int        `json:"reg_budgets"`
+	Sched         schedOptsKey `json:"sched"`
 }
 
 func (s ExploreSpec) id() exploreSpecID {
@@ -172,6 +197,7 @@ func (s ExploreSpec) id() exploreSpecID {
 	return exploreSpecID{
 		Clusters: n.Clusters, Entries: n.Entries,
 		Subblocks: n.Subblocks, L1Latencies: n.L1Latencies,
+		PrefetchDists: n.PrefetchDists, RegBudgets: n.RegBudgets,
 		Sched: optsKeyOf(n.Sched),
 	}
 }
@@ -213,31 +239,93 @@ func (s ExploreSpec) grid() ([]ExploreCell, []string, error) {
 	// subblock (spec value 0) can collide with an explicitly listed size
 	// (e.g. -subblock 0,8 at 4 clusters both resolve to 8), and duplicate
 	// cells would double-weight every AMEAN and Pareto aggregate.
-	type cfgKey struct{ n, e, sub, lat int }
+	type cfgKey struct{ n, e, sub, lat, pd, rb int }
 	seen := map[cfgKey]bool{}
 	for _, n := range spec.Clusters {
 		for _, e := range spec.Entries {
 			for _, sb := range spec.Subblocks {
 				for _, lat := range spec.L1Latencies {
-					probe := ExploreCell{Clusters: n, L1Latency: lat}
-					sub := probe.cfg(sb).L0SubblockBytes
-					k := cfgKey{n, e, sub, lat}
-					if seen[k] {
-						continue
-					}
-					seen[k] = true
-					for _, b := range benches {
-						cells = append(cells, ExploreCell{
-							Index: len(cells), Bench: b.Name,
-							Clusters: n, Entries: e,
-							SubblockBytes: sub, L1Latency: lat,
-						})
+					for _, pd := range spec.PrefetchDists {
+						for _, rb := range spec.RegBudgets {
+							probe := ExploreCell{Clusters: n, L1Latency: lat}
+							sub := probe.cfg(sb).L0SubblockBytes
+							// Like the subblock axis, scheduler-axis values
+							// dedup on their *effective* value, or equivalent
+							// configurations would be swept and double-counted:
+							// the scheduler normalizes distance <= 0 to 1 and
+							// ignores the distance entirely in adaptive mode,
+							// and a non-positive register budget means
+							// unbounded.
+							pd, rb := spec.resolvePrefetch(pd), spec.resolveRegBudget(rb)
+							k := cfgKey{n, e, sub, lat, pd, rb}
+							if seen[k] {
+								continue
+							}
+							seen[k] = true
+							for _, b := range benches {
+								cells = append(cells, ExploreCell{
+									Index: len(cells), Bench: b.Name,
+									Clusters: n, Entries: e,
+									SubblockBytes: sub, L1Latency: lat,
+									PrefetchDist: pd, RegBudget: rb,
+								})
+							}
+						}
 					}
 				}
 			}
 		}
 	}
 	return cells, names, nil
+}
+
+// resolvePrefetch maps a PrefetchDists axis value to the distance the
+// scheduler will actually use: 0 under AdaptivePrefetchDistance (the
+// distance is chosen per load; the axis is inert), otherwise the spec's
+// base option for axis value 0, floored at the scheduler default of 1.
+func (s ExploreSpec) resolvePrefetch(pd int) int {
+	if s.Sched.AdaptivePrefetchDistance {
+		return 0
+	}
+	if pd <= 0 {
+		pd = s.Sched.PrefetchDistance
+	}
+	if pd <= 0 {
+		pd = 1
+	}
+	return pd
+}
+
+// resolveRegBudget maps a RegBudgets axis value to the effective budget:
+// axis value 0 inherits the spec's base option; <= 0 means unbounded.
+func (s ExploreSpec) resolveRegBudget(rb int) int {
+	if rb <= 0 {
+		rb = s.Sched.RegistersPerCluster
+	}
+	if rb < 0 {
+		rb = 0
+	}
+	return rb
+}
+
+// GridBound returns a cheap upper bound on the grid size — the axis-length
+// product times the benchmark count, no cell materialization — so a serving
+// layer can reject an absurd request before grid() allocates anything.
+func (s ExploreSpec) GridBound() (int, error) {
+	n := s.normalized()
+	benches, err := n.benches()
+	if err != nil {
+		return 0, err
+	}
+	const maxInt = int(^uint(0) >> 1)
+	bound := len(benches)
+	for _, axis := range [][]int{n.Clusters, n.Entries, n.Subblocks, n.L1Latencies, n.PrefetchDists, n.RegBudgets} {
+		if len(axis) > 0 && bound > maxInt/len(axis) {
+			return maxInt, nil // saturate instead of overflowing
+		}
+		bound *= len(axis)
+	}
+	return bound, nil
 }
 
 // GridSize returns the number of cells the spec expands to.
@@ -323,6 +411,11 @@ func ExploreCfg(rc RunConfig, spec ExploreSpec, shard, shards int) (*ExploreResu
 		// value), so cfg() applies it verbatim.
 		opts := rc.options(c.cfg(c.SubblockBytes).WithL0Entries(c.Entries))
 		opts.Sched = spec.Sched
+		// The cell carries resolved axis values (see grid): 0 distance
+		// only under the adaptive scheduler (where it is ignored), 0
+		// budget meaning unbounded — both safe to apply verbatim.
+		opts.Sched.PrefetchDistance = c.PrefetchDist
+		opts.Sched.RegistersPerCluster = c.RegBudget
 		return RunBenchmark(workload.ByName(c.Bench), ArchL0, opts)
 	})
 	if err != nil {
@@ -428,6 +521,7 @@ func (r *ExploreResult) finalize() {
 		cfg := ExploreConfig{
 			Clusters: c0.Clusters, Entries: c0.Entries,
 			SubblockBytes: c0.SubblockBytes, L1Latency: c0.L1Latency,
+			PrefetchDist: c0.PrefetchDist, RegBudget: c0.RegBudget,
 		}
 		for _, c := range r.Cells[start : start+nb] {
 			cfg.AMeanCycles += c.NormCycles

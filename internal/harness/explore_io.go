@@ -8,23 +8,50 @@ import (
 	"repro/internal/stats"
 )
 
+// exploreCellHeader is the column set shared by the text table, the
+// in-memory CSV emitter and the streaming CSV emitter.
+func exploreCellHeader() []string {
+	return []string{"index", "bench", "clusters", "entries", "subblock", "l1lat", "prefdist", "regbudget",
+		"base_cycles", "cycles", "norm_cycles", "stall_frac", "base_energy", "energy", "energy_ratio", "pareto"}
+}
+
+// exploreCellRow formats one cell with fixed precision so a merged shard run
+// renders byte-identically to a single-process run.
+func exploreCellRow(c ExploreCell) []string {
+	return []string{
+		fmt.Sprintf("%d", c.Index), c.Bench,
+		fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
+		fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
+		fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget),
+		fmt.Sprintf("%d", c.BaseCycles), fmt.Sprintf("%d", c.Cycles),
+		fmt.Sprintf("%.4f", c.NormCycles), fmt.Sprintf("%.4f", c.StallFrac),
+		fmt.Sprintf("%.0f", c.BaseEnergy), fmt.Sprintf("%.0f", c.Energy),
+		fmt.Sprintf("%.4f", c.EnergyRatio), paretoMark(c.Pareto),
+	}
+}
+
+// exploreAMeanRow formats one per-configuration AMEAN pseudo-benchmark row
+// for the CSV emitters (cycle/energy columns empty, the means in the
+// norm_cycles/energy_ratio columns).
+func exploreAMeanRow(c ExploreConfig) []string {
+	return []string{"", "AMEAN",
+		fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
+		fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
+		fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget),
+		"", "",
+		fmt.Sprintf("%.4f", c.AMeanCycles), "",
+		"", "",
+		fmt.Sprintf("%.4f", c.AMeanEnergy), paretoMark(c.Pareto),
+	}
+}
+
 // exploreCellTable flattens the cells into a stats.Table (the shared shape
-// behind the text and CSV emitters). Formatting is fixed-precision so a
-// merged shard run renders byte-identically to a single-process run.
+// behind the text and CSV emitters).
 func exploreCellTable(r *ExploreResult) *stats.Table {
 	t := &stats.Table{Title: fmt.Sprintf("Design-space sweep: %d cells over %d benchmarks (cycles and energy vs same-machine no-L0 baseline)", r.GridSize, len(r.Benches))}
-	t.Header = []string{"index", "bench", "clusters", "entries", "subblock", "l1lat",
-		"base_cycles", "cycles", "norm_cycles", "stall_frac", "base_energy", "energy", "energy_ratio", "pareto"}
+	t.Header = exploreCellHeader()
 	for _, c := range r.Cells {
-		t.Add(
-			fmt.Sprintf("%d", c.Index), c.Bench,
-			fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
-			fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
-			fmt.Sprintf("%d", c.BaseCycles), fmt.Sprintf("%d", c.Cycles),
-			fmt.Sprintf("%.4f", c.NormCycles), fmt.Sprintf("%.4f", c.StallFrac),
-			fmt.Sprintf("%.0f", c.BaseEnergy), fmt.Sprintf("%.0f", c.Energy),
-			fmt.Sprintf("%.4f", c.EnergyRatio), paretoMark(c.Pareto),
-		)
+		t.Add(exploreCellRow(c)...)
 	}
 	return t
 }
@@ -32,11 +59,12 @@ func exploreCellTable(r *ExploreResult) *stats.Table {
 // exploreConfigTable renders the per-configuration suite-AMEAN rows.
 func exploreConfigTable(r *ExploreResult) *stats.Table {
 	t := &stats.Table{Title: "Suite AMEAN per configuration (Pareto front of cycles vs energy marked *)"}
-	t.Header = []string{"clusters", "entries", "subblock", "l1lat", "amean_cycles", "amean_energy", "pareto"}
+	t.Header = []string{"clusters", "entries", "subblock", "l1lat", "prefdist", "regbudget", "amean_cycles", "amean_energy", "pareto"}
 	for _, c := range r.Configs {
 		t.Add(
 			fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
 			fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
+			fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget),
 			fmt.Sprintf("%.4f", c.AMeanCycles), fmt.Sprintf("%.4f", c.AMeanEnergy),
 			paretoMark(c.Pareto),
 		)
@@ -63,7 +91,7 @@ func RenderExplore(w io.Writer, r *ExploreResult) {
 	}
 	fmt.Fprintln(w)
 	front := &stats.Table{Title: "Per-benchmark Pareto fronts (cycles vs energy, lower is better)"}
-	front.Header = []string{"bench", "clusters", "entries", "subblock", "l1lat", "norm_cycles", "energy_ratio"}
+	front.Header = []string{"bench", "clusters", "entries", "subblock", "l1lat", "prefdist", "regbudget", "norm_cycles", "energy_ratio"}
 	for _, bench := range r.Benches {
 		for _, c := range r.Cells {
 			if c.Bench != bench || !c.Pareto {
@@ -72,6 +100,7 @@ func RenderExplore(w io.Writer, r *ExploreResult) {
 			front.Add(c.Bench,
 				fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
 				fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
+				fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget),
 				fmt.Sprintf("%.4f", c.NormCycles), fmt.Sprintf("%.4f", c.EnergyRatio))
 		}
 	}
@@ -86,16 +115,54 @@ func RenderExplore(w io.Writer, r *ExploreResult) {
 func WriteExploreCSV(w io.Writer, r *ExploreResult) error {
 	t := exploreCellTable(r)
 	for _, c := range r.Configs {
-		t.Add("", "AMEAN",
-			fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
-			fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
-			"", "",
-			fmt.Sprintf("%.4f", c.AMeanCycles), "",
-			"", "",
-			fmt.Sprintf("%.4f", c.AMeanEnergy), paretoMark(c.Pareto),
-		)
+		t.Add(exploreAMeanRow(c)...)
 	}
 	return t.RenderCSV(w)
+}
+
+// WriteExploreCSVStream emits exactly the bytes of WriteExploreCSV but
+// writes each record as it is produced and calls flush every flushEvery data
+// rows (and once at the end), so a consumer on the other side of an HTTP
+// response sees rows arrive instead of one buffered body. flushEvery <= 0
+// flushes only at the end; a nil flush just streams the records.
+func WriteExploreCSVStream(w io.Writer, r *ExploreResult, flushEvery int, flush func()) error {
+	s, err := stats.NewCSVStreamer(w, exploreCellHeader())
+	if err != nil {
+		return err
+	}
+	rows := 0
+	emit := func(cells []string) error {
+		if err := s.Row(cells...); err != nil {
+			return err
+		}
+		rows++
+		if flushEvery > 0 && rows%flushEvery == 0 {
+			if err := s.Flush(); err != nil {
+				return err
+			}
+			if flush != nil {
+				flush()
+			}
+		}
+		return nil
+	}
+	for _, c := range r.Cells {
+		if err := emit(exploreCellRow(c)); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.Configs {
+		if err := emit(exploreAMeanRow(c)); err != nil {
+			return err
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if flush != nil {
+		flush()
+	}
+	return nil
 }
 
 // WriteExploreJSON emits the result as indented JSON (the format shards

@@ -247,3 +247,112 @@ func TestExploreSchedOptionsChangeResults(t *testing.T) {
 			plain.Cells[0].BaseCycles, dist2.Cells[0].BaseCycles)
 	}
 }
+
+// TestExploreSchedAxes covers the spec-driven scheduler axes: prefetch
+// distance and register budget join the grid product, reach the L0
+// compilations, and keep the baseline untouched.
+func TestExploreSchedAxes(t *testing.T) {
+	spec := ExploreSpec{
+		Benches: []string{"epicdec"}, Clusters: []int{4}, Entries: []int{8},
+		PrefetchDists: []int{0, 2}, RegBudgets: []int{0, 64},
+	}
+	n, err := spec.GridSize()
+	if err != nil {
+		t.Fatalf("GridSize: %v", err)
+	}
+	if n != 4 { // 1 bench × 2 prefetch distances × 2 register budgets
+		t.Fatalf("GridSize = %d, want 4", n)
+	}
+	res, err := Explore(spec)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	byAxis := map[[2]int]ExploreCell{}
+	for _, c := range res.Cells {
+		byAxis[[2]int{c.PrefetchDist, c.RegBudget}] = c
+	}
+	// Axis value 0 resolves to the scheduler's effective default of 1
+	// (resolvePrefetch), so cells carry 1, not 0.
+	d0, d2 := byAxis[[2]int{1, 0}], byAxis[[2]int{2, 0}]
+	if d0.Cycles == d2.Cycles {
+		t.Errorf("prefetch-distance axis did not change epicdec cycles (%d)", d0.Cycles)
+	}
+	if d0.BaseCycles != d2.BaseCycles {
+		t.Errorf("scheduler axis leaked into the baseline: %d vs %d", d0.BaseCycles, d2.BaseCycles)
+	}
+	// A generous register budget must not change the schedule (the paper's
+	// machines never spill at 64 registers on these kernels).
+	if r64 := byAxis[[2]int{1, 64}]; r64.Cycles != d0.Cycles {
+		t.Errorf("64-register budget changed cycles: %d vs %d", r64.Cycles, d0.Cycles)
+	}
+	for _, cfg := range res.Configs {
+		if _, ok := byAxis[[2]int{cfg.PrefetchDist, cfg.RegBudget}]; !ok {
+			t.Errorf("config row carries axis point (%d,%d) absent from the grid", cfg.PrefetchDist, cfg.RegBudget)
+		}
+	}
+
+	// Equivalent axis values collapse to one configuration: distance 0 and
+	// 1 resolve identically, and under the adaptive scheduler the distance
+	// axis is inert entirely.
+	dup := ExploreSpec{Benches: []string{"gsmdec"}, PrefetchDists: []int{0, 1}}
+	if n, err := dup.GridSize(); err != nil || n != 1 {
+		t.Errorf("prefetch 0,1 grid = %d (err %v), want 1 cell", n, err)
+	}
+	ad := ExploreSpec{Benches: []string{"gsmdec"}, PrefetchDists: []int{2, 4},
+		Sched: sched.Options{AdaptivePrefetchDistance: true}}
+	if n, err := ad.GridSize(); err != nil || n != 1 {
+		t.Errorf("adaptive prefetch 2,4 grid = %d (err %v), want 1 cell", n, err)
+	}
+
+	// GridBound never under-approximates and never materializes the grid.
+	if b, err := spec.GridBound(); err != nil || b < n {
+		t.Errorf("GridBound = %d (err %v), below grid size %d", b, err, n)
+	}
+	huge := ExploreSpec{Clusters: make([]int, 0)}
+	for i := 0; i < 10000; i++ {
+		huge.Clusters = append(huge.Clusters, i+1)
+		huge.Entries = append(huge.Entries, i+1)
+		huge.L1Latencies = append(huge.L1Latencies, i+1)
+	}
+	if b, err := huge.GridBound(); err != nil || b < 10000*10000 {
+		t.Errorf("huge GridBound = %d (err %v)", b, err)
+	}
+
+	// Shards of sweeps that differ only in a scheduler axis must not merge.
+	base := ExploreSpec{Benches: []string{"x"}}
+	axis := ExploreSpec{Benches: []string{"x"}, PrefetchDists: []int{2}}
+	a := &ExploreResult{Spec: base.id(), Benches: []string{"x"}, GridSize: 2,
+		Cells: []ExploreCell{{Index: 0, Bench: "x"}}}
+	b := &ExploreResult{Spec: axis.id(), Benches: []string{"x"}, GridSize: 2,
+		Cells: []ExploreCell{{Index: 1, Bench: "x"}}}
+	if _, err := MergeExplore(a, b); err == nil || !strings.Contains(err.Error(), "different sweeps") {
+		t.Errorf("merge across scheduler axes accepted: err = %v", err)
+	}
+}
+
+// TestExploreCSVStreamMatchesBuffered pins the streaming CSV path (what the
+// server sends) to the in-memory emitter (what the CLI writes): byte-equal,
+// at every flush granularity.
+func TestExploreCSVStreamMatchesBuffered(t *testing.T) {
+	res, err := Explore(ExploreSpec{Benches: []string{"gsmdec"}, Clusters: []int{4}, Entries: []int{4, 8}})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	var want bytes.Buffer
+	if err := WriteExploreCSV(&want, res); err != nil {
+		t.Fatalf("WriteExploreCSV: %v", err)
+	}
+	for _, every := range []int{0, 1, 3} {
+		var got bytes.Buffer
+		flushes := 0
+		if err := WriteExploreCSVStream(&got, res, every, func() { flushes++ }); err != nil {
+			t.Fatalf("WriteExploreCSVStream(%d): %v", every, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("flushEvery=%d: streamed CSV differs from buffered", every)
+		}
+		if flushes == 0 {
+			t.Errorf("flushEvery=%d: flush callback never invoked", every)
+		}
+	}
+}

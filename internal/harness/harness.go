@@ -74,6 +74,19 @@ type Options struct {
 	// this run (results are identical either way; used to measure the
 	// cache's contribution).
 	DisableScheduleCache bool
+	// Counters, when non-nil, accumulates this run's schedule-cache
+	// traffic in addition to the process-global counters (threaded from
+	// RunConfig.Counters by the engine).
+	Counters *CacheCounters
+}
+
+// count applies one counter update to the process-global counter set and,
+// when the run carries its own counters, to those too.
+func (o Options) count(f func(*CacheCounters)) {
+	f(&globalCacheCounters)
+	if o.Counters != nil {
+		f(o.Counters)
+	}
 }
 
 // KernelResult is the outcome of one kernel on one architecture.

@@ -1,0 +1,126 @@
+// Stable schedule encoding: a pointer-free, versioned form of Schedule that
+// can be serialized (the schedule cache's persistence format) and bound back
+// to a freshly rebuilt loop. Compilation is deterministic, so a schedule is
+// fully described by its per-instruction placements plus the comm/prefetch
+// plans — the loop itself is reconstructed by the consumer (workload kernels
+// are pure builders) and only referenced here by instruction ID.
+
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+)
+
+// EncodedPlaced is the pointer-free form of one Placed entry. The instruction
+// is implicit: EncodedSchedule.Placed is indexed by instruction ID exactly
+// like Schedule.Placed.
+type EncodedPlaced struct {
+	Cluster int        `json:"cluster"`
+	Cycle   int        `json:"cycle"`
+	Latency int        `json:"latency"`
+	UseL0   bool       `json:"use_l0,omitempty"`
+	Hints   arch.Hints `json:"hints"`
+}
+
+// EncodedSchedule is the stable wire form of a Schedule. Comms, Prefetches,
+// SetScheme and SetHome are plain value types and travel verbatim.
+type EncodedSchedule struct {
+	II         int               `json:"ii"`
+	SC         int               `json:"sc"`
+	Placed     []EncodedPlaced   `json:"placed"`
+	Comms      []Comm            `json:"comms,omitempty"`
+	Prefetches []Prefetch        `json:"prefetches,omitempty"`
+	SetScheme  []CoherenceScheme `json:"set_scheme,omitempty"`
+	SetHome    []int             `json:"set_home,omitempty"`
+}
+
+// Encode strips the schedule down to its stable form.
+func (s *Schedule) Encode() *EncodedSchedule {
+	e := &EncodedSchedule{
+		II: s.II, SC: s.SC,
+		Placed:     make([]EncodedPlaced, len(s.Placed)),
+		Comms:      append([]Comm(nil), s.Comms...),
+		Prefetches: append([]Prefetch(nil), s.Prefetches...),
+		SetScheme:  append([]CoherenceScheme(nil), s.SetScheme...),
+		SetHome:    append([]int(nil), s.SetHome...),
+	}
+	for i := range s.Placed {
+		p := &s.Placed[i]
+		e.Placed[i] = EncodedPlaced{
+			Cluster: p.Cluster, Cycle: p.Cycle, Latency: p.Latency,
+			UseL0: p.UseL0, Hints: p.Hints,
+		}
+	}
+	return e
+}
+
+// DecodeSchedule binds an encoded schedule back to a loop built the same way
+// the original compilation built it (same kernel builder, same addresses,
+// same unroll factor). Compile rewrites the loop for partial store
+// replication before scheduling, so the decoder applies the identical
+// rewrite when the options call for it — callers pass the pre-PSR loop.
+//
+// Decoding validates structural invariants (placement count, cluster and
+// cycle ranges, comm/prefetch instruction references, coherence-set array
+// lengths) so a stale or corrupted encoding is rejected instead of producing
+// a schedule the simulator would misexecute.
+func DecodeSchedule(e *EncodedSchedule, loop *ir.Loop, cfg arch.Config, opts Options) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: decode: %w", err)
+	}
+	if err := loop.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: decode: %w", err)
+	}
+	if opts.AllowPSR && opts.UseL0 {
+		loop = applyPSR(loop, cfg)
+	}
+	if e.II < 1 || e.SC < 1 {
+		return nil, fmt.Errorf("sched: decode %q: invalid II=%d SC=%d", loop.Name, e.II, e.SC)
+	}
+	if len(e.Placed) != len(loop.Instrs) {
+		return nil, fmt.Errorf("sched: decode %q: %d placements for %d instructions",
+			loop.Name, len(e.Placed), len(loop.Instrs))
+	}
+	if len(e.SetHome) != len(e.SetScheme) {
+		return nil, fmt.Errorf("sched: decode %q: %d set homes for %d set schemes",
+			loop.Name, len(e.SetHome), len(e.SetScheme))
+	}
+	s := &Schedule{
+		Loop: loop, Cfg: cfg, II: e.II, SC: e.SC,
+		Placed:     make([]Placed, len(e.Placed)),
+		Comms:      append([]Comm(nil), e.Comms...),
+		Prefetches: append([]Prefetch(nil), e.Prefetches...),
+		SetScheme:  append([]CoherenceScheme(nil), e.SetScheme...),
+		SetHome:    append([]int(nil), e.SetHome...),
+	}
+	for i, p := range e.Placed {
+		if p.Cluster < 0 || p.Cluster >= cfg.Clusters {
+			return nil, fmt.Errorf("sched: decode %q: instr %d placed on cluster %d of %d",
+				loop.Name, i, p.Cluster, cfg.Clusters)
+		}
+		if p.Cycle < 0 || p.Latency < 1 {
+			return nil, fmt.Errorf("sched: decode %q: instr %d has cycle %d latency %d",
+				loop.Name, i, p.Cycle, p.Latency)
+		}
+		s.Placed[i] = Placed{
+			Instr: loop.Instrs[i], Cluster: p.Cluster, Cycle: p.Cycle,
+			Latency: p.Latency, UseL0: p.UseL0, Hints: p.Hints,
+		}
+	}
+	for _, c := range s.Comms {
+		if c.Producer < 0 || c.Producer >= len(loop.Instrs) || c.Cycle < 0 {
+			return nil, fmt.Errorf("sched: decode %q: comm references instr %d at cycle %d",
+				loop.Name, c.Producer, c.Cycle)
+		}
+	}
+	for _, pf := range s.Prefetches {
+		if pf.For < 0 || pf.For >= len(loop.Instrs) || pf.Cluster < 0 || pf.Cluster >= cfg.Clusters || pf.Cycle < 0 {
+			return nil, fmt.Errorf("sched: decode %q: prefetch for instr %d on cluster %d at cycle %d",
+				loop.Name, pf.For, pf.Cluster, pf.Cycle)
+		}
+	}
+	return s, nil
+}

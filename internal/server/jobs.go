@@ -1,0 +1,160 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle of one submitted sweep.
+type JobState string
+
+const (
+	// JobQueued: admitted, waiting for a running slot.
+	JobQueued JobState = "queued"
+	// JobRunning: executing on the engine.
+	JobRunning JobState = "running"
+	// JobDone: finished; the rendered result is available.
+	JobDone JobState = "done"
+	// JobFailed: the sweep errored; Error carries the message.
+	JobFailed JobState = "failed"
+	// JobCanceled: canceled via the API (or an abandoned sync request).
+	JobCanceled JobState = "canceled"
+)
+
+// job is one tracked request. Sync requests are tracked too (they appear in
+// /v1/jobs while running) — the only difference is who consumes the result.
+type job struct {
+	mu sync.Mutex
+
+	id     string
+	state  JobState
+	format string
+	// gridSize is the cell count of the sweep (admission-checked).
+	gridSize int
+	// workers is the worker-slot count actually granted, 0 until running.
+	workers int
+
+	result      []byte
+	contentType string
+	errMsg      string
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	cancel context.CancelFunc
+}
+
+// JobStatus is the wire view of a job.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Format   string   `json:"format"`
+	GridSize int      `json:"grid_size"`
+	Workers  int      `json:"workers,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	// ResultURL is set once the job is done.
+	ResultURL string `json:"result_url,omitempty"`
+
+	CreatedAt  string `json:"created_at"`
+	StartedAt  string `json:"started_at,omitempty"`
+	FinishedAt string `json:"finished_at,omitempty"`
+	// Seconds of run time (so far for running jobs).
+	RunSeconds float64 `json:"run_seconds,omitempty"`
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, State: j.state, Format: j.format, GridSize: j.gridSize,
+		Workers: j.workers, Error: j.errMsg,
+		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunSeconds = end.Sub(j.started).Seconds()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.state == JobDone {
+		st.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	return st
+}
+
+func (j *job) setRunning(workers int) {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.workers = workers
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *job) finish(state JobState, result []byte, contentType, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.result = result
+	j.contentType = contentType
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+}
+
+// jobTable tracks every job of the process, in submission order. Jobs are
+// never evicted: each entry is a few hundred bytes plus its rendered result,
+// and the operator controls result size via the grid-cell cap.
+type jobTable struct {
+	mu   sync.Mutex
+	next int
+	jobs map[string]*job
+	ids  []string
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{jobs: map[string]*job{}}
+}
+
+// add registers a freshly admitted job and assigns its ID.
+func (t *jobTable) add(format string, gridSize int, cancel context.CancelFunc) *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	j := &job{
+		id:     fmt.Sprintf("job-%d", t.next),
+		state:  JobQueued,
+		format: format, gridSize: gridSize,
+		created: time.Now(),
+		cancel:  cancel,
+	}
+	t.jobs[j.id] = j
+	t.ids = append(t.ids, j.id)
+	return j
+}
+
+func (t *jobTable) get(id string) *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.jobs[id]
+}
+
+// list returns every job's status in submission order.
+func (t *jobTable) list() []JobStatus {
+	t.mu.Lock()
+	ids := append([]string(nil), t.ids...)
+	t.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j := t.get(id); j != nil {
+			out = append(out, j.status())
+		}
+	}
+	return out
+}

@@ -1,0 +1,738 @@
+// Package server implements l0served: a long-lived HTTP service that runs
+// design-space sweeps, energy sweeps and single-configuration experiments on
+// the parallel experiment engine with the schedule cache warm across
+// requests. One process serves many sweeps; every compilation any request
+// performs is memoized for all later requests, and the cache can be
+// snapshotted to disk and reloaded so even a fresh process starts warm.
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness + uptime
+//	POST /v1/explore           ExploreRequest → rendered sweep (sync) or job (async)
+//	POST /v1/run               RunRequest → one benchmark × architecture × config
+//	POST /v1/energy            EnergyRequest → suite energy comparison
+//	GET  /v1/jobs              all jobs, submission order
+//	GET  /v1/jobs/{id}         one job's status
+//	GET  /v1/jobs/{id}/result  the rendered result of a finished job
+//	POST /v1/jobs/{id}/cancel  cancel a queued/running job
+//	GET  /v1/cachestats        schedule-cache entries + hit/miss/bypass counters
+//	POST /v1/cache/save        snapshot the schedule cache to the configured path
+//
+// Determinism: the engine aggregates by job index, so a sweep served here is
+// byte-identical to the same spec run through a local l0explore — whatever
+// the worker budget, the number of concurrent requests, or the warmth of the
+// cache. Concurrency control is two-level: a bounded admission queue caps
+// waiting requests, and a worker-slot semaphore shares the machine between
+// the requests that run — every running sweep holds at least one slot, so a
+// wide request can never starve a narrow one.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/energy"
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Config tunes one Server. The zero value is usable: every limit has a
+// default chosen for a small shared machine.
+type Config struct {
+	// WorkerBudget is the total worker-slot pool shared by all concurrent
+	// requests; <= 0 selects runtime.NumCPU().
+	WorkerBudget int
+	// MaxConcurrent caps requests executing at once; <= 0 defaults to 4.
+	// Each running request holds at least one worker slot, so the
+	// effective concurrency is min(MaxConcurrent, WorkerBudget).
+	MaxConcurrent int
+	// MaxQueued caps requests waiting for a running slot (sync and async
+	// alike; a request stops counting once it starts executing); excess
+	// submissions are rejected with 503. <= 0 defaults to 64.
+	MaxQueued int
+	// MaxGridCells rejects sweeps whose grid exceeds this many cells with
+	// 413; <= 0 defaults to 250000.
+	MaxGridCells int
+	// CachePath, when set, is where POST /v1/cache/save snapshots the
+	// schedule cache (and where LoadCache reads it at startup).
+	CachePath string
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = runtime.NumCPU()
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 64
+	}
+	if c.MaxGridCells <= 0 {
+		c.MaxGridCells = 250000
+	}
+	return c
+}
+
+// Server is the serving state: job table, admission queue, worker-slot pool,
+// and the cache bookkeeping surfaced by /v1/cachestats.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	jobs *jobTable
+
+	// running caps concurrently executing requests; slots is the shared
+	// worker-slot pool.
+	running chan struct{}
+	slots   chan struct{}
+	// queued counts admitted-but-not-finished-admission requests against
+	// MaxQueued.
+	queued atomic.Int64
+
+	start time.Time
+	// loaded is what LoadCache imported at startup; saves counts
+	// successful /v1/cache/save snapshots.
+	loaded harness.ImportStats
+	saves  atomic.Int64
+}
+
+// New builds a Server. Call LoadCache afterwards to start warm.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		jobs:    newJobTable(),
+		running: make(chan struct{}, cfg.MaxConcurrent),
+		slots:   make(chan struct{}, cfg.WorkerBudget),
+		start:   time.Now(),
+	}
+	for i := 0; i < cfg.WorkerBudget; i++ {
+		s.slots <- struct{}{}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/energy", s.handleEnergy)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/cachestats", s.handleCacheStats)
+	s.mux.HandleFunc("POST /v1/cache/save", s.handleCacheSave)
+	return s
+}
+
+// Handler returns the HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// LoadCache imports a schedule-cache snapshot from the configured CachePath.
+// A missing file is not an error (first start); anything else is.
+func (s *Server) LoadCache() (harness.ImportStats, error) {
+	if s.cfg.CachePath == "" {
+		return harness.ImportStats{}, nil
+	}
+	st, err := harness.LoadCacheFile(s.cfg.CachePath)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return harness.ImportStats{}, nil
+		}
+		return harness.ImportStats{}, err
+	}
+	s.loaded = st
+	return st, nil
+}
+
+// SaveCache snapshots the schedule cache to the configured CachePath.
+func (s *Server) SaveCache() error {
+	if s.cfg.CachePath == "" {
+		return fmt.Errorf("server: no cache path configured")
+	}
+	if err := harness.SaveCacheFile(s.cfg.CachePath); err != nil {
+		return err
+	}
+	s.saves.Add(1)
+	return nil
+}
+
+// ---- request/response types ----
+
+// ExploreRequest is the wire form of one sweep submission: the ExploreSpec
+// axes plus scheduler switches, engine and output controls. Unknown fields
+// are rejected.
+type ExploreRequest struct {
+	Benches       []string `json:"benches,omitempty"`
+	Clusters      []int    `json:"clusters,omitempty"`
+	Entries       []int    `json:"entries,omitempty"`
+	Subblocks     []int    `json:"subblocks,omitempty"`
+	L1Latencies   []int    `json:"l1_latencies,omitempty"`
+	PrefetchDists []int    `json:"prefetch_dists,omitempty"`
+	RegBudgets    []int    `json:"reg_budgets,omitempty"`
+	// Adaptive/MarkAll are the scheduler ablation switches of l0explore.
+	Adaptive bool `json:"adaptive,omitempty"`
+	MarkAll  bool `json:"markall,omitempty"`
+	// Workers requests a worker budget; the server clamps it to its pool
+	// and to what concurrent requests leave free (min 1).
+	Workers int `json:"workers,omitempty"`
+	// Format selects the rendered output: json (default), csv or table.
+	Format string `json:"format,omitempty"`
+	// Async submits the sweep as a job and returns 202 + its status
+	// instead of blocking for the result.
+	Async bool `json:"async,omitempty"`
+}
+
+// Spec converts the request to the engine's sweep specification.
+func (r *ExploreRequest) Spec() harness.ExploreSpec {
+	return harness.ExploreSpec{
+		Benches: r.Benches, Clusters: r.Clusters, Entries: r.Entries,
+		Subblocks: r.Subblocks, L1Latencies: r.L1Latencies,
+		PrefetchDists: r.PrefetchDists, RegBudgets: r.RegBudgets,
+		Sched: sched.Options{
+			AdaptivePrefetchDistance: r.Adaptive,
+			MarkAllCandidates:        r.MarkAll,
+		},
+	}
+}
+
+// RunRequest is one single-configuration experiment: one benchmark on one
+// architecture and machine configuration.
+type RunRequest struct {
+	Bench string `json:"bench"`
+	// Arch is base, l0 (default), multivliw, interleaved1 or interleaved2.
+	Arch      string `json:"arch,omitempty"`
+	Clusters  int    `json:"clusters,omitempty"`
+	Entries   int    `json:"entries,omitempty"`
+	Subblock  int    `json:"subblock,omitempty"`
+	L1Latency int    `json:"l1_latency,omitempty"`
+	Adaptive  bool   `json:"adaptive,omitempty"`
+	MarkAll   bool   `json:"markall,omitempty"`
+}
+
+// RunResponse carries the per-kernel and aggregate outcome plus the relative
+// memory-system energy (when the architecture models the L0/L1 system).
+type RunResponse struct {
+	Bench     string          `json:"bench"`
+	Arch      string          `json:"arch"`
+	Clusters  int             `json:"clusters"`
+	Entries   int             `json:"entries"`
+	L1Latency int             `json:"l1_latency"`
+	Compute   int64           `json:"compute"`
+	Stall     int64           `json:"stall"`
+	Total     int64           `json:"total"`
+	AvgUnroll float64         `json:"avg_unroll"`
+	Energy    float64         `json:"energy,omitempty"`
+	Kernels   []KernelSummary `json:"kernels"`
+}
+
+// KernelSummary is the wire form of one kernel's result.
+type KernelSummary struct {
+	Kernel  string `json:"kernel"`
+	Factor  int    `json:"factor"`
+	II      int    `json:"ii"`
+	SC      int    `json:"sc"`
+	Compute int64  `json:"compute"`
+	Stall   int64  `json:"stall"`
+	Total   int64  `json:"total"`
+}
+
+// EnergyRequest sweeps the suite's relative memory-system energy at one L0
+// entry count.
+type EnergyRequest struct {
+	Entries int    `json:"entries,omitempty"` // default 8, the paper's headline size
+	Workers int    `json:"workers,omitempty"`
+	Format  string `json:"format,omitempty"` // json (default) or table
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	st := harness.CacheStatsNow()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schedule_entries": st.ScheduleEntries,
+		"unroll_entries":   st.UnrollEntries,
+		"hits":             st.Hits,
+		"misses":           st.Misses,
+		"bypassed":         st.Bypassed,
+		"disabled":         st.Disabled,
+		"compiles":         st.Compiles,
+		"loaded":           s.loaded,
+		"saves":            s.saves.Load(),
+		"cache_path":       s.cfg.CachePath,
+		"uptime_seconds":   time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleCacheSave(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.CachePath == "" {
+		httpError(w, http.StatusConflict, "no cache path configured (start l0served with -cache)")
+		return
+	}
+	if err := s.SaveCache(); err != nil {
+		httpError(w, http.StatusInternalServerError, "save cache: %v", err)
+		return
+	}
+	st := harness.CacheStatsNow()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"saved":            s.cfg.CachePath,
+		"schedule_entries": st.ScheduleEntries,
+		"unroll_entries":   st.UnrollEntries,
+	})
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req ExploreRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	format, err := checkFormat(req.Format)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec := req.Spec()
+	// The cheap axis-product bound runs first: an absurd request must be
+	// rejected before GridSize materializes the cell slice, or the 413
+	// could never fire (the allocation itself would take the process down).
+	bound, err := spec.GridBound()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if bound > s.cfg.MaxGridCells {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"grid has up to %d cells, server caps sweeps at %d (split the spec or raise -maxgrid)",
+			bound, s.cfg.MaxGridCells)
+		return
+	}
+	gridSize, err := spec.GridSize()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	adm := s.admit()
+	if adm == nil {
+		httpError(w, http.StatusServiceUnavailable,
+			"job queue full (%d waiting); retry later", s.cfg.MaxQueued)
+		return
+	}
+
+	if req.Async {
+		ctx, cancel := context.WithCancel(context.Background())
+		j := s.jobs.add(format, gridSize, cancel)
+		go func() {
+			defer adm.release()
+			body, ctype, err := s.executeExplore(ctx, adm, j, &req, spec)
+			switch {
+			case err == nil:
+				j.finish(JobDone, body, ctype, "")
+			case errors.Is(err, context.Canceled):
+				j.finish(JobCanceled, nil, "", "canceled")
+			default:
+				j.finish(JobFailed, nil, "", err.Error())
+			}
+		}()
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
+
+	defer adm.release()
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	j := s.jobs.add(format, gridSize, cancel)
+	res, _, err := s.runExplore(ctx, adm, j, &req, spec)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) {
+			status = 499 // client closed request (nginx convention)
+			j.finish(JobCanceled, nil, "", "canceled")
+		} else {
+			j.finish(JobFailed, nil, "", err.Error())
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	// Sync responses stream: headers go out as soon as the sweep is done,
+	// CSV rows are flushed in chunks as they render.
+	switch format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		var flush func()
+		if f, ok := w.(http.Flusher); ok {
+			flush = f.Flush
+		}
+		if err := harness.WriteExploreCSVStream(w, res, 256, flush); err != nil {
+			j.finish(JobFailed, nil, "", err.Error())
+			return
+		}
+		j.finish(JobDone, nil, "text/csv; charset=utf-8", "")
+	default:
+		body, ctype, err := renderExplore(res, format)
+		if err != nil {
+			j.finish(JobFailed, nil, "", err.Error())
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		// Sync jobs stream to the submitting request; the job table keeps
+		// only their status (see handleJobResult's Gone case).
+		j.finish(JobDone, nil, ctype, "")
+		w.Header().Set("Content-Type", ctype)
+		w.Write(body)
+	}
+}
+
+// executeExplore runs the sweep and renders it to bytes (async jobs).
+func (s *Server) executeExplore(ctx context.Context, adm *admission, j *job, req *ExploreRequest, spec harness.ExploreSpec) ([]byte, string, error) {
+	res, _, err := s.runExplore(ctx, adm, j, req, spec)
+	if err != nil {
+		return nil, "", err
+	}
+	return renderExplore(res, j.format)
+}
+
+// runExplore acquires capacity and executes the sweep on the engine.
+func (s *Server) runExplore(ctx context.Context, adm *admission, j *job, req *ExploreRequest, spec harness.ExploreSpec) (*harness.ExploreResult, int, error) {
+	workers, release, err := s.acquire(ctx, req.Workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer release()
+	// Running now: the admission slot goes back to the waiting queue.
+	adm.release()
+	j.setRunning(workers)
+	rc := harness.RunConfig{Workers: workers, Ctx: ctx}
+	res, err := harness.ExploreCfg(rc, spec, 0, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, workers, nil
+}
+
+func renderExplore(res *harness.ExploreResult, format string) ([]byte, string, error) {
+	var b strings.Builder
+	switch format {
+	case "json":
+		if err := harness.WriteExploreJSON(&b, res); err != nil {
+			return nil, "", err
+		}
+		return []byte(b.String()), "application/json", nil
+	case "csv":
+		if err := harness.WriteExploreCSV(&b, res); err != nil {
+			return nil, "", err
+		}
+		return []byte(b.String()), "text/csv; charset=utf-8", nil
+	case "table":
+		harness.RenderExplore(&b, res)
+		return []byte(b.String()), "text/plain; charset=utf-8", nil
+	}
+	return nil, "", fmt.Errorf("unknown format %q", format)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	b := workload.ByName(req.Bench)
+	if b == nil {
+		httpError(w, http.StatusBadRequest, "unknown benchmark %q", req.Bench)
+		return
+	}
+	a, err := parseArch(req.Arch)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := arch.MICRO36Config()
+	if req.Clusters > 0 {
+		cfg = cfg.WithClusters(req.Clusters)
+	}
+	if req.Entries > 0 {
+		cfg = cfg.WithL0Entries(req.Entries)
+	}
+	if req.Subblock > 0 {
+		cfg.L0SubblockBytes = req.Subblock
+	}
+	if req.L1Latency > 0 {
+		cfg.L1Latency = req.L1Latency
+	}
+	if err := cfg.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	adm := s.admit()
+	if adm == nil {
+		httpError(w, http.StatusServiceUnavailable, "job queue full; retry later")
+		return
+	}
+	defer adm.release()
+	_, release, err := s.acquire(r.Context(), 1)
+	if err != nil {
+		httpError(w, 499, "%v", err)
+		return
+	}
+	defer release()
+	adm.release()
+
+	opts := harness.Options{Cfg: cfg, Sched: sched.Options{
+		AdaptivePrefetchDistance: req.Adaptive,
+		MarkAllCandidates:        req.MarkAll,
+	}}
+	res, err := harness.RunBenchmark(b, a, opts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := RunResponse{
+		Bench: res.Bench, Arch: a.String(),
+		Clusters: cfg.Clusters, Entries: cfg.L0Entries, L1Latency: cfg.L1Latency,
+		Compute: res.Compute, Stall: res.Stall, Total: res.Total,
+		AvgUnroll: res.AvgUnroll,
+	}
+	if res.L0 != nil {
+		resp.Energy = energy.FromStats(res.L0, energy.DefaultParams())
+	}
+	for _, k := range res.Kernels {
+		resp.Kernels = append(resp.Kernels, KernelSummary{
+			Kernel: k.Kernel, Factor: k.Factor, II: k.II, SC: k.SC,
+			Compute: k.Compute, Stall: k.Stall, Total: k.Total,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) {
+	var req EnergyRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if req.Entries <= 0 {
+		req.Entries = 8
+	}
+	if req.Format == "" {
+		req.Format = "json"
+	}
+	if req.Format != "json" && req.Format != "table" {
+		httpError(w, http.StatusBadRequest, "unknown format %q (json, table)", req.Format)
+		return
+	}
+	adm := s.admit()
+	if adm == nil {
+		httpError(w, http.StatusServiceUnavailable, "job queue full; retry later")
+		return
+	}
+	defer adm.release()
+	workers, release, err := s.acquire(r.Context(), req.Workers)
+	if err != nil {
+		httpError(w, 499, "%v", err)
+		return
+	}
+	defer release()
+	adm.release()
+	rows, err := harness.EnergySweepCfg(harness.RunConfig{Workers: workers, Ctx: r.Context()}, req.Entries)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if req.Format == "table" {
+		var b strings.Builder
+		harness.RenderEnergy(&b, rows, req.Entries)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, b.String())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"entries": req.Entries, "rows": rows})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	state, body, ctype := j.state, j.result, j.contentType
+	j.mu.Unlock()
+	switch state {
+	case JobDone:
+		if body == nil {
+			httpError(w, http.StatusGone, "job %s streamed its result to the submitting request", j.id)
+			return
+		}
+		w.Header().Set("Content-Type", ctype)
+		w.Write(body)
+	case JobFailed, JobCanceled:
+		httpError(w, http.StatusConflict, "job %s is %s", j.id, state)
+	default:
+		httpError(w, http.StatusConflict, "job %s is still %s", j.id, state)
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	cancel, state := j.cancel, j.state
+	j.mu.Unlock()
+	if state == JobQueued || state == JobRunning {
+		cancel()
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// ---- capacity control ----
+
+// admission is one reserved slot in the waiting queue, released exactly
+// once — when the request starts running (it then only holds engine
+// capacity) or when it dies before running.
+type admission struct {
+	s    *Server
+	once sync.Once
+}
+
+func (a *admission) release() {
+	a.once.Do(func() { a.s.queued.Add(-1) })
+}
+
+// admit reserves a waiting-queue slot; nil means the queue is full.
+func (s *Server) admit() *admission {
+	if s.queued.Add(1) > int64(s.cfg.MaxQueued) {
+		s.queued.Add(-1)
+		return nil
+	}
+	return &admission{s: s}
+}
+
+// acquire blocks until a running slot and at least one worker slot are free,
+// then grabs up to `want` worker slots without waiting for more (greedy but
+// fair: a running request always keeps >= 1 slot, so MaxConcurrent requests
+// always make progress, and an idle machine gives one request the full
+// budget). want <= 0 asks for the whole budget.
+func (s *Server) acquire(ctx context.Context, want int) (int, func(), error) {
+	if want <= 0 || want > s.cfg.WorkerBudget {
+		want = s.cfg.WorkerBudget
+	}
+	select {
+	case s.running <- struct{}{}:
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	}
+	got := 0
+	select {
+	case <-s.slots:
+		got = 1
+	case <-ctx.Done():
+		<-s.running
+		return 0, nil, ctx.Err()
+	}
+	for got < want {
+		select {
+		case <-s.slots:
+			got++
+		default:
+			want = got // pool drained: run with what we have
+		}
+	}
+	release := func() {
+		for i := 0; i < got; i++ {
+			s.slots <- struct{}{}
+		}
+		<-s.running
+	}
+	return got, release, nil
+}
+
+// ---- helpers ----
+
+func parseArch(name string) (harness.Arch, error) {
+	switch name {
+	case "", "l0":
+		return harness.ArchL0, nil
+	case "base":
+		return harness.ArchBase, nil
+	case "multivliw":
+		return harness.ArchMultiVLIW, nil
+	case "interleaved1":
+		return harness.ArchInterleaved1, nil
+	case "interleaved2":
+		return harness.ArchInterleaved2, nil
+	}
+	return 0, fmt.Errorf("unknown architecture %q (base, l0, multivliw, interleaved1, interleaved2)", name)
+}
+
+func checkFormat(f string) (string, error) {
+	switch f {
+	case "":
+		return "json", nil
+	case "json", "csv", "table":
+		return f, nil
+	}
+	return "", fmt.Errorf("unknown format %q (json, csv, table)", f)
+}
+
+// decodeRequest parses a JSON body strictly: unknown fields, trailing data
+// and oversized bodies (1 MiB cap) are rejected with 400.
+func decodeRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return false
+	}
+	// A second document in the body is a malformed request, not ignorable.
+	if dec.More() {
+		httpError(w, http.StatusBadRequest, "malformed request: trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}

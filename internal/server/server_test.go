@@ -1,0 +1,520 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// smallReq is the 2×2×2 grid the handler tests sweep (two benchmarks, two
+// cluster counts, two buffer sizes).
+func smallReq() ExploreRequest {
+	return ExploreRequest{
+		Benches:  []string{"gsmdec", "g721dec"},
+		Clusters: []int{4, 16},
+		Entries:  []int{4, 8},
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+// localRender runs the same spec through the engine directly — the bytes a
+// local l0explore would emit.
+func localRender(t *testing.T, req ExploreRequest, format string) []byte {
+	t.Helper()
+	res, err := harness.ExploreCfg(harness.DefaultRunConfig(), req.Spec(), 0, 1)
+	if err != nil {
+		t.Fatalf("local sweep: %v", err)
+	}
+	body, _, err := renderExplore(res, format)
+	if err != nil {
+		t.Fatalf("local render: %v", err)
+	}
+	return body
+}
+
+// TestExploreSyncMatchesLocal is the serving acceptance gate: a synchronous
+// /v1/explore response must be byte-identical to the same spec run locally,
+// in every format, and a repeat request (warm cache) must compile nothing.
+func TestExploreSyncMatchesLocal(t *testing.T) {
+	harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 4})
+	req := smallReq()
+
+	for _, format := range []string{"json", "csv", "table"} {
+		req.Format = format
+		resp, got := postJSON(t, ts.URL+"/v1/explore", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", format, resp.StatusCode, got)
+		}
+		if want := localRender(t, req, format); !bytes.Equal(got, want) {
+			t.Errorf("%s: served sweep differs from local run", format)
+		}
+	}
+
+	// The grid is now fully compiled in-process: another request must be
+	// pure cache hits.
+	before := harness.CacheStatsNow()
+	req.Format = "json"
+	resp, got := postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm: status %d", resp.StatusCode)
+	}
+	after := harness.CacheStatsNow()
+	if after.Compiles != before.Compiles {
+		t.Errorf("warm request compiled %d kernels, want 0", after.Compiles-before.Compiles)
+	}
+	if want := localRender(t, req, "json"); !bytes.Equal(got, want) {
+		t.Errorf("warm request body differs from local run")
+	}
+	harness.ResetCaches()
+}
+
+// TestExploreAsyncParity submits the same sweep sync and async and requires
+// the stored job result to equal the streamed sync body byte-for-byte.
+func TestExploreAsyncParity(t *testing.T) {
+	harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 4})
+	req := smallReq()
+	req.Format = "csv"
+
+	resp, syncBody := postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync: status %d: %s", resp.StatusCode, syncBody)
+	}
+
+	req.Async = true
+	resp, body := postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal job status: %v", err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body = getBody(t, ts.URL+"/v1/jobs/"+st.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job status: %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("unmarshal job status: %v", err)
+		}
+		if st.State == JobDone || st.State == JobFailed || st.State == JobCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 30s", st.ID, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != JobDone {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+	resp, asyncBody := getBody(t, ts.URL+st.ResultURL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job result: %d", resp.StatusCode)
+	}
+	if !bytes.Equal(asyncBody, syncBody) {
+		t.Errorf("async job result differs from sync response")
+	}
+	harness.ResetCaches()
+}
+
+// TestExploreConcurrentDeterminism fires the same sweep from several
+// concurrent clients through a deliberately tiny worker pool and requires
+// every response to be byte-identical to a direct ExploreCfg render.
+func TestExploreConcurrentDeterminism(t *testing.T) {
+	harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 3, MaxConcurrent: 2})
+	req := smallReq()
+	req.Format = "json"
+	want := localRender(t, req, "json")
+
+	const n = 6
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			blob, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/explore", "application/json", bytes.NewReader(blob))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d", i, resp.StatusCode)
+				return
+			}
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i, b := range bodies {
+		if !bytes.Equal(b, want) {
+			t.Errorf("client %d: response differs from direct ExploreCfg render", i)
+		}
+	}
+	harness.ResetCaches()
+}
+
+// TestRejections covers the request-validation surface: malformed JSON,
+// unknown fields, bad formats, unknown benchmarks, oversized grids and a
+// full admission queue.
+func TestRejections(t *testing.T) {
+	ts := newTestServer(t, Config{WorkerBudget: 2, MaxGridCells: 10})
+
+	post := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/explore", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp, data
+	}
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"truncated json", `{"benches": ["gsm`, http.StatusBadRequest},
+		{"unknown field", `{"benchs": ["gsmdec"]}`, http.StatusBadRequest},
+		{"trailing data", `{"benches": ["gsmdec"]} {"again": true}`, http.StatusBadRequest},
+		{"bad format", `{"format": "xml"}`, http.StatusBadRequest},
+		{"unknown benchmark", `{"benches": ["nosuch"]}`, http.StatusBadRequest},
+		{"oversized grid", `{"clusters": [2,4,8,16], "entries": [2,4,8,16]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		resp, body := post(c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.status, body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not structured: %s", c.name, body)
+		}
+	}
+
+	resp, _ := postJSON(t, ts.URL+"/v1/run", RunRequest{Bench: "nosuch"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("run with unknown bench: status %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/run", RunRequest{Bench: "gsmdec", Arch: "warp"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("run with unknown arch: status %d", resp.StatusCode)
+	}
+	resp, _ = getBody(t, ts.URL+"/v1/jobs/job-999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: status %d", resp.StatusCode)
+	}
+}
+
+// TestQueueBound saturates the single running slot, fills the waiting
+// queue, and checks the next submission bounces with 503 — the queue bound
+// covers waiting requests only, not the running one.
+func TestQueueBound(t *testing.T) {
+	harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 1, MaxConcurrent: 1, MaxQueued: 2})
+
+	// The slot-holder sweeps a large grid (156 cells; the zero request
+	// would be just the 13-cell paper point) so it is still running —
+	// seconds, even fully cache-warm — while the small fillers and the
+	// overflow probe arrive.
+	big := ExploreRequest{Clusters: []int{4, 8, 16, 32}, Entries: []int{4, 8, 16}, Async: true}
+	resp, body := postJSON(t, ts.URL+"/v1/explore", big)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first job: status %d: %s", resp.StatusCode, body)
+	}
+	var first JobStatus
+	json.Unmarshal(body, &first)
+	req := smallReq()
+	req.Async = true
+	// Wait until it holds the running slot (it then no longer counts
+	// against the waiting queue).
+	deadline0 := time.Now().Add(30 * time.Second)
+	for {
+		resp, body := getBody(t, ts.URL+"/v1/jobs/"+first.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job status: %d", resp.StatusCode)
+		}
+		json.Unmarshal(body, &first)
+		if first.State != JobQueued {
+			break
+		}
+		if time.Now().After(deadline0) {
+			t.Fatalf("first job never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Two more fill the waiting queue...
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/explore", req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("queued job %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	// ... so the next must be turned away.
+	resp, body = postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("overflow submission: status %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	// Cancel the slot-holder so the drain below finishes quickly.
+	postJSON(t, ts.URL+"/v1/jobs/"+first.ID+"/cancel", struct{}{})
+	// Drain: wait for the admitted jobs so ResetCaches below doesn't race
+	// their compiles.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, body := getBody(t, ts.URL+"/v1/jobs")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("jobs list: %d", resp.StatusCode)
+		}
+		var list struct{ Jobs []JobStatus }
+		if err := json.Unmarshal(body, &list); err != nil {
+			t.Fatalf("unmarshal jobs: %v", err)
+		}
+		busy := 0
+		for _, j := range list.Jobs {
+			if j.State == JobQueued || j.State == JobRunning {
+				busy++
+			}
+		}
+		if busy == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs still busy after 60s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	harness.ResetCaches()
+}
+
+// TestCachePersistenceThroughServer exercises the serving side of the
+// persistence loop: sweep → save via the API → fresh server loads the
+// snapshot → the same sweep is served with zero compiles.
+func TestCachePersistenceThroughServer(t *testing.T) {
+	harness.ResetCaches()
+	cachePath := filepath.Join(t.TempDir(), "sched_cache.json")
+
+	ts := newTestServer(t, Config{WorkerBudget: 4, CachePath: cachePath})
+	req := smallReq()
+	req.Format = "json"
+	resp, coldBody := postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold sweep: status %d", resp.StatusCode)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/cache/save", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache save: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Fresh process state: empty caches, new server, snapshot loaded.
+	harness.ResetCaches()
+	srv := New(Config{WorkerBudget: 4, CachePath: cachePath})
+	st, err := srv.LoadCache()
+	if err != nil {
+		t.Fatalf("LoadCache: %v", err)
+	}
+	if st.Schedules == 0 {
+		t.Fatalf("LoadCache imported nothing")
+	}
+	ts2 := httptest.NewServer(srv.Handler())
+	defer ts2.Close()
+
+	before := harness.CacheStatsNow()
+	resp, warmBody := postJSON(t, ts2.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm sweep: status %d", resp.StatusCode)
+	}
+	after := harness.CacheStatsNow()
+	if after.Compiles != before.Compiles {
+		t.Errorf("warm sweep on a fresh process compiled %d kernels, want 0", after.Compiles-before.Compiles)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Errorf("persisted-cache sweep differs from cold sweep")
+	}
+
+	// The stats endpoint must surface the load and the counters.
+	resp, body = getBody(t, ts2.URL+"/v1/cachestats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cachestats: status %d", resp.StatusCode)
+	}
+	var stats struct {
+		ScheduleEntries int                 `json:"schedule_entries"`
+		Hits            int64               `json:"hits"`
+		Bypassed        int64               `json:"bypassed"`
+		Loaded          harness.ImportStats `json:"loaded"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("unmarshal cachestats: %v", err)
+	}
+	if stats.ScheduleEntries == 0 || stats.Hits == 0 || stats.Loaded.Schedules != st.Schedules {
+		t.Errorf("cachestats does not reflect the loaded cache: %s", body)
+	}
+	harness.ResetCaches()
+}
+
+// TestRunAndEnergyEndpoints smoke-checks the two non-grid request kinds.
+func TestRunAndEnergyEndpoints(t *testing.T) {
+	harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 2})
+
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Bench: "gsmdec", Arch: "l0", Entries: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+	var run RunResponse
+	if err := json.Unmarshal(body, &run); err != nil {
+		t.Fatalf("unmarshal run: %v", err)
+	}
+	if run.Total <= 0 || len(run.Kernels) == 0 || run.Energy <= 0 {
+		t.Errorf("degenerate run response: %+v", run)
+	}
+	// The same config through /v1/run twice is deterministic.
+	_, body2 := postJSON(t, ts.URL+"/v1/run", RunRequest{Bench: "gsmdec", Arch: "l0", Entries: 8})
+	if !bytes.Equal(body, body2) {
+		t.Errorf("run endpoint not deterministic")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/energy", EnergyRequest{Entries: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("energy: status %d: %s", resp.StatusCode, body)
+	}
+	var en struct {
+		Entries int                 `json:"entries"`
+		Rows    []harness.EnergyRow `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &en); err != nil {
+		t.Fatalf("unmarshal energy: %v", err)
+	}
+	if en.Entries != 8 || len(en.Rows) == 0 {
+		t.Errorf("degenerate energy response: %s", body)
+	}
+
+	resp, body = getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz: %d %s", resp.StatusCode, body)
+	}
+	harness.ResetCaches()
+}
+
+// TestJobCancel submits an async job against a zero-worker... not possible —
+// instead saturate the single running slot with a long job, then cancel the
+// queued one: it must finish canceled without ever running.
+func TestJobCancel(t *testing.T) {
+	harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 1, MaxConcurrent: 1, MaxQueued: 8})
+
+	long := ExploreRequest{Clusters: []int{4, 8}, Entries: []int{4, 8, 16}, Async: true}
+	resp, body := postJSON(t, ts.URL+"/v1/explore", long)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("long job: status %d: %s", resp.StatusCode, body)
+	}
+	var longSt JobStatus
+	json.Unmarshal(body, &longSt)
+
+	small := smallReq()
+	small.Async = true
+	resp, body = postJSON(t, ts.URL+"/v1/explore", small)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued job: status %d: %s", resp.StatusCode, body)
+	}
+	var queuedSt JobStatus
+	json.Unmarshal(body, &queuedSt)
+
+	resp, body = postJSON(t, ts.URL+"/v1/jobs/"+queuedSt.ID+"/cancel", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d: %s", resp.StatusCode, body)
+	}
+	// Cancel the long one too so the test doesn't wait for a full sweep.
+	postJSON(t, ts.URL+"/v1/jobs/"+longSt.ID+"/cancel", struct{}{})
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, body = getBody(t, ts.URL+"/v1/jobs/"+queuedSt.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status: %d", resp.StatusCode)
+		}
+		json.Unmarshal(body, &queuedSt)
+		if queuedSt.State != JobQueued && queuedSt.State != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled job still %s after 60s", queuedSt.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if queuedSt.State != JobCanceled {
+		t.Errorf("canceled job finished %s (error %q)", queuedSt.State, queuedSt.Error)
+	}
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs/"+queuedSt.ID+"/result"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("result of canceled job: status %d, want 409", resp.StatusCode)
+	}
+	// Wait out the long job as well before resetting global caches.
+	for {
+		resp, body = getBody(t, ts.URL+"/v1/jobs/"+longSt.ID)
+		json.Unmarshal(body, &longSt)
+		if longSt.State != JobQueued && longSt.State != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("long job still %s", longSt.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	harness.ResetCaches()
+}

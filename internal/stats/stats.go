@@ -153,6 +153,48 @@ func ParseCSVTable(r io.Reader) (*Table, error) {
 	return t, nil
 }
 
+// CSVStreamer emits a table row-by-row as the rows are produced, instead of
+// accumulating a Table in memory first. Output is byte-identical to
+// RenderCSV on the same header and rows (same RFC-4180 writer, same
+// short-row padding), so a streaming producer — the exploration server
+// pushing a large sweep down an HTTP response — and the in-memory emitters
+// can never drift apart.
+type CSVStreamer struct {
+	cw     *csv.Writer
+	width  int
+	padBuf []string
+}
+
+// NewCSVStreamer writes the header record immediately and returns the
+// streamer for the data rows.
+func NewCSVStreamer(w io.Writer, header []string) (*CSVStreamer, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return nil, err
+	}
+	return &CSVStreamer{cw: cw, width: len(header)}, nil
+}
+
+// Row writes one data record, padded to the header width like RenderCSV.
+func (s *CSVStreamer) Row(cells ...string) error {
+	rec := cells
+	if len(rec) < s.width {
+		if cap(s.padBuf) < s.width {
+			s.padBuf = make([]string, 0, s.width)
+		}
+		rec = append(append(s.padBuf[:0], cells...), make([]string, s.width-len(cells))...)
+	}
+	return s.cw.Write(rec)
+}
+
+// Flush pushes buffered records to the underlying writer; call it whenever
+// the consumer should see progress (e.g. per HTTP chunk), and once at the
+// end. Returns the first write error.
+func (s *CSVStreamer) Flush() error {
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
 // ParseJSONTable reads a table previously written by RenderJSON.
 func ParseJSONTable(r io.Reader) (*Table, error) {
 	var tj tableJSON

@@ -166,3 +166,38 @@ func TestTableCSVRoundTripRaggedRows(t *testing.T) {
 		t.Errorf("ragged round trip not byte-identical:\n%q\nvs\n%q", first.String(), second.String())
 	}
 }
+
+// TestCSVStreamerMatchesRenderCSV pins the streaming emitter to the
+// in-memory one: same header, same rows (including short rows that need
+// padding) must produce identical bytes.
+func TestCSVStreamerMatchesRenderCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b", "c"}}
+	tb.Add("1", "x,with comma", "3")
+	tb.Add("2") // short row: padded to header width
+	tb.Add("3", "quoted \"q\"", "")
+
+	var want strings.Builder
+	if err := tb.RenderCSV(&want); err != nil {
+		t.Fatalf("RenderCSV: %v", err)
+	}
+
+	var got strings.Builder
+	s, err := NewCSVStreamer(&got, tb.Header)
+	if err != nil {
+		t.Fatalf("NewCSVStreamer: %v", err)
+	}
+	for i, r := range tb.Rows {
+		if err := s.Row(r...); err != nil {
+			t.Fatalf("Row %d: %v", i, err)
+		}
+		if err := s.Flush(); err != nil { // flushing mid-stream must not change bytes
+			t.Fatalf("Flush %d: %v", i, err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("final Flush: %v", err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("streamed CSV differs:\n%q\nvs\n%q", got.String(), want.String())
+	}
+}

@@ -1,0 +1,81 @@
+#!/bin/sh
+# serve-smoke: end-to-end check of the l0served serving subsystem.
+#
+# Builds l0served and l0explore, starts the server on an ephemeral port,
+# runs a small grid through the HTTP API and diffs it against the local
+# l0explore output (must be byte-identical), exercises a cache save /
+# reload cycle in a second server process, and verifies the reloaded cache
+# serves the same sweep with zero compiles.
+#
+# Usage: scripts/serve_smoke.sh [scratch-dir]
+set -eu
+
+DIR=${1:-.serve-smoke}
+ARGS="-benches gsmdec,g721dec -clusters 4,16 -entries 4,8"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+go build -o "$DIR/l0explore" ./cmd/l0explore
+go build -o "$DIR/l0served" ./cmd/l0served
+
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+wait_port() { # wait_port portfile
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve-smoke: server did not come up ($1)" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# Reference: the same sweep run locally.
+"$DIR/l0explore" $ARGS -format json -o "$DIR/local.json"
+"$DIR/l0explore" $ARGS -format table -o "$DIR/local.txt"
+
+# 1. Cold server: HTTP output must match the local run byte-for-byte.
+"$DIR/l0served" -addr 127.0.0.1:0 -portfile "$DIR/port" -cache "$DIR/cache.json" >"$DIR/served.log" 2>&1 &
+PID=$!
+wait_port "$DIR/port"
+URL="http://$(cat "$DIR/port")"
+
+"$DIR/l0explore" -server "$URL" $ARGS -format json -o "$DIR/server.json"
+cmp "$DIR/local.json" "$DIR/server.json"
+"$DIR/l0explore" -server "$URL" $ARGS -format table -o "$DIR/server.txt"
+cmp "$DIR/local.txt" "$DIR/server.txt"
+
+# 2. Snapshot the warm cache, then stop the server.
+"$DIR/l0explore" -server "$URL" -savecache >/dev/null
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+[ -s "$DIR/cache.json" ] || { echo "serve-smoke: cache snapshot missing" >&2; exit 1; }
+
+# 3. Fresh process, persisted cache: same bytes, zero compiles.
+"$DIR/l0served" -addr 127.0.0.1:0 -portfile "$DIR/port2" -cache "$DIR/cache.json" >"$DIR/served2.log" 2>&1 &
+PID=$!
+wait_port "$DIR/port2"
+URL="http://$(cat "$DIR/port2")"
+
+"$DIR/l0explore" -server "$URL" $ARGS -format json -o "$DIR/server2.json"
+cmp "$DIR/local.json" "$DIR/server2.json"
+"$DIR/l0explore" -server "$URL" -cachestats -o "$DIR/stats.json"
+grep -q '"compiles": 0' "$DIR/stats.json" || {
+    echo "serve-smoke: persisted-cache sweep was not compile-free:" >&2
+    cat "$DIR/stats.json" >&2
+    exit 1
+}
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+rm -rf "$DIR"
+echo "serve-smoke: ok"
