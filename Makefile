@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench smoke serve-smoke wirestudy
+.PHONY: build test race vet bench smoke serve-smoke wirestudy linkcheck
 
 build:
 	$(GO) build ./...
@@ -35,10 +35,18 @@ smoke:
 
 # serve-smoke drives the serving subsystem end to end: l0served on an
 # ephemeral port, a 2×2 grid through the HTTP API diffed byte-for-byte
-# against the local l0explore output, and a cache save → fresh-process
-# reload cycle that must serve the same sweep with zero compiles.
+# against the local l0explore output, a repeat sweep that must be served
+# from the result cache (zero new simulations, byte-identical), a cache
+# save → fresh-process reload cycle that must serve the same sweep with
+# zero compiles and zero simulations, and a capped server whose evictions
+# must not change a byte.
 serve-smoke:
 	sh scripts/serve_smoke.sh .serve-smoke
+
+# linkcheck fails on dead relative links in README.md and docs/ (the docs
+# set is part of the contract; a moved file must take its links with it).
+linkcheck:
+	sh scripts/check_links.sh
 
 # wirestudy reproduces docs/wire_study.md: the wire-delay scaling sweep
 # (L1 latency 4..24 with the adaptive prefetch-distance scheduler) over the

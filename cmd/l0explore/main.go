@@ -10,6 +10,7 @@
 //	          [-subblock 0] [-l1lat 6] [-prefetch 0] [-regbudget 0]
 //	          [-adaptive] [-markall]
 //	          [-workers N] [-shard i/M] [-format table|csv|json]
+//	          [-schedcap N] [-schedbytes N] [-resultcap N] [-resultbytes N]
 //	          [-roundtrip] [-o file]
 //	l0explore -merge shard0.json,shard1.json [-format ...] [-o file]
 //	l0explore -server http://host:port [sweep flags] [-format ...] [-o file]
@@ -25,10 +26,16 @@
 // product (0 keeps the scheduler default / unbounded registers) and applies
 // to the L0 compilations only, like -adaptive and -markall.
 //
+// The cap flags bound the process-global memoization for sweeps larger than
+// memory: -schedcap/-schedbytes and -resultcap/-resultbytes put LRU
+// entry/byte caps on the schedule and simulation-result caches (-1 =
+// unlimited, the default; 0 = cache off). Output is byte-identical at any
+// cap — eviction only costs recomputation.
+//
 // With -server the sweep is delegated to a running l0served process — same
-// request, same bytes, but compiled against the server's warm schedule
-// cache. -cachestats and -savecache are client verbs for the server's cache
-// endpoints.
+// request, same bytes, but compiled against the server's warm schedule and
+// result caches. -cachestats and -savecache are client verbs for the
+// server's cache endpoints.
 package main
 
 import (
@@ -58,6 +65,8 @@ type cli struct {
 	outPath                                     string
 	serverURL                                   string
 	cachestats, savecache                       bool
+	schedcap, resultcap                         int
+	schedbytes, resultbytes                     int64
 }
 
 func main() {
@@ -80,6 +89,10 @@ func main() {
 	flag.StringVar(&c.serverURL, "server", "", "delegate to a running l0served at this base URL instead of sweeping locally")
 	flag.BoolVar(&c.cachestats, "cachestats", false, "with -server: print the server's schedule-cache statistics")
 	flag.BoolVar(&c.savecache, "savecache", false, "with -server: ask the server to snapshot its schedule cache")
+	flag.IntVar(&c.schedcap, "schedcap", -1, "max schedule-cache entries for the local sweep (-1 = unlimited, 0 = cache off)")
+	flag.Int64Var(&c.schedbytes, "schedbytes", -1, "max schedule-cache bytes, estimated (-1 = unlimited, 0 = cache off)")
+	flag.IntVar(&c.resultcap, "resultcap", -1, "max simulation-result-cache entries (-1 = unlimited, 0 = cache off)")
+	flag.Int64Var(&c.resultbytes, "resultbytes", -1, "max simulation-result-cache bytes, estimated (-1 = unlimited, 0 = cache off)")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -95,6 +108,14 @@ func run(c cli) error {
 	if c.cachestats || c.savecache {
 		return fmt.Errorf("-cachestats/-savecache need -server")
 	}
+	// Bound the process-global caches before sweeping: a grid larger than
+	// memory trades repeat-visit hits for a bounded resident set, and the
+	// output is byte-identical either way (eviction only forgets, never
+	// alters — see docs/architecture.md).
+	harness.SetCacheLimits(harness.CacheLimits{
+		ScheduleEntries: c.schedcap, ScheduleBytes: c.schedbytes,
+		ResultEntries: c.resultcap, ResultBytes: c.resultbytes,
+	})
 	shard, shards, err := harness.ParseShard(c.shardSpec)
 	if err != nil {
 		return err

@@ -1,22 +1,32 @@
 // Command l0served is the long-lived sweep-serving daemon: it accepts
 // design-space exploration requests (the l0explore grid), energy sweeps and
 // single-configuration runs over HTTP and executes them on the parallel
-// experiment engine with the schedule cache warm across requests. With
-// -cache it loads a persisted cache snapshot at startup and saves one on
-// graceful shutdown (and on POST /v1/cache/save), so even a fresh process
-// serves repeat sweeps without compiling anything.
+// experiment engine with the schedule and simulation-result caches warm
+// across requests — a repeat sweep performs zero compiles and zero
+// simulations. With -cache it loads a persisted cache snapshot at startup
+// and saves one on graceful shutdown (and on POST /v1/cache/save), so even
+// a fresh process serves repeat sweeps without computing anything.
 //
 // Usage:
 //
 //	l0served [-addr host:port] [-workers N] [-maxjobs N] [-maxqueue N]
 //	         [-maxgrid N] [-cache file] [-portfile file]
+//	         [-schedcap N] [-schedbytes N] [-resultcap N] [-resultbytes N]
+//	         [-jobttl dur] [-jobkeep N]
 //
 // -addr may use port 0 to bind an ephemeral port; the chosen address is
 // logged and, with -portfile, written to a file scripts can poll (the
 // serve-smoke harness does).
 //
+// The cap flags bound the process for week-long deployments: -schedcap /
+// -schedbytes and -resultcap / -resultbytes put LRU entry/byte caps on the
+// schedule and result caches (-1 = unlimited, 0 = cache off), and -jobttl /
+// -jobkeep retire finished async job results (retired ids answer 410 Gone).
+// Defaults keep everything unlimited, matching the one-shot CLI behaviour.
+//
 // The API and its determinism guarantees are documented in
-// internal/server; `l0explore -server URL ...` is the matching client.
+// internal/server and docs/serving.md; `l0explore -server URL ...` is the
+// matching client.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/server"
 )
 
@@ -41,32 +52,51 @@ func main() {
 		maxjobs  = flag.Int("maxjobs", 0, "max concurrently executing requests (0 = default 4)")
 		maxqueue = flag.Int("maxqueue", 0, "max admitted-but-waiting requests before 503 (0 = default 64)")
 		maxgrid  = flag.Int("maxgrid", 0, "max sweep grid cells before 413 (0 = default 250000)")
-		cache    = flag.String("cache", "", "schedule-cache snapshot: loaded at startup, saved on shutdown and /v1/cache/save")
+		cache    = flag.String("cache", "", "schedule+result cache snapshot: loaded at startup, saved on shutdown and /v1/cache/save")
 		portfile = flag.String("portfile", "", "write the bound address to this file once listening")
+
+		schedcap    = flag.Int("schedcap", -1, "max schedule-cache entries (-1 = unlimited, 0 = cache off)")
+		schedbytes  = flag.Int64("schedbytes", -1, "max schedule-cache bytes, estimated (-1 = unlimited, 0 = cache off)")
+		resultcap   = flag.Int("resultcap", -1, "max simulation-result-cache entries (-1 = unlimited, 0 = cache off)")
+		resultbytes = flag.Int64("resultbytes", -1, "max simulation-result-cache bytes, estimated (-1 = unlimited, 0 = cache off)")
+		jobttl      = flag.Duration("jobttl", 0, "retire finished async job results this long after completion (0 = keep forever)")
+		jobkeep     = flag.Int("jobkeep", 0, "max retained finished async jobs, oldest retired first (0 = unlimited)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *workers, *maxjobs, *maxqueue, *maxgrid, *cache, *portfile); err != nil {
+	cfg := server.Config{
+		WorkerBudget:    *workers,
+		MaxConcurrent:   *maxjobs,
+		MaxQueued:       *maxqueue,
+		MaxGridCells:    *maxgrid,
+		CachePath:       *cache,
+		JobTTL:          *jobttl,
+		MaxRetainedJobs: *jobkeep,
+	}
+	limits := harness.CacheLimits{
+		ScheduleEntries: *schedcap, ScheduleBytes: *schedbytes,
+		ResultEntries: *resultcap, ResultBytes: *resultbytes,
+	}
+	if err := run(*addr, cfg, limits, *portfile); err != nil {
 		fmt.Fprintf(os.Stderr, "l0served: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxjobs, maxqueue, maxgrid int, cache, portfile string) error {
-	srv := server.New(server.Config{
-		WorkerBudget:  workers,
-		MaxConcurrent: maxjobs,
-		MaxQueued:     maxqueue,
-		MaxGridCells:  maxgrid,
-		CachePath:     cache,
-	})
+func run(addr string, cfg server.Config, limits harness.CacheLimits, portfile string) error {
+	// Caps go in before the snapshot load so an import larger than the
+	// configured bounds is trimmed on the way in, not after.
+	harness.SetCacheLimits(limits)
+	srv := server.New(cfg)
+	defer srv.Close()
+	cache := cfg.CachePath
 	if cache != "" {
 		st, err := srv.LoadCache()
 		if err != nil {
 			return fmt.Errorf("load cache %s: %w", cache, err)
 		}
-		log.Printf("cache %s: loaded %d schedules, %d unroll decisions (%d skipped)",
-			cache, st.Schedules, st.Unrolls, st.Skipped)
+		log.Printf("cache %s: loaded %d schedules, %d unroll decisions, %d results (%d skipped)",
+			cache, st.Schedules, st.Unrolls, st.Results, st.Skipped)
 	}
 
 	ln, err := net.Listen("tcp", addr)

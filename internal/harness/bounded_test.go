@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// sweepJSON runs the spec through the engine and renders the JSON form (the
+// byte-identity oracle used throughout the bounded-cache tests).
+func sweepJSON(t *testing.T, rc RunConfig, spec ExploreSpec) []byte {
+	t.Helper()
+	res, err := ExploreCfg(rc, spec, 0, 1)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	var out bytes.Buffer
+	if err := WriteExploreJSON(&out, res); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return out.Bytes()
+}
+
+// TestBoundedSweepByteIdentical is the eviction acceptance gate: with caps
+// far below the working set, a concurrent sweep must evict (memory stays
+// bounded) and still emit bytes identical to the unbounded run — eviction
+// only forgets, it never alters. Run under -race this also exercises
+// eviction racing concurrent fills.
+func TestBoundedSweepByteIdentical(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	spec := cacheTestSpec()
+	want := sweepJSON(t, RunConfig{Workers: 4}, spec)
+
+	ResetCaches()
+	limits := CacheLimits{ScheduleEntries: 3, ScheduleBytes: -1, ResultEntries: 2, ResultBytes: -1}
+	SetCacheLimits(limits)
+	var ctr CacheCounters
+	got := sweepJSON(t, RunConfig{Workers: 8, Counters: &ctr}, spec)
+	if !bytes.Equal(got, want) {
+		t.Errorf("bounded sweep differs from unbounded run")
+	}
+
+	st := CacheStatsNow()
+	if st.ScheduleEvictions == 0 {
+		t.Errorf("caps below working set but no schedule evictions (entries=%d)", st.ScheduleEntries)
+	}
+	if st.ResultEvictions == 0 {
+		t.Errorf("caps below working set but no result evictions (entries=%d)", st.ResultEntries)
+	}
+	if st.ScheduleEntries > limits.ScheduleEntries || st.ResultEntries > limits.ResultEntries {
+		t.Errorf("resident entries %d/%d exceed caps %d/%d after the sweep settled",
+			st.ScheduleEntries, st.ResultEntries, limits.ScheduleEntries, limits.ResultEntries)
+	}
+	if ctr.Compiles.Load() == 0 || ctr.Simulations.Load() == 0 {
+		t.Fatalf("bounded sweep computed nothing: test is vacuous")
+	}
+}
+
+// TestByteCapBoundsResidency drives eviction through the byte cap alone and
+// checks the accounting stays within it once fills settle.
+func TestByteCapBoundsResidency(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	spec := cacheTestSpec()
+	want := sweepJSON(t, RunConfig{Workers: 4}, spec)
+
+	ResetCaches()
+	SetCacheLimits(CacheLimits{ScheduleEntries: -1, ScheduleBytes: 4096, ResultEntries: -1, ResultBytes: 1024})
+	got := sweepJSON(t, RunConfig{Workers: 4}, spec)
+	if !bytes.Equal(got, want) {
+		t.Errorf("byte-capped sweep differs from unbounded run")
+	}
+	st := CacheStatsNow()
+	if st.ScheduleBytes > 4096 || st.ResultBytes > 1024 {
+		t.Errorf("resident bytes %d/%d exceed caps after the sweep settled", st.ScheduleBytes, st.ResultBytes)
+	}
+	if st.ScheduleEvictions == 0 || st.ResultEvictions == 0 {
+		t.Errorf("byte caps below working set but evictions %d/%d",
+			st.ScheduleEvictions, st.ResultEvictions)
+	}
+}
+
+// TestCapZeroDisablesCleanly pins the cap-of-zero contract: nothing is
+// stored, every compile and simulation is counted as cache-disabled, and
+// the output is still byte-identical.
+func TestCapZeroDisablesCleanly(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	spec := cacheTestSpec()
+	want := sweepJSON(t, RunConfig{Workers: 4}, spec)
+
+	ResetCaches()
+	SetCacheLimits(CacheLimits{}) // zero value: everything off
+	var ctr CacheCounters
+	got := sweepJSON(t, RunConfig{Workers: 4, Counters: &ctr}, spec)
+	if !bytes.Equal(got, want) {
+		t.Errorf("uncached sweep differs from cached run")
+	}
+	st := CacheStatsNow()
+	if st.ScheduleEntries != 0 || st.ResultEntries != 0 || st.ScheduleBytes != 0 || st.ResultBytes != 0 {
+		t.Errorf("disabled caches retained state: %+v", st)
+	}
+	if ctr.Hits.Load() != 0 || ctr.SimHits.Load() != 0 {
+		t.Errorf("disabled caches served hits: hits=%d sim_hits=%d", ctr.Hits.Load(), ctr.SimHits.Load())
+	}
+	if ctr.Disabled.Load() == 0 || ctr.SimDisabled.Load() == 0 {
+		t.Errorf("cap-of-zero traffic not counted as disabled: disabled=%d sim_disabled=%d",
+			ctr.Disabled.Load(), ctr.SimDisabled.Load())
+	}
+	if ctr.Compiles.Load() == 0 || ctr.Simulations.Load() == 0 {
+		t.Fatalf("uncached sweep computed nothing: test is vacuous")
+	}
+}
+
+// TestSnapshotCompaction pins the Save-side half of the bounding story: a
+// snapshot taken after eviction persists only the resident set (no dead
+// grids), still round-trips byte-identically, and an import into a capped
+// cache is itself trimmed to the caps.
+func TestSnapshotCompaction(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	spec := cacheTestSpec()
+	if _, err := ExploreCfg(RunConfig{Workers: 4}, spec, 0, 1); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	var full bytes.Buffer
+	if err := ExportScheduleCache(&full); err != nil {
+		t.Fatalf("export full: %v", err)
+	}
+
+	// Shrink the live caches; the next snapshot must shrink with them.
+	limits := CacheLimits{ScheduleEntries: 3, ScheduleBytes: -1, ResultEntries: 2, ResultBytes: -1}
+	SetCacheLimits(limits)
+	var compact bytes.Buffer
+	if err := ExportScheduleCache(&compact); err != nil {
+		t.Fatalf("export compacted: %v", err)
+	}
+	counts := func(blob []byte) (schedules, results int) {
+		var snap struct {
+			Schedules []json.RawMessage `json:"schedules"`
+			Results   []json.RawMessage `json:"results"`
+		}
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			t.Fatalf("parse snapshot: %v", err)
+		}
+		return len(snap.Schedules), len(snap.Results)
+	}
+	fs, fr := counts(full.Bytes())
+	cs, cr := counts(compact.Bytes())
+	if fs <= limits.ScheduleEntries || fr <= limits.ResultEntries {
+		t.Fatalf("full snapshot (%d schedules, %d results) not larger than caps: test is vacuous", fs, fr)
+	}
+	if cs > limits.ScheduleEntries || cr > limits.ResultEntries {
+		t.Errorf("compacted snapshot carries %d schedules, %d results; caps are %d/%d", cs, cr,
+			limits.ScheduleEntries, limits.ResultEntries)
+	}
+
+	// The compacted snapshot round-trips: import into empty caps-free
+	// caches, re-export, compare bytes.
+	ResetCaches()
+	st, err := ImportScheduleCache(bytes.NewReader(compact.Bytes()))
+	if err != nil {
+		t.Fatalf("import compacted: %v", err)
+	}
+	if st.Schedules != cs || st.Results != cr || st.Skipped != 0 {
+		t.Errorf("import stats %+v, want %d schedules, %d results, 0 skipped", st, cs, cr)
+	}
+	var again bytes.Buffer
+	if err := ExportScheduleCache(&again); err != nil {
+		t.Fatalf("re-export: %v", err)
+	}
+	if !bytes.Equal(again.Bytes(), compact.Bytes()) {
+		t.Errorf("compacted snapshot does not round-trip byte-identically")
+	}
+
+	// Importing the full snapshot into capped caches keeps at most the caps.
+	ResetCaches()
+	SetCacheLimits(limits)
+	if _, err := ImportScheduleCache(bytes.NewReader(full.Bytes())); err != nil {
+		t.Fatalf("import into capped caches: %v", err)
+	}
+	now := CacheStatsNow()
+	if now.ScheduleEntries > limits.ScheduleEntries || now.ResultEntries > limits.ResultEntries {
+		t.Errorf("capped import left %d/%d entries resident, caps %d/%d",
+			now.ScheduleEntries, now.ResultEntries, limits.ScheduleEntries, limits.ResultEntries)
+	}
+}

@@ -31,8 +31,9 @@ import (
 	"repro/internal/workload"
 )
 
-// CacheCounters tracks schedule-cache traffic. One process-global instance
-// backs CacheStatsNow; runs can carry their own via RunConfig.Counters.
+// CacheCounters tracks schedule- and result-cache traffic. One
+// process-global instance backs CacheStatsNow; runs can carry their own via
+// RunConfig.Counters.
 type CacheCounters struct {
 	// Hits/Misses count cacheable compilations served from / inserted
 	// into the schedule cache.
@@ -43,11 +44,17 @@ type CacheCounters struct {
 	// bypass regression.
 	Bypassed atomic.Int64
 	// Disabled counts compilations that skipped the cache because the run
-	// asked for it (DisableScheduleCache).
+	// asked for it (DisableScheduleCache) or the cache is capped to zero.
 	Disabled atomic.Int64
 	// Compiles counts actual kernel compilations (cache misses plus every
 	// bypassed/disabled build). A warm-cache sweep performs zero.
 	Compiles atomic.Int64
+	// SimHits/SimMisses/SimBypassed/SimDisabled mirror the four compile
+	// counters for the simulation-result cache (RunBenchmarkCached).
+	SimHits, SimMisses, SimBypassed, SimDisabled atomic.Int64
+	// Simulations counts actual benchmark simulations (RunBenchmark
+	// executions). A warm-result sweep performs zero.
+	Simulations atomic.Int64
 }
 
 func (c *CacheCounters) reset() {
@@ -56,29 +63,52 @@ func (c *CacheCounters) reset() {
 	c.Bypassed.Store(0)
 	c.Disabled.Store(0)
 	c.Compiles.Store(0)
+	c.SimHits.Store(0)
+	c.SimMisses.Store(0)
+	c.SimBypassed.Store(0)
+	c.SimDisabled.Store(0)
+	c.Simulations.Store(0)
 }
 
 // Snapshot returns the counters as plain values.
 func (c *CacheCounters) Snapshot() CacheStats {
 	return CacheStats{
-		Hits:     c.Hits.Load(),
-		Misses:   c.Misses.Load(),
-		Bypassed: c.Bypassed.Load(),
-		Disabled: c.Disabled.Load(),
-		Compiles: c.Compiles.Load(),
+		Hits:        c.Hits.Load(),
+		Misses:      c.Misses.Load(),
+		Bypassed:    c.Bypassed.Load(),
+		Disabled:    c.Disabled.Load(),
+		Compiles:    c.Compiles.Load(),
+		SimHits:     c.SimHits.Load(),
+		SimMisses:   c.SimMisses.Load(),
+		SimBypassed: c.SimBypassed.Load(),
+		SimDisabled: c.SimDisabled.Load(),
+		Simulations: c.Simulations.Load(),
 	}
 }
 
-// CacheStats is a point-in-time view of the schedule cache: entry counts
-// plus the traffic counters (JSON-tagged; served by /v1/cachestats).
+// CacheStats is a point-in-time view of the two bounded caches: entry
+// counts, byte estimates and eviction totals plus the traffic counters
+// (JSON-tagged; served by /v1/cachestats).
 type CacheStats struct {
-	ScheduleEntries int   `json:"schedule_entries"`
-	UnrollEntries   int   `json:"unroll_entries"`
-	Hits            int64 `json:"hits"`
-	Misses          int64 `json:"misses"`
-	Bypassed        int64 `json:"bypassed"`
-	Disabled        int64 `json:"disabled"`
-	Compiles        int64 `json:"compiles"`
+	ScheduleEntries   int   `json:"schedule_entries"`
+	UnrollEntries     int   `json:"unroll_entries"`
+	ResultEntries     int   `json:"result_entries"`
+	ScheduleBytes     int64 `json:"schedule_bytes"`
+	ResultBytes       int64 `json:"result_bytes"`
+	ScheduleEvictions int64 `json:"schedule_evictions"`
+	ResultEvictions   int64 `json:"result_evictions"`
+
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Bypassed int64 `json:"bypassed"`
+	Disabled int64 `json:"disabled"`
+	Compiles int64 `json:"compiles"`
+
+	SimHits     int64 `json:"sim_hits"`
+	SimMisses   int64 `json:"sim_misses"`
+	SimBypassed int64 `json:"sim_bypassed"`
+	SimDisabled int64 `json:"sim_disabled"`
+	Simulations int64 `json:"simulations"`
 }
 
 var globalCacheCounters CacheCounters
@@ -86,9 +116,15 @@ var globalCacheCounters CacheCounters
 // CacheStatsNow snapshots the process-global cache state.
 func CacheStatsNow() CacheStats {
 	s := globalCacheCounters.Snapshot()
-	scheduleCache.Range(func(_, v any) bool {
-		if v.(*compileEntry).done.Load() {
+	scheduleCache.each(func(_ compileKey, e *compileEntry) bool {
+		if e.done.Load() {
 			s.ScheduleEntries++
+		}
+		return true
+	})
+	resultCache.each(func(_ resultKey, e *resultEntry) bool {
+		if e.done.Load() {
+			s.ResultEntries++
 		}
 		return true
 	})
@@ -98,14 +134,29 @@ func CacheStatsNow() CacheStats {
 		}
 		return true
 	})
+	s.ScheduleBytes = scheduleCache.costBytes()
+	s.ResultBytes = resultCache.costBytes()
+	s.ScheduleEvictions = scheduleCache.evictions.Load()
+	s.ResultEvictions = resultCache.evictions.Load()
 	return s
 }
 
 // CacheFormatVersion identifies the persisted snapshot layout. Bump it when
-// the encoding, the cache key, or anything the importer reconstructs from
+// the encoding, the cache keys, or anything the importer reconstructs from
 // (kernel builders, address assignment, unrolling) changes incompatibly;
 // old snapshots are then rejected at load instead of poisoning results.
-const CacheFormatVersion = 1
+// Simulation results carry no structural drift-check beyond the workload
+// shape, so any change to simulator *behaviour* must also bump this — a
+// stale persisted result would otherwise silently shadow the new numbers.
+//
+// Version 2 added the simulation-result records and the per-schedule
+// encoding version (sched.EncodingVersion). Version-1 snapshots are still
+// accepted: they simply carry no results and predate the encoding stamp.
+const CacheFormatVersion = 2
+
+// minCacheFormatVersion is the oldest snapshot layout the importer still
+// understands.
+const minCacheFormatVersion = 1
 
 // scheduleRecord is one persisted compilation: the full cache key in stable
 // form plus the compiled artifact (factor, address-space consumption, and
@@ -133,11 +184,27 @@ type unrollRecord struct {
 	Factor int         `json:"factor"`
 }
 
-// cacheSnapshot is the on-disk form.
+// resultRecord is one persisted benchmark simulation: the full result-cache
+// key in stable form plus the finished BenchResult.
+type resultRecord struct {
+	Bench     string       `json:"bench"`
+	Arch      string       `json:"arch"`
+	Cfg       arch.Config  `json:"cfg"`
+	Opts      schedOptsKey `json:"opts"`
+	Coherence bool         `json:"coherence,omitempty"`
+	Fallback  bool         `json:"fallback,omitempty"`
+
+	Result *BenchResult `json:"result"`
+}
+
+// cacheSnapshot is the on-disk form. Export always writes the current
+// version; Import additionally accepts the older layouts down to
+// minCacheFormatVersion (a v1 snapshot holds no Results).
 type cacheSnapshot struct {
 	Version   int              `json:"version"`
 	Schedules []scheduleRecord `json:"schedules"`
 	Unrolls   []unrollRecord   `json:"unrolls"`
+	Results   []resultRecord   `json:"results,omitempty"`
 }
 
 // toOptions reconstructs the comparable scheduler options a cached compile
@@ -159,15 +226,16 @@ func (k schedOptsKey) toOptions() sched.Options {
 // ExportScheduleCache writes a deterministic snapshot of every completed
 // cache entry: records are sorted by their marshaled key, so two processes
 // that compiled the same design space emit byte-identical snapshots
-// regardless of worker interleaving.
+// regardless of worker interleaving. The snapshot is compacted by
+// construction: evicted entries left the in-memory caches, so a bounded
+// server's snapshot never accretes dead grids — saving after a month of
+// disjoint sweeps persists at most the configured caps.
 func ExportScheduleCache(w io.Writer) error {
 	snap := cacheSnapshot{Version: CacheFormatVersion}
-	scheduleCache.Range(func(k, v any) bool {
-		e := v.(*compileEntry)
+	scheduleCache.each(func(key compileKey, e *compileEntry) bool {
 		if !e.done.Load() || e.err != nil || e.res.sch == nil {
 			return true // in-flight or failed compiles are not worth keeping
 		}
-		key := k.(compileKey)
 		snap.Schedules = append(snap.Schedules, scheduleRecord{
 			Bench: key.bench, Kernel: key.kernel, Idx: key.idx,
 			Entries: key.entries, Cfg: key.cfg, Opts: key.opts, Fallback: key.fallback,
@@ -188,12 +256,27 @@ func ExportScheduleCache(w io.Writer) error {
 		})
 		return true
 	})
+	resultCache.each(func(key resultKey, e *resultEntry) bool {
+		if !e.done.Load() || e.err != nil || e.res == nil {
+			return true
+		}
+		snap.Results = append(snap.Results, resultRecord{
+			Bench: key.bench, Arch: key.arch.String(), Cfg: key.cfg,
+			Opts: key.opts, Coherence: key.coherence, Fallback: key.fallback,
+			Result: e.res,
+		})
+		return true
+	})
 
 	sortByMarshaledKey(snap.Schedules, func(r scheduleRecord) any {
 		r.Schedule = nil // identity only: the artifact is not part of the key
 		return r
 	})
 	sortByMarshaledKey(snap.Unrolls, func(r unrollRecord) any { return r })
+	sortByMarshaledKey(snap.Results, func(r resultRecord) any {
+		r.Result = nil
+		return r
+	})
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -229,9 +312,11 @@ func sortByMarshaledKey[T any](recs []T, identity func(T) any) {
 
 // ImportStats reports what a snapshot load accomplished.
 type ImportStats struct {
-	// Schedules/Unrolls are the entries loaded into the live caches.
+	// Schedules/Unrolls/Results are the entries loaded into the live
+	// caches.
 	Schedules int `json:"schedules"`
 	Unrolls   int `json:"unrolls"`
+	Results   int `json:"results"`
 	// Skipped counts records rejected individually (unknown benchmark,
 	// kernel drift, encoding that fails validation): the rest of the
 	// snapshot still loads.
@@ -240,17 +325,34 @@ type ImportStats struct {
 
 // ImportScheduleCache loads a snapshot written by ExportScheduleCache into
 // the live caches. Entries already present (compiled by this process) are
-// kept — a reload never replaces a live schedule. A snapshot with the wrong
-// format version fails as a whole; records that no longer match the workload
-// (renamed kernel, different address layout) are skipped and counted.
+// kept — a reload never replaces a live schedule or result. A snapshot with
+// an unsupported format version fails as a whole; records that no longer
+// match the workload (renamed kernel, different address layout, unknown
+// architecture) are skipped and counted. Imports respect the configured
+// cache caps: loading a snapshot larger than the caps keeps the
+// most-recently-inserted entries (records are key-sorted, so which survive
+// is deterministic).
 func ImportScheduleCache(r io.Reader) (ImportStats, error) {
 	var snap cacheSnapshot
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&snap); err != nil {
 		return ImportStats{}, fmt.Errorf("harness: parse cache snapshot: %w", err)
 	}
-	if snap.Version != CacheFormatVersion {
-		return ImportStats{}, fmt.Errorf("harness: cache snapshot version %d, want %d", snap.Version, CacheFormatVersion)
+	if snap.Version < minCacheFormatVersion || snap.Version > CacheFormatVersion {
+		return ImportStats{}, fmt.Errorf("harness: cache snapshot version %d, want %d..%d",
+			snap.Version, minCacheFormatVersion, CacheFormatVersion)
+	}
+	if snap.Version < 2 {
+		// v1 predates both the per-schedule encoding stamp and the result
+		// records: those snapshots were written by encoding version 1
+		// specifically (the literal, not the current constant — when the
+		// encoding moves on, unstamped v1 records must start failing the
+		// decoder's version check, not be blessed retroactively).
+		for _, rec := range snap.Schedules {
+			if rec.Schedule != nil {
+				rec.Schedule.Version = 1
+			}
+		}
 	}
 
 	var st ImportStats
@@ -287,10 +389,14 @@ func ImportScheduleCache(r io.Reader) (ImportStats, error) {
 			bench: rec.Bench, kernel: rec.Kernel, idx: rec.Idx,
 			entries: rec.Entries, cfg: rec.Cfg, opts: rec.Opts, fallback: rec.Fallback,
 		}
-		e := &compileEntry{}
-		e.once.Do(func() { e.res = ck })
-		e.done.Store(true)
-		if _, loaded := scheduleCache.LoadOrStore(key, e); !loaded {
+		e, created, ok := scheduleCache.getOrCreate(key, func() *compileEntry { return &compileEntry{} })
+		if !ok {
+			continue // cache capped to zero: nothing to load into
+		}
+		if created {
+			e.once.Do(func() { e.res = ck })
+			e.done.Store(true)
+			scheduleCache.charge(key, scheduleCost(ck))
 			st.Schedules++
 		}
 	}
@@ -309,7 +415,58 @@ func ImportScheduleCache(r io.Reader) (ImportStats, error) {
 			st.Unrolls++
 		}
 	}
+	for _, rec := range snap.Results {
+		key, ok := rebuildResultKey(rec)
+		if !ok {
+			st.Skipped++
+			continue
+		}
+		e, created, ok := resultCache.getOrCreate(key, func() *resultEntry { return &resultEntry{} })
+		if !ok {
+			continue // result cache capped to zero
+		}
+		if created {
+			res := rec.Result
+			e.once.Do(func() { e.res = res })
+			e.done.Store(true)
+			resultCache.charge(key, resultCost(res))
+			st.Results++
+		}
+	}
 	return st, nil
+}
+
+// rebuildResultKey validates one persisted simulation result against the
+// live workload and reconstructs its cache key. The result's numbers cannot
+// be re-derived without simulating (which would defeat the cache), so the
+// check is structural: the benchmark and architecture must exist, the
+// configuration must validate, and the per-kernel results must line up with
+// the benchmark's kernels one-to-one. Anything beyond that is covered by
+// CacheFormatVersion discipline.
+func rebuildResultKey(rec resultRecord) (resultKey, bool) {
+	if rec.Result == nil {
+		return resultKey{}, false
+	}
+	a, ok := ArchByName(rec.Arch)
+	if !ok {
+		return resultKey{}, false
+	}
+	b := workload.ByName(rec.Bench)
+	if b == nil || rec.Cfg.Validate() != nil {
+		return resultKey{}, false
+	}
+	if len(rec.Result.Kernels) != len(b.Kernels) {
+		return resultKey{}, false
+	}
+	for i := range b.Kernels {
+		if rec.Result.Kernels[i].Kernel != b.Kernels[i].Name {
+			return resultKey{}, false
+		}
+	}
+	return resultKey{
+		bench: rec.Bench, arch: a, cfg: rec.Cfg, opts: rec.Opts,
+		coherence: rec.Coherence, fallback: rec.Fallback,
+	}, true
 }
 
 // rebuildCompiled reconstructs one memoized compilation from its record:

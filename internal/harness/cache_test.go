@@ -16,9 +16,11 @@ func cacheTestSpec() ExploreSpec {
 	return s
 }
 
-// TestCachePersistenceRoundTrip is the PR's acceptance gate for the
-// persistence layer: save → load into an empty cache → the same sweep
-// performs zero compiles and produces byte-identical output.
+// TestCachePersistenceRoundTrip is the acceptance gate for the persistence
+// layer: save → load into an empty cache → the same sweep performs zero
+// compiles AND zero simulations (the v2 snapshot carries results) and
+// produces byte-identical output; with the result cache disabled, the loaded
+// schedule cache alone still makes it compile-free.
 func TestCachePersistenceRoundTrip(t *testing.T) {
 	ResetCaches()
 	spec := cacheTestSpec()
@@ -28,9 +30,9 @@ func TestCachePersistenceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("cold sweep: %v", err)
 	}
-	if cold.Compiles.Load() == 0 || cold.Misses.Load() == 0 {
-		t.Fatalf("cold sweep compiled nothing (compiles=%d misses=%d): test is vacuous",
-			cold.Compiles.Load(), cold.Misses.Load())
+	if cold.Compiles.Load() == 0 || cold.Misses.Load() == 0 || cold.SimMisses.Load() == 0 {
+		t.Fatalf("cold sweep computed nothing (compiles=%d misses=%d sim misses=%d): test is vacuous",
+			cold.Compiles.Load(), cold.Misses.Load(), cold.SimMisses.Load())
 	}
 	var coldJSON bytes.Buffer
 	if err := WriteExploreJSON(&coldJSON, coldRes); err != nil {
@@ -55,17 +57,20 @@ func TestCachePersistenceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("import: %v", err)
 	}
-	if st.Schedules == 0 || st.Skipped != 0 {
-		t.Fatalf("import stats %+v: want schedules > 0, skipped == 0", st)
+	if st.Schedules == 0 || st.Results == 0 || st.Skipped != 0 {
+		t.Fatalf("import stats %+v: want schedules > 0, results > 0, skipped == 0", st)
 	}
 	stats := CacheStatsNow()
-	if stats.ScheduleEntries != st.Schedules || stats.UnrollEntries != st.Unrolls {
-		t.Errorf("CacheStatsNow entries %d/%d, import loaded %d/%d",
-			stats.ScheduleEntries, stats.UnrollEntries, st.Schedules, st.Unrolls)
+	if stats.ScheduleEntries != st.Schedules || stats.UnrollEntries != st.Unrolls ||
+		stats.ResultEntries != st.Results {
+		t.Errorf("CacheStatsNow entries %d/%d/%d, import loaded %d/%d/%d",
+			stats.ScheduleEntries, stats.UnrollEntries, stats.ResultEntries,
+			st.Schedules, st.Unrolls, st.Results)
 	}
 
 	// Export after import must reproduce the snapshot byte-for-byte: the
-	// rebuilt schedules carry exactly the information the records did.
+	// rebuilt schedules and results carry exactly the information the
+	// records did.
 	var snap3 bytes.Buffer
 	if err := ExportScheduleCache(&snap3); err != nil {
 		t.Fatalf("export after import: %v", err)
@@ -74,6 +79,8 @@ func TestCachePersistenceRoundTrip(t *testing.T) {
 		t.Errorf("export after import differs from original snapshot")
 	}
 
+	// Warm path 1: the loaded result cache alone serves the sweep — zero
+	// compiles, zero simulations, byte-identical output.
 	var warm CacheCounters
 	warmRes, err := ExploreCfg(RunConfig{Workers: 4, Counters: &warm}, spec, 0, 1)
 	if err != nil {
@@ -82,8 +89,11 @@ func TestCachePersistenceRoundTrip(t *testing.T) {
 	if n := warm.Compiles.Load(); n != 0 {
 		t.Errorf("warm sweep after cache load performed %d compiles, want 0", n)
 	}
-	if warm.Hits.Load() == 0 {
-		t.Errorf("warm sweep recorded no cache hits")
+	if n := warm.Simulations.Load(); n != 0 {
+		t.Errorf("warm sweep after cache load performed %d simulations, want 0", n)
+	}
+	if warm.SimHits.Load() == 0 {
+		t.Errorf("warm sweep recorded no result-cache hits")
 	}
 	var warmJSON bytes.Buffer
 	if err := WriteExploreJSON(&warmJSON, warmRes); err != nil {
@@ -91,6 +101,29 @@ func TestCachePersistenceRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(coldJSON.Bytes(), warmJSON.Bytes()) {
 		t.Errorf("warm (persisted-cache) sweep differs from cold run")
+	}
+
+	// Warm path 2: with the result cache opted out, the loaded schedule
+	// cache still makes the sweep compile-free (real simulations, schedule
+	// hits) — and the bytes still match.
+	var sched CacheCounters
+	schedRes, err := ExploreCfg(RunConfig{Workers: 4, DisableResultCache: true, Counters: &sched}, spec, 0, 1)
+	if err != nil {
+		t.Fatalf("schedule-warm sweep: %v", err)
+	}
+	if n := sched.Compiles.Load(); n != 0 {
+		t.Errorf("schedule-warm sweep performed %d compiles, want 0", n)
+	}
+	if sched.Hits.Load() == 0 || sched.Simulations.Load() == 0 {
+		t.Errorf("schedule-warm sweep: hits=%d simulations=%d, want both > 0",
+			sched.Hits.Load(), sched.Simulations.Load())
+	}
+	var schedJSON bytes.Buffer
+	if err := WriteExploreJSON(&schedJSON, schedRes); err != nil {
+		t.Fatalf("render schedule-warm: %v", err)
+	}
+	if !bytes.Equal(coldJSON.Bytes(), schedJSON.Bytes()) {
+		t.Errorf("schedule-warm sweep differs from cold run")
 	}
 	ResetCaches()
 }

@@ -35,9 +35,9 @@ func EnergySweepCfg(rc RunConfig, entries int) ([]EnergyRow, error) {
 	results, err := forEachJob(rc, len(suite)*stride, func(i int) (*BenchResult, error) {
 		b := suite[i/stride]
 		if i%stride == 0 {
-			return RunBenchmark(b, ArchBase, rc.options(arch.MICRO36Config()))
+			return RunBenchmarkCached(b, ArchBase, rc.options(arch.MICRO36Config()))
 		}
-		return RunBenchmark(b, ArchL0, rc.options(arch.MICRO36Config().WithL0Entries(entries)))
+		return RunBenchmarkCached(b, ArchL0, rc.options(arch.MICRO36Config().WithL0Entries(entries)))
 	})
 	if err != nil {
 		return nil, err

@@ -23,8 +23,15 @@ type RunConfig struct {
 	Workers int
 	// DisableScheduleCache bypasses the global schedule memoization (used
 	// to measure the cache's contribution; results are identical either
-	// way because compilation is deterministic).
+	// way because compilation is deterministic). It also bypasses the
+	// result cache: a run that asks to observe compile costs must actually
+	// compile, which a memoized simulation result would skip wholesale.
 	DisableScheduleCache bool
+	// DisableResultCache bypasses the global simulation-result memoization
+	// for this run (results are identical either way because simulation is
+	// deterministic; used to measure the result cache's contribution and
+	// by determinism tests that want real simulations).
+	DisableResultCache bool
 	// Ctx, when non-nil, cancels the run: forEachJob stops handing out
 	// jobs once the context is done and returns its error. The serving
 	// layer threads each request's context through here so an abandoned
@@ -44,7 +51,12 @@ func DefaultRunConfig() RunConfig {
 // options derives the per-run harness Options for one job, threading the
 // engine-level cache switch so driver closures cannot forget it.
 func (rc RunConfig) options(cfg arch.Config) Options {
-	return Options{Cfg: cfg, DisableScheduleCache: rc.DisableScheduleCache, Counters: rc.Counters}
+	return Options{
+		Cfg:                  cfg,
+		DisableScheduleCache: rc.DisableScheduleCache,
+		DisableResultCache:   rc.DisableResultCache,
+		Counters:             rc.Counters,
+	}
 }
 
 // canceled returns the context's error when the run's context is done.
@@ -241,23 +253,44 @@ type unrollEntry struct {
 	done atomic.Bool
 }
 
-// The memoization is process-global and unbounded by design: every distinct
-// (kernel, config, options) compilation is retained for the life of the
-// process, which is exactly right for one-shot CLI sweeps (each cell is
-// revisited across baselines and figure variants) but means memory grows
-// linearly with the design space explored. A long-lived exploration server
-// would need an eviction policy here (see ROADMAP's explore-as-a-server
-// item); until then ResetCaches is the only release valve.
+// The memoization is process-global: every distinct (kernel, config,
+// options) compilation is retained and shared across runs, which is exactly
+// right for one-shot CLI sweeps (each cell is revisited across baselines and
+// figure variants). By default the caches are unbounded; a long-lived
+// exploration server sweeping many disjoint grids bounds them with
+// SetCacheLimits (LRU eviction with entry/byte caps — see lru.go). The
+// unroll cache stays an unbounded sync.Map: entries are a dozen bytes each
+// and shared by every architecture of a kernel, so evicting them buys
+// nothing.
 var (
-	scheduleCache sync.Map // compileKey -> *compileEntry
-	unrollCache   sync.Map // unrollKey -> *unrollEntry
+	scheduleCache = newLRUCache[compileKey, *compileEntry](
+		func(e *compileEntry) bool { return e.done.Load() })
+	unrollCache sync.Map // unrollKey -> *unrollEntry
 )
 
-// ResetCaches drops the global schedule and unroll memoization and zeroes
-// the process-global cache counters (tests, and the serving layer's
-// cache-management path).
+// scheduleCost estimates the resident bytes of one memoized compilation for
+// the byte cap: a structural estimate over the schedule's slices (placements,
+// comms, prefetches, coherence sets), not a malloc audit — the cap bounds
+// growth, it does not meter the heap.
+func scheduleCost(ck compiledKernel) int64 {
+	if ck.sch == nil {
+		return 64
+	}
+	s := ck.sch
+	return 128 +
+		int64(len(s.Placed))*48 +
+		int64(len(s.Comms))*24 +
+		int64(len(s.Prefetches))*32 +
+		int64(len(s.SetScheme))*16 +
+		int64(len(s.SetHome))*8
+}
+
+// ResetCaches drops the global schedule, unroll and simulation-result
+// memoization, restores unlimited cache caps, and zeroes the process-global
+// cache counters (tests, and the serving layer's cache-management path).
 func ResetCaches() {
-	scheduleCache = sync.Map{}
+	scheduleCache.reset()
+	resultCache.reset()
 	unrollCache = sync.Map{}
 	globalCacheCounters.reset()
 }
@@ -306,8 +339,13 @@ func compileKernel(b *workload.Benchmark, i int, a Arch, opts Options, schedOpts
 			opts:     optsKeyOf(schedOpts),
 			fallback: opts.ConservativeFallback && a == ArchL0,
 		}
-		v, _ := scheduleCache.LoadOrStore(key, &compileEntry{})
-		e := v.(*compileEntry)
+		e, _, ok := scheduleCache.getOrCreate(key, func() *compileEntry { return &compileEntry{} })
+		if !ok {
+			// Cap of zero: the cache is configured off. Same observable
+			// behaviour as DisableScheduleCache, same counter.
+			opts.count(func(c *CacheCounters) { c.Disabled.Add(1) })
+			break
+		}
 		fresh := false
 		e.once.Do(func() {
 			fresh = true
@@ -316,6 +354,9 @@ func compileKernel(b *workload.Benchmark, i int, a Arch, opts Options, schedOpts
 		})
 		if fresh {
 			opts.count(func(c *CacheCounters) { c.Misses.Add(1) })
+			if e.err == nil {
+				scheduleCache.charge(key, scheduleCost(e.res))
+			}
 		} else {
 			opts.count(func(c *CacheCounters) { c.Hits.Add(1) })
 		}

@@ -404,7 +404,7 @@ func ExploreCfg(rc RunConfig, spec ExploreSpec, shard, shards int) (*ExploreResu
 			k := baseKeys[i]
 			cfg := arch.MICRO36Config().WithClusters(k.clusters).WithL0Entries(0)
 			cfg.L1Latency = k.l1lat
-			return RunBenchmark(workload.ByName(k.bench), ArchBase, rc.options(cfg))
+			return RunBenchmarkCached(workload.ByName(k.bench), ArchBase, rc.options(cfg))
 		}
 		c := mine[i-nb]
 		// SubblockBytes is already resolved (grid() derives the 0 spec
@@ -416,7 +416,7 @@ func ExploreCfg(rc RunConfig, spec ExploreSpec, shard, shards int) (*ExploreResu
 		// budget meaning unbounded — both safe to apply verbatim.
 		opts.Sched.PrefetchDistance = c.PrefetchDist
 		opts.Sched.RegistersPerCluster = c.RegBudget
-		return RunBenchmark(workload.ByName(c.Bench), ArchL0, opts)
+		return RunBenchmarkCached(workload.ByName(c.Bench), ArchL0, opts)
 	})
 	if err != nil {
 		return nil, err

@@ -37,6 +37,17 @@ const (
 	ArchInterleaved2
 )
 
+// ArchByName is the inverse of Arch.String (the form the cache snapshot and
+// the serving API use on the wire).
+func ArchByName(name string) (Arch, bool) {
+	for _, a := range []Arch{ArchBase, ArchL0, ArchMultiVLIW, ArchInterleaved1, ArchInterleaved2} {
+		if a.String() == name {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
 func (a Arch) String() string {
 	switch a {
 	case ArchBase:
@@ -72,8 +83,14 @@ type Options struct {
 	ConservativeFallback bool
 	// DisableScheduleCache bypasses the global compile memoization for
 	// this run (results are identical either way; used to measure the
-	// cache's contribution).
+	// cache's contribution). RunBenchmarkCached also treats it as
+	// disabling the result cache: a run observing compile costs must
+	// actually compile.
 	DisableScheduleCache bool
+	// DisableResultCache bypasses the global simulation-result
+	// memoization in RunBenchmarkCached for this run (results are
+	// identical either way; threaded from RunConfig.DisableResultCache).
+	DisableResultCache bool
 	// Counters, when non-nil, accumulates this run's schedule-cache
 	// traffic in addition to the process-global counters (threaded from
 	// RunConfig.Counters by the engine).
@@ -120,11 +137,16 @@ type BenchResult struct {
 }
 
 // RunBenchmark executes every kernel of the benchmark on the architecture.
+// Callers on the sweep paths go through RunBenchmarkCached instead, which
+// memoizes the whole result; this function always simulates.
 func RunBenchmark(b *workload.Benchmark, a Arch, opts Options) (*BenchResult, error) {
 	cfg := opts.Cfg
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Mirrors Compiles in compileKernelUncached: every actual simulation is
+	// counted, so a warm-result sweep provably performs zero.
+	opts.count(func(c *CacheCounters) { c.Simulations.Add(1) })
 	res := &BenchResult{Bench: b.Name, Arch: a}
 
 	// One memory model per benchmark: L1 state persists across kernels

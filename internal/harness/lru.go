@@ -1,0 +1,198 @@
+// Bounded LRU cache machinery shared by the schedule cache and the
+// simulation-result cache. The seed caches were sync.Maps that grew without
+// bound — exactly right for one-shot CLI sweeps, wrong for a week-long
+// l0served process sweeping many disjoint grids (ROADMAP "cache eviction /
+// size bounds"). lruCache keeps the single-flight semantics the sync.Map
+// design had (concurrent requests for one key share one fill) and adds
+// recency tracking with entry-count and byte caps.
+//
+// Cap semantics, shared by every layer that configures a cache
+// (SetCacheLimits, the l0served/l0explore flags):
+//
+//	> 0  cap (entries or bytes)
+//	  0  cache disabled: lookups miss, nothing is ever stored
+//	< 0  unlimited (the process default; DefaultCacheLimits)
+//
+// Eviction only considers completed entries: an in-flight fill (its worker
+// is still compiling or simulating) is skipped, so a cap smaller than the
+// number of concurrent fills can transiently overshoot — the cap is honored
+// as soon as the fills land. Byte accounting uses the entry cost the caller
+// charges after the fill completes (a structural estimate, not a malloc
+// audit; see scheduleCost/resultCost).
+
+package harness
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lruSlot is one resident cache entry: the key (so eviction can delete the
+// map index), the shared value, and the bytes charged for it.
+type lruSlot[K comparable, V any] struct {
+	key  K
+	val  V
+	cost int64
+}
+
+// lruCache is a mutex-guarded LRU with entry and byte caps. The zero value
+// is not usable; build with newLRUCache.
+type lruCache[K comparable, V any] struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	items      map[K]*list.Element
+	bytes      int64
+	// evictable reports whether an entry may be dropped (completed fills
+	// only: evicting an in-flight entry would detach a fill another
+	// goroutine is waiting on and re-admit the key mid-fill).
+	evictable func(V) bool
+	evictions atomic.Int64
+}
+
+func newLRUCache[K comparable, V any](evictable func(V) bool) *lruCache[K, V] {
+	return &lruCache[K, V]{
+		maxEntries: -1, maxBytes: -1,
+		ll: list.New(), items: map[K]*list.Element{},
+		evictable: evictable,
+	}
+}
+
+// setLimits installs new caps and immediately evicts down to them. A zero
+// cap empties the cache and disables it.
+func (c *lruCache[K, V]) setLimits(entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxEntries, c.maxBytes = entries, bytes
+	c.evictOverflow()
+}
+
+// disabled reports whether either cap is zero (the cache stores nothing).
+func (c *lruCache[K, V]) disabled() bool {
+	return c.maxEntries == 0 || c.maxBytes == 0
+}
+
+// getOrCreate returns the entry for k, creating it via mk on first sight.
+// ok=false means the cache is disabled (nothing was stored; run uncached).
+// created=true means this caller owns the fill and must charge() when done.
+func (c *lruCache[K, V]) getOrCreate(k K, mk func() V) (v V, created, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disabled() {
+		return v, false, false
+	}
+	if el, hit := c.items[k]; hit {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruSlot[K, V]).val, false, true
+	}
+	v = mk()
+	c.items[k] = c.ll.PushFront(&lruSlot[K, V]{key: k, val: v})
+	c.evictOverflow()
+	return v, true, true
+}
+
+// charge records the byte cost of a completed fill and evicts overflow. A
+// key evicted while its fill was in flight is silently ignored — the filler
+// and any waiters still share the detached entry.
+func (c *lruCache[K, V]) charge(k K, cost int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, hit := c.items[k]
+	if !hit {
+		return
+	}
+	s := el.Value.(*lruSlot[K, V])
+	c.bytes += cost - s.cost
+	s.cost = cost
+	c.evictOverflow()
+}
+
+// evictOverflow drops least-recently-used evictable entries until both caps
+// hold. Caller holds c.mu.
+func (c *lruCache[K, V]) evictOverflow() {
+	over := func() bool {
+		// A disabled cache (either cap zero) holds nothing, even entries
+		// whose charged cost is still zero.
+		return (c.maxEntries >= 0 && len(c.items) > c.maxEntries) ||
+			(c.maxBytes >= 0 && c.bytes > c.maxBytes) ||
+			(c.disabled() && len(c.items) > 0)
+	}
+	el := c.ll.Back()
+	for el != nil && over() {
+		prev := el.Prev()
+		s := el.Value.(*lruSlot[K, V])
+		if c.evictable == nil || c.evictable(s.val) {
+			c.ll.Remove(el)
+			delete(c.items, s.key)
+			c.bytes -= s.cost
+			c.evictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+// each calls f on every resident entry (stops early on false). Iteration
+// order is unspecified; callers needing determinism sort afterwards (the
+// snapshot exporter does). f runs under the cache lock and must not reenter.
+func (c *lruCache[K, V]) each(f func(K, V) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		s := el.Value.(*lruSlot[K, V])
+		if !f(s.key, s.val) {
+			return
+		}
+	}
+}
+
+func (c *lruCache[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *lruCache[K, V]) costBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// reset drops every entry and restores unlimited caps (test isolation; the
+// serving layer reapplies its configured limits via SetCacheLimits).
+func (c *lruCache[K, V]) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxEntries, c.maxBytes = -1, -1
+	c.ll.Init()
+	c.items = map[K]*list.Element{}
+	c.bytes = 0
+}
+
+// CacheLimits carries the caps for both process-global caches. Field
+// semantics follow the cap convention above: >0 cap, 0 disabled, <0
+// unlimited. Start from DefaultCacheLimits and override what you bound —
+// the zero value disables everything.
+type CacheLimits struct {
+	// ScheduleEntries/ScheduleBytes bound the memoized-compile cache.
+	ScheduleEntries int
+	ScheduleBytes   int64
+	// ResultEntries/ResultBytes bound the simulation-result cache.
+	ResultEntries int
+	ResultBytes   int64
+}
+
+// DefaultCacheLimits is the process default: everything unlimited, matching
+// the pre-eviction behaviour one-shot CLI sweeps rely on.
+func DefaultCacheLimits() CacheLimits {
+	return CacheLimits{ScheduleEntries: -1, ScheduleBytes: -1, ResultEntries: -1, ResultBytes: -1}
+}
+
+// SetCacheLimits applies caps to the process-global schedule and result
+// caches, evicting immediately if the new caps are below the resident set.
+// Safe to call while sweeps run (long-lived servers may re-tune at runtime).
+func SetCacheLimits(l CacheLimits) {
+	scheduleCache.setLimits(l.ScheduleEntries, l.ScheduleBytes)
+	resultCache.setLimits(l.ResultEntries, l.ResultBytes)
+}

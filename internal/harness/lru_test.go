@@ -1,0 +1,120 @@
+package harness
+
+import "testing"
+
+// evictAlways treats every entry as completed (the common case in unit
+// tests; the in-flight case gets its own test).
+func evictAlways(int) bool { return true }
+
+func keysOf(c *lruCache[string, int]) map[string]bool {
+	got := map[string]bool{}
+	c.each(func(k string, _ int) bool {
+		got[k] = true
+		return true
+	})
+	return got
+}
+
+func TestLRUEntryCapEvictsLeastRecent(t *testing.T) {
+	c := newLRUCache[string, int](evictAlways)
+	c.setLimits(2, -1)
+	for i, k := range []string{"a", "b"} {
+		if _, created, ok := c.getOrCreate(k, func() int { return i }); !created || !ok {
+			t.Fatalf("insert %q: created=%v ok=%v", k, created, ok)
+		}
+	}
+	// Touch "a" so "b" is the least-recently-used entry.
+	if _, created, _ := c.getOrCreate("a", func() int { return 99 }); created {
+		t.Fatalf("touching %q created a new entry", "a")
+	}
+	c.getOrCreate("c", func() int { return 2 })
+	got := keysOf(c)
+	if !got["a"] || !got["c"] || got["b"] {
+		t.Errorf("after eviction resident=%v, want a and c (b evicted)", got)
+	}
+	if n := c.evictions.Load(); n != 1 {
+		t.Errorf("evictions=%d, want 1", n)
+	}
+}
+
+func TestLRUByteCapEvictsOnCharge(t *testing.T) {
+	c := newLRUCache[string, int](evictAlways)
+	c.setLimits(-1, 100)
+	c.getOrCreate("a", func() int { return 0 })
+	c.charge("a", 60)
+	c.getOrCreate("b", func() int { return 1 })
+	c.charge("b", 60) // 120 > 100: "a" must go
+	got := keysOf(c)
+	if got["a"] || !got["b"] {
+		t.Errorf("after byte-cap eviction resident=%v, want only b", got)
+	}
+	if b := c.costBytes(); b != 60 {
+		t.Errorf("costBytes=%d, want 60", b)
+	}
+	// Re-charging an existing key replaces its cost, not accumulates it.
+	c.charge("b", 40)
+	if b := c.costBytes(); b != 40 {
+		t.Errorf("after recharge costBytes=%d, want 40", b)
+	}
+	// Charging an evicted key is a no-op.
+	c.charge("a", 1000)
+	if b := c.costBytes(); b != 40 {
+		t.Errorf("charge on evicted key changed costBytes to %d", b)
+	}
+}
+
+func TestLRUZeroCapDisables(t *testing.T) {
+	for _, limits := range [][2]int64{{0, -1}, {-1, 0}, {0, 0}} {
+		c := newLRUCache[string, int](evictAlways)
+		c.getOrCreate("old", func() int { return 0 })
+		c.setLimits(int(limits[0]), limits[1])
+		if !c.disabled() {
+			t.Errorf("limits %v: cache not disabled", limits)
+		}
+		if c.len() != 0 {
+			t.Errorf("limits %v: %d entries survived a zero cap", limits, c.len())
+		}
+		if _, _, ok := c.getOrCreate("k", func() int { return 1 }); ok {
+			t.Errorf("limits %v: disabled cache admitted an entry", limits)
+		}
+	}
+}
+
+func TestLRUSetLimitsEvictsImmediately(t *testing.T) {
+	c := newLRUCache[string, int](evictAlways)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		c.getOrCreate(k, func() int { return 0 })
+	}
+	c.setLimits(1, -1)
+	if n := c.len(); n != 1 {
+		t.Errorf("after shrinking cap, %d entries resident, want 1", n)
+	}
+	if got := keysOf(c); !got["d"] {
+		t.Errorf("shrink kept %v, want the most recent d", got)
+	}
+}
+
+// TestLRUInFlightSurvivesEviction pins the single-flight contract: an entry
+// whose fill has not completed is skipped by eviction (evicting it would
+// detach waiters and re-admit the key mid-fill), and the cap is enforced
+// again once the fill lands.
+func TestLRUInFlightSurvivesEviction(t *testing.T) {
+	done := map[string]bool{}
+	c := newLRUCache[string, string](func(k string) bool { return done[k] })
+	c.setLimits(1, -1)
+	c.getOrCreate("inflight", func() string { return "inflight" })
+	c.getOrCreate("b", func() string { return "b" })
+	if got := map[string]bool{}; true {
+		c.each(func(k, _ string) bool { got[k] = true; return true })
+		if !got["inflight"] {
+			t.Fatalf("in-flight entry was evicted; resident=%v", got)
+		}
+	}
+	// The fill completes: the next overflow check may now retire it.
+	done["inflight"] = true
+	done["b"] = true
+	c.getOrCreate("c", func() string { return "c" })
+	if n := c.len(); n != 1 {
+		t.Errorf("after fills completed, %d entries resident, want cap of 1", n)
+	}
+}

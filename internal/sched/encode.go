@@ -25,9 +25,19 @@ type EncodedPlaced struct {
 	Hints   arch.Hints `json:"hints"`
 }
 
+// EncodingVersion identifies the EncodedSchedule layout itself, independent
+// of the snapshot container that carries it (harness.CacheFormatVersion).
+// Bump it when the encoding's meaning changes — a field is reinterpreted,
+// placements gain a dimension, a plan type changes shape — so a consumer
+// holding a stale encoding rejects it at decode instead of binding it to a
+// loop it no longer describes. Containers from before the stamp existed
+// declare it on the records they carry (see ImportScheduleCache's v1 path).
+const EncodingVersion = 1
+
 // EncodedSchedule is the stable wire form of a Schedule. Comms, Prefetches,
 // SetScheme and SetHome are plain value types and travel verbatim.
 type EncodedSchedule struct {
+	Version    int               `json:"v"`
 	II         int               `json:"ii"`
 	SC         int               `json:"sc"`
 	Placed     []EncodedPlaced   `json:"placed"`
@@ -40,7 +50,8 @@ type EncodedSchedule struct {
 // Encode strips the schedule down to its stable form.
 func (s *Schedule) Encode() *EncodedSchedule {
 	e := &EncodedSchedule{
-		II: s.II, SC: s.SC,
+		Version: EncodingVersion,
+		II:      s.II, SC: s.SC,
 		Placed:     make([]EncodedPlaced, len(s.Placed)),
 		Comms:      append([]Comm(nil), s.Comms...),
 		Prefetches: append([]Prefetch(nil), s.Prefetches...),
@@ -68,6 +79,9 @@ func (s *Schedule) Encode() *EncodedSchedule {
 // lengths) so a stale or corrupted encoding is rejected instead of producing
 // a schedule the simulator would misexecute.
 func DecodeSchedule(e *EncodedSchedule, loop *ir.Loop, cfg arch.Config, opts Options) (*Schedule, error) {
+	if e.Version != EncodingVersion {
+		return nil, fmt.Errorf("sched: decode: encoding version %d, want %d", e.Version, EncodingVersion)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: decode: %w", err)
 	}

@@ -3,6 +3,8 @@ package server
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -108,30 +110,51 @@ func (j *job) finish(state JobState, result []byte, contentType, errMsg string) 
 	j.mu.Unlock()
 }
 
-// jobTable tracks every job of the process, in submission order. Jobs are
-// never evicted: each entry is a few hundred bytes plus its rendered result,
-// and the operator controls result size via the grid-cell cap.
+// jobTable tracks every job of the process, in submission order, with a
+// retention policy over the finished ones: a TTL measured from finish time
+// and a cap on retained terminal jobs (done, failed or canceled — their
+// rendered results are the memory that matters; the grid-cell cap bounds
+// each result, retention bounds how many a week-long server accretes).
+// Queued and running jobs are never evicted, so eviction can never race a
+// cancel: by the time a job is eligible its context is already settled, and
+// the sweep still cancels it defensively to release the context.
+//
+// Evicted jobs stay distinguishable from jobs that never existed: IDs are
+// assigned sequentially, so any id at or below the high-water mark that is
+// absent from the table must have been retired — the API answers 410 Gone
+// for those, 404 only for ids never issued (the satellite's 404-vs-pending
+// ambiguity fix).
 type jobTable struct {
 	mu   sync.Mutex
 	next int
 	jobs map[string]*job
 	ids  []string
+
+	// ttl is how long a terminal job is retained after it finished
+	// (0 = forever); maxKeep caps retained terminal jobs (0 = unlimited).
+	ttl     time.Duration
+	maxKeep int
+	// now is the clock, injectable for deterministic retention tests.
+	now func() time.Time
+	// evicted counts retired jobs (surfaced by /v1/jobs).
+	evicted int64
 }
 
-func newJobTable() *jobTable {
-	return &jobTable{jobs: map[string]*job{}}
+func newJobTable(ttl time.Duration, maxKeep int) *jobTable {
+	return &jobTable{jobs: map[string]*job{}, ttl: ttl, maxKeep: maxKeep, now: time.Now}
 }
 
 // add registers a freshly admitted job and assigns its ID.
 func (t *jobTable) add(format string, gridSize int, cancel context.CancelFunc) *job {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.sweepLocked()
 	t.next++
 	j := &job{
 		id:     fmt.Sprintf("job-%d", t.next),
 		state:  JobQueued,
 		format: format, gridSize: gridSize,
-		created: time.Now(),
+		created: t.now(),
 		cancel:  cancel,
 	}
 	t.jobs[j.id] = j
@@ -142,19 +165,103 @@ func (t *jobTable) add(format string, gridSize int, cancel context.CancelFunc) *
 func (t *jobTable) get(id string) *job {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.sweepLocked()
 	return t.jobs[id]
 }
 
-// list returns every job's status in submission order.
-func (t *jobTable) list() []JobStatus {
+// wasEvicted reports whether id names a job that existed and was retired by
+// retention (as opposed to one that was never submitted).
+func (t *jobTable) wasEvicted(id string) bool {
+	num := strings.TrimPrefix(id, "job-")
+	n, err := strconv.Atoi(num)
+	// Only canonical ids were ever issued: "job-007"/"job-+5" parse to the
+	// same n as real ids but must stay 404, not 410.
+	if !strings.HasPrefix(id, "job-") || err != nil || n < 1 || strconv.Itoa(n) != num {
+		return false
+	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
+	return n <= t.next && t.jobs[id] == nil
+}
+
+// sweep applies the retention policy now (the janitor's entry point; the
+// mutating accessors sweep inline so retention also holds without one).
+func (t *jobTable) sweep() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked()
+}
+
+// sweepLocked retires terminal jobs that outlived the TTL, then the oldest
+// terminal jobs beyond maxKeep. Caller holds t.mu; job.mu nests inside.
+func (t *jobTable) sweepLocked() {
+	if t.ttl <= 0 && t.maxKeep <= 0 {
+		return
+	}
+	now := t.now()
+	keep := t.ids[:0]
+	var terminal []string
+	for _, id := range t.ids {
+		j := t.jobs[id]
+		j.mu.Lock()
+		done := j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
+		expired := done && t.ttl > 0 && !j.finished.IsZero() && now.Sub(j.finished) > t.ttl
+		j.mu.Unlock()
+		if expired {
+			t.retire(j)
+			continue
+		}
+		if done {
+			terminal = append(terminal, id)
+		}
+		keep = append(keep, id)
+	}
+	t.ids = keep
+	if t.maxKeep > 0 && len(terminal) > t.maxKeep {
+		doomed := map[string]bool{}
+		for _, id := range terminal[:len(terminal)-t.maxKeep] {
+			doomed[id] = true
+			t.retire(t.jobs[id])
+		}
+		keep = t.ids[:0]
+		for _, id := range t.ids {
+			if !doomed[id] {
+				keep = append(keep, id)
+			}
+		}
+		t.ids = keep
+	}
+}
+
+// retire drops one terminal job. Its context is canceled defensively (a
+// no-op for every terminal state, but it releases the context tree).
+func (t *jobTable) retire(j *job) {
+	delete(t.jobs, j.id)
+	t.evicted++
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// list returns every job's status in submission order, plus the count of
+// jobs retired by retention.
+func (t *jobTable) list() ([]JobStatus, int64) {
+	t.mu.Lock()
+	t.sweepLocked()
 	ids := append([]string(nil), t.ids...)
+	evicted := t.evicted
 	t.mu.Unlock()
 	out := make([]JobStatus, 0, len(ids))
 	for _, id := range ids {
-		if j := t.get(id); j != nil {
+		t.mu.Lock()
+		j := t.jobs[id]
+		t.mu.Unlock()
+		if j != nil {
 			out = append(out, j.status())
 		}
 	}
-	return out
+	return out, evicted
 }

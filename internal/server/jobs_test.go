@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// addFinished registers a job and immediately drives it to the given
+// terminal state (table-level tests don't need a real sweep behind it).
+func addFinished(t *jobTable, state JobState) *job {
+	j := t.add("json", 4, func() {})
+	j.setRunning(1)
+	j.finish(state, []byte("result"), "application/json", "")
+	return j
+}
+
+// TestJobRetentionTTL drives the TTL policy with an injected clock: a
+// finished job outliving the TTL is retired, while queued/running jobs are
+// immortal regardless of age.
+func TestJobRetentionTTL(t *testing.T) {
+	tbl := newJobTable(time.Minute, 0)
+	done := addFinished(tbl, JobDone)
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pending := tbl.add("json", 4, cancel) // stays queued forever
+
+	tbl.sweep()
+	if tbl.get(done.id) == nil {
+		t.Fatalf("job retired before its TTL elapsed")
+	}
+
+	tbl.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
+	tbl.sweep()
+	if tbl.get(done.id) != nil {
+		t.Errorf("job %s still resident after TTL", done.id)
+	}
+	if !tbl.wasEvicted(done.id) {
+		t.Errorf("wasEvicted(%s) = false for a retired job", done.id)
+	}
+	if tbl.get(pending.id) == nil {
+		t.Errorf("queued job %s was retired; retention must only touch terminal jobs", pending.id)
+	}
+
+	// Ids never issued are not "evicted", whatever their shape — including
+	// non-canonical spellings that parse to a retired job's number.
+	for _, id := range []string{"job-999", "job-0", "job-x", "nonsense", "", "job-01", "job-+1"} {
+		if tbl.wasEvicted(id) {
+			t.Errorf("wasEvicted(%q) = true for an id never issued", id)
+		}
+	}
+}
+
+// TestJobRetentionMaxKeep pins the count cap: oldest terminal jobs retire
+// first, non-terminal jobs don't count against the cap, and the evicted
+// counter surfaces how many are gone.
+func TestJobRetentionMaxKeep(t *testing.T) {
+	tbl := newJobTable(0, 2)
+	var jobs []*job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, addFinished(tbl, JobDone))
+	}
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	running := tbl.add("json", 4, cancel)
+	running.setRunning(1)
+
+	statuses, evicted := tbl.list()
+	if evicted != 2 {
+		t.Errorf("evicted = %d, want 2", evicted)
+	}
+	// Survivors: the two newest terminal jobs plus the running one.
+	want := map[string]bool{jobs[2].id: true, jobs[3].id: true, running.id: true}
+	if len(statuses) != len(want) {
+		t.Fatalf("%d jobs retained, want %d", len(statuses), len(want))
+	}
+	for _, st := range statuses {
+		if !want[st.ID] {
+			t.Errorf("unexpected survivor %s", st.ID)
+		}
+	}
+	for _, old := range jobs[:2] {
+		if !tbl.wasEvicted(old.id) {
+			t.Errorf("wasEvicted(%s) = false for a capped-out job", old.id)
+		}
+	}
+}
+
+// TestJobRetentionDisabledKeepsEverything guards the default: with no TTL
+// and no cap, the table never retires anything (the pre-retention
+// behaviour one-shot scripts rely on).
+func TestJobRetentionDisabledKeepsEverything(t *testing.T) {
+	tbl := newJobTable(0, 0)
+	for i := 0; i < 10; i++ {
+		addFinished(tbl, JobDone)
+	}
+	tbl.now = func() time.Time { return time.Now().Add(24 * time.Hour) }
+	tbl.sweep()
+	if statuses, evicted := tbl.list(); len(statuses) != 10 || evicted != 0 {
+		t.Errorf("retention-free table retired jobs: %d retained, %d evicted", len(statuses), evicted)
+	}
+}

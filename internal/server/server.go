@@ -1,9 +1,16 @@
 // Package server implements l0served: a long-lived HTTP service that runs
 // design-space sweeps, energy sweeps and single-configuration experiments on
-// the parallel experiment engine with the schedule cache warm across
-// requests. One process serves many sweeps; every compilation any request
-// performs is memoized for all later requests, and the cache can be
-// snapshotted to disk and reloaded so even a fresh process starts warm.
+// the parallel experiment engine with the schedule and simulation-result
+// caches warm across requests. One process serves many sweeps; every
+// compilation and every benchmark simulation any request performs is
+// memoized for all later requests (a repeat sweep is O(render): zero
+// compiles, zero simulations), and both caches can be snapshotted to disk
+// and reloaded so even a fresh process starts warm. Long-lived processes
+// stay bounded: the caches take LRU entry/byte caps (harness.SetCacheLimits,
+// the l0served -schedcap/-resultcap/-schedbytes/-resultbytes flags) and the
+// job table takes a retention policy (Config.JobTTL/MaxRetainedJobs) that
+// retires finished async results — retired job ids answer 410 Gone, distinct
+// from 404 never-existed.
 //
 // Endpoints:
 //
@@ -11,12 +18,12 @@
 //	POST /v1/explore           ExploreRequest → rendered sweep (sync) or job (async)
 //	POST /v1/run               RunRequest → one benchmark × architecture × config
 //	POST /v1/energy            EnergyRequest → suite energy comparison
-//	GET  /v1/jobs              all jobs, submission order
-//	GET  /v1/jobs/{id}         one job's status
+//	GET  /v1/jobs              retained jobs, submission order, + evicted count
+//	GET  /v1/jobs/{id}         one job's status (410 once retired by retention)
 //	GET  /v1/jobs/{id}/result  the rendered result of a finished job
 //	POST /v1/jobs/{id}/cancel  cancel a queued/running job
-//	GET  /v1/cachestats        schedule-cache entries + hit/miss/bypass counters
-//	POST /v1/cache/save        snapshot the schedule cache to the configured path
+//	GET  /v1/cachestats        cache entries/bytes/evictions + hit/miss/bypass counters
+//	POST /v1/cache/save        snapshot both caches to the configured path
 //
 // Determinism: the engine aggregates by job index, so a sweep served here is
 // byte-identical to the same spec run through a local l0explore — whatever
@@ -68,6 +75,13 @@ type Config struct {
 	// CachePath, when set, is where POST /v1/cache/save snapshots the
 	// schedule cache (and where LoadCache reads it at startup).
 	CachePath string
+	// JobTTL retires finished async results this long after completion
+	// (410 Gone afterwards); 0 keeps them for the process lifetime.
+	// Running and queued jobs are never retired.
+	JobTTL time.Duration
+	// MaxRetainedJobs caps how many finished jobs are retained, oldest
+	// retired first; 0 = unlimited.
+	MaxRetainedJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -106,20 +120,50 @@ type Server struct {
 	// successful /v1/cache/save snapshots.
 	loaded harness.ImportStats
 	saves  atomic.Int64
+	// stopJanitor ends the retention janitor (nil when no TTL is set).
+	stopJanitor chan struct{}
+	closeOnce   sync.Once
 }
 
-// New builds a Server. Call LoadCache afterwards to start warm.
+// New builds a Server. Call LoadCache afterwards to start warm, and Close
+// when discarding it (stops the retention janitor).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		jobs:    newJobTable(),
+		jobs:    newJobTable(cfg.JobTTL, cfg.MaxRetainedJobs),
 		running: make(chan struct{}, cfg.MaxConcurrent),
 		slots:   make(chan struct{}, cfg.WorkerBudget),
 		start:   time.Now(),
 	}
 	for i := 0; i < cfg.WorkerBudget; i++ {
 		s.slots <- struct{}{}
+	}
+	if cfg.JobTTL > 0 {
+		// The accessors sweep inline, but a TTL must also hold on an idle
+		// server (a week of retained sweeps with no observer is exactly
+		// the leak retention exists to stop), so a janitor ticks at a
+		// fraction of the TTL.
+		interval := cfg.JobTTL / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		if interval > time.Minute {
+			interval = time.Minute
+		}
+		s.stopJanitor = make(chan struct{})
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.jobs.sweep()
+				case <-s.stopJanitor:
+					return
+				}
+			}
+		}()
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -137,6 +181,16 @@ func New(cfg Config) *Server {
 
 // Handler returns the HTTP handler (also usable under httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the retention janitor. Safe to call more than once; serving
+// may continue (retention then happens only on API access).
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.stopJanitor != nil {
+			close(s.stopJanitor)
+		}
+	})
+}
 
 // LoadCache imports a schedule-cache snapshot from the configured CachePath.
 // A missing file is not an error (first start); anything else is.
@@ -271,17 +325,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 	st := harness.CacheStatsNow()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"schedule_entries": st.ScheduleEntries,
-		"unroll_entries":   st.UnrollEntries,
-		"hits":             st.Hits,
-		"misses":           st.Misses,
-		"bypassed":         st.Bypassed,
-		"disabled":         st.Disabled,
-		"compiles":         st.Compiles,
-		"loaded":           s.loaded,
-		"saves":            s.saves.Load(),
-		"cache_path":       s.cfg.CachePath,
-		"uptime_seconds":   time.Since(s.start).Seconds(),
+		"schedule_entries":   st.ScheduleEntries,
+		"unroll_entries":     st.UnrollEntries,
+		"result_entries":     st.ResultEntries,
+		"schedule_bytes":     st.ScheduleBytes,
+		"result_bytes":       st.ResultBytes,
+		"schedule_evictions": st.ScheduleEvictions,
+		"result_evictions":   st.ResultEvictions,
+		"hits":               st.Hits,
+		"misses":             st.Misses,
+		"bypassed":           st.Bypassed,
+		"disabled":           st.Disabled,
+		"compiles":           st.Compiles,
+		"sim_hits":           st.SimHits,
+		"sim_misses":         st.SimMisses,
+		"sim_bypassed":       st.SimBypassed,
+		"sim_disabled":       st.SimDisabled,
+		"simulations":        st.Simulations,
+		"loaded":             s.loaded,
+		"saves":              s.saves.Load(),
+		"cache_path":         s.cfg.CachePath,
+		"uptime_seconds":     time.Since(s.start).Seconds(),
 	})
 }
 
@@ -500,7 +564,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		AdaptivePrefetchDistance: req.Adaptive,
 		MarkAllCandidates:        req.MarkAll,
 	}}
-	res, err := harness.RunBenchmark(b, a, opts)
+	res, err := harness.RunBenchmarkCached(b, a, opts)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -567,22 +631,38 @@ func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+	jobs, evicted := s.jobs.list()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "evicted": evicted})
+}
+
+// jobOr404 resolves a job id, distinguishing three cases the satellite fix
+// demands: a live job, a job retired by retention (410 Gone — the client
+// should not retry), and an id that never existed (404).
+func (s *Server) jobOr404(w http.ResponseWriter, id string) *job {
+	j := s.jobs.get(id)
+	if j != nil {
+		return j
+	}
+	if s.jobs.wasEvicted(id) {
+		httpError(w, http.StatusGone,
+			"job %q is gone: its result was retired by the retention policy (-jobttl/-jobkeep)", id)
+		return nil
+	}
+	httpError(w, http.StatusNotFound, "no such job %q", id)
+	return nil
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
-	j := s.jobs.get(r.PathValue("id"))
+	j := s.jobOr404(w, r.PathValue("id"))
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
 }
 
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
-	j := s.jobs.get(r.PathValue("id"))
+	j := s.jobOr404(w, r.PathValue("id"))
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	j.mu.Lock()
@@ -604,9 +684,8 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.jobs.get(r.PathValue("id"))
+	j := s.jobOr404(w, r.PathValue("id"))
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
 	j.mu.Lock()

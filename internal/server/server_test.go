@@ -345,7 +345,8 @@ func TestQueueBound(t *testing.T) {
 
 // TestCachePersistenceThroughServer exercises the serving side of the
 // persistence loop: sweep → save via the API → fresh server loads the
-// snapshot → the same sweep is served with zero compiles.
+// snapshot → the same sweep is served with zero compiles and, since the v2
+// snapshot carries simulation results too, zero simulations.
 func TestCachePersistenceThroughServer(t *testing.T) {
 	harness.ResetCaches()
 	cachePath := filepath.Join(t.TempDir(), "sched_cache.json")
@@ -384,25 +385,31 @@ func TestCachePersistenceThroughServer(t *testing.T) {
 	if after.Compiles != before.Compiles {
 		t.Errorf("warm sweep on a fresh process compiled %d kernels, want 0", after.Compiles-before.Compiles)
 	}
+	if after.Simulations != before.Simulations {
+		t.Errorf("warm sweep on a fresh process simulated %d benchmarks, want 0", after.Simulations-before.Simulations)
+	}
 	if !bytes.Equal(coldBody, warmBody) {
 		t.Errorf("persisted-cache sweep differs from cold sweep")
 	}
 
-	// The stats endpoint must surface the load and the counters.
+	// The stats endpoint must surface the load and the counters. The warm
+	// sweep was served from the result cache, so the hit traffic shows up
+	// on sim_hits (the schedule cache is loaded but never consulted).
 	resp, body = getBody(t, ts2.URL+"/v1/cachestats")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cachestats: status %d", resp.StatusCode)
 	}
 	var stats struct {
 		ScheduleEntries int                 `json:"schedule_entries"`
-		Hits            int64               `json:"hits"`
-		Bypassed        int64               `json:"bypassed"`
+		ResultEntries   int                 `json:"result_entries"`
+		SimHits         int64               `json:"sim_hits"`
 		Loaded          harness.ImportStats `json:"loaded"`
 	}
 	if err := json.Unmarshal(body, &stats); err != nil {
 		t.Fatalf("unmarshal cachestats: %v", err)
 	}
-	if stats.ScheduleEntries == 0 || stats.Hits == 0 || stats.Loaded.Schedules != st.Schedules {
+	if stats.ScheduleEntries == 0 || stats.ResultEntries == 0 || stats.SimHits == 0 ||
+		stats.Loaded.Schedules != st.Schedules || stats.Loaded.Results == 0 {
 		t.Errorf("cachestats does not reflect the loaded cache: %s", body)
 	}
 	harness.ResetCaches()
@@ -517,4 +524,143 @@ func TestJobCancel(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	harness.ResetCaches()
+}
+
+// waitJob polls a job until it leaves the queued/running states and returns
+// its final status.
+func waitJob(t *testing.T, baseURL, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, body := getBody(t, baseURL+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %s status: %d: %s", id, resp.StatusCode, body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("unmarshal job status: %v", err)
+		}
+		if st.State != JobQueued && st.State != JobRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 60s", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestJobGoneVsNotFound is the HTTP face of the retention satellite: once
+// retention retires a finished job, its id must answer 410 Gone on every
+// job endpoint — distinct from 404 for ids never issued — so a client
+// polling a slow async sweep can tell "expired, stop retrying" from "wrong
+// id".
+func TestJobGoneVsNotFound(t *testing.T) {
+	harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 2, MaxRetainedJobs: 1})
+
+	req := smallReq()
+	req.Async = true
+	var ids []string
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/explore", req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("unmarshal submit response: %v", err)
+		}
+		if st := waitJob(t, ts.URL, st.ID); st.State != JobDone {
+			t.Fatalf("job %s finished %s: %s", st.ID, st.State, st.Error)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	// Both jobs are terminal and the cap is 1: the older one must be gone
+	// on status, result and cancel alike.
+	for _, ep := range []string{"", "/result", "/cancel"} {
+		url := ts.URL + "/v1/jobs/" + ids[0] + ep
+		var resp *http.Response
+		var body []byte
+		if ep == "/cancel" {
+			resp, body = postJSON(t, url, struct{}{})
+		} else {
+			resp, body = getBody(t, url)
+		}
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("GET %s%s: status %d, want 410: %s", ids[0], ep, resp.StatusCode, body)
+		}
+	}
+
+	// The newer job survived with its result intact.
+	resp, body := getBody(t, ts.URL+"/v1/jobs/"+ids[1]+"/result")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Errorf("surviving job result: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+
+	// An id never issued is still a plain 404.
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs/job-999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job id: status %d, want 404", resp.StatusCode)
+	}
+
+	// The jobs listing reports the eviction.
+	resp, body = getBody(t, ts.URL+"/v1/jobs")
+	var listing struct {
+		Jobs    []JobStatus `json:"jobs"`
+		Evicted int64       `json:"evicted"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatalf("unmarshal jobs listing: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || listing.Evicted == 0 {
+		t.Errorf("jobs listing: status %d evicted %d, want 200 with evicted > 0", resp.StatusCode, listing.Evicted)
+	}
+	harness.ResetCaches()
+}
+
+// TestBoundedCachesThroughServer sweeps with caps below the working set and
+// requires the served bytes to match an unbounded local render while
+// /v1/cachestats shows eviction held the resident set at the caps.
+func TestBoundedCachesThroughServer(t *testing.T) {
+	harness.ResetCaches()
+	limits := harness.CacheLimits{ScheduleEntries: 3, ScheduleBytes: -1, ResultEntries: 2, ResultBytes: -1}
+	harness.SetCacheLimits(limits)
+	t.Cleanup(harness.ResetCaches)
+	ts := newTestServer(t, Config{WorkerBudget: 4})
+
+	req := smallReq()
+	req.Format = "json"
+	resp, got := postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore: status %d: %s", resp.StatusCode, got)
+	}
+
+	resp, body := getBody(t, ts.URL+"/v1/cachestats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cachestats: status %d", resp.StatusCode)
+	}
+	var stats struct {
+		ScheduleEntries   int   `json:"schedule_entries"`
+		ResultEntries     int   `json:"result_entries"`
+		ScheduleEvictions int64 `json:"schedule_evictions"`
+		ResultEvictions   int64 `json:"result_evictions"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("unmarshal cachestats: %v", err)
+	}
+	if stats.ScheduleEvictions == 0 || stats.ResultEvictions == 0 {
+		t.Errorf("caps below working set but no evictions: %s", body)
+	}
+	if stats.ScheduleEntries > limits.ScheduleEntries || stats.ResultEntries > limits.ResultEntries {
+		t.Errorf("resident entries %d/%d exceed caps %d/%d", stats.ScheduleEntries, stats.ResultEntries,
+			limits.ScheduleEntries, limits.ResultEntries)
+	}
+
+	// Byte-identity against the unbounded local render: eviction must not
+	// change a single byte of the response.
+	harness.ResetCaches()
+	if want := localRender(t, req, "json"); !bytes.Equal(got, want) {
+		t.Errorf("bounded served sweep differs from unbounded local run")
+	}
 }

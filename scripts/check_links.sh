@@ -1,0 +1,40 @@
+#!/bin/sh
+# check_links: fail on dead relative links in the repo's markdown set.
+#
+# Scans README.md and every markdown file under docs/ for inline links
+# ([text](target)), resolves relative targets against the linking file's
+# directory, and exits nonzero listing any that point at files that don't
+# exist. External links (http/https/mailto) and same-file anchors are out
+# of scope — this gate is about keeping the docs set self-consistent as
+# files move, not about the internet.
+#
+# Usage: scripts/check_links.sh [file.md ...]   (default: README.md docs/*.md)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FILES="$*"
+[ -n "$FILES" ] || FILES="README.md $(find docs -name '*.md' 2>/dev/null)"
+
+status=0
+for f in $FILES; do
+    [ -f "$f" ] || { echo "check_links: no such file $f" >&2; status=1; continue; }
+    dir=$(dirname "$f")
+    # One link target per line: grab every "](target)" group, then strip
+    # the wrapping. Titles ("](a.md \"title\")") are cut with the space.
+    targets=$(grep -o ']([^)]*)' "$f" | sed -e 's/^](//' -e 's/)$//' -e 's/ .*//') || true
+    for t in $targets; do
+        case "$t" in
+        http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        path=${t%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "check_links: $f: dead link -> $t" >&2
+            status=1
+        fi
+    done
+done
+
+[ "$status" -eq 0 ] && echo "check_links: ok"
+exit $status

@@ -3,9 +3,12 @@
 #
 # Builds l0served and l0explore, starts the server on an ephemeral port,
 # runs a small grid through the HTTP API and diffs it against the local
-# l0explore output (must be byte-identical), exercises a cache save /
-# reload cycle in a second server process, and verifies the reloaded cache
-# serves the same sweep with zero compiles.
+# l0explore output (must be byte-identical), asserts a repeat sweep is
+# served from the simulation-result cache (zero new simulations,
+# byte-identical body), exercises a cache save / reload cycle in a second
+# server process (the reloaded cache serves the same sweep with zero
+# compiles and zero simulations), and sweeps a third server with cache caps
+# below the working set (eviction must not change a byte).
 #
 # Usage: scripts/serve_smoke.sh [scratch-dir]
 set -eu
@@ -51,6 +54,35 @@ cmp "$DIR/local.json" "$DIR/server.json"
 "$DIR/l0explore" -server "$URL" $ARGS -format table -o "$DIR/server.txt"
 cmp "$DIR/local.txt" "$DIR/server.txt"
 
+# 1b. Repeat the sweep on the now-warm server: the result cache must serve
+# it without a single new simulation, byte-identically.
+counter() { # counter name statsfile
+    sed -n "s/^  \"$1\": \([0-9][0-9]*\).*/\1/p" "$2"
+}
+"$DIR/l0explore" -server "$URL" -cachestats -o "$DIR/stats_before.json"
+"$DIR/l0explore" -server "$URL" $ARGS -format json -o "$DIR/repeat.json"
+cmp "$DIR/local.json" "$DIR/repeat.json"
+"$DIR/l0explore" -server "$URL" -cachestats -o "$DIR/stats_after.json"
+for c in simulations compiles; do
+    before=$(counter "$c" "$DIR/stats_before.json")
+    after=$(counter "$c" "$DIR/stats_after.json")
+    if [ -z "$before" ] || [ "$before" != "$after" ]; then
+        echo "serve-smoke: repeat sweep was not $c-free ($before -> $after)" >&2
+        exit 1
+    fi
+done
+# positive_counter asserts a counter is present and nonzero (an absent key
+# must fail, not pass vacuously).
+positive_counter() { # positive_counter name statsfile
+    v=$(counter "$1" "$2")
+    if [ -z "$v" ] || [ "$v" = "0" ]; then
+        echo "serve-smoke: counter $1 is '${v:-missing}', want > 0:" >&2
+        cat "$2" >&2
+        exit 1
+    fi
+}
+positive_counter sim_hits "$DIR/stats_after.json"
+
 # 2. Snapshot the warm cache, then stop the server.
 "$DIR/l0explore" -server "$URL" -savecache >/dev/null
 kill "$PID"
@@ -58,7 +90,8 @@ wait "$PID" 2>/dev/null || true
 PID=""
 [ -s "$DIR/cache.json" ] || { echo "serve-smoke: cache snapshot missing" >&2; exit 1; }
 
-# 3. Fresh process, persisted cache: same bytes, zero compiles.
+# 3. Fresh process, persisted cache: same bytes, zero compiles AND zero
+# simulations (the v2 snapshot carries results, not just schedules).
 "$DIR/l0served" -addr 127.0.0.1:0 -portfile "$DIR/port2" -cache "$DIR/cache.json" >"$DIR/served2.log" 2>&1 &
 PID=$!
 wait_port "$DIR/port2"
@@ -67,11 +100,30 @@ URL="http://$(cat "$DIR/port2")"
 "$DIR/l0explore" -server "$URL" $ARGS -format json -o "$DIR/server2.json"
 cmp "$DIR/local.json" "$DIR/server2.json"
 "$DIR/l0explore" -server "$URL" -cachestats -o "$DIR/stats.json"
-grep -q '"compiles": 0' "$DIR/stats.json" || {
-    echo "serve-smoke: persisted-cache sweep was not compile-free:" >&2
-    cat "$DIR/stats.json" >&2
-    exit 1
-}
+for c in compiles simulations; do
+    grep -q "\"$c\": 0" "$DIR/stats.json" || {
+        echo "serve-smoke: persisted-cache sweep was not $c-free:" >&2
+        cat "$DIR/stats.json" >&2
+        exit 1
+    }
+done
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+# 4. Caps below the working set: eviction keeps the resident set bounded
+# and must not change a single output byte.
+"$DIR/l0served" -addr 127.0.0.1:0 -portfile "$DIR/port3" \
+    -schedcap 3 -resultcap 2 >"$DIR/served3.log" 2>&1 &
+PID=$!
+wait_port "$DIR/port3"
+URL="http://$(cat "$DIR/port3")"
+
+"$DIR/l0explore" -server "$URL" $ARGS -format json -o "$DIR/server3.json"
+cmp "$DIR/local.json" "$DIR/server3.json"
+"$DIR/l0explore" -server "$URL" -cachestats -o "$DIR/stats3.json"
+positive_counter result_evictions "$DIR/stats3.json"
 
 kill "$PID"
 wait "$PID" 2>/dev/null || true
