@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench smoke serve-smoke wirestudy linkcheck
+.PHONY: build test race vet bench smoke serve-smoke fleet-smoke wirestudy linkcheck
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,14 @@ smoke:
 # must not change a byte.
 serve-smoke:
 	sh scripts/serve_smoke.sh .serve-smoke
+
+# fleet-smoke drives the fault-tolerant coordinator against real processes:
+# two single-worker l0served on loopback, a full-grid l0fleet sweep with one
+# server SIGKILLed mid-sweep (must complete with retries > 0 and output
+# cmp-identical to an unsharded run), then the all-servers-dead degraded
+# path with -local-fallback.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh .fleet-smoke
 
 # linkcheck fails on dead relative links in README.md and docs/ (the docs
 # set is part of the contract; a moved file must take its links with it).

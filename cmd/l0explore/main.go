@@ -13,7 +13,7 @@
 //	          [-schedcap N] [-schedbytes N] [-resultcap N] [-resultbytes N]
 //	          [-roundtrip] [-o file]
 //	l0explore -merge shard0.json,shard1.json [-format ...] [-o file]
-//	l0explore -server http://host:port [sweep flags] [-format ...] [-o file]
+//	l0explore -server http://host:port [-timeout dur] [sweep flags] [-format ...] [-o file]
 //	l0explore -server http://host:port -cachestats | -savecache
 //
 // The grid is index-deterministic: output is byte-identical for any worker
@@ -47,7 +47,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -64,6 +66,7 @@ type cli struct {
 	round                                       bool
 	outPath                                     string
 	serverURL                                   string
+	timeout                                     time.Duration
 	cachestats, savecache                       bool
 	schedcap, resultcap                         int
 	schedbytes, resultbytes                     int64
@@ -87,6 +90,7 @@ func main() {
 	flag.BoolVar(&c.round, "roundtrip", false, "re-parse the emitted csv/json and fail unless it round-trips byte-identically")
 	flag.StringVar(&c.outPath, "o", "", "output file (default stdout)")
 	flag.StringVar(&c.serverURL, "server", "", "delegate to a running l0served at this base URL instead of sweeping locally")
+	flag.DurationVar(&c.timeout, "timeout", 15*time.Minute, "overall timeout per -server request, dial/TLS deadlines included (0 = no overall bound)")
 	flag.BoolVar(&c.cachestats, "cachestats", false, "with -server: print the server's schedule-cache statistics")
 	flag.BoolVar(&c.savecache, "savecache", false, "with -server: ask the server to snapshot its schedule cache")
 	flag.IntVar(&c.schedcap, "schedcap", -1, "max schedule-cache entries for the local sweep (-1 = unlimited, 0 = cache off)")
@@ -209,15 +213,20 @@ func splitNames(s string) []string {
 // local run), and -cachestats/-savecache map to the cache endpoints.
 func runRemote(c cli) error {
 	base := strings.TrimRight(c.serverURL, "/")
+	// The stdlib default client has no deadlines at all — a dead route or a
+	// wedged server would hang this process forever. The shared fleet client
+	// adds dial/TLS timeouts plus an overall per-request bound (-timeout;
+	// generous, because big cold sweeps legitimately take minutes).
+	client := fleet.NewHTTPClient(c.timeout)
 	switch {
 	case c.cachestats:
-		resp, err := http.Get(base + "/v1/cachestats")
+		resp, err := client.Get(base + "/v1/cachestats")
 		if err != nil {
 			return err
 		}
 		return copyResponse(c.outPath, resp)
 	case c.savecache:
-		resp, err := http.Post(base+"/v1/cache/save", "application/json", strings.NewReader("{}"))
+		resp, err := client.Post(base+"/v1/cache/save", "application/json", strings.NewReader("{}"))
 		if err != nil {
 			return err
 		}
@@ -227,7 +236,7 @@ func runRemote(c cli) error {
 		return fmt.Errorf("-merge runs locally; drop -server")
 	}
 	if c.shardSpec != "0/1" {
-		return fmt.Errorf("-shard is a local fan-out; the server parallelizes internally")
+		return fmt.Errorf("-shard is a local fan-out; the server parallelizes internally (use l0fleet to shard across servers)")
 	}
 	if c.round {
 		return fmt.Errorf("-roundtrip checks the local emitters; drop it with -server")
@@ -255,7 +264,7 @@ func runRemote(c cli) error {
 	if err := json.NewEncoder(&body).Encode(req); err != nil {
 		return err
 	}
-	resp, err := http.Post(base+"/v1/explore", "application/json", strings.NewReader(body.String()))
+	resp, err := client.Post(base+"/v1/explore", "application/json", strings.NewReader(body.String()))
 	if err != nil {
 		return err
 	}

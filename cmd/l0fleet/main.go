@@ -1,0 +1,252 @@
+// Command l0fleet is the fault-tolerant sweep coordinator: it splits one
+// design-space exploration grid into shards (the l0explore `-shard i/M`
+// identity), fans the shards across N l0served backends with stable
+// cache-affinity hashing, and merges the results byte-identical to an
+// unsharded single-process run — completing the sweep through server
+// failures via retry with capped jittered backoff, per-backend circuit
+// breakers, health probing, requeue onto survivors, and (with
+// -local-fallback) in-process execution of orphaned shards.
+//
+// Usage:
+//
+//	l0fleet -servers http://h1:p1,http://h2:p2 [sweep flags of l0explore]
+//	        [-shards M] [-retries N] [-timeout dur] [-backoff dur]
+//	        [-maxbackoff dur] [-breaker K] [-cooldown dur]
+//	        [-local-fallback] [-probe] [-workers N]
+//	        [-format table|csv|json] [-o file] [-statsfile file]
+//
+// -shards defaults to twice the server count so a lost server's work
+// requeues in pieces. Affinity keeps shard→server fixed while a server
+// stays healthy (its bounded schedule/result caches stay hot on "its"
+// cells); only a dead server's shards move. -statsfile records the
+// /v1/fleetstats-style counters (per-backend requests/retries/timeouts,
+// breaker states, requeues, local fallbacks) as JSON; a one-line summary
+// always goes to stderr. Ctrl-C cancels every in-flight shard request.
+//
+// With -local-fallback and an empty -servers list the whole sweep runs
+// in-process, sharded — useful as a degraded mode and for byte-identity
+// checks. Without -local-fallback, a shard whose retry budget is exhausted
+// fails the run with a per-shard error report.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/harness"
+	"repro/internal/sched"
+)
+
+type cli struct {
+	servers                                     string
+	benches, clusters, entries, subblock, l1lat string
+	prefetch, regbudget                         string
+	adaptive, markall                           bool
+
+	shards, retries, breaker int
+	timeout, backoff         time.Duration
+	maxbackoff, cooldown     time.Duration
+	localFallback, probe     bool
+	workers                  int
+
+	format, outPath, statsPath string
+}
+
+func main() {
+	var c cli
+	flag.StringVar(&c.servers, "servers", "", "comma-separated l0served base URLs (empty needs -local-fallback)")
+	flag.StringVar(&c.benches, "benches", "", "comma-separated benchmark subset (default: whole suite)")
+	flag.StringVar(&c.clusters, "clusters", "4,8,16,32", "cluster counts to sweep")
+	flag.StringVar(&c.entries, "entries", "4,8,16", "L0 entry counts to sweep")
+	flag.StringVar(&c.subblock, "subblock", "0", "L0 subblock bytes to sweep (0 = derive from cluster count)")
+	flag.StringVar(&c.l1lat, "l1lat", "6", "unified-L1 latencies to sweep")
+	flag.StringVar(&c.prefetch, "prefetch", "0", "prefetch distances to sweep (0 = scheduler default)")
+	flag.StringVar(&c.regbudget, "regbudget", "0", "per-cluster register budgets to sweep (0 = unbounded)")
+	flag.BoolVar(&c.adaptive, "adaptive", false, "schedule L0 runs with the adaptive per-load prefetch distance")
+	flag.BoolVar(&c.markall, "markall", false, "mark all candidate loads for L0 (the §5.2 ablation)")
+
+	flag.IntVar(&c.shards, "shards", 0, "grid shards to fan out (0 = 2× server count)")
+	flag.IntVar(&c.retries, "retries", 4, "per-shard retry budget beyond the first attempt")
+	flag.DurationVar(&c.timeout, "timeout", 5*time.Minute, "per-shard-request timeout")
+	flag.DurationVar(&c.backoff, "backoff", 50*time.Millisecond, "base backoff between a shard's attempts")
+	flag.DurationVar(&c.maxbackoff, "maxbackoff", 2*time.Second, "backoff cap")
+	flag.IntVar(&c.breaker, "breaker", 3, "consecutive failures that open a backend's circuit breaker")
+	flag.DurationVar(&c.cooldown, "cooldown", time.Second, "how long an open breaker waits before a half-open probe")
+	flag.BoolVar(&c.localFallback, "local-fallback", false, "run orphaned shards in-process so the sweep completes even if every server dies")
+	flag.BoolVar(&c.probe, "probe", true, "probe every server's /healthz before assigning shards")
+	flag.IntVar(&c.workers, "workers", 0, "per-request worker hint for the servers and the local fallback (0 = their default)")
+
+	flag.StringVar(&c.format, "format", "table", "output format: table, csv or json")
+	flag.StringVar(&c.outPath, "o", "", "output file (default stdout)")
+	flag.StringVar(&c.statsPath, "statsfile", "", "write the fleet counters (per-backend requests/retries/breakers) as JSON here")
+	flag.Parse()
+
+	if err := run(c); err != nil {
+		fmt.Fprintf(os.Stderr, "l0fleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(c cli) error {
+	switch c.format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (table, csv, json)", c.format)
+	}
+	spec, err := c.spec()
+	if err != nil {
+		return err
+	}
+
+	client := fleet.NewHTTPClient(0) // per-attempt deadlines come from the coordinator
+	var backends []fleet.Backend
+	for _, u := range splitNames(c.servers) {
+		backends = append(backends, fleet.NewHTTPBackend(u, client))
+	}
+	coord, err := fleet.New(fleet.Config{
+		Backends:         backends,
+		Shards:           c.shards,
+		Retries:          c.retries,
+		RequestTimeout:   c.timeout,
+		BaseBackoff:      c.backoff,
+		MaxBackoff:       c.maxbackoff,
+		BreakerThreshold: c.breaker,
+		BreakerCooldown:  c.cooldown,
+		Probe:            c.probe && len(backends) > 0,
+		LocalFallback:    c.localFallback,
+		Workers:          c.workers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Ctrl-C cancels the run context, which aborts every in-flight shard
+	// request (the HTTP backends send per-request contexts derived from it).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, runErr := coord.Run(ctx, spec)
+
+	// The stats report is written win or lose: a failed sweep's counters
+	// are exactly what the operator needs to see.
+	st := coord.Stats()
+	if c.statsPath != "" {
+		if err := writeStats(c.statsPath, st); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "l0fleet: %d shards, %d retries, %d requeues, %d local fallbacks, %d backends\n",
+		st.Shards, st.Retries, st.Requeues, st.LocalFallbacks, len(st.Backends))
+	if runErr != nil {
+		return runErr
+	}
+
+	out := io.Writer(os.Stdout)
+	var outFile *os.File
+	if c.outPath != "" {
+		f, err := os.Create(c.outPath)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		out = f
+	}
+	switch c.format {
+	case "table":
+		var b strings.Builder
+		harness.RenderExplore(&b, res)
+		_, err = io.WriteString(out, b.String())
+	case "csv":
+		err = harness.WriteExploreCSV(out, res)
+	case "json":
+		err = harness.WriteExploreJSON(out, res)
+	}
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func writeStats(path string, st fleet.Stats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(st)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (c cli) spec() (harness.ExploreSpec, error) {
+	var spec harness.ExploreSpec
+	var err error
+	if spec.Clusters, err = parseInts(c.clusters); err != nil {
+		return spec, fmt.Errorf("-clusters: %w", err)
+	}
+	if spec.Entries, err = parseInts(c.entries); err != nil {
+		return spec, fmt.Errorf("-entries: %w", err)
+	}
+	if spec.Subblocks, err = parseInts(c.subblock); err != nil {
+		return spec, fmt.Errorf("-subblock: %w", err)
+	}
+	if spec.L1Latencies, err = parseInts(c.l1lat); err != nil {
+		return spec, fmt.Errorf("-l1lat: %w", err)
+	}
+	if spec.PrefetchDists, err = parseInts(c.prefetch); err != nil {
+		return spec, fmt.Errorf("-prefetch: %w", err)
+	}
+	if spec.RegBudgets, err = parseInts(c.regbudget); err != nil {
+		return spec, fmt.Errorf("-regbudget: %w", err)
+	}
+	spec.Benches = splitNames(c.benches)
+	spec.Sched = sched.Options{AdaptivePrefetchDistance: c.adaptive, MarkAllCandidates: c.markall}
+	return spec, nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, b := range strings.Split(s, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -125,11 +125,15 @@ func run(addr string, cfg server.Config, limits harness.CacheLimits, portfile st
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("received %v, shutting down", sig)
+		log.Printf("received %v, draining and shutting down", sig)
 	case err := <-errc:
 		return err
 	}
 
+	// Drain first: /healthz flips to accepting=false and new submissions
+	// answer 503, so fleet probers and load balancers route around this
+	// process while in-flight sweeps finish inside the grace window.
+	srv.SetDraining(true)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {

@@ -1,0 +1,213 @@
+// Package fleet is the multi-server sweep coordinator behind cmd/l0fleet:
+// it splits one design-space sweep into shards along the existing
+// `-shard i/M` identity, assigns each shard to one of N l0served backends
+// with cache-affinity hashing, and merges the shard results back into a
+// result byte-identical to an unsharded single-process run — under any
+// schedule of backend failures.
+//
+// Robustness, not speed, is the contract. Every shard request runs under a
+// per-attempt timeout with capped exponential backoff plus jitter between
+// attempts and a bounded retry budget; a backend that fails K consecutive
+// calls is circuit-broken (open → half-open probe → closed) so a dead
+// server stops eating the budget of every shard; a dead server's shards
+// requeue onto survivors without disturbing the shard→server affinity of
+// live assignments (rendezvous hashing: removing a backend only moves the
+// shards it owned); and with local fallback enabled, orphaned shards run
+// in-process on the harness so the sweep completes even if every backend
+// dies. Without fallback the coordinator fails fast with a per-shard error
+// report instead of hanging.
+//
+// The Backend interface is the platform-adapter seam (ReqBench's pattern):
+// the real HTTP backend and a scriptable fault-injecting mock implement the
+// same three methods, so the coordinator's failure handling is tested
+// hermetically — chaos tests kill and revive mock backends at scripted
+// points and assert the merged bytes never change.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/server"
+)
+
+// Backend abstracts one sweep-serving replica. Implementations must be safe
+// for concurrent use (the coordinator fans shards out in parallel) and must
+// honor context cancellation in Explore — a hung backend is one of the
+// faults the coordinator is built to survive.
+type Backend interface {
+	// Name identifies the backend in stats and error reports, and is the
+	// identity the affinity hash keys on — it must be stable across calls.
+	Name() string
+	// Explore computes shard `shard` of `shards` of the sweep and returns
+	// the partial (or, for 0/1, complete) result.
+	Explore(ctx context.Context, spec harness.ExploreSpec, shard, shards, workers int) (*harness.ExploreResult, error)
+	// Probe checks liveness and readiness (the /healthz contract).
+	Probe(ctx context.Context) (Health, error)
+}
+
+// Health is a backend's readiness report — the enriched /healthz body. A
+// backend can be alive but not accepting (draining before shutdown); the
+// prober treats that as not ready.
+type Health struct {
+	Status          string  `json:"status"`
+	Accepting       *bool   `json:"accepting,omitempty"`
+	QueueDepth      int64   `json:"queue_depth"`
+	Running         int     `json:"running"`
+	WorkerSlotsFree int     `json:"worker_slots_free"`
+	WorkerBudget    int     `json:"worker_budget"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+}
+
+// Ready reports whether the backend can take work: status ok and, when the
+// server reports an accepting flag (older servers don't), accepting.
+func (h Health) Ready() bool {
+	return h.Status == "ok" && (h.Accepting == nil || *h.Accepting)
+}
+
+// BackendError is a structured (non-transport) failure from a backend: an
+// HTTP status with the server's decoded error message. 5xx and 429/503
+// responses are retryable faults like any transport error; the coordinator
+// treats every shard-attempt error the same way.
+type BackendError struct {
+	Status int
+	Msg    string
+}
+
+func (e *BackendError) Error() string {
+	return fmt.Sprintf("backend: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// NewHTTPClient builds the shared HTTP client for talking to l0served: real
+// dial/TLS deadlines (the stdlib default client has none, so a dead route
+// hangs forever) and an overall request timeout. timeout 0 means no overall
+// bound — callers that manage per-request deadlines via context (the fleet
+// coordinator) pass 0; one-shot CLI calls (l0explore -server) pass a
+// generous bound so a wedged server can never hang the process.
+func NewHTTPClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ResponseHeaderTimeout: 0, // sweeps legitimately take a while
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       90 * time.Second,
+		},
+	}
+}
+
+// HTTPBackend talks to one l0served over its /v1/explore and /healthz
+// endpoints. Per-attempt timeouts come from the caller's context; the
+// embedded client only contributes connection-level deadlines.
+type HTTPBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend wraps one l0served base URL. client nil selects a shared
+// default with no overall timeout (per-request deadlines come from the
+// coordinator's contexts).
+func NewHTTPBackend(baseURL string, client *http.Client) *HTTPBackend {
+	if client == nil {
+		client = NewHTTPClient(0)
+	}
+	return &HTTPBackend{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+func (b *HTTPBackend) Name() string { return b.base }
+
+// wireSched is the scheduler-option subset the /v1/explore wire form can
+// carry. A spec using options beyond it would silently change identity
+// across the HTTP hop and poison the byte-identical merge, so Explore
+// rejects such specs up front instead.
+func wireSched(o sched.Options) (adaptive, markall bool, err error) {
+	if o.UseL0 || o.AllowPSR || o.DisableExplicitPrefetch ||
+		o.PrefetchDistance != 0 || o.MaxII != 0 || o.RegistersPerCluster != 0 ||
+		o.LoadLatencyFn != nil || o.PreferredClusterFn != nil {
+		return false, false, fmt.Errorf("fleet: spec scheduler options %+v exceed the /v1/explore wire form", o)
+	}
+	return o.AdaptivePrefetchDistance, o.MarkAllCandidates, nil
+}
+
+func (b *HTTPBackend) Explore(ctx context.Context, spec harness.ExploreSpec, shard, shards, workers int) (*harness.ExploreResult, error) {
+	adaptive, markall, err := wireSched(spec.Sched)
+	if err != nil {
+		return nil, err
+	}
+	req := server.ExploreRequest{
+		Benches: spec.Benches, Clusters: spec.Clusters, Entries: spec.Entries,
+		Subblocks: spec.Subblocks, L1Latencies: spec.L1Latencies,
+		PrefetchDists: spec.PrefetchDists, RegBudgets: spec.RegBudgets,
+		Adaptive: adaptive, MarkAll: markall,
+		Workers: workers, Format: "json",
+		Shard: shard, Shards: shards,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/explore", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, decodeError(resp)
+	}
+	res, err := harness.ReadExploreJSON(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("backend %s: decode explore result: %w", b.base, err)
+	}
+	return res, nil
+}
+
+func (b *HTTPBackend) Probe(ctx context.Context) (Health, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		return Health{}, err
+	}
+	resp, err := b.client.Do(hreq)
+	if err != nil {
+		return Health{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Health{}, decodeError(resp)
+	}
+	var h Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("backend %s: decode healthz: %w", b.base, err)
+	}
+	return h, nil
+}
+
+// decodeError turns a non-2xx response into a BackendError carrying the
+// server's structured message (the error body is surfaced, never dumped
+// into result output).
+func decodeError(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+		return &BackendError{Status: resp.StatusCode, Msg: e.Error}
+	}
+	return &BackendError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(msg))}
+}

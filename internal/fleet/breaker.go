@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit state of one backend.
+type BreakerState string
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: the backend failed Threshold consecutive calls and is
+	// excluded from assignment until the cooldown passes.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the cooldown passed; exactly one trial request is
+	// allowed through. Success closes the breaker, failure reopens it.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// breaker is a per-backend circuit breaker: K consecutive failures open it,
+// a cooldown later one probe request is let through (half-open), and that
+// probe's outcome decides between closing and reopening. All methods are
+// safe for concurrent use — shards fail against the same backend in
+// parallel, and only the transition points matter.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	// now is the clock, injectable so breaker tests never sleep.
+	now func() time.Time
+
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	trial    bool // half-open probe in flight
+	opens    int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now, state: BreakerClosed}
+}
+
+// allow reports whether a request may be sent now. In the open state it
+// transitions to half-open once the cooldown has passed and grants the one
+// trial slot; later callers are refused until the trial resolves.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.trial = true
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// success records a completed request: it closes a half-open breaker and
+// clears the consecutive-failure count.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.trial = false
+}
+
+// failure records a failed request: the half-open trial reopens the
+// breaker immediately; in the closed state the K-th consecutive failure
+// opens it.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.reopenLocked()
+	case BreakerClosed:
+		b.fails++
+		if b.threshold > 0 && b.fails >= b.threshold {
+			b.reopenLocked()
+		}
+	}
+	// Failures reported while already open (in-flight requests that were
+	// sent before the breaker tripped) keep it open; openedAt is not
+	// extended, or a burst of stragglers could pin the breaker open past
+	// its cooldown.
+}
+
+func (b *breaker) reopenLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.trial = false
+	b.opens++
+}
+
+// failureFreeRelease returns a half-open trial slot that allow granted but
+// the caller never used (the backend lost an assignment tie) — without it
+// one skipped pick would consume the only probe the cooldown grants.
+func (b *breaker) failureFreeRelease() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.trial = false
+	}
+}
+
+// snapshot returns the current state and the number of times the breaker
+// has opened (for stats).
+func (b *breaker) snapshot() (BreakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

@@ -1,0 +1,258 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+// TestFleetChaosSchedulesByteIdentical is the headline contract: for every
+// scripted schedule of injected faults — connection refusals, mid-body
+// hangs, 5xx storms, slow responses, permanent deaths, even the whole fleet
+// dying with local fallback on — the merged result is byte-identical to the
+// unsharded single-process run. Failures may cost retries, requeues and
+// fallbacks; they may never cost a byte.
+func TestFleetChaosSchedulesByteIdentical(t *testing.T) {
+	spec := testSpec()
+	want := serialJSON(t, spec)
+
+	many := func(f Fault, n int) []Fault {
+		s := make([]Fault, n)
+		for i := range s {
+			s[i] = f
+		}
+		return s
+	}
+
+	cases := []struct {
+		name string
+		// build returns the backends and an optional mid-run hook.
+		build         func() ([]Backend, func(*Coordinator))
+		tweak         func(*Config)
+		wantRetries   bool
+		wantFallbacks bool
+	}{
+		{
+			name: "refuse-twice-then-ok",
+			build: func() ([]Backend, func(*Coordinator)) {
+				return []Backend{NewMockBackend("a", FaultRefuse, FaultRefuse), NewMockBackend("b")}, nil
+			},
+			wantRetries: true,
+		},
+		{
+			name: "flaky-both",
+			build: func() ([]Backend, func(*Coordinator)) {
+				return []Backend{
+					NewMockBackend("a", Fault5xx, FaultNone, Fault5xx),
+					NewMockBackend("b", FaultRefuse),
+				}, nil
+			},
+			wantRetries: true,
+		},
+		{
+			name: "permanent-5xx-opens-breaker",
+			build: func() ([]Backend, func(*Coordinator)) {
+				return []Backend{NewMockBackend("a", many(Fault5xx, 64)...), NewMockBackend("b")}, nil
+			},
+			wantRetries: true,
+		},
+		{
+			name: "hang-requeues-under-timeout",
+			build: func() ([]Backend, func(*Coordinator)) {
+				return []Backend{NewMockBackend("a", FaultHang, FaultHang), NewMockBackend("b")}, nil
+			},
+			tweak:       func(c *Config) { c.RequestTimeout = 50 * time.Millisecond },
+			wantRetries: true,
+		},
+		{
+			name: "slow-within-timeout",
+			build: func() ([]Backend, func(*Coordinator)) {
+				a := NewMockBackend("a", FaultSlow, FaultSlow)
+				a.SlowDelay = 10 * time.Millisecond
+				return []Backend{a, NewMockBackend("b")}, nil
+			},
+		},
+		{
+			name: "slow-exceeds-timeout",
+			build: func() ([]Backend, func(*Coordinator)) {
+				a := NewMockBackend("a", FaultSlow)
+				a.SlowDelay = 500 * time.Millisecond
+				return []Backend{a, NewMockBackend("b")}, nil
+			},
+			tweak:       func(c *Config) { c.RequestTimeout = 50 * time.Millisecond },
+			wantRetries: true,
+		},
+		{
+			name: "dies-after-first-success",
+			build: func() ([]Backend, func(*Coordinator)) {
+				return []Backend{NewMockBackend("a", FaultNone, FaultDie), NewMockBackend("b")}, nil
+			},
+		},
+		{
+			name: "kill-mid-run-then-revive",
+			build: func() ([]Backend, func(*Coordinator)) {
+				a := NewMockBackend("a")
+				kill := func(*Coordinator) {
+					a.Kill()
+					time.AfterFunc(60*time.Millisecond, a.Revive)
+				}
+				return []Backend{a, NewMockBackend("b")}, kill
+			},
+		},
+		{
+			name: "all-die-local-fallback",
+			build: func() ([]Backend, func(*Coordinator)) {
+				a, b := NewMockBackend("a"), NewMockBackend("b")
+				a.Kill()
+				b.Kill()
+				return []Backend{a, b}, nil
+			},
+			tweak:         func(c *Config) { c.LocalFallback = true; c.Retries = 2 },
+			wantRetries:   true,
+			wantFallbacks: true,
+		},
+		{
+			name: "fallback-only-empty-fleet",
+			build: func() ([]Backend, func(*Coordinator)) {
+				return nil, nil
+			},
+			tweak: func(c *Config) {
+				c.LocalFallback = true
+				c.Shards = 3
+				c.Retries = -1
+			},
+			wantFallbacks: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			backends, hook := tc.build()
+			cfg := fastConfig(backends...)
+			cfg.Shards = 4
+			cfg.Probe = false // probing is exercised separately; scripts count calls
+			if tc.tweak != nil {
+				tc.tweak(&cfg)
+			}
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hook != nil {
+				hook(c)
+			}
+			res, err := c.Run(context.Background(), spec)
+			if err != nil {
+				t.Fatalf("fleet run under %s: %v", tc.name, err)
+			}
+			if got := exploreJSON(t, res); got != want {
+				t.Fatalf("output differs from serial run under fault schedule %s", tc.name)
+			}
+			st := c.Stats()
+			if tc.wantRetries && st.Retries == 0 {
+				t.Fatalf("schedule %s: expected retries, stats %+v", tc.name, st)
+			}
+			if tc.wantFallbacks != (st.LocalFallbacks > 0) {
+				t.Fatalf("schedule %s: fallbacks=%d, want >0=%v", tc.name, st.LocalFallbacks, tc.wantFallbacks)
+			}
+		})
+	}
+}
+
+// TestFleetTimeoutCounted pins the timeout classification: an attempt ended
+// by its per-request deadline increments the backend's timeout counter.
+func TestFleetTimeoutCounted(t *testing.T) {
+	spec := testSpec()
+	a := NewMockBackend("a", FaultHang, FaultHang, FaultHang, FaultHang)
+	cfg := fastConfig(a, NewMockBackend("b"))
+	cfg.Shards = 2
+	cfg.RequestTimeout = 30 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range c.Stats().Backends {
+		if b.Name == "a" && a.Calls() > a.Served() && b.Timeouts == 0 {
+			t.Fatalf("hung backend recorded no timeouts: %+v", b)
+		}
+	}
+}
+
+// TestFleetHTTPBackendsEndToEnd runs the real HTTP backend against in-process
+// l0served handlers: one live server and one that is already gone
+// (connection refused). The fleet must complete on the survivor and the
+// bytes must match the serial run — the same parity the fleet-smoke script
+// proves against real processes with a mid-sweep SIGKILL.
+func TestFleetHTTPBackendsEndToEnd(t *testing.T) {
+	spec := testSpec()
+	want := serialJSON(t, spec)
+
+	live := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer live.Close()
+	dead := httptest.NewServer(server.New(server.Config{}).Handler())
+	dead.Close() // port now refuses connections
+
+	client := NewHTTPClient(0)
+	cfg := fastConfig(NewHTTPBackend(live.URL, client), NewHTTPBackend(dead.URL, client))
+	cfg.Shards = 6
+	cfg.Probe = true
+	cfg.RequestTimeout = time.Minute
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("fleet over HTTP: %v", err)
+	}
+	if got := exploreJSON(t, res); got != want {
+		t.Fatal("HTTP fleet output differs from serial run")
+	}
+	// The dead server must have been probed unhealthy or failed requests;
+	// either way the survivor did all the work.
+	var liveOK bool
+	for _, b := range c.Stats().Backends {
+		if b.Name == live.URL && b.Successes > 0 {
+			liveOK = true
+		}
+		if b.Name == dead.URL && b.Successes != 0 {
+			t.Fatalf("dead server reported successes: %+v", b)
+		}
+	}
+	if !liveOK {
+		t.Fatal("live server served nothing")
+	}
+}
+
+// TestFleetShardedServerParity checks the server-side shard support the
+// fleet relies on: asking one in-process server for each half of the grid
+// and merging must reproduce the unsharded bytes.
+func TestFleetShardedServerParity(t *testing.T) {
+	spec := testSpec()
+	want := serialJSON(t, spec)
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	b := NewHTTPBackend(ts.URL, nil)
+	var parts []*harness.ExploreResult
+	for shard := 0; shard < 2; shard++ {
+		p, err := b.Explore(context.Background(), spec, shard, 2, 0)
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		parts = append(parts, p)
+	}
+	merged, err := harness.MergeExplore(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exploreJSON(t, merged); got != want {
+		t.Fatal("server-sharded merge differs from serial run")
+	}
+}

@@ -1,0 +1,424 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// Config tunes one Coordinator. The zero value of every field selects a
+// sane default; only Backends is mandatory (unless LocalFallback is set, in
+// which case an empty fleet degenerates to a local sharded run).
+type Config struct {
+	// Backends are the sweep servers. Names must be unique — the affinity
+	// hash keys on them.
+	Backends []Backend
+	// Shards is how many slices the grid is cut into; <= 0 selects
+	// 2×len(Backends) (floor 1) so a lost server's work requeues in
+	// halves, not as one monolithic re-run.
+	Shards int
+	// Retries is the per-shard retry budget beyond the first attempt;
+	// < 0 means no retries. Default 4.
+	Retries int
+	// RequestTimeout bounds each shard attempt. Default 5m.
+	RequestTimeout time.Duration
+	// BaseBackoff/MaxBackoff shape the capped exponential backoff between
+	// a shard's attempts (equal jitter: sleep in [d/2, d)). Defaults
+	// 50ms / 2s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// BreakerThreshold opens a backend's circuit after this many
+	// consecutive failures (default 3); BreakerCooldown is how long it
+	// stays open before a half-open probe (default 1s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Probe, when set, probes every backend's /healthz before assigning
+	// work; an unready backend starts with one recorded failure so dead
+	// servers trip their breakers sooner.
+	Probe bool
+	// ProbeTimeout bounds each health probe. Default 5s.
+	ProbeTimeout time.Duration
+	// LocalFallback runs a shard in-process (harness.ExploreCfg) once its
+	// retry budget is exhausted — the sweep then completes even if every
+	// backend is dead. Without it the run fails fast with a per-shard
+	// error report.
+	LocalFallback bool
+	// Workers is the per-request worker hint passed to backends and the
+	// local fallback engine (0 = backend/engine default).
+	Workers int
+	// Logf, when non-nil, receives coordinator progress lines (retries,
+	// breaker trips, fallbacks).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 2 * len(c.Backends)
+		if c.Shards < 1 {
+			c.Shards = 1
+		}
+	}
+	if c.Retries == 0 {
+		c.Retries = 4
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Minute
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// BackendStats is one backend's request accounting.
+type BackendStats struct {
+	Name          string       `json:"name"`
+	Requests      int64        `json:"requests"`
+	Successes     int64        `json:"successes"`
+	Failures      int64        `json:"failures"`
+	Timeouts      int64        `json:"timeouts"`
+	ProbeFailures int64        `json:"probe_failures"`
+	BreakerState  BreakerState `json:"breaker_state"`
+	BreakerOpens  int64        `json:"breaker_opens"`
+}
+
+// Stats is the fleet-wide view exposed by Coordinator.Stats (the
+// /v1/fleetstats-style report cmd/l0fleet prints).
+type Stats struct {
+	Shards         int            `json:"shards"`
+	Retries        int64          `json:"retries"`
+	Requeues       int64          `json:"requeues"`
+	LocalFallbacks int64          `json:"local_fallbacks"`
+	Backends       []BackendStats `json:"backends"`
+}
+
+// backendRef is one backend plus its runtime accounting.
+type backendRef struct {
+	b   Backend
+	brk *breaker
+
+	requests, successes, failures, timeouts, probeFails atomic.Int64
+}
+
+// ShardError reports one shard that exhausted its retry budget.
+type ShardError struct {
+	Shard    int
+	Attempts int
+	Err      error
+}
+
+// ShardErrors is the fail-fast report when LocalFallback is off and at
+// least one shard could not be completed.
+type ShardErrors []ShardError
+
+func (es ShardErrors) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d shard(s) failed:", len(es))
+	for _, e := range es {
+		fmt.Fprintf(&b, "\n  shard %d after %d attempt(s): %v", e.Shard, e.Attempts, e.Err)
+	}
+	return b.String()
+}
+
+// Coordinator fans one sweep across a fleet of backends and merges the
+// shards back byte-identically. One Coordinator runs one sweep at a time
+// (stats are cumulative across runs).
+type Coordinator struct {
+	cfg      Config
+	backends []*backendRef
+
+	retries, requeues, fallbacks atomic.Int64
+
+	// sleep is time.Sleep with context awareness, injectable for tests.
+	sleep func(ctx context.Context, d time.Duration)
+
+	// jitterMu guards rng: equal-jitter backoff draws are the only
+	// nondeterminism in the coordinator, and none of it reaches the
+	// output bytes.
+	jitterMu sync.Mutex
+	rng      *rand.Rand
+}
+
+// New validates the configuration and builds a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 && !cfg.LocalFallback {
+		return nil, errors.New("fleet: no backends and no local fallback")
+	}
+	seen := map[string]bool{}
+	c := &Coordinator{
+		cfg:   cfg,
+		sleep: sleepCtx,
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, b := range cfg.Backends {
+		if b.Name() == "" {
+			return nil, errors.New("fleet: backend with empty name")
+		}
+		if seen[b.Name()] {
+			return nil, fmt.Errorf("fleet: duplicate backend %q", b.Name())
+		}
+		seen[b.Name()] = true
+		c.backends = append(c.backends, &backendRef{
+			b:   b,
+			brk: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		})
+	}
+	return c, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Stats snapshots the per-backend and fleet-wide counters.
+func (c *Coordinator) Stats() Stats {
+	st := Stats{
+		Shards:         c.cfg.Shards,
+		Retries:        c.retries.Load(),
+		Requeues:       c.requeues.Load(),
+		LocalFallbacks: c.fallbacks.Load(),
+	}
+	for _, ref := range c.backends {
+		state, opens := ref.brk.snapshot()
+		st.Backends = append(st.Backends, BackendStats{
+			Name:          ref.b.Name(),
+			Requests:      ref.requests.Load(),
+			Successes:     ref.successes.Load(),
+			Failures:      ref.failures.Load(),
+			Timeouts:      ref.timeouts.Load(),
+			ProbeFailures: ref.probeFails.Load(),
+			BreakerState:  state,
+			BreakerOpens:  opens,
+		})
+	}
+	return st
+}
+
+// Run executes the sweep: probe (optional), fan out shards, merge. The
+// merged result is byte-identical to harness.ExploreCfg(spec, 0, 1) run in
+// one process — cells are a pure function of their grid index, so neither
+// the shard count, the backend schedule, nor any pattern of retries and
+// fallbacks can change a byte. Cancel ctx to abort every in-flight shard
+// request.
+func (c *Coordinator) Run(ctx context.Context, spec harness.ExploreSpec) (*harness.ExploreResult, error) {
+	if c.cfg.Probe {
+		c.probeAll(ctx)
+	}
+	shards := c.cfg.Shards
+	parts := make([]*harness.ExploreResult, shards)
+	errs := make([]error, shards)
+	attempts := make([]int, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			parts[shard], attempts[shard], errs[shard] = c.runShard(ctx, spec, shard)
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var report ShardErrors
+	for i, err := range errs {
+		if err != nil {
+			report = append(report, ShardError{Shard: i, Attempts: attempts[i], Err: err})
+		}
+	}
+	if len(report) > 0 {
+		return nil, report
+	}
+	return harness.MergeExplore(parts...)
+}
+
+// probeAll health-checks every backend in parallel. An unready backend is
+// charged one breaker failure — not an immediate exclusion, so a transient
+// probe blip cannot strand a healthy server, but a truly dead one opens
+// its breaker after the first couple of shard attempts pile on.
+func (c *Coordinator) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, ref := range c.backends {
+		wg.Add(1)
+		go func(ref *backendRef) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+			defer cancel()
+			h, err := ref.b.Probe(pctx)
+			if err != nil || !h.Ready() {
+				ref.probeFails.Add(1)
+				ref.brk.failure()
+				c.logf("fleet: probe %s: not ready (%v)", ref.b.Name(), err)
+				return
+			}
+			ref.brk.success()
+		}(ref)
+	}
+	wg.Wait()
+}
+
+// rendezvousScore is the highest-random-weight score binding one shard to
+// one backend name. It depends on nothing else — in particular not on the
+// set of live backends — which is what makes assignment stable: the
+// best-scoring live backend for a shard only changes when that backend
+// itself dies or revives.
+func rendezvousScore(shard int, name string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", shard, name)
+	return h.Sum64()
+}
+
+// pick returns the backend that should serve the shard now: the
+// highest-scoring backend whose breaker admits a request. Ties (FNV
+// collisions) break by name so the choice is deterministic. nil means no
+// backend is currently willing.
+func (c *Coordinator) pick(shard int) *backendRef {
+	var best *backendRef
+	var bestScore uint64
+	for _, ref := range c.backends {
+		if !ref.brk.allow() {
+			continue
+		}
+		s := rendezvousScore(shard, ref.b.Name())
+		if best == nil || s > bestScore || (s == bestScore && ref.b.Name() < best.b.Name()) {
+			// A half-open trial slot was consumed by allow(); give it
+			// back if this backend loses the tie, or one skipped pick
+			// would eat the only probe the breaker grants per cooldown.
+			if best != nil {
+				best.brk.failureFreeRelease()
+			}
+			best, bestScore = ref, s
+		} else {
+			ref.brk.failureFreeRelease()
+		}
+	}
+	return best
+}
+
+// runShard drives one shard to completion: affinity-picked backend,
+// per-attempt timeout, backoff with jitter, bounded budget, then local
+// fallback or a reported error.
+func (c *Coordinator) runShard(ctx context.Context, spec harness.ExploreSpec, shard int) (*harness.ExploreResult, int, error) {
+	var prev *backendRef
+	var lastErr error
+	attempts := 0
+	maxAttempts := 1 + c.cfg.Retries
+	for attempts < maxAttempts {
+		if err := ctx.Err(); err != nil {
+			return nil, attempts, err
+		}
+		ref := c.pick(shard)
+		attempts++
+		if attempts > 1 {
+			c.retries.Add(1)
+		}
+		if ref == nil {
+			// Every breaker is open: count the round against the budget
+			// (a fleet that is entirely down must exhaust, not spin) and
+			// wait out a slice of the cooldown.
+			lastErr = errors.New("no backend available (all circuit breakers open)")
+			c.backoff(ctx, attempts)
+			continue
+		}
+		if prev != nil && ref != prev {
+			c.requeues.Add(1)
+			c.logf("fleet: shard %d requeued %s -> %s", shard, prev.b.Name(), ref.b.Name())
+		}
+		res, err := c.attempt(ctx, ref, spec, shard)
+		if err == nil {
+			return res, attempts, nil
+		}
+		lastErr = fmt.Errorf("%s: %w", ref.b.Name(), err)
+		prev = ref
+		if ctx.Err() != nil {
+			return nil, attempts, ctx.Err()
+		}
+		if attempts < maxAttempts {
+			c.backoff(ctx, attempts)
+		}
+	}
+	if c.cfg.LocalFallback {
+		c.fallbacks.Add(1)
+		c.logf("fleet: shard %d falling back to in-process run (last error: %v)", shard, lastErr)
+		rc := harness.DefaultRunConfig()
+		rc.Ctx = ctx
+		if c.cfg.Workers > 0 {
+			rc.Workers = c.cfg.Workers
+		}
+		res, err := harness.ExploreCfg(rc, spec, shard, c.cfg.Shards)
+		return res, attempts, err
+	}
+	return nil, attempts, lastErr
+}
+
+// attempt runs one timed request against one backend and updates its
+// breaker and counters.
+func (c *Coordinator) attempt(ctx context.Context, ref *backendRef, spec harness.ExploreSpec, shard int) (*harness.ExploreResult, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	ref.requests.Add(1)
+	res, err := ref.b.Explore(actx, spec, shard, c.cfg.Shards, c.cfg.Workers)
+	if err == nil {
+		ref.successes.Add(1)
+		ref.brk.success()
+		return res, nil
+	}
+	ref.failures.Add(1)
+	// The parent context canceling is the caller's abort, not the
+	// backend's fault; only a per-attempt deadline counts as a timeout.
+	if actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+		ref.timeouts.Add(1)
+	}
+	if ctx.Err() == nil {
+		ref.brk.failure()
+	}
+	return nil, err
+}
+
+// backoff sleeps the capped exponential equal-jitter delay for the given
+// attempt number (1-based).
+func (c *Coordinator) backoff(ctx context.Context, attempt int) {
+	d := c.cfg.BaseBackoff << uint(attempt-1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	c.jitterMu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.jitterMu.Unlock()
+	c.sleep(ctx, d/2+jitter)
+}

@@ -1,0 +1,325 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// testSpec is the tiny grid every fleet test sweeps: 4 configurations × one
+// benchmark. Small enough that chaos schedules with retries stay fast (and
+// the process-global result cache makes repeat computation nearly free).
+func testSpec() harness.ExploreSpec {
+	return harness.ExploreSpec{
+		Benches:  []string{"gsmdec"},
+		Clusters: []int{4, 8},
+		Entries:  []int{4, 8},
+	}
+}
+
+// serialJSON is the ground truth: the unsharded single-process run.
+func serialJSON(t *testing.T, spec harness.ExploreSpec) string {
+	t.Helper()
+	rc := harness.DefaultRunConfig()
+	rc.Workers = 1
+	res, err := harness.ExploreCfg(rc, spec, 0, 1)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	return exploreJSON(t, res)
+}
+
+func exploreJSON(t *testing.T, res *harness.ExploreResult) string {
+	t.Helper()
+	var b strings.Builder
+	if err := harness.WriteExploreJSON(&b, res); err != nil {
+		t.Fatalf("emit json: %v", err)
+	}
+	return b.String()
+}
+
+// fastConfig shapes a coordinator for tests: millisecond backoffs, short
+// attempt timeouts (the hang fault relies on them), short breaker cooldown.
+func fastConfig(backends ...Backend) Config {
+	return Config{
+		Backends:         backends,
+		Retries:          6,
+		RequestTimeout:   200 * time.Millisecond,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       5 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  20 * time.Millisecond,
+	}
+}
+
+func TestFleetNoFaultsByteIdentical(t *testing.T) {
+	spec := testSpec()
+	want := serialJSON(t, spec)
+
+	cfg := fastConfig(NewMockBackend("a"), NewMockBackend("b"), NewMockBackend("c"))
+	// 5 shards over 4 cells: at least one shard is empty, which must merge
+	// cleanly too.
+	cfg.Shards = 5
+	cfg.Probe = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if got := exploreJSON(t, res); got != want {
+		t.Fatalf("fleet output differs from serial run\ngot %d bytes, want %d", len(got), len(want))
+	}
+	st := c.Stats()
+	if st.Retries != 0 || st.LocalFallbacks != 0 {
+		t.Fatalf("healthy fleet recorded retries=%d fallbacks=%d", st.Retries, st.LocalFallbacks)
+	}
+	for _, b := range st.Backends {
+		if b.Failures != 0 || b.BreakerState != BreakerClosed {
+			t.Fatalf("healthy backend %s: %+v", b.Name, b)
+		}
+	}
+}
+
+func TestFleetSingleBackendSingleShard(t *testing.T) {
+	spec := testSpec()
+	want := serialJSON(t, spec)
+	cfg := fastConfig(NewMockBackend("only"))
+	cfg.Shards = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exploreJSON(t, res); got != want {
+		t.Fatal("single-shard fleet output differs from serial run")
+	}
+}
+
+func TestFleetAllDeadFailsFastWithReport(t *testing.T) {
+	spec := testSpec()
+	a, b := NewMockBackend("a"), NewMockBackend("b")
+	a.Kill()
+	b.Kill()
+	cfg := fastConfig(a, b)
+	cfg.Shards = 3
+	cfg.Retries = 2
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background(), spec)
+	var report ShardErrors
+	if !errors.As(err, &report) {
+		t.Fatalf("want ShardErrors, got %v", err)
+	}
+	if len(report) != 3 {
+		t.Fatalf("want all 3 shards reported, got %d: %v", len(report), err)
+	}
+	for _, se := range report {
+		if se.Attempts < 1 || se.Err == nil {
+			t.Fatalf("empty shard report entry: %+v", se)
+		}
+	}
+	if st := c.Stats(); st.Retries == 0 {
+		t.Fatalf("dead fleet recorded no retries: %+v", st)
+	}
+}
+
+func TestFleetNoBackendsNeedsFallback(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("want error for empty fleet without local fallback")
+	}
+	spec := testSpec()
+	want := serialJSON(t, spec)
+	c, err := New(Config{LocalFallback: true, Shards: 2, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exploreJSON(t, res); got != want {
+		t.Fatal("local-fallback-only fleet differs from serial run")
+	}
+	if st := c.Stats(); st.LocalFallbacks != 2 {
+		t.Fatalf("want 2 local fallbacks, got %d", st.LocalFallbacks)
+	}
+}
+
+func TestFleetCancellation(t *testing.T) {
+	spec := testSpec()
+	// Every backend hangs; cancellation must cut through the in-flight
+	// attempts and backoffs promptly.
+	hang := make([]Fault, 64)
+	for i := range hang {
+		hang[i] = FaultHang
+	}
+	cfg := fastConfig(NewMockBackend("a", hang...), NewMockBackend("b", hang...))
+	cfg.Shards = 2
+	cfg.RequestTimeout = 10 * time.Second // only cancellation ends the hang
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, spec)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not end the run")
+	}
+}
+
+// TestFleetAffinityStableAcrossUnrelatedDeath is the cache-affinity
+// contract: when one backend dies, only its shards move — every shard
+// assigned to a surviving backend keeps its server, so the survivors'
+// bounded caches stay hot on "their" cells.
+func TestFleetAffinityStableAcrossUnrelatedDeath(t *testing.T) {
+	cfg := fastConfig(NewMockBackend("a"), NewMockBackend("b"), NewMockBackend("c"))
+	cfg.BreakerCooldown = time.Hour // an opened breaker stays open
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 64
+	before := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		before[s] = c.pick(s).b.Name()
+	}
+	// Sanity: the hash actually spreads work.
+	owned := map[string]int{}
+	for _, n := range before {
+		owned[n]++
+	}
+	if len(owned) != 3 {
+		t.Fatalf("rendezvous assigned to %d of 3 backends: %v", len(owned), owned)
+	}
+
+	// Kill c: open its breaker via consecutive failures.
+	var dead *backendRef
+	for _, ref := range c.backends {
+		if ref.b.Name() == "c" {
+			dead = ref
+		}
+	}
+	for i := 0; i < cfg.BreakerThreshold; i++ {
+		dead.brk.failure()
+	}
+	if st, _ := dead.brk.snapshot(); st != BreakerOpen {
+		t.Fatalf("breaker did not open: %v", st)
+	}
+
+	moved := 0
+	for s := 0; s < shards; s++ {
+		after := c.pick(s).b.Name()
+		if after == "c" {
+			t.Fatalf("shard %d still assigned to dead backend", s)
+		}
+		if before[s] == "c" {
+			moved++
+			continue
+		}
+		if after != before[s] {
+			t.Fatalf("shard %d moved %s -> %s though its backend survived", s, before[s], after)
+		}
+	}
+	if moved != owned["c"] {
+		t.Fatalf("moved %d shards, want exactly the dead backend's %d", moved, owned["c"])
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatal("closed breaker must allow")
+		}
+		b.failure()
+	}
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("2 failures must not open (threshold 3): %v", st)
+	}
+	b.failure()
+	if st, opens := b.snapshot(); st != BreakerOpen || opens != 1 {
+		t.Fatalf("3rd consecutive failure must open: %v opens=%d", st, opens)
+	}
+	if b.allow() {
+		t.Fatal("open breaker inside cooldown must refuse")
+	}
+
+	// Cooldown passes: exactly one half-open trial.
+	now = now.Add(time.Second + time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed: must grant the half-open trial")
+	}
+	if st, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatalf("want half-open, got %v", st)
+	}
+	if b.allow() {
+		t.Fatal("second caller must not get a trial while one is in flight")
+	}
+	b.failure()
+	if st, opens := b.snapshot(); st != BreakerOpen || opens != 2 {
+		t.Fatalf("failed trial must reopen: %v opens=%d", st, opens)
+	}
+
+	// Next cooldown: a successful trial closes it and clears the count.
+	now = now.Add(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("second cooldown elapsed: must grant a trial")
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("successful trial must close: %v", st)
+	}
+	b.failure()
+	b.failure()
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatal("failure count must reset on close")
+	}
+
+	// An unused trial slot can be handed back.
+	b.failure() // 3rd consecutive -> open
+	now = now.Add(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("want trial")
+	}
+	b.failureFreeRelease()
+	if !b.allow() {
+		t.Fatal("released trial slot must be grantable again")
+	}
+}
+
+func TestWireSchedGuard(t *testing.T) {
+	m := NewMockBackend("m")
+	h := NewHTTPBackend("http://127.0.0.1:1", nil)
+	spec := testSpec()
+	spec.Sched.PrefetchDistance = 2 // not representable on the wire
+	if _, err := h.Explore(context.Background(), spec, 0, 1, 0); err == nil || !strings.Contains(err.Error(), "wire form") {
+		t.Fatalf("HTTP backend must reject off-wire scheduler options, got %v", err)
+	}
+	_ = m
+}

@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// Fault is one scripted misbehavior of a MockBackend.
+type Fault int
+
+const (
+	// FaultNone serves the request normally.
+	FaultNone Fault = iota
+	// FaultRefuse fails immediately, like a connection refused.
+	FaultRefuse
+	// FaultHang blocks until the request context is canceled (a mid-body
+	// hang; the caller's per-attempt timeout is what ends it).
+	FaultHang
+	// Fault5xx returns a BackendError with status 500.
+	Fault5xx
+	// FaultSlow sleeps SlowDelay, then serves normally (slow-then-ok:
+	// succeeds iff the delay fits inside the attempt timeout).
+	FaultSlow
+	// FaultDie fails this and every later request until Revive — the
+	// permanent-death fault.
+	FaultDie
+)
+
+// MockBackend is the hermetic test double: it computes shards in-process
+// on the real harness (so its results are the real bytes) while injecting
+// faults from a per-call script. Script entries are consumed one per
+// Explore call; when the script runs out, calls succeed. Kill/Revive flip
+// the permanent-death state at scripted points mid-chaos-schedule.
+type MockBackend struct {
+	name string
+	// SlowDelay is how long FaultSlow sleeps (default 10ms).
+	SlowDelay time.Duration
+	// Engine runs the in-process sweeps (default harness.DefaultRunConfig
+	// with one worker, keeping chaos tests cheap).
+	Engine harness.RunConfig
+
+	mu     sync.Mutex
+	script []Fault
+	dead   bool
+	calls  int
+	served int
+}
+
+// NewMockBackend builds a healthy mock with the given fault script.
+func NewMockBackend(name string, script ...Fault) *MockBackend {
+	rc := harness.DefaultRunConfig()
+	rc.Workers = 1
+	return &MockBackend{name: name, SlowDelay: 10 * time.Millisecond, Engine: rc, script: script}
+}
+
+func (m *MockBackend) Name() string { return m.name }
+
+// Kill puts the backend into the permanent-death state (every call fails)
+// until Revive. Chaos schedules call this from test hooks mid-sweep.
+func (m *MockBackend) Kill() {
+	m.mu.Lock()
+	m.dead = true
+	m.mu.Unlock()
+}
+
+// Revive clears the death state.
+func (m *MockBackend) Revive() {
+	m.mu.Lock()
+	m.dead = false
+	m.mu.Unlock()
+}
+
+// Calls returns how many Explore calls the backend has seen; Served how
+// many it completed successfully.
+func (m *MockBackend) Calls() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.calls
+}
+
+func (m *MockBackend) Served() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.served
+}
+
+// next consumes the next scripted fault (death overrides the script).
+func (m *MockBackend) next() Fault {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls++
+	if m.dead {
+		return FaultDie
+	}
+	if len(m.script) == 0 {
+		return FaultNone
+	}
+	f := m.script[0]
+	m.script = m.script[1:]
+	if f == FaultDie {
+		m.dead = true
+	}
+	return f
+}
+
+func (m *MockBackend) Explore(ctx context.Context, spec harness.ExploreSpec, shard, shards, workers int) (*harness.ExploreResult, error) {
+	switch m.next() {
+	case FaultRefuse:
+		return nil, fmt.Errorf("mock %s: connection refused", m.name)
+	case FaultDie:
+		return nil, fmt.Errorf("mock %s: backend is dead", m.name)
+	case FaultHang:
+		<-ctx.Done()
+		return nil, fmt.Errorf("mock %s: hung: %w", m.name, ctx.Err())
+	case Fault5xx:
+		return nil, &BackendError{Status: 500, Msg: "mock internal error"}
+	case FaultSlow:
+		t := time.NewTimer(m.SlowDelay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	rc := m.Engine
+	rc.Ctx = ctx
+	res, err := harness.ExploreCfg(rc, spec, shard, shards)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.served++
+	m.mu.Unlock()
+	return res, nil
+}
+
+func (m *MockBackend) Probe(ctx context.Context) (Health, error) {
+	m.mu.Lock()
+	dead := m.dead
+	m.mu.Unlock()
+	if dead {
+		return Health{}, fmt.Errorf("mock %s: connection refused", m.name)
+	}
+	return Health{Status: "ok"}, nil
+}

@@ -14,7 +14,7 @@
 //
 // Endpoints:
 //
-//	GET  /healthz              liveness + uptime
+//	GET  /healthz              readiness: accepting/draining, queue depth, running, free worker slots
 //	POST /v1/explore           ExploreRequest → rendered sweep (sync) or job (async)
 //	POST /v1/run               RunRequest → one benchmark × architecture × config
 //	POST /v1/energy            EnergyRequest → suite energy comparison
@@ -116,6 +116,10 @@ type Server struct {
 	queued atomic.Int64
 
 	start time.Time
+	// draining is set before graceful shutdown: /healthz reports it so
+	// load balancers and the fleet prober stop assigning work, and new
+	// submissions are refused with 503 (in-flight requests finish).
+	draining atomic.Bool
 	// loaded is what LoadCache imported at startup; saves counts
 	// successful /v1/cache/save snapshots.
 	loaded harness.ImportStats
@@ -245,6 +249,13 @@ type ExploreRequest struct {
 	// Async submits the sweep as a job and returns 202 + its status
 	// instead of blocking for the result.
 	Async bool `json:"async,omitempty"`
+	// Shard/Shards request one contiguous slice of the grid (the
+	// l0explore `-shard i/M` identity; 0/0 or 0/1 means the whole grid).
+	// A partial shard renders as mergeable JSON only — it is the fleet
+	// coordinator's wire format, and any exact partition of the grid
+	// merges back byte-identical to an unsharded run.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
 }
 
 // Spec converts the request to the engine's sweep specification.
@@ -315,10 +326,47 @@ type errorResponse struct {
 
 // ---- handlers ----
 
+// SetDraining flips the server into (or out of) the draining state: new
+// work submissions answer 503 and /healthz reports accepting=false, while
+// requests already admitted run to completion. l0served sets it on SIGTERM
+// before http.Server.Shutdown so a fleet prober sees "alive but not ready"
+// instead of a connection error during the grace window.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// accepting rejects new work with 503 while draining. Liveness, status and
+// job-inspection endpoints stay available either way.
+func (s *Server) accepting(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining; not accepting new work")
+		return false
+	}
+	return true
+}
+
+// handleHealthz is the readiness signal, not just a liveness ping: it
+// reports whether the process is accepting work and how loaded it is
+// (admitted-but-waiting requests, executing requests, free worker slots),
+// so a prober can distinguish "alive" from "able to take work" and an
+// operator can see queue pressure without a metrics stack.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	accepting := !s.draining.Load()
+	if !accepting {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
+		"status":    status,
+		"accepting": accepting,
+		// queued releases its admission slot when it starts executing
+		// (see admission), so this is the waiting count, excluding the
+		// running ones.
+		"queue_depth":       s.queued.Load(),
+		"running":           len(s.running),
+		"worker_slots_free": len(s.slots),
+		"worker_budget":     s.cfg.WorkerBudget,
+		"max_concurrent":    s.cfg.MaxConcurrent,
+		"max_queued":        s.cfg.MaxQueued,
+		"uptime_seconds":    time.Since(s.start).Seconds(),
 	})
 }
 
@@ -371,9 +419,24 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if !decodeRequest(w, r, &req) {
 		return
 	}
+	if !s.accepting(w) {
+		return
+	}
 	format, err := checkFormat(req.Format)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Shards == 0 {
+		req.Shards = 1
+	}
+	if req.Shards < 1 || req.Shard < 0 || req.Shard >= req.Shards {
+		httpError(w, http.StatusBadRequest, "invalid shard %d/%d (want 0 <= i < M)", req.Shard, req.Shards)
+		return
+	}
+	if req.Shards > 1 && format != "json" {
+		httpError(w, http.StatusBadRequest,
+			"shard %d/%d is partial; only the mergeable json format applies", req.Shard, req.Shards)
 		return
 	}
 	spec := req.Spec()
@@ -487,7 +550,7 @@ func (s *Server) runExplore(ctx context.Context, adm *admission, j *job, req *Ex
 	adm.release()
 	j.setRunning(workers)
 	rc := harness.RunConfig{Workers: workers, Ctx: ctx}
-	res, err := harness.ExploreCfg(rc, spec, 0, 1)
+	res, err := harness.ExploreCfg(rc, spec, req.Shard, req.Shards)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -517,6 +580,9 @@ func renderExplore(res *harness.ExploreResult, format string) ([]byte, string, e
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if !s.accepting(w) {
 		return
 	}
 	b := workload.ByName(req.Bench)
@@ -590,6 +656,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEnergy(w http.ResponseWriter, r *http.Request) {
 	var req EnergyRequest
 	if !decodeRequest(w, r, &req) {
+		return
+	}
+	if !s.accepting(w) {
 		return
 	}
 	if req.Entries <= 0 {

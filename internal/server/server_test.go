@@ -664,3 +664,122 @@ func TestBoundedCachesThroughServer(t *testing.T) {
 		t.Errorf("bounded served sweep differs from unbounded local run")
 	}
 }
+
+// TestHealthzReadiness checks the enriched /healthz: an idle server reports
+// accepting with its capacity numbers; a draining one flips status and
+// refuses new submissions with 503 while status endpoints stay up.
+func TestHealthzReadiness(t *testing.T) {
+	srv := New(Config{WorkerBudget: 3, MaxQueued: 7})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var h struct {
+		Status          string `json:"status"`
+		Accepting       bool   `json:"accepting"`
+		QueueDepth      int64  `json:"queue_depth"`
+		Running         int    `json:"running"`
+		WorkerSlotsFree int    `json:"worker_slots_free"`
+		WorkerBudget    int    `json:"worker_budget"`
+		MaxQueued       int    `json:"max_queued"`
+	}
+	resp, body := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz decode: %v (%s)", err, body)
+	}
+	if h.Status != "ok" || !h.Accepting {
+		t.Fatalf("idle server not ready: %+v", h)
+	}
+	if h.WorkerBudget != 3 || h.WorkerSlotsFree != 3 || h.MaxQueued != 7 {
+		t.Fatalf("capacity numbers wrong: %+v", h)
+	}
+	if h.QueueDepth != 0 || h.Running != 0 {
+		t.Fatalf("idle server reports load: %+v", h)
+	}
+
+	srv.SetDraining(true)
+	resp, body = getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz must stay 200 (liveness), got %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" || h.Accepting {
+		t.Fatalf("draining server not reported: %+v", h)
+	}
+	req := smallReq()
+	req.Format = "json"
+	resp, _ = postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server accepted work: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/run", RunRequest{Bench: "gsmdec"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server accepted /v1/run: %d", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("job inspection must survive draining: %d", resp.StatusCode)
+	}
+
+	srv.SetDraining(false)
+	resp, _ = postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("undrained server refused work: %d", resp.StatusCode)
+	}
+}
+
+// TestExploreSharded checks the fleet's server-side contract: shard i/M
+// requests return mergeable partial JSON whose merge is byte-identical to
+// the unsharded response, and invalid or non-JSON shard requests are 400s.
+func TestExploreSharded(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := smallReq()
+	req.Format = "json"
+
+	_, want := postJSON(t, ts.URL+"/v1/explore", req)
+
+	var parts []*harness.ExploreResult
+	for shard := 0; shard < 3; shard++ {
+		sreq := req
+		sreq.Shard, sreq.Shards = shard, 3
+		resp, body := postJSON(t, ts.URL+"/v1/explore", sreq)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("shard %d: %d: %s", shard, resp.StatusCode, body)
+		}
+		part, err := harness.ReadExploreJSON(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("shard %d decode: %v", shard, err)
+		}
+		if part.Complete() {
+			t.Fatalf("shard %d of 3 claims completeness", shard)
+		}
+		parts = append(parts, part)
+	}
+	merged, err := harness.MergeExplore(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := harness.WriteExploreJSON(&buf, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("merged server shards differ from unsharded response")
+	}
+
+	bad := req
+	bad.Shard, bad.Shards = 2, 2
+	if resp, _ := postJSON(t, ts.URL+"/v1/explore", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range shard accepted: %d", resp.StatusCode)
+	}
+	bad = req
+	bad.Shard, bad.Shards = 0, 2
+	bad.Format = "table"
+	if resp, _ := postJSON(t, ts.URL+"/v1/explore", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partial shard in table format accepted: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,109 @@
+#!/bin/sh
+# fleet-smoke: end-to-end check of the l0fleet coordinator against real
+# processes.
+#
+# Starts two single-worker l0served instances on ephemeral loopback ports,
+# runs a full default grid through l0fleet, SIGKILLs one server mid-sweep,
+# and asserts the sweep still completes, with retries > 0 in the fleet
+# stats and output byte-identical (cmp) to an unsharded local l0explore
+# run. Then the degraded path: a fleet whose only "server" refuses
+# connections must, with -local-fallback, complete a small grid in-process,
+# again byte-identically, with local fallbacks recorded.
+#
+# Usage: scripts/fleet_smoke.sh [scratch-dir]
+set -eu
+
+DIR=${1:-.fleet-smoke}
+# The full default grid (whole suite × 4 cluster counts × 3 entry counts):
+# big enough that single-worker servers are still mid-sweep when the kill
+# lands.
+ARGS="-clusters 4,8,16,32 -entries 4,8,16"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+go build -o "$DIR/l0explore" ./cmd/l0explore
+go build -o "$DIR/l0served" ./cmd/l0served
+go build -o "$DIR/l0fleet" ./cmd/l0fleet
+
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+}
+trap cleanup EXIT INT TERM
+
+wait_port() { # wait_port portfile
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "fleet-smoke: server did not come up ($1)" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+counter() { # counter name statsfile -> value of a top-level numeric field
+    sed -n "s/^  \"$1\": \([0-9][0-9]*\).*/\1/p" "$2"
+}
+
+# Reference: the same sweep, unsharded, in one local process.
+"$DIR/l0explore" $ARGS -format json -o "$DIR/local.json"
+
+# Two servers, one worker each (slow on purpose so the kill is mid-sweep).
+"$DIR/l0served" -addr 127.0.0.1:0 -portfile "$DIR/portA" -workers 1 >"$DIR/servedA.log" 2>&1 &
+PIDA=$!
+PIDS="$PIDS $PIDA"
+"$DIR/l0served" -addr 127.0.0.1:0 -portfile "$DIR/portB" -workers 1 >"$DIR/servedB.log" 2>&1 &
+PIDB=$!
+PIDS="$PIDS $PIDB"
+wait_port "$DIR/portA"
+wait_port "$DIR/portB"
+URLA="http://$(cat "$DIR/portA")"
+URLB="http://$(cat "$DIR/portB")"
+
+# SIGKILL server B mid-sweep: no drain, no goodbye — the coordinator must
+# retry B's in-flight shard, circuit-break it, requeue its shards onto A,
+# and still emit the exact bytes.
+(
+    sleep 0.4
+    kill -9 "$PIDB" 2>/dev/null || true
+) &
+KILLER=$!
+PIDS="$PIDS $KILLER"
+
+"$DIR/l0fleet" -servers "$URLA,$URLB" $ARGS -shards 16 -format json \
+    -statsfile "$DIR/stats.json" -o "$DIR/fleet.json" 2>"$DIR/fleet.log"
+wait "$KILLER" 2>/dev/null || true
+
+cmp "$DIR/local.json" "$DIR/fleet.json"
+
+retries=$(counter retries "$DIR/stats.json")
+if [ -z "$retries" ] || [ "$retries" -eq 0 ]; then
+    echo "fleet-smoke: expected retries > 0 after mid-sweep SIGKILL (got '${retries:-missing}')" >&2
+    cat "$DIR/stats.json" "$DIR/fleet.log" >&2
+    exit 1
+fi
+
+# Degraded mode: the fleet's only server refuses connections; with
+# -local-fallback every shard must complete in-process, byte-identically.
+SMALL="-benches gsmdec,g721dec -clusters 4,16 -entries 4,8"
+"$DIR/l0explore" $SMALL -format json -o "$DIR/small.json"
+"$DIR/l0fleet" -servers http://127.0.0.1:9 $SMALL -shards 4 -retries 1 \
+    -backoff 10ms -maxbackoff 50ms -cooldown 100ms -local-fallback \
+    -format json -statsfile "$DIR/stats2.json" -o "$DIR/fallback.json" 2>>"$DIR/fleet.log"
+cmp "$DIR/small.json" "$DIR/fallback.json"
+
+fallbacks=$(counter local_fallbacks "$DIR/stats2.json")
+if [ -z "$fallbacks" ] || [ "$fallbacks" -eq 0 ]; then
+    echo "fleet-smoke: expected local fallbacks > 0 (got '${fallbacks:-missing}')" >&2
+    cat "$DIR/stats2.json" "$DIR/fleet.log" >&2
+    exit 1
+fi
+
+kill "$PIDA" 2>/dev/null || true
+wait "$PIDA" 2>/dev/null || true
+PIDS=""
+
+rm -rf "$DIR"
+echo "fleet-smoke: ok (retries=$retries, fallbacks=$fallbacks)"
