@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench smoke serve-smoke fleet-smoke wirestudy linkcheck
+.PHONY: build test race vet bench smoke serve-smoke fleet-smoke kernels-smoke fuzz wirestudy linkcheck
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,23 @@ smoke:
 # must not change a byte.
 serve-smoke:
 	sh scripts/serve_smoke.sh .serve-smoke
+
+# kernels-smoke drives content-addressed kernel identity end to end: POST a
+# real .loop file to l0served, sweep it by content hash over HTTP (bytes
+# must match the local run from the file), repeat warm (zero compiles and
+# simulations), save the v3 snapshot and reload it into a fresh process
+# that serves the hash sweep compile-free without re-registration, then
+# boot a server on the committed v2 snapshot fixture to pin that old
+# positional-keyed caches still import and serve.
+kernels-smoke:
+	sh scripts/kernels_smoke.sh .kernels-smoke
+
+# fuzz runs the looplang parser fuzzer for a short bounded burst (seeds:
+# the example .loop files plus the formatter's output for every suite
+# kernel). CI-friendly; run with a longer -fuzztime locally to dig.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test ./internal/looplang -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 
 # fleet-smoke drives the fault-tolerant coordinator against real processes:
 # two single-worker l0served on loopback, a full-grid l0fleet sweep with one

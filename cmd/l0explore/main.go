@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	l0explore [-benches a,b] [-clusters 4,8,16,32] [-entries 4,8,16]
+//	l0explore [-benches a,b] [-kernel file.loop,...] [-clusters 4,8,16,32] [-entries 4,8,16]
 //	          [-subblock 0] [-l1lat 6] [-prefetch 0] [-regbudget 0]
 //	          [-adaptive] [-markall]
 //	          [-workers N] [-shard i/M] [-format table|csv|json]
@@ -58,7 +58,7 @@ import (
 
 // cli carries the parsed flag set (one struct instead of a 15-arg run).
 type cli struct {
-	benches, clusters, entries, subblock, l1lat string
+	benches, kernels, clusters, entries, subblock, l1lat string
 	prefetch, regbudget                         string
 	adaptive, markall                           bool
 	workers                                     int
@@ -75,6 +75,7 @@ type cli struct {
 func main() {
 	var c cli
 	flag.StringVar(&c.benches, "benches", "", "comma-separated benchmark subset (default: whole suite)")
+	flag.StringVar(&c.kernels, "kernel", "", "comma-separated .loop files to sweep alongside -benches (content-addressed; see docs/architecture.md)")
 	flag.StringVar(&c.clusters, "clusters", "4,8,16,32", "cluster counts to sweep")
 	flag.StringVar(&c.entries, "entries", "4,8,16", "L0 entry counts to sweep")
 	flag.StringVar(&c.subblock, "subblock", "0", "L0 subblock bytes to sweep (0 = derive from cluster count)")
@@ -194,8 +195,26 @@ func (c cli) spec() (harness.ExploreSpec, error) {
 		return spec, fmt.Errorf("-regbudget: %w", err)
 	}
 	spec.Benches = splitNames(c.benches)
+	if spec.Kernels, err = kernelSources(c.kernels); err != nil {
+		return spec, err
+	}
 	spec.Sched = sched.Options{AdaptivePrefetchDistance: c.adaptive, MarkAllCandidates: c.markall}
 	return spec, nil
+}
+
+// kernelSources reads each -kernel file and passes its source inline: the
+// engine (local or remote) registers it under its content hash, so the same
+// file sweeps identically everywhere it is submitted.
+func kernelSources(flagVal string) ([]string, error) {
+	var out []string
+	for _, p := range splitNames(flagVal) {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("-kernel: %w", err)
+		}
+		out = append(out, string(src))
+	}
+	return out, nil
 }
 
 func splitNames(s string) []string {
@@ -254,7 +273,8 @@ func runRemote(c cli) error {
 		return err
 	}
 	req := server.ExploreRequest{
-		Benches: spec.Benches, Clusters: spec.Clusters, Entries: spec.Entries,
+		Benches: spec.Benches, Kernels: spec.Kernels,
+		Clusters: spec.Clusters, Entries: spec.Entries,
 		Subblocks: spec.Subblocks, L1Latencies: spec.L1Latencies,
 		PrefetchDists: spec.PrefetchDists, RegBudgets: spec.RegBudgets,
 		Adaptive: c.adaptive, MarkAll: c.markall,

@@ -9,7 +9,8 @@
 //
 // Usage:
 //
-//	l0fleet -servers http://h1:p1,http://h2:p2 [sweep flags of l0explore]
+//	l0fleet -servers http://h1:p1,http://h2:p2 [sweep flags of l0explore,
+//	        including -kernel file.loop]
 //	        [-shards M] [-retries N] [-timeout dur] [-backoff dur]
 //	        [-maxbackoff dur] [-breaker K] [-cooldown dur]
 //	        [-local-fallback] [-probe] [-workers N]
@@ -48,8 +49,8 @@ import (
 )
 
 type cli struct {
-	servers                                     string
-	benches, clusters, entries, subblock, l1lat string
+	servers                                              string
+	benches, kernels, clusters, entries, subblock, l1lat string
 	prefetch, regbudget                         string
 	adaptive, markall                           bool
 
@@ -66,6 +67,7 @@ func main() {
 	var c cli
 	flag.StringVar(&c.servers, "servers", "", "comma-separated l0served base URLs (empty needs -local-fallback)")
 	flag.StringVar(&c.benches, "benches", "", "comma-separated benchmark subset (default: whole suite)")
+	flag.StringVar(&c.kernels, "kernel", "", "comma-separated .loop files to sweep alongside -benches (content-addressed)")
 	flag.StringVar(&c.clusters, "clusters", "4,8,16,32", "cluster counts to sweep")
 	flag.StringVar(&c.entries, "entries", "4,8,16", "L0 entry counts to sweep")
 	flag.StringVar(&c.subblock, "subblock", "0", "L0 subblock bytes to sweep (0 = derive from cluster count)")
@@ -218,6 +220,16 @@ func (c cli) spec() (harness.ExploreSpec, error) {
 		return spec, fmt.Errorf("-regbudget: %w", err)
 	}
 	spec.Benches = splitNames(c.benches)
+	// Kernel files ship as inline sources: every backend (and the local
+	// fallback) registers them under the same content hash, so all shards
+	// agree on the spec identity and the merge stays byte-identical.
+	for _, p := range splitNames(c.kernels) {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return spec, fmt.Errorf("-kernel: %w", err)
+		}
+		spec.Kernels = append(spec.Kernels, string(src))
+	}
 	spec.Sched = sched.Options{AdaptivePrefetchDistance: c.adaptive, MarkAllCandidates: c.markall}
 	return spec, nil
 }

@@ -12,7 +12,7 @@
 //	l0served [-addr host:port] [-workers N] [-maxjobs N] [-maxqueue N]
 //	         [-maxgrid N] [-cache file] [-portfile file]
 //	         [-schedcap N] [-schedbytes N] [-resultcap N] [-resultbytes N]
-//	         [-jobttl dur] [-jobkeep N]
+//	         [-jobttl dur] [-jobkeep N] [-kernelcap N]
 //
 // -addr may use port 0 to bind an ephemeral port; the chosen address is
 // logged and, with -portfile, written to a file scripts can poll (the
@@ -20,8 +20,10 @@
 //
 // The cap flags bound the process for week-long deployments: -schedcap /
 // -schedbytes and -resultcap / -resultbytes put LRU entry/byte caps on the
-// schedule and result caches (-1 = unlimited, 0 = cache off), and -jobttl /
-// -jobkeep retire finished async job results (retired ids answer 410 Gone).
+// schedule and result caches (-1 = unlimited, 0 = cache off), -jobttl /
+// -jobkeep retire finished async job results (retired ids answer 410 Gone),
+// and -kernelcap bounds the registry of user-submitted kernels (LRU;
+// evicting a kernel never invalidates its hash-keyed cache entries).
 // Defaults keep everything unlimited, matching the one-shot CLI behaviour.
 //
 // The API and its determinism guarantees are documented in
@@ -43,6 +45,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/server"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -61,6 +64,7 @@ func main() {
 		resultbytes = flag.Int64("resultbytes", -1, "max simulation-result-cache bytes, estimated (-1 = unlimited, 0 = cache off)")
 		jobttl      = flag.Duration("jobttl", 0, "retire finished async job results this long after completion (0 = keep forever)")
 		jobkeep     = flag.Int("jobkeep", 0, "max retained finished async jobs, oldest retired first (0 = unlimited)")
+		kernelcap   = flag.Int("kernelcap", -1, "max registered user kernels, least-recently-used evicted first (-1 = unlimited, 0 = reject registrations)")
 	)
 	flag.Parse()
 
@@ -77,6 +81,11 @@ func main() {
 		ScheduleEntries: *schedcap, ScheduleBytes: *schedbytes,
 		ResultEntries: *resultcap, ResultBytes: *resultbytes,
 	}
+	// The kernel-registry cap goes in before the snapshot load (inside run)
+	// so a snapshot carrying more kernels than the bound is trimmed LRU-style
+	// on the way in. Evicting a kernel never invalidates hash-keyed cache
+	// entries; a re-registration revives them.
+	workload.SetKernelRegistryLimit(*kernelcap)
 	if err := run(*addr, cfg, limits, *portfile); err != nil {
 		fmt.Fprintf(os.Stderr, "l0served: %v\n", err)
 		os.Exit(1)

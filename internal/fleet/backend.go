@@ -37,6 +37,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/sched"
 	"repro/internal/server"
+	"repro/internal/workload"
 )
 
 // Backend abstracts one sweep-serving replica. Implementations must be safe
@@ -141,13 +142,43 @@ func wireSched(o sched.Options) (adaptive, markall bool, err error) {
 	return o.AdaptivePrefetchDistance, o.MarkAllCandidates, nil
 }
 
+// wireKernels converts the spec's Kernels entries to self-contained wire
+// form: a content-hash reference is replaced by the canonical source from
+// the local registry (the remote has no reason to know our hashes yet), and
+// inline sources ship as-is. The remote registers each source under the same
+// content hash, so the shard's spec identity is bit-equal to a local run's
+// and the byte-identical merge survives the HTTP hop.
+func wireKernels(kernels []string) ([]string, error) {
+	if len(kernels) == 0 {
+		return nil, nil
+	}
+	out := make([]string, 0, len(kernels))
+	for _, k := range kernels {
+		if ref := strings.TrimSpace(k); workload.IsKernelID(ref) {
+			reg, ok := workload.KernelByID(ref)
+			if !ok {
+				return nil, fmt.Errorf("fleet: kernel %s is not in the local registry; register its source first", ref)
+			}
+			out = append(out, reg.Source)
+			continue
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
 func (b *HTTPBackend) Explore(ctx context.Context, spec harness.ExploreSpec, shard, shards, workers int) (*harness.ExploreResult, error) {
 	adaptive, markall, err := wireSched(spec.Sched)
 	if err != nil {
 		return nil, err
 	}
+	kernels, err := wireKernels(spec.Kernels)
+	if err != nil {
+		return nil, err
+	}
 	req := server.ExploreRequest{
-		Benches: spec.Benches, Clusters: spec.Clusters, Entries: spec.Entries,
+		Benches: spec.Benches, Kernels: kernels,
+		Clusters: spec.Clusters, Entries: spec.Entries,
 		Subblocks: spec.Subblocks, L1Latencies: spec.L1Latencies,
 		PrefetchDists: spec.PrefetchDists, RegBudgets: spec.RegBudgets,
 		Adaptive: adaptive, MarkAll: markall,

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// fleetKernelSrc is a non-canonical spelling: both the coordinator's local
+// registration and the remote server's must normalize it to one identity.
+const fleetKernelSrc = `
+# fleet-swept user kernel
+loop fleetmac 512
+array acc 8192 4
+array coef 8192 4
+a = load acc  0 4 4
+c = load coef 0 4 4
+p = mul a c
+s = int p
+store acc 0 4 4 s
+`
+
+// TestFleetKernelSweepOverHTTP is the fleet leg of the kernel-identity
+// acceptance: a spec referencing a locally registered kernel by content
+// hash fans out over real HTTP backends (the wire form ships the source)
+// and merges byte-identical to the unsharded local run.
+func TestFleetKernelSweepOverHTTP(t *testing.T) {
+	harness.ResetCaches()
+	workload.ResetKernelRegistry()
+	defer workload.ResetKernelRegistry()
+	defer harness.ResetCaches()
+
+	reg, err := workload.RegisterKernelSource(fleetKernelSrc)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	spec := harness.ExploreSpec{
+		Benches:  []string{"gsmdec"},
+		Kernels:  []string{reg.ID},
+		Clusters: []int{4, 8},
+		Entries:  []int{4, 8},
+	}
+	want := serialJSON(t, spec)
+
+	// Two fresh server processes (no registry shared with this one beyond
+	// the process-global state the httptest servers do share — the wire
+	// request must still carry the source, see wireKernels).
+	s1 := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer s1.Close()
+	s2 := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer s2.Close()
+
+	client := NewHTTPClient(0)
+	cfg := fastConfig(NewHTTPBackend(s1.URL, client), NewHTTPBackend(s2.URL, client))
+	cfg.Shards = 4
+	cfg.RequestTimeout = time.Minute
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("fleet kernel sweep: %v", err)
+	}
+	if got := exploreJSON(t, res); got != want {
+		t.Fatal("fleet kernel sweep differs from unsharded local run")
+	}
+}
+
+// TestWireKernelsResolution pins the wire conversion: hash references are
+// replaced by the registered canonical source, inline sources pass through,
+// and an unregistered hash is an error before any request goes out.
+func TestWireKernelsResolution(t *testing.T) {
+	workload.ResetKernelRegistry()
+	defer workload.ResetKernelRegistry()
+
+	reg, err := workload.RegisterKernelSource(fleetKernelSrc)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	out, err := wireKernels([]string{reg.ID, fleetKernelSrc})
+	if err != nil {
+		t.Fatalf("wireKernels: %v", err)
+	}
+	if len(out) != 2 || out[0] != reg.Source || out[1] != fleetKernelSrc {
+		t.Errorf("wireKernels = %q, want [canonical source, inline source]", out)
+	}
+	if _, err := wireKernels([]string{strings.Repeat("0", 64)}); err == nil {
+		t.Errorf("unregistered hash reference did not error")
+	}
+	if out, err := wireKernels(nil); err != nil || out != nil {
+		t.Errorf("empty kernel list: %v %v", out, err)
+	}
+}

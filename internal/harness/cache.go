@@ -10,8 +10,15 @@
 // the benchmark's kernel order, and unrolling is reproducible from the
 // recorded factor. The importer rebuilds each loop the same way
 // compileKernelUncached did and binds the encoded schedule back to it,
-// validating against drift (a renamed kernel, a changed array layout or an
-// incompatible format version is rejected or skipped, never half-loaded).
+// validating against drift (a changed array layout, a corrupted kernel ID or
+// an incompatible format version is rejected or skipped, never half-loaded).
+//
+// Since format v3, schedule and unroll records carry the kernel's content
+// hash (workload.KernelIDOf) instead of the positional (bench, kernel, idx)
+// triple, and the snapshot carries the canonical source of every registered
+// user kernel — so persisted caches survive benchmark renames and stay sound
+// for user-submitted kernels. v1/v2 snapshots still import: their positional
+// identities are resolved to content hashes against the live suite at load.
 
 package harness
 
@@ -93,6 +100,7 @@ type CacheStats struct {
 	ScheduleEntries   int   `json:"schedule_entries"`
 	UnrollEntries     int   `json:"unroll_entries"`
 	ResultEntries     int   `json:"result_entries"`
+	KernelEntries     int   `json:"kernel_entries"`
 	ScheduleBytes     int64 `json:"schedule_bytes"`
 	ResultBytes       int64 `json:"result_bytes"`
 	ScheduleEvictions int64 `json:"schedule_evictions"`
@@ -134,6 +142,7 @@ func CacheStatsNow() CacheStats {
 		}
 		return true
 	})
+	s.KernelEntries = workload.KernelRegistryLen()
 	s.ScheduleBytes = scheduleCache.costBytes()
 	s.ResultBytes = resultCache.costBytes()
 	s.ScheduleEvictions = scheduleCache.evictions.Load()
@@ -150,9 +159,12 @@ func CacheStatsNow() CacheStats {
 // stale persisted result would otherwise silently shadow the new numbers.
 //
 // Version 2 added the simulation-result records and the per-schedule
-// encoding version (sched.EncodingVersion). Version-1 snapshots are still
-// accepted: they simply carry no results and predate the encoding stamp.
-const CacheFormatVersion = 2
+// encoding version (sched.EncodingVersion). Version 3 rekeyed schedule and
+// unroll records by kernel content hash (plus the explicit base address)
+// and added the registered-kernel table, so snapshots stay sound for
+// user-submitted kernels. Version-1/2 snapshots are still accepted: their
+// positional identities are resolved to content hashes at import.
+const CacheFormatVersion = 3
 
 // minCacheFormatVersion is the oldest snapshot layout the importer still
 // understands.
@@ -160,11 +172,19 @@ const minCacheFormatVersion = 1
 
 // scheduleRecord is one persisted compilation: the full cache key in stable
 // form plus the compiled artifact (factor, address-space consumption, and
-// the pointer-free schedule encoding).
+// the pointer-free schedule encoding). v3 records identify the kernel by
+// content hash and explicit base address; the Bench/Kernel/Idx triple is the
+// v1/v2 positional identity, read at import only.
 type scheduleRecord struct {
-	Bench    string       `json:"bench"`
-	Kernel   string       `json:"kernel"`
-	Idx      int          `json:"idx"`
+	KernelID string `json:"kernel_id,omitempty"`
+	// Base is the array base address the compile assigned from (always
+	// >= 1<<16 when present, so omitempty never hides a real value).
+	Base int64 `json:"base,omitempty"`
+
+	Bench  string `json:"bench,omitempty"`
+	Kernel string `json:"kernel,omitempty"`
+	Idx    int    `json:"idx,omitempty"`
+
 	Entries  int          `json:"entries"`
 	Cfg      arch.Config  `json:"cfg"`
 	Opts     schedOptsKey `json:"opts"`
@@ -175,19 +195,25 @@ type scheduleRecord struct {
 	Schedule  *sched.EncodedSchedule `json:"schedule"`
 }
 
-// unrollRecord is one persisted §5.1 unroll decision.
+// unrollRecord is one persisted §5.1 unroll decision (KernelID since v3;
+// Bench/Kernel/Idx are the legacy import-only identity).
 type unrollRecord struct {
-	Bench  string      `json:"bench"`
-	Kernel string      `json:"kernel"`
-	Idx    int         `json:"idx"`
-	Cfg    arch.Config `json:"cfg"`
-	Factor int         `json:"factor"`
+	KernelID string      `json:"kernel_id,omitempty"`
+	Bench    string      `json:"bench,omitempty"`
+	Kernel   string      `json:"kernel,omitempty"`
+	Idx      int         `json:"idx,omitempty"`
+	Cfg      arch.Config `json:"cfg"`
+	Factor   int         `json:"factor"`
 }
 
 // resultRecord is one persisted benchmark simulation: the full result-cache
-// key in stable form plus the finished BenchResult.
+// key in stable form plus the finished BenchResult. Bench stays first-class
+// (the name reaches the output bytes); BenchID (since v3) is the content
+// identity the importer checks against the live workload so a result never
+// survives a content change hiding behind an unchanged name.
 type resultRecord struct {
 	Bench     string       `json:"bench"`
+	BenchID   string       `json:"bench_id,omitempty"`
 	Arch      string       `json:"arch"`
 	Cfg       arch.Config  `json:"cfg"`
 	Opts      schedOptsKey `json:"opts"`
@@ -199,12 +225,15 @@ type resultRecord struct {
 
 // cacheSnapshot is the on-disk form. Export always writes the current
 // version; Import additionally accepts the older layouts down to
-// minCacheFormatVersion (a v1 snapshot holds no Results).
+// minCacheFormatVersion (a v1 snapshot holds no Results; v1/v2 hold no
+// Kernels). Kernels is the registered user-kernel table — imported first so
+// the hash-keyed records that follow can resolve their loops.
 type cacheSnapshot struct {
-	Version   int              `json:"version"`
-	Schedules []scheduleRecord `json:"schedules"`
-	Unrolls   []unrollRecord   `json:"unrolls"`
-	Results   []resultRecord   `json:"results,omitempty"`
+	Version   int                         `json:"version"`
+	Kernels   []workload.RegisteredKernel `json:"kernels,omitempty"`
+	Schedules []scheduleRecord            `json:"schedules"`
+	Unrolls   []unrollRecord              `json:"unrolls"`
+	Results   []resultRecord              `json:"results,omitempty"`
 }
 
 // toOptions reconstructs the comparable scheduler options a cached compile
@@ -232,12 +261,17 @@ func (k schedOptsKey) toOptions() sched.Options {
 // disjoint sweeps persists at most the configured caps.
 func ExportScheduleCache(w io.Writer) error {
 	snap := cacheSnapshot{Version: CacheFormatVersion}
+	// Persist every resident user kernel (already ID-sorted), whether or not
+	// a cache entry references it: the registry is bounded input data, and a
+	// reloaded process should be able to resolve the same hashes this one
+	// could.
+	snap.Kernels = workload.RegisteredKernels()
 	scheduleCache.each(func(key compileKey, e *compileEntry) bool {
 		if !e.done.Load() || e.err != nil || e.res.sch == nil {
 			return true // in-flight or failed compiles are not worth keeping
 		}
 		snap.Schedules = append(snap.Schedules, scheduleRecord{
-			Bench: key.bench, Kernel: key.kernel, Idx: key.idx,
+			KernelID: key.kid, Base: key.base,
 			Entries: key.entries, Cfg: key.cfg, Opts: key.opts, Fallback: key.fallback,
 			Factor: e.res.factor, BaseDelta: e.res.baseDelta,
 			Schedule: e.res.sch.Encode(),
@@ -251,8 +285,7 @@ func ExportScheduleCache(w io.Writer) error {
 		}
 		key := k.(unrollKey)
 		snap.Unrolls = append(snap.Unrolls, unrollRecord{
-			Bench: key.bench, Kernel: key.kernel, Idx: key.idx,
-			Cfg: key.cfg, Factor: e.factor,
+			KernelID: key.kid, Cfg: key.cfg, Factor: e.factor,
 		})
 		return true
 	})
@@ -261,7 +294,7 @@ func ExportScheduleCache(w io.Writer) error {
 			return true
 		}
 		snap.Results = append(snap.Results, resultRecord{
-			Bench: key.bench, Arch: key.arch.String(), Cfg: key.cfg,
+			Bench: key.bench, BenchID: key.bid, Arch: key.arch.String(), Cfg: key.cfg,
 			Opts: key.opts, Coherence: key.coherence, Fallback: key.fallback,
 			Result: e.res,
 		})
@@ -313,10 +346,11 @@ func sortByMarshaledKey[T any](recs []T, identity func(T) any) {
 // ImportStats reports what a snapshot load accomplished.
 type ImportStats struct {
 	// Schedules/Unrolls/Results are the entries loaded into the live
-	// caches.
+	// caches; Kernels counts user kernels re-registered from the snapshot.
 	Schedules int `json:"schedules"`
 	Unrolls   int `json:"unrolls"`
 	Results   int `json:"results"`
+	Kernels   int `json:"kernels,omitempty"`
 	// Skipped counts records rejected individually (unknown benchmark,
 	// kernel drift, encoding that fails validation): the rest of the
 	// snapshot still loads.
@@ -356,6 +390,19 @@ func ImportScheduleCache(r io.Reader) (ImportStats, error) {
 	}
 
 	var st ImportStats
+	// Registered kernels load first: the hash-keyed records below resolve
+	// their loops through the registry. Registration is idempotent, so
+	// importing into a process that already holds some of these is a no-op
+	// for the overlap.
+	for _, k := range snap.Kernels {
+		reg, err := workload.RegisterKernelSource(k.Source)
+		if err != nil || reg.ID != k.ID {
+			st.Skipped++ // corrupted source, or source that hashes elsewhere
+			continue
+		}
+		st.Kernels++
+	}
+
 	bases := map[string][]int64{} // bench -> per-kernel base addresses
 	kernelBase := func(bench string, idx int) (int64, bool) {
 		bs, ok := bases[bench]
@@ -378,15 +425,37 @@ func ImportScheduleCache(r io.Reader) (ImportStats, error) {
 		}
 		return bs[idx], true
 	}
+	// resolveLegacy lifts a v1/v2 positional identity onto the v3 content
+	// identity: the benchmark must still exist with that kernel at that
+	// index, and the base is re-derived the way the original compile did.
+	resolveLegacy := func(bench, kernel string, idx int) (kid string, base int64, ok bool) {
+		b := workload.ByName(bench)
+		if b == nil || idx < 0 || idx >= len(b.Kernels) || b.Kernels[idx].Name != kernel {
+			return "", 0, false
+		}
+		base, ok = kernelBase(bench, idx)
+		if !ok {
+			return "", 0, false
+		}
+		return workload.KernelIDOf(b, idx), base, true
+	}
 
 	for _, rec := range snap.Schedules {
-		ck, ok := rebuildCompiled(rec, kernelBase)
+		if snap.Version < 3 {
+			kid, base, ok := resolveLegacy(rec.Bench, rec.Kernel, rec.Idx)
+			if !ok {
+				st.Skipped++
+				continue
+			}
+			rec.KernelID, rec.Base = kid, base
+		}
+		ck, ok := rebuildCompiled(rec)
 		if !ok {
 			st.Skipped++
 			continue
 		}
 		key := compileKey{
-			bench: rec.Bench, kernel: rec.Kernel, idx: rec.Idx,
+			kid: rec.KernelID, base: rec.Base,
 			entries: rec.Entries, cfg: rec.Cfg, opts: rec.Opts, fallback: rec.Fallback,
 		}
 		e, created, ok := scheduleCache.getOrCreate(key, func() *compileEntry { return &compileEntry{} })
@@ -401,13 +470,19 @@ func ImportScheduleCache(r io.Reader) (ImportStats, error) {
 		}
 	}
 	for _, rec := range snap.Unrolls {
-		b := workload.ByName(rec.Bench)
-		if b == nil || rec.Idx < 0 || rec.Idx >= len(b.Kernels) ||
-			b.Kernels[rec.Idx].Name != rec.Kernel || rec.Factor < 1 {
+		if snap.Version < 3 {
+			kid, _, ok := resolveLegacy(rec.Bench, rec.Kernel, rec.Idx)
+			if !ok {
+				st.Skipped++
+				continue
+			}
+			rec.KernelID = kid
+		}
+		if rec.Factor < 1 || !kernelResolves(rec.KernelID) {
 			st.Skipped++
 			continue
 		}
-		key := unrollKey{bench: rec.Bench, kernel: rec.Kernel, idx: rec.Idx, cfg: rec.Cfg}
+		key := unrollKey{kid: rec.KernelID, cfg: rec.Cfg}
 		e := &unrollEntry{}
 		e.once.Do(func() { e.factor = rec.Factor })
 		e.done.Store(true)
@@ -416,7 +491,7 @@ func ImportScheduleCache(r io.Reader) (ImportStats, error) {
 		}
 	}
 	for _, rec := range snap.Results {
-		key, ok := rebuildResultKey(rec)
+		key, ok := rebuildResultKey(rec, snap.Version)
 		if !ok {
 			st.Skipped++
 			continue
@@ -436,14 +511,25 @@ func ImportScheduleCache(r io.Reader) (ImportStats, error) {
 	return st, nil
 }
 
+// kernelResolves reports whether a content hash maps to a live loop (a
+// suite kernel or a registered user kernel).
+func kernelResolves(kid string) bool {
+	if kid == "" {
+		return false
+	}
+	_, ok := workload.LoopByKernelID(kid)
+	return ok
+}
+
 // rebuildResultKey validates one persisted simulation result against the
 // live workload and reconstructs its cache key. The result's numbers cannot
 // be re-derived without simulating (which would defeat the cache), so the
-// check is structural: the benchmark and architecture must exist, the
+// check is structural — the benchmark and architecture must exist, the
 // configuration must validate, and the per-kernel results must line up with
-// the benchmark's kernels one-to-one. Anything beyond that is covered by
-// CacheFormatVersion discipline.
-func rebuildResultKey(rec resultRecord) (resultKey, bool) {
+// the benchmark's kernels one-to-one — plus, for v3 records, exact: the
+// recorded benchmark content ID must equal the live one, so a result never
+// outlives a content change hiding behind an unchanged name.
+func rebuildResultKey(rec resultRecord, version int) (resultKey, bool) {
 	if rec.Result == nil {
 		return resultKey{}, false
 	}
@@ -463,31 +549,30 @@ func rebuildResultKey(rec resultRecord) (resultKey, bool) {
 			return resultKey{}, false
 		}
 	}
+	bid := workload.BenchmarkIDOf(b)
+	if version >= 3 && rec.BenchID != bid {
+		return resultKey{}, false // benchmark content drifted since the snapshot
+	}
 	return resultKey{
-		bench: rec.Bench, arch: a, cfg: rec.Cfg, opts: rec.Opts,
+		bid: bid, bench: rec.Bench, arch: a, cfg: rec.Cfg, opts: rec.Opts,
 		coherence: rec.Coherence, fallback: rec.Fallback,
 	}, true
 }
 
-// rebuildCompiled reconstructs one memoized compilation from its record:
-// rebuild the kernel loop, assign its deterministic base addresses, re-apply
-// the recorded unroll, and bind the encoded schedule. Any mismatch with the
-// live workload rejects the record.
-func rebuildCompiled(rec scheduleRecord, kernelBase func(string, int) (int64, bool)) (compiledKernel, bool) {
+// rebuildCompiled reconstructs one memoized compilation from its (content-
+// identified) record: rebuild the kernel loop from its hash, assign the
+// recorded base address, re-apply the recorded unroll, and bind the encoded
+// schedule. Any mismatch with the live workload rejects the record.
+func rebuildCompiled(rec scheduleRecord) (compiledKernel, bool) {
 	if rec.Schedule == nil || rec.Factor < 1 {
 		return compiledKernel{}, false
 	}
-	b := workload.ByName(rec.Bench)
-	if b == nil || rec.Idx < 0 || rec.Idx >= len(b.Kernels) || b.Kernels[rec.Idx].Name != rec.Kernel {
-		return compiledKernel{}, false
-	}
-	base, ok := kernelBase(rec.Bench, rec.Idx)
+	l, ok := workload.LoopByKernelID(rec.KernelID)
 	if !ok {
 		return compiledKernel{}, false
 	}
-	l := b.Kernels[rec.Idx].Loop()
-	after := workload.AssignAddresses(l, base)
-	if after-base != rec.BaseDelta {
+	after := workload.AssignAddresses(l, rec.Base)
+	if after-rec.Base != rec.BaseDelta {
 		return compiledKernel{}, false // array layout drifted since the snapshot
 	}
 	body := l

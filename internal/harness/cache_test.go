@@ -155,15 +155,48 @@ func TestCacheSnapshotVersionAndDrift(t *testing.T) {
 		t.Errorf("truncated snapshot accepted")
 	}
 
-	// Drift: rename the benchmark in every record; all must be skipped.
+	// Name drift: rename the benchmark in every record. Since v3 the
+	// schedule and unroll records are content-addressed, so they survive a
+	// rename by design — only the simulation results, whose key carries the
+	// output-visible name, must be skipped.
 	drifted := bytes.ReplaceAll(snap.Bytes(), []byte(`"gsmdec"`), []byte(`"nosuchbench"`))
 	ResetCaches()
 	st, err := ImportScheduleCache(bytes.NewReader(drifted))
 	if err != nil {
 		t.Fatalf("drifted import: %v", err)
 	}
-	if st.Schedules != 0 || st.Skipped == 0 {
-		t.Errorf("drifted import stats %+v: want all records skipped", st)
+	if st.Schedules == 0 || st.Unrolls == 0 {
+		t.Errorf("name-drifted import stats %+v: content-addressed records must survive a rename", st)
+	}
+	if st.Results != 0 || st.Skipped == 0 {
+		t.Errorf("name-drifted import stats %+v: want name-keyed results skipped", st)
+	}
+
+	// Content drift: corrupt every kernel and benchmark hash (flip the first
+	// character to a non-hex byte); now the schedule and unroll records
+	// resolve to nothing and must all be skipped, and so must the results —
+	// the recorded bench_id no longer matches any live benchmark's content.
+	corrupt := append([]byte(nil), snap.Bytes()...)
+	for _, needle := range [][]byte{[]byte(`"kernel_id": "`), []byte(`"bench_id": "`)} {
+		for i := 0; ; {
+			j := bytes.Index(corrupt[i:], needle)
+			if j < 0 {
+				break
+			}
+			i += j + len(needle)
+			corrupt[i] = 'z'
+		}
+	}
+	if bytes.Equal(corrupt, snap.Bytes()) {
+		t.Fatalf("snapshot carries no content hashes: corruption test is vacuous")
+	}
+	ResetCaches()
+	st, err = ImportScheduleCache(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatalf("corrupt-id import: %v", err)
+	}
+	if st.Schedules != 0 || st.Unrolls != 0 || st.Results != 0 || st.Skipped == 0 {
+		t.Errorf("corrupt-id import stats %+v: want every record skipped", st)
 	}
 	ResetCaches()
 }

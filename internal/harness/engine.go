@@ -199,15 +199,17 @@ func cacheable(o sched.Options) bool {
 	return o.LoadLatencyFn == nil && o.PreferredClusterFn == nil
 }
 
-// compileKey identifies one kernel compilation. Address assignment is part
-// of the identity implicitly: bases are a deterministic function of the
-// benchmark's kernel order, which bench+kernel capture.
+// compileKey identifies one kernel compilation by content, not position:
+// kid is the SHA-256 of the kernel's canonical looplang form
+// (workload.KernelIDOf), so the same loop compiled from a suite benchmark,
+// a registered user kernel, or a renamed future suite shares one entry.
 type compileKey struct {
-	bench, kernel string
-	// idx is the kernel's position within the benchmark: kernel names
-	// are unique only by convention, and base-address assignment is
-	// positional.
-	idx int
+	kid string
+	// base is the array base address AssignAddresses started from. Bases
+	// are positional within a benchmark and reach the schedule (L1 set
+	// mapping, prefetch addresses), so two occurrences of the same loop at
+	// different bases must not share a compilation.
+	base int64
 	// entries is the L0 entry count the scheduler sees (archEntries);
 	// cfg is the full simulation configuration.
 	entries  int
@@ -235,15 +237,15 @@ type compileEntry struct {
 	done atomic.Bool
 }
 
-// unrollKey identifies one step-1 unroll decision. The factor is chosen on
-// the no-L0 baseline (§5.1), so it is shared by every architecture and L0
-// size evaluating the same kernel — memoizing it separately from the full
-// compile saves the two trial compiles inside ChooseUnrollFactor for every
-// figure point past the first.
+// unrollKey identifies one step-1 unroll decision by kernel content. The
+// factor is chosen on the no-L0 baseline (§5.1), so it is shared by every
+// architecture and L0 size evaluating the same kernel — memoizing it
+// separately from the full compile saves the two trial compiles inside
+// ChooseUnrollFactor for every figure point past the first. The decision
+// never depends on array base addresses, so base is not in this key.
 type unrollKey struct {
-	bench, kernel string
-	idx           int
-	cfg           arch.Config
+	kid string
+	cfg arch.Config
 }
 
 type unrollEntry struct {
@@ -295,14 +297,14 @@ func ResetCaches() {
 	globalCacheCounters.reset()
 }
 
-// chooseFactor memoizes sched.ChooseUnrollFactor per (benchmark, kernel,
+// chooseFactor memoizes sched.ChooseUnrollFactor per (kernel content,
 // baseline config). The decision never depends on array base addresses, so
 // any fresh build of the kernel's loop yields the same answer.
-func chooseFactor(bench string, i int, k *workload.Kernel, l *ir.Loop, unrollCfg arch.Config, useCache bool) int {
+func chooseFactor(b *workload.Benchmark, i int, l *ir.Loop, unrollCfg arch.Config, useCache bool) int {
 	if !useCache {
 		return sched.ChooseUnrollFactor(l, unrollCfg)
 	}
-	key := unrollKey{bench: bench, kernel: k.Name, idx: i, cfg: unrollCfg}
+	key := unrollKey{kid: workload.KernelIDOf(b, i), cfg: unrollCfg}
 	v, _ := unrollCache.LoadOrStore(key, &unrollEntry{})
 	e := v.(*unrollEntry)
 	e.once.Do(func() {
@@ -317,7 +319,6 @@ func chooseFactor(bench string, i int, k *workload.Kernel, l *ir.Loop, unrollCfg
 // compilations (no per-run callbacks) are memoized globally; hits return the
 // shared immutable schedule.
 func compileKernel(b *workload.Benchmark, i int, a Arch, opts Options, schedOpts sched.Options, base int64) (compiledKernel, error) {
-	k := &b.Kernels[i]
 	switch {
 	case !cacheable(schedOpts):
 		// Per-run callbacks make the compilation unrepresentable in the
@@ -330,7 +331,7 @@ func compileKernel(b *workload.Benchmark, i int, a Arch, opts Options, schedOpts
 	default:
 		entries := archEntries(a, opts.Cfg)
 		key := compileKey{
-			bench: b.Name, kernel: k.Name, idx: i,
+			kid: workload.KernelIDOf(b, i), base: base,
 			// Normalising L0Entries into the entries field lets a
 			// baseline compile at any nominal buffer size share one
 			// entry: nothing downstream reads cfg.L0Entries except
@@ -378,7 +379,7 @@ func compileKernelUncached(b *workload.Benchmark, i int, a Arch, opts Options, s
 	// The unroll decision is made once, on the unified-L1 baseline, and
 	// reused for every architecture (§5.1: the same unrolling heuristic
 	// everywhere so comparisons isolate the memory hierarchy).
-	factor := chooseFactor(b.Name, i, k, l, cfg.WithL0Entries(0), useFactorCache)
+	factor := chooseFactor(b, i, l, cfg.WithL0Entries(0), useFactorCache)
 	body := l
 	if factor > 1 {
 		var err error

@@ -16,6 +16,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"sort"
@@ -28,11 +29,34 @@ import (
 	"repro/internal/workload"
 )
 
+// SpecError marks a sweep specification the caller got wrong — an unknown
+// benchmark name, an unregistered kernel hash, an unparsable kernel source —
+// as opposed to an execution failure. The serving layer maps it to a 400.
+type SpecError struct{ msg string }
+
+func (e *SpecError) Error() string { return e.msg }
+
+func specErrorf(format string, args ...any) error {
+	return &SpecError{msg: "harness: " + fmt.Sprintf(format, args...)}
+}
+
+// IsSpecError reports whether err is (or wraps) a SpecError.
+func IsSpecError(err error) bool {
+	var se *SpecError
+	return errors.As(err, &se)
+}
+
 // ExploreSpec declares one design-space sweep. Zero-valued axes fall back to
 // the paper's Table 2 point, so the zero spec sweeps nothing but still runs.
 type ExploreSpec struct {
-	// Benches selects benchmarks by name; empty means the whole suite.
+	// Benches selects benchmarks by name; a "kernel:<hash>" name selects a
+	// registered user kernel. Empty means the whole suite — unless Kernels
+	// selects something, in which case only those kernels are swept.
 	Benches []string `json:"benches,omitempty"`
+	// Kernels selects user kernels by content hash (64 hex digits, must be
+	// registered) or inline looplang source (registered on the spot). They
+	// join Benches in the grid as single-kernel pseudo-benchmarks.
+	Kernels []string `json:"kernels,omitempty"`
 	// Clusters, Entries, Subblocks and L1Latencies are the swept axes.
 	// A Subblocks entry of 0 derives the subblock size from the cluster
 	// count (WithClusters' clamped one-per-cluster split).
@@ -97,10 +121,49 @@ func dedupInts(xs []int) []int {
 	return out
 }
 
-// benches resolves the benchmark subset in suite order, dropping duplicate
-// names (a repeated benchmark would count twice in every suite AMEAN).
+// resolveKernels normalizes the Kernels field to registered content hashes
+// in first-occurrence order: a 64-hex-digit entry must already be registered
+// (by an earlier spec or POST /v1/kernels); anything else is treated as
+// inline looplang source and registered on the spot — idempotently, so
+// resubmitting a spec never grows the registry.
+func (s ExploreSpec) resolveKernels() ([]string, error) {
+	if len(s.Kernels) == 0 {
+		return nil, nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, k := range s.Kernels {
+		var id string
+		if ref := strings.TrimSpace(k); workload.IsKernelID(ref) {
+			id = strings.ToLower(ref)
+			if _, ok := workload.KernelByID(id); !ok {
+				return nil, specErrorf("unknown kernel %s: not registered (POST the .loop source to /v1/kernels, or pass it inline)", id)
+			}
+		} else {
+			reg, err := workload.RegisterKernelSource(k)
+			if err != nil {
+				return nil, specErrorf("kernel source: %v", err)
+			}
+			id = reg.ID
+		}
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// benches resolves the benchmark subset in spec order — named benchmarks
+// first, then the Kernels pseudo-benchmarks — dropping duplicate names (a
+// repeated benchmark would count twice in every suite AMEAN). An empty
+// selection means the whole suite.
 func (s ExploreSpec) benches() ([]*workload.Benchmark, error) {
-	if len(s.Benches) == 0 {
+	kernels, err := s.resolveKernels()
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Benches) == 0 && len(kernels) == 0 {
 		return workload.Suite(), nil
 	}
 	seen := map[string]bool{}
@@ -112,7 +175,22 @@ func (s ExploreSpec) benches() ([]*workload.Benchmark, error) {
 		seen[name] = true
 		b := workload.ByName(name)
 		if b == nil {
-			return nil, fmt.Errorf("harness: unknown benchmark %q", name)
+			if strings.HasPrefix(name, workload.KernelBenchPrefix) {
+				return nil, specErrorf("unknown kernel %s: not registered (POST the .loop source to /v1/kernels, or pass it inline)", strings.TrimPrefix(name, workload.KernelBenchPrefix))
+			}
+			return nil, specErrorf("unknown benchmark %q (available: %s, or kernel:<hash>)", name, strings.Join(workload.SuiteNames(), ", "))
+		}
+		out = append(out, b)
+	}
+	for _, id := range kernels {
+		name := workload.KernelBenchPrefix + id
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		b, ok := workload.KernelBench(id)
+		if !ok {
+			return nil, specErrorf("unknown kernel %s: not registered", id)
 		}
 		out = append(out, b)
 	}
@@ -183,22 +261,34 @@ type ExploreConfig struct {
 // same grid swept with and without -adaptive), so MergeExplore refuses to
 // combine results whose identities differ.
 type exploreSpecID struct {
-	Clusters      []int        `json:"clusters"`
-	Entries       []int        `json:"entries"`
-	Subblocks     []int        `json:"subblocks"`
-	L1Latencies   []int        `json:"l1_latencies"`
-	PrefetchDists []int        `json:"prefetch_dists"`
-	RegBudgets    []int        `json:"reg_budgets"`
-	Sched         schedOptsKey `json:"sched"`
+	Clusters      []int `json:"clusters"`
+	Entries       []int `json:"entries"`
+	Subblocks     []int `json:"subblocks"`
+	L1Latencies   []int `json:"l1_latencies"`
+	PrefetchDists []int `json:"prefetch_dists"`
+	RegBudgets    []int `json:"reg_budgets"`
+	// Kernels is the resolved content-hash list of the spec's Kernels
+	// field, so fleet/shard merges veto on differing submitted kernels.
+	// Inline sources and hash references to the same loop converge to one
+	// identity; omitempty keeps pre-kernel shard files mergeable.
+	Kernels []string     `json:"kernels,omitempty"`
+	Sched   schedOptsKey `json:"sched"`
 }
 
 func (s ExploreSpec) id() exploreSpecID {
 	n := s.normalized()
+	kernels, err := n.resolveKernels()
+	if err != nil {
+		// Identity is only recorded on results, which required a successful
+		// resolution already; keep the raw entries as a defensive fallback.
+		kernels = n.Kernels
+	}
 	return exploreSpecID{
 		Clusters: n.Clusters, Entries: n.Entries,
 		Subblocks: n.Subblocks, L1Latencies: n.L1Latencies,
 		PrefetchDists: n.PrefetchDists, RegBudgets: n.RegBudgets,
-		Sched: optsKeyOf(n.Sched),
+		Kernels: kernels,
+		Sched:   optsKeyOf(n.Sched),
 	}
 }
 

@@ -1,0 +1,259 @@
+// Acceptance tests for content-addressed kernel identity: user-submitted
+// .loop kernels swept by hash through the same cache, snapshot and shard
+// machinery as the suite, plus the v2-snapshot compatibility gate.
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// userKernelSrc is a deliberately non-canonical spelling (comments, odd
+// spacing, descriptive register names): registration must normalize it to
+// the same identity as its canonical form.
+const userKernelSrc = `
+# user-submitted mac kernel
+loop usermac 512
+array acc 8192 4
+array coef 8192 4
+
+a    = load acc  0 4 4
+c    = load coef 0 4 4
+prod = mul a c
+sum  = int prod
+store acc 0 4 4 sum
+`
+
+func kernelSweepSpec(ref string) ExploreSpec {
+	return ExploreSpec{
+		Kernels:  []string{ref},
+		Clusters: []int{4, 8},
+		Entries:  []int{4, 8},
+	}
+}
+
+// TestKernelSweepByHash is the tentpole acceptance path in-process: register
+// a kernel, sweep it by hash, and verify the repeat sweep is served entirely
+// from the result cache; a snapshot reload into an empty process then serves
+// the same sweep with zero compiles, byte-identically.
+func TestKernelSweepByHash(t *testing.T) {
+	ResetCaches()
+	workload.ResetKernelRegistry()
+	defer workload.ResetKernelRegistry()
+
+	reg, err := workload.RegisterKernelSource(userKernelSrc)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	spec := kernelSweepSpec(reg.ID)
+
+	var cold CacheCounters
+	coldRes, err := ExploreCfg(RunConfig{Workers: 2, Counters: &cold}, spec, 0, 1)
+	if err != nil {
+		t.Fatalf("cold sweep: %v", err)
+	}
+	if cold.Compiles.Load() == 0 || cold.Simulations.Load() == 0 {
+		t.Fatalf("cold sweep computed nothing: test is vacuous")
+	}
+	if len(coldRes.Benches) != 1 || coldRes.Benches[0] != workload.KernelBenchPrefix+reg.ID {
+		t.Fatalf("sweep benches = %v, want the kernel pseudo-benchmark", coldRes.Benches)
+	}
+	if len(coldRes.Spec.Kernels) != 1 || coldRes.Spec.Kernels[0] != reg.ID {
+		t.Fatalf("spec identity kernels = %v, want [%s]", coldRes.Spec.Kernels, reg.ID)
+	}
+	var coldJSON bytes.Buffer
+	if err := WriteExploreJSON(&coldJSON, coldRes); err != nil {
+		t.Fatalf("render cold: %v", err)
+	}
+
+	// Repeat sweep: served from the result cache, zero work.
+	var warm CacheCounters
+	warmRes, err := ExploreCfg(RunConfig{Workers: 2, Counters: &warm}, spec, 0, 1)
+	if err != nil {
+		t.Fatalf("warm sweep: %v", err)
+	}
+	if warm.Compiles.Load() != 0 || warm.Simulations.Load() != 0 || warm.SimHits.Load() == 0 {
+		t.Errorf("warm sweep: compiles=%d simulations=%d sim hits=%d, want 0/0/>0",
+			warm.Compiles.Load(), warm.Simulations.Load(), warm.SimHits.Load())
+	}
+	var warmJSON bytes.Buffer
+	if err := WriteExploreJSON(&warmJSON, warmRes); err != nil {
+		t.Fatalf("render warm: %v", err)
+	}
+	if !bytes.Equal(coldJSON.Bytes(), warmJSON.Bytes()) {
+		t.Errorf("warm kernel sweep differs from cold run")
+	}
+
+	// An inline-source spec for the same loop is the same sweep: same spec
+	// identity, same bytes, still no recomputation.
+	var inline CacheCounters
+	inlineRes, err := ExploreCfg(RunConfig{Workers: 2, Counters: &inline},
+		kernelSweepSpec(userKernelSrc), 0, 1)
+	if err != nil {
+		t.Fatalf("inline-source sweep: %v", err)
+	}
+	if inline.Compiles.Load() != 0 || inline.Simulations.Load() != 0 {
+		t.Errorf("inline-source sweep recomputed: compiles=%d simulations=%d",
+			inline.Compiles.Load(), inline.Simulations.Load())
+	}
+	var inlineJSON bytes.Buffer
+	if err := WriteExploreJSON(&inlineJSON, inlineRes); err != nil {
+		t.Fatalf("render inline: %v", err)
+	}
+	if !bytes.Equal(coldJSON.Bytes(), inlineJSON.Bytes()) {
+		t.Errorf("inline-source sweep differs from hash sweep")
+	}
+
+	// Snapshot the caches (v3: carries the kernel source), reload into an
+	// empty process state, and sweep again: zero compiles, zero simulations,
+	// byte-identical — even though the registry was wiped in between.
+	var snap bytes.Buffer
+	if err := ExportScheduleCache(&snap); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if !strings.Contains(snap.String(), reg.ID) {
+		t.Fatalf("snapshot does not mention the kernel hash")
+	}
+	ResetCaches()
+	workload.ResetKernelRegistry()
+	st, err := ImportScheduleCache(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if st.Kernels != 1 || st.Schedules == 0 || st.Results == 0 || st.Skipped != 0 {
+		t.Fatalf("import stats %+v: want 1 kernel, schedules > 0, results > 0, 0 skipped", st)
+	}
+	var reload CacheCounters
+	reloadRes, err := ExploreCfg(RunConfig{Workers: 2, Counters: &reload}, spec, 0, 1)
+	if err != nil {
+		t.Fatalf("post-reload sweep: %v", err)
+	}
+	if reload.Compiles.Load() != 0 || reload.Simulations.Load() != 0 {
+		t.Errorf("post-reload sweep: compiles=%d simulations=%d, want 0/0",
+			reload.Compiles.Load(), reload.Simulations.Load())
+	}
+	var reloadJSON bytes.Buffer
+	if err := WriteExploreJSON(&reloadJSON, reloadRes); err != nil {
+		t.Fatalf("render post-reload: %v", err)
+	}
+	if !bytes.Equal(coldJSON.Bytes(), reloadJSON.Bytes()) {
+		t.Errorf("post-reload kernel sweep differs from cold run")
+	}
+	ResetCaches()
+}
+
+// TestKernelShardMergeAndVeto: a sharded kernel sweep merges back
+// byte-identically, and shards of sweeps with different submitted kernels
+// refuse to merge (the spec identity covers the kernel list).
+func TestKernelShardMergeAndVeto(t *testing.T) {
+	ResetCaches()
+	workload.ResetKernelRegistry()
+	defer workload.ResetKernelRegistry()
+	defer ResetCaches()
+
+	reg, err := workload.RegisterKernelSource(userKernelSrc)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	spec := kernelSweepSpec(reg.ID)
+	spec.Benches = []string{"gsmdec"} // mixed suite + user kernel grid
+
+	full, err := ExploreCfg(RunConfig{Workers: 2}, spec, 0, 1)
+	if err != nil {
+		t.Fatalf("full sweep: %v", err)
+	}
+	s0, err := ExploreCfg(RunConfig{Workers: 2}, spec, 0, 2)
+	if err != nil {
+		t.Fatalf("shard 0: %v", err)
+	}
+	s1, err := ExploreCfg(RunConfig{Workers: 2}, spec, 1, 2)
+	if err != nil {
+		t.Fatalf("shard 1: %v", err)
+	}
+	merged, err := MergeExplore(s0, s1)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	var fullJSON, mergedJSON bytes.Buffer
+	if err := WriteExploreJSON(&fullJSON, full); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteExploreJSON(&mergedJSON, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fullJSON.Bytes(), mergedJSON.Bytes()) {
+		t.Errorf("merged sharded kernel sweep differs from unsharded run")
+	}
+
+	// Same axes, same grid size, but no kernel submitted: the spec identity
+	// differs in Kernels alone and the merge must refuse.
+	other := spec
+	other.Kernels = nil
+	o0, err := ExploreCfg(RunConfig{Workers: 2}, other, 0, 2)
+	if err != nil {
+		t.Fatalf("other shard: %v", err)
+	}
+	if _, err := MergeExplore(s0, o0); err == nil {
+		t.Errorf("merge of shards with different kernel lists succeeded")
+	}
+}
+
+// TestImportV2Fixture pins backward compatibility: a genuine v2 snapshot
+// (committed under testdata, written by the previous release's positional
+// keying) must still import cleanly and serve its grid with zero compiles
+// and zero simulations.
+func TestImportV2Fixture(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	st, err := LoadCacheFile("testdata/cache_v2.json")
+	if err != nil {
+		t.Fatalf("load v2 fixture: %v", err)
+	}
+	if st.Schedules != 12 || st.Unrolls != 4 || st.Results != 3 || st.Kernels != 0 || st.Skipped != 0 {
+		t.Fatalf("v2 fixture import stats %+v: want 12 schedules, 4 unrolls, 3 results, 0 skipped", st)
+	}
+	spec := ExploreSpec{Benches: []string{"gsmdec"}, Clusters: []int{4}, Entries: []int{4, 8}}
+	var c CacheCounters
+	if _, err := ExploreCfg(RunConfig{Workers: 2, Counters: &c}, spec, 0, 1); err != nil {
+		t.Fatalf("sweep over v2-loaded caches: %v", err)
+	}
+	if c.Compiles.Load() != 0 || c.Simulations.Load() != 0 {
+		t.Errorf("sweep over v2-loaded caches: compiles=%d simulations=%d, want 0/0",
+			c.Compiles.Load(), c.Simulations.Load())
+	}
+}
+
+// TestSpecErrors pins the satellite fix: an unknown benchmark name reports
+// the available names, and spec mistakes are typed (IsSpecError) so the
+// server can 400 them.
+func TestSpecErrors(t *testing.T) {
+	workload.ResetKernelRegistry()
+	defer workload.ResetKernelRegistry()
+
+	_, err := ExploreSpec{Benches: []string{"nosuchbench"}}.GridSize()
+	if err == nil {
+		t.Fatalf("unknown benchmark accepted")
+	}
+	if !IsSpecError(err) {
+		t.Errorf("unknown benchmark error is not a SpecError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "gsmdec") || !strings.Contains(err.Error(), "rasta") {
+		t.Errorf("unknown-benchmark error does not list available names: %v", err)
+	}
+
+	unregistered := strings.Repeat("ab", 32)
+	_, err = ExploreSpec{Kernels: []string{unregistered}}.GridSize()
+	if err == nil || !IsSpecError(err) {
+		t.Errorf("unregistered kernel hash: err = %v, want SpecError", err)
+	}
+	_, err = ExploreSpec{Kernels: []string{"loop broken"}}.GridSize()
+	if err == nil || !IsSpecError(err) {
+		t.Errorf("bad kernel source: err = %v, want SpecError", err)
+	}
+	if err := func() error { _, err := ExploreCfg(RunConfig{}, ExploreSpec{}, 2, 1); return err }(); err == nil || IsSpecError(err) {
+		t.Errorf("shard-range error should not be a SpecError: %v", err)
+	}
+}

@@ -28,6 +28,12 @@ import (
 // L0 entry count (archEntries) exactly like compileKey, so a baseline run at
 // any nominal buffer size shares one entry.
 type resultKey struct {
+	// bid is the benchmark's content identity (workload.BenchmarkIDOf): a
+	// hash over its kernels' content hashes and invocation counts. bench —
+	// the display name — stays in the key because it reaches the output
+	// bytes (BenchResult.Bench), so two names for the same content must
+	// not serve each other's results verbatim.
+	bid       string
 	bench     string
 	arch      Arch
 	cfg       arch.Config
@@ -101,7 +107,7 @@ func resultCacheKey(b *workload.Benchmark, a Arch, opts Options) (resultKey, boo
 	}
 	entries := archEntries(a, opts.Cfg)
 	return resultKey{
-		bench: b.Name, arch: a,
+		bid: workload.BenchmarkIDOf(b), bench: b.Name, arch: a,
 		cfg:       opts.Cfg.WithL0Entries(entries),
 		opts:      optsKeyOf(opts.Sched),
 		coherence: opts.CheckCoherence,

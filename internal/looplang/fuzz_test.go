@@ -1,0 +1,62 @@
+// Fuzz target for the looplang parser. With POST /v1/kernels, .loop source
+// is an untrusted input surface: the parser must never panic, and anything
+// it accepts must canonicalize — Format the parsed loop, re-parse, and land
+// on a byte-identical fixed point (the invariant the content-hash identity
+// depends on).
+package looplang_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/looplang"
+	"repro/internal/workload"
+)
+
+func FuzzParse(f *testing.F) {
+	// Seed with the shipped example programs...
+	files, _ := filepath.Glob("../../examples/loops/*.loop")
+	for _, file := range files {
+		if data, err := os.ReadFile(file); err == nil {
+			f.Add(string(data))
+		}
+	}
+	// ...and the canonical form of every suite kernel, so mutations start
+	// from realistic deep inputs (carries, scrambled/periodic accesses, FP).
+	for _, b := range workload.Suite() {
+		for i := range b.Kernels {
+			if src, err := looplang.FormatString(b.Kernels[i].Loop()); err == nil {
+				f.Add(src)
+			}
+		}
+	}
+	// Small handwritten corners the globs may not cover.
+	f.Add("loop x 1\n")
+	f.Add("loop x 10\narray a 64 4\nv = load a 0 4 4\ns = int v\ncarry s s 1\nstore a 0 4 4 s\nspecialized\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := looplang.ParseString(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("Parse accepted a loop Validate rejects: %v\ninput:\n%s", err, src)
+		}
+		canonical, err := looplang.FormatString(l)
+		if err != nil {
+			t.Fatalf("parsed loop does not format: %v\ninput:\n%s", err, src)
+		}
+		back, err := looplang.ParseString(canonical)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ncanonical:\n%s", err, canonical)
+		}
+		again, err := looplang.FormatString(back)
+		if err != nil {
+			t.Fatalf("canonical form does not re-format: %v", err)
+		}
+		if again != canonical {
+			t.Fatalf("canonicalization is not a fixed point\n--- first ---\n%s\n--- second ---\n%s", canonical, again)
+		}
+	})
+}

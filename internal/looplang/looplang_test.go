@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"repro/internal/ir"
-	"repro/internal/workload"
 )
 
 const iirSrc = `
@@ -145,48 +144,6 @@ func TestParsedLoopSchedules(t *testing.T) {
 	}
 	if !strings.Contains(l.String(), "iir") {
 		t.Errorf("loop lost its name")
-	}
-}
-
-// TestRoundTripWorkloadKernels formats every workload kernel and parses it
-// back, checking the reconstructed loop is structurally identical (same ops,
-// accesses and recurrences — names and register numbers may differ).
-func TestRoundTripWorkloadKernels(t *testing.T) {
-	for _, b := range workload.Suite() {
-		for i := range b.Kernels {
-			k := &b.Kernels[i]
-			orig := k.Loop()
-			text, err := FormatString(orig)
-			if err != nil {
-				t.Fatalf("%s/%s: Format: %v", b.Name, k.Name, err)
-			}
-			back, err := ParseString(text)
-			if err != nil {
-				t.Fatalf("%s/%s: Parse(Format): %v\n%s", b.Name, k.Name, err, text)
-			}
-			if len(back.Instrs) != len(orig.Instrs) {
-				t.Fatalf("%s/%s: instr count %d != %d", b.Name, k.Name, len(back.Instrs), len(orig.Instrs))
-			}
-			if back.TripCount != orig.TripCount || back.Specialized != orig.Specialized {
-				t.Errorf("%s/%s: header mismatch", b.Name, k.Name)
-			}
-			for j := range orig.Instrs {
-				o, n := orig.Instrs[j], back.Instrs[j]
-				if o.Op != n.Op || len(o.Srcs) != len(n.Srcs) || len(o.Carried) != len(n.Carried) {
-					t.Errorf("%s/%s: instr %d mismatch: %v vs %v", b.Name, k.Name, j, o, n)
-				}
-				if (o.Mem == nil) != (n.Mem == nil) {
-					t.Fatalf("%s/%s: instr %d mem mismatch", b.Name, k.Name, j)
-				}
-				if o.Mem != nil {
-					if o.Mem.Offset != n.Mem.Offset || o.Mem.Stride != n.Mem.Stride ||
-						o.Mem.Width != n.Mem.Width || o.Mem.IndexPeriod != n.Mem.IndexPeriod ||
-						o.Mem.Scramble != n.Mem.Scramble {
-						t.Errorf("%s/%s: instr %d access mismatch: %+v vs %+v", b.Name, k.Name, j, o.Mem, n.Mem)
-					}
-				}
-			}
-		}
 	}
 }
 

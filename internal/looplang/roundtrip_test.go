@@ -1,0 +1,105 @@
+// Round-trip and canonicalization properties over the real workload suite.
+// External test package: these tests import workload, which now imports
+// looplang for content hashing — the in-package test file would cycle.
+package looplang_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/looplang"
+	"repro/internal/workload"
+)
+
+// TestRoundTripWorkloadKernels formats every workload kernel and parses it
+// back, checking the reconstructed loop is structurally identical (same ops,
+// accesses and recurrences — names and register numbers may differ).
+func TestRoundTripWorkloadKernels(t *testing.T) {
+	for _, b := range workload.Suite() {
+		for i := range b.Kernels {
+			k := &b.Kernels[i]
+			orig := k.Loop()
+			text, err := looplang.FormatString(orig)
+			if err != nil {
+				t.Fatalf("%s/%s: Format: %v", b.Name, k.Name, err)
+			}
+			back, err := looplang.ParseString(text)
+			if err != nil {
+				t.Fatalf("%s/%s: Parse(Format): %v\n%s", b.Name, k.Name, err, text)
+			}
+			if len(back.Instrs) != len(orig.Instrs) {
+				t.Fatalf("%s/%s: instr count %d != %d", b.Name, k.Name, len(back.Instrs), len(orig.Instrs))
+			}
+			if back.TripCount != orig.TripCount || back.Specialized != orig.Specialized {
+				t.Errorf("%s/%s: header mismatch", b.Name, k.Name)
+			}
+			for j := range orig.Instrs {
+				o, n := orig.Instrs[j], back.Instrs[j]
+				if o.Op != n.Op || len(o.Srcs) != len(n.Srcs) || len(o.Carried) != len(n.Carried) {
+					t.Errorf("%s/%s: instr %d mismatch: %v vs %v", b.Name, k.Name, j, o, n)
+				}
+				if (o.Mem == nil) != (n.Mem == nil) {
+					t.Fatalf("%s/%s: instr %d mem mismatch", b.Name, k.Name, j)
+				}
+				if o.Mem != nil {
+					if o.Mem.Offset != n.Mem.Offset || o.Mem.Stride != n.Mem.Stride ||
+						o.Mem.Width != n.Mem.Width || o.Mem.IndexPeriod != n.Mem.IndexPeriod ||
+						o.Mem.Scramble != n.Mem.Scramble {
+						t.Errorf("%s/%s: instr %d access mismatch: %+v vs %+v", b.Name, k.Name, j, o.Mem, n.Mem)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCanonicalFormIsFixedPoint pins the property the content-hash identity
+// rests on: for every kernel of all 13 suite benchmarks, Format→Parse→Format
+// reproduces the same bytes (the canonical form is a fixed point of
+// Format∘Parse), and the SHA-256 of that form equals workload.KernelIDOf —
+// so any spelling of a loop converges to one stable ID.
+func TestCanonicalFormIsFixedPoint(t *testing.T) {
+	suite := workload.Suite()
+	if len(suite) != 13 {
+		t.Fatalf("suite has %d benchmarks, want 13", len(suite))
+	}
+	for _, b := range suite {
+		for i := range b.Kernels {
+			k := &b.Kernels[i]
+			canonical, err := looplang.FormatString(k.Loop())
+			if err != nil {
+				t.Fatalf("%s/%s: Format: %v", b.Name, k.Name, err)
+			}
+			back, err := looplang.ParseString(canonical)
+			if err != nil {
+				t.Fatalf("%s/%s: Parse(canonical): %v", b.Name, k.Name, err)
+			}
+			again, err := looplang.FormatString(back)
+			if err != nil {
+				t.Fatalf("%s/%s: Format(Parse(canonical)): %v", b.Name, k.Name, err)
+			}
+			if again != canonical {
+				t.Errorf("%s/%s: canonical form is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s",
+					b.Name, k.Name, canonical, again)
+			}
+			sum := sha256.Sum256([]byte(canonical))
+			if got, want := workload.KernelIDOf(b, i), hex.EncodeToString(sum[:]); got != want {
+				t.Errorf("%s/%s: KernelIDOf = %s, want sha256(canonical) = %s", b.Name, k.Name, got, want)
+			}
+			// Re-registering the canonical source must be idempotent and
+			// land on the same ID.
+			reg, err := workload.RegisterKernelSource(canonical)
+			if err != nil {
+				t.Fatalf("%s/%s: RegisterKernelSource: %v", b.Name, k.Name, err)
+			}
+			if reg.ID != workload.KernelIDOf(b, i) {
+				t.Errorf("%s/%s: registered ID %s != KernelIDOf %s", b.Name, k.Name, reg.ID, workload.KernelIDOf(b, i))
+			}
+			if reg.Source != canonical {
+				t.Errorf("%s/%s: registration changed the canonical source", b.Name, k.Name)
+			}
+		}
+	}
+	workload.ResetKernelRegistry()
+}

@@ -1,0 +1,227 @@
+// Tests for the kernel-registration endpoints and the kernels: field of
+// /v1/explore — user-submitted loops swept by content hash with the same
+// byte-identity guarantees as the suite.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// serverKernelSrc is deliberately non-canonical (comment, uneven spacing):
+// registration must normalize it to the canonical form's identity.
+const serverKernelSrc = `
+# submitted over HTTP
+loop httpmac 512
+array acc 8192 4
+array coef 8192 4
+a    = load acc  0 4 4
+c    = load coef 0 4 4
+p    = mul a c
+s    = int p
+store acc 0 4 4 s
+`
+
+func postRaw(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestKernelEndpoints covers the registration surface: idempotent POST under
+// the content hash, GET by id, the id+name listing, and the error statuses
+// (400 invalid source, 404 unknown id, 413 oversized body).
+func TestKernelEndpoints(t *testing.T) {
+	workload.ResetKernelRegistry()
+	defer workload.ResetKernelRegistry()
+	ts := newTestServer(t, Config{WorkerBudget: 2})
+
+	resp, body := postRaw(t, ts.URL+"/v1/kernels", serverKernelSrc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, body)
+	}
+	var reg workload.RegisteredKernel
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatalf("unmarshal registration: %v", err)
+	}
+	if !workload.IsKernelID(reg.ID) || reg.Name != "httpmac" || reg.Source == "" {
+		t.Fatalf("registration reply %+v: want content-hash id, name httpmac, canonical source", reg)
+	}
+
+	// Resubmitting a different spelling of the same loop is idempotent.
+	respelled := strings.ReplaceAll(serverKernelSrc, "a    =", "avec =")
+	respelled = strings.ReplaceAll(respelled, "mul a c", "mul avec c")
+	resp, body = postRaw(t, ts.URL+"/v1/kernels", respelled)
+	var again workload.RegisteredKernel
+	if err := json.Unmarshal(body, &again); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-register: status %d err %v", resp.StatusCode, err)
+	}
+	if again.ID != reg.ID {
+		t.Errorf("respelled source got identity %s, want %s", again.ID, reg.ID)
+	}
+
+	resp, body = getBody(t, ts.URL+"/v1/kernels/"+reg.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get kernel: status %d: %s", resp.StatusCode, body)
+	}
+	var got workload.RegisteredKernel
+	if err := json.Unmarshal(body, &got); err != nil || got.Source != reg.Source {
+		t.Errorf("GET /v1/kernels/{id} did not return the canonical source (err %v)", err)
+	}
+
+	resp, body = getBody(t, ts.URL+"/v1/kernels")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list kernels: status %d", resp.StatusCode)
+	}
+	var list struct {
+		Count   int `json:"count"`
+		Kernels []struct {
+			ID   string `json:"id"`
+			Name string `json:"name"`
+		} `json:"kernels"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("unmarshal list: %v", err)
+	}
+	if list.Count != 1 || len(list.Kernels) != 1 || list.Kernels[0].ID != reg.ID {
+		t.Errorf("kernel list %+v: want exactly the registered kernel", list)
+	}
+
+	resp, _ = getBody(t, ts.URL+"/v1/kernels/"+strings.Repeat("0", 64))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown kernel id: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postRaw(t, ts.URL+"/v1/kernels", "loop broken")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid source: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postRaw(t, ts.URL+"/v1/kernels", strings.Repeat("x", 1<<20+1))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized source: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestExploreWithKernels is the serving acceptance path: register over HTTP,
+// sweep by hash through sync and async /v1/explore, and require byte
+// equality with the local engine run of the same spec.
+func TestExploreWithKernels(t *testing.T) {
+	harness.ResetCaches()
+	workload.ResetKernelRegistry()
+	defer workload.ResetKernelRegistry()
+	defer harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 4})
+
+	resp, body := postRaw(t, ts.URL+"/v1/kernels", serverKernelSrc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, body)
+	}
+	var reg workload.RegisteredKernel
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatalf("unmarshal registration: %v", err)
+	}
+
+	req := ExploreRequest{
+		Benches:  []string{"gsmdec"},
+		Kernels:  []string{reg.ID},
+		Clusters: []int{4, 8},
+		Entries:  []int{4, 8},
+		Format:   "json",
+	}
+	resp, syncBody := postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync explore: status %d: %s", resp.StatusCode, syncBody)
+	}
+	if want := localRender(t, req, "json"); !bytes.Equal(syncBody, want) {
+		t.Errorf("served kernel sweep differs from local run")
+	}
+
+	// Async path: same request, stored result must match the sync bytes.
+	req.Async = true
+	resp, body = postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("unmarshal job status: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State == JobQueued || st.State == JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("async kernel sweep did not finish")
+		}
+		time.Sleep(20 * time.Millisecond)
+		resp, body = getBody(t, ts.URL+"/v1/jobs/"+st.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job status: %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("unmarshal job status: %v", err)
+		}
+	}
+	if st.State != JobDone {
+		t.Fatalf("async job state %s: %s", st.State, st.Error)
+	}
+	resp, asyncBody := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job result: status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(asyncBody, syncBody) {
+		t.Errorf("async kernel sweep result differs from sync response")
+	}
+}
+
+// TestExploreSpecErrorsAre400 pins the satellite fix: spec mistakes (unknown
+// benchmark, unregistered kernel hash, unparsable inline source) are the
+// caller's fault and answer 400 — never 500 — and the unknown-benchmark
+// message teaches the available names.
+func TestExploreSpecErrorsAre400(t *testing.T) {
+	workload.ResetKernelRegistry()
+	defer workload.ResetKernelRegistry()
+	ts := newTestServer(t, Config{WorkerBudget: 2})
+
+	bad := ExploreRequest{Benches: []string{"nosuchbench"}, Clusters: []int{4}, Entries: []int{4}}
+	resp, body := postJSON(t, ts.URL+"/v1/explore", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown benchmark: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "gsmdec") || !strings.Contains(string(body), "rasta") {
+		t.Errorf("unknown-benchmark error does not list available names: %s", body)
+	}
+
+	bad = ExploreRequest{Kernels: []string{strings.Repeat("ab", 32)}, Clusters: []int{4}, Entries: []int{4}}
+	resp, body = postJSON(t, ts.URL+"/v1/explore", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unregistered kernel: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "/v1/kernels") {
+		t.Errorf("unregistered-kernel error does not point at /v1/kernels: %s", body)
+	}
+
+	bad = ExploreRequest{Kernels: []string{"loop broken"}, Clusters: []int{4}, Entries: []int{4}}
+	if resp, body = postJSON(t, ts.URL+"/v1/explore", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unparsable inline kernel: status %d, want 400: %s", resp.StatusCode, body)
+	}
+
+	// Async submissions validate the spec before accepting the job, so the
+	// same mistakes 400 there too instead of parking a doomed job.
+	bad.Async = true
+	if resp, body = postJSON(t, ts.URL+"/v1/explore", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("async unparsable kernel: status %d, want 400: %s", resp.StatusCode, body)
+	}
+}

@@ -16,6 +16,9 @@
 //
 //	GET  /healthz              readiness: accepting/draining, queue depth, running, free worker slots
 //	POST /v1/explore           ExploreRequest → rendered sweep (sync) or job (async)
+//	POST /v1/kernels           raw .loop body → registered kernel (content hash + canonical source)
+//	GET  /v1/kernels           resident registered kernels (id + name)
+//	GET  /v1/kernels/{id}      one registered kernel, canonical source included
 //	POST /v1/run               RunRequest → one benchmark × architecture × config
 //	POST /v1/energy            EnergyRequest → suite energy comparison
 //	GET  /v1/jobs              retained jobs, submission order, + evicted count
@@ -172,6 +175,9 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /v1/kernels", s.handleKernelRegister)
+	s.mux.HandleFunc("GET /v1/kernels", s.handleKernelList)
+	s.mux.HandleFunc("GET /v1/kernels/{id}", s.handleKernelGet)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/energy", s.handleEnergy)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
@@ -231,7 +237,11 @@ func (s *Server) SaveCache() error {
 // axes plus scheduler switches, engine and output controls. Unknown fields
 // are rejected.
 type ExploreRequest struct {
-	Benches       []string `json:"benches,omitempty"`
+	Benches []string `json:"benches,omitempty"`
+	// Kernels selects user kernels: content hashes of kernels already
+	// registered via POST /v1/kernels, or inline looplang sources
+	// (registered on the spot). They join Benches in the grid.
+	Kernels       []string `json:"kernels,omitempty"`
 	Clusters      []int    `json:"clusters,omitempty"`
 	Entries       []int    `json:"entries,omitempty"`
 	Subblocks     []int    `json:"subblocks,omitempty"`
@@ -261,7 +271,8 @@ type ExploreRequest struct {
 // Spec converts the request to the engine's sweep specification.
 func (r *ExploreRequest) Spec() harness.ExploreSpec {
 	return harness.ExploreSpec{
-		Benches: r.Benches, Clusters: r.Clusters, Entries: r.Entries,
+		Benches: r.Benches, Kernels: r.Kernels,
+		Clusters: r.Clusters, Entries: r.Entries,
 		Subblocks: r.Subblocks, L1Latencies: r.L1Latencies,
 		PrefetchDists: r.PrefetchDists, RegBudgets: r.RegBudgets,
 		Sched: sched.Options{
@@ -376,6 +387,7 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 		"schedule_entries":   st.ScheduleEntries,
 		"unroll_entries":     st.UnrollEntries,
 		"result_entries":     st.ResultEntries,
+		"kernel_entries":     st.KernelEntries,
 		"schedule_bytes":     st.ScheduleBytes,
 		"result_bytes":       st.ResultBytes,
 		"schedule_evictions": st.ScheduleEvictions,
@@ -492,10 +504,16 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	res, _, err := s.runExplore(ctx, adm, j, &req, spec)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, context.Canceled) {
+		switch {
+		case errors.Is(err, context.Canceled):
 			status = 499 // client closed request (nginx convention)
 			j.finish(JobCanceled, nil, "", "canceled")
-		} else {
+		case harness.IsSpecError(err):
+			// The caller's spec was wrong (unknown benchmark, unregistered
+			// kernel): their mistake, not a server failure.
+			status = http.StatusBadRequest
+			j.finish(JobFailed, nil, "", err.Error())
+		default:
 			j.finish(JobFailed, nil, "", err.Error())
 		}
 		httpError(w, status, "%v", err)
@@ -575,6 +593,57 @@ func renderExplore(res *harness.ExploreResult, format string) ([]byte, string, e
 		return []byte(b.String()), "text/plain; charset=utf-8", nil
 	}
 	return nil, "", fmt.Errorf("unknown format %q", format)
+}
+
+// handleKernelRegister accepts a raw .loop body (not JSON — the source IS
+// the payload) and registers it under its content hash. Registration is
+// idempotent: resubmitting any spelling of the same loop answers with the
+// same identity.
+func (s *Server) handleKernelRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.accepting(w) {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read kernel source: %v", err)
+		return
+	}
+	if len(body) > 1<<20 {
+		httpError(w, http.StatusRequestEntityTooLarge, "kernel source exceeds 1 MiB")
+		return
+	}
+	k, err := workload.RegisterKernelSource(string(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "register kernel: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, k)
+}
+
+func (s *Server) handleKernelGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	k, ok := workload.KernelByID(id)
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			"no registered kernel %q (POST the .loop source to /v1/kernels; a bounded registry may also have evicted it)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, k)
+}
+
+// handleKernelList reports the resident kernels without their sources (a
+// registry at cap could hold megabytes; GET /v1/kernels/{id} has the body).
+func (s *Server) handleKernelList(w http.ResponseWriter, _ *http.Request) {
+	kernels := workload.RegisteredKernels()
+	type row struct {
+		ID   string `json:"id"`
+		Name string `json:"name"`
+	}
+	rows := make([]row, 0, len(kernels))
+	for _, k := range kernels {
+		rows = append(rows, row{ID: k.ID, Name: k.Name})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "kernels": rows})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {

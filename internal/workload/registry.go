@@ -1,0 +1,354 @@
+// Content-addressed kernel identity and the user-kernel registry.
+//
+// Every kernel — the 13 suite models and arbitrary user-submitted .loop
+// programs alike — is identified by the SHA-256 of its canonical looplang
+// form (looplang.Format output). The canonical form is a fixed point of
+// Format∘Parse, so the hash is independent of how the loop was written:
+// comment placement, register names and declaration spelling all normalize
+// away. The harness keys its schedule/result caches and snapshots on these
+// IDs, which is what keeps persisted caches sound for unbounded user input
+// (a hash can never collide with a renamed or re-indexed kernel the way the
+// old (bench name, kernel idx) identity could).
+//
+// User kernels live in a bounded registry (LRU, entry-capped — the PR-5
+// cache convention) and surface as single-kernel pseudo-benchmarks named
+// "kernel:<hash>", so every layer that resolves benchmarks by name serves
+// them with no special cases.
+
+package workload
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/looplang"
+)
+
+// KernelBenchPrefix prefixes the pseudo-benchmark name of a registered
+// kernel: ByName(KernelBenchPrefix + id) resolves through the registry.
+const KernelBenchPrefix = "kernel:"
+
+// KernelID returns the content identity of a loop: the hex SHA-256 of its
+// canonical looplang form. Fails only for loops the surface syntax cannot
+// express (unrolled bodies, post-scheduling ops).
+func KernelID(l *ir.Loop) (string, error) {
+	src, err := looplang.FormatString(l)
+	if err != nil {
+		return "", err
+	}
+	return hashSource(src), nil
+}
+
+func hashSource(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:])
+}
+
+// IsKernelID reports whether s is syntactically a kernel content hash
+// (64 hex digits). Used by spec resolution to tell a hash reference from an
+// inline .loop source.
+func IsKernelID(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- derived identity for benchmarks (suite and pseudo alike) ----
+
+// suiteIdent memoizes per-kernel and per-benchmark identities for the suite:
+// Suite() builds fresh objects on every call, so the memo keys on the stable
+// (benchmark name, kernel index) coordinates instead of pointers. Only suite
+// names are memoized — ad-hoc benchmarks recompute (they are test-only).
+var (
+	suiteNamesOnce sync.Once
+	suiteNameSet   map[string]bool
+	suiteNameList  []string
+
+	kernelIDMemo sync.Map // kernelMemoKey -> string
+	benchIDMemo  sync.Map // bench name -> string
+)
+
+type kernelMemoKey struct {
+	bench string
+	idx   int
+}
+
+func suiteNames() map[string]bool {
+	suiteNamesOnce.Do(func() {
+		suiteNameSet = map[string]bool{}
+		for _, b := range Suite() {
+			suiteNameSet[b.Name] = true
+			suiteNameList = append(suiteNameList, b.Name)
+		}
+	})
+	return suiteNameSet
+}
+
+// SuiteNames returns the benchmark names of the suite in Table-1 order
+// (error messages list them so an unknown-name typo is self-correcting).
+func SuiteNames() []string {
+	suiteNames()
+	return append([]string(nil), suiteNameList...)
+}
+
+// KernelIDOf returns the content identity of kernel i of the benchmark.
+// Registry pseudo-benchmarks carry their hash in the name; suite kernels are
+// hashed once and memoized. A kernel whose loop cannot be expressed in
+// looplang (none of the suite's can't) falls back to a hash of its
+// positional identity, so callers never fail — such a kernel simply loses
+// content addressing, not caching.
+func KernelIDOf(b *Benchmark, i int) string {
+	if id, ok := strings.CutPrefix(b.Name, KernelBenchPrefix); ok {
+		return strings.ToLower(id)
+	}
+	memoize := suiteNames()[b.Name]
+	key := kernelMemoKey{bench: b.Name, idx: i}
+	if memoize {
+		if v, ok := kernelIDMemo.Load(key); ok {
+			return v.(string)
+		}
+	}
+	id, err := KernelID(b.Kernels[i].Loop())
+	if err != nil {
+		id = hashSource(fmt.Sprintf("name:%s/%d/%s", b.Name, i, b.Kernels[i].Name))
+	}
+	if memoize {
+		kernelIDMemo.Store(key, id)
+	}
+	return id
+}
+
+// BenchmarkIDOf returns the content identity of a whole benchmark: a hash
+// over its kernels' content IDs and invocation counts (invocations weight
+// the simulation, so two benchmarks with identical loops but different
+// weights must not share simulation results).
+func BenchmarkIDOf(b *Benchmark) string {
+	memoize := suiteNames()[b.Name] || strings.HasPrefix(b.Name, KernelBenchPrefix)
+	if memoize {
+		if v, ok := benchIDMemo.Load(b.Name); ok {
+			return v.(string)
+		}
+	}
+	var sb strings.Builder
+	for i := range b.Kernels {
+		fmt.Fprintf(&sb, "%s %d\n", KernelIDOf(b, i), b.Kernels[i].Invocations)
+	}
+	id := hashSource(sb.String())
+	if memoize {
+		benchIDMemo.Store(b.Name, id)
+	}
+	return id
+}
+
+// ---- the user-kernel registry ----
+
+// RegisteredKernel is one user-submitted kernel: its content hash, the loop
+// name from the source, and the canonical looplang source the hash covers.
+type RegisteredKernel struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// kernelRegistry is a mutex-guarded LRU of registered kernels, entry-capped
+// with the shared cap convention (>0 cap, 0 disabled, <0 unlimited).
+type kernelRegistry struct {
+	mu    sync.Mutex
+	limit int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+var registry = &kernelRegistry{limit: -1, ll: list.New(), items: map[string]*list.Element{}}
+
+// RegisterKernelSource parses a .loop program, canonicalizes it and stores
+// it in the registry under its content hash. Registration is idempotent:
+// the same loop in any spelling yields the same ID. Returns the registered
+// kernel (ID, name, canonical source).
+func RegisterKernelSource(src string) (RegisteredKernel, error) {
+	l, err := looplang.ParseString(src)
+	if err != nil {
+		return RegisteredKernel{}, err
+	}
+	if err := l.Validate(); err != nil {
+		return RegisteredKernel{}, fmt.Errorf("looplang: %w", err)
+	}
+	canonical, err := looplang.FormatString(l)
+	if err != nil {
+		return RegisteredKernel{}, err
+	}
+	k := RegisteredKernel{ID: hashSource(canonical), Name: l.Name, Source: canonical}
+
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.limit == 0 {
+		return RegisteredKernel{}, fmt.Errorf("workload: kernel registry is disabled (cap 0)")
+	}
+	if el, ok := registry.items[k.ID]; ok {
+		registry.ll.MoveToFront(el)
+		return el.Value.(RegisteredKernel), nil
+	}
+	registry.items[k.ID] = registry.ll.PushFront(k)
+	registry.evictOverflow()
+	return k, nil
+}
+
+// KernelByID returns the registered kernel for a content hash (case-
+// insensitive) and marks it recently used.
+func KernelByID(id string) (RegisteredKernel, bool) {
+	id = strings.ToLower(id)
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	el, ok := registry.items[id]
+	if !ok {
+		return RegisteredKernel{}, false
+	}
+	registry.ll.MoveToFront(el)
+	return el.Value.(RegisteredKernel), true
+}
+
+// RegisteredKernels returns every resident kernel sorted by ID — the
+// deterministic order the cache snapshot persists them in.
+func RegisteredKernels() []RegisteredKernel {
+	registry.mu.Lock()
+	out := make([]RegisteredKernel, 0, len(registry.items))
+	for el := registry.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(RegisteredKernel))
+	}
+	registry.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// KernelRegistryLen reports the resident kernel count.
+func KernelRegistryLen() int {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	return len(registry.items)
+}
+
+// SetKernelRegistryLimit caps the registry (>0 cap, 0 disabled, <0
+// unlimited) and evicts least-recently-used kernels down to the cap.
+// Evicting a kernel never invalidates cache entries keyed by its hash; it
+// only makes the hash unresolvable until the source is registered again.
+func SetKernelRegistryLimit(n int) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.limit = n
+	registry.evictOverflow()
+}
+
+// ResetKernelRegistry drops every registered kernel and restores the
+// unlimited cap (test isolation).
+func ResetKernelRegistry() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	registry.limit = -1
+	registry.ll.Init()
+	registry.items = map[string]*list.Element{}
+}
+
+// evictOverflow drops LRU kernels until the cap holds. Caller holds mu.
+func (r *kernelRegistry) evictOverflow() {
+	for r.limit >= 0 && len(r.items) > r.limit {
+		el := r.ll.Back()
+		if el == nil {
+			return
+		}
+		r.ll.Remove(el)
+		delete(r.items, el.Value.(RegisteredKernel).ID)
+	}
+}
+
+// KernelBench wraps a registered kernel as a single-kernel pseudo-benchmark
+// named "kernel:<hash>". Build re-parses the canonical source on every call
+// so runs never share array objects — the same freshness contract the suite
+// builders give.
+func KernelBench(id string) (*Benchmark, bool) {
+	k, ok := KernelByID(id)
+	if !ok {
+		return nil, false
+	}
+	src := k.Source
+	return &Benchmark{
+		Name: KernelBenchPrefix + k.ID,
+		Kernels: []Kernel{{
+			Name:        k.Name,
+			Invocations: 1,
+			Specialized: specializedSource(src),
+			Build: func() *ir.Loop {
+				l, err := looplang.ParseString(src)
+				if err != nil {
+					// The source is the canonical form of a loop that
+					// parsed at registration; a failure here is memory
+					// corruption, not input error.
+					panic(fmt.Sprintf("workload: registered kernel %s no longer parses: %v", k.ID, err))
+				}
+				return l
+			},
+		}},
+	}, true
+}
+
+// specializedSource reports whether the canonical source carries the
+// `specialized` directive, so Kernel.Loop()'s Specialized stamp matches what
+// Build parses (they would otherwise disagree and flip the §4.1 analysis).
+func specializedSource(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) == "specialized" {
+			return true
+		}
+	}
+	return false
+}
+
+// LoopByKernelID rebuilds a fresh loop for a content hash: suite kernels are
+// found through a lazily built index over every suite benchmark, user
+// kernels through the registry. The snapshot importer resolves v3 schedule
+// records with this.
+func LoopByKernelID(id string) (*ir.Loop, bool) {
+	id = strings.ToLower(id)
+	if bench, idx, ok := suiteKernelByID(id); ok {
+		return ByName(bench).Kernels[idx].Loop(), true
+	}
+	if b, ok := KernelBench(id); ok {
+		return b.Kernels[0].Loop(), true
+	}
+	return nil, false
+}
+
+// suiteKernelByID maps content hash -> (benchmark name, kernel index) over
+// the whole suite, built once (the suite is static).
+var (
+	suiteIndexOnce sync.Once
+	suiteIndex     map[string]kernelMemoKey
+)
+
+func suiteKernelByID(id string) (bench string, idx int, ok bool) {
+	suiteIndexOnce.Do(func() {
+		suiteIndex = map[string]kernelMemoKey{}
+		for _, b := range Suite() {
+			for i := range b.Kernels {
+				kid := KernelIDOf(b, i)
+				if _, dup := suiteIndex[kid]; !dup {
+					suiteIndex[kid] = kernelMemoKey{bench: b.Name, idx: i}
+				}
+			}
+		}
+	})
+	k, ok := suiteIndex[id]
+	return k.bench, k.idx, ok
+}

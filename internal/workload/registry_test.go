@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+const regTestSrc = `
+# two spellings of this loop must share one identity
+loop mac 256
+array acc 4096 4
+array coef 4096 4
+a = load acc 0 4 4
+c = load coef 0 4 4
+p = mul a c
+s = int p
+store acc 0 4 4 s
+`
+
+// regTestSrcAlt is the same loop with different register names, comment
+// placement and whitespace: canonicalization must collapse the difference.
+const regTestSrcAlt = `loop mac 256
+array acc 4096 4
+array coef 4096 4
+accv   = load acc 0 4 4   # accumulator stream
+coefv  = load coef 0 4 4
+prod   = mul accv coefv
+sum    = int prod
+store acc 0 4 4 sum`
+
+func TestRegisterKernelIdempotentAcrossSpellings(t *testing.T) {
+	ResetKernelRegistry()
+	defer ResetKernelRegistry()
+
+	k1, err := RegisterKernelSource(regTestSrc)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if !IsKernelID(k1.ID) {
+		t.Fatalf("registered ID %q is not a content hash", k1.ID)
+	}
+	if k1.Name != "mac" {
+		t.Errorf("registered name = %q, want mac", k1.Name)
+	}
+	k2, err := RegisterKernelSource(regTestSrcAlt)
+	if err != nil {
+		t.Fatalf("register alt spelling: %v", err)
+	}
+	if k2.ID != k1.ID {
+		t.Errorf("alternate spelling got a different identity: %s vs %s", k2.ID, k1.ID)
+	}
+	if n := KernelRegistryLen(); n != 1 {
+		t.Errorf("registry holds %d kernels after re-registration, want 1", n)
+	}
+
+	got, ok := KernelByID(strings.ToUpper(k1.ID))
+	if !ok || got.ID != k1.ID {
+		t.Errorf("KernelByID is not case-insensitive")
+	}
+	if _, err := RegisterKernelSource("loop broken"); err == nil {
+		t.Errorf("invalid source registered")
+	}
+}
+
+func TestKernelBenchResolution(t *testing.T) {
+	ResetKernelRegistry()
+	defer ResetKernelRegistry()
+
+	k, err := RegisterKernelSource(regTestSrc)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	b := ByName(KernelBenchPrefix + k.ID)
+	if b == nil {
+		t.Fatalf("ByName does not resolve kernel pseudo-benchmarks")
+	}
+	if len(b.Kernels) != 1 || b.Kernels[0].Invocations != 1 {
+		t.Fatalf("pseudo-benchmark shape wrong: %+v", b.Kernels)
+	}
+	if KernelIDOf(b, 0) != k.ID {
+		t.Errorf("KernelIDOf(pseudo) = %s, want %s", KernelIDOf(b, 0), k.ID)
+	}
+	// Build returns fresh loops: two builds must not share array objects
+	// (arrays are identity objects; address assignment mutates them).
+	l1, l2 := b.Kernels[0].Loop(), b.Kernels[0].Loop()
+	if l1.Instrs[0].Mem == nil || l1.Instrs[0].Mem.Array == l2.Instrs[0].Mem.Array {
+		t.Errorf("pseudo-benchmark builds share array objects")
+	}
+	if l, ok := LoopByKernelID(k.ID); !ok || l == nil {
+		t.Errorf("LoopByKernelID does not resolve a registered kernel")
+	}
+	if ByName(KernelBenchPrefix+strings.Repeat("0", 64)) != nil {
+		t.Errorf("ByName resolved an unregistered hash")
+	}
+}
+
+func TestSuiteKernelIDsStableAndIndexed(t *testing.T) {
+	for _, b := range Suite() {
+		for i := range b.Kernels {
+			id := KernelIDOf(b, i)
+			if !IsKernelID(id) {
+				t.Fatalf("%s/%d: ID %q is not a content hash", b.Name, i, id)
+			}
+			if again := KernelIDOf(ByName(b.Name), i); again != id {
+				t.Errorf("%s/%d: ID not stable across Suite() rebuilds", b.Name, i)
+			}
+			if _, ok := LoopByKernelID(id); !ok {
+				t.Errorf("%s/%d: suite kernel %s not resolvable by ID", b.Name, i, id)
+			}
+		}
+		if !IsKernelID(BenchmarkIDOf(b)) {
+			t.Errorf("%s: benchmark ID is not a hash", b.Name)
+		}
+	}
+	if len(SuiteNames()) != len(Suite()) {
+		t.Errorf("SuiteNames count mismatch")
+	}
+}
+
+func TestKernelRegistryLRUBound(t *testing.T) {
+	ResetKernelRegistry()
+	defer ResetKernelRegistry()
+
+	// Distinct loops: vary the trip count so content differs.
+	register := func(trip string) RegisteredKernel {
+		t.Helper()
+		k, err := RegisterKernelSource("loop k " + trip + "\narray a 4096 4\nv = load a 0 4 4\ns = int v\nstore a 0 4 4 s\n")
+		if err != nil {
+			t.Fatalf("register trip %s: %v", trip, err)
+		}
+		return k
+	}
+	SetKernelRegistryLimit(2)
+	k1, k2 := register("100"), register("200")
+	if _, ok := KernelByID(k1.ID); !ok { // touch k1: k2 becomes LRU
+		t.Fatalf("k1 missing")
+	}
+	k3 := register("300")
+	if n := KernelRegistryLen(); n != 2 {
+		t.Fatalf("registry holds %d, want cap 2", n)
+	}
+	if _, ok := KernelByID(k2.ID); ok {
+		t.Errorf("least-recently-used kernel not evicted")
+	}
+	if _, ok := KernelByID(k1.ID); !ok {
+		t.Errorf("recently-touched kernel evicted")
+	}
+	if _, ok := KernelByID(k3.ID); !ok {
+		t.Errorf("newest kernel evicted")
+	}
+
+	SetKernelRegistryLimit(0)
+	if n := KernelRegistryLen(); n != 0 {
+		t.Errorf("cap 0 left %d kernels resident", n)
+	}
+	if _, err := RegisterKernelSource(regTestSrc); err == nil {
+		t.Errorf("cap 0 accepted a registration")
+	}
+}

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"strings"
+
 	"repro/internal/ir"
 )
 
@@ -59,8 +61,15 @@ func Suite() []*Benchmark {
 	}
 }
 
-// ByName returns the named benchmark model, or nil.
+// ByName returns the named benchmark model, or nil. Names of the form
+// "kernel:<hash>" resolve through the user-kernel registry to a
+// single-kernel pseudo-benchmark, so everything that sweeps benchmarks by
+// name serves registered kernels with no special cases.
 func ByName(name string) *Benchmark {
+	if id, ok := strings.CutPrefix(name, KernelBenchPrefix); ok {
+		b, _ := KernelBench(id)
+		return b
+	}
 	for _, b := range Suite() {
 		if b.Name == name {
 			return b

@@ -1,0 +1,156 @@
+#!/bin/sh
+# kernels-smoke: end-to-end check of content-addressed kernel identity
+# through the serving stack.
+#
+# Builds l0served and l0explore, POSTs a real .loop file to /v1/kernels,
+# sweeps it by content hash over HTTP and diffs the bytes against the same
+# sweep run locally from the file (must be byte-identical), repeats the
+# sweep warm (zero new compiles and simulations), snapshots the cache (v3:
+# carries the kernel source), reloads it into a fresh process and sweeps by
+# hash again WITHOUT re-registering — zero compiles, zero simulations, same
+# bytes. Finally boots a server on the committed v2 snapshot fixture to pin
+# that pre-content-hash caches still import and serve compile-free.
+#
+# Usage: scripts/kernels_smoke.sh [scratch-dir]
+set -eu
+
+DIR=${1:-.kernels-smoke}
+LOOP=examples/loops/saxpy.loop
+ARGS="-benches gsmdec -clusters 4,8 -entries 4,8"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+go build -o "$DIR/l0explore" ./cmd/l0explore
+go build -o "$DIR/l0served" ./cmd/l0served
+
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+wait_port() { # wait_port portfile
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "kernels-smoke: server did not come up ($1)" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+counter() { # counter name statsfile
+    sed -n "s/^  \"$1\": \([0-9][0-9]*\).*/\1/p" "$2"
+}
+
+# Reference: the same mixed suite+kernel sweep run locally from the file.
+"$DIR/l0explore" $ARGS -kernel "$LOOP" -format json -o "$DIR/local.json"
+
+# 1. Register the kernel over HTTP; the reply carries its content hash.
+"$DIR/l0served" -addr 127.0.0.1:0 -portfile "$DIR/port" -cache "$DIR/cache.json" >"$DIR/served.log" 2>&1 &
+PID=$!
+wait_port "$DIR/port"
+URL="http://$(cat "$DIR/port")"
+
+curl -sS --fail --data-binary "@$LOOP" "$URL/v1/kernels" -o "$DIR/reg.json"
+HASH=$(grep -o '"id": *"[0-9a-f]\{64\}"' "$DIR/reg.json" | grep -o '[0-9a-f]\{64\}')
+[ -n "$HASH" ] || { echo "kernels-smoke: no content hash in registration reply:" >&2; cat "$DIR/reg.json" >&2; exit 1; }
+# Idempotence: re-POSTing the same file answers the same identity.
+curl -sS --fail --data-binary "@$LOOP" "$URL/v1/kernels" | grep -q "$HASH" || {
+    echo "kernels-smoke: re-registration changed the kernel identity" >&2
+    exit 1
+}
+
+# 2. Sweep by hash: the HTTP bytes must equal the local run from the file.
+explore_by_hash() { # explore_by_hash outfile
+    curl -sS --fail -H 'Content-Type: application/json' "$URL/v1/explore" -o "$1" -d '{
+        "benches": ["gsmdec"], "kernels": ["'"$HASH"'"],
+        "clusters": [4, 8], "entries": [4, 8], "format": "json"
+    }'
+}
+explore_by_hash "$DIR/server.json"
+cmp "$DIR/local.json" "$DIR/server.json"
+
+# The l0explore client path (inline source from the file) lands on the same
+# identity and the same bytes.
+"$DIR/l0explore" -server "$URL" $ARGS -kernel "$LOOP" -format json -o "$DIR/client.json"
+cmp "$DIR/local.json" "$DIR/client.json"
+
+# 3. Repeat sweep warm: zero new compiles, zero new simulations.
+"$DIR/l0explore" -server "$URL" -cachestats -o "$DIR/stats_before.json"
+explore_by_hash "$DIR/repeat.json"
+cmp "$DIR/local.json" "$DIR/repeat.json"
+"$DIR/l0explore" -server "$URL" -cachestats -o "$DIR/stats_after.json"
+for c in compiles simulations; do
+    before=$(counter "$c" "$DIR/stats_before.json")
+    after=$(counter "$c" "$DIR/stats_after.json")
+    if [ -z "$before" ] || [ "$before" != "$after" ]; then
+        echo "kernels-smoke: repeat hash sweep was not $c-free ($before -> $after)" >&2
+        exit 1
+    fi
+done
+
+# 4. Snapshot (v3: the kernel source travels with the cache) and stop.
+"$DIR/l0explore" -server "$URL" -savecache >/dev/null
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+grep -q '"version": 3' "$DIR/cache.json" || { echo "kernels-smoke: snapshot is not v3" >&2; exit 1; }
+grep -q "$HASH" "$DIR/cache.json" || { echo "kernels-smoke: snapshot does not carry the kernel" >&2; exit 1; }
+
+# 5. Fresh process, persisted cache, NO re-registration: the snapshot alone
+# must make the hash resolvable and the sweep free of compiles and
+# simulations, byte-identically.
+"$DIR/l0served" -addr 127.0.0.1:0 -portfile "$DIR/port2" -cache "$DIR/cache.json" >"$DIR/served2.log" 2>&1 &
+PID=$!
+wait_port "$DIR/port2"
+URL="http://$(cat "$DIR/port2")"
+
+curl -sS --fail "$URL/v1/kernels/$HASH" >/dev/null
+explore_by_hash "$DIR/server2.json"
+cmp "$DIR/local.json" "$DIR/server2.json"
+"$DIR/l0explore" -server "$URL" -cachestats -o "$DIR/stats2.json"
+for c in compiles simulations; do
+    grep -q "\"$c\": 0" "$DIR/stats2.json" || {
+        echo "kernels-smoke: persisted-cache hash sweep was not $c-free:" >&2
+        cat "$DIR/stats2.json" >&2
+        exit 1
+    }
+done
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+# 6. Backward compatibility: a server booted on the committed v2 snapshot
+# (positional keying, pre-content-hash) must import every record and serve
+# the fixture's grid compile- and simulation-free.
+cp internal/harness/testdata/cache_v2.json "$DIR/v2.json"
+"$DIR/l0served" -addr 127.0.0.1:0 -portfile "$DIR/port3" -cache "$DIR/v2.json" >"$DIR/served3.log" 2>&1 &
+PID=$!
+wait_port "$DIR/port3"
+URL="http://$(cat "$DIR/port3")"
+
+grep -q "loaded 12 schedules, 4 unroll decisions, 3 results (0 skipped)" "$DIR/served3.log" || {
+    echo "kernels-smoke: v2 snapshot did not import cleanly:" >&2
+    cat "$DIR/served3.log" >&2
+    exit 1
+}
+"$DIR/l0explore" -server "$URL" -benches gsmdec -clusters 4 -entries 4,8 -format json -o /dev/null
+"$DIR/l0explore" -server "$URL" -cachestats -o "$DIR/stats3.json"
+for c in compiles simulations; do
+    grep -q "\"$c\": 0" "$DIR/stats3.json" || {
+        echo "kernels-smoke: v2-loaded sweep was not $c-free:" >&2
+        cat "$DIR/stats3.json" >&2
+        exit 1
+    }
+done
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+rm -rf "$DIR"
+echo "kernels-smoke: ok"
