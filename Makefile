@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench smoke serve-smoke fleet-smoke kernels-smoke fuzz wirestudy linkcheck
+.PHONY: build test race vet lint bench smoke serve-smoke fleet-smoke kernels-smoke fuzz wirestudy linkcheck
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo-specific determinism analyzers (cmd/l0lint): map
+# iteration, ambient inputs, I/O under locks and cache-key exhaustiveness in
+# the deterministic packages. Exits non-zero on any unsuppressed diagnostic;
+# see docs/determinism.md for the rule catalog and the //lint:allow syntax.
+lint:
+	$(GO) run ./cmd/l0lint
 
 # smoke builds the exploration service and sweeps a tiny 2×2 grid (two
 # benchmarks × two cluster counts × two buffer sizes) in the csv and json
@@ -53,12 +60,16 @@ serve-smoke:
 kernels-smoke:
 	sh scripts/kernels_smoke.sh .kernels-smoke
 
-# fuzz runs the looplang parser fuzzer for a short bounded burst (seeds:
-# the example .loop files plus the formatter's output for every suite
-# kernel). CI-friendly; run with a longer -fuzztime locally to dig.
+# fuzz runs the looplang fuzzers for short bounded bursts (seeds: the
+# example .loop files plus the formatter's output for every suite kernel).
+# Two targets — FuzzParse (parse/validate/canonicalize fixed point) and
+# FuzzFormatRoundTrip (Parse∘Format∘Parse stability) — each needs its own
+# invocation because -fuzz takes a single target. CI-friendly; run with a
+# longer -fuzztime locally to dig.
 FUZZTIME ?= 15s
 fuzz:
-	$(GO) test ./internal/looplang -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/looplang -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/looplang -run='^$$' -fuzz='^FuzzFormatRoundTrip$$' -fuzztime=$(FUZZTIME)
 
 # fleet-smoke drives the fault-tolerant coordinator against real processes:
 # two single-worker l0served on loopback, a full-grid l0fleet sweep with one

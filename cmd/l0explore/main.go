@@ -333,7 +333,9 @@ func emit(out io.Writer, res *harness.ExploreResult, format string, round bool) 
 	var check func(string) error
 	switch format {
 	case "table":
-		harness.RenderExplore(&buf, res)
+		if err := harness.RenderExplore(&buf, res); err != nil {
+			return err
+		}
 	case "csv":
 		if err := harness.WriteExploreCSV(&buf, res); err != nil {
 			return err

@@ -169,8 +169,9 @@ func run(c cli) error {
 	switch c.format {
 	case "table":
 		var b strings.Builder
-		harness.RenderExplore(&b, res)
-		_, err = io.WriteString(out, b.String())
+		if err = harness.RenderExplore(&b, res); err == nil {
+			_, err = io.WriteString(out, b.String())
+		}
 	case "csv":
 		err = harness.WriteExploreCSV(out, res)
 	case "json":

@@ -1,0 +1,98 @@
+// l0lint runs the repo's determinism-invariant analyzer suite (internal/
+// lint) over the whole module and exits non-zero on any unsuppressed
+// diagnostic. Findings print as "file:line:col rule: message" (clickable in
+// editors and CI); -show-suppressed additionally audits every //lint:allow
+// waiver in effect. See docs/determinism.md for the rule catalog.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root (or any directory inside the module)")
+	rules := flag.String("rules", "", "comma-separated rule subset to run (default: all)")
+	listRules := flag.Bool("list", false, "list the rule catalog and exit")
+	showSuppressed := flag.Bool("show-suppressed", false, "also print //lint:allow-waived findings (audit mode)")
+	all := flag.Bool("all", false, "treat every package as deterministic (audit mode; the gate uses the curated set)")
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range lint.DefaultAnalyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	modRoot, modPath, err := lint.FindModuleRoot(*root)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := lint.Load(modRoot)
+	if err != nil {
+		fatal(err)
+	}
+	suite := lint.DefaultSuite(modPath)
+	if *all {
+		suite.DeterministicPackages = nil
+	}
+	if *rules != "" {
+		suite.Analyzers = filterRules(suite.Analyzers, *rules)
+	}
+	diags := suite.Run(mod)
+
+	failed := 0
+	for _, d := range diags {
+		if d.Suppressed && !*showSuppressed {
+			continue
+		}
+		// Paths print relative to the module root so output is stable
+		// across checkouts (and CI logs match local runs).
+		if rel, err := filepath.Rel(modRoot, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		if d.Suppressed {
+			fmt.Printf("%s [suppressed: %s]\n", d, d.Reason)
+			continue
+		}
+		fmt.Println(d)
+		failed++
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "l0lint: %d unsuppressed diagnostic(s)\n", failed)
+		os.Exit(1)
+	}
+}
+
+func filterRules(all []*lint.Analyzer, csv string) []*lint.Analyzer {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	seen := map[string]bool{}
+	for _, r := range strings.Split(csv, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" || seen[r] {
+			continue
+		}
+		seen[r] = true
+		a := byName[r]
+		if a == nil {
+			fatal(fmt.Errorf("l0lint: unknown rule %q (see -list)", r))
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

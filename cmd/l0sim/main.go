@@ -63,8 +63,7 @@ func main() {
 	}
 
 	run("table1", func() error {
-		harness.RenderTable1(os.Stdout)
-		return nil
+		return harness.RenderTable1(os.Stdout)
 	})
 	run("fig5", func() error {
 		entries := []int{4, 8, 16, arch.Unbounded}
@@ -72,24 +71,21 @@ func main() {
 		if err != nil {
 			return err
 		}
-		harness.RenderFig5(os.Stdout, points, entries)
-		return nil
+		return harness.RenderFig5(os.Stdout, points, entries)
 	})
 	run("fig6", func() error {
 		rows, err := harness.Fig6Cfg(rc, 8)
 		if err != nil {
 			return err
 		}
-		harness.RenderFig6(os.Stdout, rows)
-		return nil
+		return harness.RenderFig6(os.Stdout, rows)
 	})
 	run("fig7", func() error {
 		rows, err := harness.Fig7Cfg(rc, 8)
 		if err != nil {
 			return err
 		}
-		harness.RenderFig7(os.Stdout, rows)
-		return nil
+		return harness.RenderFig7(os.Stdout, rows)
 	})
 	run("extras", func() error { return extras(rc) })
 	run("energy", func() error {
@@ -97,16 +93,14 @@ func main() {
 		if err != nil {
 			return err
 		}
-		harness.RenderEnergy(os.Stdout, rows, 8)
-		return nil
+		return harness.RenderEnergy(os.Stdout, rows, 8)
 	})
 	run("wires", func() error {
 		pts, err := harness.WireSweepCfg(rc, []int{4, 6, 8, 10, 12}, 8)
 		if err != nil {
 			return err
 		}
-		harness.RenderWireSweep(os.Stdout, pts)
-		return nil
+		return harness.RenderWireSweep(os.Stdout, pts)
 	})
 	run("clusters", func() error {
 		counts := []int{2, 4, 8, 16, 32}
@@ -114,8 +108,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		harness.RenderClusterSweep(os.Stdout, pts, counts)
-		return nil
+		return harness.RenderClusterSweep(os.Stdout, pts, counts)
 	})
 	if *exp == "debug" {
 		ran = true
@@ -250,6 +243,5 @@ func extras(rc harness.RunConfig) error {
 			fmt.Sprintf("%s -> %s", stats.F2(float64(plain.Total)/float64(base.Total)),
 				stats.F2(float64(fb.Total)/float64(base.Total))))
 	}
-	t.Render(os.Stdout)
-	return nil
+	return t.Render(os.Stdout)
 }

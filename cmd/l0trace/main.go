@@ -115,6 +115,9 @@ func main() {
 	}
 	if rec != nil {
 		fmt.Printf("\nfirst %d memory events:\n", len(rec.Events))
-		rec.Render(os.Stdout)
+		if err := rec.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "l0trace: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

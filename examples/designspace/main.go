@@ -64,7 +64,9 @@ func main() {
 	}
 	row = append(row, "")
 	t.Add(row...)
-	t.Render(log.Writer())
+	if err := t.Render(log.Writer()); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
 	fmt.Println("The paper's conclusion (§5.2): 8-entry buffers capture almost all")
 	fmt.Println("memory accesses; 4 entries lose some benchmarks to LRU thrash and")

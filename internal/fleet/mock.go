@@ -119,6 +119,7 @@ func (m *MockBackend) Explore(ctx context.Context, spec harness.ExploreSpec, sha
 	case Fault5xx:
 		return nil, &BackendError{Status: 500, Msg: "mock internal error"}
 	case FaultSlow:
+		//lint:allow wallclock fault-injection slow path; the chaos tests cmp the swept bytes regardless of timing
 		t := time.NewTimer(m.SlowDelay)
 		defer t.Stop()
 		select {

@@ -61,8 +61,8 @@ func ClusterSweepCfg(rc RunConfig, counts []int, entries int) ([][]ClusterPoint,
 	return out, nil
 }
 
-// RenderClusterSweep prints the sweep.
-func RenderClusterSweep(w io.Writer, points [][]ClusterPoint, counts []int) {
+// RenderClusterSweep prints the sweep, returning the first write error.
+func RenderClusterSweep(w io.Writer, points [][]ClusterPoint, counts []int) error {
 	t := &stats.Table{Title: "L0 benefit vs cluster count (normalized to the same machine without buffers)"}
 	t.Header = []string{"bench"}
 	for _, n := range counts {
@@ -82,5 +82,5 @@ func RenderClusterSweep(w io.Writer, points [][]ClusterPoint, counts []int) {
 		cells = append(cells, stats.F2(means[i]/float64(len(points))))
 	}
 	t.Add(cells...)
-	t.Render(w)
+	return t.Render(w)
 }

@@ -55,7 +55,7 @@ func EnergySweepCfg(rc RunConfig, entries int) ([]EnergyRow, error) {
 // RenderEnergy prints the comparison. The AMEAN divides by the actual row
 // count — an earlier revision hardcoded the suite size and would have gone
 // silently wrong the moment the suite grew.
-func RenderEnergy(w io.Writer, rows []EnergyRow, entries int) {
+func RenderEnergy(w io.Writer, rows []EnergyRow, entries int) error {
 	t := &stats.Table{Title: fmt.Sprintf("Relative memory-system energy (L0 vs no-L0 baseline, %d-entry buffers)", entries)}
 	t.Header = []string{"bench", "base", "L0", "ratio"}
 	var sum float64
@@ -66,5 +66,5 @@ func RenderEnergy(w io.Writer, rows []EnergyRow, entries int) {
 	if len(rows) > 0 {
 		t.Add("AMEAN", "", "", stats.F2(sum/float64(len(rows))))
 	}
-	t.Render(w)
+	return t.Render(w)
 }

@@ -45,6 +45,7 @@ type RunConfig struct {
 
 // DefaultRunConfig runs one worker per CPU with the schedule cache enabled.
 func DefaultRunConfig() RunConfig {
+	//lint:allow wallclock worker-pool sizing; forEachJob aggregates by job index, so worker count never changes a byte
 	return RunConfig{Workers: runtime.NumCPU()}
 }
 
@@ -70,7 +71,7 @@ func (rc RunConfig) canceled() error {
 func (rc RunConfig) workers(n int) int {
 	w := rc.Workers
 	if w <= 0 {
-		w = runtime.NumCPU()
+		w = runtime.NumCPU() //lint:allow wallclock worker-pool sizing; aggregation is index-ordered
 	}
 	if w > n {
 		w = n
@@ -165,6 +166,13 @@ type schedOptsKey struct {
 	RegistersPerCluster      int
 }
 
+// optsKeyOf projects scheduler options into the comparable cache identity.
+// The keyfields directive makes forgetting a new sched.Options field here a
+// lint failure: a forgotten field would let two different compilations
+// share one cache entry (and one shard-merge identity) — the silent cache
+// poisoning the -prefetch/-regbudget axes had to dodge by hand in PR 4.
+//
+//lint:keyfields sched.Options
 func optsKeyOf(o sched.Options) schedOptsKey {
 	k := schedOptsKey{
 		UseL0:                    o.UseL0,

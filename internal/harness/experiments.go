@@ -71,8 +71,9 @@ func Fig5Cfg(rc RunConfig, entriesList []int, schedOpts sched.Options) ([][]Fig5
 	return out, nil
 }
 
-// RenderFig5 prints Figure 5 as a table (one column pair per buffer size).
-func RenderFig5(w io.Writer, points [][]Fig5Point, entriesList []int) {
+// RenderFig5 prints Figure 5 as a table (one column pair per buffer size),
+// returning the first write error.
+func RenderFig5(w io.Writer, points [][]Fig5Point, entriesList []int) error {
 	t := &stats.Table{Title: "Figure 5: normalized execution time (compute+stall) vs L0 buffer size"}
 	t.Header = []string{"bench"}
 	for _, e := range entriesList {
@@ -96,7 +97,7 @@ func RenderFig5(w io.Writer, points [][]Fig5Point, entriesList []int) {
 		cells = append(cells, stats.F2(means[i]/float64(len(points))), "")
 	}
 	t.Add(cells...)
-	t.Render(w)
+	return t.Render(w)
 }
 
 // Fig6Row is one benchmark of Figure 6: subblock mapping mix, L0 hit rate
@@ -139,15 +140,15 @@ func Fig6Cfg(rc RunConfig, entries int) ([]Fig6Row, error) {
 	return out, nil
 }
 
-// RenderFig6 prints Figure 6.
-func RenderFig6(w io.Writer, rows []Fig6Row) {
+// RenderFig6 prints Figure 6, returning the first write error.
+func RenderFig6(w io.Writer, rows []Fig6Row) error {
 	t := &stats.Table{Title: "Figure 6: subblock mapping mix, L0 hit rate, average unroll factor (8-entry L0)"}
 	t.Header = []string{"bench", "linear", "interleaved", "hit rate", "avg unroll"}
 	for _, r := range rows {
 		t.Add(r.Bench, stats.Pct(r.LinearFrac), stats.Pct(r.InterleavedFrac),
 			stats.Pct(r.HitRate), stats.F1(r.AvgUnroll))
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // Fig7Row is one benchmark of Figure 7: execution time of the four
@@ -212,8 +213,8 @@ func Fig7Cfg(rc RunConfig, entries int) ([]Fig7Row, error) {
 	return out, nil
 }
 
-// RenderFig7 prints Figure 7.
-func RenderFig7(w io.Writer, rows []Fig7Row) {
+// RenderFig7 prints Figure 7, returning the first write error.
+func RenderFig7(w io.Writer, rows []Fig7Row) error {
 	t := &stats.Table{Title: "Figure 7: normalized execution time vs distributed-cache baselines (8-entry buffers)"}
 	t.Header = []string{"bench", "L0", "MultiVLIW", "Interleaved1", "Interleaved2"}
 	var mL0, mMV, m1, m2 float64
@@ -226,18 +227,19 @@ func RenderFig7(w io.Writer, rows []Fig7Row) {
 	}
 	n := float64(len(rows))
 	t.Add("AMEAN", stats.F2(mL0/n), stats.F2(mMV/n), stats.F2(m1/n), stats.F2(m2/n))
-	t.Render(w)
+	return t.Render(w)
 }
 
-// RenderTable1 prints the workload characterisation.
-func RenderTable1(w io.Writer) {
+// RenderTable1 prints the workload characterisation, returning the first
+// write error.
+func RenderTable1(w io.Writer) error {
 	t := &stats.Table{Title: "Table 1: dynamic strided memory accesses (S), good strides (SG), other strides (SO)"}
 	t.Header = []string{"bench", "S", "SG", "SO"}
 	for _, b := range workload.Suite() {
 		row := workload.Characterize(b)
 		t.Add(row.Name, stats.Pct(row.S), stats.Pct(row.SG), stats.Pct(row.SO))
 	}
-	t.Render(w)
+	return t.Render(w)
 }
 
 // AMeanTotal returns the arithmetic-mean normalised total of one Figure 5

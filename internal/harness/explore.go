@@ -52,6 +52,7 @@ type ExploreSpec struct {
 	// Benches selects benchmarks by name; a "kernel:<hash>" name selects a
 	// registered user kernel. Empty means the whole suite — unless Kernels
 	// selects something, in which case only those kernels are swept.
+	//lint:nonkey the resolved benchmark list travels as ExploreResult.Benches, which MergeExplore compares name-by-name
 	Benches []string `json:"benches,omitempty"`
 	// Kernels selects user kernels by content hash (64 hex digits, must be
 	// registered) or inline looplang source (registered on the spot). They
@@ -275,6 +276,13 @@ type exploreSpecID struct {
 	Sched   schedOptsKey `json:"sched"`
 }
 
+// id records the sweep's identity on its results so MergeExplore can veto
+// combining shards of different sweeps. Every ExploreSpec field must reach
+// the identity or carry a //lint:nonkey justification: a new sweep axis
+// that skips the identity would let shards of different sweeps merge into
+// one corrupt table.
+//
+//lint:keyfields ExploreSpec
 func (s ExploreSpec) id() exploreSpecID {
 	n := s.normalized()
 	kernels, err := n.resolveKernels()

@@ -81,15 +81,20 @@ func paretoMark(p bool) string {
 
 // RenderExplore prints the sweep as text tables: every cell, then the
 // per-benchmark Pareto fronts, then the per-configuration AMEAN table.
-// Incomplete (shard) results print only their cells.
-func RenderExplore(w io.Writer, r *ExploreResult) {
-	exploreCellTable(r).Render(w)
-	if !r.Complete() {
-		fmt.Fprintf(w, "\n(shard %d/%d: %d of %d cells; merge shards for Pareto fronts)\n",
-			r.Shard, r.Shards, len(r.Cells), r.GridSize)
-		return
+// Incomplete (shard) results print only their cells. Returns the first
+// write error.
+func RenderExplore(w io.Writer, r *ExploreResult) error {
+	if err := exploreCellTable(r).Render(w); err != nil {
+		return err
 	}
-	fmt.Fprintln(w)
+	if !r.Complete() {
+		_, err := fmt.Fprintf(w, "\n(shard %d/%d: %d of %d cells; merge shards for Pareto fronts)\n",
+			r.Shard, r.Shards, len(r.Cells), r.GridSize)
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
 	front := &stats.Table{Title: "Per-benchmark Pareto fronts (cycles vs energy, lower is better)"}
 	front.Header = []string{"bench", "clusters", "entries", "subblock", "l1lat", "prefdist", "regbudget", "norm_cycles", "energy_ratio"}
 	for _, bench := range r.Benches {
@@ -104,9 +109,13 @@ func RenderExplore(w io.Writer, r *ExploreResult) {
 				fmt.Sprintf("%.4f", c.NormCycles), fmt.Sprintf("%.4f", c.EnergyRatio))
 		}
 	}
-	front.Render(w)
-	fmt.Fprintln(w)
-	exploreConfigTable(r).Render(w)
+	if err := front.Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return exploreConfigTable(r).Render(w)
 }
 
 // WriteExploreCSV emits the sweep as one flat CSV: every cell row, then —

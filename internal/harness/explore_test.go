@@ -24,7 +24,9 @@ func exploreTestSpec() ExploreSpec {
 func renderAll(t *testing.T, r *ExploreResult) (table, csv, json []byte) {
 	t.Helper()
 	var tb, cb, jb bytes.Buffer
-	RenderExplore(&tb, r)
+	if err := RenderExplore(&tb, r); err != nil {
+		t.Fatalf("RenderExplore: %v", err)
+	}
 	if err := WriteExploreCSV(&cb, r); err != nil {
 		t.Fatalf("WriteExploreCSV: %v", err)
 	}
@@ -220,7 +222,9 @@ func TestEnergySweepMatchesSerialAndSuite(t *testing.T) {
 		}
 	}
 	var b bytes.Buffer
-	RenderEnergy(&b, serial, 8)
+	if err := RenderEnergy(&b, serial, 8); err != nil {
+		t.Fatalf("RenderEnergy: %v", err)
+	}
 	if !strings.Contains(b.String(), "AMEAN") {
 		t.Errorf("RenderEnergy missing AMEAN row:\n%s", b.String())
 	}

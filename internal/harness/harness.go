@@ -86,14 +86,17 @@ type Options struct {
 	// cache's contribution). RunBenchmarkCached also treats it as
 	// disabling the result cache: a run observing compile costs must
 	// actually compile.
+	//lint:nonkey cache-control switch: results are identical either way (compilation is deterministic), so sharing a key is sound
 	DisableScheduleCache bool
 	// DisableResultCache bypasses the global simulation-result
 	// memoization in RunBenchmarkCached for this run (results are
 	// identical either way; threaded from RunConfig.DisableResultCache).
+	//lint:nonkey cache-control switch: results are identical either way (simulation is deterministic), so sharing a key is sound
 	DisableResultCache bool
 	// Counters, when non-nil, accumulates this run's schedule-cache
 	// traffic in addition to the process-global counters (threaded from
 	// RunConfig.Counters by the engine).
+	//lint:nonkey observability sink; counter wiring never alters what is computed
 	Counters *CacheCounters
 }
 

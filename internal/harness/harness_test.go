@@ -111,7 +111,9 @@ func TestFig5SmokeAndRender(t *testing.T) {
 		t.Fatalf("rows = %d", len(pts))
 	}
 	var sb strings.Builder
-	RenderFig5(&sb, pts, []int{8})
+	if err := RenderFig5(&sb, pts, []int{8}); err != nil {
+		t.Fatalf("RenderFig5: %v", err)
+	}
 	if !strings.Contains(sb.String(), "AMEAN") {
 		t.Errorf("render missing AMEAN")
 	}
@@ -150,7 +152,9 @@ func TestFig6Shape(t *testing.T) {
 		t.Errorf("unrolled g721dec should interleave more than rolled pegwitdec")
 	}
 	var sb strings.Builder
-	RenderFig6(&sb, rows)
+	if err := RenderFig6(&sb, rows); err != nil {
+		t.Fatalf("RenderFig6: %v", err)
+	}
 	if !strings.Contains(sb.String(), "epicdec") {
 		t.Errorf("render missing rows")
 	}
@@ -179,7 +183,9 @@ func TestFig7Shape(t *testing.T) {
 		t.Errorf("L0 (%.2f) should be close to MultiVLIW (%.2f)", l0, mv)
 	}
 	var sb strings.Builder
-	RenderFig7(&sb, rows)
+	if err := RenderFig7(&sb, rows); err != nil {
+		t.Fatalf("RenderFig7: %v", err)
+	}
 	if !strings.Contains(sb.String(), "AMEAN") {
 		t.Errorf("render missing AMEAN")
 	}
@@ -265,7 +271,9 @@ func TestClusterSweepBenefitHolds(t *testing.T) {
 		t.Errorf("cluster-scaled means = %.2f (2cl) / %.2f (8cl), want < 1.0", m2/n, m8/n)
 	}
 	var sb strings.Builder
-	RenderClusterSweep(&sb, pts, []int{2, 8})
+	if err := RenderClusterSweep(&sb, pts, []int{2, 8}); err != nil {
+		t.Fatalf("RenderClusterSweep: %v", err)
+	}
 	if !strings.Contains(sb.String(), "AMEAN") {
 		t.Errorf("render missing AMEAN")
 	}
@@ -361,7 +369,9 @@ func TestWireSweepAdaptiveScalesWithLatency(t *testing.T) {
 			pts[1].AMeanAdaptive, pts[1].AMean)
 	}
 	var sb strings.Builder
-	RenderWireSweep(&sb, pts)
+	if err := RenderWireSweep(&sb, pts); err != nil {
+		t.Fatalf("RenderWireSweep: %v", err)
+	}
 	if !strings.Contains(sb.String(), "12 cycles") {
 		t.Errorf("render missing rows")
 	}

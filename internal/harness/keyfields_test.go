@@ -1,0 +1,164 @@
+// Exhaustiveness tests for the cache-identity keys, the runtime complement
+// of l0lint's keyfields analyzer: the analyzer proves the key *builders*
+// touch every field, these tests prove the key *types* keep up with the
+// source structs. Adding a field to sched.Options, harness.Options or
+// ExploreSpec without deciding its identity story fails here with a message
+// saying exactly what to decide.
+
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// schedOptsExempt lists the sched.Options fields that deliberately do not
+// join schedOptsKey. Callback fields capture per-run state the key cannot
+// represent; cacheable() refuses to memoize any run carrying one, so
+// excluding them is sound, not lossy.
+var schedOptsExempt = map[string]string{
+	"LoadLatencyFn":      "per-run callback; cacheable() bypasses the caches",
+	"PreferredClusterFn": "per-run callback; cacheable() bypasses the caches",
+}
+
+// TestSchedOptsKeyExhaustive fails when sched.Options grows a field that
+// neither appears (same name) in schedOptsKey nor is registered in
+// schedOptsExempt — the compile-time shape of the silent cache poisoning
+// the keyfields lint rule catches in the builder.
+func TestSchedOptsKeyExhaustive(t *testing.T) {
+	opts := reflect.TypeOf(sched.Options{})
+	key := reflect.TypeOf(schedOptsKey{})
+	keyFields := map[string]bool{}
+	for i := 0; i < key.NumField(); i++ {
+		keyFields[key.Field(i).Name] = true
+	}
+	for i := 0; i < opts.NumField(); i++ {
+		name := opts.Field(i).Name
+		_, exempt := schedOptsExempt[name]
+		switch {
+		case exempt && keyFields[name]:
+			t.Errorf("sched.Options.%s is both in schedOptsKey and schedOptsExempt; pick one", name)
+		case !exempt && !keyFields[name]:
+			t.Errorf("sched.Options.%s joins neither schedOptsKey nor schedOptsExempt: add it to the key in optsKeyOf (two schedules differing in it must not share a cache entry) or register the exemption here with a reason", name)
+		}
+		delete(keyFields, name)
+	}
+	for name := range keyFields {
+		t.Errorf("schedOptsKey.%s has no matching sched.Options field; delete the stale key field", name)
+	}
+}
+
+// optionsExempt mirrors the //lint:nonkey annotations on harness.Options for
+// resultCacheKey: cache-control switches and the observability sink never
+// change what a simulation computes.
+var optionsExempt = map[string]string{
+	"DisableScheduleCache": "cache-control switch; results identical either way",
+	"DisableResultCache":   "cache-control switch; results identical either way",
+	"Counters":             "observability sink; never reaches result bytes",
+}
+
+// resultKeyCovers maps harness.Options fields to the resultKey fields that
+// carry them (names differ, so a pure name match cannot work).
+var resultKeyCovers = map[string]string{
+	"Cfg":                  "cfg",
+	"Sched":                "opts",
+	"CheckCoherence":       "coherence",
+	"ConservativeFallback": "fallback",
+}
+
+// TestResultKeyExhaustive fails when harness.Options grows a field with no
+// identity decision: either route it into resultKey (and record the mapping
+// here) or exempt it with a reason.
+func TestResultKeyExhaustive(t *testing.T) {
+	opts := reflect.TypeOf(Options{})
+	key := reflect.TypeOf(resultKey{})
+	for i := 0; i < opts.NumField(); i++ {
+		name := opts.Field(i).Name
+		_, exempt := optionsExempt[name]
+		kf, covered := resultKeyCovers[name]
+		switch {
+		case exempt && covered:
+			t.Errorf("harness.Options.%s is both covered and exempt; pick one", name)
+		case !exempt && !covered:
+			t.Errorf("harness.Options.%s joins neither resultKey nor optionsExempt: route it through resultCacheKey (two runs differing in it must not share a memoized result) or register the exemption here with a reason", name)
+		case covered:
+			if _, ok := key.FieldByName(kf); !ok {
+				t.Errorf("resultKeyCovers maps Options.%s to resultKey.%s, which does not exist", name, kf)
+			}
+		}
+	}
+}
+
+// exploreSpecIdentity records, for every ExploreSpec field, whether it joins
+// the spec's merge identity (the id() string) — the list id() itself must be
+// kept in sync with. A new axis added to ExploreSpec but not here fails the
+// test; adding it here without extending id() would let two different sweeps
+// merge, which TestExploreSpecIdentityDiscriminates below would catch for
+// the axes it exercises.
+var exploreSpecIdentity = map[string]bool{
+	"Benches":       false, // resolved list travels as ExploreResult.Benches; MergeExplore compares it name-by-name
+	"Kernels":       true,
+	"Clusters":      true,
+	"Entries":       true,
+	"Subblocks":     true,
+	"L1Latencies":   true,
+	"PrefetchDists": true,
+	"RegBudgets":    true,
+	"Sched":         true,
+}
+
+// TestExploreSpecIdentityExhaustive fails when ExploreSpec grows a field
+// that has no entry in exploreSpecIdentity — the reviewer must decide
+// whether the new field is part of the shard-merge identity.
+func TestExploreSpecIdentityExhaustive(t *testing.T) {
+	spec := reflect.TypeOf(ExploreSpec{})
+	seen := map[string]bool{}
+	for i := 0; i < spec.NumField(); i++ {
+		name := spec.Field(i).Name
+		seen[name] = true
+		if _, ok := exploreSpecIdentity[name]; !ok {
+			t.Errorf("ExploreSpec.%s has no identity decision: extend id() in explore.go (shards differing in it must refuse to merge) or record the exemption in exploreSpecIdentity with a reason", name)
+		}
+	}
+	for name := range exploreSpecIdentity {
+		if !seen[name] {
+			t.Errorf("exploreSpecIdentity lists %s, which is no longer an ExploreSpec field", name)
+		}
+	}
+}
+
+// TestExploreSpecIdentityDiscriminates backs the bookkeeping with behavior:
+// for every field exploreSpecIdentity marks as identity-bearing, perturbing
+// that field alone must change id(); for every exempt field it must not.
+func TestExploreSpecIdentityDiscriminates(t *testing.T) {
+	base := ExploreSpec{}
+	perturb := map[string]func(*ExploreSpec){
+		"Benches":       func(s *ExploreSpec) { s.Benches = []string{"gsmdec"} },
+		"Kernels":       func(s *ExploreSpec) { s.Kernels = []string{"deadbeef"} },
+		"Clusters":      func(s *ExploreSpec) { s.Clusters = []int{2} },
+		"Entries":       func(s *ExploreSpec) { s.Entries = []int{16} },
+		"Subblocks":     func(s *ExploreSpec) { s.Subblocks = []int{32} },
+		"L1Latencies":   func(s *ExploreSpec) { s.L1Latencies = []int{7} },
+		"PrefetchDists": func(s *ExploreSpec) { s.PrefetchDists = []int{3} },
+		"RegBudgets":    func(s *ExploreSpec) { s.RegBudgets = []int{48} },
+		"Sched":         func(s *ExploreSpec) { s.Sched.AllowPSR = true },
+	}
+	for name, inKey := range exploreSpecIdentity {
+		fn, ok := perturb[name]
+		if !ok {
+			t.Errorf("no perturbation registered for ExploreSpec.%s; add one", name)
+			continue
+		}
+		mutated := base
+		fn(&mutated)
+		if changed := !reflect.DeepEqual(mutated.id(), base.id()); changed != inKey {
+			if inKey {
+				t.Errorf("ExploreSpec.%s is marked identity-bearing but perturbing it leaves id() unchanged", name)
+			} else {
+				t.Errorf("ExploreSpec.%s is marked exempt but perturbing it changes id()", name)
+			}
+		}
+	}
+}

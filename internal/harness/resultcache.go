@@ -100,7 +100,12 @@ func resultCost(r *BenchResult) int64 {
 }
 
 // resultCacheKey builds the cache identity for a run, or ok=false when the
-// run cannot be represented (per-run scheduler callbacks).
+// run cannot be represented (per-run scheduler callbacks). Every Options
+// field must join the key or carry a //lint:nonkey justification — a field
+// that changes simulation output but not the key would serve one variant's
+// cached result for the other.
+//
+//lint:keyfields Options
 func resultCacheKey(b *workload.Benchmark, a Arch, opts Options) (resultKey, bool) {
 	if !cacheable(opts.Sched) {
 		return resultKey{}, false

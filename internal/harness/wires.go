@@ -69,8 +69,8 @@ func WireSweepCfg(rc RunConfig, latencies []int, entries int) ([]WirePoint, erro
 	return out, nil
 }
 
-// RenderWireSweep prints the sweep.
-func RenderWireSweep(w io.Writer, points []WirePoint) {
+// RenderWireSweep prints the sweep, returning the first write error.
+func RenderWireSweep(w io.Writer, points []WirePoint) error {
 	t := &stats.Table{Title: "L0 benefit vs unified-L1 latency (the wire-delay motivation)"}
 	t.Header = []string{"L1 latency", "fixed d=1", "improvement", "adaptive d", "improvement"}
 	for _, p := range points {
@@ -78,5 +78,5 @@ func RenderWireSweep(w io.Writer, points []WirePoint) {
 			stats.F2(p.AMean), fmt.Sprintf("%.0f%%", (1-p.AMean)*100),
 			stats.F2(p.AMeanAdaptive), fmt.Sprintf("%.0f%%", (1-p.AMeanAdaptive)*100))
 	}
-	t.Render(w)
+	return t.Render(w)
 }

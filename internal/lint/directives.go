@@ -1,0 +1,160 @@
+// Directive comments. Three forms, all grep-able:
+//
+//	//lint:allow <rule> <reason>     waive one finding (same line or next)
+//	//lint:nonkey <reason>           on a struct field: deliberately not
+//	                                 part of any cache-identity key
+//	//lint:keyfields <Type>          on a function: declares it a key
+//	                                 builder over <Type> for the keyfields
+//	                                 rule
+//
+// A reason is mandatory: an unexplained waiver is indistinguishable from a
+// stale one, so the driver reports reasonless or unknown-rule allows as
+// findings themselves.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	allowPrefix     = "//lint:allow "
+	nonkeyPrefix    = "//lint:nonkey "
+	keyfieldsPrefix = "//lint:keyfields "
+)
+
+type allowEntry struct {
+	rule   string
+	reason string
+	line   int
+}
+
+type malformedAllow struct {
+	pos token.Pos
+	msg string
+}
+
+// allowIndex maps file name -> line -> waivers that cover that line. An
+// allow on line L covers diagnostics on L (trailing comment) and L+1
+// (comment-above style).
+type allowIndex struct {
+	byLine    map[string]map[int][]allowEntry
+	malformed []malformedAllow
+}
+
+func (ai *allowIndex) match(pos token.Position, rule string) (reason string, ok bool) {
+	lines := ai.byLine[pos.Filename]
+	for _, e := range lines[pos.Line] {
+		if e.rule == rule {
+			return e.reason, true
+		}
+	}
+	return "", false
+}
+
+// knownRules names every valid //lint:allow target so a typo'd rule name is
+// caught instead of silently waiving nothing.
+var knownRules = map[string]bool{
+	"maprange":  true,
+	"wallclock": true,
+	"lockedio":  true,
+	"keyfields": true,
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowIndex {
+	ai := allowIndex{byLine: map[string]map[int][]allowEntry{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//lint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				switch {
+				case strings.HasPrefix(text, allowPrefix):
+					rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+					rule, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					if rule == "" || reason == "" {
+						ai.malformed = append(ai.malformed, malformedAllow{
+							pos: c.Pos(),
+							msg: "malformed //lint:allow: want \"//lint:allow <rule> <reason>\"",
+						})
+						continue
+					}
+					if !knownRules[rule] {
+						ai.malformed = append(ai.malformed, malformedAllow{
+							pos: c.Pos(),
+							msg: "//lint:allow names unknown rule " + rule,
+						})
+						continue
+					}
+					lines := ai.byLine[pos.Filename]
+					if lines == nil {
+						lines = map[int][]allowEntry{}
+						ai.byLine[pos.Filename] = lines
+					}
+					e := allowEntry{rule: rule, reason: reason, line: pos.Line}
+					lines[pos.Line] = append(lines[pos.Line], e)
+					lines[pos.Line+1] = append(lines[pos.Line+1], e)
+				case strings.HasPrefix(text, nonkeyPrefix), text == strings.TrimSpace(nonkeyPrefix):
+					if strings.TrimSpace(strings.TrimPrefix(text, strings.TrimSpace(nonkeyPrefix))) == "" {
+						ai.malformed = append(ai.malformed, malformedAllow{
+							pos: c.Pos(),
+							msg: "malformed //lint:nonkey: a reason is required",
+						})
+					}
+				case strings.HasPrefix(text, keyfieldsPrefix):
+					// Validated by the keyfields analyzer, which has the
+					// type tables needed to resolve the named type.
+				default:
+					ai.malformed = append(ai.malformed, malformedAllow{
+						pos: c.Pos(),
+						msg: "unknown lint directive " + firstWord(text),
+					})
+				}
+			}
+		}
+	}
+	return ai
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// fieldNonkey reports whether a struct field carries a //lint:nonkey
+// directive in its doc or trailing comment, returning the reason.
+func fieldNonkey(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, nonkeyPrefix) {
+				return strings.TrimSpace(strings.TrimPrefix(c.Text, nonkeyPrefix)), true
+			}
+		}
+	}
+	return "", false
+}
+
+// funcKeyfields extracts the //lint:keyfields <Type> directive from a
+// function declaration's doc comment.
+func funcKeyfields(decl *ast.FuncDecl) (typeName string, ok bool) {
+	if decl.Doc == nil {
+		return "", false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(c.Text, keyfieldsPrefix) {
+			return strings.TrimSpace(strings.TrimPrefix(c.Text, keyfieldsPrefix)), true
+		}
+	}
+	return "", false
+}

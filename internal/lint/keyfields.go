@@ -1,0 +1,172 @@
+// keyfields: exhaustiveness of cache-identity keys. A function annotated
+//
+//	//lint:keyfields <Type>
+//
+// declares itself a key builder over the named struct type: it projects the
+// struct into a cache key (or spec identity), and forgetting a field means
+// two runs that differ in that field share one cache entry — the
+// silent-poisoning failure PR 4's -prefetch/-regbudget axes had to dodge by
+// hand. The rule demands that every field of <Type> is either referenced
+// (selected) somewhere in the builder's body or carries a
+//
+//	//lint:nonkey <reason>
+//
+// annotation on its declaration, so a new scheduler axis that skips the key
+// fails the build until the author decides — in writing — whether it is
+// identity or not. The reflection test in internal/harness is this rule's
+// dynamic twin (it catches fields reachable only through embedding or
+// generated code, which selector analysis cannot see).
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// KeyFields builds the keyfields analyzer.
+func KeyFields() *Analyzer {
+	a := &Analyzer{
+		Name: "keyfields",
+		Doc:  "a //lint:keyfields builder misses a field of its source struct (reference it in the key or annotate //lint:nonkey <reason>)",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		if info == nil || pass.Pkg.Types == nil {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				typeName, ok := funcKeyfields(fd)
+				if !ok {
+					continue
+				}
+				checkKeyBuilder(pass, f, fd, typeName)
+			}
+		}
+	}
+	return a
+}
+
+func checkKeyBuilder(pass *Pass, file *ast.File, fd *ast.FuncDecl, typeName string) {
+	named := resolveNamedType(pass, file, typeName)
+	if named == nil {
+		pass.Report(fd.Pos(), "//lint:keyfields names unknown type %q", typeName)
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		pass.Report(fd.Pos(), "//lint:keyfields type %s is not a struct", typeName)
+		return
+	}
+
+	// Fields the builder's body selects from any value of the source type.
+	used := map[string]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Pkg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		if sameNamed(selection.Recv(), named) {
+			used[sel.Sel.Name] = true
+		}
+		return true
+	})
+
+	// nonkey annotations live on the struct's own declaration, which may be
+	// in another package of the module.
+	nonkey := nonkeyFields(pass, named)
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if used[f.Name()] || nonkey[f.Name()] {
+			continue
+		}
+		pass.Report(fd.Pos(),
+			"key builder %s does not use field %s.%s; a run differing only in it would share this key (reference it or annotate //lint:nonkey <reason>)",
+			funcName(fd), named.Obj().Name(), f.Name())
+	}
+}
+
+// resolveNamedType resolves "Type" in the package scope or "pkg.Type"
+// through the file's imports.
+func resolveNamedType(pass *Pass, file *ast.File, name string) *types.Named {
+	var obj types.Object
+	if pkgName, typ, ok := strings.Cut(name, "."); ok {
+		for _, spec := range file.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			local := path[strings.LastIndexByte(path, '/')+1:]
+			if spec.Name != nil {
+				local = spec.Name.Name
+			}
+			if local != pkgName {
+				continue
+			}
+			if dep := pass.suite.mod.Lookup(path); dep != nil && dep.Types != nil {
+				obj = dep.Types.Scope().Lookup(typ)
+			}
+			break
+		}
+	} else {
+		obj = pass.Pkg.Types.Scope().Lookup(name)
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, _ := tn.Type().(*types.Named)
+	return named
+}
+
+// sameNamed reports whether t (possibly a pointer) is the named type.
+func sameNamed(t types.Type, named *types.Named) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == named.Obj()
+}
+
+// nonkeyFields collects the //lint:nonkey-annotated field names from the
+// struct's declaration, wherever in the module it lives.
+func nonkeyFields(pass *Pass, named *types.Named) map[string]bool {
+	out := map[string]bool{}
+	declPkg := pass.Pkg
+	if p := named.Obj().Pkg(); p != nil && p.Path() != pass.Pkg.Path {
+		declPkg = pass.suite.mod.Lookup(p.Path())
+	}
+	if declPkg == nil {
+		return out
+	}
+	for _, f := range declPkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != named.Obj().Name() {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if _, ok := fieldNonkey(field); !ok {
+					continue
+				}
+				for _, id := range field.Names {
+					out[id.Name] = true
+				}
+			}
+			return false
+		})
+	}
+	return out
+}

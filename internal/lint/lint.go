@@ -1,0 +1,250 @@
+// Package lint is the repo's determinism-invariant analyzer suite: a
+// pure-stdlib (go/parser + go/types) static-analysis driver that loads the
+// whole module and runs repo-specific rules over it. Every layer of this
+// system — the parallel engine, the LRU caches, snapshot persistence, fleet
+// sharding, content-addressed kernels — rests on one contract: identical
+// inputs produce byte-identical outputs. The end-to-end smokes catch
+// violations after they ship; these analyzers catch them at the source
+// level, where the classic killers (map iteration order, wall-clock reads,
+// a cache key missing a field) are visible as syntax and types.
+//
+// The rule catalog lives in docs/determinism.md. Diagnostics print as
+// "file:line:col rule: message". Exemptions are never silent: a site that
+// legitimately violates a rule carries an inline
+//
+//	//lint:allow <rule> <reason>
+//
+// comment (same line or the line above), so every waiver is visible and
+// justified in-source and `git grep lint:allow` is the exemption audit.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, positioned so "file:line:col" output
+// is clickable in editors and CI logs.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+	// Suppressed marks findings waived by a //lint:allow comment; the
+	// driver keeps them (an audit can list them) but they do not fail the
+	// run.
+	Suppressed bool
+	// Reason is the justification text of the suppressing comment.
+	Reason string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Analyzer is one rule of the suite.
+type Analyzer struct {
+	Name string
+	// Doc is the one-paragraph rule description (printed by l0lint -rules).
+	Doc string
+	// Deterministic restricts the rule to the module's deterministic
+	// package set (Config.DeterministicPackages); false runs it module-wide.
+	Deterministic bool
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass hands one loaded package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	suite    *Suite
+}
+
+// Report records a finding at pos. Suppression is applied by the driver
+// after the analyzer returns, so rules never special-case allow comments.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.suite.diags = append(p.suite.diags, rawDiag{
+		pos:  pos,
+		rule: p.Analyzer.Name,
+		msg:  fmt.Sprintf(format, args...),
+		pkg:  p.Pkg,
+	})
+}
+
+// Fset returns the suite's shared file set.
+func (p *Pass) Fset() *token.FileSet { return p.suite.mod.Fset }
+
+type rawDiag struct {
+	pos  token.Pos
+	rule string
+	msg  string
+	pkg  *Package
+}
+
+// Suite runs a set of analyzers over a loaded module.
+type Suite struct {
+	Analyzers []*Analyzer
+	// DeterministicPackages lists the import paths whose output bytes the
+	// byte-identity contract covers; analyzers with Deterministic=true run
+	// only there. Nil means every loaded package is deterministic (the
+	// fixture tests use this).
+	DeterministicPackages []string
+
+	mod   *Module
+	diags []rawDiag
+}
+
+// deterministic reports whether the package is in the suite's deterministic
+// set.
+func (s *Suite) deterministic(path string) bool {
+	if s.DeterministicPackages == nil {
+		return true
+	}
+	for _, p := range s.DeterministicPackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer over every package of the module and returns
+// the findings sorted by position, with //lint:allow suppressions applied.
+func (s *Suite) Run(mod *Module) []Diagnostic {
+	s.mod = mod
+	s.diags = s.diags[:0]
+	for _, pkg := range mod.Packages {
+		for _, a := range s.Analyzers {
+			if a.Deterministic && !s.deterministic(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, suite: s})
+		}
+	}
+
+	out := make([]Diagnostic, 0, len(s.diags))
+	for _, rd := range s.diags {
+		pos := mod.Fset.Position(rd.pos)
+		d := Diagnostic{Pos: pos, Rule: rd.rule, Msg: rd.msg}
+		if reason, ok := rd.pkg.allows.match(pos, rd.rule); ok {
+			d.Suppressed, d.Reason = true, reason
+		}
+		out = append(out, d)
+	}
+	// Malformed suppression comments are findings of their own: a typo'd
+	// rule name would otherwise silently waive nothing (or worse, look like
+	// it waived something).
+	for _, pkg := range mod.Packages {
+		for _, bad := range pkg.allows.malformed {
+			out = append(out, Diagnostic{
+				Pos:  mod.Fset.Position(bad.pos),
+				Rule: "allow",
+				Msg:  bad.msg,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// Unsuppressed filters to the findings that fail a lint run.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DefaultAnalyzers returns the full rule suite.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRange(),
+		WallClock(),
+		LockedIO(),
+		KeyFields(),
+	}
+}
+
+// DeterministicPackages is the import-path set (relative to the module
+// path) whose emitted bytes the byte-identity contract covers: everything
+// between a parsed workload and rendered output, plus the serving and fleet
+// layers whose merge paths must stay byte-identical. Ambient inputs inside
+// these packages are exactly what the wallclock and maprange rules exist to
+// catch.
+var DeterministicPackages = []string{
+	"internal/alias",
+	"internal/arch",
+	"internal/core",
+	"internal/ddg",
+	"internal/energy",
+	"internal/fleet",
+	"internal/harness",
+	"internal/interleaved",
+	"internal/ir",
+	"internal/lint",
+	"internal/looplang",
+	"internal/mem",
+	"internal/multivliw",
+	"internal/sched",
+	"internal/server",
+	"internal/sms",
+	"internal/stats",
+	"internal/trace",
+	"internal/unroll",
+	"internal/vliw",
+	"internal/workload",
+}
+
+// DefaultSuite builds the production configuration for a module rooted at
+// modPath: the full analyzer set scoped to the deterministic packages.
+func DefaultSuite(modPath string) *Suite {
+	pkgs := make([]string, len(DeterministicPackages))
+	for i, p := range DeterministicPackages {
+		pkgs[i] = modPath + "/" + p
+	}
+	return &Suite{
+		Analyzers:             DefaultAnalyzers(),
+		DeterministicPackages: pkgs,
+	}
+}
+
+// qualify renders a types.Object package-qualified ("time.Now") for
+// messages, without the module path noise for module-local objects.
+func qualify(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	path := obj.Pkg().Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return path + "." + obj.Name()
+}
+
+// funcScope walks up from an AST node stack to name the enclosing function
+// (diagnostic context only).
+func funcName(decl *ast.FuncDecl) string {
+	if decl == nil {
+		return ""
+	}
+	return decl.Name.Name
+}

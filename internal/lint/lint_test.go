@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads the testdata tree once per test (it is small).
+func loadFixture(t *testing.T) *Module {
+	t.Helper()
+	mod, err := LoadTree(filepath.Join("testdata", "src"), "fixture")
+	if err != nil {
+		t.Fatalf("load fixture tree: %v", err)
+	}
+	for _, p := range mod.Packages {
+		if len(p.TypeErrors) > 0 {
+			t.Fatalf("fixture %s has type errors: %v", p.Path, p.TypeErrors)
+		}
+	}
+	return mod
+}
+
+// wantMarkers scans fixture sources for trailing "// WANT <rule>" comments
+// and returns the expected (file:line -> rule) set.
+func wantMarkers(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	want := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if i := strings.Index(sc.Text(), "// WANT "); i >= 0 {
+				rule := strings.TrimSpace(sc.Text()[i+len("// WANT "):])
+				want[positionKey(path, line)] = rule
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("scan markers: %v", err)
+	}
+	return want
+}
+
+func positionKey(file string, line int) string {
+	return filepath.Base(file) + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestFixtures runs the full suite over the fixture tree and checks that
+// the unsuppressed findings are exactly the // WANT markers, and that every
+// rule demonstrates at least one //lint:allow suppression.
+func TestFixtures(t *testing.T) {
+	mod := loadFixture(t)
+	suite := &Suite{Analyzers: DefaultAnalyzers()} // nil scope: everything deterministic
+	diags := suite.Run(mod)
+
+	want := wantMarkers(t, filepath.Join("testdata", "src"))
+	got := map[string]string{}
+	suppressedByRule := map[string]int{}
+	for _, d := range diags {
+		if d.Rule == "allow" {
+			t.Errorf("malformed directive in fixture: %s", d)
+			continue
+		}
+		if d.Suppressed {
+			suppressedByRule[d.Rule]++
+			if d.Reason == "" {
+				t.Errorf("suppressed finding without reason: %s", d)
+			}
+			continue
+		}
+		key := positionKey(d.Pos.Filename, d.Pos.Line)
+		if prev, dup := got[key]; dup {
+			t.Errorf("two findings on one line (%s: %s and %s)", key, prev, d.Rule)
+		}
+		got[key] = d.Rule
+	}
+
+	for key, rule := range want {
+		if got[key] != rule {
+			t.Errorf("missing finding %s at %s (got %q)", rule, key, got[key])
+		}
+	}
+	for key, rule := range got {
+		if want[key] != rule {
+			t.Errorf("unexpected finding at %s: %s", key, rule)
+		}
+	}
+	for _, a := range DefaultAnalyzers() {
+		if suppressedByRule[a.Name] == 0 {
+			t.Errorf("rule %s demonstrates no //lint:allow suppression in fixtures", a.Name)
+		}
+	}
+}
+
+// TestMalformedAllow pins that a typo'd or reasonless waiver is itself a
+// finding instead of silently waiving nothing.
+func TestMalformedAllow(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+import "time"
+
+func now() int64 {
+	//lint:allow wallclock
+	a := time.Now().UnixNano()
+	//lint:allow wallclck typo'd rule name
+	b := time.Now().UnixNano()
+	return a + b
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadTree(dir, "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := &Suite{Analyzers: DefaultAnalyzers()}
+	diags := suite.Run(mod)
+
+	var malformed, wallclock int
+	for _, d := range Unsuppressed(diags) {
+		switch d.Rule {
+		case "allow":
+			malformed++
+		case "wallclock":
+			wallclock++
+		}
+	}
+	if malformed != 2 {
+		t.Errorf("want 2 malformed-allow findings (missing reason, unknown rule), got %d:\n%v", malformed, diags)
+	}
+	// Both time.Now uses must still be reported: neither waiver is valid.
+	if wallclock != 2 {
+		t.Errorf("want 2 unsuppressed wallclock findings, got %d:\n%v", wallclock, diags)
+	}
+}
+
+// TestDeterministicScope pins that Deterministic rules skip packages
+// outside the configured set while module-wide rules still run there.
+func TestDeterministicScope(t *testing.T) {
+	mod := loadFixture(t)
+	suite := &Suite{
+		Analyzers:             DefaultAnalyzers(),
+		DeterministicPackages: []string{"fixture/maprange"},
+	}
+	diags := Unsuppressed(suite.Run(mod))
+	var maprange, lockedio, keyfields int
+	for _, d := range diags {
+		switch d.Rule {
+		case "wallclock":
+			t.Errorf("wallclock ran outside the deterministic set: %s", d)
+		case "maprange":
+			maprange++
+		case "lockedio":
+			lockedio++
+		case "keyfields":
+			keyfields++
+		}
+	}
+	if maprange == 0 {
+		t.Error("maprange finding missing inside the deterministic set")
+	}
+	if lockedio == 0 || keyfields == 0 {
+		t.Errorf("module-wide rules must run outside the deterministic set (lockedio=%d keyfields=%d)", lockedio, keyfields)
+	}
+}
+
+// TestLoadRealModule loads the enclosing module itself: every package must
+// parse and type-check cleanly (the analyzers read the type tables, so soft
+// errors would silently blind them), and the deterministic package set must
+// actually exist — a renamed package would otherwise silently drop out of
+// the rules' scope.
+func TestLoadRealModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module (a few seconds)")
+	}
+	root, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range mod.Packages {
+		for _, e := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.Path, e)
+		}
+	}
+	for _, rel := range DeterministicPackages {
+		if mod.Lookup(modPath+"/"+rel) == nil {
+			t.Errorf("DeterministicPackages names %s, which no longer exists in the module", rel)
+		}
+	}
+}

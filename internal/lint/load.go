@@ -1,0 +1,245 @@
+// Module loading: discover, parse and type-check every package of a Go
+// module with nothing but the standard library. go/importer's "source"
+// importer handles the standard library (compiled from GOROOT source, so
+// offline builds keep working); module-local imports are resolved against
+// the packages this loader itself parsed, in dependency order.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	// Path is the import path, Dir the on-disk directory.
+	Path string
+	Dir  string
+	// Files are the parsed non-test sources (with comments), Types the
+	// checked package and Info the use/def/selection tables the analyzers
+	// read.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-check failures. The checker keeps
+	// going, so a package with a missing dependency still yields partial
+	// types for the rules that can run.
+	TypeErrors []error
+
+	allows    allowIndex
+	fset      *token.FileSet
+	fileNames []string
+}
+
+// Module is the loaded module: its path, the shared FileSet every position
+// resolves through, and the packages in deterministic (path-sorted) order.
+type Module struct {
+	Path     string
+	Root     string
+	Fset     *token.FileSet
+	Packages []*Package
+
+	byPath map[string]*Package
+}
+
+// Lookup returns the loaded package with the given import path.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// FindModuleRoot walks up from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s has no module line", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load discovers, parses and type-checks every package under the module
+// rooted at dir (the directory holding go.mod, or any directory below it).
+func Load(dir string) (*Module, error) {
+	root, modPath, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	return LoadTree(root, modPath)
+}
+
+// LoadTree loads every package under root as if root were the directory of
+// a module named modPath. Exposed separately so the fixture tests can load
+// testdata trees that deliberately have no go.mod.
+func LoadTree(root, modPath string) (*Module, error) {
+	fset := token.NewFileSet()
+	mod := &Module{Path: modPath, Root: root, Fset: fset, byPath: map[string]*Package{}}
+
+	// Discover: every directory under root holding non-test .go files is a
+	// package. testdata and hidden/underscore directories are skipped, like
+	// the go tool does.
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	// Parse every package up front so import resolution below sees the full
+	// module regardless of discovery order.
+	for _, d := range dirs {
+		pkg, err := parseDir(fset, root, modPath, d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // directory held only excluded files
+		}
+		mod.Packages = append(mod.Packages, pkg)
+		mod.byPath[pkg.Path] = pkg
+	}
+
+	// Type-check in dependency order. Module-local imports resolve to the
+	// just-checked packages; everything else goes to the stdlib source
+	// importer (shared across packages so the stdlib is checked once).
+	imp := &moduleImporter{
+		mod: mod,
+		std: importer.ForCompiler(fset, "source", nil),
+	}
+	checked := map[string]bool{}
+	var check func(p *Package) error
+	check = func(p *Package) error {
+		if checked[p.Path] {
+			return nil
+		}
+		checked[p.Path] = true // pre-mark: import cycles fail in the checker, not here
+		for _, f := range p.Files {
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if dep := mod.byPath[path]; dep != nil {
+					if err := check(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return typeCheck(fset, imp, p)
+	}
+	for _, p := range mod.Packages {
+		if err := check(p); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", p.Path, err)
+		}
+	}
+	return mod, nil
+}
+
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, fset: fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.fileNames = append(pkg.fileNames, full)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	pkg.allows = collectAllows(fset, pkg.Files)
+	return pkg, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, p *Package) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(p.Path, fset, p.Files, info)
+	if tpkg == nil {
+		return err
+	}
+	// Soft errors are recorded on the package; a hard failure without any
+	// recorded detail is the only fatal case.
+	p.Types, p.Info = tpkg, info
+	return nil
+}
+
+// moduleImporter resolves module-local imports to the loader's own checked
+// packages and delegates the rest to the stdlib source importer.
+type moduleImporter struct {
+	mod *Module
+	std types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p := m.mod.byPath[path]; p != nil {
+		if p.Types == nil {
+			return nil, fmt.Errorf("import cycle or unchecked dependency %q", path)
+		}
+		return p.Types, nil
+	}
+	return m.std.Import(path)
+}

@@ -1,0 +1,295 @@
+// lockedio: blocking work — file/network I/O, channel operations, sleeps —
+// performed while a sync.Mutex or sync.RWMutex is held. The two global LRU
+// caches sit on every hot path; a lock held across a syscall turns one slow
+// disk or peer into a convoy that stalls every worker (the latency hazard
+// the ROADMAP's high-QPS item predicts). The analysis is a straight-line
+// scan per block: a x.Lock()/x.RLock() opens a held region that a matching
+// x.Unlock()/x.RUnlock() closes; defer x.Unlock() holds to function end.
+// Function literals are skipped (they run later, possibly without the
+// lock). Sites that hold a lock across blocking work on purpose justify it
+// with //lint:allow lockedio.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockedIO builds the lockedio analyzer.
+func LockedIO() *Analyzer {
+	a := &Analyzer{
+		Name: "lockedio",
+		Doc:  "file/network I/O, channel operation or sleep while a sync.Mutex/RWMutex is held (convoy hazard; justify with //lint:allow)",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		if info == nil {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				lw := &lockWalker{pass: pass, info: info}
+				lw.block(fd.Body, map[string]token.Pos{})
+			}
+		}
+	}
+	return a
+}
+
+type lockWalker struct {
+	pass *Pass
+	info *types.Info
+}
+
+// block scans one statement list with the set of mutexes held on entry
+// (receiver expression -> Lock position). The map is copied per nested
+// block so sibling branches cannot leak state into each other.
+func (lw *lockWalker) block(b *ast.BlockStmt, held map[string]token.Pos) {
+	cur := make(map[string]token.Pos, len(held))
+	for k, v := range held { //lint:allow maprange lock-tracking state, never reaches output
+		cur[k] = v
+	}
+	for _, stmt := range b.List {
+		if recv, kind, ok := lw.lockOp(stmt); ok {
+			switch kind {
+			case "Lock", "RLock":
+				cur[recv] = stmt.Pos()
+			case "Unlock", "RUnlock":
+				delete(cur, recv)
+			}
+			continue
+		}
+		if ds, ok := stmt.(*ast.DeferStmt); ok {
+			// defer x.Unlock() keeps x held to function end — exactly the
+			// pattern the rule is for. The defer itself is not a violation.
+			if _, kind, ok := lw.callOp(ds.Call); ok && strings.HasSuffix(kind, "Unlock") {
+				continue
+			}
+		}
+		if len(cur) > 0 {
+			lw.inspect(stmt, cur)
+		} else {
+			lw.nested(stmt, cur)
+		}
+	}
+}
+
+// nested recurses into compound statements looking for lock regions that
+// open inside them.
+func (lw *lockWalker) nested(stmt ast.Stmt, held map[string]token.Pos) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		lw.block(s, held)
+	case *ast.IfStmt:
+		lw.block(s.Body, held)
+		if s.Else != nil {
+			lw.nested(s.Else, held)
+		}
+	case *ast.ForStmt:
+		lw.block(s.Body, held)
+	case *ast.RangeStmt:
+		lw.block(s.Body, held)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lw.block(&ast.BlockStmt{List: cc.Body}, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lw.block(&ast.BlockStmt{List: cc.Body}, held)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lw.block(&ast.BlockStmt{List: cc.Body}, held)
+			}
+		}
+	case *ast.LabeledStmt:
+		lw.nested(s.Stmt, held)
+	}
+}
+
+// inspect reports every blocking operation in a statement executed under
+// held locks. Function literals and go statements are skipped: their bodies
+// run later (or concurrently), not under these locks.
+func (lw *lockWalker) inspect(stmt ast.Stmt, held map[string]token.Pos) {
+	holders := make([]string, 0, len(held))
+	for r := range held { //lint:allow maprange joined into a sorted message below
+		holders = append(holders, r)
+	}
+	if len(holders) > 1 {
+		// Deterministic message regardless of map order.
+		for i := 1; i < len(holders); i++ {
+			for j := i; j > 0 && holders[j] < holders[j-1]; j-- {
+				holders[j], holders[j-1] = holders[j-1], holders[j]
+			}
+		}
+	}
+	under := strings.Join(holders, ", ")
+
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			lw.pass.Report(x.Pos(), "channel send while holding %s", under)
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				lw.pass.Report(x.Pos(), "channel receive while holding %s", under)
+			}
+			return true
+		case *ast.SelectStmt:
+			lw.pass.Report(x.Pos(), "select while holding %s", under)
+			return true
+		case *ast.CallExpr:
+			if desc, ok := lw.blockingCall(x); ok {
+				lw.pass.Report(x.Pos(), "%s while holding %s", desc, under)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// lockOp matches `x.Lock()` / `x.Unlock()` style expression statements.
+func (lw *lockWalker) lockOp(stmt ast.Stmt) (recv, kind string, ok bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	return lw.callOp(call)
+}
+
+// callOp matches a call to (*sync.Mutex).Lock/Unlock or the RWMutex
+// variants, returning the receiver expression's source form as the region
+// key.
+func (lw *lockWalker) callOp(call *ast.CallExpr) (recv, kind string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection, found := lw.info.Selections[sel]
+	if !found {
+		return "", "", false
+	}
+	if !isSyncMutex(selection.Recv()) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// osIOFuncs is the blocking subset of package os (os.Getenv and friends are
+// the wallclock rule's concern, not a syscall convoy).
+var osIOFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "MkdirTemp": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Link": true, "Symlink": true,
+	"Mkdir": true, "MkdirAll": true, "Stat": true, "Lstat": true,
+	"Truncate": true, "Chmod": true, "Chown": true, "Chtimes": true,
+}
+
+var ioBlockingFuncs = map[string]bool{
+	"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true, "ReadFull": true,
+}
+
+// blockingCall classifies a call as blocking I/O: package-level file and
+// network functions, any method on an os/net/net\/http type, time.Sleep,
+// and fmt.Fprint* to a writer that is not an in-memory buffer.
+func (lw *lockWalker) blockingCall(call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := lw.info.Selections[fun]; ok {
+			// Method call: classify by the receiver's defining package.
+			if pkg := namedTypePkg(selection.Recv()); pkg == "os" || pkg == "net" || pkg == "net/http" {
+				return "call to " + qualify(selection.Obj()) + " method", true
+			}
+			return "", false
+		}
+		obj = lw.info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = lw.info.Uses[fun]
+	default:
+		return "", false
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	name, pkg := obj.Name(), obj.Pkg().Path()
+	switch {
+	case pkg == "os" && osIOFuncs[name]:
+		return "file I/O (os." + name + ")", true
+	case pkg == "net" || pkg == "net/http":
+		return "network I/O (" + qualify(obj) + ")", true
+	case pkg == "io" && ioBlockingFuncs[name]:
+		return "I/O (io." + name + ")", true
+	case pkg == "time" && name == "Sleep":
+		return "time.Sleep", true
+	case pkg == "fmt" && strings.HasPrefix(name, "Fprint") && len(call.Args) > 0:
+		if wt, ok := lw.info.Types[call.Args[0]]; ok && writerMayBlock(wt.Type) {
+			return "fmt." + name + " to a possibly-blocking writer", true
+		}
+	}
+	return "", false
+}
+
+// writerMayBlock reports whether a fmt.Fprint* destination could reach a
+// syscall: interfaces (the static type hides the dynamic writer) and
+// os/net/net\/http types block; in-memory buffers do not.
+func writerMayBlock(t types.Type) bool {
+	switch pkg := namedTypePkg(t); pkg {
+	case "os", "net", "net/http":
+		return true
+	case "bytes", "strings", "bufio":
+		return false
+	}
+	_, isIface := t.Underlying().(*types.Interface)
+	return isIface
+}
+
+// namedTypePkg returns the defining package path of a (possibly pointer-to)
+// named type, or "".
+func namedTypePkg(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}

@@ -1,0 +1,48 @@
+// maprange: range over a map in a deterministic package. Map iteration
+// order is randomized per run, so any ranged map whose iteration order can
+// reach output bytes — emitted rows, aggregated floats, appended slices —
+// is a silent byte-identity violation. The fix is to sort the keys first
+// (see docs/determinism.md); genuinely order-independent folds (counting,
+// min/max, membership tests) carry a //lint:allow maprange with the
+// argument for why order cannot escape.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange builds the maprange analyzer.
+func MapRange() *Analyzer {
+	a := &Analyzer{
+		Name:          "maprange",
+		Doc:           "range over a map in a deterministic package (iteration order is randomized; sort the keys or justify with //lint:allow)",
+		Deterministic: true,
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		if info == nil {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if m, ok := tv.Type.Underlying().(*types.Map); ok {
+					pass.Report(rs.X.Pos(),
+						"range over map %s iterates in randomized order; sort the keys before use",
+						types.TypeString(m, func(p *types.Package) string { return p.Name() }))
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

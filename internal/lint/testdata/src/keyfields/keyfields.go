@@ -1,0 +1,39 @@
+// Fixture for the keyfields rule: a key builder that forgets a field (the
+// catch), a deliberately excluded field (//lint:nonkey), and a waived
+// builder (//lint:allow).
+package keyfields
+
+type opts struct {
+	Width  int
+	Height int
+	// Trace is observability only; it never changes the computed result.
+	//lint:nonkey debug tracing, does not reach the cached value
+	Trace bool
+}
+
+type key struct {
+	w int
+}
+
+// buildKey projects opts into a cache key but forgets Height: two runs
+// differing only in Height would share one cache entry.
+//
+//lint:keyfields opts
+func buildKey(o opts) key { // WANT keyfields
+	return key{w: o.Width}
+}
+
+// completeKey uses every non-exempt field: no finding.
+//
+//lint:keyfields opts
+func completeKey(o opts) [2]int {
+	return [2]int{o.Width, o.Height}
+}
+
+// waivedKey forgets Height too, but carries a waiver.
+//
+//lint:keyfields opts
+//lint:allow keyfields legacy v0 key kept for snapshot compatibility
+func waivedKey(o opts) key {
+	return key{w: o.Width}
+}

@@ -1,0 +1,50 @@
+// Fixture for the lockedio rule: catches (file I/O and a channel send under
+// a held mutex, including through a defer'd unlock), a justified waiver,
+// and the safe patterns the rule must not flag (I/O after Unlock, function
+// literals that run later).
+package lockedio
+
+import (
+	"os"
+	"sync"
+)
+
+type cache struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]string
+	ch    chan string
+}
+
+func (c *cache) persistHeld(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.WriteFile(path, nil, 0o644) // WANT lockedio
+}
+
+func (c *cache) notifyHeld(k string) {
+	c.rw.RLock()
+	v := c.items[k]
+	c.ch <- v // WANT lockedio
+	c.rw.RUnlock()
+}
+
+func (c *cache) persistUnlocked(path string) error {
+	c.mu.Lock()
+	data := c.items["snapshot"]
+	c.mu.Unlock()
+	return os.WriteFile(path, []byte(data), 0o644) // after Unlock: clean
+}
+
+func (c *cache) closureRunsLater() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() { _ = os.Remove("later") } // runs without the lock: clean
+}
+
+func (c *cache) waivedSnapshot(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:allow lockedio cold shutdown path: no concurrent readers exist
+	return os.WriteFile(path, nil, 0o644)
+}

@@ -1,0 +1,20 @@
+// Fixture for the maprange rule: one catch (iteration order escapes into a
+// returned slice) and one justified waiver (order-independent count).
+package maprange
+
+func emitRows(m map[string]int) []string {
+	var out []string
+	for k := range m { // WANT maprange
+		out = append(out, k)
+	}
+	return out // iteration order reaches the caller: the classic violation
+}
+
+func countLive(m map[string]int) int {
+	n := 0
+	//lint:allow maprange order-independent fold: only the count escapes
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+// Fixture for the wallclock rule: one catch (timestamp reaching a result)
+// and one justified waiver (jitter that never reaches output bytes).
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stampedResult() string {
+	return time.Now().Format(time.RFC3339) // WANT wallclock
+}
+
+func backoffJitter(max int64) int64 {
+	//lint:allow wallclock retry jitter: delays never reach output bytes
+	return rand.Int63n(max)
+}

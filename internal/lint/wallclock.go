@@ -1,0 +1,82 @@
+// wallclock: ambient process inputs — wall-clock reads, PRNG draws, pids,
+// environment, CPU counts — referenced inside a deterministic package. A
+// deterministic function's output may depend on its inputs only; anything
+// the process observes about the world it runs in is a hidden input that
+// can reach output bytes (timestamps in emitted rows) or scheduling
+// (time-based eviction changing which cache entry answers). Legitimate
+// sites — fleet backoff jitter, the server's job-TTL janitor and uptime
+// reporting, worker-count defaults that never reach output bytes — carry a
+// //lint:allow wallclock waiver naming the reason, so the full exemption
+// set is one grep away.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ambientFuncs maps package path -> function/var names whose results are
+// ambient inputs. A nil set means the whole package is ambient (math/rand:
+// every draw advances hidden state).
+var ambientFuncs = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true,
+		"Tick": true, "NewTicker": true, "NewTimer": true, "After": true, "AfterFunc": true,
+	},
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+	"crypto/rand":  nil,
+	"os": {
+		"Getpid": true, "Getppid": true, "Hostname": true,
+		"Environ": true, "Getenv": true, "LookupEnv": true,
+	},
+	"runtime": {
+		"NumCPU": true, "NumGoroutine": true,
+	},
+}
+
+// WallClock builds the wallclock analyzer.
+func WallClock() *Analyzer {
+	a := &Analyzer{
+		Name:          "wallclock",
+		Doc:           "wall-clock / PRNG / pid / env / CPU-count read in a deterministic package (ambient input; justify with //lint:allow)",
+		Deterministic: true,
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		if info == nil {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				names, ambient := ambientFuncs[obj.Pkg().Path()]
+				if !ambient {
+					return true
+				}
+				switch obj.(type) {
+				case *types.PkgName:
+					return true // the import itself; uses are flagged individually
+				case *types.TypeName, *types.Const:
+					// Naming rand.Rand in a field type or reading a
+					// constant observes nothing about the process.
+					return true
+				}
+				if names != nil && !names[obj.Name()] {
+					return true
+				}
+				pass.Report(id.Pos(), "%s is an ambient input (hidden state the byte-identity contract excludes)", qualify(obj))
+				return true
+			})
+		}
+	}
+	return a
+}

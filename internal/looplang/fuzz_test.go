@@ -8,22 +8,24 @@ package looplang_test
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/looplang"
 	"repro/internal/workload"
 )
 
-func FuzzParse(f *testing.F) {
-	// Seed with the shipped example programs...
+// fuzzSeeds feeds the shared corpus: the shipped example programs, the
+// canonical form of every suite kernel (so mutations start from realistic
+// deep inputs — carries, scrambled/periodic accesses, FP), and handwritten
+// corners the globs may not cover.
+func fuzzSeeds(f *testing.F) {
 	files, _ := filepath.Glob("../../examples/loops/*.loop")
 	for _, file := range files {
 		if data, err := os.ReadFile(file); err == nil {
 			f.Add(string(data))
 		}
 	}
-	// ...and the canonical form of every suite kernel, so mutations start
-	// from realistic deep inputs (carries, scrambled/periodic accesses, FP).
 	for _, b := range workload.Suite() {
 		for i := range b.Kernels {
 			if src, err := looplang.FormatString(b.Kernels[i].Loop()); err == nil {
@@ -31,10 +33,12 @@ func FuzzParse(f *testing.F) {
 			}
 		}
 	}
-	// Small handwritten corners the globs may not cover.
 	f.Add("loop x 1\n")
 	f.Add("loop x 10\narray a 64 4\nv = load a 0 4 4\ns = int v\ncarry s s 1\nstore a 0 4 4 s\nspecialized\n")
+}
 
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		l, err := looplang.ParseString(src)
 		if err != nil {
@@ -57,6 +61,42 @@ func FuzzParse(f *testing.F) {
 		}
 		if again != canonical {
 			t.Fatalf("canonicalization is not a fixed point\n--- first ---\n%s\n--- second ---\n%s", canonical, again)
+		}
+	})
+}
+
+// FuzzFormatRoundTrip pins the structural half of the canonicalization
+// contract: FuzzParse proves the *bytes* reach a fixed point, this target
+// proves the *IR* does — Parse∘Format must be idempotent on the loop
+// structure itself (the re-parse of the canonical form and the re-parse of
+// its re-format are deeply equal). A formatter that drops or reorders a
+// field would keep the bytes stable per round yet yield structurally
+// different loops, silently changing what the content hash identifies.
+func FuzzFormatRoundTrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := looplang.ParseString(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		canonical, err := looplang.FormatString(l)
+		if err != nil {
+			t.Fatalf("parsed loop does not format: %v\ninput:\n%s", err, src)
+		}
+		back, err := looplang.ParseString(canonical)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ncanonical:\n%s", err, canonical)
+		}
+		second, err := looplang.FormatString(back)
+		if err != nil {
+			t.Fatalf("canonical form does not re-format: %v", err)
+		}
+		back2, err := looplang.ParseString(second)
+		if err != nil {
+			t.Fatalf("second canonical form does not re-parse: %v\ncanonical:\n%s", err, second)
+		}
+		if !reflect.DeepEqual(back, back2) {
+			t.Fatalf("Parse∘Format is not idempotent on the IR\n--- canonical ---\n%s\n--- re-format ---\n%s", canonical, second)
 		}
 	})
 }

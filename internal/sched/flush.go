@@ -66,7 +66,9 @@ func FlushPlan(prev, next *Schedule) []int {
 	}
 	flush := map[int]bool{}
 	if next == nil {
+		//lint:allow maprange order-independent union into a membership set; emission below walks cluster index order
 		for _, cls := range cached {
+			//lint:allow maprange order-independent union into a membership set
 			for c := range cls {
 				flush[c] = true
 			}
@@ -84,6 +86,7 @@ func FlushPlan(prev, next *Schedule) []int {
 			if !touches {
 				continue
 			}
+			//lint:allow maprange order-independent union into a membership set; emission below walks cluster index order
 			for c := range cached[p.Instr.Mem.Array] {
 				flush[c] = true
 			}

@@ -69,6 +69,7 @@ func Pressure(sch *Schedule) RegisterPressure {
 		}
 		u := &sch.Placed[in.ID]
 		birth := u.Cycle + u.Latency
+		//lint:allow maprange addLifetime only increments row counters; commutative, so iteration order cannot change MaxLive
 		for c, death := range lastUse[in.ID] {
 			start := birth
 			if c != u.Cluster {

@@ -55,10 +55,12 @@ type Options struct {
 	// the dependence graph. The distributed-cache baselines use this:
 	// MultiVLIW schedules every load with its local-slice latency, the
 	// word-interleaved heuristics schedule bank-local loads faster.
+	//lint:nonkey per-run callback; harness.cacheable() excludes such runs from memoization entirely
 	LoadLatencyFn func(in *ir.Instr, cluster int) int
 	// PreferredClusterFn, when set, recommends a cluster per memory
 	// instruction (the locality-aware word-interleaved heuristic places
 	// each access in its word's home cluster). −1 means no preference.
+	//lint:nonkey per-run callback; harness.cacheable() excludes such runs from memoization entirely
 	PreferredClusterFn func(in *ir.Instr) int
 }
 

@@ -79,7 +79,7 @@ func (j *job) status() JobStatus {
 		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
 		end := j.finished
 		if end.IsZero() {
-			end = time.Now()
+			end = time.Now() //lint:allow wallclock run_seconds progress field of job status; not a sweep artifact
 		}
 		st.RunSeconds = end.Sub(j.started).Seconds()
 	}
@@ -96,6 +96,7 @@ func (j *job) setRunning(workers int) {
 	j.mu.Lock()
 	j.state = JobRunning
 	j.workers = workers
+	//lint:allow wallclock job lifecycle timestamp for TTL/retention and status; not a sweep artifact
 	j.started = time.Now()
 	j.mu.Unlock()
 }
@@ -106,6 +107,7 @@ func (j *job) finish(state JobState, result []byte, contentType, errMsg string) 
 	j.result = result
 	j.contentType = contentType
 	j.errMsg = errMsg
+	//lint:allow wallclock job lifecycle timestamp for TTL/retention and status; not a sweep artifact
 	j.finished = time.Now()
 	j.mu.Unlock()
 }
@@ -141,6 +143,7 @@ type jobTable struct {
 }
 
 func newJobTable(ttl time.Duration, maxKeep int) *jobTable {
+	//lint:allow wallclock injected clock for job retention; TTL eviction returns 410, it never alters result bytes
 	return &jobTable{jobs: map[string]*job{}, ttl: ttl, maxKeep: maxKeep, now: time.Now}
 }
 

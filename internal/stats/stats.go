@@ -49,8 +49,12 @@ type Table struct {
 // Add appends a row.
 func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// Render writes the table.
-func (t *Table) Render(w io.Writer) {
+// Render writes the table, returning the first write error. Callers that
+// render to real sinks (files, HTTP responses) must check it: a full disk or
+// a closed pipe otherwise truncates the table silently, and a truncated
+// table is a byte-identity violation the smokes' cmp would blame on the
+// wrong layer.
+func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
@@ -63,9 +67,11 @@ func (t *Table) Render(w io.Writer) {
 		}
 	}
 	if t.Title != "" {
-		fmt.Fprintln(w, t.Title)
+		if _, err := fmt.Fprintln(w, t.Title); err != nil {
+			return err
+		}
 	}
-	line := func(cells []string) {
+	line := func(cells []string) error {
 		var b strings.Builder
 		for i, c := range cells {
 			if i > 0 {
@@ -73,23 +79,31 @@ func (t *Table) Render(w io.Writer) {
 			}
 			fmt.Fprintf(&b, "%-*s", widths[i], c)
 		}
-		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
 	}
-	line(t.Header)
+	if err := line(t.Header); err != nil {
+		return err
+	}
 	sep := make([]string, len(t.Header))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
-	line(sep)
-	for _, r := range t.Rows {
-		line(r)
+	if err := line(sep); err != nil {
+		return err
 	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RenderString returns the rendered table as a string.
 func (t *Table) RenderString() string {
 	var b strings.Builder
-	t.Render(&b)
+	_ = t.Render(&b) // a strings.Builder never fails
 	return b.String()
 }
 

@@ -103,24 +103,30 @@ func (r *Recorder) LoopEnd() int64 {
 	return c
 }
 
-// Render writes the recorded events, one per line.
-func (r *Recorder) Render(w io.Writer) {
+// Render writes the recorded events, one per line, returning the first
+// write error.
+func (r *Recorder) Render(w io.Writer) error {
+	var err error
 	for i, e := range r.Events {
 		switch e.Kind {
 		case LoopEnd:
-			fmt.Fprintf(w, "%4d  ----- loop boundary (invalidate) -----\n", i)
+			_, err = fmt.Fprintf(w, "%4d  ----- loop boundary (invalidate) -----\n", i)
 		case Load:
-			fmt.Fprintf(w, "%4d  t=%-6d c%d %-5s addr=%-8d w%d lat=%-3d %v\n",
+			_, err = fmt.Fprintf(w, "%4d  t=%-6d c%d %-5s addr=%-8d w%d lat=%-3d %v\n",
 				i, e.Issue, e.Cluster, e.Kind, e.Addr, e.Width, e.Latency(), e.Hints)
 		case Store:
 			sec := ""
 			if e.Secondary {
 				sec = " (invalidate-only replica)"
 			}
-			fmt.Fprintf(w, "%4d  t=%-6d c%d %-5s addr=%-8d w%d %v%s\n",
+			_, err = fmt.Fprintf(w, "%4d  t=%-6d c%d %-5s addr=%-8d w%d %v%s\n",
 				i, e.Issue, e.Cluster, e.Kind, e.Addr, e.Width, e.Hints, sec)
 		case Prefetch:
-			fmt.Fprintf(w, "%4d  t=%-6d c%d %-5s addr=%-8d\n", i, e.Issue, e.Cluster, e.Kind, e.Addr)
+			_, err = fmt.Fprintf(w, "%4d  t=%-6d c%d %-5s addr=%-8d\n", i, e.Issue, e.Cluster, e.Kind, e.Addr)
+		}
+		if err != nil {
+			return err
 		}
 	}
+	return nil
 }

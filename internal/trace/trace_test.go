@@ -82,7 +82,9 @@ func TestRecorderTransparent(t *testing.T) {
 func TestRenderReadable(t *testing.T) {
 	rec := tracedRun(t, 10)
 	var sb strings.Builder
-	rec.Render(&sb)
+	if err := rec.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
 	out := sb.String()
 	if !strings.Contains(out, "load") || !strings.Contains(out, "addr=") {
 		t.Errorf("render missing fields:\n%s", out)
@@ -104,7 +106,9 @@ func TestRenderCoversAllEventShapes(t *testing.T) {
 	rec.Prefetch(3, 8192, 13)
 	rec.LoopEnd()
 	var sb strings.Builder
-	rec.Render(&sb)
+	if err := rec.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
 	out := sb.String()
 	for _, want := range []string{"load", "store", "invalidate-only replica", "pref", "loop boundary"} {
 		if !strings.Contains(out, want) {
