@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench smoke serve-smoke fleet-smoke kernels-smoke fuzz wirestudy linkcheck
+.PHONY: build test race vet lint bench smoke serve-smoke fleet-smoke kernels-smoke loadbench-smoke fuzz wirestudy linkcheck
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,13 @@ fuzz:
 # path with -local-fallback.
 fleet-smoke:
 	sh scripts/fleet_smoke.sh .fleet-smoke
+
+# loadbench-smoke drives the l0bench load generator selfhost (in-process
+# server): the committed smoke trace in both loop modes, asserting nonzero
+# throughput, zero errors/timeouts, byte-verified grid responses and a
+# byte-stable artifact round trip (l0bench -parse).
+loadbench-smoke:
+	sh scripts/loadbench_smoke.sh .loadbench-smoke
 
 # linkcheck fails on dead relative links in README.md and docs/ (the docs
 # set is part of the contract; a moved file must take its links with it).

@@ -1,0 +1,192 @@
+// Command l0bench replays a declarative workload trace against an l0served
+// instance and reports per-class serving latency: closed-loop (N concurrent
+// clients with think time) or open-loop (target QPS on a deterministic
+// arrival schedule, latency measured from the scheduled arrival so a
+// stalled server inflates the tail instead of thinning the load —
+// coordinated omission, avoided). The trace seed fixes the entire request
+// schedule: re-running a trace replays the identical request sequence, so
+// two artifacts differ only in measured time.
+//
+// Usage:
+//
+//	l0bench -trace file.json (-server URL | -selfhost)
+//	        [-mode closed|open] [-clients N] [-qps R] [-seed N]
+//	        [-warmup dur] [-measure dur] [-o artifact.json]
+//	        [-slo p99=200ms,class.p95=1s] [-q]
+//	l0bench -parse artifact.json
+//
+// -selfhost runs the real server in-process on a loopback listener (the CI
+// smoke path: no daemon to manage, same engine and HTTP surface).
+// -o writes the versioned JSON artifact (the BENCH_*.json serving member);
+// the human table always goes to stdout unless -q. -slo gates the exit
+// status: any violated objective exits 3. -parse re-reads an artifact,
+// verifies it round-trips byte-identically, and renders its table.
+//
+// Trace format, loop modes and the artifact schema are documented in
+// docs/benchmarking.md.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "workload trace JSON (see docs/benchmarking.md)")
+		serverURL = flag.String("server", "", "base URL of a running l0served, e.g. http://127.0.0.1:8723")
+		selfhost  = flag.Bool("selfhost", false, "run the server in-process on a loopback listener instead of -server")
+		workers   = flag.Int("workers", 0, "selfhost worker-slot budget (0 = one per CPU)")
+		mode      = flag.String("mode", "", "override trace mode: closed or open")
+		clients   = flag.Int("clients", 0, "override closed-loop client count")
+		qps       = flag.Float64("qps", 0, "override open-loop arrival rate")
+		seed      = flag.Uint64("seed", 0, "override trace seed (0 keeps the trace's)")
+		warmup    = flag.Duration("warmup", 0, "override warmup phase length")
+		measure   = flag.Duration("measure", 0, "override measure phase length")
+		out       = flag.String("o", "", "write the JSON artifact here")
+		sloSpec   = flag.String("slo", "", "latency objectives, e.g. p99=200ms,grid.p95=1s (exit 3 on violation)")
+		quiet     = flag.Bool("q", false, "suppress the human table")
+		parsePath = flag.String("parse", "", "parse an existing artifact, check its round trip, render its table")
+	)
+	flag.Parse()
+	if err := run(*tracePath, *serverURL, *selfhost, *workers, *mode, *clients, *qps,
+		*seed, *warmup, *measure, *out, *sloSpec, *quiet, *parsePath); err != nil {
+		fmt.Fprintf(os.Stderr, "l0bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, serverURL string, selfhost bool, workers int, mode string,
+	clients int, qps float64, seed uint64, warmup, measure time.Duration,
+	out, sloSpec string, quiet bool, parsePath string) error {
+	if parsePath != "" {
+		return parseArtifact(parsePath, quiet)
+	}
+	if tracePath == "" {
+		return fmt.Errorf("no -trace (and no -parse); see -h")
+	}
+	slos, err := loadgen.ParseSLOs(sloSpec)
+	if err != nil {
+		return err
+	}
+	blob, err := os.ReadFile(tracePath)
+	if err != nil {
+		return err
+	}
+	trace, err := loadgen.ParseTrace(blob)
+	if err != nil {
+		return err
+	}
+	if mode != "" {
+		trace.Mode = mode
+	}
+	if clients > 0 {
+		trace.Clients = clients
+	}
+	if qps > 0 {
+		trace.QPS = qps
+	}
+	if seed != 0 {
+		trace.Seed = seed
+	}
+	if warmup > 0 {
+		trace.Warmup = loadgen.Duration(warmup)
+	}
+	if measure > 0 {
+		trace.Measure = loadgen.Duration(measure)
+	}
+	if err := trace.Validate(); err != nil {
+		return err
+	}
+
+	base := serverURL
+	if selfhost {
+		if serverURL != "" {
+			return fmt.Errorf("-selfhost and -server are mutually exclusive")
+		}
+		srv := server.New(server.Config{WorkerBudget: workers})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Fprintf(os.Stderr, "l0bench: selfhost server on %s\n", base)
+	}
+	if base == "" {
+		return fmt.Errorf("need -server URL or -selfhost")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Options{
+		BaseURL: base,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "l0bench: "+format+"\n", args...)
+		},
+	}, trace)
+	if err != nil {
+		return err
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := loadgen.EncodeReport(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "l0bench: artifact written to %s\n", out)
+	}
+	if !quiet {
+		if err := loadgen.RenderReport(os.Stdout, rep); err != nil {
+			return err
+		}
+	}
+	if violations := rep.CheckSLOs(slos); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "l0bench: %s\n", v)
+		}
+		os.Exit(3)
+	}
+	return nil
+}
+
+// parseArtifact re-reads an artifact, proves the parse round-trips to the
+// identical bytes, and renders the table (the CI smoke's artifact check).
+func parseArtifact(path string, quiet bool) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := loadgen.ParseReport(blob)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := loadgen.EncodeReport(&buf, rep); err != nil {
+		return err
+	}
+	if !bytes.Equal(buf.Bytes(), blob) {
+		return fmt.Errorf("%s does not round-trip byte-identically (re-encode differs: %d vs %d bytes)",
+			path, buf.Len(), len(blob))
+	}
+	if !quiet {
+		return loadgen.RenderReport(os.Stdout, rep)
+	}
+	return nil
+}

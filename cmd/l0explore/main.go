@@ -59,17 +59,17 @@ import (
 // cli carries the parsed flag set (one struct instead of a 15-arg run).
 type cli struct {
 	benches, kernels, clusters, entries, subblock, l1lat string
-	prefetch, regbudget                         string
-	adaptive, markall                           bool
-	workers                                     int
-	shardSpec, format, merge                    string
-	round                                       bool
-	outPath                                     string
-	serverURL                                   string
-	timeout                                     time.Duration
-	cachestats, savecache                       bool
-	schedcap, resultcap                         int
-	schedbytes, resultbytes                     int64
+	prefetch, regbudget                                  string
+	adaptive, markall                                    bool
+	workers                                              int
+	shardSpec, format, merge                             string
+	round                                                bool
+	outPath                                              string
+	serverURL                                            string
+	timeout                                              time.Duration
+	cachestats, savecache                                bool
+	schedcap, resultcap                                  int
+	schedbytes, resultbytes                              int64
 }
 
 func main() {

@@ -51,8 +51,8 @@ import (
 type cli struct {
 	servers                                              string
 	benches, kernels, clusters, entries, subblock, l1lat string
-	prefetch, regbudget                         string
-	adaptive, markall                           bool
+	prefetch, regbudget                                  string
+	adaptive, markall                                    bool
 
 	shards, retries, breaker int
 	timeout, backoff         time.Duration

@@ -167,6 +167,10 @@ func TestFleetChaosSchedulesByteIdentical(t *testing.T) {
 // by its per-request deadline increments the backend's timeout counter.
 func TestFleetTimeoutCounted(t *testing.T) {
 	spec := testSpec()
+	// Warm the shared schedule/result caches so the healthy backend answers
+	// in microseconds: only the deliberately hung backend may ever exceed the
+	// tight RequestTimeout below, even under -race on a loaded single CPU.
+	serialJSON(t, spec)
 	a := NewMockBackend("a", FaultHang, FaultHang, FaultHang, FaultHang)
 	cfg := fastConfig(a, NewMockBackend("b"))
 	cfg.Shards = 2

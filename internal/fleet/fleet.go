@@ -173,7 +173,7 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg:   cfg,
 		sleep: sleepCtx,
 		//lint:allow wallclock backoff jitter seed; retry delays never reach output bytes (results merge by cell index)
-		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	for _, b := range cfg.Backends {
 		if b.Name() == "" {

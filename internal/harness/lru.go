@@ -6,6 +6,21 @@
 // design had (concurrent requests for one key share one fill) and adds
 // recency tracking with entry-count and byte caps.
 //
+// Concurrency design (narrowed in PR 9 after l0bench surfaced the cost of
+// the original single mutex): the hit path — the only operation whose
+// latency concurrent sweeps actually feel — takes no lock at all. Resident
+// entries live in a sync.Map keyed by K; a hit is one lock-free Load plus a
+// non-blocking recency note pushed into a small buffered channel. The mutex
+// guards only the structural state (the recency list, entry/byte ledger,
+// eviction): inserts, charges and cap changes take it, drain the pending
+// recency notes in arrival order, and then evict. Single-flight waiters
+// therefore never serialize behind an eviction walk — under the old design a
+// charge walking the list at cap held every concurrent hit on the same
+// mutex. The cost is that recency is applied lazily (and a note is dropped
+// outright when the buffer is full): eviction order can lag true access
+// order by at most the buffer, which only ever changes *which* entry is
+// recomputed on a future miss — never any output byte.
+//
 // Cap semantics, shared by every layer that configures a cache
 // (SetCacheLimits, the l0served/l0explore flags):
 //
@@ -29,22 +44,40 @@ import (
 )
 
 // lruSlot is one resident cache entry: the key (so eviction can delete the
-// map index), the shared value, and the bytes charged for it.
+// map index), the shared value, and the bytes charged for it. val is written
+// once, before the slot is published; cost only under the structural mutex.
 type lruSlot[K comparable, V any] struct {
 	key  K
 	val  V
 	cost int64
 }
 
-// lruCache is a mutex-guarded LRU with entry and byte caps. The zero value
-// is not usable; build with newLRUCache.
+// recencyBuffer bounds how many unapplied hit notifications are queued; a
+// hit finding it full drops the note (stale recency, never blocking).
+const recencyBuffer = 256
+
+// lruCache is an LRU with entry and byte caps and a lock-free hit path. The
+// zero value is not usable; build with newLRUCache.
 type lruCache[K comparable, V any] struct {
-	mu         sync.Mutex
-	maxEntries int
-	maxBytes   int64
-	ll         *list.List // front = most recently used
-	items      map[K]*list.Element
-	bytes      int64
+	// maxEntries/maxBytes are atomics so the lock-free hit path can check
+	// disabled() without touching mu. Written under mu (setLimits/reset).
+	maxEntries atomic.Int64
+	maxBytes   atomic.Int64
+
+	// items maps K -> *list.Element (whose Value is *lruSlot[K, V]). Reads
+	// are lock-free; stores and deletes happen under mu only.
+	items sync.Map
+
+	// recency carries hit notifications from the lock-free path to the next
+	// mutation, which drains them (in order) before enforcing caps.
+	recency chan *list.Element
+
+	// mu guards the structural state below plus all items writes.
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	count int
+	bytes int64
+
 	// evictable reports whether an entry may be dropped (completed fills
 	// only: evicting an in-flight entry would detach a fill another
 	// goroutine is waiting on and re-admit the key mid-fill).
@@ -53,11 +86,14 @@ type lruCache[K comparable, V any] struct {
 }
 
 func newLRUCache[K comparable, V any](evictable func(V) bool) *lruCache[K, V] {
-	return &lruCache[K, V]{
-		maxEntries: -1, maxBytes: -1,
-		ll: list.New(), items: map[K]*list.Element{},
+	c := &lruCache[K, V]{
+		ll:        list.New(),
+		recency:   make(chan *list.Element, recencyBuffer),
 		evictable: evictable,
 	}
+	c.maxEntries.Store(-1)
+	c.maxBytes.Store(-1)
+	return c
 }
 
 // setLimits installs new caps and immediately evicts down to them. A zero
@@ -65,30 +101,72 @@ func newLRUCache[K comparable, V any](evictable func(V) bool) *lruCache[K, V] {
 func (c *lruCache[K, V]) setLimits(entries int, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.maxEntries, c.maxBytes = entries, bytes
+	c.maxEntries.Store(int64(entries))
+	c.maxBytes.Store(bytes)
+	c.drainRecencyLocked()
 	c.evictOverflow()
 }
 
 // disabled reports whether either cap is zero (the cache stores nothing).
+// Lock-free; the insert path re-checks under mu so a concurrent setLimits(0)
+// can never slip an entry into a disabled cache.
 func (c *lruCache[K, V]) disabled() bool {
-	return c.maxEntries == 0 || c.maxBytes == 0
+	return c.maxEntries.Load() == 0 || c.maxBytes.Load() == 0
+}
+
+// noteUse records a hit's recency without blocking: the note is applied by
+// the next mutation, or dropped if the buffer is full (recency goes a little
+// stale; hits never wait).
+func (c *lruCache[K, V]) noteUse(el *list.Element) {
+	select {
+	case c.recency <- el:
+	default:
+	}
+}
+
+// drainRecencyLocked applies queued hit notifications in arrival order.
+// Caller holds c.mu. A note for an entry evicted in the meantime is a no-op
+// (list.MoveToFront ignores elements no longer in the list).
+func (c *lruCache[K, V]) drainRecencyLocked() {
+	for {
+		select {
+		case el := <-c.recency:
+			c.ll.MoveToFront(el)
+		default:
+			return
+		}
+	}
 }
 
 // getOrCreate returns the entry for k, creating it via mk on first sight.
 // ok=false means the cache is disabled (nothing was stored; run uncached).
 // created=true means this caller owns the fill and must charge() when done.
+// The hit path is lock-free: one sync.Map load plus a buffered recency note.
 func (c *lruCache[K, V]) getOrCreate(k K, mk func() V) (v V, created, ok bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.disabled() {
 		return v, false, false
 	}
-	if el, hit := c.items[k]; hit {
-		c.ll.MoveToFront(el)
-		return el.Value.(*lruSlot[K, V]).val, false, true
+	if el, hit := c.items.Load(k); hit {
+		e := el.(*list.Element)
+		c.noteUse(e)
+		return e.Value.(*lruSlot[K, V]).val, false, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disabled() {
+		return v, false, false // setLimits(0) raced the lock-free check
+	}
+	if el, hit := c.items.Load(k); hit {
+		// Lost the insert race: the other goroutine's entry wins.
+		e := el.(*list.Element)
+		c.ll.MoveToFront(e)
+		return e.Value.(*lruSlot[K, V]).val, false, true
 	}
 	v = mk()
-	c.items[k] = c.ll.PushFront(&lruSlot[K, V]{key: k, val: v})
+	el := c.ll.PushFront(&lruSlot[K, V]{key: k, val: v})
+	c.items.Store(k, el)
+	c.count++
+	c.drainRecencyLocked()
 	c.evictOverflow()
 	return v, true, true
 }
@@ -99,25 +177,29 @@ func (c *lruCache[K, V]) getOrCreate(k K, mk func() V) (v V, created, ok bool) {
 func (c *lruCache[K, V]) charge(k K, cost int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, hit := c.items[k]
+	el, hit := c.items.Load(k)
 	if !hit {
 		return
 	}
-	s := el.Value.(*lruSlot[K, V])
+	s := el.(*list.Element).Value.(*lruSlot[K, V])
 	c.bytes += cost - s.cost
 	s.cost = cost
+	c.drainRecencyLocked()
 	c.evictOverflow()
 }
 
 // evictOverflow drops least-recently-used evictable entries until both caps
-// hold. Caller holds c.mu.
+// hold. Caller holds c.mu. Concurrent hits are not blocked by the walk: a
+// reader that Loads an entry just before its delete keeps the detached slot,
+// exactly the contract in-flight fills already rely on.
 func (c *lruCache[K, V]) evictOverflow() {
+	maxEntries, maxBytes := c.maxEntries.Load(), c.maxBytes.Load()
 	over := func() bool {
 		// A disabled cache (either cap zero) holds nothing, even entries
 		// whose charged cost is still zero.
-		return (c.maxEntries >= 0 && len(c.items) > c.maxEntries) ||
-			(c.maxBytes >= 0 && c.bytes > c.maxBytes) ||
-			(c.disabled() && len(c.items) > 0)
+		return (maxEntries >= 0 && int64(c.count) > maxEntries) ||
+			(maxBytes >= 0 && c.bytes > maxBytes) ||
+			(c.disabled() && c.count > 0)
 	}
 	el := c.ll.Back()
 	for el != nil && over() {
@@ -125,7 +207,8 @@ func (c *lruCache[K, V]) evictOverflow() {
 		s := el.Value.(*lruSlot[K, V])
 		if c.evictable == nil || c.evictable(s.val) {
 			c.ll.Remove(el)
-			delete(c.items, s.key)
+			c.items.Delete(s.key)
+			c.count--
 			c.bytes -= s.cost
 			c.evictions.Add(1)
 		}
@@ -150,7 +233,7 @@ func (c *lruCache[K, V]) each(f func(K, V) bool) {
 func (c *lruCache[K, V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.items)
+	return c.count
 }
 
 func (c *lruCache[K, V]) costBytes() int64 {
@@ -164,9 +247,15 @@ func (c *lruCache[K, V]) costBytes() int64 {
 func (c *lruCache[K, V]) reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.maxEntries, c.maxBytes = -1, -1
+	c.maxEntries.Store(-1)
+	c.maxBytes.Store(-1)
+	c.drainRecencyLocked()
 	c.ll.Init()
-	c.items = map[K]*list.Element{}
+	c.items.Range(func(k, _ any) bool {
+		c.items.Delete(k)
+		return true
+	})
+	c.count = 0
 	c.bytes = 0
 }
 

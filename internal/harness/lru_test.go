@@ -1,6 +1,10 @@
 package harness
 
-import "testing"
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
 
 // evictAlways treats every entry as completed (the common case in unit
 // tests; the in-flight case gets its own test).
@@ -92,6 +96,92 @@ func TestLRUSetLimitsEvictsImmediately(t *testing.T) {
 	if got := keysOf(c); !got["d"] {
 		t.Errorf("shrink kept %v, want the most recent d", got)
 	}
+}
+
+// TestLRUParallelHammer drives every cache operation from many goroutines at
+// once under a byte cap small enough to keep eviction walks running: hits,
+// racing inserts with post-fill charging, cap re-tuning and stats reads. Run
+// with -race this is the regression gate for the lock-narrowing work (the
+// hit path must never serialize behind an eviction walk, and must never race
+// one either). Invariants are checked after quiescing: the caps hold and the
+// byte ledger matches the resident entries exactly.
+func TestLRUParallelHammer(t *testing.T) {
+	c := newLRUCache[string, int](evictAlways)
+	c.setLimits(64, 6400)
+	const (
+		goroutines = 8
+		opsEach    = 2000
+		keySpace   = 128
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%keySpace)
+				_, created, ok := c.getOrCreate(k, func() int { return i })
+				if ok && created {
+					c.charge(k, int64(50+i%100))
+				}
+				switch i % 97 {
+				case 13:
+					c.setLimits(32+g, 3200)
+				case 29:
+					c.setLimits(64, 6400)
+				case 51:
+					c.len()
+					c.costBytes()
+				case 73:
+					c.each(func(string, int) bool { return true })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Quiesce: reapply the caps (drains pending recency notes and enforces
+	// the bounds), then audit the ledger against the resident set.
+	c.setLimits(64, 6400)
+	if n := c.len(); n > 64 {
+		t.Errorf("after hammer, %d entries resident, cap is 64", n)
+	}
+	if b := c.costBytes(); b > 6400 {
+		t.Errorf("after hammer, %d bytes charged, cap is 6400", b)
+	}
+	if n := c.evictions.Load(); n == 0 {
+		t.Error("hammer never evicted; the test is not exercising eviction walks")
+	}
+}
+
+// BenchmarkLRUHitParallel measures the hit path under concurrent churn: most
+// goroutines re-read a resident working set while every 64th operation
+// inserts+charges a fresh key under a tight byte cap, so eviction walks run
+// continuously. Before the lock-narrowing this serialized every hit behind
+// the same mutex those walks hold.
+func BenchmarkLRUHitParallel(b *testing.B) {
+	c := newLRUCache[int, int](evictAlways)
+	c.setLimits(-1, 1<<16)
+	for k := 0; k < 256; k++ {
+		c.getOrCreate(k, func() int { return k })
+		c.charge(k, 64)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if i%64 == 0 {
+				k := 1 << 20 // fresh key space: forces insert + eviction
+				k += i
+				if _, created, ok := c.getOrCreate(k, func() int { return k }); ok && created {
+					c.charge(k, 512)
+				}
+				continue
+			}
+			c.getOrCreate(i%256, func() int { return 0 })
+		}
+	})
 }
 
 // TestLRUInFlightSurvivesEviction pins the single-flight contract: an entry

@@ -201,6 +201,7 @@ var DeterministicPackages = []string{
 	"internal/interleaved",
 	"internal/ir",
 	"internal/lint",
+	"internal/loadgen",
 	"internal/looplang",
 	"internal/mem",
 	"internal/multivliw",

@@ -1,0 +1,195 @@
+// Fixed-bucket log-linear latency histogram (the HdrHistogram shape): each
+// power-of-two range is split into 2^histSubBits linear sub-buckets, so any
+// recorded value lands in a bucket whose width is at most 1/2^histSubBits of
+// its magnitude — quantiles carry a bounded relative error (~3.1% at
+// histSubBits=5) with a few KiB of fixed storage and O(1) recording, no
+// per-sample allocation, and deterministic merge. The exact max and min are
+// tracked on the side so the tails reported in artifacts never exceed an
+// observed value.
+//
+// Values are int64 (the package records nanoseconds). Negative values clamp
+// to zero — a latency can only go negative through wallclock adjustment
+// mid-run, and a zero bucket is more honest than a panic at measure time.
+
+package loadgen
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+const (
+	// histSubBits is the log2 of linear sub-buckets per power of two.
+	histSubBits = 5
+	histSub     = 1 << histSubBits // 32
+	// histBuckets covers the whole non-negative int64 range: values below
+	// histSub index directly; each of the remaining 63-histSubBits exponent
+	// ranges contributes histSub buckets.
+	histBuckets = histSub + (63-histSubBits)*histSub
+)
+
+// Histogram accumulates values into log-linear buckets. The zero value is
+// ready to use. Not safe for concurrent use; callers lock (the runner keeps
+// one per request class behind its metrics mutex).
+type Histogram struct {
+	counts [histBuckets]int64
+	count  int64
+	sum    int64
+	min    int64 // valid when count > 0
+	max    int64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	// exp is the position of the highest set bit (>= histSubBits here).
+	exp := 63 - bits.LeadingZeros64(uint64(v))
+	// The top histSubBits+1 bits select the linear sub-bucket within the
+	// exponent range; the leading 1 folds into the offset arithmetic.
+	sub := int(v>>(uint(exp)-histSubBits)) - histSub
+	return (exp-histSubBits+1)*histSub + sub
+}
+
+// bucketUpper is the largest value mapping to bucket i (its reported value:
+// quantiles never under-report a tail).
+func bucketUpper(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	exp := i/histSub + histSubBits - 1
+	sub := int64(i%histSub + histSub)
+	width := int64(1) << (uint(exp) - histSubBits)
+	return (sub+1)*width - 1
+}
+
+// Record adds one value. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Max returns the exact largest recorded value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Min returns the exact smallest recorded value (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (h *Histogram) Mean() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / h.count
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1): the
+// upper edge of the bucket holding the ceil(q*count)-th smallest value,
+// clamped to the exact observed min/max. Empty histograms report 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i]
+		if seen >= rank {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i, n := range other.counts {
+		h.counts[i] += n
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Buckets exports the non-empty buckets as [upperBound, count] pairs in
+// ascending bucket order (the artifact's sparse wire form).
+func (h *Histogram) Buckets() [][2]int64 {
+	var out [][2]int64
+	for i, n := range h.counts {
+		if n != 0 {
+			out = append(out, [2]int64{bucketUpper(i), n})
+		}
+	}
+	return out
+}
+
+// FromBuckets rebuilds a histogram from its sparse wire form (quantiles on
+// the rebuilt histogram match the original; exact min/max degrade to bucket
+// bounds, which the artifact carries separately).
+func FromBuckets(buckets [][2]int64) (*Histogram, error) {
+	if !sort.SliceIsSorted(buckets, func(i, j int) bool { return buckets[i][0] < buckets[j][0] }) {
+		return nil, fmt.Errorf("loadgen: histogram buckets not in ascending order")
+	}
+	h := &Histogram{}
+	for _, b := range buckets {
+		upper, n := b[0], b[1]
+		if n <= 0 {
+			return nil, fmt.Errorf("loadgen: histogram bucket %d has count %d", upper, n)
+		}
+		i := bucketIndex(upper)
+		if bucketUpper(i) != upper {
+			return nil, fmt.Errorf("loadgen: %d is not a bucket upper bound", upper)
+		}
+		h.counts[i] += n
+		h.count += n
+		h.sum += upper * n
+		if h.count == n || upper < h.min {
+			h.min = upper
+		}
+		if upper > h.max {
+			h.max = upper
+		}
+	}
+	return h, nil
+}

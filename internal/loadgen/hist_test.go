@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"sort"
+	"testing"
+)
+
+// histOracleValues builds a deterministic, skewed sample set spanning six
+// orders of magnitude (splitmix64 draws shaped like a latency distribution:
+// lots of small values, a long tail).
+func histOracleValues(n int) []int64 {
+	vals := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		r := splitmix64(uint64(i) * 0x9e3779b97f4a7c15)
+		v := int64(r % 1_000_000) // bulk: < 1ms
+		if i%50 == 0 {
+			v = int64(r % 500_000_000) // tail: up to 500ms
+		}
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// TestHistogramQuantileOracle checks every reported quantile against the
+// sorted-slice definition: the estimate must be >= the true order statistic
+// and within the log-linear bucket's relative-error bound (1/2^histSubBits,
+// plus one for integer truncation).
+func TestHistogramQuantileOracle(t *testing.T) {
+	vals := histOracleValues(10_000)
+	var h Histogram
+	for _, v := range vals {
+		h.Record(v)
+	}
+	sorted := append([]int64{}, vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0} {
+		rank := int64(q*float64(len(sorted)) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > int64(len(sorted)) {
+			rank = int64(len(sorted))
+		}
+		want := sorted[rank-1]
+		got := h.Quantile(q)
+		if got < want {
+			t.Errorf("Quantile(%v) = %d under-reports the true order statistic %d", q, got, want)
+		}
+		bound := want + want>>histSubBits + 1
+		if got > bound {
+			t.Errorf("Quantile(%v) = %d exceeds error bound %d (true %d)", q, got, bound, want)
+		}
+	}
+	if h.Max() != sorted[len(sorted)-1] {
+		t.Errorf("Max = %d, want exact %d", h.Max(), sorted[len(sorted)-1])
+	}
+	if h.Min() != sorted[0] {
+		t.Errorf("Min = %d, want exact %d", h.Min(), sorted[0])
+	}
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if h.Mean() != sum/int64(len(vals)) {
+		t.Errorf("Mean = %d, want exact %d", h.Mean(), sum/int64(len(vals)))
+	}
+}
+
+// TestBucketIndexInvariants pins the bucket geometry: indices are monotonic
+// in the value, every value is <= its bucket's upper bound, and upper
+// bounds map back to their own bucket (the property FromBuckets relies on).
+func TestBucketIndexInvariants(t *testing.T) {
+	probes := []int64{0, 1, 31, 32, 33, 63, 64, 65, 1023, 1024, 1025, 1 << 20, 1<<40 + 12345}
+	for i := 0; i < 2000; i++ {
+		probes = append(probes, int64(splitmix64(uint64(i))%(uint64(1)<<62)))
+	}
+	prev := -1
+	sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+	for _, v := range probes {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d: not monotonic", v, i, prev)
+		}
+		prev = i
+		if up := bucketUpper(i); up < v {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", i, up, v)
+		}
+		if back := bucketIndex(bucketUpper(i)); back != i {
+			t.Fatalf("bucketUpper(%d) = %d maps back to bucket %d", i, bucketUpper(i), back)
+		}
+	}
+}
+
+// TestHistogramBucketsRoundTrip exports the sparse wire form and rebuilds:
+// counts and every quantile must survive.
+func TestHistogramBucketsRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, v := range histOracleValues(5_000) {
+		h.Record(v)
+	}
+	rebuilt, err := FromBuckets(h.Buckets())
+	if err != nil {
+		t.Fatalf("FromBuckets: %v", err)
+	}
+	if rebuilt.Count() != h.Count() {
+		t.Fatalf("rebuilt count %d, want %d", rebuilt.Count(), h.Count())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		if got, want := rebuilt.Quantile(q), h.Quantile(q); got != want {
+			t.Errorf("rebuilt Quantile(%v) = %d, want %d", q, got, want)
+		}
+	}
+	if _, err := FromBuckets([][2]int64{{100, 2}, {50, 1}}); err == nil {
+		t.Error("FromBuckets accepted out-of-order buckets")
+	}
+	if _, err := FromBuckets([][2]int64{{64, 1}}); err == nil {
+		t.Error("FromBuckets accepted a non-boundary upper bound")
+	}
+	if _, err := FromBuckets([][2]int64{{32, 0}}); err == nil {
+		t.Error("FromBuckets accepted a zero count")
+	}
+}
+
+// TestHistogramMerge checks that merging equals recording the union.
+func TestHistogramMerge(t *testing.T) {
+	vals := histOracleValues(4_000)
+	var a, b, union Histogram
+	for i, v := range vals {
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		union.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != union.Count() || a.Max() != union.Max() || a.Min() != union.Min() || a.Mean() != union.Mean() {
+		t.Fatalf("merge digest (n=%d max=%d min=%d mean=%d) != union (n=%d max=%d min=%d mean=%d)",
+			a.Count(), a.Max(), a.Min(), a.Mean(), union.Count(), union.Max(), union.Min(), union.Mean())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Quantile(q) != union.Quantile(q) {
+			t.Errorf("merge Quantile(%v) = %d, union %d", q, a.Quantile(q), union.Quantile(q))
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// The run artifact: a versioned JSON report (the BENCH_*.json trajectory's
+// serving member), a strict parser for round-trip checking, a human table,
+// and the SLO gate. The report embeds the trace that produced it, so an
+// artifact is self-describing and replayable; server counter snapshots are
+// kept as raw JSON so re-encoding an artifact preserves them byte-for-byte.
+
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// ReportVersion is the artifact schema version.
+const ReportVersion = 1
+
+// LatencySummary is one class's quantile digest, in nanoseconds. Quantiles
+// come from the log-linear histogram (bounded relative error); Max and Mean
+// are exact.
+type LatencySummary struct {
+	P50  int64 `json:"p50_ns"`
+	P95  int64 `json:"p95_ns"`
+	P99  int64 `json:"p99_ns"`
+	P999 int64 `json:"p999_ns"`
+	Max  int64 `json:"max_ns"`
+	Mean int64 `json:"mean_ns"`
+}
+
+func summarize(h *Histogram) LatencySummary {
+	return LatencySummary{
+		P50:  h.Quantile(0.50),
+		P95:  h.Quantile(0.95),
+		P99:  h.Quantile(0.99),
+		P999: h.Quantile(0.999),
+		Max:  h.Max(),
+		Mean: h.Mean(),
+	}
+}
+
+// ClassReport is one request class's measured outcome. Requests counts
+// every measure-phase completion (successes + errors + timeouts); the
+// latency digest covers successes only.
+type ClassReport struct {
+	Name           string         `json:"name"`
+	Requests       int64          `json:"requests"`
+	Errors         int64          `json:"errors"`
+	Timeouts       int64          `json:"timeouts"`
+	VerifyFailures int64          `json:"verify_failures,omitempty"`
+	WarmupRequests int64          `json:"warmup_requests"`
+	ThroughputRPS  float64        `json:"throughput_rps"`
+	Latency        LatencySummary `json:"latency_ns"`
+	// Buckets is the sparse histogram ([upper_ns, count] pairs) so an
+	// artifact consumer can recompute any quantile (FromBuckets).
+	Buckets  [][2]int64 `json:"buckets,omitempty"`
+	FirstErr string     `json:"first_error,omitempty"`
+}
+
+// Report is the full artifact.
+type Report struct {
+	Version int    `json:"version"`
+	Tool    string `json:"tool"` // "l0bench"
+	Trace   *Trace `json:"trace"`
+	// StartedAt/WallSeconds are measurement metadata (when and how long
+	// the run really took), not part of any determinism contract.
+	StartedAt      string  `json:"started_at"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	MeasureSeconds float64 `json:"measure_seconds"`
+	// Totals are duplicated at top level so shell pipelines can pull them
+	// with one grep/sed, mirroring the other smoke scripts.
+	TotalRequests int64         `json:"total_requests"`
+	TotalErrors   int64         `json:"total_errors"`
+	TotalTimeouts int64         `json:"total_timeouts"`
+	ThroughputRPS float64       `json:"throughput_rps"`
+	Total         ClassReport   `json:"total"`
+	Classes       []ClassReport `json:"classes"`
+	// Server counter snapshots (/v1/cachestats) at the measure boundary
+	// and after drain; raw so re-encoding preserves them.
+	ServerBefore json.RawMessage `json:"server_before,omitempty"`
+	ServerAfter  json.RawMessage `json:"server_after,omitempty"`
+}
+
+// report assembles the artifact from the accumulated metrics.
+func (r *runner) report(start, measureStart, drained time.Time, before, after json.RawMessage) *Report {
+	measureSec := time.Duration(r.t.Measure).Seconds()
+	rep := &Report{
+		Version:        ReportVersion,
+		Tool:           "l0bench",
+		Trace:          r.t,
+		StartedAt:      start.UTC().Format(time.RFC3339Nano),
+		WallSeconds:    drained.Sub(start).Seconds(),
+		MeasureSeconds: measureSec,
+		ServerBefore:   before,
+		ServerAfter:    after,
+	}
+	var total classMetrics
+	r.m.mu.Lock()
+	defer r.m.mu.Unlock()
+	for i := range r.m.classes {
+		c := &r.m.classes[i]
+		rep.Classes = append(rep.Classes, classReport(r.t.Classes[i].Name, c, measureSec))
+		total.warmup += c.warmup
+		total.errors += c.errors
+		total.timeouts += c.timeouts
+		total.verify += c.verify
+		total.hist.Merge(&c.hist)
+		if total.firstErr == "" {
+			total.firstErr = c.firstErr
+		}
+	}
+	rep.Total = classReport("total", &total, measureSec)
+	rep.TotalRequests = rep.Total.Requests
+	rep.TotalErrors = rep.Total.Errors
+	rep.TotalTimeouts = rep.Total.Timeouts
+	rep.ThroughputRPS = rep.Total.ThroughputRPS
+	return rep
+}
+
+func classReport(name string, c *classMetrics, measureSec float64) ClassReport {
+	ok := c.hist.Count()
+	cr := ClassReport{
+		Name:           name,
+		Requests:       ok + c.errors + c.timeouts,
+		Errors:         c.errors,
+		Timeouts:       c.timeouts,
+		VerifyFailures: c.verify,
+		WarmupRequests: c.warmup,
+		Latency:        summarize(&c.hist),
+		Buckets:        c.hist.Buckets(),
+		FirstErr:       c.firstErr,
+	}
+	if measureSec > 0 {
+		cr.ThroughputRPS = float64(ok) / measureSec
+	}
+	return cr
+}
+
+// EncodeReport writes the artifact as indented JSON with a trailing
+// newline.
+func EncodeReport(w io.Writer, r *Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ParseReport decodes an artifact strictly: unknown fields and version
+// mismatches are errors, so a drifted schema fails loudly in CI instead of
+// reading as zeros.
+func ParseReport(data []byte) (*Report, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("loadgen: parse report: %v", err)
+	}
+	if r.Version != ReportVersion {
+		return nil, fmt.Errorf("loadgen: report version %d, this build reads %d", r.Version, ReportVersion)
+	}
+	if r.Tool != "l0bench" {
+		return nil, fmt.Errorf("loadgen: artifact tool %q is not an l0bench report", r.Tool)
+	}
+	return &r, nil
+}
+
+// fmtNS renders nanoseconds as a rounded duration for the table.
+func fmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// RenderReport writes the human table.
+func RenderReport(w io.Writer, r *Report) error {
+	t := r.Trace
+	var intensity string
+	if t.Mode == ModeClosed {
+		intensity = fmt.Sprintf("%d clients, think %s", t.Clients, time.Duration(t.Think))
+	} else {
+		intensity = fmt.Sprintf("%.1f qps", t.QPS)
+	}
+	if _, err := fmt.Fprintf(w,
+		"trace %s: %s loop (%s), measured %.1fs of %.1fs wall\n"+
+			"requests %d  throughput %.2f rps  errors %d  timeouts %d\n\n",
+		t.Name, t.Mode, intensity, r.MeasureSeconds, r.WallSeconds,
+		r.TotalRequests, r.ThroughputRPS, r.TotalErrors, r.TotalTimeouts); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %8s %8s %5s %5s %10s %10s %10s %10s %10s\n",
+		"class", "requests", "rps", "err", "t/o", "p50", "p95", "p99", "p999", "max"); err != nil {
+		return err
+	}
+	rows := append(append([]ClassReport{}, r.Classes...), r.Total)
+	for _, c := range rows {
+		if _, err := fmt.Fprintf(w, "%-16s %8d %8.2f %5d %5d %10s %10s %10s %10s %10s\n",
+			c.Name, c.Requests, c.ThroughputRPS, c.Errors, c.Timeouts,
+			fmtNS(c.Latency.P50), fmtNS(c.Latency.P95), fmtNS(c.Latency.P99),
+			fmtNS(c.Latency.P999), fmtNS(c.Latency.Max)); err != nil {
+			return err
+		}
+	}
+	for _, c := range rows {
+		if c.FirstErr != "" {
+			if _, err := fmt.Fprintf(w, "\nfirst error (%s): %s\n", c.Name, c.FirstErr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SLO is one latency objective: a quantile of a class (empty class or
+// "total" means the aggregate) must not exceed Limit.
+type SLO struct {
+	Class    string
+	Quantile string // p50 | p95 | p99 | p999 | max | mean
+	Limit    Duration
+}
+
+// ParseSLOs parses a comma-separated flag value like
+// "p99=200ms,grid78.p95=1s" (bare quantile applies to the total).
+func ParseSLOs(s string) ([]SLO, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []SLO
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		lhs, rhs, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: SLO %q: want quantile=duration", part)
+		}
+		slo := SLO{Quantile: lhs}
+		if class, q, ok := strings.Cut(lhs, "."); ok {
+			slo.Class, slo.Quantile = class, q
+		}
+		switch slo.Quantile {
+		case "p50", "p95", "p99", "p999", "max", "mean":
+		default:
+			return nil, fmt.Errorf("loadgen: SLO %q: unknown quantile %q", part, slo.Quantile)
+		}
+		d, err := time.ParseDuration(rhs)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("loadgen: SLO %q: bad duration %q", part, rhs)
+		}
+		slo.Limit = Duration(d)
+		out = append(out, slo)
+	}
+	return out, nil
+}
+
+// quantileNS pulls the named quantile from a summary.
+func (l LatencySummary) quantileNS(q string) int64 {
+	switch q {
+	case "p50":
+		return l.P50
+	case "p95":
+		return l.P95
+	case "p99":
+		return l.P99
+	case "p999":
+		return l.P999
+	case "max":
+		return l.Max
+	case "mean":
+		return l.Mean
+	}
+	return 0
+}
+
+// CheckSLOs evaluates every objective against the report and returns one
+// violation line per miss (empty means all met).
+func (r *Report) CheckSLOs(slos []SLO) []string {
+	var out []string
+	for _, slo := range slos {
+		name := slo.Class
+		if name == "" {
+			name = "total"
+		}
+		var sum *LatencySummary
+		if name == "total" {
+			sum = &r.Total.Latency
+		} else {
+			for i := range r.Classes {
+				if r.Classes[i].Name == name {
+					sum = &r.Classes[i].Latency
+					break
+				}
+			}
+		}
+		if sum == nil {
+			out = append(out, fmt.Sprintf("SLO %s.%s: no such class in report", name, slo.Quantile))
+			continue
+		}
+		got := sum.quantileNS(slo.Quantile)
+		if got > int64(slo.Limit) {
+			out = append(out, fmt.Sprintf("SLO %s.%s: %s > limit %s",
+				name, slo.Quantile, fmtNS(got), time.Duration(slo.Limit)))
+		}
+	}
+	return out
+}

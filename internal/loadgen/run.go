@@ -1,0 +1,407 @@
+// The load runner: drives a validated Trace against a server base URL in
+// closed- or open-loop mode, classifies every request into warmup or
+// measure by its (scheduled) start instant, and folds measured latencies
+// into per-class histograms.
+//
+// Open loop is coordinated-omission-safe: request #i's latency is measured
+// from its *scheduled* arrival instant (start + i/qps), not from whenever
+// the dispatcher actually got around to sending it — a stalled server
+// therefore inflates the recorded tail instead of silently thinning the
+// arrival stream. Closed loop measures from the actual send, which is the
+// correct definition there (each client genuinely waits for its response).
+//
+// Wallclock discipline: the schedule is pure arithmetic (trace.go); the
+// only time.Now in the package is now() below, used strictly at measurement
+// edges — run origin, per-request timestamps, phase classification. None of
+// it reaches sweep output bytes; the server responses a run fetches are
+// byte-identical to a direct serial run (Verify classes check exactly
+// that).
+
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+// now is the package's single wallclock read: run origin, request
+// timestamps and phase boundaries.
+func now() time.Time {
+	return time.Now() //lint:allow wallclock latency measurement edge; never feeds the request schedule or any sweep output byte
+}
+
+// Options configures a run.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests. Per-request deadlines come from the
+	// trace's Timeout via context, so the client itself needs no timeout.
+	// Defaults to a plain &http.Client{}.
+	Client *http.Client
+	// Logf, when set, receives progress lines (the CLI wires stderr).
+	Logf func(format string, args ...any)
+}
+
+// errTimeout marks a request that exceeded the trace's per-request timeout.
+var errTimeout = errors.New("request timeout")
+
+// classMetrics accumulates one class's outcomes. Warmup requests only
+// count; measured successes land in the histogram, measured failures in the
+// error/timeout counters.
+type classMetrics struct {
+	warmup   int64
+	hist     Histogram
+	errors   int64
+	timeouts int64
+	verify   int64 // verify_failures (counted within errors as well)
+	firstErr string
+}
+
+type metrics struct {
+	mu      sync.Mutex
+	classes []classMetrics
+}
+
+func (m *metrics) record(cls int, measured bool, lat time.Duration, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &m.classes[cls]
+	if !measured {
+		c.warmup++
+		return
+	}
+	switch {
+	case err == nil:
+		c.hist.Record(lat.Nanoseconds())
+	case errors.Is(err, errTimeout):
+		c.timeouts++
+	default:
+		c.errors++
+		if errors.Is(err, errVerify) {
+			c.verify++
+		}
+		if c.firstErr == "" {
+			c.firstErr = err.Error()
+		}
+	}
+}
+
+var errVerify = errors.New("verify mismatch")
+
+// runner is the per-run state: the trace, prebuilt request bodies and
+// verify oracles, and the metrics sink.
+type runner struct {
+	t       *Trace
+	opts    Options
+	client  *http.Client
+	m       metrics
+	body    [][]byte // per class: prebuilt JSON body (explore/run classes)
+	expect  [][]byte // per class: local serial sweep bytes (verify classes)
+	baseURL string
+}
+
+// Run executes the trace and returns its report. ctx cancellation stops the
+// run early (the report covers what completed).
+func Run(ctx context.Context, opts Options, t *Trace) (*Report, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{
+		t:       t,
+		opts:    opts,
+		client:  opts.Client,
+		baseURL: strings.TrimSuffix(opts.BaseURL, "/"),
+	}
+	if r.client == nil {
+		r.client = &http.Client{}
+	}
+	if r.baseURL == "" {
+		return nil, fmt.Errorf("loadgen: no server base URL")
+	}
+	r.m.classes = make([]classMetrics, len(t.Classes))
+	if err := r.prepare(ctx); err != nil {
+		return nil, err
+	}
+
+	start := now()
+	measureStart := start.Add(time.Duration(t.Warmup))
+	end := measureStart.Add(time.Duration(t.Measure))
+	r.logf("trace %s: %s loop, warmup %s, measure %s", t.Name, t.Mode,
+		time.Duration(t.Warmup), time.Duration(t.Measure))
+
+	// Server-side counters at the measure boundary: a goroutine sleeps to
+	// the warmup edge and snapshots /v1/cachestats; the closing snapshot is
+	// taken after the run drains. Snapshot failures leave the field empty
+	// rather than failing the run (the latency data is still good).
+	beforeCh := make(chan json.RawMessage, 1)
+	go func() {
+		if d := measureStart.Sub(now()); d > 0 {
+			time.Sleep(d)
+		}
+		b, err := r.get(ctx, "/v1/cachestats")
+		if err != nil {
+			b = nil
+		}
+		beforeCh <- b
+	}()
+
+	switch t.Mode {
+	case ModeClosed:
+		r.runClosed(ctx, measureStart, end)
+	case ModeOpen:
+		r.runOpen(ctx, start, measureStart, end)
+	}
+	drained := now()
+	before := <-beforeCh
+	after, err := r.get(ctx, "/v1/cachestats")
+	if err != nil {
+		after = nil
+	}
+	return r.report(start, measureStart, drained, before, after), nil
+}
+
+// prepare marshals each class's fixed request body once and, for Verify
+// classes, computes the byte oracle with a direct serial in-process sweep —
+// the same engine the server calls, Workers and sharding left at their
+// serial defaults.
+func (r *runner) prepare(ctx context.Context) error {
+	t := r.t
+	r.body = make([][]byte, len(t.Classes))
+	r.expect = make([][]byte, len(t.Classes))
+	for i := range t.Classes {
+		c := &t.Classes[i]
+		switch {
+		case c.Explore != nil:
+			req := *c.Explore
+			req.Format = "json"
+			req.Async = c.Async
+			b, err := json.Marshal(&req)
+			if err != nil {
+				return fmt.Errorf("loadgen: class %q: %v", c.Name, err)
+			}
+			r.body[i] = b
+			if c.Verify {
+				res, err := harness.ExploreCfg(harness.RunConfig{Ctx: ctx}, c.Explore.Spec(), 0, 1)
+				if err != nil {
+					return fmt.Errorf("loadgen: class %q verify oracle: %v", c.Name, err)
+				}
+				var buf bytes.Buffer
+				if err := harness.WriteExploreJSON(&buf, res); err != nil {
+					return fmt.Errorf("loadgen: class %q verify oracle: %v", c.Name, err)
+				}
+				r.expect[i] = buf.Bytes()
+			}
+		case c.Run != nil:
+			b, err := json.Marshal(c.Run)
+			if err != nil {
+				return fmt.Errorf("loadgen: class %q: %v", c.Name, err)
+			}
+			r.body[i] = b
+		}
+	}
+	return nil
+}
+
+// runClosed drives Clients concurrent loops: each client issues its own
+// deterministic request sequence (stream = client index + 1), waits for the
+// response, optionally thinks, and stops at the end of the measure phase.
+func (r *runner) runClosed(ctx context.Context, measureStart, end time.Time) {
+	var wg sync.WaitGroup
+	for c := 0; c < r.t.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			stream := uint64(client + 1)
+			for seq := uint64(0); ; seq++ {
+				t0 := now()
+				if !t0.Before(end) || ctx.Err() != nil {
+					return
+				}
+				cls := r.t.classAt(stream, seq)
+				err := r.execute(ctx, cls, stream, seq)
+				lat := now().Sub(t0)
+				r.m.record(cls, !t0.Before(measureStart), lat, err)
+				if think := time.Duration(r.t.Think); think > 0 {
+					time.Sleep(think)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// runOpen dispatches request #i at start+i/qps regardless of how many are
+// still outstanding, and measures each latency from that scheduled instant.
+func (r *runner) runOpen(ctx context.Context, start, measureStart, end time.Time) {
+	dur := end.Sub(start)
+	total := int64(dur.Seconds()*r.t.QPS) + 1
+	for total > 0 && arrivalOffset(total-1, r.t.QPS) >= dur {
+		total--
+	}
+	var wg sync.WaitGroup
+	for i := int64(0); i < total; i++ {
+		target := start.Add(arrivalOffset(i, r.t.QPS))
+		if d := target.Sub(now()); d > 0 {
+			time.Sleep(d)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(i int64, target time.Time) {
+			defer wg.Done()
+			cls := r.t.classAt(0, uint64(i))
+			err := r.execute(ctx, cls, 0, uint64(i))
+			lat := now().Sub(target)
+			r.m.record(cls, !target.Before(measureStart), lat, err)
+		}(i, target)
+	}
+	wg.Wait()
+}
+
+// execute issues one request of the given class and returns its outcome.
+func (r *runner) execute(ctx context.Context, cls int, stream, seq uint64) error {
+	rctx, cancel := context.WithTimeout(ctx, time.Duration(r.t.Timeout))
+	defer cancel()
+	c := &r.t.Classes[cls]
+	var err error
+	switch {
+	case c.Explore != nil && !c.Async:
+		var body []byte
+		body, err = r.post(rctx, "/v1/explore", "application/json", r.body[cls])
+		if err == nil && c.Verify && !bytes.Equal(body, r.expect[cls]) {
+			err = fmt.Errorf("%w: class %q response differs from direct serial run (%d vs %d bytes)",
+				errVerify, c.Name, len(body), len(r.expect[cls]))
+		}
+	case c.Explore != nil:
+		err = r.executeAsync(rctx, cls)
+	case c.Run != nil:
+		_, err = r.post(rctx, "/v1/run", "application/json", r.body[cls])
+	case c.Kernel != nil:
+		err = r.executeKernel(rctx, cls, stream, seq)
+	}
+	if err != nil && rctx.Err() != nil && ctx.Err() == nil {
+		return fmt.Errorf("%w: %v", errTimeout, err)
+	}
+	return err
+}
+
+// executeAsync submits the explore as a job and polls it to completion; the
+// caller's latency covers submit through result fetch.
+func (r *runner) executeAsync(ctx context.Context, cls int) error {
+	c := &r.t.Classes[cls]
+	body, err := r.post(ctx, "/v1/explore", "application/json", r.body[cls])
+	if err != nil {
+		return err
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("parse job status: %v", err)
+	}
+	for {
+		switch st.State {
+		case server.JobDone:
+			_, err := r.get(ctx, st.ResultURL)
+			return err
+		case server.JobFailed, server.JobCanceled:
+			return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		time.Sleep(time.Duration(c.Poll))
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		body, err = r.get(ctx, "/v1/jobs/"+st.ID)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("parse job status: %v", err)
+		}
+	}
+}
+
+// executeKernel registers the class's (possibly fresh) kernel source and
+// sweeps it; the latency covers both calls — the full "user submits a new
+// loop" round trip.
+func (r *runner) executeKernel(ctx context.Context, cls int, stream, seq uint64) error {
+	c := &r.t.Classes[cls]
+	src := r.t.kernelSource(cls, stream, seq)
+	body, err := r.post(ctx, "/v1/kernels", "text/plain; charset=utf-8", []byte(src))
+	if err != nil {
+		return err
+	}
+	var reg struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &reg); err != nil || reg.ID == "" {
+		return fmt.Errorf("parse kernel registration: %v", err)
+	}
+	req := server.ExploreRequest{
+		Kernels:  []string{reg.ID},
+		Clusters: c.Kernel.Clusters,
+		Entries:  c.Kernel.Entries,
+		Format:   "json",
+	}
+	b, err := json.Marshal(&req)
+	if err != nil {
+		return err
+	}
+	_, err = r.post(ctx, "/v1/explore", "application/json", b)
+	return err
+}
+
+// post issues a POST and returns the response body; any status >= 400 is an
+// error carrying a body excerpt.
+func (r *runner) post(ctx context.Context, path, ctype string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", ctype)
+	return r.do(req)
+}
+
+func (r *runner) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.baseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return r.do(req)
+}
+
+func (r *runner) do(req *http.Request) ([]byte, error) {
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		excerpt := string(body)
+		if len(excerpt) > 200 {
+			excerpt = excerpt[:200] + "..."
+		}
+		return nil, fmt.Errorf("%s %s: HTTP %d: %s", req.Method, req.URL.Path, resp.StatusCode, strings.TrimSpace(excerpt))
+	}
+	return body, nil
+}
+
+func (r *runner) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}

@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// newBenchServer stands up the real server on an in-process listener (the
+// same engine l0served wires; CI needs no external process).
+func newBenchServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := server.New(server.Config{WorkerBudget: 2, MaxConcurrent: 4})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunClosedLoop drives a short closed-loop mix — a verified sync grid,
+// a point query and a hot kernel round trip — and checks the artifact: no
+// errors, every class measured, byte-stable encode/parse/encode round trip,
+// and the table renderer mentioning every class.
+func TestRunClosedLoop(t *testing.T) {
+	ts := newBenchServer(t)
+	tr, err := ParseTrace([]byte(`{
+	  "name": "closed-e2e",
+	  "seed": 7,
+	  "mode": "closed",
+	  "clients": 2,
+	  "warmup": "100ms",
+	  "measure": "500ms",
+	  "classes": [
+	    {"name": "grid", "weight": 2, "verify": true,
+	     "explore": {"benches": ["gsmdec"], "clusters": [4], "entries": [4, 8]}},
+	    {"name": "point", "run": {"bench": "gsmdec"}},
+	    {"name": "hot", "kernel": {}}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	rep, err := Run(context.Background(), Options{BaseURL: ts.URL}, tr)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TotalErrors != 0 || rep.TotalTimeouts != 0 {
+		t.Fatalf("errors=%d timeouts=%d (first: %s)", rep.TotalErrors, rep.TotalTimeouts, rep.Total.FirstErr)
+	}
+	if rep.TotalRequests == 0 || rep.ThroughputRPS <= 0 {
+		t.Fatalf("no measured throughput: %d requests, %.2f rps", rep.TotalRequests, rep.ThroughputRPS)
+	}
+	if rep.Total.VerifyFailures != 0 {
+		t.Fatalf("verify failures: %d", rep.Total.VerifyFailures)
+	}
+	if len(rep.Classes) != 3 {
+		t.Fatalf("report has %d classes, want 3", len(rep.Classes))
+	}
+	if rep.Total.Latency.P50 <= 0 || rep.Total.Latency.Max < rep.Total.Latency.P50 {
+		t.Errorf("implausible latency digest: %+v", rep.Total.Latency)
+	}
+	if len(rep.ServerBefore) == 0 || len(rep.ServerAfter) == 0 {
+		t.Errorf("server counter snapshots missing (before=%d after=%d bytes)",
+			len(rep.ServerBefore), len(rep.ServerAfter))
+	}
+
+	// Artifact round trip: encode -> parse -> encode must be byte-stable.
+	var enc1 bytes.Buffer
+	if err := EncodeReport(&enc1, rep); err != nil {
+		t.Fatalf("EncodeReport: %v", err)
+	}
+	parsed, err := ParseReport(enc1.Bytes())
+	if err != nil {
+		t.Fatalf("ParseReport: %v", err)
+	}
+	var enc2 bytes.Buffer
+	if err := EncodeReport(&enc2, parsed); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+		t.Error("artifact round trip is not byte-stable")
+	}
+
+	var table strings.Builder
+	if err := RenderReport(&table, rep); err != nil {
+		t.Fatalf("RenderReport: %v", err)
+	}
+	for _, want := range []string{"grid", "point", "hot", "total", "p99"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, table.String())
+		}
+	}
+}
+
+// TestRunOpenLoop drives the open-loop scheduler with an async job class
+// and a fresh (cold) kernel class: arrivals are paced, latencies measured
+// from the scheduled instants, and nothing errors.
+func TestRunOpenLoop(t *testing.T) {
+	ts := newBenchServer(t)
+	tr, err := ParseTrace([]byte(`{
+	  "name": "open-e2e",
+	  "seed": 11,
+	  "mode": "open",
+	  "qps": 40,
+	  "warmup": "100ms",
+	  "measure": "400ms",
+	  "classes": [
+	    {"name": "job", "async": true, "poll": "5ms",
+	     "explore": {"benches": ["gsmdec"], "clusters": [4], "entries": [4]}},
+	    {"name": "cold", "kernel": {"fresh": true, "clusters": [4], "entries": [4]}}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	rep, err := Run(context.Background(), Options{BaseURL: ts.URL}, tr)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TotalErrors != 0 || rep.TotalTimeouts != 0 {
+		t.Fatalf("errors=%d timeouts=%d (first: %s)", rep.TotalErrors, rep.TotalTimeouts, rep.Total.FirstErr)
+	}
+	// 400ms of measure at 40 qps schedules ~16 arrivals; allow scheduler
+	// slack but require a real stream.
+	if rep.TotalRequests < 8 {
+		t.Fatalf("open loop measured only %d requests", rep.TotalRequests)
+	}
+	for _, c := range rep.Classes {
+		if c.Requests+c.WarmupRequests == 0 {
+			t.Errorf("class %q never ran", c.Name)
+		}
+	}
+}
+
+// TestRunReportsServerErrors: a class whose requests fail (unknown
+// benchmark) must surface as error counts, not break the run.
+func TestRunReportsServerErrors(t *testing.T) {
+	ts := newBenchServer(t)
+	tr, err := ParseTrace([]byte(`{
+	  "name": "errors",
+	  "seed": 3,
+	  "mode": "closed",
+	  "clients": 1,
+	  "measure": "200ms",
+	  "classes": [
+	    {"name": "bad", "run": {"bench": "no-such-bench"}}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	rep, err := Run(context.Background(), Options{BaseURL: ts.URL}, tr)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TotalErrors == 0 {
+		t.Fatal("unknown benchmark produced no error counts")
+	}
+	if !strings.Contains(rep.Total.FirstErr, "no-such-bench") {
+		t.Errorf("first error %q does not name the bad benchmark", rep.Total.FirstErr)
+	}
+}

@@ -1,0 +1,294 @@
+// Declarative workload traces. A trace names a loop mode (closed or open),
+// its intensity knobs, warmup/measure phase lengths and a weighted mix of
+// request classes over the l0served surface: sync/async /v1/explore sweeps,
+// /v1/run point queries, and kernel-registration+sweep round trips whose
+// hot/cold split comes from repeating one source vs generating a fresh one
+// per request.
+//
+// Everything schedule-shaped is derived from the trace seed with splitmix64
+// — which class request #seq of stream #s issues, which generated kernel it
+// registers, and (open loop) the arrival instant of request #i as pure
+// arithmetic on i. Re-running a trace therefore replays the identical
+// request sequence; only the measured latencies differ. No wallclock ever
+// feeds the schedule (l0lint wallclock covers this package); time.Now is
+// confined to run.go's measurement edges.
+
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Duration marshals as a Go duration string ("250ms") so traces stay
+// readable; plain JSON numbers are accepted as nanoseconds.
+type Duration time.Duration
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("loadgen: duration %q: %v", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("loadgen: duration must be a string like \"250ms\" or integer nanoseconds")
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Loop modes.
+const (
+	ModeClosed = "closed" // Clients concurrent callers, think time between requests
+	ModeOpen   = "open"   // QPS arrivals on a fixed schedule, unbounded concurrency
+)
+
+// Trace is one declarative load description.
+type Trace struct {
+	Name string `json:"name"`
+	// Seed drives every schedule decision (class picks, generated kernels,
+	// open-loop arrivals are seedless arithmetic). Same seed, same schedule.
+	Seed uint64 `json:"seed"`
+	Mode string `json:"mode"` // closed | open
+
+	// Closed-loop knobs.
+	Clients int      `json:"clients,omitempty"`
+	Think   Duration `json:"think,omitempty"`
+
+	// Open-loop knob: target arrival rate.
+	QPS float64 `json:"qps,omitempty"`
+
+	Warmup  Duration `json:"warmup"`
+	Measure Duration `json:"measure"`
+	// Timeout bounds each request (default 30s).
+	Timeout Duration `json:"timeout,omitempty"`
+
+	Classes []Class `json:"classes"`
+}
+
+// Class is one weighted request kind in the mix. Exactly one of Explore,
+// Run or Kernel must be set.
+type Class struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight,omitempty"` // default 1
+
+	// Explore posts this sweep to /v1/explore (Format/Async forced by the
+	// class flags below; Shard/Shards must be zero).
+	Explore *server.ExploreRequest `json:"explore,omitempty"`
+	// Run posts this point query to /v1/run.
+	Run *server.RunRequest `json:"run,omitempty"`
+	// Kernel registers a looplang source via POST /v1/kernels, then sweeps
+	// it with one /v1/explore call; the latency covers the whole round
+	// trip.
+	Kernel *KernelClass `json:"kernel,omitempty"`
+
+	// Async submits the explore as a job and polls /v1/jobs/{id} every
+	// Poll until it completes, then fetches the result; latency covers
+	// submit through result fetch. Explore classes only.
+	Async bool     `json:"async,omitempty"`
+	Poll  Duration `json:"poll,omitempty"` // default 10ms
+	// Verify compares every response body against a local serial run of
+	// the same sweep, byte for byte (sync explore classes only; mismatches
+	// count as verify_failures).
+	Verify bool `json:"verify,omitempty"`
+}
+
+// KernelClass describes the register+sweep round trip.
+type KernelClass struct {
+	// Fresh generates a distinct kernel source per request (cold path:
+	// every sweep compiles and simulates). False repeats one source per
+	// class (hot path: content hash and result cache hit after the first).
+	Fresh bool `json:"fresh,omitempty"`
+	// Clusters/Entries are the sweep axes for the registered kernel
+	// (defaults {4} and {4,8}).
+	Clusters []int `json:"clusters,omitempty"`
+	Entries  []int `json:"entries,omitempty"`
+}
+
+// Validate checks the trace and applies defaults in place.
+func (t *Trace) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("loadgen: trace needs a name")
+	}
+	switch t.Mode {
+	case ModeClosed:
+		if t.Clients <= 0 {
+			t.Clients = 1
+		}
+	case ModeOpen:
+		if t.QPS <= 0 {
+			return fmt.Errorf("loadgen: open-loop trace %q needs qps > 0", t.Name)
+		}
+	default:
+		return fmt.Errorf("loadgen: trace %q mode %q (want %q or %q)", t.Name, t.Mode, ModeClosed, ModeOpen)
+	}
+	if t.Measure <= 0 {
+		return fmt.Errorf("loadgen: trace %q needs measure > 0", t.Name)
+	}
+	if t.Warmup < 0 || t.Think < 0 {
+		return fmt.Errorf("loadgen: trace %q has a negative duration", t.Name)
+	}
+	if t.Timeout <= 0 {
+		t.Timeout = Duration(30 * time.Second)
+	}
+	if len(t.Classes) == 0 {
+		return fmt.Errorf("loadgen: trace %q has no request classes", t.Name)
+	}
+	seen := map[string]bool{}
+	for i := range t.Classes {
+		c := &t.Classes[i]
+		if c.Name == "" {
+			return fmt.Errorf("loadgen: class %d has no name", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("loadgen: duplicate class name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Weight < 0 {
+			return fmt.Errorf("loadgen: class %q has negative weight", c.Name)
+		}
+		if c.Weight == 0 {
+			c.Weight = 1
+		}
+		n := 0
+		for _, set := range []bool{c.Explore != nil, c.Run != nil, c.Kernel != nil} {
+			if set {
+				n++
+			}
+		}
+		if n != 1 {
+			return fmt.Errorf("loadgen: class %q must set exactly one of explore, run, kernel", c.Name)
+		}
+		if c.Async && c.Explore == nil {
+			return fmt.Errorf("loadgen: class %q: async applies to explore classes only", c.Name)
+		}
+		if c.Verify && (c.Explore == nil || c.Async) {
+			return fmt.Errorf("loadgen: class %q: verify applies to sync explore classes only", c.Name)
+		}
+		if c.Explore != nil {
+			if c.Explore.Shard != 0 || c.Explore.Shards > 1 {
+				return fmt.Errorf("loadgen: class %q: sharded explores are the fleet's job, not a load class", c.Name)
+			}
+			if f := c.Explore.Format; f != "" && f != "json" {
+				return fmt.Errorf("loadgen: class %q: explore format must be json (got %q)", c.Name, f)
+			}
+		}
+		if c.Poll < 0 {
+			return fmt.Errorf("loadgen: class %q has negative poll", c.Name)
+		}
+		if c.Poll == 0 {
+			c.Poll = Duration(10 * time.Millisecond)
+		}
+		if c.Kernel != nil {
+			if len(c.Kernel.Clusters) == 0 {
+				c.Kernel.Clusters = []int{4}
+			}
+			if len(c.Kernel.Entries) == 0 {
+				c.Kernel.Entries = []int{4, 8}
+			}
+		}
+	}
+	return nil
+}
+
+// ParseTrace decodes and validates a trace, rejecting unknown fields (a
+// typoed knob must fail loudly, not silently shift the workload).
+func ParseTrace(b []byte) (*Trace, error) {
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	var t Trace
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("loadgen: parse trace: %v", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective avalanche mixer
+// whose sequential outputs pass statistical tests. One multiply-xorshift
+// chain, no state — exactly the cheap deterministic source the schedule
+// needs (math/rand is ambient and lint-flagged; this is pure arithmetic).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rand64 derives the decision word for request #seq of stream #stream
+// (stream 0 is the open-loop dispatcher; closed-loop client c uses c+1).
+func (t *Trace) rand64(stream, seq uint64) uint64 {
+	return splitmix64(splitmix64(t.Seed^splitmix64(stream)) + seq)
+}
+
+// totalWeight sums class weights (Validate has defaulted them).
+func (t *Trace) totalWeight() int {
+	w := 0
+	for i := range t.Classes {
+		w += t.Classes[i].Weight
+	}
+	return w
+}
+
+// classAt picks the class index for request #seq of stream #stream by
+// weighted deterministic draw.
+func (t *Trace) classAt(stream, seq uint64) int {
+	draw := int(t.rand64(stream, seq) % uint64(t.totalWeight()))
+	for i := range t.Classes {
+		draw -= t.Classes[i].Weight
+		if draw < 0 {
+			return i
+		}
+	}
+	return len(t.Classes) - 1
+}
+
+// kernelSource returns the looplang source a kernel-class request
+// registers. Hot classes (Fresh=false) repeat one source per class so every
+// request after the first hits the content-addressed caches; fresh classes
+// derive a distinct loop name from (seed, stream, seq) so each request
+// registers a never-seen kernel and pays the full compile+simulate path.
+// The body is the saxpy shape from examples/loops (two unit-stride loads,
+// mul, add, store) at a fixed trip count, so cold-path work per request is
+// constant.
+func (t *Trace) kernelSource(classIdx int, stream, seq uint64) string {
+	c := &t.Classes[classIdx]
+	var id uint64
+	if c.Kernel.Fresh {
+		id = t.rand64(stream, seq) // distinct name => distinct content hash
+	} else {
+		id = splitmix64(t.Seed) + uint64(classIdx) // one source per class
+	}
+	const trip, elems = 1024, 4096
+	return fmt.Sprintf(`loop lg_%016x %d
+array x %d 4
+array y %d 4
+xi = load x 0 4 4
+yi = load y 0 4 4
+ax = mul xi
+s  = int ax yi
+store y 0 4 4 s
+`, id, trip, elems*4, elems*4)
+}
+
+// arrivalOffset is the open-loop schedule: request #i arrives i/qps seconds
+// after the run origin. Pure arithmetic on i — replaying a trace replays
+// the identical arrival instants.
+func arrivalOffset(i int64, qps float64) time.Duration {
+	return time.Duration(float64(i) * float64(time.Second) / qps)
+}

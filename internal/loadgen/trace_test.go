@@ -1,0 +1,214 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const testTraceJSON = `{
+  "name": "unit",
+  "seed": 42,
+  "mode": "closed",
+  "clients": 3,
+  "think": "5ms",
+  "warmup": "100ms",
+  "measure": "400ms",
+  "classes": [
+    {"name": "grid", "weight": 3, "explore": {"benches": ["gsmdec"], "clusters": [4], "entries": [4]}},
+    {"name": "point", "weight": 1, "run": {"bench": "gsmdec"}},
+    {"name": "cold", "weight": 2, "kernel": {"fresh": true}},
+    {"name": "hot", "weight": 2, "kernel": {}}
+  ]
+}`
+
+// TestScheduleDeterminism replays the schedule from two independently
+// parsed copies of the same trace: class picks, generated kernel sources
+// and open-loop arrival instants must be identical — the ISSUE's "repeated
+// runs of the same seed produce identical request schedules".
+func TestScheduleDeterminism(t *testing.T) {
+	t1, err := ParseTrace([]byte(testTraceJSON))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	t2, err := ParseTrace([]byte(testTraceJSON))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	for stream := uint64(0); stream < 5; stream++ {
+		for seq := uint64(0); seq < 500; seq++ {
+			c1, c2 := t1.classAt(stream, seq), t2.classAt(stream, seq)
+			if c1 != c2 {
+				t.Fatalf("classAt(%d,%d): %d vs %d across identical traces", stream, seq, c1, c2)
+			}
+			if t1.Classes[c1].Kernel != nil {
+				s1, s2 := t1.kernelSource(c1, stream, seq), t2.kernelSource(c1, stream, seq)
+				if s1 != s2 {
+					t.Fatalf("kernelSource(%d,%d) differs across identical traces", stream, seq)
+				}
+			}
+		}
+	}
+	// A different seed must actually change the schedule.
+	seeded := *t1
+	seeded.Seed = 43
+	same := 0
+	for seq := uint64(0); seq < 500; seq++ {
+		if seeded.classAt(1, seq) == t1.classAt(1, seq) {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Error("changing the seed left the schedule identical")
+	}
+}
+
+// TestScheduleMixAndKernels checks the weighted mix lands near its
+// weights, hot kernels repeat one source, and fresh kernels never repeat.
+func TestScheduleMixAndKernels(t *testing.T) {
+	tr, err := ParseTrace([]byte(testTraceJSON))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	const n = 8000
+	counts := make([]int, len(tr.Classes))
+	hot := map[string]bool{}
+	fresh := map[string]bool{}
+	freshN := 0
+	for seq := uint64(0); seq < n; seq++ {
+		c := tr.classAt(1, seq)
+		counts[c]++
+		switch tr.Classes[c].Name {
+		case "hot":
+			hot[tr.kernelSource(c, 1, seq)] = true
+		case "cold":
+			fresh[tr.kernelSource(c, 1, seq)] = true
+			freshN++
+		}
+	}
+	total := tr.totalWeight()
+	for i, c := range tr.Classes {
+		want := float64(n) * float64(c.Weight) / float64(total)
+		if got := float64(counts[i]); got < want*0.8 || got > want*1.2 {
+			t.Errorf("class %q drawn %d times, want about %.0f", c.Name, counts[i], want)
+		}
+	}
+	if len(hot) != 1 {
+		t.Errorf("hot kernel class produced %d distinct sources, want 1", len(hot))
+	}
+	if len(fresh) != freshN {
+		t.Errorf("fresh kernel class repeated a source: %d distinct of %d draws", len(fresh), freshN)
+	}
+}
+
+// TestArrivalOffsetSchedule pins the open-loop schedule arithmetic: pure in
+// i, monotone, and matching i/qps exactly at round points.
+func TestArrivalOffsetSchedule(t *testing.T) {
+	if got := arrivalOffset(0, 50); got != 0 {
+		t.Errorf("arrivalOffset(0) = %v, want 0", got)
+	}
+	if got := arrivalOffset(50, 50); got != time.Second {
+		t.Errorf("arrivalOffset(50) at 50 qps = %v, want 1s", got)
+	}
+	prev := time.Duration(-1)
+	for i := int64(0); i < 1000; i++ {
+		d := arrivalOffset(i, 33.5)
+		if d <= prev {
+			t.Fatalf("arrivalOffset(%d) = %v not increasing past %v", i, d, prev)
+		}
+		if d != arrivalOffset(i, 33.5) {
+			t.Fatalf("arrivalOffset(%d) not pure", i)
+		}
+		prev = d
+	}
+}
+
+func TestTraceValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"bad mode", `{"name":"x","mode":"sideways","measure":"1s","classes":[{"name":"a","run":{"bench":"gsmdec"}}]}`, "mode"},
+		{"open needs qps", `{"name":"x","mode":"open","measure":"1s","classes":[{"name":"a","run":{"bench":"gsmdec"}}]}`, "qps"},
+		{"no classes", `{"name":"x","mode":"closed","measure":"1s","classes":[]}`, "classes"},
+		{"no measure", `{"name":"x","mode":"closed","classes":[{"name":"a","run":{"bench":"gsmdec"}}]}`, "measure"},
+		{"two kinds", `{"name":"x","mode":"closed","measure":"1s","classes":[{"name":"a","run":{"bench":"gsmdec"},"explore":{}}]}`, "exactly one"},
+		{"async run", `{"name":"x","mode":"closed","measure":"1s","classes":[{"name":"a","run":{"bench":"gsmdec"},"async":true}]}`, "async"},
+		{"verify async", `{"name":"x","mode":"closed","measure":"1s","classes":[{"name":"a","explore":{},"async":true,"verify":true}]}`, "verify"},
+		{"sharded", `{"name":"x","mode":"closed","measure":"1s","classes":[{"name":"a","explore":{"shards":2}}]}`, "shard"},
+		{"dup class", `{"name":"x","mode":"closed","measure":"1s","classes":[{"name":"a","run":{"bench":"g"}},{"name":"a","run":{"bench":"g"}}]}`, "duplicate"},
+		{"unknown field", `{"name":"x","mode":"closed","measure":"1s","qqs":3,"classes":[{"name":"a","run":{"bench":"g"}}]}`, "unknown field"},
+		{"csv format", `{"name":"x","mode":"closed","measure":"1s","classes":[{"name":"a","explore":{"format":"csv"}}]}`, "format"},
+	}
+	for _, c := range cases {
+		_, err := ParseTrace([]byte(c.json))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestTraceValidateDefaults(t *testing.T) {
+	tr, err := ParseTrace([]byte(testTraceJSON))
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	if tr.Timeout != Duration(30*time.Second) {
+		t.Errorf("Timeout default = %v", time.Duration(tr.Timeout))
+	}
+	for _, c := range tr.Classes {
+		if c.Weight <= 0 {
+			t.Errorf("class %q weight not defaulted", c.Name)
+		}
+		if c.Kernel != nil {
+			if len(c.Kernel.Clusters) == 0 || len(c.Kernel.Entries) == 0 {
+				t.Errorf("class %q kernel axes not defaulted", c.Name)
+			}
+		}
+	}
+}
+
+func TestParseSLOs(t *testing.T) {
+	slos, err := ParseSLOs("p99=200ms, grid.p95=1s,total.max=2s")
+	if err != nil {
+		t.Fatalf("ParseSLOs: %v", err)
+	}
+	if len(slos) != 3 {
+		t.Fatalf("parsed %d SLOs, want 3", len(slos))
+	}
+	if slos[0].Class != "" || slos[0].Quantile != "p99" || slos[0].Limit != Duration(200*time.Millisecond) {
+		t.Errorf("slo[0] = %+v", slos[0])
+	}
+	if slos[1].Class != "grid" || slos[1].Quantile != "p95" {
+		t.Errorf("slo[1] = %+v", slos[1])
+	}
+	for _, bad := range []string{"p17=1s", "p99", "p99=-3s", "p99=banana"} {
+		if _, err := ParseSLOs(bad); err == nil {
+			t.Errorf("ParseSLOs(%q) accepted", bad)
+		}
+	}
+	if slos, err := ParseSLOs("  "); err != nil || slos != nil {
+		t.Errorf("empty SLO spec: %v, %v", slos, err)
+	}
+}
+
+func TestCheckSLOs(t *testing.T) {
+	r := &Report{
+		Total: ClassReport{Name: "total", Latency: LatencySummary{P99: int64(300 * time.Millisecond)}},
+		Classes: []ClassReport{
+			{Name: "grid", Latency: LatencySummary{P95: int64(50 * time.Millisecond)}},
+		},
+	}
+	slos, err := ParseSLOs("p99=200ms,grid.p95=1s,nope.p50=1s")
+	if err != nil {
+		t.Fatalf("ParseSLOs: %v", err)
+	}
+	v := r.CheckSLOs(slos)
+	if len(v) != 2 {
+		t.Fatalf("violations = %v, want the total p99 miss and the unknown class", v)
+	}
+	if !strings.Contains(v[0], "total.p99") || !strings.Contains(v[1], "no such class") {
+		t.Errorf("violations = %v", v)
+	}
+}

@@ -26,6 +26,7 @@
 //	GET  /v1/jobs/{id}/result  the rendered result of a finished job
 //	POST /v1/jobs/{id}/cancel  cancel a queued/running job
 //	GET  /v1/cachestats        cache entries/bytes/evictions + hit/miss/bypass counters
+//	                           + per-endpoint request/error counters and in-flight gauges
 //	POST /v1/cache/save        snapshot both caches to the configured path
 //
 // Determinism: the engine aggregates by job index, so a sweep served here is
@@ -117,6 +118,10 @@ type Server struct {
 	// queued counts admitted-but-not-finished-admission requests against
 	// MaxQueued.
 	queued atomic.Int64
+	// routes holds the per-endpoint request/error/in-flight counters in
+	// registration order; inFlight is the process-wide gauge (see stats.go).
+	routes   []*routeStat
+	inFlight atomic.Int64
 
 	start time.Time
 	// draining is set before graceful shutdown: /healthz reports it so
@@ -174,19 +179,26 @@ func New(cfg Config) *Server {
 		}()
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
-	s.mux.HandleFunc("POST /v1/kernels", s.handleKernelRegister)
-	s.mux.HandleFunc("GET /v1/kernels", s.handleKernelList)
-	s.mux.HandleFunc("GET /v1/kernels/{id}", s.handleKernelGet)
-	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("POST /v1/energy", s.handleEnergy)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
-	s.mux.HandleFunc("GET /v1/cachestats", s.handleCacheStats)
-	s.mux.HandleFunc("POST /v1/cache/save", s.handleCacheSave)
+	for _, route := range []struct {
+		pattern string
+		handler http.HandlerFunc
+	}{
+		{"GET /healthz", s.handleHealthz},
+		{"POST /v1/explore", s.handleExplore},
+		{"POST /v1/kernels", s.handleKernelRegister},
+		{"GET /v1/kernels", s.handleKernelList},
+		{"GET /v1/kernels/{id}", s.handleKernelGet},
+		{"POST /v1/run", s.handleRun},
+		{"POST /v1/energy", s.handleEnergy},
+		{"GET /v1/jobs", s.handleJobs},
+		{"GET /v1/jobs/{id}", s.handleJobStatus},
+		{"GET /v1/jobs/{id}/result", s.handleJobResult},
+		{"POST /v1/jobs/{id}/cancel", s.handleJobCancel},
+		{"GET /v1/cachestats", s.handleCacheStats},
+		{"POST /v1/cache/save", s.handleCacheSave},
+	} {
+		s.mux.HandleFunc(route.pattern, s.instrument(route.pattern, route.handler))
+	}
 	return s
 }
 
@@ -379,7 +391,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"max_concurrent":    s.cfg.MaxConcurrent,
 		"max_queued":        s.cfg.MaxQueued,
 		//lint:allow wallclock operator uptime metric; not part of any sweep artifact
-		"uptime_seconds":    time.Since(s.start).Seconds(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
 }
 
@@ -407,8 +419,15 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 		"loaded":             s.loaded,
 		"saves":              s.saves.Load(),
 		"cache_path":         s.cfg.CachePath,
+		// Per-endpoint request/error counters plus the in-flight gauges
+		// (stats.go): a load run snapshots these before and after its
+		// measure phase so client-side tail latency can be attributed to
+		// admission queueing vs compute.
+		"in_flight":   s.inFlight.Load(),
+		"queue_depth": s.queued.Load(),
+		"endpoints":   s.routeStats(),
 		//lint:allow wallclock operator uptime metric; not part of any sweep artifact
-		"uptime_seconds":     time.Since(s.start).Seconds(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
 }
 

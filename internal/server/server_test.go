@@ -783,3 +783,69 @@ func TestExploreSharded(t *testing.T) {
 		t.Fatalf("partial shard in table format accepted: %d", resp.StatusCode)
 	}
 }
+
+// TestEndpointCounters pins the per-endpoint stats surfaced for load runs:
+// cumulative requests, error responses, and the in-flight gauges returning
+// to zero once requests drain.
+func TestEndpointCounters(t *testing.T) {
+	harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 1})
+
+	// Two good sweeps, one malformed (counts as a request AND an error).
+	for i := 0; i < 2; i++ {
+		if resp, _ := postJSON(t, ts.URL+"/v1/explore", smallReq()); resp.StatusCode != http.StatusOK {
+			t.Fatalf("explore %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/explore", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed explore: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	_, body := getBody(t, ts.URL+"/v1/cachestats")
+	var stats struct {
+		InFlight   int64 `json:"in_flight"`
+		QueueDepth int64 `json:"queue_depth"`
+		Endpoints  []struct {
+			Pattern  string `json:"pattern"`
+			Requests int64  `json:"requests"`
+			Errors   int64  `json:"errors"`
+			InFlight int64  `json:"in_flight"`
+		} `json:"endpoints"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("parse cachestats: %v\n%s", err, body)
+	}
+	byPattern := map[string]int{}
+	for i, ep := range stats.Endpoints {
+		byPattern[ep.Pattern] = i
+	}
+	idx, ok := byPattern["POST /v1/explore"]
+	if !ok {
+		t.Fatalf("no endpoint entry for POST /v1/explore in %s", body)
+	}
+	ep := stats.Endpoints[idx]
+	if ep.Requests != 3 || ep.Errors != 1 {
+		t.Errorf("POST /v1/explore requests=%d errors=%d, want 3/1", ep.Requests, ep.Errors)
+	}
+	if ep.InFlight != 0 {
+		t.Errorf("POST /v1/explore in_flight=%d after requests drained, want 0", ep.InFlight)
+	}
+	// The cachestats request itself is the only one in flight while it is
+	// being served.
+	idx, ok = byPattern["GET /v1/cachestats"]
+	if !ok {
+		t.Fatalf("no endpoint entry for GET /v1/cachestats in %s", body)
+	}
+	if ep := stats.Endpoints[idx]; ep.Requests != 1 || ep.InFlight != 1 {
+		t.Errorf("GET /v1/cachestats requests=%d in_flight=%d, want 1/1", ep.Requests, ep.InFlight)
+	}
+	if stats.InFlight != 1 {
+		t.Errorf("process-wide in_flight=%d while serving cachestats, want 1", stats.InFlight)
+	}
+}

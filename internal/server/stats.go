@@ -1,0 +1,99 @@
+// Per-endpoint serving counters. The load generator (internal/loadgen,
+// cmd/l0bench) measures latency from the client side; attributing a tail to
+// admission queueing vs compute needs the server's own view of the same
+// window. Every route is wrapped in an instrument handler that maintains
+// three numbers — cumulative requests, cumulative error responses (status
+// >= 400), and a live in-flight gauge — surfaced by /v1/cachestats so a load
+// run can snapshot them before and after its measure phase and diff.
+//
+// The counters are atomics: the instrumentation adds no lock to any request
+// path, and the route list is fixed at construction so reporting iterates a
+// slice in registration order (no map iteration — the stats block is part of
+// a JSON response whose field order must not wobble between polls).
+
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// routeStat is one endpoint's counters.
+type routeStat struct {
+	pattern  string
+	requests atomic.Int64
+	errors   atomic.Int64
+	inFlight atomic.Int64
+}
+
+// RouteStats is the wire form of one endpoint's counters (in /v1/cachestats
+// under "endpoints").
+type RouteStats struct {
+	Pattern  string `json:"pattern"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	InFlight int64  `json:"in_flight"`
+}
+
+// statusWriter captures the response status so the instrument wrapper can
+// count error responses. It forwards Flush so the CSV streaming path keeps
+// flushing through the wrapper (a no-op when the underlying writer cannot).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument registers the route's counter slot and wraps the handler with
+// request/error counting and the in-flight gauge.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	st := &routeStat{pattern: pattern}
+	s.routes = append(s.routes, st)
+	return func(w http.ResponseWriter, r *http.Request) {
+		st.requests.Add(1)
+		st.inFlight.Add(1)
+		s.inFlight.Add(1)
+		defer func() {
+			st.inFlight.Add(-1)
+			s.inFlight.Add(-1)
+		}()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.status >= 400 {
+			st.errors.Add(1)
+		}
+	}
+}
+
+// routeStats snapshots every endpoint's counters in registration order.
+func (s *Server) routeStats() []RouteStats {
+	out := make([]RouteStats, 0, len(s.routes))
+	for _, st := range s.routes {
+		out = append(out, RouteStats{
+			Pattern:  st.pattern,
+			Requests: st.requests.Load(),
+			Errors:   st.errors.Load(),
+			InFlight: st.inFlight.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+#!/bin/sh
+# loadbench-smoke: end-to-end check of the l0bench load generator.
+#
+# Runs the committed smoke trace against an in-process (selfhost) server in
+# both loop modes and asserts: nonzero measured throughput, zero errors and
+# timeouts (the grid class also byte-verifies every response against a
+# direct serial run), and an artifact that parses and re-encodes
+# byte-identically (l0bench -parse). The closed-loop run uses the trace as
+# committed; the open-loop run overrides the mode and rate on the command
+# line to cover the deterministic arrival scheduler.
+#
+# Usage: scripts/loadbench_smoke.sh [scratch-dir]
+set -eu
+
+DIR=${1:-.loadbench-smoke}
+TRACE=examples/traces/smoke.json
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+go build -o "$DIR/l0bench" ./cmd/l0bench
+
+counter() { # counter name artifact -> value of a top-level numeric field
+    sed -n "s/^  \"$1\": \([0-9][0-9]*\).*/\1/p" "$2"
+}
+
+check_artifact() { # check_artifact artifact label
+    art=$1
+    label=$2
+    requests=$(counter total_requests "$art")
+    errors=$(counter total_errors "$art")
+    timeouts=$(counter total_timeouts "$art")
+    if [ -z "$requests" ] || [ "$requests" -eq 0 ]; then
+        echo "loadbench-smoke: $label measured no requests" >&2
+        cat "$art" >&2
+        exit 1
+    fi
+    if [ "${errors:-1}" -ne 0 ] || [ "${timeouts:-1}" -ne 0 ]; then
+        echo "loadbench-smoke: $label had errors=$errors timeouts=$timeouts" >&2
+        cat "$art" >&2
+        exit 1
+    fi
+    # Round trip: parse must re-encode to the identical bytes.
+    "$DIR/l0bench" -parse "$art" -q
+}
+
+# Closed loop, as committed in the trace.
+"$DIR/l0bench" -trace "$TRACE" -selfhost -o "$DIR/closed.json" >"$DIR/closed.txt" 2>"$DIR/closed.log"
+check_artifact "$DIR/closed.json" "closed loop"
+closed_req=$(counter total_requests "$DIR/closed.json")
+
+# Open loop: same mix, arrivals on the deterministic 25 qps schedule.
+"$DIR/l0bench" -trace "$TRACE" -selfhost -mode open -qps 25 \
+    -o "$DIR/open.json" >"$DIR/open.txt" 2>"$DIR/open.log"
+check_artifact "$DIR/open.json" "open loop"
+open_req=$(counter total_requests "$DIR/open.json")
+
+# The human table must name every class.
+for cls in grid point hot total; do
+    if ! grep -q "^$cls " "$DIR/closed.txt"; then
+        echo "loadbench-smoke: table missing class $cls" >&2
+        cat "$DIR/closed.txt" >&2
+        exit 1
+    fi
+done
+
+rm -rf "$DIR"
+echo "loadbench-smoke: ok (closed=$closed_req requests, open=$open_req requests)"
