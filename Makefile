@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench smoke serve-smoke fleet-smoke kernels-smoke loadbench-smoke fuzz wirestudy linkcheck
+.PHONY: build test race vet lint bench smoke serve-smoke fleet-smoke kernels-smoke loadbench-smoke gapstudy gapstudy-smoke fuzz wirestudy linkcheck
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,21 @@ fleet-smoke:
 # byte-stable artifact round trip (l0bench -parse).
 loadbench-smoke:
 	sh scripts/loadbench_smoke.sh .loadbench-smoke
+
+# gapstudy regenerates docs/gap_study.md: every suite kernel compiled by the
+# SMS heuristic and by the exact branch-and-bound backend (-sched exact),
+# with the heuristic II compared against the exact backend's proven lower
+# bound and every certificate re-checked by the independent validator.
+gapstudy:
+	$(GO) run ./cmd/l0gap -o docs/gap_study.md
+
+# gapstudy-smoke drives the exact backend end to end, race-instrumented: a
+# validated l0sched certificate, a two-benchmark l0gap study that must prove
+# optimality, the sched axis through l0served vs local l0explore (byte-
+# identical, and the repeat sweep search-free per the exact_searches/
+# exact_nodes counters), and an async exact job with the cancel endpoint.
+gapstudy-smoke:
+	sh scripts/gapstudy_smoke.sh .gapstudy-smoke
 
 # linkcheck fails on dead relative links in README.md and docs/ (the docs
 # set is part of the contract; a moved file must take its links with it).

@@ -8,7 +8,7 @@
 //
 //	l0explore [-benches a,b] [-kernel file.loop,...] [-clusters 4,8,16,32] [-entries 4,8,16]
 //	          [-subblock 0] [-l1lat 6] [-prefetch 0] [-regbudget 0]
-//	          [-adaptive] [-markall]
+//	          [-sched sms,exact] [-exactbudget N] [-adaptive] [-markall]
 //	          [-workers N] [-shard i/M] [-format table|csv|json]
 //	          [-schedcap N] [-schedbytes N] [-resultcap N] [-resultbytes N]
 //	          [-roundtrip] [-o file]
@@ -24,7 +24,9 @@
 //
 // -prefetch and -regbudget are scheduler axes: each value joins the grid
 // product (0 keeps the scheduler default / unbounded registers) and applies
-// to the L0 compilations only, like -adaptive and -markall.
+// to the L0 compilations only, like -adaptive and -markall. -sched sweeps
+// the scheduler backend the same way (sms is the paper's heuristic, exact
+// the branch-and-bound optimal-II backend; -exactbudget caps its search).
 //
 // The cap flags bound the process-global memoization for sweeps larger than
 // memory: -schedcap/-schedbytes and -resultcap/-resultbytes put LRU
@@ -59,7 +61,8 @@ import (
 // cli carries the parsed flag set (one struct instead of a 15-arg run).
 type cli struct {
 	benches, kernels, clusters, entries, subblock, l1lat string
-	prefetch, regbudget                                  string
+	prefetch, regbudget, scheds                          string
+	exactBudget                                          int64
 	adaptive, markall                                    bool
 	workers                                              int
 	shardSpec, format, merge                             string
@@ -82,6 +85,8 @@ func main() {
 	flag.StringVar(&c.l1lat, "l1lat", "6", "unified-L1 latencies to sweep")
 	flag.StringVar(&c.prefetch, "prefetch", "0", "prefetch distances to sweep (0 = scheduler default)")
 	flag.StringVar(&c.regbudget, "regbudget", "0", "per-cluster register budgets to sweep (0 = unbounded)")
+	flag.StringVar(&c.scheds, "sched", "", "scheduler backends to sweep: sms, exact (default: sms)")
+	flag.Int64Var(&c.exactBudget, "exactbudget", 0, "exact-backend search budget in branch nodes per kernel (0 = solver default)")
 	flag.BoolVar(&c.adaptive, "adaptive", false, "schedule L0 runs with the adaptive per-load prefetch distance")
 	flag.BoolVar(&c.markall, "markall", false, "mark all candidate loads for L0 (the §5.2 ablation)")
 	flag.IntVar(&c.workers, "workers", 0, "worker-pool size (0 = one per CPU; with -server, the requested budget)")
@@ -198,7 +203,12 @@ func (c cli) spec() (harness.ExploreSpec, error) {
 	if spec.Kernels, err = kernelSources(c.kernels); err != nil {
 		return spec, err
 	}
-	spec.Sched = sched.Options{AdaptivePrefetchDistance: c.adaptive, MarkAllCandidates: c.markall}
+	spec.Scheds = splitNames(c.scheds)
+	spec.Sched = sched.Options{
+		AdaptivePrefetchDistance: c.adaptive,
+		MarkAllCandidates:        c.markall,
+		ExactBudget:              c.exactBudget,
+	}
 	return spec, nil
 }
 
@@ -277,6 +287,7 @@ func runRemote(c cli) error {
 		Clusters: spec.Clusters, Entries: spec.Entries,
 		Subblocks: spec.Subblocks, L1Latencies: spec.L1Latencies,
 		PrefetchDists: spec.PrefetchDists, RegBudgets: spec.RegBudgets,
+		Scheds: spec.Scheds, ExactBudget: c.exactBudget,
 		Adaptive: c.adaptive, MarkAll: c.markall,
 		Workers: c.workers, Format: c.format,
 	}

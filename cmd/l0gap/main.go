@@ -1,0 +1,240 @@
+// Command l0gap runs the optimality-gap study: every suite kernel is
+// compiled with both scheduler backends — the paper's SMS heuristic and the
+// exact branch-and-bound backend — and the report compares their IIs against
+// the exact backend's proven lower bound. Every exact certificate is
+// re-checked with the independent validator before it is reported, and the
+// benchmark-level cycle totals are simulated under both backends, so the
+// study measures the end-to-end cost of heuristic scheduling, not just the
+// per-kernel II gap.
+//
+// Usage:
+//
+//	l0gap [-benches a,b] [-entries 8] [-exactbudget N] [-o docs/gap_study.md]
+//
+// The output is deterministic markdown (no timestamps, no machine state):
+// `make gapstudy` commits it as docs/gap_study.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/sms/exact"
+	"repro/internal/unroll"
+	"repro/internal/workload"
+)
+
+// kernelRow is one kernel's heuristic-vs-exact comparison.
+type kernelRow struct {
+	bench, kernel string
+	factor        int
+	heurII        int
+	exactII       int
+	lowerBound    int
+	optimal       bool
+	nodes         int64
+}
+
+func main() {
+	benches := flag.String("benches", "", "comma-separated benchmark subset (default: whole suite)")
+	entries := flag.Int("entries", 8, "L0 buffer entries for the studied configuration")
+	exactBudget := flag.Int64("exactbudget", 0, "exact-backend search budget in branch nodes per kernel (0 = solver default)")
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if err := run(*benches, *entries, *exactBudget, *outPath); err != nil {
+		fmt.Fprintf(os.Stderr, "l0gap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(benches string, entries int, exactBudget int64, outPath string) error {
+	var suite []*workload.Benchmark
+	if benches == "" {
+		suite = workload.Suite()
+	} else {
+		for _, name := range strings.Split(benches, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			b := workload.ByName(name)
+			if b == nil {
+				return fmt.Errorf("unknown benchmark %q", name)
+			}
+			suite = append(suite, b)
+		}
+	}
+
+	cfg := arch.MICRO36Config().WithL0Entries(entries)
+	var rows []kernelRow
+	for _, b := range suite {
+		for i := range b.Kernels {
+			row, err := compareKernel(b.Name, &b.Kernels[i], cfg, exactBudget)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", b.Name, b.Kernels[i].Name, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	// Benchmark-level cycle totals under each backend: the II gap only
+	// matters to the extent it reaches total cycles.
+	type cycles struct{ heur, exact int64 }
+	totals := map[string]cycles{}
+	for _, b := range suite {
+		h, err := harness.RunBenchmarkCached(b, harness.ArchL0, harness.Options{Cfg: cfg})
+		if err != nil {
+			return err
+		}
+		e, err := harness.RunBenchmarkCached(b, harness.ArchL0, harness.Options{
+			Cfg:   cfg,
+			Sched: sched.Options{Backend: sched.BackendExact, ExactBudget: exactBudget},
+		})
+		if err != nil {
+			return err
+		}
+		totals[b.Name] = cycles{heur: h.Total, exact: e.Total}
+	}
+
+	out := io.Writer(os.Stdout)
+	var outFile *os.File
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		out = f
+	}
+	err := report(out, rows, func(bench string) (int64, int64) {
+		c := totals[bench]
+		return c.heur, c.exact
+	})
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// compareKernel compiles one kernel with both backends (the same recipe
+// l0sched and the harness use: benchmark unroll factor, L0 scheduling on)
+// and validates the exact certificate independently before trusting it.
+func compareKernel(bench string, k *workload.Kernel, cfg arch.Config, exactBudget int64) (kernelRow, error) {
+	loop := k.Loop()
+	workload.AssignAddresses(loop, 1<<16)
+	factor := sched.ChooseUnrollFactor(loop, arch.MICRO36Config().WithL0Entries(0))
+	body := loop
+	if factor > 1 {
+		var err error
+		body, err = unroll.ByFactor(loop, factor)
+		if err != nil {
+			return kernelRow{}, err
+		}
+	}
+	heurOpts := sched.Options{UseL0: cfg.HasL0(), PrefetchDistance: 1}
+	hsch, err := sched.Compile(body, cfg, heurOpts)
+	if err != nil {
+		return kernelRow{}, err
+	}
+	exactOpts := heurOpts
+	exactOpts.Backend = sched.BackendExact
+	exactOpts.ExactBudget = exactBudget
+	esch, err := sched.Compile(body, cfg, exactOpts)
+	if err != nil {
+		return kernelRow{}, err
+	}
+	c := esch.Cert
+	if c == nil {
+		return kernelRow{}, fmt.Errorf("exact backend returned no certificate")
+	}
+	p, m := sched.ExactModel(esch.Loop, cfg, exactOpts)
+	if err := exact.Validate(c, p, m); err != nil {
+		return kernelRow{}, fmt.Errorf("certificate rejected: %w", err)
+	}
+	return kernelRow{
+		bench: bench, kernel: k.Name, factor: factor,
+		heurII: hsch.II, exactII: esch.II,
+		lowerBound: c.LowerBound, optimal: c.Optimal, nodes: c.Nodes,
+	}, nil
+}
+
+// report renders the study as markdown: the per-kernel table, then the
+// benchmark cycle totals, then the aggregate verdict.
+func report(w io.Writer, rows []kernelRow, totals func(string) (int64, int64)) error {
+	var b strings.Builder
+	b.WriteString("# Optimality-gap study: SMS heuristic vs exact scheduler\n\n")
+	b.WriteString("Generated by `make gapstudy` (cmd/l0gap). Every kernel of the suite is\n")
+	b.WriteString("compiled by the SMS heuristic (`-sched sms`, the paper's scheduler) and by\n")
+	b.WriteString("the exact branch-and-bound backend (`-sched exact`), which proves a lower\n")
+	b.WriteString("bound on the initiation interval (II) and searches below the heuristic II\n")
+	b.WriteString("for a better schedule. Every exact certificate in this table was re-checked\n")
+	b.WriteString("by the independent validator before being reported.\n\n")
+	b.WriteString("| bench | kernel | unroll | heuristic II | exact II | lower bound | optimal | nodes |\n")
+	b.WriteString("|---|---|---:|---:|---:|---:|:--|---:|\n")
+	optimalKernels, gapKernels := 0, 0
+	perBench := map[string]bool{}
+	benchOrder := []string{}
+	benchAllOptimal := map[string]bool{}
+	for _, r := range rows {
+		opt := "yes"
+		if !r.optimal {
+			opt = "no (budget)"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %d | %d | %s | %d |\n",
+			r.bench, r.kernel, r.factor, r.heurII, r.exactII, r.lowerBound, opt, r.nodes)
+		if !perBench[r.bench] {
+			perBench[r.bench] = true
+			benchOrder = append(benchOrder, r.bench)
+			benchAllOptimal[r.bench] = true
+		}
+		if r.optimal {
+			optimalKernels++
+		} else {
+			benchAllOptimal[r.bench] = false
+		}
+		if r.exactII < r.heurII {
+			gapKernels++
+		}
+	}
+
+	b.WriteString("\n## Benchmark cycle totals (8-entry L0 configuration)\n\n")
+	b.WriteString("| bench | heuristic cycles | exact cycles | ratio | all kernels optimal |\n")
+	b.WriteString("|---|---:|---:|---:|:--|\n")
+	optimalBenches := 0
+	for _, bench := range benchOrder {
+		h, e := totals(bench)
+		ratio := 1.0
+		if h > 0 {
+			ratio = float64(e) / float64(h)
+		}
+		all := "yes"
+		if benchAllOptimal[bench] {
+			optimalBenches++
+		} else {
+			all = "no"
+		}
+		fmt.Fprintf(&b, "| %s | %d | %d | %.4f | %s |\n", bench, h, e, ratio, all)
+	}
+
+	b.WriteString("\n## Verdict\n\n")
+	fmt.Fprintf(&b, "- %d of %d kernels scheduled provably optimally (exact II equals the proven lower bound) within the search budget.\n",
+		optimalKernels, len(rows))
+	fmt.Fprintf(&b, "- %d of %d kernels where the exact backend beat the heuristic II.\n", gapKernels, len(rows))
+	fmt.Fprintf(&b, "- %d of %d benchmarks had every kernel proven optimal.\n", optimalBenches, len(benchOrder))
+	if gapKernels == 0 {
+		b.WriteString("\nThe heuristic matches the proven optimum on every kernel it was compared\n")
+		b.WriteString("on: the II regressions the paper's figures measure come from the L0\n")
+		b.WriteString("latency/capacity trade-off itself, not from heuristic scheduling slack.\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	l0sched -bench gsmdec -kernel ltp_iir [-entries 8] [-base] [-psr] [-markall]
+//	l0sched -bench gsmdec -sched exact [-exactbudget N]
 //	l0sched -list
+//
+// With `-sched exact` the schedule carries a machine-checkable certificate
+// (proven lower bound on the II, proof trail); l0sched prints it and
+// re-checks it with the independent validator before exiting.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/looplang"
 	"repro/internal/sched"
+	"repro/internal/sms/exact"
 	"repro/internal/unroll"
 	"repro/internal/workload"
 )
@@ -33,6 +39,8 @@ func main() {
 	psr := flag.Bool("psr", false, "use partial store replication for load+store sets")
 	markAll := flag.Bool("markall", false, "mark every candidate (ignore slack selection)")
 	dist := flag.Int("dist", 1, "prefetch distance in subblocks")
+	backend := flag.String("sched", "sms", "scheduler backend: sms (heuristic) or exact (branch-and-bound with certificate)")
+	exactBudget := flag.Int64("exactbudget", 0, "exact backend search budget in branch nodes (0 = default)")
 	list := flag.Bool("list", false, "list benchmarks and kernels")
 	grid := flag.Bool("grid", false, "render the kernel as a cycle x cluster grid")
 	emit := flag.Bool("emit", false, "emit the (pre-unroll) kernel in looplang format and exit")
@@ -94,6 +102,8 @@ func main() {
 		AllowPSR:          *psr,
 		MarkAllCandidates: *markAll,
 		PrefetchDistance:  *dist,
+		Backend:           *backend,
+		ExactBudget:       *exactBudget,
 	}
 	sch, err := sched.Compile(body, cfg, opts)
 	if err != nil {
@@ -109,6 +119,20 @@ func main() {
 	}
 	rp := sched.Pressure(sch)
 	fmt.Printf("register pressure (MaxLive per cluster): %v\n", rp.PerCluster)
+
+	if c := sch.Cert; c != nil {
+		fmt.Printf("certificate: backend=%s II=%d lower-bound=%d optimal=%v nodes=%d\n",
+			c.Backend, c.II, c.LowerBound, c.Optimal, c.Nodes)
+		for _, st := range c.Trail {
+			fmt.Printf("  II %d: %s (%d nodes)\n", st.II, st.Outcome, st.Nodes)
+		}
+		p, m := sched.ExactModel(sch.Loop, cfg, opts)
+		if err := exact.Validate(c, p, m); err != nil {
+			fmt.Fprintf(os.Stderr, "l0sched: certificate REJECTED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("certificate: validated against dependence and resource constraints")
+	}
 
 	als := alias.Analyze(sch.Loop)
 	g := ddg.Build(sch.Loop, func(in *ir.Instr) int { return sch.Placed[in.ID].Latency }, als.Edges)

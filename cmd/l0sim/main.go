@@ -4,8 +4,8 @@
 // Usage:
 //
 //	l0sim [-exp table1|fig5|fig6|fig7|extras|energy|wires|clusters|all]
-//	      [-workers N] [-shard i/M]
-//	l0sim -exp debug <benchmark>
+//	      [-workers N] [-shard i/M] [-sched sms|exact] [-exactbudget N]
+//	l0sim -exp debug [-sched sms|exact] <benchmark>
 //
 // -workers sizes the experiment engine's worker pool (0 = one per CPU).
 // -shard i/M distributes figure regeneration across M processes: the
@@ -31,7 +31,10 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig5, fig6, fig7, extras, energy, wires, clusters, debug, all")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = one per CPU)")
 	shardSpec := flag.String("shard", "0/1", "run experiments with ordinal i (mod M) of the selected set")
+	schedName := flag.String("sched", "", "scheduler backend for fig5 and debug L0 runs: sms (default) or exact")
+	exactBudget := flag.Int64("exactbudget", 0, "exact-backend search budget in branch nodes per kernel (0 = solver default)")
 	flag.Parse()
+	schedOpts := sched.Options{Backend: *schedName, ExactBudget: *exactBudget}
 
 	shard, shards, err := harness.ParseShard(*shardSpec)
 	if err != nil {
@@ -67,7 +70,7 @@ func main() {
 	})
 	run("fig5", func() error {
 		entries := []int{4, 8, 16, arch.Unbounded}
-		points, err := harness.Fig5Cfg(rc, entries, sched.Options{})
+		points, err := harness.Fig5Cfg(rc, entries, schedOpts)
 		if err != nil {
 			return err
 		}
@@ -112,7 +115,7 @@ func main() {
 	})
 	if *exp == "debug" {
 		ran = true
-		if err := debug(flag.Arg(0)); err != nil {
+		if err := debug(flag.Arg(0), schedOpts); err != nil {
 			fmt.Fprintf(os.Stderr, "l0sim: debug: %v\n", err)
 			os.Exit(1)
 		}
@@ -124,7 +127,9 @@ func main() {
 }
 
 // debug prints per-kernel detail for one benchmark across architectures.
-func debug(name string) error {
+// schedOpts applies to the L0 compilations (the callback architectures clear
+// the backend themselves; see harness.RunBenchmark).
+func debug(name string, schedOpts sched.Options) error {
 	b := workload.ByName(name)
 	if b == nil {
 		return fmt.Errorf("unknown benchmark %q", name)
@@ -142,7 +147,7 @@ func debug(name string) error {
 		if entries > 0 {
 			cfg = cfg.WithL0Entries(entries)
 		}
-		r, err := harness.RunBenchmark(b, a, harness.Options{Cfg: cfg})
+		r, err := harness.RunBenchmark(b, a, harness.Options{Cfg: cfg, Sched: schedOpts})
 		if err != nil {
 			return err
 		}

@@ -62,6 +62,11 @@ type CacheCounters struct {
 	// Simulations counts actual benchmark simulations (RunBenchmark
 	// executions). A warm-result sweep performs zero.
 	Simulations atomic.Int64
+	// ExactSearches counts exact-backend solver runs that actually
+	// executed (compiled, not served from cache); ExactNodes totals the
+	// branch nodes those searches explored. A repeat exact query that hits
+	// the schedule cache moves neither.
+	ExactSearches, ExactNodes atomic.Int64
 }
 
 func (c *CacheCounters) reset() {
@@ -75,6 +80,8 @@ func (c *CacheCounters) reset() {
 	c.SimBypassed.Store(0)
 	c.SimDisabled.Store(0)
 	c.Simulations.Store(0)
+	c.ExactSearches.Store(0)
+	c.ExactNodes.Store(0)
 }
 
 // Snapshot returns the counters as plain values.
@@ -90,6 +97,9 @@ func (c *CacheCounters) Snapshot() CacheStats {
 		SimBypassed: c.SimBypassed.Load(),
 		SimDisabled: c.SimDisabled.Load(),
 		Simulations: c.Simulations.Load(),
+
+		ExactSearches: c.ExactSearches.Load(),
+		ExactNodes:    c.ExactNodes.Load(),
 	}
 }
 
@@ -117,6 +127,9 @@ type CacheStats struct {
 	SimBypassed int64 `json:"sim_bypassed"`
 	SimDisabled int64 `json:"sim_disabled"`
 	Simulations int64 `json:"simulations"`
+
+	ExactSearches int64 `json:"exact_searches"`
+	ExactNodes    int64 `json:"exact_nodes"`
 }
 
 var globalCacheCounters CacheCounters
@@ -249,6 +262,8 @@ func (k schedOptsKey) toOptions() sched.Options {
 		DisableExplicitPrefetch:  k.DisableExplicitPrefetch,
 		MaxII:                    k.MaxII,
 		RegistersPerCluster:      k.RegistersPerCluster,
+		Backend:                  k.Backend,
+		ExactBudget:              k.ExactBudget,
 	}
 }
 

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -164,6 +165,8 @@ type schedOptsKey struct {
 	DisableExplicitPrefetch  bool
 	MaxII                    int
 	RegistersPerCluster      int
+	Backend                  string
+	ExactBudget              int64
 }
 
 // optsKeyOf projects scheduler options into the comparable cache identity.
@@ -183,6 +186,8 @@ func optsKeyOf(o sched.Options) schedOptsKey {
 		DisableExplicitPrefetch:  o.DisableExplicitPrefetch,
 		MaxII:                    o.MaxII,
 		RegistersPerCluster:      o.RegistersPerCluster,
+		Backend:                  o.Backend,
+		ExactBudget:              o.ExactBudget,
 	}
 	// Normalize to what Compile actually uses, so equivalent compilations
 	// share one cache entry (and one shard-merge identity): a distance
@@ -196,6 +201,15 @@ func optsKeyOf(o sched.Options) schedOptsKey {
 	}
 	if k.RegistersPerCluster < 0 {
 		k.RegistersPerCluster = 0
+	}
+	// An empty backend is the heuristic; the budget only reaches the
+	// compilation through the exact backend (where <= 0 means the solver
+	// default), so it is erased everywhere else.
+	if k.Backend == sched.BackendSMS {
+		k.Backend = ""
+	}
+	if k.Backend != sched.BackendExact || k.ExactBudget <= 0 {
+		k.ExactBudget = 0
 	}
 	return k
 }
@@ -370,6 +384,14 @@ func compileKernel(b *workload.Benchmark, i int, a Arch, opts Options, schedOpts
 			opts.count(func(c *CacheCounters) { c.Hits.Add(1) })
 		}
 		if e.err != nil {
+			if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+				// The error reflects the first caller's context, not the
+				// key: a cancelled exact-backend search would otherwise
+				// poison the single-flight entry, and every later request
+				// for this compilation — fresh context and all — would
+				// inherit the stale cancellation instead of compiling.
+				scheduleCache.remove(key)
+			}
 			return compiledKernel{}, e.err
 		}
 		return e.res, nil
@@ -399,6 +421,15 @@ func compileKernelUncached(b *workload.Benchmark, i int, a Arch, opts Options, s
 	sch, err := sched.Compile(body, cfg.WithL0Entries(archEntries(a, cfg)), schedOpts)
 	if err != nil {
 		return compiledKernel{}, fmt.Errorf("harness: %s/%s: %w", b.Name, k.Name, err)
+	}
+	if c := sch.Cert; c != nil && c.Backend == sched.BackendExact {
+		// Certificate-producing searches are counted where they actually
+		// run: a repeat query served from the schedule cache (or a v3
+		// snapshot) performs zero searches and explores zero nodes.
+		opts.count(func(cc *CacheCounters) {
+			cc.ExactSearches.Add(1)
+			cc.ExactNodes.Add(c.Nodes)
+		})
 	}
 	if opts.ConservativeFallback && a == ArchL0 {
 		cons, err := conservativeIfFaster(body, cfg, schedOpts, sch)

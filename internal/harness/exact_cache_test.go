@@ -1,0 +1,203 @@
+// Cache-identity and observability tests for the exact scheduler backend:
+// the backend/budget fields must discriminate cache entries, the exact
+// search counters must count searches (not cache hits), a cancelled compile
+// must never poison the single-flight schedule cache, and the explore sched
+// axis must expand, aggregate and merge-veto like every other axis.
+
+package harness
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestExactSearchCountersWarmRepeat pins the smoke script's counter
+// contract: the first exact-backend run performs one search per compiled
+// kernel, the warm repeat performs none (certificates come from the schedule
+// cache), and heuristic runs never move the exact counters at all.
+func TestExactSearchCountersWarmRepeat(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	b := workload.ByName("gsmdec")
+	cfg := arch.MICRO36Config().WithL0Entries(8)
+
+	if _, err := RunBenchmarkCached(b, ArchL0, Options{Cfg: cfg}); err != nil {
+		t.Fatalf("heuristic run: %v", err)
+	}
+	if st := CacheStatsNow(); st.ExactSearches != 0 || st.ExactNodes != 0 {
+		t.Fatalf("heuristic run moved exact counters: searches=%d nodes=%d", st.ExactSearches, st.ExactNodes)
+	}
+
+	exactOpts := Options{Cfg: cfg, Sched: sched.Options{Backend: sched.BackendExact}}
+	cold, err := RunBenchmarkCached(b, ArchL0, exactOpts)
+	if err != nil {
+		t.Fatalf("exact run: %v", err)
+	}
+	st := CacheStatsNow()
+	if st.ExactSearches != int64(len(b.Kernels)) {
+		t.Fatalf("exact run performed %d searches, want one per kernel (%d)", st.ExactSearches, len(b.Kernels))
+	}
+
+	warm, err := RunBenchmarkCached(b, ArchL0, exactOpts)
+	if err != nil {
+		t.Fatalf("warm exact run: %v", err)
+	}
+	if after := CacheStatsNow(); after.ExactSearches != st.ExactSearches || after.ExactNodes != st.ExactNodes {
+		t.Errorf("warm repeat was not search-free: searches %d -> %d, nodes %d -> %d",
+			st.ExactSearches, after.ExactSearches, st.ExactNodes, after.ExactNodes)
+	}
+	if cold.Total != warm.Total {
+		t.Errorf("warm repeat changed the result: %d -> %d cycles", cold.Total, warm.Total)
+	}
+}
+
+// TestExactBackendDiscriminatesCacheKey: heuristic and exact compilations of
+// the same kernel must not share a schedule-cache entry (the exact one
+// carries a certificate), and the two backends must still agree on the
+// simulated cycles whenever the exact search only confirms the heuristic.
+func TestExactBackendDiscriminatesCacheKey(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	b := workload.ByName("gsmdec")
+	cfg := arch.MICRO36Config().WithL0Entries(8)
+
+	h, err := RunBenchmarkCached(b, ArchL0, Options{Cfg: cfg})
+	if err != nil {
+		t.Fatalf("heuristic: %v", err)
+	}
+	e, err := RunBenchmarkCached(b, ArchL0, Options{Cfg: cfg, Sched: sched.Options{Backend: sched.BackendExact}})
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	if st := CacheStatsNow(); st.ExactSearches == 0 {
+		t.Fatalf("exact run after heuristic run performed no searches: the backends aliased one cache entry")
+	}
+	if h.Total != e.Total {
+		// Not inherently a bug (the exact backend may beat the heuristic),
+		// but on this suite the heuristic is optimal — see docs/gap_study.md.
+		t.Errorf("backends disagree on gsmdec: heuristic %d, exact %d cycles", h.Total, e.Total)
+	}
+}
+
+// TestCancelledCompileDoesNotPoisonCache: a compile interrupted by context
+// cancellation must surface the error to its caller and leave no resident
+// cache entry, so the next request for the same key compiles for real
+// instead of inheriting a stale cancellation from the single-flight entry.
+func TestCancelledCompileDoesNotPoisonCache(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	b := workload.ByName("gsmdec")
+	cfg := arch.MICRO36Config().WithL0Entries(8)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunBenchmark(b, ArchL0, Options{Cfg: cfg, Sched: sched.Options{
+		Backend: sched.BackendExact,
+		Ctx:     ctx,
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled compile returned %v, want context.Canceled", err)
+	}
+
+	res, err := RunBenchmarkCached(b, ArchL0, Options{Cfg: cfg, Sched: sched.Options{Backend: sched.BackendExact}})
+	if err != nil {
+		t.Fatalf("compile after cancelled attempt: %v (the cancellation poisoned the cache)", err)
+	}
+	if res.Total <= 0 {
+		t.Fatalf("recovered run produced no cycles")
+	}
+}
+
+// TestExploreSchedsAxis: the sched axis joins the grid product with resolved
+// canonical names, both backends' cells aggregate independently, and an
+// unknown backend is a spec error naming the valid set.
+func TestExploreSchedsAxis(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	spec := ExploreSpec{
+		Benches:  []string{"gsmdec"},
+		Clusters: []int{4}, Entries: []int{8},
+		Scheds: []string{"sms", "exact"},
+	}
+	if n, err := spec.GridSize(); err != nil || n != 2 {
+		t.Fatalf("grid size = %d, %v; want 2 (one cell per backend)", n, err)
+	}
+	res, err := Explore(spec)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if got := []string{res.Cells[0].Sched, res.Cells[1].Sched}; got[0] != "sms" || got[1] != "exact" {
+		t.Fatalf("cell backends = %v, want [sms exact]", got)
+	}
+	if res.Cells[0].Cycles != res.Cells[1].Cycles {
+		t.Errorf("backends disagree on gsmdec cycles: %d vs %d", res.Cells[0].Cycles, res.Cells[1].Cycles)
+	}
+	if len(res.Configs) != 2 || res.Configs[0].Sched != "sms" || res.Configs[1].Sched != "exact" {
+		t.Errorf("AMEAN rows do not carry the sched coordinate: %+v", res.Configs)
+	}
+
+	bad := spec
+	bad.Scheds = []string{"simulated-annealing"}
+	_, err = bad.GridSize()
+	if err == nil || !IsSpecError(err) {
+		t.Fatalf("unknown backend: err=%v, want a spec error", err)
+	}
+	if !strings.Contains(err.Error(), sched.BackendSMS) || !strings.Contains(err.Error(), sched.BackendExact) {
+		t.Errorf("unknown-backend error does not list the valid backends: %v", err)
+	}
+}
+
+// TestMergeVetoesDifferingScheds: sweeps with different backend axes must
+// refuse to merge even when grid size and benchmark set coincide, while an
+// explicit ["sms"] axis and the bare default normalize to the same spec
+// identity and so shard-merge back into one sweep.
+func TestMergeVetoesDifferingScheds(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+	base := ExploreSpec{Benches: []string{"gsmdec"}, Clusters: []int{4}, Entries: []int{4, 8}}
+	smsRes, err := Explore(base)
+	if err != nil {
+		t.Fatalf("sms sweep: %v", err)
+	}
+	exactSpec := base
+	exactSpec.Scheds = []string{"exact"}
+	exactRes, err := Explore(exactSpec)
+	if err != nil {
+		t.Fatalf("exact sweep: %v", err)
+	}
+	if _, err := MergeExplore(smsRes, exactRes); err == nil {
+		t.Fatalf("merge of sms and exact sweeps succeeded; want a spec-identity veto")
+	}
+
+	// The default axis and an explicit ["sms"] resolve to the same identity
+	// (the pre-axis default), so shards swept under the two spellings of one
+	// sweep DO merge — and the merged result matches the unsharded run.
+	explicit := base
+	explicit.Scheds = []string{"sms"}
+	s0, err := ExploreCfg(DefaultRunConfig(), base, 0, 2)
+	if err != nil {
+		t.Fatalf("shard 0: %v", err)
+	}
+	s1, err := ExploreCfg(DefaultRunConfig(), explicit, 1, 2)
+	if err != nil {
+		t.Fatalf("shard 1: %v", err)
+	}
+	merged, err := MergeExplore(s0, s1)
+	if err != nil {
+		t.Fatalf("explicit [sms] shard refused to merge with the default: %v", err)
+	}
+	if len(merged.Cells) != len(smsRes.Cells) {
+		t.Fatalf("merged sweep has %d cells, unsharded has %d", len(merged.Cells), len(smsRes.Cells))
+	}
+	for i := range merged.Cells {
+		if merged.Cells[i] != smsRes.Cells[i] {
+			t.Errorf("merged cell %d differs from unsharded run:\n%+v\n%+v", i, merged.Cells[i], smsRes.Cells[i])
+		}
+	}
+}

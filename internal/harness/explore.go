@@ -40,10 +40,17 @@ func specErrorf(format string, args ...any) error {
 	return &SpecError{msg: "harness: " + fmt.Sprintf(format, args...)}
 }
 
-// IsSpecError reports whether err is (or wraps) a SpecError.
+// IsSpecError reports whether err is (or wraps) a SpecError. An unknown
+// scheduler backend counts too: wherever it surfaces (spec resolution or a
+// compile deep inside a run), it is the caller's request that was malformed,
+// so the serving layer maps it to a 400 rather than a 500.
 func IsSpecError(err error) bool {
 	var se *SpecError
-	return errors.As(err, &se)
+	if errors.As(err, &se) {
+		return true
+	}
+	var ub *sched.UnknownBackendError
+	return errors.As(err, &ub)
 }
 
 // ExploreSpec declares one design-space sweep. Zero-valued axes fall back to
@@ -74,6 +81,10 @@ type ExploreSpec struct {
 	// the deduplicated baseline runs.
 	PrefetchDists []int `json:"prefetch_dists,omitempty"`
 	RegBudgets    []int `json:"reg_budgets,omitempty"`
+	// Scheds sweeps the scheduler backend ("sms", "exact") as an axis; an
+	// entry of "" inherits Sched.Backend (defaulting to the heuristic).
+	// Like the other scheduler axes it applies to the L0 runs only.
+	Scheds []string `json:"scheds,omitempty"`
 	// Sched carries scheduler switches applied to the L0 runs (the
 	// baseline is always compiled with default options, like the figures).
 	Sched sched.Options `json:"-"`
@@ -120,6 +131,42 @@ func dedupInts(xs []int) []int {
 		}
 	}
 	return out
+}
+
+// resolveScheds normalizes the Scheds axis to canonical backend names in
+// first-occurrence order: an empty axis (or entry) inherits the spec's base
+// Sched.Backend, which itself defaults to the SMS heuristic; unknown names
+// are a spec error carrying the valid backend list.
+func (s ExploreSpec) resolveScheds() ([]string, error) {
+	axis := s.Scheds
+	if len(axis) == 0 {
+		axis = []string{""}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range axis {
+		if v == "" {
+			v = s.Sched.Backend
+		}
+		if v == "" {
+			v = sched.BackendSMS
+		}
+		ok := false
+		for _, b := range sched.Backends() {
+			if v == b {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, specErrorf("%v", &sched.UnknownBackendError{Name: v})
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out, nil
 }
 
 // resolveKernels normalizes the Kernels field to registered content hashes
@@ -211,9 +258,11 @@ type ExploreCell struct {
 	SubblockBytes int `json:"subblock_bytes"`
 	L1Latency     int `json:"l1_latency"`
 	// PrefetchDist/RegBudget are the scheduler-axis coordinates (0 = the
-	// spec's base Sched options / unbounded registers).
-	PrefetchDist int `json:"prefetch_dist"`
-	RegBudget    int `json:"reg_budget"`
+	// spec's base Sched options / unbounded registers); Sched is the
+	// resolved scheduler-backend coordinate ("sms" or "exact").
+	PrefetchDist int    `json:"prefetch_dist"`
+	RegBudget    int    `json:"reg_budget"`
+	Sched        string `json:"sched"`
 
 	BaseCycles int64 `json:"base_cycles"`
 	Cycles     int64 `json:"cycles"`
@@ -251,6 +300,7 @@ type ExploreConfig struct {
 	L1Latency     int     `json:"l1_latency"`
 	PrefetchDist  int     `json:"prefetch_dist"`
 	RegBudget     int     `json:"reg_budget"`
+	Sched         string  `json:"sched"`
 	AMeanCycles   float64 `json:"amean_cycles"`
 	AMeanEnergy   float64 `json:"amean_energy"`
 	Pareto        bool    `json:"pareto"`
@@ -268,6 +318,9 @@ type exploreSpecID struct {
 	L1Latencies   []int `json:"l1_latencies"`
 	PrefetchDists []int `json:"prefetch_dists"`
 	RegBudgets    []int `json:"reg_budgets"`
+	// Scheds is the resolved scheduler-backend axis; nil when it is the
+	// bare heuristic (the pre-axis default), so older shard files merge.
+	Scheds []string `json:"scheds,omitempty"`
 	// Kernels is the resolved content-hash list of the spec's Kernels
 	// field, so fleet/shard merges veto on differing submitted kernels.
 	// Inline sources and hash references to the same loop converge to one
@@ -291,10 +344,20 @@ func (s ExploreSpec) id() exploreSpecID {
 		// resolution already; keep the raw entries as a defensive fallback.
 		kernels = n.Kernels
 	}
+	scheds, err := n.resolveScheds()
+	if err != nil {
+		scheds = n.Scheds
+	}
+	if len(scheds) == 1 && scheds[0] == sched.BackendSMS {
+		// The bare heuristic is the pre-axis default: identical to every
+		// result recorded before the axis existed, so those still merge.
+		scheds = nil
+	}
 	return exploreSpecID{
 		Clusters: n.Clusters, Entries: n.Entries,
 		Subblocks: n.Subblocks, L1Latencies: n.L1Latencies,
 		PrefetchDists: n.PrefetchDists, RegBudgets: n.RegBudgets,
+		Scheds:  scheds,
 		Kernels: kernels,
 		Sched:   optsKeyOf(n.Sched),
 	}
@@ -332,12 +395,19 @@ func (s ExploreSpec) grid() ([]ExploreCell, []string, error) {
 	for i, b := range benches {
 		names[i] = b.Name
 	}
+	scheds, err := spec.resolveScheds()
+	if err != nil {
+		return nil, nil, err
+	}
 	var cells []ExploreCell
 	// Configurations are deduplicated on their *resolved* tuple: a derived
 	// subblock (spec value 0) can collide with an explicitly listed size
 	// (e.g. -subblock 0,8 at 4 clusters both resolve to 8), and duplicate
 	// cells would double-weight every AMEAN and Pareto aggregate.
-	type cfgKey struct{ n, e, sub, lat, pd, rb int }
+	type cfgKey struct {
+		n, e, sub, lat, pd, rb int
+		sc                     string
+	}
 	seen := map[cfgKey]bool{}
 	for _, n := range spec.Clusters {
 		for _, e := range spec.Entries {
@@ -345,28 +415,33 @@ func (s ExploreSpec) grid() ([]ExploreCell, []string, error) {
 				for _, lat := range spec.L1Latencies {
 					for _, pd := range spec.PrefetchDists {
 						for _, rb := range spec.RegBudgets {
-							probe := ExploreCell{Clusters: n, L1Latency: lat}
-							sub := probe.cfg(sb).L0SubblockBytes
-							// Like the subblock axis, scheduler-axis values
-							// dedup on their *effective* value, or equivalent
-							// configurations would be swept and double-counted:
-							// the scheduler normalizes distance <= 0 to 1 and
-							// ignores the distance entirely in adaptive mode,
-							// and a non-positive register budget means
-							// unbounded.
-							pd, rb := spec.resolvePrefetch(pd), spec.resolveRegBudget(rb)
-							k := cfgKey{n, e, sub, lat, pd, rb}
-							if seen[k] {
-								continue
-							}
-							seen[k] = true
-							for _, b := range benches {
-								cells = append(cells, ExploreCell{
-									Index: len(cells), Bench: b.Name,
-									Clusters: n, Entries: e,
-									SubblockBytes: sub, L1Latency: lat,
-									PrefetchDist: pd, RegBudget: rb,
-								})
+							for _, sc := range scheds {
+								probe := ExploreCell{Clusters: n, L1Latency: lat}
+								sub := probe.cfg(sb).L0SubblockBytes
+								// Like the subblock axis, scheduler-axis values
+								// dedup on their *effective* value, or equivalent
+								// configurations would be swept and double-counted:
+								// the scheduler normalizes distance <= 0 to 1 and
+								// ignores the distance entirely in adaptive mode,
+								// and a non-positive register budget means
+								// unbounded. Backends are canonical already
+								// (resolveScheds dedups), but they join the key
+								// so a future resolved collision stays deduped.
+								pd, rb := spec.resolvePrefetch(pd), spec.resolveRegBudget(rb)
+								k := cfgKey{n, e, sub, lat, pd, rb, sc}
+								if seen[k] {
+									continue
+								}
+								seen[k] = true
+								for _, b := range benches {
+									cells = append(cells, ExploreCell{
+										Index: len(cells), Bench: b.Name,
+										Clusters: n, Entries: e,
+										SubblockBytes: sub, L1Latency: lat,
+										PrefetchDist: pd, RegBudget: rb,
+										Sched: sc,
+									})
+								}
 							}
 						}
 					}
@@ -415,13 +490,21 @@ func (s ExploreSpec) GridBound() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	scheds, err := n.resolveScheds()
+	if err != nil {
+		return 0, err
+	}
 	const maxInt = int(^uint(0) >> 1)
 	bound := len(benches)
-	for _, axis := range [][]int{n.Clusters, n.Entries, n.Subblocks, n.L1Latencies, n.PrefetchDists, n.RegBudgets} {
-		if len(axis) > 0 && bound > maxInt/len(axis) {
+	for _, axis := range [][]int{n.Clusters, n.Entries, n.Subblocks, n.L1Latencies, n.PrefetchDists, n.RegBudgets, {}} {
+		l := len(axis)
+		if l == 0 {
+			l = len(scheds)
+		}
+		if l > 0 && bound > maxInt/l {
 			return maxInt, nil // saturate instead of overflowing
 		}
-		bound *= len(axis)
+		bound *= l
 	}
 	return bound, nil
 }
@@ -511,9 +594,16 @@ func ExploreCfg(rc RunConfig, spec ExploreSpec, shard, shards int) (*ExploreResu
 		opts.Sched = spec.Sched
 		// The cell carries resolved axis values (see grid): 0 distance
 		// only under the adaptive scheduler (where it is ignored), 0
-		// budget meaning unbounded — both safe to apply verbatim.
+		// budget meaning unbounded — both safe to apply verbatim. The
+		// backend is the cell's canonical resolved name; the run context
+		// reaches the compiler so a canceled job interrupts an exact
+		// search mid-flight instead of waiting out the node budget.
 		opts.Sched.PrefetchDistance = c.PrefetchDist
 		opts.Sched.RegistersPerCluster = c.RegBudget
+		opts.Sched.Backend = c.Sched
+		if rc.Ctx != nil {
+			opts.Sched.Ctx = rc.Ctx
+		}
 		return RunBenchmarkCached(workload.ByName(c.Bench), ArchL0, opts)
 	})
 	if err != nil {
@@ -620,6 +710,7 @@ func (r *ExploreResult) finalize() {
 			Clusters: c0.Clusters, Entries: c0.Entries,
 			SubblockBytes: c0.SubblockBytes, L1Latency: c0.L1Latency,
 			PrefetchDist: c0.PrefetchDist, RegBudget: c0.RegBudget,
+			Sched: c0.Sched,
 		}
 		for _, c := range r.Cells[start : start+nb] {
 			cfg.AMeanCycles += c.NormCycles

@@ -11,7 +11,7 @@ import (
 // exploreCellHeader is the column set shared by the text table, the
 // in-memory CSV emitter and the streaming CSV emitter.
 func exploreCellHeader() []string {
-	return []string{"index", "bench", "clusters", "entries", "subblock", "l1lat", "prefdist", "regbudget",
+	return []string{"index", "bench", "clusters", "entries", "subblock", "l1lat", "prefdist", "regbudget", "sched",
 		"base_cycles", "cycles", "norm_cycles", "stall_frac", "base_energy", "energy", "energy_ratio", "pareto"}
 }
 
@@ -22,7 +22,7 @@ func exploreCellRow(c ExploreCell) []string {
 		fmt.Sprintf("%d", c.Index), c.Bench,
 		fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
 		fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
-		fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget),
+		fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget), c.Sched,
 		fmt.Sprintf("%d", c.BaseCycles), fmt.Sprintf("%d", c.Cycles),
 		fmt.Sprintf("%.4f", c.NormCycles), fmt.Sprintf("%.4f", c.StallFrac),
 		fmt.Sprintf("%.0f", c.BaseEnergy), fmt.Sprintf("%.0f", c.Energy),
@@ -37,7 +37,7 @@ func exploreAMeanRow(c ExploreConfig) []string {
 	return []string{"", "AMEAN",
 		fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
 		fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
-		fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget),
+		fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget), c.Sched,
 		"", "",
 		fmt.Sprintf("%.4f", c.AMeanCycles), "",
 		"", "",
@@ -59,12 +59,12 @@ func exploreCellTable(r *ExploreResult) *stats.Table {
 // exploreConfigTable renders the per-configuration suite-AMEAN rows.
 func exploreConfigTable(r *ExploreResult) *stats.Table {
 	t := &stats.Table{Title: "Suite AMEAN per configuration (Pareto front of cycles vs energy marked *)"}
-	t.Header = []string{"clusters", "entries", "subblock", "l1lat", "prefdist", "regbudget", "amean_cycles", "amean_energy", "pareto"}
+	t.Header = []string{"clusters", "entries", "subblock", "l1lat", "prefdist", "regbudget", "sched", "amean_cycles", "amean_energy", "pareto"}
 	for _, c := range r.Configs {
 		t.Add(
 			fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
 			fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
-			fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget),
+			fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget), c.Sched,
 			fmt.Sprintf("%.4f", c.AMeanCycles), fmt.Sprintf("%.4f", c.AMeanEnergy),
 			paretoMark(c.Pareto),
 		)
@@ -96,7 +96,7 @@ func RenderExplore(w io.Writer, r *ExploreResult) error {
 		return err
 	}
 	front := &stats.Table{Title: "Per-benchmark Pareto fronts (cycles vs energy, lower is better)"}
-	front.Header = []string{"bench", "clusters", "entries", "subblock", "l1lat", "prefdist", "regbudget", "norm_cycles", "energy_ratio"}
+	front.Header = []string{"bench", "clusters", "entries", "subblock", "l1lat", "prefdist", "regbudget", "sched", "norm_cycles", "energy_ratio"}
 	for _, bench := range r.Benches {
 		for _, c := range r.Cells {
 			if c.Bench != bench || !c.Pareto {
@@ -105,7 +105,7 @@ func RenderExplore(w io.Writer, r *ExploreResult) error {
 			front.Add(c.Bench,
 				fmt.Sprintf("%d", c.Clusters), fmt.Sprintf("%d", c.Entries),
 				fmt.Sprintf("%d", c.SubblockBytes), fmt.Sprintf("%d", c.L1Latency),
-				fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget),
+				fmt.Sprintf("%d", c.PrefetchDist), fmt.Sprintf("%d", c.RegBudget), c.Sched,
 				fmt.Sprintf("%.4f", c.NormCycles), fmt.Sprintf("%.4f", c.EnergyRatio))
 		}
 	}

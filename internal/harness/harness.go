@@ -175,6 +175,11 @@ func RunBenchmark(b *workload.Benchmark, a Arch, opts Options) (*BenchResult, er
 		res.MV = &mv.Stats
 		model = mv
 		schedOpts.UseL0 = false
+		// The comparison baselines install per-run latency/placement
+		// callbacks, which the exact backend refuses; they always use the
+		// heuristic scheduler (the exact backend quantifies the paper's own
+		// scheduler, not the rival architectures' compilers).
+		schedOpts.Backend, schedOpts.ExactBudget = "", 0
 		p := multivliw.DefaultParams()
 		// Strided accesses with block-level reuse migrate to their users
 		// and hit locally, so the compiler schedules them with the local
@@ -218,6 +223,7 @@ func RunBenchmark(b *workload.Benchmark, a Arch, opts Options) (*BenchResult, er
 		res.IL = &il.Stats
 		model = il
 		schedOpts.UseL0 = false
+		schedOpts.Backend, schedOpts.ExactBudget = "", 0
 		p := interleaved.DefaultParams()
 		schedOpts.LoadLatencyFn = func(*ir.Instr, int) int { return p.RemoteLatency }
 	case ArchInterleaved2:
@@ -225,6 +231,7 @@ func RunBenchmark(b *workload.Benchmark, a Arch, opts Options) (*BenchResult, er
 		res.IL = &il.Stats
 		model = il
 		schedOpts.UseL0 = false
+		schedOpts.Backend, schedOpts.ExactBudget = "", 0
 		p := interleaved.DefaultParams()
 		schedOpts.LoadLatencyFn = func(in *ir.Instr, cluster int) int {
 			if il.StaysLocal(in) && (cluster == -1 || cluster == il.HomeClusterOf(in)) {

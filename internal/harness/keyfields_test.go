@@ -21,6 +21,8 @@ import (
 var schedOptsExempt = map[string]string{
 	"LoadLatencyFn":      "per-run callback; cacheable() bypasses the caches",
 	"PreferredClusterFn": "per-run callback; cacheable() bypasses the caches",
+	"Ctx":                "cancellation plumbing; a cancelled compile returns an error, which is evicted from the cache, never a result",
+	"ExactProgress":      "observability sink; progress wiring never alters what is computed",
 }
 
 // TestSchedOptsKeyExhaustive fails when sched.Options grows a field that
@@ -106,6 +108,7 @@ var exploreSpecIdentity = map[string]bool{
 	"L1Latencies":   true,
 	"PrefetchDists": true,
 	"RegBudgets":    true,
+	"Scheds":        true,
 	"Sched":         true,
 }
 
@@ -143,6 +146,7 @@ func TestExploreSpecIdentityDiscriminates(t *testing.T) {
 		"L1Latencies":   func(s *ExploreSpec) { s.L1Latencies = []int{7} },
 		"PrefetchDists": func(s *ExploreSpec) { s.PrefetchDists = []int{3} },
 		"RegBudgets":    func(s *ExploreSpec) { s.RegBudgets = []int{48} },
+		"Scheds":        func(s *ExploreSpec) { s.Scheds = []string{"exact"} },
 		"Sched":         func(s *ExploreSpec) { s.Sched.AllowPSR = true },
 	}
 	for name, inKey := range exploreSpecIdentity {

@@ -216,6 +216,26 @@ func (c *lruCache[K, V]) evictOverflow() {
 	}
 }
 
+// remove drops the entry for k if resident. Used to un-poison single-flight
+// entries whose fill failed with a caller-scoped error (a cancelled context):
+// the next request for the key must re-run the fill, not inherit the stale
+// cancellation. Goroutines already holding the detached entry keep it, the
+// same contract eviction relies on.
+func (c *lruCache[K, V]) remove(k K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, hit := c.items.Load(k)
+	if !hit {
+		return
+	}
+	e := el.(*list.Element)
+	s := e.Value.(*lruSlot[K, V])
+	c.ll.Remove(e)
+	c.items.Delete(s.key)
+	c.count--
+	c.bytes -= s.cost
+}
+
 // each calls f on every resident entry (stops early on false). Iteration
 // order is unspecified; callers needing determinism sort afterwards (the
 // snapshot exporter does). f runs under the cache lock and must not reenter.

@@ -208,6 +208,7 @@ var DeterministicPackages = []string{
 	"internal/sched",
 	"internal/server",
 	"internal/sms",
+	"internal/sms/exact",
 	"internal/stats",
 	"internal/trace",
 	"internal/unroll",

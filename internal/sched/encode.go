@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/ir"
+	"repro/internal/sms/exact"
 )
 
 // EncodedPlaced is the pointer-free form of one Placed entry. The instruction
@@ -45,6 +46,10 @@ type EncodedSchedule struct {
 	Prefetches []Prefetch        `json:"prefetches,omitempty"`
 	SetScheme  []CoherenceScheme `json:"set_scheme,omitempty"`
 	SetHome    []int             `json:"set_home,omitempty"`
+	// Cert carries the exact backend's certificate; absent on heuristic
+	// schedules, so pre-existing encodings decode unchanged (the field is
+	// additive — EncodingVersion stays 1).
+	Cert *exact.Certificate `json:"cert,omitempty"`
 }
 
 // Encode strips the schedule down to its stable form.
@@ -57,6 +62,7 @@ func (s *Schedule) Encode() *EncodedSchedule {
 		Prefetches: append([]Prefetch(nil), s.Prefetches...),
 		SetScheme:  append([]CoherenceScheme(nil), s.SetScheme...),
 		SetHome:    append([]int(nil), s.SetHome...),
+		Cert:       s.Cert,
 	}
 	for i := range s.Placed {
 		p := &s.Placed[i]
@@ -102,6 +108,10 @@ func DecodeSchedule(e *EncodedSchedule, loop *ir.Loop, cfg arch.Config, opts Opt
 		return nil, fmt.Errorf("sched: decode %q: %d set homes for %d set schemes",
 			loop.Name, len(e.SetHome), len(e.SetScheme))
 	}
+	if e.Cert != nil && len(e.Cert.Ops) != len(loop.Instrs) {
+		return nil, fmt.Errorf("sched: decode %q: certificate covers %d ops for %d instructions",
+			loop.Name, len(e.Cert.Ops), len(loop.Instrs))
+	}
 	s := &Schedule{
 		Loop: loop, Cfg: cfg, II: e.II, SC: e.SC,
 		Placed:     make([]Placed, len(e.Placed)),
@@ -109,6 +119,7 @@ func DecodeSchedule(e *EncodedSchedule, loop *ir.Loop, cfg arch.Config, opts Opt
 		Prefetches: append([]Prefetch(nil), e.Prefetches...),
 		SetScheme:  append([]CoherenceScheme(nil), e.SetScheme...),
 		SetHome:    append([]int(nil), e.SetHome...),
+		Cert:       e.Cert,
 	}
 	for i, p := range e.Placed {
 		if p.Cluster < 0 || p.Cluster >= cfg.Clusters {

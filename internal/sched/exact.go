@@ -1,0 +1,242 @@
+// Exact-backend integration: Compile's backend dispatch targets, the model
+// builder that translates a loop + config into the exact solver's Problem /
+// Machine form, and the construction of a full Schedule (hints, prefetches,
+// coherence schemes) from a realized exact assignment. The solver itself
+// lives in internal/sms/exact; this file owns the mapping in both directions
+// so certificates of either backend can be checked by the same validator.
+
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alias"
+	"repro/internal/arch"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/sms/exact"
+)
+
+// Scheduler backend names accepted by Options.Backend.
+const (
+	// BackendSMS is the swing-modulo-scheduling heuristic (the default;
+	// an empty Options.Backend selects it too).
+	BackendSMS = "sms"
+	// BackendExact is the branch-and-bound exact scheduler: it runs the
+	// heuristic first, proves a lower bound on the II, searches for a
+	// better schedule, and attaches a machine-checkable certificate.
+	BackendExact = "exact"
+)
+
+// Backends lists the valid Options.Backend values.
+func Backends() []string { return []string{BackendSMS, BackendExact} }
+
+// UnknownBackendError reports an Options.Backend value Compile does not
+// recognize. It is a typed error so serving layers can map it to a client
+// error (HTTP 400) listing the valid backends instead of a server fault.
+type UnknownBackendError struct {
+	Name string
+}
+
+func (e *UnknownBackendError) Error() string {
+	return fmt.Sprintf("sched: unknown scheduler backend %q (valid: %s)", e.Name, strings.Join(Backends(), ", "))
+}
+
+// compileExact is the `-sched exact` entry point. It always runs the
+// heuristic first — its schedule is the incumbent and its II the upper bound
+// — then proves a lower bound by exhausting IIs below it and, when the bound
+// sits strictly below the heuristic, searches for a schedule achieving it.
+// The returned schedule (heuristic or improved) carries a Certificate with
+// the proof trail.
+func compileExact(loop *ir.Loop, cfg arch.Config, opts Options) (*Schedule, error) {
+	if opts.LoadLatencyFn != nil || opts.PreferredClusterFn != nil {
+		return nil, fmt.Errorf("sched: the exact backend does not support per-run latency/cluster callbacks")
+	}
+	if opts.PrefetchDistance <= 0 {
+		opts.PrefetchDistance = 1
+	}
+	heurOpts := opts
+	heurOpts.Backend = BackendSMS
+	hsch, err := compileHeuristic(loop, cfg, heurOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	// hsch.Loop is the model loop (Compile rewrites for PSR before
+	// scheduling); the exact model must describe the same instructions.
+	mloop := hsch.Loop
+	als := alias.Analyze(mloop)
+	p, m := exactModel(mloop, cfg, opts, als)
+
+	// PSR replica stores must occupy distinct clusters — a constraint the
+	// realize search does not model, so under PSR the call only proves
+	// the lower bound and the heuristic schedule is kept.
+	noRealize := false
+	for _, in := range mloop.Instrs {
+		if in.ReplicaGroup != 0 {
+			noRealize = true
+			break
+		}
+	}
+
+	res, err := exact.Solve(opts.Ctx, p, m, hsch.II, exact.Options{
+		Budget:    opts.ExactBudget,
+		Progress:  opts.ExactProgress,
+		NoRealize: noRealize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sched: exact backend: %w", err)
+	}
+
+	sch := hsch
+	trail := res.Trail
+	if res.Found != nil {
+		if built, ok := buildExactSchedule(mloop, cfg, opts, als, res.Found); ok {
+			sch = built
+		} else {
+			// The improved schedule exceeds the register budget the
+			// options impose; keep the heuristic schedule and record
+			// honestly that the bound was not achieved.
+			trail = append(trail, exact.ProofStep{II: res.Found.II, Outcome: exact.OutcomeRegFile})
+		}
+	}
+	cert := CertificateFromSchedule(sch)
+	cert.Backend = BackendExact
+	cert.LowerBound = res.LowerBound
+	cert.Optimal = res.Complete && sch.II == res.LowerBound
+	cert.Nodes = res.Nodes
+	cert.Trail = trail
+	sch.Cert = cert
+	return sch, nil
+}
+
+// ExactModel builds the exact solver's view of a compilation: one Problem op
+// per instruction of the *model* loop (Schedule.Loop — after any PSR
+// rewrite) and the Machine resource envelope the options imply. Tests and
+// CLIs use it to validate certificates independently.
+func ExactModel(loop *ir.Loop, cfg arch.Config, opts Options) (*exact.Problem, exact.Machine) {
+	als := alias.Analyze(loop)
+	return exactModel(loop, cfg, opts, als)
+}
+
+func exactModel(loop *ir.Loop, cfg arch.Config, opts Options, als *alias.Result) (*exact.Problem, exact.Machine) {
+	g := ddg.Build(loop, initialLatency(cfg, Options{UseL0: opts.UseL0, MarkAllCandidates: opts.MarkAllCandidates}), als.Edges)
+	p := &exact.Problem{Ops: make([]exact.Op, len(loop.Instrs))}
+	for i, in := range loop.Instrs {
+		op := exact.Op{Kind: unitKindOf(in.Op), Lat: in.Op.DefaultLatency(), L0Lat: cfg.L0Latency}
+		if in.Op == ir.OpLoad {
+			op.Lat = cfg.L1Latency
+			op.CanL0 = opts.UseL0 && cfg.HasL0() && in.IsCandidate() &&
+				in.Mem != nil && in.Mem.Width <= cfg.L0SubblockBytes
+			if op.CanL0 {
+				// The realized schedule keeps load+store alias sets out
+				// of the buffers (the NL0 coherence treatment), so only
+				// loads of pure-load sets may be searched with the L0
+				// latency. CanL0 stays relaxed: the heuristic's 1C sets
+				// legitimately schedule such loads against L0.
+				si := als.SetOf[in.ID]
+				op.SearchL0 = si < 0 || !als.SetHasLoadAndStore(loop, si)
+			}
+		}
+		p.Ops[i] = op
+	}
+	for _, e := range g.Edges {
+		pe := exact.Edge{From: e.From, To: e.To, Dist: e.Distance}
+		if e.Kind == ddg.DepMem {
+			pe.Mem = true
+			pe.Lat = e.FixedLat
+		}
+		p.Edges = append(p.Edges, pe)
+	}
+	m := exact.Machine{
+		Clusters:    cfg.Clusters,
+		Units:       cfg.UnitsPerCluster,
+		CommBuses:   cfg.CommBuses,
+		CommLatency: cfg.CommLatency,
+	}
+	if opts.UseL0 && cfg.HasL0() {
+		if opts.MarkAllCandidates {
+			// The ablation schedules every candidate with the L0 latency
+			// and lets the buffers overflow at run time: no entry budget
+			// constrains the schedule.
+			m.L0Entries = arch.Unbounded
+		} else {
+			m.L0Entries = cfg.L0Entries
+		}
+	}
+	return p, m
+}
+
+// CertificateFromSchedule re-expresses a schedule in certificate form so the
+// independent validator can check it. UseL0 is recorded only where it means
+// "scheduled with the L0 latency" (loads); the heuristic's coherence-marker
+// bit on 1C/PSR stores is not a latency claim and is dropped.
+func CertificateFromSchedule(sch *Schedule) *exact.Certificate {
+	cert := &exact.Certificate{
+		II:         sch.II,
+		LowerBound: 1,
+		Backend:    BackendSMS,
+		Ops:        make([]exact.CertOp, len(sch.Placed)),
+	}
+	for i := range sch.Placed {
+		pl := &sch.Placed[i]
+		co := exact.CertOp{Cycle: pl.Cycle, Cluster: pl.Cluster, Latency: pl.Latency}
+		if pl.Instr.Op == ir.OpLoad && pl.UseL0 {
+			co.UseL0 = true
+		}
+		cert.Ops[i] = co
+	}
+	for _, c := range sch.Comms {
+		cert.Comms = append(cert.Comms, exact.CertComm{Producer: c.Producer, Cycle: c.Cycle})
+	}
+	return cert
+}
+
+// buildExactSchedule turns a realized exact assignment into a full Schedule:
+// placements and broadcasts are replayed into a fresh reservation table so
+// the heuristic's own hint and prefetch passes run unchanged on top. Returns
+// ok=false when the schedule exceeds the configured register budget (the
+// caller keeps the heuristic schedule).
+func buildExactSchedule(mloop *ir.Loop, cfg arch.Config, opts Options, als *alias.Result, a *exact.Assignment) (*Schedule, bool) {
+	s := &state{cfg: cfg, opts: opts, loop: mloop, als: als, g: ddg.Build(mloop, initialLatency(cfg, opts), als.Edges)}
+	s.prepare(a.II)
+	// Coherence schemes of a realized schedule: sets mixing loads and
+	// stores stay out of the buffers entirely (NL0 — the search never
+	// marks their loads), everything else needs no treatment.
+	for i := range als.Sets {
+		if als.SetHasLoadAndStore(mloop, i) {
+			s.setScheme[i] = SchemeNL0
+		} else {
+			s.setScheme[i] = SchemeFree
+		}
+		s.setDecided[i] = true
+	}
+	for i, in := range mloop.Instrs {
+		s.placed[i] = Placed{Instr: in, Cluster: a.Cluster[i], Cycle: a.Cycle[i], Latency: a.Lat[i], UseL0: a.UseL0[i]}
+		s.done[i] = true
+		s.m.reserveUnit(a.Cycle[i], a.Cluster[i], unitKindOf(in.Op))
+	}
+	sch := &Schedule{
+		Loop:      mloop,
+		Cfg:       cfg,
+		II:        a.II,
+		Placed:    s.placed,
+		SetScheme: s.setScheme,
+		SetHome:   s.setHome,
+	}
+	for _, cm := range a.Comms {
+		s.m.reserveBus(cm.Cycle)
+		sch.Comms = append(sch.Comms, Comm{Producer: cm.Producer, Cycle: cm.Cycle})
+	}
+	sch.SC = (sch.Span() + a.II - 1) / a.II
+	assignHints(sch, s)
+	if opts.UseL0 && !opts.DisableExplicitPrefetch {
+		insertExplicitPrefetches(sch, s)
+	}
+	revalidateSeqHints(sch)
+	if opts.RegistersPerCluster > 0 && !FitsRegisterFile(sch, opts.RegistersPerCluster) {
+		return nil, false
+	}
+	return sch, true
+}

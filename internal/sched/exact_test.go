@@ -1,0 +1,227 @@
+package sched_test
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/ir"
+	"repro/internal/sched"
+	"repro/internal/sms/exact"
+	"repro/internal/unroll"
+	"repro/internal/vliw"
+	"repro/internal/workload"
+)
+
+// suiteLoop builds one suite kernel's scheduling input exactly the way the
+// harness and the l0sched CLI do: addresses assigned, unroll factor chosen
+// against the no-L0 config, body unrolled.
+func suiteLoop(t *testing.T, k *workload.Kernel) *ir.Loop {
+	t.Helper()
+	loop := k.Loop()
+	workload.AssignAddresses(loop, 1<<16)
+	factor := sched.ChooseUnrollFactor(loop, arch.MICRO36Config().WithL0Entries(0))
+	if factor > 1 {
+		body, err := unroll.ByFactor(loop, factor)
+		if err != nil {
+			t.Fatalf("unroll %s: %v", loop.Name, err)
+		}
+		return body
+	}
+	return loop
+}
+
+// TestExactDifferentialSuite runs both backends over every suite kernel and
+// holds them to the contract: the exact backend never returns a worse II than
+// the heuristic, every certificate (exact and heuristic re-expressed) passes
+// the shared independent validator, the exact schedule still feeds the VLIW
+// simulator, and at least 5 benchmarks close with a proven optimality
+// certificate inside the default budget.
+func TestExactDifferentialSuite(t *testing.T) {
+	cfg := arch.MICRO36Config()
+	opts := sched.Options{UseL0: true, PrefetchDistance: 1}
+
+	optimalBenches := 0
+	for _, b := range workload.Suite() {
+		benchOptimal := true
+		for i := range b.Kernels {
+			k := &b.Kernels[i]
+			body := suiteLoop(t, k)
+
+			hOpts := opts
+			hOpts.Backend = sched.BackendSMS
+			hsch, err := sched.Compile(body, cfg, hOpts)
+			if err != nil {
+				t.Fatalf("%s/%s heuristic: %v", b.Name, k.Name, err)
+			}
+
+			eOpts := opts
+			eOpts.Backend = sched.BackendExact
+			esch, err := sched.Compile(suiteLoop(t, k), cfg, eOpts)
+			if err != nil {
+				t.Fatalf("%s/%s exact: %v", b.Name, k.Name, err)
+			}
+
+			if esch.II > hsch.II {
+				t.Errorf("%s/%s: exact II %d worse than heuristic II %d", b.Name, k.Name, esch.II, hsch.II)
+			}
+			c := esch.Cert
+			if c == nil {
+				t.Fatalf("%s/%s: exact schedule carries no certificate", b.Name, k.Name)
+			}
+			if c.II != esch.II || c.Backend != sched.BackendExact {
+				t.Errorf("%s/%s: certificate header %+v does not match schedule II %d", b.Name, k.Name, c, esch.II)
+			}
+			if c.LowerBound > c.II {
+				t.Errorf("%s/%s: lower bound %d above achieved II %d", b.Name, k.Name, c.LowerBound, c.II)
+			}
+			if c.Optimal && c.II != c.LowerBound {
+				t.Errorf("%s/%s: optimal certificate with II %d != bound %d", b.Name, k.Name, c.II, c.LowerBound)
+			}
+
+			// Both schedules must pass the one validator, against the model
+			// each schedule was compiled for.
+			p, m := sched.ExactModel(esch.Loop, cfg, eOpts)
+			if err := exact.Validate(c, p, m); err != nil {
+				t.Errorf("%s/%s: exact certificate rejected: %v", b.Name, k.Name, err)
+			}
+			hc := sched.CertificateFromSchedule(hsch)
+			hp, hm := sched.ExactModel(hsch.Loop, cfg, hOpts)
+			if err := exact.Validate(hc, hp, hm); err != nil {
+				t.Errorf("%s/%s: heuristic certificate rejected: %v", b.Name, k.Name, err)
+			}
+
+			// The exact schedule must still be executable.
+			if _, err := vliw.NewProgram(esch); err != nil {
+				t.Errorf("%s/%s: exact schedule rejected by simulator: %v", b.Name, k.Name, err)
+			}
+
+			if !c.Optimal {
+				benchOptimal = false
+			}
+		}
+		if benchOptimal {
+			optimalBenches++
+		}
+	}
+	if optimalBenches < 5 {
+		t.Errorf("only %d suite benchmarks closed with proven-optimal certificates, want >= 5", optimalBenches)
+	}
+}
+
+// TestExactBackendNameNormalization: an empty backend and the explicit "sms"
+// name compile to byte-identical schedules — the default path is untouched.
+func TestExactBackendNameNormalization(t *testing.T) {
+	cfg := arch.MICRO36Config()
+	b := workload.Suite()[0]
+	body := suiteLoop(t, &b.Kernels[0])
+
+	def, err := sched.Compile(body, cfg, sched.Options{UseL0: true, PrefetchDistance: 1})
+	if err != nil {
+		t.Fatalf("default compile: %v", err)
+	}
+	named, err := sched.Compile(suiteLoop(t, &b.Kernels[0]), cfg,
+		sched.Options{UseL0: true, PrefetchDistance: 1, Backend: sched.BackendSMS})
+	if err != nil {
+		t.Fatalf("sms compile: %v", err)
+	}
+	if !reflect.DeepEqual(def.Encode(), named.Encode()) {
+		t.Fatalf("Backend \"\" and %q compile differently", sched.BackendSMS)
+	}
+	if def.Cert != nil {
+		t.Fatalf("heuristic schedule unexpectedly carries a certificate")
+	}
+}
+
+// TestUnknownBackendTypedError: an unrecognized scheduler name fails with the
+// typed error that lists the valid backends — not a silent SMS fallback.
+func TestUnknownBackendTypedError(t *testing.T) {
+	b := workload.Suite()[0]
+	body := suiteLoop(t, &b.Kernels[0])
+	_, err := sched.Compile(body, arch.MICRO36Config(), sched.Options{UseL0: true, Backend: "simulated-annealing"})
+	if err == nil {
+		t.Fatal("unknown backend compiled without error")
+	}
+	var ube *sched.UnknownBackendError
+	if !errors.As(err, &ube) {
+		t.Fatalf("error %T is not *UnknownBackendError: %v", err, err)
+	}
+	if ube.Name != "simulated-annealing" {
+		t.Errorf("error names backend %q", ube.Name)
+	}
+	for _, want := range sched.Backends() {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list valid backend %q", err, want)
+		}
+	}
+}
+
+// TestExactCertificateRoundTrip: the certificate survives the schedule's wire
+// encoding (JSON) and rebinds through DecodeSchedule unchanged.
+func TestExactCertificateRoundTrip(t *testing.T) {
+	cfg := arch.MICRO36Config()
+	opts := sched.Options{UseL0: true, PrefetchDistance: 1, Backend: sched.BackendExact}
+	b := workload.Suite()[0]
+	sch, err := sched.Compile(suiteLoop(t, &b.Kernels[0]), cfg, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if sch.Cert == nil {
+		t.Fatal("no certificate on exact schedule")
+	}
+	blob, err := json.Marshal(sch.Encode())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var enc sched.EncodedSchedule
+	if err := json.Unmarshal(blob, &enc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	// DecodeSchedule rebinds against the pre-PSR loop, like the cache does.
+	dec, err := sched.DecodeSchedule(&enc, suiteLoop(t, &b.Kernels[0]), cfg, opts)
+	if err != nil {
+		t.Fatalf("DecodeSchedule: %v", err)
+	}
+	if !reflect.DeepEqual(dec.Cert, sch.Cert) {
+		t.Fatalf("certificate changed across encode/decode:\n%+v\nvs\n%+v", dec.Cert, sch.Cert)
+	}
+	p, m := sched.ExactModel(dec.Loop, cfg, opts)
+	if err := exact.Validate(dec.Cert, p, m); err != nil {
+		t.Fatalf("decoded certificate rejected: %v", err)
+	}
+}
+
+// TestExactHeuristicPathsShareFigures: compiling with the exact backend never
+// perturbs what the heuristic produces for the same input — the heuristic
+// schedule embedded in the exact flow is the one the default path computes.
+func TestExactHeuristicPathsShareFigures(t *testing.T) {
+	cfg := arch.MICRO36Config()
+	b := workload.Suite()[0]
+	for i := range b.Kernels {
+		k := &b.Kernels[i]
+		h, err := sched.Compile(suiteLoop(t, k), cfg, sched.Options{UseL0: true, PrefetchDistance: 1})
+		if err != nil {
+			t.Fatalf("%s heuristic: %v", k.Name, err)
+		}
+		e, err := sched.Compile(suiteLoop(t, k), cfg,
+			sched.Options{UseL0: true, PrefetchDistance: 1, Backend: sched.BackendExact})
+		if err != nil {
+			t.Fatalf("%s exact: %v", k.Name, err)
+		}
+		if e.Cert.Optimal && e.II > h.II {
+			t.Errorf("%s: optimal exact II %d above heuristic II %d", k.Name, e.II, h.II)
+		}
+		// When the search finds nothing better, the exact backend returns
+		// the heuristic schedule itself, byte-for-byte.
+		if e.II == h.II {
+			ee, he := e.Encode(), h.Encode()
+			ee.Cert = nil
+			if !reflect.DeepEqual(ee, he) {
+				t.Errorf("%s: exact backend at the heuristic II altered the schedule", k.Name)
+			}
+		}
+	}
+}

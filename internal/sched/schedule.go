@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/ir"
+	"repro/internal/sms/exact"
 )
 
 // CoherenceScheme identifies how a memory-dependent set with loads and
@@ -98,6 +99,10 @@ type Schedule struct {
 	SetScheme []CoherenceScheme
 	// SetHome is the 1C home cluster per set (-1 when unconstrained).
 	SetHome []int
+	// Cert is the exact backend's machine-checkable certificate (chosen
+	// II, proven lower bound, proof trail); nil for heuristic-only
+	// compilations.
+	Cert *exact.Certificate
 }
 
 // Span returns the length of the flat schedule in cycles.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/ddg"
 	"repro/internal/ir"
 	"repro/internal/sms"
+	"repro/internal/sms/exact"
 )
 
 // Options selects the scheduling algorithm variant.
@@ -48,6 +50,27 @@ type Options struct {
 	// "may require the insertion of spill code or the increase of the
 	// II" (this scheduler increases the II; it does not spill).
 	RegistersPerCluster int
+
+	// Backend selects the scheduling algorithm: "" or BackendSMS for the
+	// SMS heuristic (the default), BackendExact for the branch-and-bound
+	// exact backend (which attaches a Certificate to the schedule).
+	// Unknown names are rejected with *UnknownBackendError.
+	Backend string
+	// ExactBudget caps the exact backend's search in branch nodes; <= 0
+	// selects exact.DefaultBudget. The budget shapes the result (a
+	// truncated search returns a weaker bound), so it is part of every
+	// cache key.
+	ExactBudget int64
+
+	// Ctx, when set, cancels long exact-backend searches cooperatively;
+	// nil means no cancellation. A cancelled compile returns the context
+	// error.
+	//lint:nonkey cancellation plumbing: a cancelled compile returns an error, which callers never cache as a result
+	Ctx context.Context
+	// ExactProgress, when non-nil, receives the exact search's node and
+	// incumbent-II counters for job-status reporting.
+	//lint:nonkey observability sink; progress wiring never alters what is computed
+	ExactProgress *exact.Progress
 
 	// LoadLatencyFn, when set (and UseL0 is false), supplies the load
 	// latency the compiler schedules for a load placed on a given
@@ -180,8 +203,26 @@ func resizeClearedLists(s [][]int, n int) [][]int {
 	return s
 }
 
-// Compile modulo-schedules the loop for the given machine.
+// Compile modulo-schedules the loop for the given machine, dispatching on
+// the selected backend. The default ("" or BackendSMS) is the paper's
+// heuristic; BackendExact wraps it with a lower-bound proof and improvement
+// search. Unknown backend names fail with a typed *UnknownBackendError —
+// never a silent fallback — so a mistyped axis value in a sweep spec
+// surfaces as a client error instead of silently re-measuring SMS.
 func Compile(loop *ir.Loop, cfg arch.Config, opts Options) (*Schedule, error) {
+	switch opts.Backend {
+	case "", BackendSMS:
+		return compileHeuristic(loop, cfg, opts)
+	case BackendExact:
+		return compileExact(loop, cfg, opts)
+	default:
+		return nil, &UnknownBackendError{Name: opts.Backend}
+	}
+}
+
+// compileHeuristic is the SMS heuristic pipeline (the pre-backend Compile
+// body, unchanged: default-path schedules stay byte-identical).
+func compileHeuristic(loop *ir.Loop, cfg arch.Config, opts Options) (*Schedule, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

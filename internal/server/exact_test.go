@@ -1,0 +1,184 @@
+// HTTP-facing tests for the exact scheduler backend: the sched axis must be
+// byte-identical between a local sweep and the HTTP path, repeats must be
+// search-free, unknown backends must answer 400 naming the valid set, and a
+// cancelled exact job must not poison the schedule cache for the identical
+// resubmission. All of this runs under -race -shuffle=on in CI; the exact
+// solver spawns no goroutines of its own, so these passing race-clean is
+// also the no-goroutine-leak check for cancelled searches.
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/sched"
+)
+
+// exactReq is smallReq with the backend axis opened up: every configuration
+// swept by both the heuristic and the exact backend.
+func exactReq() ExploreRequest {
+	r := smallReq()
+	r.Scheds = []string{"sms", "exact"}
+	return r
+}
+
+// TestExploreSchedsHTTPParity: the sched axis through the HTTP API emits the
+// same bytes as the local engine, and the repeat request is served from the
+// certificate-carrying schedule cache — the exact search counters must not
+// move a second time.
+func TestExploreSchedsHTTPParity(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 2})
+
+	want := localRender(t, exactReq(), "json")
+	resp, body := postJSON(t, ts.URL+"/v1/explore?format=json", exactReq())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explore: status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("HTTP sweep differs from local sweep (%d vs %d bytes)", len(body), len(want))
+	}
+	if !bytes.Contains(body, []byte(`"sched": "exact"`)) {
+		t.Fatalf("sweep has no exact-backend cells")
+	}
+
+	st := harness.CacheStatsNow()
+	if st.ExactSearches == 0 {
+		t.Fatalf("sweep performed no exact searches")
+	}
+	resp, repeat := postJSON(t, ts.URL+"/v1/explore?format=json", exactReq())
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(repeat, want) {
+		t.Fatalf("repeat sweep: status %d, bytes equal %v", resp.StatusCode, bytes.Equal(repeat, want))
+	}
+	if after := harness.CacheStatsNow(); after.ExactSearches != st.ExactSearches || after.ExactNodes != st.ExactNodes {
+		t.Errorf("repeat sweep was not search-free: searches %d -> %d, nodes %d -> %d",
+			st.ExactSearches, after.ExactSearches, st.ExactNodes, after.ExactNodes)
+	}
+}
+
+// TestUnknownBackendAnswers400: a bogus backend name in either the explore
+// sched axis or the single-run endpoint is a client error, and the body
+// names the valid backends so the client can self-correct.
+func TestUnknownBackendAnswers400(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 2})
+
+	bad := smallReq()
+	bad.Scheds = []string{"simulated-annealing"}
+	resp, body := postJSON(t, ts.URL+"/v1/explore", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("explore with unknown backend: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	for _, name := range []string{sched.BackendSMS, sched.BackendExact} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("explore 400 body does not name backend %q: %s", name, body)
+		}
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/run", RunRequest{Bench: "gsmdec", Sched: "simulated-annealing"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("run with unknown backend: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), sched.BackendExact) {
+		t.Errorf("run 400 body does not name the valid backends: %s", body)
+	}
+}
+
+// TestRunExactBackend: the single-run endpoint accepts the exact backend and
+// agrees with the heuristic on the suite (where the heuristic is provably
+// optimal — docs/gap_study.md).
+func TestRunExactBackend(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 2})
+
+	var heur, exact RunResponse
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Bench: "gsmdec", Clusters: 4, Entries: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heuristic run: status %d: %s", resp.StatusCode, body)
+	}
+	json.Unmarshal(body, &heur)
+	resp, body = postJSON(t, ts.URL+"/v1/run", RunRequest{Bench: "gsmdec", Clusters: 4, Entries: 8, Sched: "exact"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact run: status %d: %s", resp.StatusCode, body)
+	}
+	json.Unmarshal(body, &exact)
+	if heur.Total != exact.Total || exact.Total == 0 {
+		t.Errorf("backends disagree on gsmdec: heuristic %d, exact %d cycles", heur.Total, exact.Total)
+	}
+	if st := harness.CacheStatsNow(); st.ExactSearches == 0 {
+		t.Errorf("exact run performed no searches (backend field ignored?)")
+	}
+}
+
+// TestExactJobCancelThenResubmit: cancel an exact-backend job (queued behind
+// a long job holding the single running slot, so the cancellation is
+// deterministic), then resubmit the identical request — it must complete,
+// proving the cancelled attempt left no poisoned entry in the schedule
+// cache. The done job's status must carry the exact progress fields.
+func TestExactJobCancelThenResubmit(t *testing.T) {
+	harness.ResetCaches()
+	defer harness.ResetCaches()
+	ts := newTestServer(t, Config{WorkerBudget: 1, MaxConcurrent: 1, MaxQueued: 8})
+
+	long := ExploreRequest{Clusters: []int{4, 8}, Entries: []int{4, 8, 16}, Async: true}
+	resp, body := postJSON(t, ts.URL+"/v1/explore", long)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("long job: status %d: %s", resp.StatusCode, body)
+	}
+	var longSt JobStatus
+	json.Unmarshal(body, &longSt)
+
+	target := ExploreRequest{Benches: []string{"gsmdec"}, Clusters: []int{4}, Entries: []int{8},
+		Scheds: []string{"exact"}, Async: true}
+	resp, body = postJSON(t, ts.URL+"/v1/explore", target)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("exact job: status %d: %s", resp.StatusCode, body)
+	}
+	var exactSt JobStatus
+	json.Unmarshal(body, &exactSt)
+
+	if resp, body := postJSON(t, ts.URL+"/v1/jobs/"+exactSt.ID+"/cancel", struct{}{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d: %s", resp.StatusCode, body)
+	}
+	if st := waitJob(t, ts.URL, exactSt.ID); st.State != JobCanceled {
+		t.Fatalf("cancelled exact job finished %s (error %q)", st.State, st.Error)
+	}
+	postJSON(t, ts.URL+"/v1/jobs/"+longSt.ID+"/cancel", struct{}{})
+	waitJob(t, ts.URL, longSt.ID)
+
+	// Identical request, fresh job: must run to done even though the
+	// previous attempt may have begun (and cancelled) the same compiles.
+	target2 := target
+	resp, body = postJSON(t, ts.URL+"/v1/explore", target2)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d: %s", resp.StatusCode, body)
+	}
+	var resubSt JobStatus
+	json.Unmarshal(body, &resubSt)
+	done := waitJob(t, ts.URL, resubSt.ID)
+	if done.State != JobDone {
+		t.Fatalf("resubmitted exact job finished %s (error %q) — cancelled attempt poisoned the cache?", done.State, done.Error)
+	}
+	resp, body = getBody(t, ts.URL+"/v1/jobs/"+resubSt.ID+"/result")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"sched": "exact"`)) {
+		t.Fatalf("resubmitted job result: status %d: %s", resp.StatusCode, body)
+	}
+
+	// The status JSON of a finished exact job round-trips its progress
+	// counters (they may legitimately be zero: provably-optimal kernels
+	// close at the root, and warm cache hits never search).
+	raw, _ := json.Marshal(done)
+	for _, f := range []string{"state", "id"} {
+		if !bytes.Contains(raw, []byte(`"`+f+`"`)) {
+			t.Errorf("job status JSON missing %q: %s", f, raw)
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/sms/exact"
 )
 
 // JobState is the lifecycle of one submitted sweep.
@@ -42,6 +44,12 @@ type job struct {
 	contentType string
 	errMsg      string
 
+	// progress is the exact-scheduler search sink wired into the sweep's
+	// options: long branch-and-bound searches report node counts and the
+	// incumbent II here, so job status shows a search moving. Allocated for
+	// every job (heuristic sweeps simply never write to it).
+	progress *exact.Progress
+
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -65,6 +73,12 @@ type JobStatus struct {
 	FinishedAt string `json:"finished_at,omitempty"`
 	// Seconds of run time (so far for running jobs).
 	RunSeconds float64 `json:"run_seconds,omitempty"`
+
+	// ExactNodes/ExactIncumbentII report exact-backend search progress:
+	// branch nodes explored so far and the best (smallest) II realized by
+	// the current search. Zero for heuristic sweeps.
+	ExactNodes       int64 `json:"exact_nodes,omitempty"`
+	ExactIncumbentII int64 `json:"exact_incumbent_ii,omitempty"`
 }
 
 func (j *job) status() JobStatus {
@@ -88,6 +102,10 @@ func (j *job) status() JobStatus {
 	}
 	if j.state == JobDone {
 		st.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	if j.progress != nil {
+		st.ExactNodes = j.progress.Nodes.Load()
+		st.ExactIncumbentII = j.progress.Incumbent.Load()
 	}
 	return st
 }
@@ -157,8 +175,9 @@ func (t *jobTable) add(format string, gridSize int, cancel context.CancelFunc) *
 		id:     fmt.Sprintf("job-%d", t.next),
 		state:  JobQueued,
 		format: format, gridSize: gridSize,
-		created: t.now(),
-		cancel:  cancel,
+		created:  t.now(),
+		cancel:   cancel,
+		progress: &exact.Progress{},
 	}
 	t.jobs[j.id] = j
 	t.ids = append(t.ids, j.id)

@@ -261,6 +261,13 @@ type ExploreRequest struct {
 	L1Latencies   []int    `json:"l1_latencies,omitempty"`
 	PrefetchDists []int    `json:"prefetch_dists,omitempty"`
 	RegBudgets    []int    `json:"reg_budgets,omitempty"`
+	// Scheds sweeps the scheduler backend ("sms", "exact") as a grid axis;
+	// unknown names answer 400 with the valid list. ExactBudget caps the
+	// exact backend's branch-and-bound search per kernel (nodes; 0 = the
+	// solver default) — an exhausted budget keeps the heuristic schedule
+	// and marks its certificate non-optimal rather than failing the sweep.
+	Scheds      []string `json:"scheds,omitempty"`
+	ExactBudget int64    `json:"exact_budget,omitempty"`
 	// Adaptive/MarkAll are the scheduler ablation switches of l0explore.
 	Adaptive bool `json:"adaptive,omitempty"`
 	MarkAll  bool `json:"markall,omitempty"`
@@ -288,9 +295,11 @@ func (r *ExploreRequest) Spec() harness.ExploreSpec {
 		Clusters: r.Clusters, Entries: r.Entries,
 		Subblocks: r.Subblocks, L1Latencies: r.L1Latencies,
 		PrefetchDists: r.PrefetchDists, RegBudgets: r.RegBudgets,
+		Scheds: r.Scheds,
 		Sched: sched.Options{
 			AdaptivePrefetchDistance: r.Adaptive,
 			MarkAllCandidates:        r.MarkAll,
+			ExactBudget:              r.ExactBudget,
 		},
 	}
 }
@@ -307,6 +316,10 @@ type RunRequest struct {
 	L1Latency int    `json:"l1_latency,omitempty"`
 	Adaptive  bool   `json:"adaptive,omitempty"`
 	MarkAll   bool   `json:"markall,omitempty"`
+	// Sched selects the scheduler backend ("sms" default, "exact");
+	// ExactBudget caps the exact search in branch nodes (0 = default).
+	Sched       string `json:"sched,omitempty"`
+	ExactBudget int64  `json:"exact_budget,omitempty"`
 }
 
 // RunResponse carries the per-kernel and aggregate outcome plus the relative
@@ -416,6 +429,8 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 		"sim_bypassed":       st.SimBypassed,
 		"sim_disabled":       st.SimDisabled,
 		"simulations":        st.Simulations,
+		"exact_searches":     st.ExactSearches,
+		"exact_nodes":        st.ExactNodes,
 		"loaded":             s.loaded,
 		"saves":              s.saves.Load(),
 		"cache_path":         s.cfg.CachePath,
@@ -589,6 +604,9 @@ func (s *Server) runExplore(ctx context.Context, adm *admission, j *job, req *Ex
 	// Running now: the admission slot goes back to the waiting queue.
 	adm.release()
 	j.setRunning(workers)
+	// Exact-backend searches report node counts and incumbent II through the
+	// job's progress sink, so GET /v1/jobs/{id} shows a long search moving.
+	spec.Sched.ExactProgress = j.progress
 	rc := harness.RunConfig{Workers: workers, Ctx: ctx}
 	res, err := harness.ExploreCfg(rc, spec, req.Shard, req.Shards)
 	if err != nil {
@@ -722,10 +740,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	opts := harness.Options{Cfg: cfg, Sched: sched.Options{
 		AdaptivePrefetchDistance: req.Adaptive,
 		MarkAllCandidates:        req.MarkAll,
+		Backend:                  req.Sched,
+		ExactBudget:              req.ExactBudget,
+		Ctx:                      r.Context(),
 	}}
 	res, err := harness.RunBenchmarkCached(b, a, opts)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		status := http.StatusInternalServerError
+		if harness.IsSpecError(err) {
+			status = http.StatusBadRequest // e.g. an unknown scheduler backend
+		}
+		httpError(w, status, "%v", err)
 		return
 	}
 	resp := RunResponse{

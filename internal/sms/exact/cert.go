@@ -1,0 +1,245 @@
+// Schedule certificates: a machine-checkable record of what the exact
+// backend concluded for one (kernel, config, options) triple, and an
+// independent validator that re-checks a claimed schedule against the
+// dependence and resource constraints from first principles. Validate shares
+// no code with either scheduler — it is the oracle the differential and fuzz
+// tests trust, so it re-derives every constraint directly from the Problem
+// and Machine.
+
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Trail outcome values. A trail documents the solver's II scan: which IIs
+// were proven infeasible, where the search stopped, and how the final
+// schedule was obtained.
+const (
+	// OutcomeMinII: the best known II already equals the static MinII
+	// lower bound — optimal with no search.
+	OutcomeMinII = "mii"
+	// OutcomeUNSAT: the decide search exhausted this II; no schedule of
+	// any kind exists at it.
+	OutcomeUNSAT = "unsat"
+	// OutcomeSAT: the decide relaxation admits this II — it becomes the
+	// proven lower bound.
+	OutcomeSAT = "sat"
+	// OutcomeRealized: the realize search found a full schedule at this
+	// II, beating the heuristic.
+	OutcomeRealized = "realized"
+	// OutcomeUnrealized: the realize search exhausted this II without a
+	// schedule (the restricted model cannot achieve it).
+	OutcomeUnrealized = "unrealized"
+	// OutcomeBudget: the node budget ran out mid-search at this II.
+	OutcomeBudget = "budget"
+	// OutcomeRegFile: a realized schedule at this II was rejected for
+	// exceeding the configured register budget (recorded by the sched
+	// layer; the heuristic schedule is kept).
+	OutcomeRegFile = "regfile"
+)
+
+// ProofStep is one entry of the solver's II scan trail.
+type ProofStep struct {
+	II      int    `json:"ii"`
+	Outcome string `json:"outcome"`
+	Nodes   int64  `json:"nodes,omitempty"`
+}
+
+// CertOp is the scheduling decision for one op: absolute start cycle,
+// cluster, the latency the schedule assumed, and — for loads only — whether
+// the op runs against the L0 buffer. (The heuristic also flags coherence-
+// marker stores with its internal UseL0 bit; certificates record the bit
+// only where it means "scheduled with the L0 latency", so the entry
+// accounting below stays meaningful.)
+type CertOp struct {
+	Cycle   int  `json:"cycle"`
+	Cluster int  `json:"cluster"`
+	Latency int  `json:"latency"`
+	UseL0   bool `json:"use_l0,omitempty"`
+}
+
+// CertComm is one inter-cluster broadcast: the value of Producer leaves on a
+// bus at Cycle and is visible in every cluster at Cycle+CommLatency.
+type CertComm struct {
+	Producer int `json:"producer"`
+	Cycle    int `json:"cycle"`
+}
+
+// Certificate is the full machine-checkable result of one exact-backend
+// compilation (or, via the sched package, a heuristic schedule re-expressed
+// so the same validator can check it).
+type Certificate struct {
+	// II is the initiation interval of the schedule the Ops describe.
+	II int `json:"ii"`
+	// LowerBound is the proven lower bound on any schedule's II.
+	LowerBound int `json:"lower_bound"`
+	// Optimal reports II == LowerBound with every supporting search
+	// complete: no valid schedule of the model loop can beat this II.
+	Optimal bool `json:"optimal"`
+	// Backend names the scheduler that produced the Ops ("sms" or
+	// "exact").
+	Backend string `json:"backend"`
+	// Nodes is the total branch nodes the solver explored.
+	Nodes int64 `json:"nodes,omitempty"`
+	// Ops is indexed by instruction ID, exactly like Schedule.Placed.
+	Ops []CertOp `json:"ops"`
+	// Comms are the scheduled inter-cluster broadcasts.
+	Comms []CertComm `json:"comms,omitempty"`
+	// Trail is the solver's II-scan proof trail (empty for pure
+	// heuristic certificates).
+	Trail []ProofStep `json:"trail,omitempty"`
+}
+
+// Validate checks a certificate's schedule against the problem's dependence
+// constraints and the machine's resource constraints. It is deliberately
+// independent of both schedulers: every rule is re-derived from the Problem
+// and Machine alone.
+//
+// Checks, in order: op count and ranges; per-op latency legality (the plain
+// latency, or the L0 latency for an L0-eligible load); functional-unit
+// capacity per (row, cluster, kind); the per-cluster L0-entry budget; every
+// dependence edge (memory edges at their fixed latency, register edges at
+// the producer's scheduled latency, self-edges at the minimum latency the
+// recurrence bound assumes); a bus broadcast covering every cross-cluster
+// register dependence within its ready/deadline window; and bus capacity
+// per schedule row.
+func Validate(cert *Certificate, p *Problem, m Machine) error {
+	if cert == nil {
+		return fmt.Errorf("exact: nil certificate")
+	}
+	if cert.II < 1 {
+		return fmt.Errorf("exact: certificate II %d < 1", cert.II)
+	}
+	if len(cert.Ops) != len(p.Ops) {
+		return fmt.Errorf("exact: certificate has %d ops, problem has %d", len(cert.Ops), len(p.Ops))
+	}
+	ii := cert.II
+
+	// Per-op ranges and latency legality.
+	for i, co := range cert.Ops {
+		o := p.Ops[i]
+		if co.Cycle < 0 {
+			return fmt.Errorf("exact: op %d scheduled at negative cycle %d", i, co.Cycle)
+		}
+		if co.Cluster < 0 || co.Cluster >= m.Clusters {
+			return fmt.Errorf("exact: op %d on cluster %d of %d", i, co.Cluster, m.Clusters)
+		}
+		switch {
+		case co.UseL0:
+			if !o.CanL0 {
+				return fmt.Errorf("exact: op %d uses L0 but is not L0-eligible", i)
+			}
+			if m.L0Entries <= 0 {
+				return fmt.Errorf("exact: op %d uses L0 but the machine has no L0 entries", i)
+			}
+			if co.Latency != o.L0Lat {
+				return fmt.Errorf("exact: op %d uses L0 with latency %d, want %d", i, co.Latency, o.L0Lat)
+			}
+		default:
+			if co.Latency != o.Lat {
+				return fmt.Errorf("exact: op %d has latency %d, want %d", i, co.Latency, o.Lat)
+			}
+		}
+	}
+
+	// Functional-unit capacity per (row, cluster, kind).
+	usage := make([]int, ii*m.Clusters*arch.NumUnitKinds)
+	for i, co := range cert.Ops {
+		o := p.Ops[i]
+		cell := (posMod(co.Cycle, ii)*m.Clusters+co.Cluster)*arch.NumUnitKinds + int(o.Kind)
+		usage[cell]++
+		if usage[cell] > m.Units[o.Kind] {
+			return fmt.Errorf("exact: row %d cluster %d oversubscribes %v units (%d > %d)",
+				posMod(co.Cycle, ii), co.Cluster, o.Kind, usage[cell], m.Units[o.Kind])
+		}
+	}
+
+	// L0-entry budget per cluster (skipped when effectively unbounded).
+	if m.L0Entries > 0 && m.L0Entries < arch.Unbounded {
+		perCluster := make([]int, m.Clusters)
+		for i, co := range cert.Ops {
+			if co.UseL0 {
+				perCluster[co.Cluster]++
+				if perCluster[co.Cluster] > m.L0Entries {
+					return fmt.Errorf("exact: cluster %d holds %d L0 loads, budget %d (op %d)",
+						co.Cluster, perCluster[co.Cluster], m.L0Entries, i)
+				}
+			}
+		}
+	}
+
+	// Dependence edges and broadcast coverage.
+	for ei, e := range p.Edges {
+		u, v := cert.Ops[e.From], cert.Ops[e.To]
+		if e.From == e.To {
+			// Self-recurrences are what the recurrence bound constrains:
+			// II·dist must cover the minimum latency the producer can be
+			// scheduled at (the heuristic may record a larger latency on
+			// the op while the hardware recurrence only needs this much).
+			l := e.Lat
+			if !e.Mem {
+				l = p.Ops[e.From].MinLat()
+			}
+			if ii*e.Dist < l {
+				return fmt.Errorf("exact: edge %d: self-recurrence II·%d < latency %d", ei, e.Dist, l)
+			}
+			continue
+		}
+		switch {
+		case e.Mem:
+			if v.Cycle+ii*e.Dist < u.Cycle+e.Lat {
+				return fmt.Errorf("exact: edge %d (%d→%d): memory dependence violated (%d+%d·%d < %d+%d)",
+					ei, e.From, e.To, v.Cycle, ii, e.Dist, u.Cycle, e.Lat)
+			}
+		case u.Cluster == v.Cluster:
+			if v.Cycle+ii*e.Dist < u.Cycle+u.Latency {
+				return fmt.Errorf("exact: edge %d (%d→%d): register dependence violated (%d+%d·%d < %d+%d)",
+					ei, e.From, e.To, v.Cycle, ii, e.Dist, u.Cycle, u.Latency)
+			}
+		default:
+			// Cross-cluster: a broadcast must leave after the value
+			// exists and arrive (CommLatency later) by the consumer's
+			// read. This subsumes the plain dependence check.
+			ready := u.Cycle + u.Latency
+			deadline := v.Cycle + ii*e.Dist - m.CommLatency
+			ok := false
+			for _, cm := range cert.Comms {
+				if cm.Producer == e.From && cm.Cycle >= ready && cm.Cycle <= deadline {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("exact: edge %d (%d→%d): no broadcast of op %d in window [%d, %d]",
+					ei, e.From, e.To, e.From, ready, deadline)
+			}
+		}
+	}
+
+	// Bus capacity: each broadcast holds one bus for CommLatency rows. The
+	// check is sequential (each comm is admitted against the rows held by
+	// the comms before it, then committed) — the same check-then-reserve
+	// rule the schedulers' reservation table enforces, under which a single
+	// transfer at II < CommLatency may wrap over its own rows.
+	bus := make([]int, ii)
+	for ci, cm := range cert.Comms {
+		if cm.Producer < 0 || cm.Producer >= len(p.Ops) {
+			return fmt.Errorf("exact: comm %d references op %d out of range", ci, cm.Producer)
+		}
+		if cm.Cycle < 0 {
+			return fmt.Errorf("exact: comm %d at negative cycle %d", ci, cm.Cycle)
+		}
+		for kk := 0; kk < m.CommLatency; kk++ {
+			if row := posMod(cm.Cycle+kk, ii); bus[row] >= m.CommBuses {
+				return fmt.Errorf("exact: bus row %d oversubscribed (%d buses)", row, m.CommBuses)
+			}
+		}
+		for kk := 0; kk < m.CommLatency; kk++ {
+			bus[posMod(cm.Cycle+kk, ii)]++
+		}
+	}
+	return nil
+}

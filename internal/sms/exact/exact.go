@@ -1,0 +1,777 @@
+// Package exact implements an exact modulo scheduler for the clustered VLIW
+// machine: a branch-and-bound / constraint-propagation search over the modulo
+// reservation table that either proves a lower bound on the initiation
+// interval or finds a schedule achieving it. It is the optimality oracle
+// behind `-sched exact` (ROADMAP item 3): the SMS heuristic in internal/sched
+// stays the production scheduler, and this package quantifies — with a
+// machine-checkable certificate — how far the heuristic's IIs sit from
+// optimal.
+//
+// # Model
+//
+// A Problem is the dependence graph of one model loop (after unrolling and
+// any PSR rewrite): one Op per instruction (unit kind, L1 and L0 latencies,
+// L0 eligibility) and one Edge per dependence (register dependences carry the
+// producer's latency, memory dependences a fixed latency). A Machine is the
+// resource envelope: clusters, functional units per cluster and kind,
+// inter-cluster buses with their latency, and the per-cluster L0-entry
+// budget.
+//
+// A modulo schedule assigns every op an absolute cycle σ and a cluster. Two
+// searches run over the residues r = σ mod II and clusters:
+//
+//   - The *decide* search is a sound relaxation: every L0-eligible load takes
+//     the L0 latency, the entry budget and bus capacity are ignored, and a
+//     cross-cluster register dependence only adds the (necessary) bus
+//     latency. Exhausting it proves no schedule of any kind exists at that
+//     II, so scanning II upward from MinII yields a proven lower bound.
+//   - The *realize* search solves the full model (chosen load latencies,
+//     entry budget, greedy bus placement) and, when it succeeds, yields an
+//     executable assignment at an II below the heuristic's.
+//
+// Within a residue/cluster assignment, the absolute cycles are the stage
+// numbers k with σ = r + II·k; dependences reduce to integer difference
+// constraints over k, feasible exactly when the constraint graph has no
+// positive-weight cycle (a Bellman–Ford longest-path check). Two symmetries
+// are broken: schedules are normalized so the first branched op has residue
+// zero (rotating every σ by a constant preserves all constraints), and a new
+// cluster may only be entered through the lowest-indexed unused one (clusters
+// are homogeneous).
+//
+// The search is deterministic: node order is a pure function of the problem,
+// and budget exhaustion truncates at an exact node count, so equal inputs
+// (problem, machine, heuristic II, budget) always produce equal results —
+// the property that makes certificates cacheable content-addressed.
+package exact
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/arch"
+)
+
+// DefaultBudget is the node budget a Solve call gets when Options.Budget is
+// unset: small enough that a pathological loop cannot wedge a sweep, large
+// enough to close every suite benchmark whose search space is tractable.
+const DefaultBudget = 200_000
+
+// ctxCheckMask controls how often (in nodes) the search polls ctx and
+// publishes progress; a power of two minus one used as a bitmask.
+const ctxCheckMask = 255
+
+// Op is one instruction of the model loop.
+type Op struct {
+	// Kind is the functional-unit class the op occupies.
+	Kind arch.UnitKind
+	// Lat is the scheduled result latency without the L0 buffer (the L1
+	// latency for loads, the opcode default otherwise).
+	Lat int
+	// L0Lat is the latency when the op is a load scheduled against the L0
+	// buffer; meaningful only when CanL0.
+	L0Lat int
+	// CanL0 marks loads that are architecturally L0-eligible (candidate
+	// access pattern, fits a subblock). This is the *relaxed* eligibility
+	// the validator and the decide search use.
+	CanL0 bool
+	// SearchL0 marks loads the realize search may actually schedule with
+	// the L0 latency — CanL0 minus loads whose alias set mixes loads and
+	// stores (the realized schedule keeps those sets out of the buffers,
+	// the NL0 coherence treatment).
+	SearchL0 bool
+}
+
+// MinLat is the smallest latency any valid schedule can assume for the op.
+func (o Op) MinLat() int {
+	if o.CanL0 && o.L0Lat < o.Lat {
+		return o.L0Lat
+	}
+	return o.Lat
+}
+
+// Edge is one dependence of the model loop.
+type Edge struct {
+	From, To int
+	// Dist is the dependence distance in iterations.
+	Dist int
+	// Mem marks memory dependences, whose latency is the fixed Lat below;
+	// register dependences take the producer's scheduled latency instead
+	// (plus the bus latency when the endpoints sit in different clusters).
+	Mem bool
+	// Lat is the fixed latency of a memory dependence.
+	Lat int
+}
+
+// Problem is the dependence graph the searches run over.
+type Problem struct {
+	Ops   []Op
+	Edges []Edge
+}
+
+// Machine is the resource envelope of one configuration.
+type Machine struct {
+	Clusters int
+	// Units[kind] is the number of units of that kind per cluster.
+	Units [arch.NumUnitKinds]int
+	// CommBuses / CommLatency describe the inter-cluster bus fabric: a
+	// broadcast holds one bus for CommLatency consecutive schedule rows.
+	CommBuses   int
+	CommLatency int
+	// L0Entries caps how many distinct L0-latency loads one cluster's
+	// buffer accounting admits (arch.Unbounded lifts the cap — the
+	// MarkAllCandidates ablation; 0 means no buffers at all).
+	L0Entries int
+}
+
+// Progress publishes a running search's counters for job-status reporting.
+// Both fields are written by the solver and read concurrently by observers.
+type Progress struct {
+	// Nodes is the number of branch nodes explored so far.
+	Nodes atomic.Int64
+	// Incumbent is the best II currently held (the heuristic's until the
+	// realize search beats it).
+	Incumbent atomic.Int64
+}
+
+// Options tunes one Solve call.
+type Options struct {
+	// Budget caps the total branch nodes across all decide and realize
+	// searches of the call; <= 0 selects DefaultBudget.
+	Budget int64
+	// Progress, when non-nil, receives node-count and incumbent updates.
+	Progress *Progress
+	// NoRealize restricts the call to the lower-bound (decide) phase; the
+	// caller keeps the heuristic schedule. Used when the model loop
+	// carries constraints the realize search does not model (PSR replica
+	// placement).
+	NoRealize bool
+}
+
+// Assignment is a complete realized schedule found below the heuristic's II.
+type Assignment struct {
+	II      int
+	Cycle   []int
+	Cluster []int
+	Lat     []int
+	UseL0   []bool
+	Comms   []CertComm
+}
+
+// Result is the outcome of one Solve call.
+type Result struct {
+	// LowerBound is the best *proven* lower bound on the II: every
+	// smaller II was either below MinII or exhausted as unsatisfiable.
+	LowerBound int
+	// Complete reports that every search the call needed finished inside
+	// the budget; false means LowerBound and Found are best-effort.
+	Complete bool
+	// Found is a realized schedule strictly better than the heuristic's
+	// II, or nil (keep the heuristic schedule).
+	Found *Assignment
+	// Trail records one step per II examined, in order.
+	Trail []ProofStep
+	// Nodes is the total branch nodes explored.
+	Nodes int64
+}
+
+// Solve proves a lower bound on the II of the problem and, unless
+// opt.NoRealize, searches for a schedule beating heurII (the best known II,
+// normally the SMS heuristic's). It returns an error only when ctx is
+// cancelled or the problem is malformed; budget exhaustion returns a Result
+// with Complete=false.
+func Solve(ctx context.Context, p *Problem, m Machine, heurII int, opt Options) (*Result, error) {
+	if err := checkProblem(p, m); err != nil {
+		return nil, err
+	}
+	if heurII < 1 {
+		return nil, fmt.Errorf("exact: heuristic II must be >= 1, got %d", heurII)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	budget := opt.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	if opt.Progress != nil {
+		opt.Progress.Incumbent.Store(int64(heurII))
+	}
+
+	mii := MinII(p, m)
+	res := &Result{LowerBound: mii, Complete: true}
+	if heurII <= mii {
+		// The heuristic already achieves the static lower bound: optimal
+		// with no search at all.
+		res.LowerBound = heurII
+		res.Trail = append(res.Trail, ProofStep{II: heurII, Outcome: OutcomeMinII})
+		return res, nil
+	}
+
+	s := newSearcher(p, m, ctx, budget, opt.Progress)
+
+	// Phase 1 — decide: scan II upward, proving infeasibility until the
+	// relaxation first admits a schedule.
+	decided := -1
+	for ii := mii; ii < heurII; ii++ {
+		st, n := s.search(ii, false)
+		res.Nodes += n
+		switch st {
+		case stSAT:
+			res.Trail = append(res.Trail, ProofStep{II: ii, Outcome: OutcomeSAT, Nodes: n})
+			decided = ii
+		case stUNSAT:
+			res.Trail = append(res.Trail, ProofStep{II: ii, Outcome: OutcomeUNSAT, Nodes: n})
+			continue
+		case stStop:
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res.Trail = append(res.Trail, ProofStep{II: ii, Outcome: OutcomeBudget, Nodes: n})
+			res.LowerBound = ii // everything below ii is proven infeasible
+			res.Complete = false
+			return res, nil
+		}
+		break
+	}
+	if decided == -1 {
+		// Every II below the heuristic's is proven infeasible: the
+		// heuristic schedule is optimal.
+		res.LowerBound = heurII
+		return res, nil
+	}
+	res.LowerBound = decided
+
+	// Phase 2 — realize: search the full model from the proven bound up,
+	// adopting the first schedule that beats the heuristic.
+	if opt.NoRealize {
+		return res, nil
+	}
+	for ii := decided; ii < heurII; ii++ {
+		st, n := s.search(ii, true)
+		res.Nodes += n
+		switch st {
+		case stSAT:
+			res.Trail = append(res.Trail, ProofStep{II: ii, Outcome: OutcomeRealized, Nodes: n})
+			res.Found = s.found
+			if opt.Progress != nil {
+				opt.Progress.Incumbent.Store(int64(ii))
+			}
+			return res, nil
+		case stUNSAT:
+			res.Trail = append(res.Trail, ProofStep{II: ii, Outcome: OutcomeUnrealized, Nodes: n})
+		case stStop:
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res.Trail = append(res.Trail, ProofStep{II: ii, Outcome: OutcomeBudget, Nodes: n})
+			res.Complete = false
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// checkProblem rejects inputs no search could handle.
+func checkProblem(p *Problem, m Machine) error {
+	if m.Clusters < 1 {
+		return fmt.Errorf("exact: machine needs >= 1 cluster, got %d", m.Clusters)
+	}
+	if m.CommBuses < 1 || m.CommLatency < 1 {
+		return fmt.Errorf("exact: machine needs positive bus count/latency, got %d/%d", m.CommBuses, m.CommLatency)
+	}
+	for i, o := range p.Ops {
+		if o.Lat < 1 || (o.CanL0 && o.L0Lat < 1) {
+			return fmt.Errorf("exact: op %d has non-positive latency", i)
+		}
+		if int(o.Kind) >= arch.NumUnitKinds {
+			return fmt.Errorf("exact: op %d has unknown unit kind %d", i, o.Kind)
+		}
+		if m.Units[o.Kind] == 0 {
+			return fmt.Errorf("exact: op %d needs a %v unit but the machine has none", i, o.Kind)
+		}
+	}
+	for i, e := range p.Edges {
+		if e.From < 0 || e.From >= len(p.Ops) || e.To < 0 || e.To >= len(p.Ops) {
+			return fmt.Errorf("exact: edge %d references op out of range", i)
+		}
+		if e.Dist < 0 || (e.Mem && e.Lat < 0) {
+			return fmt.Errorf("exact: edge %d has negative distance or latency", i)
+		}
+	}
+	return nil
+}
+
+// MinII is the classic static lower bound: the larger of the resource-
+// constrained and recurrence-constrained minimum IIs, both computed against
+// the relaxed (minimum-latency, same-cluster) model so the bound holds for
+// every valid schedule.
+func MinII(p *Problem, m Machine) int {
+	mii := ResMII(p, m)
+	if rec := RecMII(p); rec > mii {
+		mii = rec
+	}
+	if mii < 1 {
+		mii = 1
+	}
+	return mii
+}
+
+// ResMII is the resource-constrained lower bound: for each unit kind, the
+// ops needing it divided by the machine's total units of that kind.
+func ResMII(p *Problem, m Machine) int {
+	var need [arch.NumUnitKinds]int
+	for _, o := range p.Ops {
+		need[o.Kind]++
+	}
+	mii := 1
+	for k := 0; k < arch.NumUnitKinds; k++ {
+		if need[k] == 0 {
+			continue
+		}
+		total := m.Units[k] * m.Clusters
+		if total == 0 {
+			continue // checkProblem rejects this; avoid dividing by zero
+		}
+		if r := ceilDiv(need[k], total); r > mii {
+			mii = r
+		}
+	}
+	return mii
+}
+
+// RecMII is the recurrence-constrained lower bound: the smallest II at which
+// the dependence constraints — with every op at its minimum latency and no
+// inter-cluster communication — admit a solution (no positive-weight cycle).
+func RecMII(p *Problem) int {
+	hi := 1
+	for _, e := range p.Edges {
+		hi += relaxedEdgeLat(p, e)
+	}
+	for ii := 1; ii < hi; ii++ {
+		if !hasPositiveCycle(p, ii) {
+			return ii
+		}
+	}
+	return hi
+}
+
+// relaxedEdgeLat is the smallest latency any schedule can realize on edge e.
+func relaxedEdgeLat(p *Problem, e Edge) int {
+	if e.Mem {
+		return e.Lat
+	}
+	return p.Ops[e.From].MinLat()
+}
+
+// hasPositiveCycle runs a Bellman–Ford longest-path pass over the relaxed
+// dependence graph at the given II (edge weight lat − II·dist); a relaxation
+// still possible after n rounds means a positive cycle.
+func hasPositiveCycle(p *Problem, ii int) bool {
+	n := len(p.Ops)
+	dist := make([]int64, n)
+	for round := 0; round <= n; round++ {
+		changed := false
+		for _, e := range p.Edges {
+			w := int64(relaxedEdgeLat(p, e)) - int64(ii)*int64(e.Dist)
+			if d := dist[e.From] + w; d > dist[e.To] {
+				dist[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	return true
+}
+
+// search status values.
+type status int
+
+const (
+	stUNSAT status = iota // search space exhausted, no solution
+	stSAT                 // solution found (decide: relaxation; realize: full)
+	stStop                // budget exhausted or ctx cancelled
+)
+
+// searcher carries the branch-and-bound state shared across the II scans of
+// one Solve call (the node budget is global to the call).
+type searcher struct {
+	p   *Problem
+	m   Machine
+	ctx context.Context
+
+	budget int64
+	nodes  int64
+	prog   *Progress
+
+	order []int // static branch order
+
+	// Per-II state.
+	ii       int
+	realize  bool
+	assigned []bool
+	resid    []int
+	clust    []int
+	lat      []int
+	useL0    []bool
+	usage    []int8 // (row*Clusters + cluster)*NumUnitKinds + kind
+	l0used   []int
+	k        []int64 // Bellman–Ford stage numbers
+
+	found *Assignment
+}
+
+func newSearcher(p *Problem, m Machine, ctx context.Context, budget int64, prog *Progress) *searcher {
+	n := len(p.Ops)
+	s := &searcher{
+		p: p, m: m, ctx: ctx, budget: budget, prog: prog,
+		assigned: make([]bool, n),
+		resid:    make([]int, n),
+		clust:    make([]int, n),
+		lat:      make([]int, n),
+		useL0:    make([]bool, n),
+		l0used:   make([]int, m.Clusters),
+		k:        make([]int64, n),
+	}
+	s.order = branchOrder(p)
+	return s
+}
+
+// branchOrder is the static variable order: most-constrained ops first —
+// higher dependence degree, then longer minimum latency — with the op index
+// as the deterministic tie-break.
+func branchOrder(p *Problem) []int {
+	n := len(p.Ops)
+	deg := make([]int, n)
+	for _, e := range p.Edges {
+		deg[e.From]++
+		deg[e.To]++
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		x, y := order[a], order[b]
+		sx := 4*deg[x] + p.Ops[x].MinLat()
+		sy := 4*deg[y] + p.Ops[y].MinLat()
+		if sx != sy {
+			return sx > sy
+		}
+		return x < y
+	})
+	return order
+}
+
+// search runs one decide (realize=false) or realize (realize=true) search at
+// the given II, returning the status and the nodes this search consumed.
+func (s *searcher) search(ii int, realize bool) (status, int64) {
+	s.ii = ii
+	s.realize = realize
+	n := len(s.p.Ops)
+	for i := 0; i < n; i++ {
+		s.assigned[i] = false
+		s.useL0[i] = false
+		s.lat[i] = 0
+	}
+	cells := ii * s.m.Clusters * arch.NumUnitKinds
+	if cap(s.usage) < cells {
+		s.usage = make([]int8, cells)
+	}
+	s.usage = s.usage[:cells]
+	for i := range s.usage {
+		s.usage[i] = 0
+	}
+	for c := range s.l0used {
+		s.l0used[c] = 0
+	}
+	if !realize {
+		for i := range s.lat {
+			s.lat[i] = s.p.Ops[i].MinLat()
+		}
+	}
+	start := s.nodes
+	st := s.dfs(0, -1)
+	return st, s.nodes - start
+}
+
+// dfs branches on the op at the given depth of the static order. maxCluster
+// is the highest cluster index any assigned op occupies (-1 initially), for
+// the unused-cluster symmetry break.
+func (s *searcher) dfs(depth, maxCluster int) status {
+	if depth == len(s.order) {
+		if !s.realize {
+			return stSAT
+		}
+		if s.placeComms() {
+			return stSAT
+		}
+		return stUNSAT // this leaf's bus placement failed; keep searching
+	}
+	op := s.order[depth]
+
+	rMax := s.ii
+	if depth == 0 {
+		rMax = 1 // rotation symmetry: pin the first op's residue
+	}
+	cMax := maxCluster + 2 // lowest unused cluster only
+	if cMax > s.m.Clusters {
+		cMax = s.m.Clusters
+	}
+	for r := 0; r < rMax; r++ {
+		for c := 0; c < cMax; c++ {
+			for _, l0 := range s.latChoices(op, c) {
+				s.nodes++
+				if s.nodes > s.budget {
+					return stStop
+				}
+				if s.nodes&ctxCheckMask == 0 {
+					if s.prog != nil {
+						s.prog.Nodes.Store(s.nodes)
+					}
+					if s.ctx.Err() != nil {
+						return stStop
+					}
+				}
+				if !s.place(op, r, c, l0) {
+					continue
+				}
+				nm := maxCluster
+				if c > nm {
+					nm = c
+				}
+				if s.feasible() {
+					switch st := s.dfs(depth+1, nm); st {
+					case stSAT:
+						return stSAT
+					case stStop:
+						s.unplace(op, r, c, l0)
+						return stStop
+					}
+				}
+				s.unplace(op, r, c, l0)
+			}
+		}
+	}
+	return stUNSAT
+}
+
+// latChoices lists the latency alternatives to branch on for op at cluster c:
+// decide always uses the fixed minimum latency; realize tries the L0 latency
+// first (when the op may use the buffers and the cluster has entries left)
+// and the plain latency second.
+func (s *searcher) latChoices(op, c int) []bool {
+	if !s.realize {
+		return oneFalse
+	}
+	o := s.p.Ops[op]
+	if o.SearchL0 && s.m.L0Entries > 0 && s.l0used[c] < s.m.L0Entries {
+		return trueThenFalse
+	}
+	return oneFalse
+}
+
+var (
+	oneFalse      = []bool{false}
+	trueThenFalse = []bool{true, false}
+)
+
+// place commits op to (residue r, cluster c), reserving its unit slot.
+// Returns false (without reserving) when the unit row is full.
+func (s *searcher) place(op, r, c int, l0 bool) bool {
+	o := s.p.Ops[op]
+	cell := (r*s.m.Clusters+c)*arch.NumUnitKinds + int(o.Kind)
+	if int(s.usage[cell]) >= s.m.Units[o.Kind] {
+		return false
+	}
+	s.usage[cell]++
+	s.assigned[op] = true
+	s.resid[op] = r
+	s.clust[op] = c
+	if s.realize {
+		if l0 {
+			s.lat[op] = o.L0Lat
+			s.useL0[op] = true
+			s.l0used[c]++
+		} else {
+			s.lat[op] = o.Lat
+			s.useL0[op] = false
+		}
+	}
+	return true
+}
+
+func (s *searcher) unplace(op, r, c int, l0 bool) {
+	o := s.p.Ops[op]
+	s.usage[(r*s.m.Clusters+c)*arch.NumUnitKinds+int(o.Kind)]--
+	s.assigned[op] = false
+	if s.realize && l0 {
+		s.l0used[c]--
+		s.useL0[op] = false
+	}
+}
+
+// edgeWeight is the difference-constraint weight of edge e over the stage
+// numbers k at the current partial assignment: k_to − k_from ≥ weight.
+func (s *searcher) edgeWeight(e Edge) int {
+	l := e.Lat
+	if !e.Mem {
+		l = s.lat[e.From]
+		if s.clust[e.From] != s.clust[e.To] {
+			l += s.m.CommLatency
+		}
+	}
+	return ceilDiv(l-s.resid[e.To]+s.resid[e.From], s.ii) - e.Dist
+}
+
+// feasible checks the difference-constraint system over the stage numbers of
+// the currently assigned ops: Bellman–Ford longest path, infeasible exactly
+// when a positive-weight cycle exists. On success s.k holds the minimal
+// non-negative stage numbers.
+func (s *searcher) feasible() bool {
+	n := len(s.p.Ops)
+	for i := 0; i < n; i++ {
+		s.k[i] = 0
+	}
+	for round := 0; ; round++ {
+		changed := false
+		for _, e := range s.p.Edges {
+			if !s.assigned[e.From] || !s.assigned[e.To] {
+				continue
+			}
+			w := s.edgeWeight(e)
+			if e.From == e.To {
+				if w > 0 {
+					return false
+				}
+				continue
+			}
+			if d := s.k[e.From] + int64(w); d > s.k[e.To] {
+				s.k[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+		if round >= n {
+			return false
+		}
+	}
+}
+
+// placeComms runs at a fully assigned realize leaf: absolute cycles follow
+// from the stage numbers, and every cross-cluster register dependence needs a
+// broadcast on a bus. One broadcast per producer serves all its consumers
+// (the bus is a broadcast fabric); slots are claimed greedily, tightest
+// deadline first, scanning from the deadline down. Failure rejects only this
+// leaf — the DFS keeps searching other assignments.
+func (s *searcher) placeComms() bool {
+	if !s.feasible() {
+		return false
+	}
+	n := len(s.p.Ops)
+	cyc := make([]int, n)
+	for i := 0; i < n; i++ {
+		cyc[i] = s.resid[i] + s.ii*int(s.k[i])
+	}
+
+	type need struct{ prod, ready, deadline int }
+	var needs []need
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for _, e := range s.p.Edges {
+		if e.Mem || e.From == e.To || s.clust[e.From] == s.clust[e.To] {
+			continue
+		}
+		ready := cyc[e.From] + s.lat[e.From]
+		dl := cyc[e.To] + s.ii*e.Dist - s.m.CommLatency
+		if j := idx[e.From]; j >= 0 {
+			if dl < needs[j].deadline {
+				needs[j].deadline = dl
+			}
+		} else {
+			idx[e.From] = len(needs)
+			needs = append(needs, need{prod: e.From, ready: ready, deadline: dl})
+		}
+	}
+	if len(needs) == 0 {
+		s.adopt(cyc, nil)
+		return true
+	}
+	sort.Slice(needs, func(a, b int) bool {
+		if needs[a].deadline != needs[b].deadline {
+			return needs[a].deadline < needs[b].deadline
+		}
+		return needs[a].prod < needs[b].prod
+	})
+	bus := make([]int, s.ii)
+	var comms []CertComm
+	for _, nd := range needs {
+		if nd.deadline < nd.ready {
+			return false
+		}
+		placed := false
+		for t := nd.deadline; t >= nd.ready && !placed; t-- {
+			free := true
+			for kk := 0; kk < s.m.CommLatency; kk++ {
+				if bus[posMod(t+kk, s.ii)] >= s.m.CommBuses {
+					free = false
+					break
+				}
+			}
+			if free {
+				for kk := 0; kk < s.m.CommLatency; kk++ {
+					bus[posMod(t+kk, s.ii)]++
+				}
+				comms = append(comms, CertComm{Producer: nd.prod, Cycle: t})
+				placed = true
+			}
+		}
+		if !placed {
+			return false
+		}
+	}
+	s.adopt(cyc, comms)
+	return true
+}
+
+// adopt records the realize leaf as the found assignment.
+func (s *searcher) adopt(cyc []int, comms []CertComm) {
+	n := len(s.p.Ops)
+	a := &Assignment{
+		II:      s.ii,
+		Cycle:   append([]int(nil), cyc...),
+		Cluster: append([]int(nil), s.clust[:n]...),
+		Lat:     append([]int(nil), s.lat[:n]...),
+		UseL0:   append([]bool(nil), s.useL0[:n]...),
+		Comms:   comms,
+	}
+	s.found = a
+}
+
+// ceilDiv is ceiling division for a possibly negative numerator and positive
+// denominator.
+func ceilDiv(a, b int) int {
+	q := (a + b - 1) / b
+	if (a+b-1)%b != 0 && a+b-1 < 0 {
+		q--
+	}
+	return q
+}
+
+func posMod(a, b int) int {
+	r := a % b
+	if r < 0 {
+		r += b
+	}
+	return r
+}

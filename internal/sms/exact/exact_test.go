@@ -1,0 +1,304 @@
+package exact
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// machine1 is a single-cluster machine with one unit of each kind.
+func machine1() Machine {
+	return Machine{
+		Clusters:    1,
+		Units:       [arch.NumUnitKinds]int{arch.UnitInt: 1, arch.UnitMem: 1, arch.UnitFP: 1},
+		CommBuses:   1,
+		CommLatency: 2,
+	}
+}
+
+// machine2 doubles the clusters.
+func machine2() Machine {
+	m := machine1()
+	m.Clusters = 2
+	return m
+}
+
+func intOp(lat int) Op { return Op{Kind: arch.UnitInt, Lat: lat} }
+
+func solve(t *testing.T, p *Problem, m Machine, heurII int, opt Options) *Result {
+	t.Helper()
+	res, err := Solve(context.Background(), p, m, heurII, opt)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+// certOf builds a certificate from a realized assignment.
+func certOf(a *Assignment, res *Result) *Certificate {
+	c := &Certificate{
+		II:         a.II,
+		LowerBound: res.LowerBound,
+		Optimal:    res.Complete && a.II == res.LowerBound,
+		Backend:    "exact",
+		Nodes:      res.Nodes,
+		Trail:      res.Trail,
+		Comms:      a.Comms,
+	}
+	for i := range a.Cycle {
+		c.Ops = append(c.Ops, CertOp{Cycle: a.Cycle[i], Cluster: a.Cluster[i], Latency: a.Lat[i], UseL0: a.UseL0[i]})
+	}
+	return c
+}
+
+func TestResourceBoundRealized(t *testing.T) {
+	// Three independent int ops on one int unit: MinII = 3, and the
+	// realize search must achieve it when the incumbent is worse.
+	p := &Problem{Ops: []Op{intOp(1), intOp(1), intOp(1)}}
+	m := machine1()
+	if got := MinII(p, m); got != 3 {
+		t.Fatalf("MinII = %d, want 3", got)
+	}
+	res := solve(t, p, m, 5, Options{})
+	if res.LowerBound != 3 || !res.Complete {
+		t.Fatalf("LowerBound=%d Complete=%v, want 3/true", res.LowerBound, res.Complete)
+	}
+	if res.Found == nil || res.Found.II != 3 {
+		t.Fatalf("Found=%+v, want realized II 3", res.Found)
+	}
+	if err := Validate(certOf(res.Found, res), p, m); err != nil {
+		t.Fatalf("certificate rejected: %v", err)
+	}
+}
+
+func TestRecurrenceBound(t *testing.T) {
+	// A self-recurrence: op 0 feeds itself at distance 1 with latency 3.
+	p := &Problem{
+		Ops:   []Op{intOp(3)},
+		Edges: []Edge{{From: 0, To: 0, Dist: 1}},
+	}
+	if got := RecMII(p); got != 3 {
+		t.Fatalf("RecMII = %d, want 3", got)
+	}
+	res := solve(t, p, machine2(), 3, Options{})
+	if res.LowerBound != 3 || !res.Complete || len(res.Trail) != 1 || res.Trail[0].Outcome != OutcomeMinII {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestHeuristicAtMinIIIsOptimalWithoutSearch(t *testing.T) {
+	p := &Problem{Ops: []Op{intOp(1), intOp(1)}}
+	res := solve(t, p, machine1(), 2, Options{})
+	if res.Nodes != 0 || !res.Complete || res.LowerBound != 2 {
+		t.Fatalf("expected zero-node optimality proof, got %+v", res)
+	}
+}
+
+func TestDecideProvesUnsat(t *testing.T) {
+	// Two chained int ops, latency 2 each, distance-1 back edge:
+	// recurrence needs II >= 4, resources II >= 2. At II 2 and 3 the
+	// decide search must exhaust and prove infeasibility.
+	p := &Problem{
+		Ops: []Op{intOp(2), intOp(2)},
+		Edges: []Edge{
+			{From: 0, To: 1},
+			{From: 1, To: 0, Dist: 1},
+		},
+	}
+	m := machine1()
+	if got := MinII(p, m); got != 4 {
+		t.Fatalf("MinII = %d, want 4", got)
+	}
+	// Lie about the lower bound by pretending MinII were smaller: solve
+	// against an incumbent of 4 — the decide phase never runs (heurII ==
+	// MinII), which is itself the proof.
+	res := solve(t, p, m, 4, Options{})
+	if res.LowerBound != 4 || !res.Complete {
+		t.Fatalf("LowerBound=%d Complete=%v, want 4/true", res.LowerBound, res.Complete)
+	}
+	// Against a worse incumbent the realize search recovers II 4.
+	res = solve(t, p, m, 6, Options{})
+	if res.Found == nil || res.Found.II != 4 {
+		t.Fatalf("Found=%+v, want II 4", res.Found)
+	}
+}
+
+func TestCrossClusterCommLatency(t *testing.T) {
+	// Two dependent mem ops on a two-cluster machine with one mem unit
+	// per cluster: at II 1 both rows collide in one cluster, so the ops
+	// must split across clusters and pay the bus latency. The realized
+	// schedule must carry a broadcast that Validate accepts.
+	m := machine2()
+	p := &Problem{
+		Ops:   []Op{{Kind: arch.UnitMem, Lat: 1}, {Kind: arch.UnitMem, Lat: 1}},
+		Edges: []Edge{{From: 0, To: 1}},
+	}
+	res := solve(t, p, m, 3, Options{})
+	if res.Found == nil {
+		t.Fatalf("expected a realized schedule, got %+v", res)
+	}
+	a := res.Found
+	if a.II != 1 {
+		t.Fatalf("II = %d, want 1", a.II)
+	}
+	if a.Cluster[0] == a.Cluster[1] {
+		t.Fatalf("ops share cluster %d at II 1 with one mem unit", a.Cluster[0])
+	}
+	if len(a.Comms) != 1 {
+		t.Fatalf("comms = %+v, want one broadcast", a.Comms)
+	}
+	if err := Validate(certOf(a, res), p, m); err != nil {
+		t.Fatalf("certificate rejected: %v", err)
+	}
+	// The consumer must read after the broadcast lands.
+	if a.Cycle[1] < a.Comms[0].Cycle+m.CommLatency {
+		t.Fatalf("consumer at %d before broadcast arrival %d", a.Cycle[1], a.Comms[0].Cycle+m.CommLatency)
+	}
+}
+
+func TestL0EntryBudgetRestrictsRealize(t *testing.T) {
+	// Two L0-eligible loads but a one-entry budget on one cluster-pair
+	// machine: at most one load per cluster may take the L0 latency.
+	m := machine1()
+	m.L0Entries = 1
+	ld := Op{Kind: arch.UnitMem, Lat: 6, L0Lat: 1, CanL0: true, SearchL0: true}
+	p := &Problem{Ops: []Op{ld, ld}}
+	res := solve(t, p, m, 6, Options{})
+	if res.Found == nil {
+		t.Fatalf("expected realized schedule, got %+v", res)
+	}
+	n := 0
+	for _, u := range res.Found.UseL0 {
+		if u {
+			n++
+		}
+	}
+	if n > 1 {
+		t.Fatalf("%d loads use the single L0 entry", n)
+	}
+	if err := Validate(certOf(res.Found, res), p, m); err != nil {
+		t.Fatalf("certificate rejected: %v", err)
+	}
+	// A certificate claiming both loads in L0 on one cluster must fail.
+	bad := certOf(res.Found, res)
+	for i := range bad.Ops {
+		bad.Ops[i].UseL0 = true
+		bad.Ops[i].Latency = 1
+		bad.Ops[i].Cluster = 0
+	}
+	if err := Validate(bad, p, m); err == nil {
+		t.Fatal("oversubscribed L0 budget validated")
+	}
+}
+
+func TestBudgetExhaustionIncomplete(t *testing.T) {
+	// A 1-node budget stops the decide phase immediately: the result is
+	// incomplete and the lower bound stays at the first unproven II.
+	p := &Problem{Ops: []Op{intOp(1), intOp(1), intOp(1)}}
+	m := machine1() // MinII 3
+	res := solve(t, p, m, 5, Options{Budget: 1})
+	if res.Complete {
+		t.Fatalf("1-node budget completed: %+v", res)
+	}
+	if res.Found != nil {
+		t.Fatalf("incomplete search returned a schedule: %+v", res.Found)
+	}
+	if res.LowerBound != 3 {
+		t.Fatalf("LowerBound = %d, want 3 (MinII)", res.LowerBound)
+	}
+	last := res.Trail[len(res.Trail)-1]
+	if last.Outcome != OutcomeBudget {
+		t.Fatalf("trail ends %q, want %q", last.Outcome, OutcomeBudget)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &Problem{Ops: []Op{intOp(1), intOp(1), intOp(1)}}
+	if _, err := Solve(ctx, p, machine1(), 5, Options{}); err == nil {
+		t.Fatal("cancelled Solve returned nil error")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	p := &Problem{
+		Ops: []Op{intOp(1), intOp(2), {Kind: arch.UnitMem, Lat: 6, L0Lat: 1, CanL0: true, SearchL0: true}, intOp(1)},
+		Edges: []Edge{
+			{From: 2, To: 0}, {From: 0, To: 1}, {From: 1, To: 3}, {From: 3, To: 0, Dist: 2},
+		},
+	}
+	m := machine2()
+	m.L0Entries = 2
+	var first *Result
+	for i := 0; i < 3; i++ {
+		res := solve(t, p, m, 9, Options{})
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.Nodes != first.Nodes || res.LowerBound != first.LowerBound || res.Complete != first.Complete {
+			t.Fatalf("run %d differs: %+v vs %+v", i, res, first)
+		}
+		if (res.Found == nil) != (first.Found == nil) {
+			t.Fatalf("run %d Found mismatch", i)
+		}
+		if res.Found != nil {
+			a, b := res.Found, first.Found
+			for j := range a.Cycle {
+				if a.Cycle[j] != b.Cycle[j] || a.Cluster[j] != b.Cluster[j] || a.UseL0[j] != b.UseL0[j] {
+					t.Fatalf("run %d schedule differs at op %d", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateRejectsMutations(t *testing.T) {
+	// A dependence chain whose realized optimal certificate must reject
+	// the canonical mutations: II−1 and a slot swap across an edge.
+	p := &Problem{
+		Ops:   []Op{intOp(1), intOp(1), intOp(1)},
+		Edges: []Edge{{From: 0, To: 1}, {From: 1, To: 2}},
+	}
+	m := machine1()
+	res := solve(t, p, m, 6, Options{})
+	if res.Found == nil || !res.Complete || res.Found.II != res.LowerBound {
+		t.Fatalf("expected optimal realized schedule, got %+v", res)
+	}
+	good := certOf(res.Found, res)
+	if err := Validate(good, p, m); err != nil {
+		t.Fatalf("good certificate rejected: %v", err)
+	}
+
+	down := certOf(res.Found, res)
+	down.II--
+	if down.II >= 1 {
+		if err := Validate(down, p, m); err == nil {
+			t.Fatal("II−1 mutation of an optimal certificate validated")
+		}
+	}
+
+	swap := certOf(res.Found, res)
+	swap.Ops[0].Cycle, swap.Ops[1].Cycle = swap.Ops[1].Cycle, swap.Ops[0].Cycle
+	if err := Validate(swap, p, m); err == nil {
+		t.Fatal("slot-swap mutation validated")
+	}
+}
+
+func TestCheckProblemRejectsBadInput(t *testing.T) {
+	m := machine1()
+	m.Units[arch.UnitFP] = 0
+	p := &Problem{Ops: []Op{{Kind: arch.UnitFP, Lat: 1}}}
+	if _, err := Solve(context.Background(), p, m, 3, Options{}); err == nil {
+		t.Fatal("op with no unit of its kind accepted")
+	}
+	if _, err := Solve(context.Background(), &Problem{Ops: []Op{intOp(0)}}, machine1(), 3, Options{}); err == nil {
+		t.Fatal("zero-latency op accepted")
+	}
+	bad := &Problem{Ops: []Op{intOp(1)}, Edges: []Edge{{From: 0, To: 7}}}
+	if _, err := Solve(context.Background(), bad, machine1(), 3, Options{}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}

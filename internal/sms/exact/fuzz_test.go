@@ -1,0 +1,140 @@
+package exact
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// byteFeed doles out fuzz bytes, cycling so short inputs still shape a
+// complete problem.
+type byteFeed struct {
+	data []byte
+	pos  int
+}
+
+func (f *byteFeed) next() int {
+	if len(f.data) == 0 {
+		return 0
+	}
+	b := f.data[f.pos%len(f.data)]
+	f.pos++
+	return int(b)
+}
+
+// FuzzExactValidate drives the solver over random small dependence graphs and
+// machine shapes and holds it to two properties: every realized schedule's
+// certificate passes the independent validator, and the canonical mutations —
+// a slot swap across a same-iteration edge, and lowering an optimal
+// certificate's II by one — are always rejected.
+func FuzzExactValidate(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 0, 1, 4, 9, 2, 7})
+	f.Add([]byte{0})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{1, 0, 3, 2, 5, 8, 13, 21, 34, 55})
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1, 0, 255, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fd := &byteFeed{data: data}
+
+		n := 2 + fd.next()%4
+		p := &Problem{}
+		for i := 0; i < n; i++ {
+			switch fd.next() % 3 {
+			case 0:
+				p.Ops = append(p.Ops, Op{Kind: arch.UnitInt, Lat: 1 + fd.next()%4})
+			case 1:
+				p.Ops = append(p.Ops, Op{Kind: arch.UnitFP, Lat: 1 + fd.next()%4})
+			default:
+				o := Op{Kind: arch.UnitMem, Lat: 1 + fd.next()%6}
+				if fd.next()%2 == 0 {
+					o.CanL0 = true
+					o.SearchL0 = fd.next()%4 != 0
+					o.L0Lat = 1
+				}
+				p.Ops = append(p.Ops, o)
+			}
+		}
+		ne := fd.next() % (2 * n)
+		for i := 0; i < ne; i++ {
+			e := Edge{From: fd.next() % n, To: fd.next() % n, Dist: fd.next() % 3}
+			if fd.next()%4 == 0 {
+				e.Mem = true
+				e.Lat = fd.next() % 3
+			}
+			if e.From == e.To && e.Dist == 0 {
+				// A zero-distance self-edge is unsatisfiable at any II;
+				// give it a distance instead of generating a dead input.
+				e.Dist = 1
+			}
+			p.Edges = append(p.Edges, e)
+		}
+
+		m := Machine{
+			Clusters:    1 + fd.next()%2,
+			CommBuses:   1 + fd.next()%2,
+			CommLatency: 1 + fd.next()%2,
+			L0Entries:   fd.next() % 3,
+		}
+		m.Units[arch.UnitInt] = 1 + fd.next()%2
+		m.Units[arch.UnitMem] = 1 + fd.next()%2
+		m.Units[arch.UnitFP] = 1 + fd.next()%2
+
+		mii := MinII(p, m)
+		heurII := mii + 1 + fd.next()%3
+		res, err := Solve(context.Background(), p, m, heurII, Options{Budget: 20_000})
+		if err != nil {
+			t.Fatalf("Solve rejected a well-formed problem: %v", err)
+		}
+		if res.LowerBound < mii || res.LowerBound > heurII {
+			t.Fatalf("LowerBound %d outside [%d, %d]", res.LowerBound, mii, heurII)
+		}
+		if res.Found == nil {
+			return
+		}
+		a := res.Found
+
+		cert := &Certificate{
+			II: a.II, LowerBound: res.LowerBound,
+			Optimal: res.Complete && a.II == res.LowerBound,
+			Backend: "exact", Nodes: res.Nodes, Trail: res.Trail, Comms: a.Comms,
+		}
+		for i := range a.Cycle {
+			cert.Ops = append(cert.Ops, CertOp{
+				Cycle: a.Cycle[i], Cluster: a.Cluster[i], Latency: a.Lat[i], UseL0: a.UseL0[i],
+			})
+		}
+		if err := Validate(cert, p, m); err != nil {
+			t.Fatalf("realized certificate rejected: %v\nproblem %+v machine %+v", err, p, m)
+		}
+
+		// Mutation 1: an optimal certificate re-labelled with II−1 claims a
+		// schedule below the proven lower bound — the validator must find a
+		// violated constraint.
+		if cert.Optimal && cert.II > 1 {
+			down := *cert
+			down.II--
+			if err := Validate(&down, p, m); err == nil {
+				t.Fatalf("II−1 mutation of optimal certificate validated\nproblem %+v machine %+v cert %+v", p, m, cert)
+			}
+		}
+
+		// Mutation 2: swap the scheduled cycles across a same-iteration
+		// dependence (producer strictly precedes consumer there, so the
+		// swap always inverts the edge).
+		for _, e := range p.Edges {
+			if e.From == e.To || e.Dist != 0 || (e.Mem && e.Lat < 1) {
+				continue
+			}
+			swap := *cert
+			swap.Ops = append([]CertOp(nil), cert.Ops...)
+			swap.Ops[e.From].Cycle, swap.Ops[e.To].Cycle = swap.Ops[e.To].Cycle, swap.Ops[e.From].Cycle
+			if err := Validate(&swap, p, m); err == nil {
+				t.Fatalf("slot-swap mutation across edge %d→%d validated\nproblem %+v machine %+v cert %+v",
+					e.From, e.To, p, m, cert)
+			}
+			break
+		}
+	})
+}

@@ -1,0 +1,140 @@
+#!/bin/sh
+# gapstudy-smoke: end-to-end check of the exact scheduling backend.
+#
+# Builds the binaries race-instrumented, then: compiles a kernel with
+# -sched exact through l0sched and requires the printed certificate to pass
+# the independent validator; runs a two-benchmark l0gap study and requires a
+# provably-optimal verdict; sweeps an exact-backend grid through l0served
+# over HTTP, diffs it against the local l0explore run byte-for-byte, and
+# asserts the repeat sweep is search-free (the exact_searches/exact_nodes
+# cache counters must not move — certificates are served from the schedule
+# cache); finally exercises the async job path (sched axis, progress fields,
+# cancel endpoint answering on a terminal job).
+#
+# Usage: scripts/gapstudy_smoke.sh [scratch-dir]
+set -eu
+
+DIR=${1:-.gapstudy-smoke}
+ARGS="-benches gsmdec,g721dec -clusters 4 -entries 8 -sched sms,exact"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+# Race-instrumented on purpose: the exact searches run inside the engine's
+# worker pool and the async job path, exactly where a data race would hide.
+go build -race -o "$DIR/l0sched" ./cmd/l0sched
+go build -race -o "$DIR/l0gap" ./cmd/l0gap
+go build -race -o "$DIR/l0explore" ./cmd/l0explore
+go build -race -o "$DIR/l0served" ./cmd/l0served
+
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+# 1. One kernel end to end: the exact backend must emit a certificate and
+# the independent validator must accept it.
+"$DIR/l0sched" -bench gsmdec -sched exact >"$DIR/sched.txt"
+grep -q "certificate: backend=exact" "$DIR/sched.txt" || {
+    echo "gapstudy-smoke: l0sched printed no exact certificate" >&2
+    cat "$DIR/sched.txt" >&2
+    exit 1
+}
+grep -q "certificate: validated" "$DIR/sched.txt" || {
+    echo "gapstudy-smoke: certificate did not validate" >&2
+    cat "$DIR/sched.txt" >&2
+    exit 1
+}
+
+# 2. A two-benchmark gap study: every kernel must be proven optimal within
+# the default budget (a budget-truncated row would say "no (budget)").
+"$DIR/l0gap" -benches gsmdec,g721dec -o "$DIR/gap.md"
+grep -q "kernels scheduled provably optimally" "$DIR/gap.md"
+if grep -q "no (budget)" "$DIR/gap.md"; then
+    echo "gapstudy-smoke: gap study hit the search budget on a smoke kernel" >&2
+    cat "$DIR/gap.md" >&2
+    exit 1
+fi
+
+# 3. The sched axis over HTTP vs locally: byte-identical.
+"$DIR/l0explore" $ARGS -format json -o "$DIR/local.json"
+grep -q '"sched": "exact"' "$DIR/local.json" || {
+    echo "gapstudy-smoke: sweep has no exact-backend cells" >&2
+    exit 1
+}
+
+"$DIR/l0served" -addr 127.0.0.1:0 -portfile "$DIR/port" >"$DIR/served.log" 2>&1 &
+PID=$!
+i=0
+while [ ! -s "$DIR/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "gapstudy-smoke: server did not come up" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+URL="http://$(cat "$DIR/port")"
+
+"$DIR/l0explore" -server "$URL" $ARGS -format json -o "$DIR/server.json"
+cmp "$DIR/local.json" "$DIR/server.json"
+
+counter() { # counter name statsfile
+    sed -n "s/^  \"$1\": \([0-9][0-9]*\).*/\1/p" "$2"
+}
+"$DIR/l0explore" -server "$URL" -cachestats -o "$DIR/stats_before.json"
+searches=$(counter exact_searches "$DIR/stats_before.json")
+if [ -z "$searches" ]; then
+    echo "gapstudy-smoke: cachestats has no exact_searches counter" >&2
+    cat "$DIR/stats_before.json" >&2
+    exit 1
+fi
+
+# 4. Repeat sweep: served from the certificate-carrying schedule cache, so
+# the exact counters must not move and the bytes must match again.
+"$DIR/l0explore" -server "$URL" $ARGS -format json -o "$DIR/repeat.json"
+cmp "$DIR/local.json" "$DIR/repeat.json"
+"$DIR/l0explore" -server "$URL" -cachestats -o "$DIR/stats_after.json"
+for c in exact_searches exact_nodes compiles; do
+    before=$(counter "$c" "$DIR/stats_before.json")
+    after=$(counter "$c" "$DIR/stats_after.json")
+    if [ -z "$before" ] || [ "$before" != "$after" ]; then
+        echo "gapstudy-smoke: repeat sweep was not search-free ($c: $before -> $after)" >&2
+        exit 1
+    fi
+done
+
+# 5. Async exact job: submit, poll to done, check the result matches, and
+# exercise the cancel endpoint (a no-op answering 200 on a terminal job).
+body='{"benches":["gsmdec"],"clusters":[4],"entries":[8],"scheds":["exact"],"async":true}'
+curl -sf -X POST -d "$body" "$URL/v1/explore" -o "$DIR/job.json"
+job=$(sed -n 's/^  "id": "\(job-[0-9]*\)".*/\1/p' "$DIR/job.json")
+[ -n "$job" ] || { echo "gapstudy-smoke: async submit returned no job id" >&2; cat "$DIR/job.json" >&2; exit 1; }
+i=0
+while :; do
+    curl -sf "$URL/v1/jobs/$job" -o "$DIR/status.json"
+    state=$(sed -n 's/^  "state": "\([a-z]*\)".*/\1/p' "$DIR/status.json")
+    [ "$state" = "done" ] && break
+    if [ "$state" = "failed" ] || [ "$state" = "canceled" ]; then
+        echo "gapstudy-smoke: async job ended $state" >&2
+        cat "$DIR/status.json" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "gapstudy-smoke: async job did not finish" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -sf "$URL/v1/jobs/$job/result" -o "$DIR/async.json"
+grep -q '"sched": "exact"' "$DIR/async.json"
+curl -sf -X POST "$URL/v1/jobs/$job/cancel" -o "$DIR/cancel.json"
+grep -q '"state": "done"' "$DIR/cancel.json"
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+rm -rf "$DIR"
+echo "gapstudy-smoke: ok (exact_searches=$searches)"
